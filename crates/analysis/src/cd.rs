@@ -1,0 +1,153 @@
+//! Control dependence (Ferrante–Ottenstein–Warren, via post-dominators).
+//!
+//! Penny's checkpoint pruning introduces **predicate dependences**
+//! (paper §6.4.1): a value defined differently on the two sides of a
+//! branch depends on the branch's predicate. Control dependence tells us
+//! which branches those are.
+
+use penny_ir::{BlockId, Kernel, Terminator};
+
+use crate::dom::Dominators;
+
+/// One control-dependence edge: block `on` is control-dependent on the
+/// branch terminating `branch`, reached when the branch condition selects
+/// `taken_then`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlDep {
+    /// The controlling branch block.
+    pub branch: BlockId,
+    /// `true` if the dependence is through the `then_` successor.
+    pub taken_then: bool,
+}
+
+/// Control-dependence sets for every block.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    deps: Vec<Vec<ControlDep>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences for a kernel.
+    pub fn compute(kernel: &Kernel) -> ControlDeps {
+        let pdom = Dominators::compute_post(kernel);
+        Self::compute_with(kernel, &pdom)
+    }
+
+    /// As [`ControlDeps::compute`], reusing post-dominators.
+    pub fn compute_with(kernel: &Kernel, pdom: &Dominators) -> ControlDeps {
+        let mut deps: Vec<Vec<ControlDep>> = vec![Vec::new(); kernel.num_blocks()];
+        for a in kernel.block_ids() {
+            let Terminator::Branch { then_, else_, .. } = kernel.block(a).term else {
+                continue;
+            };
+            let stop = pdom.idom(a);
+            for (succ, taken_then) in [(then_, true), (else_, false)] {
+                // Walk the post-dominator tree from `succ` up to (but not
+                // including) ipdom(a); every node visited is control-
+                // dependent on (a, succ).
+                let mut cur = Some(succ);
+                while let Some(x) = cur {
+                    if Some(x) == stop {
+                        break;
+                    }
+                    let dep = ControlDep { branch: a, taken_then };
+                    if !deps[x.index()].contains(&dep) {
+                        deps[x.index()].push(dep);
+                    }
+                    cur = pdom.idom(x);
+                }
+            }
+        }
+        ControlDeps { deps }
+    }
+
+    /// Branches controlling execution of block `b`.
+    pub fn deps_of(&self, b: BlockId) -> &[ControlDep] {
+        &self.deps[b.index()]
+    }
+
+    /// The single branch that decides between two blocks, if the classic
+    /// diamond pattern applies: both are control-dependent on the same
+    /// branch through opposite successors.
+    pub fn deciding_branch(&self, a: BlockId, b: BlockId) -> Option<(BlockId, bool)> {
+        for da in self.deps_of(a) {
+            for db in self.deps_of(b) {
+                if da.branch == db.branch && da.taken_then != db.taken_then {
+                    return Some((da.branch, da.taken_then));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penny_ir::parse_kernel;
+
+    #[test]
+    fn diamond_arms_depend_on_the_branch() {
+        let k = parse_kernel(
+            r#"
+            .kernel d
+            entry:
+                setp.eq.u32 %p0, 1, 1
+                bra %p0, left, right
+            left:
+                jmp join
+            right:
+                jmp join
+            join:
+                ret
+        "#,
+        )
+        .expect("parse");
+        let cd = ControlDeps::compute(&k);
+        assert_eq!(
+            cd.deps_of(BlockId(1)),
+            &[ControlDep { branch: BlockId(0), taken_then: true }]
+        );
+        assert_eq!(
+            cd.deps_of(BlockId(2)),
+            &[ControlDep { branch: BlockId(0), taken_then: false }]
+        );
+        assert!(cd.deps_of(BlockId(3)).is_empty(), "join is not controlled");
+        assert_eq!(
+            cd.deciding_branch(BlockId(1), BlockId(2)),
+            Some((BlockId(0), true))
+        );
+        assert_eq!(cd.deciding_branch(BlockId(1), BlockId(1)), None);
+    }
+
+    #[test]
+    fn loop_body_depends_on_loop_branch() {
+        let k = parse_kernel(
+            r#"
+            .kernel l
+            entry:
+                mov.u32 %r0, 0
+                jmp head
+            head:
+                setp.lt.u32 %p0, %r0, 10
+                bra %p0, body, exit
+            body:
+                add.u32 %r0, %r0, 1
+                jmp head
+            exit:
+                ret
+        "#,
+        )
+        .expect("parse");
+        let cd = ControlDeps::compute(&k);
+        // body is control-dependent on head's branch; so is head itself
+        // (it re-executes depending on its own branch).
+        assert!(cd
+            .deps_of(BlockId(2))
+            .contains(&ControlDep { branch: BlockId(1), taken_then: true }));
+        assert!(cd
+            .deps_of(BlockId(1))
+            .contains(&ControlDep { branch: BlockId(1), taken_then: true }));
+        assert!(cd.deps_of(BlockId(3)).is_empty());
+    }
+}

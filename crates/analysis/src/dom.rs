@@ -1,0 +1,274 @@
+//! Dominators and post-dominators (Cooper–Harvey–Kennedy iterative
+//! algorithm).
+//!
+//! Dominators feed natural-loop detection (checkpoint cost model) and
+//! post-dominators drive SIMT reconvergence in the simulator.
+
+use penny_ir::{BlockId, Kernel, Terminator};
+
+/// Immediate-dominator tree of a kernel's CFG.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    idom: Vec<Option<BlockId>>,
+    root: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators from the kernel entry.
+    pub fn compute(kernel: &Kernel) -> Dominators {
+        let order = kernel.reverse_post_order();
+        let preds = kernel.predecessors();
+        Dominators {
+            idom: iterative_idom(kernel.num_blocks(), kernel.entry, &order, &preds),
+            root: kernel.entry,
+        }
+    }
+
+    /// Computes post-dominators (dominators of the reversed CFG, with a
+    /// virtual exit joining all `ret` blocks).
+    ///
+    /// Blocks whose immediate post-dominator is the virtual exit (e.g.
+    /// `ret` blocks themselves) report `None`.
+    pub fn compute_post(kernel: &Kernel) -> Dominators {
+        let n = kernel.num_blocks();
+        // Build the reverse CFG with virtual exit node `n`.
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n + 1];
+        for b in kernel.block_ids() {
+            // Reverse edge: successor -> b means in reverse graph pred of b.
+            for s in kernel.block(b).term.successors() {
+                preds[b.index()].push(s);
+            }
+            if matches!(kernel.block(b).term, Terminator::Ret) {
+                preds[b.index()].push(BlockId(n as u32));
+            }
+        }
+        // RPO on the reverse graph starting from the virtual exit.
+        let succs_rev = |b: usize| -> Vec<usize> {
+            if b == n {
+                kernel
+                    .block_ids()
+                    .filter(|&x| matches!(kernel.block(x).term, Terminator::Ret))
+                    .map(|x| x.index())
+                    .collect()
+            } else {
+                kernel.predecessors()[b].iter().map(|p| p.index()).collect()
+            }
+        };
+        let order = rpo_generic(n + 1, n, &succs_rev);
+        let preds_generic: Vec<Vec<BlockId>> = preds;
+        let idom = iterative_idom(
+            n + 1,
+            BlockId(n as u32),
+            &order.iter().map(|&i| BlockId(i as u32)).collect::<Vec<_>>(),
+            &preds_generic,
+        );
+        // Strip the virtual node: idom == virtual exit becomes None.
+        let idom = idom
+            .into_iter()
+            .take(n)
+            .map(|d| d.filter(|x| x.index() != n))
+            .collect();
+        Dominators { idom, root: BlockId(n as u32) }
+    }
+
+    /// Immediate dominator of a block (`None` for the root or
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(b.index()).copied().flatten()
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) if d != cur => cur = d,
+                _ => return a == self.root,
+            }
+        }
+    }
+}
+
+fn rpo_generic(n: usize, root: usize, succs: &dyn Fn(usize) -> Vec<usize>) -> Vec<usize> {
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    let mut stack = vec![(root, 0usize)];
+    visited[root] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let ss = succs(b);
+        if *i < ss.len() {
+            let s = ss[*i];
+            *i += 1;
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+fn iterative_idom(
+    n: usize,
+    root: BlockId,
+    rpo: &[BlockId],
+    preds: &[Vec<BlockId>],
+) -> Vec<Option<BlockId>> {
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b.index()] = i;
+    }
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[root.index()] = Some(root);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo {
+            if b == root {
+                continue;
+            }
+            // First processed predecessor.
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &idom, &rpo_index),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.index()] != Some(ni) {
+                    idom[b.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Root's idom is conventionally None for the public API.
+    idom[root.index()] = None;
+    idom
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penny_ir::parse_kernel;
+
+    fn diamond() -> Kernel {
+        parse_kernel(
+            r#"
+            .kernel d
+            entry:
+                setp.eq.u32 %p0, 1, 1
+                bra %p0, left, right
+            left:
+                jmp join
+            right:
+                jmp join
+            join:
+                ret
+        "#,
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let k = diamond();
+        let dom = Dominators::compute(&k);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let k = diamond();
+        let pdom = Dominators::compute_post(&k);
+        // The join post-dominates the branch; its own ipdom is the
+        // virtual exit (None).
+        assert_eq!(pdom.idom(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(pdom.idom(BlockId(1)), Some(BlockId(3)));
+        assert_eq!(pdom.idom(BlockId(2)), Some(BlockId(3)));
+        assert_eq!(pdom.idom(BlockId(3)), None);
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let k = parse_kernel(
+            r#"
+            .kernel l
+            entry:
+                mov.u32 %r0, 0
+                jmp head
+            head:
+                setp.lt.u32 %p0, %r0, 10
+                bra %p0, body, exit
+            body:
+                add.u32 %r0, %r0, 1
+                jmp head
+            exit:
+                ret
+        "#,
+        )
+        .expect("parse");
+        let dom = Dominators::compute(&k);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        // head dominates body (back edge source): natural loop condition.
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn multiple_rets_postdominate_to_none() {
+        let k = parse_kernel(
+            r#"
+            .kernel m
+            entry:
+                setp.eq.u32 %p0, 1, 1
+                bra %p0, a, b
+            a:
+                ret
+            b:
+                ret
+        "#,
+        )
+        .expect("parse");
+        let pdom = Dominators::compute_post(&k);
+        // Neither ret block post-dominates the entry.
+        assert_eq!(pdom.idom(BlockId(0)), None);
+        assert_eq!(pdom.idom(BlockId(1)), None);
+        assert_eq!(pdom.idom(BlockId(2)), None);
+    }
+}

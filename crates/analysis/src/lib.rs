@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! Program analyses over the `penny-ir` representation.
+//!
+//! Everything the Penny compiler passes consume:
+//!
+//! * [`Dominators`] / post-dominators — loop detection and SIMT
+//!   reconvergence points;
+//! * [`LoopInfo`] — natural loops and nesting depth (the `C^d`
+//!   checkpoint cost model of paper §6.1);
+//! * [`Liveness`] — live-in registers at region boundaries (paper §3);
+//! * [`ReachingDefs`] — last update points (LUPs) of live-in registers;
+//! * [`AliasAnalysis`] — symbolic address analysis powering memory
+//!   anti-dependence detection for region formation (paper §5);
+//! * [`BitSet`] — the dense set type backing the dataflow fixpoints.
+//!
+//! # Examples
+//!
+//! ```
+//! use penny_analysis::{Liveness, LoopInfo};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernel = penny_ir::parse_kernel(r#"
+//!     .kernel k
+//!     entry:
+//!         mov.u32 %r0, 0
+//!         jmp head
+//!     head:
+//!         add.u32 %r0, %r0, 1
+//!         setp.lt.u32 %p0, %r0, 10
+//!         bra %p0, head, exit
+//!     exit:
+//!         ret
+//! "#)?;
+//! let loops = LoopInfo::compute(&kernel);
+//! assert_eq!(loops.loops().len(), 1);
+//! let live = Liveness::compute(&kernel);
+//! assert!(!live.live_in(penny_ir::BlockId(1)).is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod alias;
+pub mod cd;
+pub mod bitset;
+pub mod dom;
+pub mod liveness;
+pub mod loops;
+pub mod reachdefs;
+
+pub use alias::{AliasAnalysis, AliasOptions, MemAccess, Sym};
+pub use bitset::BitSet;
+pub use cd::{ControlDep, ControlDeps};
+pub use dom::Dominators;
+pub use liveness::Liveness;
+pub use loops::{Loop, LoopInfo};
+pub use reachdefs::{DefSite, ReachingDefs};

@@ -1,0 +1,203 @@
+//! Natural-loop detection and nesting depth.
+//!
+//! Penny's checkpoint cost model (paper §6.1) weighs a checkpoint at loop
+//! depth `d` as `C^d`, so the optimizer needs per-location loop depths.
+
+use std::collections::HashSet;
+
+use penny_ir::{BlockId, Kernel, Loc};
+
+use crate::dom::Dominators;
+
+/// One natural loop: a header plus its body blocks.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop, header included.
+    pub blocks: HashSet<BlockId>,
+}
+
+/// All natural loops of a kernel, with per-block nesting depths.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    loops: Vec<Loop>,
+    depth: Vec<u32>,
+}
+
+impl LoopInfo {
+    /// Detects natural loops via back edges (`b -> h` where `h`
+    /// dominates `b`); loops sharing a header are merged.
+    pub fn compute(kernel: &Kernel) -> LoopInfo {
+        let dom = Dominators::compute(kernel);
+        Self::compute_with(kernel, &dom)
+    }
+
+    /// As [`LoopInfo::compute`], reusing an existing dominator tree.
+    pub fn compute_with(kernel: &Kernel, dom: &Dominators) -> LoopInfo {
+        let preds = kernel.predecessors();
+        let mut loops: Vec<Loop> = Vec::new();
+        for b in kernel.block_ids() {
+            for s in kernel.block(b).term.successors() {
+                if dom.dominates(s, b) {
+                    // Back edge b -> s: collect the natural loop body.
+                    let mut body: HashSet<BlockId> = [s, b].into_iter().collect();
+                    let mut stack = vec![b];
+                    while let Some(x) = stack.pop() {
+                        if x == s {
+                            continue;
+                        }
+                        for &p in &preds[x.index()] {
+                            if body.insert(p) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    if let Some(existing) = loops.iter_mut().find(|l| l.header == s) {
+                        existing.blocks.extend(body);
+                    } else {
+                        loops.push(Loop { header: s, blocks: body });
+                    }
+                }
+            }
+        }
+        let mut depth = vec![0u32; kernel.num_blocks()];
+        for l in &loops {
+            for b in &l.blocks {
+                depth[b.index()] += 1;
+            }
+        }
+        LoopInfo { loops, depth }
+    }
+
+    /// The loops found (arbitrary order).
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Loop nesting depth of a block (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// Loop nesting depth at a program point.
+    pub fn depth_at(&self, loc: Loc) -> u32 {
+        self.depth(loc.block)
+    }
+
+    /// Returns `true` if block `b` is inside some loop.
+    pub fn in_loop(&self, b: BlockId) -> bool {
+        self.depth(b) > 0
+    }
+
+    /// The innermost loop containing `b`, if any (the one with the most
+    /// blocks containing `b`... i.e. smallest body among those containing
+    /// it).
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.blocks.contains(&b))
+            .min_by_key(|l| l.blocks.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penny_ir::parse_kernel;
+
+    #[test]
+    fn single_loop() {
+        let k = parse_kernel(
+            r#"
+            .kernel l
+            entry:
+                mov.u32 %r0, 0
+                jmp head
+            head:
+                setp.lt.u32 %p0, %r0, 10
+                bra %p0, body, exit
+            body:
+                add.u32 %r0, %r0, 1
+                jmp head
+            exit:
+                ret
+        "#,
+        )
+        .expect("parse");
+        let li = LoopInfo::compute(&k);
+        assert_eq!(li.loops().len(), 1);
+        assert_eq!(li.loops()[0].header, BlockId(1));
+        assert_eq!(li.depth(BlockId(0)), 0);
+        assert_eq!(li.depth(BlockId(1)), 1);
+        assert_eq!(li.depth(BlockId(2)), 1);
+        assert_eq!(li.depth(BlockId(3)), 0);
+        assert!(li.in_loop(BlockId(2)));
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        let k = parse_kernel(
+            r#"
+            .kernel n
+            entry:
+                mov.u32 %r0, 0
+                mov.u32 %r1, 0
+                jmp outer
+            outer:
+                mov.u32 %r1, 0
+                jmp inner
+            inner:
+                add.u32 %r1, %r1, 1
+                setp.lt.u32 %p0, %r1, 4
+                bra %p0, inner, outer_latch
+            outer_latch:
+                add.u32 %r0, %r0, 1
+                setp.lt.u32 %p1, %r0, 4
+                bra %p1, outer, exit
+            exit:
+                ret
+        "#,
+        )
+        .expect("parse");
+        let li = LoopInfo::compute(&k);
+        assert_eq!(li.loops().len(), 2);
+        // inner body depth 2, outer-only blocks depth 1.
+        assert_eq!(li.depth(BlockId(2)), 2, "inner");
+        assert_eq!(li.depth(BlockId(1)), 1, "outer header");
+        assert_eq!(li.depth(BlockId(3)), 1, "outer latch");
+        assert_eq!(li.depth(BlockId(0)), 0);
+        let inner = li.innermost_containing(BlockId(2)).expect("loop");
+        assert_eq!(inner.header, BlockId(2));
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let k = parse_kernel(".kernel s\nentry:\n mov.u32 %r0, 1\n ret\n").expect("parse");
+        let li = LoopInfo::compute(&k);
+        assert!(li.loops().is_empty());
+        assert_eq!(li.depth(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let k = parse_kernel(
+            r#"
+            .kernel s
+            entry:
+                mov.u32 %r0, 0
+                jmp spin
+            spin:
+                add.u32 %r0, %r0, 1
+                setp.lt.u32 %p0, %r0, 5
+                bra %p0, spin, exit
+            exit:
+                ret
+        "#,
+        )
+        .expect("parse");
+        let li = LoopInfo::compute(&k);
+        assert_eq!(li.loops().len(), 1);
+        assert_eq!(li.depth(BlockId(1)), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the dataflow analyses on randomly generated
+//! (but valid) kernels: structured control flow with straight-line
+//! bodies, loops, and diamonds.
+
+use proptest::prelude::*;
+
+use penny_analysis::{Dominators, Liveness, LoopInfo, ReachingDefs};
+use penny_ir::{Cmp, Kernel, KernelBuilder, Loc, MemSpace, Special, Type, VReg};
+
+/// Generates a structured kernel from a small program description:
+/// `shape` picks straight-line / diamond / loop, `ops` drives the body.
+fn build_kernel(shape: u8, ops: &[u8]) -> Kernel {
+    let mut b = KernelBuilder::new("gen", &["A"]);
+    let entry = b.block("entry");
+    b.select(entry);
+    let tid = b.special(Special::TidX);
+    let a = b.ld_param("A");
+    let off = b.shl(Type::U32, tid, 2u32);
+    let addr = b.add(Type::U32, a, off);
+    let mut v = b.ld(MemSpace::Global, Type::U32, addr, 0);
+
+    let body = |b: &mut KernelBuilder, mut v: VReg, ops: &[u8]| -> VReg {
+        for (i, op) in ops.iter().enumerate() {
+            let c = (i as u32 + 1) * 3;
+            v = match op % 5 {
+                0 => b.add(Type::U32, v, c),
+                1 => b.mul(Type::U32, v, c | 1),
+                2 => b.xor(Type::U32, v, c),
+                3 => b.sub(Type::U32, v, c),
+                _ => b.shr(Type::U32, v, c % 7),
+            };
+        }
+        v
+    };
+
+    match shape % 3 {
+        0 => {
+            // Straight line.
+            v = body(&mut b, v, ops);
+            b.st(MemSpace::Global, addr, 0, v);
+            b.ret();
+        }
+        1 => {
+            // Diamond.
+            let then_b = b.block("then");
+            let else_b = b.block("else");
+            let join = b.block("join");
+            let p = b.setp(Cmp::Lt, Type::U32, tid, 16u32);
+            let out = b.fresh();
+            b.branch(p, false, then_b, else_b);
+            b.select(then_b);
+            let tv = body(&mut b, v, ops);
+            b.mov_to(Type::U32, out, tv);
+            b.jump(join);
+            b.select(else_b);
+            let ev = b.add(Type::U32, v, 99u32);
+            b.mov_to(Type::U32, out, ev);
+            b.jump(join);
+            b.select(join);
+            b.st(MemSpace::Global, addr, 0, out);
+            b.ret();
+        }
+        _ => {
+            // Counted loop.
+            let head = b.block("head");
+            let exit = b.block("exit");
+            let i = b.imm(0);
+            let acc = b.mov(Type::U32, v);
+            b.jump(head);
+            b.select(head);
+            let nv = body(&mut b, acc, ops);
+            let sum = b.add(Type::U32, nv, i);
+            b.mov_to(Type::U32, acc, sum);
+            let ni = b.add(Type::U32, i, 1u32);
+            b.mov_to(Type::U32, i, ni);
+            let p = b.setp(Cmp::Lt, Type::U32, i, 5u32);
+            b.branch(p, false, head, exit);
+            b.select(exit);
+            b.st(MemSpace::Global, addr, 0, acc);
+            b.ret();
+        }
+    }
+    let k = b.finish();
+    penny_ir::validate(&k).expect("generated kernel must be valid");
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every register used by an instruction is live immediately before
+    /// that instruction.
+    #[test]
+    fn uses_are_live_before(shape: u8, ops in proptest::collection::vec(0u8..5, 0..12)) {
+        let k = build_kernel(shape, &ops);
+        let lv = Liveness::compute(&k);
+        for (loc, inst) in k.locs() {
+            let live = lv.live_set_before(&k, loc);
+            for u in inst.uses() {
+                prop_assert!(live.contains(u.index()), "{u} not live before {loc}");
+            }
+        }
+    }
+
+    /// Every register use has at least one reaching definition, and all
+    /// reaching definitions really define that register.
+    #[test]
+    fn uses_have_reaching_defs(shape: u8, ops in proptest::collection::vec(0u8..5, 0..12)) {
+        let k = build_kernel(shape, &ops);
+        let rd = ReachingDefs::compute(&k);
+        for (loc, inst) in k.locs() {
+            for u in inst.uses() {
+                let defs = rd.reaching_defs_of(&k, loc, u);
+                prop_assert!(!defs.is_empty(), "{u} at {loc} has no reaching def");
+                for d in defs {
+                    prop_assert_eq!(d.reg, u);
+                }
+            }
+        }
+    }
+
+    /// The entry block dominates every reachable block; dominance is
+    /// transitive through the idom chain.
+    #[test]
+    fn entry_dominates_everything(shape: u8, ops in proptest::collection::vec(0u8..5, 0..12)) {
+        let k = build_kernel(shape, &ops);
+        let dom = Dominators::compute(&k);
+        for b in k.block_ids() {
+            prop_assert!(dom.dominates(k.entry, b));
+            if let Some(i) = dom.idom(b) {
+                prop_assert!(dom.dominates(i, b));
+            }
+        }
+    }
+
+    /// Loop nesting depth is positive exactly for blocks inside a
+    /// detected loop body, and headers dominate their bodies.
+    #[test]
+    fn loops_are_consistent(shape: u8, ops in proptest::collection::vec(0u8..5, 0..12)) {
+        let k = build_kernel(shape, &ops);
+        let dom = Dominators::compute(&k);
+        let li = LoopInfo::compute(&k);
+        for l in li.loops() {
+            for b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, *b), "header must dominate body");
+                prop_assert!(li.depth(*b) >= 1);
+            }
+        }
+        for b in k.block_ids() {
+            let in_some = li.loops().iter().any(|l| l.blocks.contains(&b));
+            prop_assert_eq!(li.in_loop(b), in_some);
+        }
+    }
+
+    /// Dead registers past their last use really go dead: after the
+    /// final instruction of a `ret` block nothing is live.
+    #[test]
+    fn nothing_live_at_exit(shape: u8, ops in proptest::collection::vec(0u8..5, 0..12)) {
+        let k = build_kernel(shape, &ops);
+        let lv = Liveness::compute(&k);
+        for b in k.block_ids() {
+            if matches!(k.block(b).term, penny_ir::Terminator::Ret) {
+                let end = Loc { block: b, idx: k.block(b).insts.len() };
+                prop_assert!(lv.live_set_before(&k, end).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates every table and figure of the paper when run under
+//! `cargo bench`, and times one representative workload per scheme.
+//!
+//! The full tables print to stdout (they are the artifact); the timed
+//! samples keep Criterion meaningful without re-running 25 workloads
+//! hundreds of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use penny_bench::runner::{run_scheme, SchemeId};
+use penny_bench::{figures, report};
+use penny_sim::GpuConfig;
+
+fn regenerate_all(c: &mut Criterion) {
+    // The paper's tables and figures, regenerated once per bench run.
+    print!("{}", report::render_table1());
+    print!("{}", report::render_table2());
+    print!("{}", report::render_table3());
+    print!("{}", report::render_figure(&figures::fig9()));
+    print!("{}", report::render_figure(&figures::fig10()));
+    print!("{}", report::render_figure(&figures::fig11()));
+    print!("{}", report::render_fig12(&figures::fig12()));
+    print!("{}", report::render_figure(&figures::fig13()));
+    print!("{}", report::render_figure(&figures::fig14()));
+    print!("{}", report::render_figure(&figures::fig15()));
+
+    // Timed representative: the paper's motivating kernel (binomial
+    // options) under each scheme.
+    let gpu = GpuConfig::fermi();
+    let w = penny_workloads::by_abbr("BO").expect("BO");
+    let mut group = c.benchmark_group("fig9_BO");
+    group.sample_size(10);
+    for scheme in [
+        SchemeId::Baseline,
+        SchemeId::IGpu,
+        SchemeId::BoltGlobal,
+        SchemeId::BoltAuto,
+        SchemeId::Penny,
+    ] {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| run_scheme(&w, scheme, &gpu));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_all);
+criterion_main!(benches);

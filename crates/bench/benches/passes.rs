@@ -1,0 +1,58 @@
+//! Times the Penny compiler passes and the simulator itself: how long
+//! does protecting and simulating a kernel take on the host?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use penny_analysis::AliasOptions;
+use penny_core::{compile, PennyConfig, PruningMode};
+use penny_sim::{Gpu, GpuConfig};
+
+fn bench_compiler(c: &mut Criterion) {
+    let w = penny_workloads::by_abbr("SGEMM").expect("SGEMM");
+    let kernel = w.kernel().expect("parse");
+    let mut group = c.benchmark_group("compile_SGEMM");
+    group.sample_size(20);
+    group.bench_function("region_formation", |b| {
+        b.iter(|| {
+            let mut k = kernel.clone();
+            penny_core::regions::form_regions(&mut k, AliasOptions::default())
+        });
+    });
+    for (name, cfg) in [
+        ("penny_optimal", PennyConfig::penny().with_launch(w.dims)),
+        (
+            "penny_basic_pruning",
+            PennyConfig {
+                pruning: PruningMode::Basic { seed: 1, trials: 64 },
+                ..PennyConfig::penny()
+            }
+            .with_launch(w.dims),
+        ),
+        ("bolt", PennyConfig::bolt_auto().with_launch(w.dims)),
+        ("igpu", PennyConfig::igpu().with_launch(w.dims)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| compile(&kernel, &cfg).expect("compile"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = penny_workloads::by_abbr("MD").expect("MD");
+    let kernel = w.kernel().expect("parse");
+    let cfg = PennyConfig::unprotected().with_launch(w.dims);
+    let protected = compile(&kernel, &cfg).expect("compile");
+    let mut group = c.benchmark_group("simulate_MD");
+    group.sample_size(20);
+    group.bench_function("fermi", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::fermi().with_rf(penny_sim::RfProtection::None));
+            let launch = w.prepare(gpu.global_mut());
+            gpu.run(&protected, &launch).expect("run")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! `penny-eval`: regenerate the paper's tables and figures.
+//!
+//! Usage: `penny-eval [table1|table2|table3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|all]...`
+
+use penny_bench::{figures, report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "table2", "table3", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "multibit", "ablation", "errorrate",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for t in targets {
+        match t {
+            "table1" => print!("{}", report::render_table1()),
+            "table2" => print!("{}", report::render_table2()),
+            "table3" => print!("{}", report::render_table3()),
+            "fig9" => print!("{}", report::render_figure(&figures::fig9())),
+            "fig10" => print!("{}", report::render_figure(&figures::fig10())),
+            "fig11" => print!("{}", report::render_figure(&figures::fig11())),
+            "fig12" => print!("{}", report::render_fig12(&figures::fig12())),
+            "fig13" => print!("{}", report::render_figure(&figures::fig13())),
+            "fig14" => print!("{}", report::render_figure(&figures::fig14())),
+            "fig15" => print!("{}", report::render_figure(&figures::fig15())),
+            "ablation" => {
+                print!("{}", penny_bench::render_ablation(&penny_bench::ablation()));
+                print!("{}", penny_bench::cost_base_sensitivity());
+            }
+            "errorrate" => print!(
+                "{}",
+                penny_bench::campaign::render_error_rate(
+                    &penny_bench::campaign::error_rate_sensitivity()
+                )
+            ),
+            "multibit" => print!(
+                "{}",
+                penny_bench::campaign::render_multibit(&penny_bench::multibit_sweep(100))
+            ),
+            other => eprintln!("unknown target `{other}` (try `all`)"),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Fault-injection campaigns quantifying end-to-end resilience — the
+//! executable form of Table 1's detection-capability claims.
+//!
+//! The paper argues that pairing a `t`-bit-detecting EDC with idempotent
+//! recovery corrects up to `t` simultaneous bit flips. This module
+//! injects `k`-bit faults into a Penny-protected run and classifies each
+//! outcome:
+//!
+//! * **benign** — the fault was never read (overwritten or dead);
+//! * **recovered** — detected, region re-executed, output correct;
+//! * **SDC** — silent data corruption: output differs from fault-free.
+//!
+//! With single parity, 2-bit (even-weight) flips can escape detection —
+//! and some become SDCs. Upgrading the *same machinery* to Hamming or
+//! SECDED used as an EDC drives the SDC count to zero for 2- and 3-bit
+//! faults respectively, exactly the Table 1 progression.
+
+use penny_coding::Scheme;
+use penny_core::{compile, PennyConfig};
+use penny_sim::{FaultPlan, Gpu, GpuConfig, Injection, RfProtection};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome counts of one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// EDC scheme protecting the RF.
+    pub scheme: Scheme,
+    /// Bits flipped per fault.
+    pub flips: u32,
+    /// Total runs.
+    pub runs: u32,
+    /// Faults never observed (dead/overwritten victim).
+    pub benign: u32,
+    /// Detected and recovered with correct output.
+    pub recovered: u32,
+    /// Silent data corruptions.
+    pub sdc: u32,
+}
+
+/// Runs a `k`-bit fault campaign over the matrix-transpose workload
+/// (bit-exact integer output) under the given EDC scheme.
+pub fn edc_campaign(scheme: Scheme, flips: u32, runs: u32, seed: u64) -> CampaignResult {
+    let w = penny_workloads::by_abbr("MT").expect("MT workload");
+    let kernel = w.kernel().expect("parse");
+    let config = PennyConfig::penny().with_launch(w.dims);
+    let protected = compile(&kernel, &config).expect("compile");
+    let regs = protected.kernel.vreg_limit();
+    let gpu_config = GpuConfig::fermi().with_rf(RfProtection::Edc(scheme));
+    let data_bits = 32u32; // flip data bits so parity aliasing is possible
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut result =
+        CampaignResult { scheme, flips, runs, benign: 0, recovered: 0, sdc: 0 };
+    for _ in 0..runs {
+        // One multi-bit fault: `flips` distinct bits of one register of
+        // one lane, at one trigger point.
+        let lane = rng.gen_range(0..32);
+        let reg = rng.gen_range(0..regs);
+        let trigger = rng.gen_range(1..40);
+        let mut bits: Vec<u32> = (0..data_bits).collect();
+        for i in 0..flips as usize {
+            let j = rng.gen_range(i..bits.len());
+            bits.swap(i, j);
+        }
+        let injections = bits[..flips as usize]
+            .iter()
+            .map(|&bit| Injection {
+                block: rng.gen_range(0..w.dims.blocks()),
+                warp: 0,
+                lane,
+                reg,
+                bit,
+                after_warp_insts: trigger,
+            })
+            .collect();
+        // All flips hit the same register of the same thread: fix block.
+        let block = rng.gen_range(0..w.dims.blocks());
+        let injections: Vec<Injection> = {
+            let mut v: Vec<Injection> = injections;
+            for i in &mut v {
+                i.block = block;
+            }
+            v
+        };
+
+        let mut gpu = Gpu::new(gpu_config.clone());
+        let launch = w.prepare(gpu.global_mut()).with_faults(FaultPlan { injections });
+        match gpu.run(&protected, &launch) {
+            Ok(stats) => {
+                if w.check(gpu.global()) {
+                    if stats.recoveries > 0 {
+                        result.recovered += 1;
+                    } else {
+                        result.benign += 1;
+                    }
+                } else {
+                    result.sdc += 1;
+                }
+            }
+            // EDC-mode detections always have a recovery path in this
+            // setup; treat a failure as an SDC-equivalent loss.
+            Err(_) => result.sdc += 1,
+        }
+    }
+    result
+}
+
+/// The full Table-1-style sweep: each scheme against 1..=3-bit faults.
+pub fn multibit_sweep(runs: u32) -> Vec<CampaignResult> {
+    let mut out = Vec::new();
+    for (scheme, max_flips) in
+        [(Scheme::Parity, 3), (Scheme::Hamming, 2), (Scheme::Secded, 3)]
+    {
+        for flips in 1..=max_flips {
+            out.push(edc_campaign(scheme, flips, runs, 0x7E57 + flips as u64));
+        }
+    }
+    out
+}
+
+/// Renders the sweep as a table.
+pub fn render_multibit(results: &[CampaignResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n== Extension: end-to-end multi-bit fault campaigns (MT workload) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>6} {:>8} {:>10} {:>6}",
+        "EDC", "flips", "runs", "benign", "recovered", "SDC"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>6} {:>8} {:>10} {:>6}",
+            r.scheme.name(),
+            r.flips,
+            r.runs,
+            r.benign,
+            r.recovered,
+            r.sdc
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(Parity guarantees detection of odd-weight flips only: 2-bit faults can\n\
+         slip through as SDCs. Hamming used as EDC covers 2-bit faults, SECDED\n\
+         covers 3-bit — recovery then corrects them all, Table 1's progression.)"
+    );
+    out
+}
+
+/// Overhead as a function of error rate (the paper's §3.1 Amdahl
+/// argument: at realistic soft-error rates — one per day — recovery time
+/// is invisible; Penny therefore optimizes the fault-free path).
+/// Returns `(faults injected, normalized execution time)` pairs for the
+/// MT workload under parity-EDC Penny.
+pub fn error_rate_sensitivity() -> Vec<(u32, f64)> {
+    let w = penny_workloads::by_abbr("MT").expect("MT");
+    let kernel = w.kernel().expect("parse");
+    let config = PennyConfig::penny().with_launch(w.dims);
+    let protected = compile(&kernel, &config).expect("compile");
+    let regs = protected.kernel.vreg_limit();
+    let gpu_config = GpuConfig::fermi();
+
+    let baseline = {
+        let mut gpu = Gpu::new(gpu_config.clone());
+        let launch = w.prepare(gpu.global_mut());
+        gpu.run(&protected, &launch).expect("run").cycles as f64
+    };
+    [0u32, 1, 2, 4, 8, 16]
+        .into_iter()
+        .map(|faults| {
+            let plan = FaultPlan::random(
+                0xE77,
+                faults as usize,
+                w.dims.blocks(),
+                w.dims.threads_per_block().div_ceil(32),
+                32,
+                regs,
+                33,
+                40,
+            );
+            let mut gpu = Gpu::new(gpu_config.clone());
+            let launch = w.prepare(gpu.global_mut()).with_faults(plan);
+            let stats = gpu.run(&protected, &launch).expect("run");
+            assert!(w.check(gpu.global()), "{faults} faults corrupted output");
+            (faults, stats.cycles as f64 / baseline)
+        })
+        .collect()
+}
+
+/// Renders the error-rate table.
+pub fn render_error_rate(rows: &[(u32, f64)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== Extension: overhead vs injected error count (MT) ==");
+    let _ = writeln!(out, "{:>8} {:>12}", "faults", "norm. time");
+    for (f, t) in rows {
+        let _ = writeln!(out, "{f:>8} {t:>12.3}");
+    }
+    let _ = writeln!(
+        out,
+        "(A handful of faults per launch is already orders of magnitude beyond\n\
+         real soft-error rates (~1/day per GPU) and costs nothing; the knee at\n\
+         higher counts is re-execution of barrier-synchronized regions. This is\n\
+         the paper's Amdahl argument: optimize the fault-free path, since\n\
+         recovery time is invisible at realistic rates.)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_single_bit_never_sdcs() {
+        let r = edc_campaign(Scheme::Parity, 1, 30, 42);
+        assert_eq!(r.sdc, 0, "{r:?}");
+        assert_eq!(r.benign + r.recovered, r.runs);
+    }
+
+    #[test]
+    fn hamming_double_bit_never_sdcs() {
+        let r = edc_campaign(Scheme::Hamming, 2, 30, 43);
+        assert_eq!(r.sdc, 0, "{r:?}");
+    }
+
+    #[test]
+    fn secded_triple_bit_never_sdcs() {
+        let r = edc_campaign(Scheme::Secded, 3, 30, 44);
+        assert_eq!(r.sdc, 0, "{r:?}");
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation section (see `DESIGN.md` for the experiment
+//! index), plus helpers the Criterion benches reuse.
+//!
+//! Quick use from code:
+//!
+//! ```no_run
+//! let fig = penny_bench::figures::fig9();
+//! println!("{}", penny_bench::report::render_figure(&fig));
+//! ```
+//!
+//! Or run the `penny-eval` binary:
+//!
+//! ```text
+//! cargo run --release -p penny-bench --bin penny-eval -- all
+//! ```
+
+pub mod ablation;
+pub mod campaign;
+pub mod figures;
+pub mod report;
+pub mod runner;
+
+pub use ablation::{ablation, cost_base_sensitivity, render_ablation, AblationRow};
+pub use campaign::{edc_campaign, multibit_sweep, CampaignResult};
+pub use figures::{Figure, PruneBreakdown, Series};
+pub use runner::{gmean, run_scheme, run_workload, Measured, SchemeId};

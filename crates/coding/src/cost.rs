@@ -1,0 +1,230 @@
+//! Register-file hardware cost model (paper Tables 1 and 2).
+//!
+//! The paper evaluates RF coding hardware with CACTI 6.5 (22 nm) and
+//! Synopsys Design Compiler. Neither exists here, so this module supplies
+//! the substitute documented in `DESIGN.md`:
+//!
+//! * storage overheads are computed exactly from each code's `(n, k)`;
+//! * the four per-bank overhead metrics (area, access latency, access
+//!   energy, leakage) are reproduced from the paper's synthesized data
+//!   points and exposed alongside an analytic interpolation
+//!   ([`HwCost::model`]) for codes the paper did not synthesize.
+//!
+//! The baseline bank (no protection, 256 KB RF / 16 banks) measures
+//! `0.105 mm²`, `1.01 ns` access latency, `9.64 pJ` per access and
+//! `4.7 nW` leakage per the paper's synthesis.
+
+use crate::scheme::Scheme;
+
+/// Absolute baseline characteristics of one unprotected RF bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineBank {
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Access latency in ns.
+    pub latency_ns: f64,
+    /// Energy per access in pJ.
+    pub energy_pj: f64,
+    /// Leakage power in nW.
+    pub leakage_nw: f64,
+}
+
+impl BaselineBank {
+    /// The paper's synthesized 22 nm baseline.
+    pub fn paper() -> BaselineBank {
+        BaselineBank { area_mm2: 0.105, latency_ns: 1.01, energy_pj: 9.64, leakage_nw: 4.7 }
+    }
+}
+
+/// Percentage overheads of a protected RF bank relative to the baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwCost {
+    /// Area overhead (%).
+    pub area_pct: f64,
+    /// Access latency overhead (%).
+    pub latency_pct: f64,
+    /// Access energy overhead (%).
+    pub energy_pct: f64,
+    /// Leakage power overhead (%).
+    pub leakage_pct: f64,
+}
+
+impl HwCost {
+    /// No protection: zero overhead.
+    pub fn zero() -> HwCost {
+        HwCost { area_pct: 0.0, latency_pct: 0.0, energy_pct: 0.0, leakage_pct: 0.0 }
+    }
+
+    /// Overheads for one of the paper's synthesized schemes
+    /// (paper Table 2).
+    pub fn synthesized(scheme: Scheme) -> HwCost {
+        match scheme {
+            Scheme::None => HwCost::zero(),
+            Scheme::Parity => HwCost {
+                area_pct: 3.1,
+                latency_pct: 3.5,
+                energy_pct: 3.0,
+                leakage_pct: 3.0,
+            },
+            Scheme::Hamming => HwCost {
+                area_pct: 18.8,
+                latency_pct: 21.8,
+                energy_pct: 18.1,
+                leakage_pct: 17.7,
+            },
+            Scheme::Secded => HwCost {
+                area_pct: 21.9,
+                latency_pct: 25.6,
+                energy_pct: 21.1,
+                leakage_pct: 20.7,
+            },
+            Scheme::Dected => HwCost {
+                area_pct: 40.6,
+                latency_pct: 49.2,
+                energy_pct: 39.2,
+                leakage_pct: 38.4,
+            },
+            Scheme::Tecqed => HwCost {
+                area_pct: 87.5,
+                latency_pct: 74.3,
+                energy_pct: 84.5,
+                leakage_pct: 82.7,
+            },
+        }
+    }
+
+    /// Analytic approximation for an arbitrary `(n, k)` code correcting
+    /// `t` errors inline.
+    ///
+    /// Calibrated against the synthesized points: area tracks the storage
+    /// redundancy exactly; latency adds a decode-tree term growing with
+    /// `t`; energy and leakage track storage with small fitted slopes.
+    pub fn model(n: usize, k: usize, t_correct: usize) -> HwCost {
+        assert!(n > k, "code must add redundancy (n > k)");
+        let storage = 100.0 * (n - k) as f64 / k as f64;
+        HwCost {
+            area_pct: storage,
+            latency_pct: storage * 0.98 + 3.8 * t_correct as f64 + 0.4,
+            energy_pct: storage * 0.965,
+            leakage_pct: storage * 0.945,
+        }
+    }
+
+    /// Absolute per-bank figures given a baseline.
+    pub fn apply(&self, base: &BaselineBank) -> BaselineBank {
+        BaselineBank {
+            area_mm2: base.area_mm2 * (1.0 + self.area_pct / 100.0),
+            latency_ns: base.latency_ns * (1.0 + self.latency_pct / 100.0),
+            energy_pj: base.energy_pj * (1.0 + self.energy_pct / 100.0),
+            leakage_nw: base.leakage_nw * (1.0 + self.leakage_pct / 100.0),
+        }
+    }
+}
+
+/// One row of the paper's Table 1 comparison (conventional ECC vs Penny)
+/// for a given number of error bits to protect against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageRow {
+    /// Number of error bits tolerated.
+    pub error_bits: usize,
+    /// Conventional ECC scheme required.
+    pub ecc: Scheme,
+    /// ECC storage overhead (%).
+    pub ecc_overhead_pct: f64,
+    /// Penny (EDC + idempotent recovery) scheme required.
+    pub penny: Scheme,
+    /// Penny storage overhead (%).
+    pub penny_overhead_pct: f64,
+}
+
+/// Reproduces the paper's Table 1: storage required to protect a 32-bit
+/// register against 1-3 bit errors under conventional ECC vs Penny.
+pub fn table1() -> Vec<StorageRow> {
+    let row = |error_bits, ecc: Scheme, penny: Scheme| StorageRow {
+        error_bits,
+        ecc,
+        ecc_overhead_pct: ecc.storage_overhead_pct(),
+        penny,
+        penny_overhead_pct: penny.storage_overhead_pct(),
+    };
+    vec![
+        row(1, Scheme::Secded, Scheme::Parity),
+        row(2, Scheme::Dected, Scheme::Hamming),
+        row(3, Scheme::Tecqed, Scheme::Secded),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 3);
+        // 1 bit: SECDED (39,32) 21.9% vs parity (33,32) 3.1%.
+        assert!((t[0].ecc_overhead_pct - 21.9).abs() < 0.1, "{:?}", t[0]);
+        assert!((t[0].penny_overhead_pct - 3.1).abs() < 0.1);
+        // 2 bit: DECTED (55,32) 71.9% vs Hamming (38,32) 18.8%.
+        assert!((t[1].ecc_overhead_pct - 71.9).abs() < 0.1, "{:?}", t[1]);
+        assert!((t[1].penny_overhead_pct - 18.8).abs() < 0.1);
+        // 3 bit: TECQED (60,32) 87.5% vs SECDED (39,32) 21.9%.
+        assert!((t[2].ecc_overhead_pct - 87.5).abs() < 0.1, "{:?}", t[2]);
+        assert!((t[2].penny_overhead_pct - 21.9).abs() < 0.1);
+    }
+
+    #[test]
+    fn synthesized_overheads_match_paper_table2() {
+        let p = HwCost::synthesized(Scheme::Parity);
+        assert_eq!(p.area_pct, 3.1);
+        assert_eq!(p.latency_pct, 3.5);
+        let s = HwCost::synthesized(Scheme::Secded);
+        assert_eq!(s.area_pct, 21.9);
+        assert_eq!(s.energy_pct, 21.1);
+        let t = HwCost::synthesized(Scheme::Tecqed);
+        assert_eq!(t.leakage_pct, 82.7);
+    }
+
+    #[test]
+    fn model_tracks_synthesized_points() {
+        // The interpolation should land within ~20% relative error of
+        // the synthesized data for the schemes we know.
+        let checks = [
+            (Scheme::Parity, 33, 0),
+            (Scheme::Hamming, 38, 1),
+            (Scheme::Secded, 39, 1),
+        ];
+        for (scheme, n, t) in checks {
+            let syn = HwCost::synthesized(scheme);
+            let mdl = HwCost::model(n, 32, t);
+            assert!(
+                (mdl.area_pct - syn.area_pct).abs() / syn.area_pct < 0.05,
+                "{scheme:?} area: model {} vs syn {}",
+                mdl.area_pct,
+                syn.area_pct
+            );
+            assert!(
+                (mdl.latency_pct - syn.latency_pct).abs() / syn.latency_pct < 0.2,
+                "{scheme:?} latency: model {} vs syn {}",
+                mdl.latency_pct,
+                syn.latency_pct
+            );
+        }
+    }
+
+    #[test]
+    fn apply_scales_baseline() {
+        let base = BaselineBank::paper();
+        let secded = HwCost::synthesized(Scheme::Secded).apply(&base);
+        assert!(secded.area_mm2 > base.area_mm2);
+        assert!((secded.area_mm2 / base.area_mm2 - 1.219).abs() < 0.001);
+        let none = HwCost::zero().apply(&base);
+        assert_eq!(none, base);
+    }
+
+    #[test]
+    #[should_panic(expected = "redundancy")]
+    fn model_rejects_rate_one_codes() {
+        HwCost::model(32, 32, 0);
+    }
+}

@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+//! Error detection and correction codes for GPU register files, plus the
+//! RF hardware cost model — the coding substrate of the Penny
+//! reproduction (paper §2 and §7.1).
+//!
+//! The paper's argument is quantitative: an error *detection* code (EDC)
+//! such as parity is far cheaper than an error *correction* code (ECC),
+//! and idempotent re-execution upgrades detection to correction for free.
+//! This crate makes both sides executable:
+//!
+//! * [`Parity`] — the (33,32) single-parity EDC Penny ships with;
+//! * [`Bch`] — shortened/extended binary BCH codes over GF(2^6) providing
+//!   Hamming(38,32), SECDED(39,32), and executable DECTED/TECQED
+//!   equivalents, with Berlekamp–Massey + Chien decoding;
+//! * [`Scheme`] — the named schemes with the paper's `(n, k)` parameters;
+//! * [`cost`] — the RF bank cost model reproducing Tables 1 and 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use penny_coding::{Decode, Scheme};
+//!
+//! // SECDED corrects a single flipped bit inline...
+//! let codec = Scheme::Secded.codec().expect("codec");
+//! let word = codec.encode(0xDEAD_BEEF);
+//! match codec.decode(word ^ (1 << 7)) {
+//!     Decode::Corrected { data, flipped } => {
+//!         assert_eq!(data, 0xDEAD_BEEF);
+//!         assert_eq!(flipped, 1);
+//!     }
+//!     other => panic!("{other:?}"),
+//! }
+//!
+//! // ...while parity merely detects, which is all Penny needs.
+//! let parity = Scheme::Parity.codec().expect("codec");
+//! let word = parity.encode(42);
+//! assert_eq!(parity.decode(word ^ 1), Decode::Detected);
+//! ```
+
+pub mod bch;
+pub mod cost;
+pub mod gf;
+pub mod parity;
+pub mod scheme;
+
+pub use bch::Bch;
+pub use cost::{table1, BaselineBank, HwCost, StorageRow};
+pub use parity::Parity;
+pub use scheme::{Codec, Scheme};
+
+/// Outcome of decoding a (possibly corrupted) codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decode {
+    /// The word is a valid codeword carrying this data.
+    Clean(u32),
+    /// Errors were corrected inline.
+    Corrected {
+        /// Recovered data bits.
+        data: u32,
+        /// Number of bit positions repaired.
+        flipped: usize,
+    },
+    /// Errors were detected but not corrected (Penny's recovery path).
+    Detected,
+}
+
+impl Decode {
+    /// The data carried, unless the word was uncorrectable.
+    pub fn data(self) -> Option<u32> {
+        match self {
+            Decode::Clean(d) | Decode::Corrected { data: d, .. } => Some(d),
+            Decode::Detected => None,
+        }
+    }
+}

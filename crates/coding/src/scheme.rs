@@ -1,0 +1,201 @@
+//! The named RF coding schemes from the paper, with both the paper's
+//! `(n, k)` parameters (for cost accounting) and executable
+//! encoders/decoders (for the simulator and for property tests).
+
+use crate::bch::Bch;
+use crate::parity::Parity;
+use crate::Decode;
+
+/// RF protection coding schemes (paper Tables 1-2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No protection.
+    None,
+    /// Single even-parity bit: (33,32); detects 1-bit (odd) errors.
+    Parity,
+    /// Hamming (38,32); corrects 1 or detects 2 when used as EDC.
+    Hamming,
+    /// SECDED (39,32); corrects 1 + detects 2, detects 3 as pure EDC.
+    Secded,
+    /// DECTED; the paper quotes (55,32) for storage (Table 1) and a
+    /// synthesized (45,32) design (Table 2). Executable form: extended
+    /// BCH t=2.
+    Dected,
+    /// TECQED (60,32); executable form: extended BCH t=3 (51,32).
+    Tecqed,
+}
+
+impl Scheme {
+    /// All schemes, weakest protection first.
+    pub const ALL: [Scheme; 6] = [
+        Scheme::None,
+        Scheme::Parity,
+        Scheme::Hamming,
+        Scheme::Secded,
+        Scheme::Dected,
+        Scheme::Tecqed,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::None => "None",
+            Scheme::Parity => "Parity",
+            Scheme::Hamming => "Hamming",
+            Scheme::Secded => "SECDED",
+            Scheme::Dected => "DECTED",
+            Scheme::Tecqed => "TECQED",
+        }
+    }
+
+    /// The paper's quoted codeword length for storage accounting
+    /// (Table 1).
+    pub fn paper_n(self) -> usize {
+        match self {
+            Scheme::None => 32,
+            Scheme::Parity => 33,
+            Scheme::Hamming => 38,
+            Scheme::Secded => 39,
+            Scheme::Dected => 55,
+            Scheme::Tecqed => 60,
+        }
+    }
+
+    /// Data width (always one 32-bit register).
+    pub fn k(self) -> usize {
+        32
+    }
+
+    /// Storage overhead percentage `(n - k) / k` using the paper's
+    /// parameters.
+    pub fn storage_overhead_pct(self) -> f64 {
+        100.0 * (self.paper_n() - self.k()) as f64 / self.k() as f64
+    }
+
+    /// Errors correctable inline (without Penny's recovery).
+    pub fn corrects(self) -> usize {
+        match self {
+            Scheme::None | Scheme::Parity => 0,
+            Scheme::Hamming | Scheme::Secded => 1,
+            Scheme::Dected => 2,
+            Scheme::Tecqed => 3,
+        }
+    }
+
+    /// Errors guaranteed detected when the code is used purely as an EDC
+    /// (Penny's mode: detect, then recover by re-execution).
+    pub fn detects_as_edc(self) -> usize {
+        match self {
+            Scheme::None => 0,
+            Scheme::Parity => 1,
+            Scheme::Hamming => 2,
+            Scheme::Secded => 3,
+            Scheme::Dected => 4, // extended t=2 BCH: d >= 6
+            Scheme::Tecqed => 5, // extended t=3 BCH: d >= 8 detects >= 5
+        }
+    }
+
+    /// Builds the executable codec for this scheme.
+    ///
+    /// Returns `None` for [`Scheme::None`].
+    pub fn codec(self) -> Option<Codec> {
+        match self {
+            Scheme::None => None,
+            Scheme::Parity => Some(Codec::Parity(Parity::new())),
+            Scheme::Hamming => Some(Codec::Bch(Box::new(Bch::new(1, false)))),
+            Scheme::Secded => Some(Codec::Bch(Box::new(Bch::new(1, true)))),
+            Scheme::Dected => Some(Codec::Bch(Box::new(Bch::new(2, true)))),
+            Scheme::Tecqed => Some(Codec::Bch(Box::new(Bch::new(3, true)))),
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An executable encoder/decoder for a [`Scheme`].
+#[derive(Debug, Clone)]
+pub enum Codec {
+    /// Single-parity codec.
+    Parity(Parity),
+    /// BCH-based codec (boxed: it carries the GF(2^6) tables).
+    Bch(Box<Bch>),
+}
+
+impl Codec {
+    /// Encodes 32 data bits to a codeword.
+    pub fn encode(&self, data: u32) -> u64 {
+        match self {
+            Codec::Parity(p) => p.encode(data),
+            Codec::Bch(b) => b.encode(data),
+        }
+    }
+
+    /// Decodes/validates a codeword.
+    pub fn decode(&self, word: u64) -> Decode {
+        match self {
+            Codec::Parity(p) => p.decode(word),
+            Codec::Bch(b) => b.decode(word),
+        }
+    }
+
+    /// Executable codeword length in bits.
+    pub fn n(&self) -> usize {
+        match self {
+            Codec::Parity(_) => Parity::N,
+            Codec::Bch(b) => b.n(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_overheads_match_paper_table1() {
+        assert!((Scheme::Parity.storage_overhead_pct() - 3.125).abs() < 1e-9);
+        assert!((Scheme::Hamming.storage_overhead_pct() - 18.75).abs() < 1e-9);
+        assert!((Scheme::Secded.storage_overhead_pct() - 21.875).abs() < 1e-9);
+        assert!((Scheme::Dected.storage_overhead_pct() - 71.875).abs() < 1e-9);
+        assert!((Scheme::Tecqed.storage_overhead_pct() - 87.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capability_ordering_is_monotone() {
+        for w in Scheme::ALL.windows(2) {
+            assert!(w[0].corrects() <= w[1].corrects());
+            assert!(w[0].detects_as_edc() <= w[1].detects_as_edc());
+        }
+    }
+
+    #[test]
+    fn penny_beats_ecc_at_same_budget() {
+        // The paper's headline claim: using the *same* SECDED bits, Penny
+        // (detection-only + re-execution) handles 3-bit errors while ECC
+        // corrects only 1.
+        assert_eq!(Scheme::Secded.corrects(), 1);
+        assert_eq!(Scheme::Secded.detects_as_edc(), 3);
+    }
+
+    #[test]
+    fn codecs_roundtrip() {
+        for scheme in Scheme::ALL.iter().skip(1) {
+            let codec = scheme.codec().expect("codec");
+            for data in [0u32, 0xFFFF_FFFF, 0x1357_9BDF] {
+                match codec.decode(codec.encode(data)) {
+                    Decode::Clean(d) => assert_eq!(d, data, "{scheme}"),
+                    other => panic!("{scheme}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn none_has_no_codec() {
+        assert!(Scheme::None.codec().is_none());
+    }
+}

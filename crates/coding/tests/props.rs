@@ -1,0 +1,107 @@
+//! Property-based tests for the coding layer: every scheme's claimed
+//! detect/correct capability, exercised on random words and random error
+//! patterns.
+
+use proptest::prelude::*;
+
+use penny_coding::{Bch, Decode, Parity, Scheme};
+
+fn distinct_bits(n: usize, count: usize, seed: u64) -> Vec<u32> {
+    let mut bits: Vec<u32> = (0..n as u32).collect();
+    let mut s = seed | 1;
+    for i in 0..count {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let j = i + (s as usize) % (n - i);
+        bits.swap(i, j);
+    }
+    bits.truncate(count);
+    bits
+}
+
+proptest! {
+    /// Parity never flags a clean word and always flags odd weights.
+    #[test]
+    fn parity_properties(data: u32, seed: u64, weight in 1usize..7) {
+        let p = Parity::new();
+        let word = p.encode(data);
+        prop_assert_eq!(p.decode(word), Decode::Clean(data));
+        let mut w = word;
+        for b in distinct_bits(33, weight, seed) {
+            w ^= 1u64 << b;
+        }
+        if weight % 2 == 1 {
+            prop_assert_eq!(p.decode(w), Decode::Detected);
+        } else {
+            // Even-weight flips are invisible to single parity; the word
+            // must decode (possibly to wrong data) without detection.
+            prop_assert!(matches!(p.decode(w), Decode::Clean(_)));
+        }
+    }
+
+    /// Every BCH family corrects up to its designed `t` random flips.
+    #[test]
+    fn bch_corrects_up_to_t(data: u32, seed: u64, t in 1usize..4, flips in 1usize..4) {
+        prop_assume!(flips <= t);
+        let code = Bch::new(t, true);
+        let n = code.n();
+        let mut w = code.encode(data);
+        for b in distinct_bits(n, flips, seed) {
+            w ^= 1u64 << b;
+        }
+        match code.decode(w) {
+            Decode::Corrected { data: d, flipped } => {
+                prop_assert_eq!(d, data);
+                prop_assert_eq!(flipped, flips);
+            }
+            other => prop_assert!(false, "t={} flips={} -> {:?}", t, flips, other),
+        }
+    }
+
+    /// Extended BCH never silently corrupts on `t + 1` flips: the
+    /// outcome is a detection or (harmlessly) the original data.
+    #[test]
+    fn bch_detects_t_plus_one(data: u32, seed: u64, t in 1usize..4) {
+        let code = Bch::new(t, true);
+        let n = code.n();
+        let mut w = code.encode(data);
+        for b in distinct_bits(n, t + 1, seed) {
+            w ^= 1u64 << b;
+        }
+        match code.decode(w) {
+            Decode::Detected => {}
+            Decode::Clean(d) | Decode::Corrected { data: d, .. } => {
+                prop_assert_eq!(d, data, "t+1 flips silently corrupted");
+            }
+        }
+    }
+
+    /// Detection-only use: any scheme flags any corrupted word it cannot
+    /// silently alias — and *every* scheme flags weight-1 corruption.
+    #[test]
+    fn single_flip_never_survives_any_scheme(data: u32, bit_seed: u64) {
+        for scheme in Scheme::ALL.iter().skip(1) {
+            let codec = scheme.codec().expect("codec");
+            let bit = bit_seed % codec.n() as u64;
+            let w = codec.encode(data) ^ (1u64 << bit);
+            match codec.decode(w) {
+                Decode::Clean(_) => prop_assert!(false, "{scheme}: single flip invisible"),
+                Decode::Corrected { data: d, .. } => prop_assert_eq!(d, data),
+                Decode::Detected => {}
+            }
+        }
+    }
+
+    /// The cost model is monotone in redundancy: more check bits, more
+    /// area/energy.
+    #[test]
+    fn cost_model_is_monotone(extra_a in 1usize..24, extra_b in 1usize..24) {
+        prop_assume!(extra_a < extra_b);
+        let a = penny_coding::HwCost::model(32 + extra_a, 32, 1);
+        let b = penny_coding::HwCost::model(32 + extra_b, 32, 1);
+        prop_assert!(a.area_pct < b.area_pct);
+        prop_assert!(a.energy_pct < b.energy_pct);
+        prop_assert!(a.leakage_pct < b.leakage_pct);
+    }
+}

@@ -1,0 +1,341 @@
+//! Live-in computation, last-update-point discovery, and checkpoint
+//! placement — eager (Bolt-style, paper §3) and bimodal (Penny §6.2).
+
+use std::collections::{HashMap, HashSet};
+
+use penny_analysis::{DefSite, Liveness, LoopInfo, ReachingDefs};
+use penny_graph::bipartite::{BipartiteCover, Side};
+use penny_ir::{Color, InstId, Kernel, Loc, Op, RegionId, Type, VReg};
+
+use crate::cost::{checkpoint_cost, BCP_COST_BASE};
+use crate::regionmap::RegionMap;
+
+/// One LUP-to-boundary relation: definition `def` of `reg` reaches the
+/// boundary of `region`, where `reg` is live-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LupEdge {
+    /// The defining instruction (last update point).
+    pub def: DefSite,
+    /// The region whose boundary consumes the definition.
+    pub region: RegionId,
+    /// The register involved.
+    pub reg: VReg,
+}
+
+/// Live-in registers per region (indexed by region id).
+pub fn region_live_ins(kernel: &Kernel, rm: &RegionMap, lv: &Liveness) -> Vec<Vec<VReg>> {
+    rm.markers()
+        .iter()
+        .map(|&(_, loc, _)| {
+            lv.live_set_before(kernel, loc).iter().map(|i| VReg(i as u32)).collect()
+        })
+        .collect()
+}
+
+/// Computes all LUP edges (paper figure 2's many-to-many relation).
+pub fn lup_edges(
+    kernel: &Kernel,
+    rm: &RegionMap,
+    live_ins: &[Vec<VReg>],
+    rd: &ReachingDefs,
+) -> Vec<LupEdge> {
+    let mut edges = Vec::new();
+    for &(region, loc, _) in rm.markers() {
+        for &reg in &live_ins[region.index()] {
+            for def in rd.reaching_defs_of(kernel, loc, reg) {
+                edges.push(LupEdge { def, region, reg });
+            }
+        }
+    }
+    edges
+}
+
+/// Where a checkpoint is placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CkptPos {
+    /// Immediately after the defining instruction (eager/LUP placement).
+    AfterLup(InstId),
+    /// Immediately before the region's entry marker (boundary placement).
+    BeforeBoundary(RegionId),
+}
+
+/// A planned checkpoint: register + position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// Register to save.
+    pub reg: VReg,
+    /// Where to save it.
+    pub pos: CkptPos,
+}
+
+/// Bolt's eager placement: one checkpoint right after every LUP.
+pub fn eager_placement(edges: &[LupEdge]) -> Vec<Placement> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for e in edges {
+        if seen.insert((e.def.inst, e.reg)) {
+            out.push(Placement { reg: e.reg, pos: CkptPos::AfterLup(e.def.inst) });
+        }
+    }
+    out
+}
+
+/// Penny's bimodal checkpoint placement: per register, solve the
+/// LUP-vs-boundary minimum-weight vertex cover (paper §6.2) with weights
+/// `2^loop-depth`.
+pub fn bimodal_placement(
+    _kernel: &Kernel,
+    rm: &RegionMap,
+    loops: &LoopInfo,
+    edges: &[LupEdge],
+) -> Vec<Placement> {
+    // Group edges per register.
+    let mut by_reg: HashMap<VReg, Vec<&LupEdge>> = HashMap::new();
+    for e in edges {
+        by_reg.entry(e.reg).or_default().push(e);
+    }
+    let mut out = Vec::new();
+    let mut regs: Vec<VReg> = by_reg.keys().copied().collect();
+    regs.sort();
+    for reg in regs {
+        let es = &by_reg[&reg];
+        // Dense indices for LUPs and boundaries of this register.
+        let mut lups: Vec<InstId> = Vec::new();
+        let mut lup_locs: Vec<Loc> = Vec::new();
+        let mut bounds: Vec<RegionId> = Vec::new();
+        for e in es.iter() {
+            if !lups.contains(&e.def.inst) {
+                lups.push(e.def.inst);
+                lup_locs.push(e.def.loc);
+            }
+            if !bounds.contains(&e.region) {
+                bounds.push(e.region);
+            }
+        }
+        let mut g = BipartiteCover::new();
+        for &loc in &lup_locs {
+            g.add_left(checkpoint_cost(loops, loc, BCP_COST_BASE));
+        }
+        for &r in &bounds {
+            g.add_right(checkpoint_cost(loops, rm.marker_loc(r), BCP_COST_BASE));
+        }
+        for e in es.iter() {
+            let li = lups.iter().position(|&x| x == e.def.inst).expect("lup indexed");
+            let bi = bounds.iter().position(|&x| x == e.region).expect("boundary indexed");
+            g.add_edge(li, bi);
+        }
+        let cover = g.solve();
+        for &(side, i) in &cover.chosen {
+            let pos = match side {
+                Side::Left => CkptPos::AfterLup(lups[i]),
+                Side::Right => CkptPos::BeforeBoundary(bounds[i]),
+            };
+            out.push(Placement { reg, pos });
+        }
+    }
+    out
+}
+
+/// Inserts `cp` pseudo-instructions for the given placements; returns the
+/// new checkpoint instruction ids.
+///
+/// All checkpoints start with color `K0`; overwrite prevention recolors
+/// them later.
+pub fn insert_checkpoints(kernel: &mut Kernel, placements: &[Placement]) -> Vec<InstId> {
+    let mut ids = Vec::with_capacity(placements.len());
+    for p in placements {
+        let anchor = match p.pos {
+            CkptPos::AfterLup(def) => {
+                let loc = kernel.find_inst(def).expect("LUP present");
+                Loc { block: loc.block, idx: loc.idx + 1 }
+            }
+            CkptPos::BeforeBoundary(region) => {
+                let (_, marker) = kernel
+                    .locs()
+                    .find(|(_, i)| i.region_entry() == Some(region))
+                    .map(|(l, i)| (l, i.id))
+                    .expect("marker present");
+                
+                kernel.find_inst(marker).expect("marker loc")
+            }
+        };
+        let cp = kernel.make_inst(
+            Op::Ckpt(Color::K0),
+            Type::U32,
+            None,
+            vec![penny_ir::Operand::Reg(p.reg)],
+        );
+        ids.push(cp.id);
+        kernel.insert_at(anchor, cp);
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::form_regions;
+    use penny_analysis::AliasOptions;
+    use penny_ir::parse_kernel;
+
+    /// Figure-1 style kernel: two regions; %r1-ish value crosses the
+    /// boundary.
+    fn two_region_kernel() -> Kernel {
+        let mut k = parse_kernel(
+            r#"
+            .kernel f .params A
+            entry:
+                mov.u32 %r0, 16
+                ld.param.u32 %r9, [A]
+                ld.global.u32 %r1, [%r0]
+                add.u32 %r2, %r1, 5
+                st.global.u32 [%r0], %r2
+                add.u32 %r3, %r2, 1
+                st.global.u32 [%r9], %r3
+                ret
+        "#,
+        )
+        .expect("parse");
+        form_regions(&mut k, AliasOptions::default());
+        k
+    }
+
+    fn setup(k: &Kernel) -> (RegionMap, Vec<Vec<VReg>>, Vec<LupEdge>) {
+        let rm = RegionMap::compute(k);
+        let lv = Liveness::compute(k);
+        let rd = ReachingDefs::compute(k);
+        let live = region_live_ins(k, &rm, &lv);
+        let edges = lup_edges(k, &rm, &live, &rd);
+        (rm, live, edges)
+    }
+
+    #[test]
+    fn live_ins_cross_the_boundary() {
+        let k = two_region_kernel();
+        let (rm, live, _) = setup(&k);
+        assert!(rm.len() >= 2);
+        // Region 0 (entry) has no live-ins.
+        assert!(live[0].is_empty(), "{:?}", live[0]);
+        // The store region needs %r0 (VReg 0: address) and %r2 (VReg 3:
+        // value; parse order assigns %r0=0, %r9=1, %r1=2, %r2=3).
+        let r1 = &live[1];
+        assert!(r1.contains(&VReg(0)), "{r1:?}");
+        assert!(r1.contains(&VReg(3)), "{r1:?}");
+    }
+
+    #[test]
+    fn eager_places_one_cp_per_lup() {
+        let k = two_region_kernel();
+        let (_, _, edges) = setup(&k);
+        let ps = eager_placement(&edges);
+        // Each (def, reg) once, positioned after the LUP.
+        let mut seen = HashSet::new();
+        for p in &ps {
+            assert!(matches!(p.pos, CkptPos::AfterLup(_)));
+            assert!(seen.insert((p.reg, p.pos)), "duplicate {p:?}");
+        }
+        assert!(!ps.is_empty());
+    }
+
+    #[test]
+    fn insert_checkpoints_preserves_validity() {
+        let mut k = two_region_kernel();
+        let (_, _, edges) = setup(&k);
+        let ps = eager_placement(&edges);
+        let ids = insert_checkpoints(&mut k, &ps);
+        assert_eq!(ids.len(), ps.len());
+        penny_ir::validate(&k).expect("valid after insertion");
+        assert_eq!(k.checkpoints().len(), ps.len());
+        // Each checkpoint sits right after its LUP.
+        for (p, id) in ps.iter().zip(&ids) {
+            let cp_loc = k.find_inst(*id).expect("cp");
+            if let CkptPos::AfterLup(def) = p.pos {
+                let def_loc = k.find_inst(def).expect("def");
+                assert_eq!(cp_loc.block, def_loc.block);
+                assert_eq!(cp_loc.idx, def_loc.idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bimodal_moves_loop_checkpoints_to_boundary() {
+        // A register updated in a loop, consumed by a region boundary
+        // after the loop: LUP placement costs 2^1, boundary placement
+        // costs 2^0 -> BCP must choose the boundary.
+        let mut k = parse_kernel(
+            r#"
+            .kernel l .params A N
+            entry:
+                mov.u32 %r0, 0
+                mov.u32 %r1, 0
+                ld.param.u32 %r2, [A]
+                ld.param.u32 %r3, [N]
+                jmp head
+            head:
+                add.u32 %r1, %r1, %r0
+                add.u32 %r0, %r0, 1
+                setp.lt.u32 %p0, %r0, %r3
+                bra %p0, head, after
+            after:
+                ld.global.u32 %r4, [%r2]
+                st.global.u32 [%r2], %r4
+                add.u32 %r5, %r4, %r1
+                st.global.u32 [%r2+4], %r5
+                ret
+        "#,
+        )
+        .expect("parse");
+        form_regions(&mut k, AliasOptions::default());
+        let rm = RegionMap::compute(&k);
+        let loops = LoopInfo::compute(&k);
+        let lv = Liveness::compute(&k);
+        let rd = ReachingDefs::compute(&k);
+        let live = region_live_ins(&k, &rm, &lv);
+        let edges = lup_edges(&k, &rm, &live, &rd);
+        let bimodal = bimodal_placement(&k, &rm, &loops, &edges);
+        // %r1's LUP is in the loop; its only consumer boundary is the
+        // post-loop cut (depth 0): boundary placement wins.
+        let r1_places: Vec<&Placement> =
+            bimodal.iter().filter(|p| p.reg == VReg(1)).collect();
+        assert!(!r1_places.is_empty());
+        for p in r1_places {
+            assert!(
+                matches!(p.pos, CkptPos::BeforeBoundary(_)),
+                "expected boundary placement, got {p:?}"
+            );
+        }
+        // Bimodal never costs more than eager.
+        let eager = eager_placement(&edges);
+        let cost = |ps: &[Placement]| -> u64 {
+            ps.iter()
+                .map(|p| match p.pos {
+                    CkptPos::AfterLup(d) => {
+                        checkpoint_cost(&loops, k.find_inst(d).expect("loc"), BCP_COST_BASE)
+                    }
+                    CkptPos::BeforeBoundary(r) => {
+                        checkpoint_cost(&loops, rm.marker_loc(r), BCP_COST_BASE)
+                    }
+                })
+                .sum()
+        };
+        assert!(cost(&bimodal) <= cost(&eager), "bimodal must not regress");
+    }
+
+    #[test]
+    fn every_lup_edge_is_covered_by_bimodal() {
+        let k = two_region_kernel();
+        let (rm, _, edges) = setup(&k);
+        let loops = LoopInfo::compute(&k);
+        let ps = bimodal_placement(&k, &rm, &loops, &edges);
+        for e in &edges {
+            let covered = ps.iter().any(|p| {
+                p.reg == e.reg
+                    && match p.pos {
+                        CkptPos::AfterLup(d) => d == e.def.inst,
+                        CkptPos::BeforeBoundary(r) => r == e.region,
+                    }
+            });
+            assert!(covered, "edge {e:?} uncovered");
+        }
+    }
+}

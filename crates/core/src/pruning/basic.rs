@@ -1,0 +1,81 @@
+//! Bolt's *basic* checkpoint pruning: random solution search
+//! (paper §6.4's description of the prior state of the art).
+//!
+//! Bolt preconceives a random n-bit string (bit i = "checkpoint i is
+//! pruned"), validates the whole solution, and accepts the first valid
+//! one it encounters. The search space is 2^n, so the accepted solution
+//! is usually far from optimal — exactly the gap figure 12 quantifies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use penny_ir::{InstId, Kernel};
+
+use super::optimal::{AssumeTable, Optimizer, PruneDecisions};
+use super::slice_builder::{Assume, BuildResult};
+
+/// Runs Bolt's random-search pruning.
+///
+/// Tries `trials` random subsets (with random densities); the first
+/// subset whose every member validates becomes the answer. Falls back to
+/// pruning nothing.
+pub fn basic_prune(
+    opt: &Optimizer<'_>,
+    kernel: &Kernel,
+    assume: &AssumeTable,
+    seed: u64,
+    trials: u32,
+) -> PruneDecisions {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _n = opt.checkpoints.len();
+    let mut accepted: Option<Vec<InstId>> = None;
+    for _ in 0..trials {
+        let density: f64 = rng.gen_range(0.1..0.9);
+        let subset: Vec<InstId> = opt
+            .checkpoints
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(density))
+            .collect();
+        if subset.is_empty() {
+            continue;
+        }
+        // Preconceive the whole solution, then validate it.
+        for &cp in &opt.checkpoints {
+            let a = if subset.contains(&cp) { Assume::Pruned } else { Assume::Committed };
+            assume.set(cp, a);
+        }
+        let valid = subset.iter().all(|&cp| {
+            // Dead checkpoints validate trivially.
+            if opt.consumers.get(&cp).map(|c| c.is_empty()).unwrap_or(true) {
+                return true;
+            }
+            let loc = kernel.find_inst(cp).expect("checkpoint present");
+            let reg = opt.regs[&cp];
+            let consumers = opt.consumers.get(&cp).cloned().unwrap_or_default();
+            let forbidden = [cp].into_iter().collect();
+            matches!(
+                opt.builder.build(reg, loc, &consumers, &forbidden),
+                BuildResult::Built(_)
+            )
+        });
+        if valid {
+            accepted = Some(subset);
+            break;
+        }
+    }
+    let pruned = accepted.unwrap_or_default();
+    for &cp in &opt.checkpoints {
+        let a = if pruned.contains(&cp) { Assume::Pruned } else { Assume::Committed };
+        assume.set(cp, a);
+    }
+    let mut out = PruneDecisions::default();
+    for &cp in &opt.checkpoints {
+        if pruned.contains(&cp) {
+            out.pruned.push(cp);
+        } else {
+            out.committed.push(cp);
+        }
+    }
+    out
+}

@@ -1,0 +1,79 @@
+//! Register-pressure estimation.
+//!
+//! Penny's occupancy model needs registers-per-thread; register renaming
+//! (paper §6.3) trades checkpoint-overwrite safety for extra register
+//! pressure, which this module makes visible. Following CRAT (the paper's
+//! register-allocation substrate), pressure is MAXLIVE: the maximum
+//! number of simultaneously live virtual registers at any program point,
+//! plus a small ABI reserve.
+
+use penny_analysis::Liveness;
+use penny_ir::{Kernel, Loc};
+
+/// Registers reserved for addressing/temporaries by the code generator.
+pub const RESERVED_REGS: u32 = 4;
+
+/// Maximum number of simultaneously live registers (plus reserve) —
+/// the per-thread register demand used for occupancy.
+pub fn register_pressure(kernel: &Kernel) -> u32 {
+    let lv = Liveness::compute(kernel);
+    let mut max = 0usize;
+    for b in kernel.block_ids() {
+        let n = kernel.block(b).insts.len();
+        for idx in 0..=n {
+            let live = lv.live_set_before(kernel, Loc { block: b, idx });
+            max = max.max(live.len());
+        }
+    }
+    max as u32 + RESERVED_REGS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penny_ir::parse_kernel;
+
+    #[test]
+    fn pressure_counts_overlapping_lifetimes() {
+        let low = parse_kernel(
+            r#"
+            .kernel low .params A
+            entry:
+                ld.param.u32 %r0, [A]
+                ld.global.u32 %r1, [%r0]
+                st.global.u32 [%r0], %r1
+                ret
+        "#,
+        )
+        .expect("parse");
+        let high = parse_kernel(
+            r#"
+            .kernel high .params A
+            entry:
+                ld.param.u32 %r0, [A]
+                ld.global.u32 %r1, [%r0]
+                ld.global.u32 %r2, [%r0+4]
+                ld.global.u32 %r3, [%r0+8]
+                ld.global.u32 %r4, [%r0+12]
+                add.u32 %r5, %r1, %r2
+                add.u32 %r6, %r3, %r4
+                add.u32 %r7, %r5, %r6
+                st.global.u32 [%r0], %r7
+                ret
+        "#,
+        )
+        .expect("parse");
+        let p_low = register_pressure(&low);
+        let p_high = register_pressure(&high);
+        assert!(p_high > p_low, "{p_high} vs {p_low}");
+        assert_eq!(p_low, 2 + RESERVED_REGS);
+        assert_eq!(p_high, 5 + RESERVED_REGS);
+    }
+
+    #[test]
+    fn empty_kernel_has_reserve_only() {
+        let mut k = Kernel::new("e", &[]);
+        k.add_block("entry");
+        assert_eq!(register_pressure(&k), RESERVED_REGS);
+    }
+}

@@ -1,0 +1,220 @@
+//! Automatic checkpoint storage assignment (paper §6.5).
+//!
+//! Committed checkpoints live in shared or global memory (both ECC
+//! protected in GPUs). Shared memory is fast but scarce; filling it past
+//! the occupancy-preserving budget would throttle warp-level parallelism.
+//! Penny therefore scores registers by their accumulated checkpoint cost
+//! and packs the hottest ones into shared memory until the budget runs
+//! out.
+
+use std::collections::HashMap;
+
+use penny_analysis::LoopInfo;
+use penny_ir::{Color, Kernel, MemSpace, VReg};
+
+use crate::config::{LaunchDims, MachineParams, StoragePolicy};
+use crate::cost::{checkpoint_cost, PRUNE_COST_BASE};
+use crate::meta::SlotRef;
+
+/// The result of storage assignment.
+#[derive(Debug, Clone, Default)]
+pub struct StorageAssignment {
+    /// Slot per (register, color index).
+    pub slots: HashMap<(VReg, usize), SlotRef>,
+    /// Bytes of shared checkpoint storage per block.
+    pub shared_bytes: u32,
+    /// Number of global slots.
+    pub global_slots: u32,
+}
+
+/// Assigns storage for every committed checkpoint currently in the
+/// kernel.
+pub fn assign_storage(
+    kernel: &Kernel,
+    policy: StoragePolicy,
+    machine: &MachineParams,
+    launch: &LaunchDims,
+    regs_per_thread: u32,
+) -> StorageAssignment {
+    let loops = LoopInfo::compute(kernel);
+    // Score each (reg, color) by total checkpoint cost (paper §6.1).
+    let mut scores: HashMap<(VReg, usize), u64> = HashMap::new();
+    for (loc, _, reg) in kernel.checkpoints() {
+        let color = kernel.inst_at(loc).ckpt_color().unwrap_or(Color::K0);
+        *scores.entry((reg, color.index())).or_insert(0) +=
+            checkpoint_cost(&loops, loc, PRUNE_COST_BASE);
+    }
+    let mut keys: Vec<(VReg, usize)> = scores.keys().copied().collect();
+    // Hottest first; ties by register id for determinism.
+    keys.sort_by_key(|k| (std::cmp::Reverse(scores[k]), k.0, k.1));
+
+    let tpb = launch.threads_per_block();
+    let slot_shared_bytes = tpb * 4;
+    let budget = match policy {
+        StoragePolicy::Global => 0,
+        StoragePolicy::Shared => machine.shared_per_sm.saturating_sub(kernel.shared_bytes),
+        StoragePolicy::Auto => {
+            shared_budget(machine, launch, regs_per_thread, kernel.shared_bytes)
+        }
+    };
+
+    let mut out = StorageAssignment::default();
+    let mut shared_used = 0u32;
+    let mut shared_index = 0u32;
+    let mut global_index = 0u32;
+    for key in keys {
+        if shared_used + slot_shared_bytes <= budget {
+            out.slots.insert(key, SlotRef { space: MemSpace::Shared, index: shared_index });
+            shared_index += 1;
+            shared_used += slot_shared_bytes;
+        } else {
+            out.slots.insert(key, SlotRef { space: MemSpace::Global, index: global_index });
+            global_index += 1;
+        }
+    }
+    out.shared_bytes = shared_used;
+    out.global_slots = global_index;
+    out
+}
+
+/// The largest number of shared bytes per block that keeps the baseline
+/// occupancy (paper: "figure out how much shared memory can be used
+/// without reducing the occupancy").
+pub fn shared_budget(
+    machine: &MachineParams,
+    launch: &LaunchDims,
+    regs_per_thread: u32,
+    program_shared: u32,
+) -> u32 {
+    let tpb = launch.threads_per_block();
+    // The hardware always hosts at least one block; mirror the engine's
+    // clamp so over-limit kernels still get the shared-memory budget of
+    // their single resident block.
+    let baseline = machine.blocks_per_sm(tpb, regs_per_thread, program_shared).max(1);
+    // Max shared-per-block such that blocks_per_sm stays >= baseline.
+    let max_total = machine.shared_per_sm / baseline;
+    max_total.saturating_sub(program_shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penny_ir::{parse_kernel, Op, Type};
+
+    fn kernel_with_cps(n: usize) -> Kernel {
+        let mut k = parse_kernel(
+            r#"
+            .kernel s
+            entry:
+                mov.u32 %r0, 1
+                mov.u32 %r1, 2
+                mov.u32 %r2, 3
+                mov.u32 %r3, 4
+                st.global.u32 [%r0], %r1
+                ret
+        "#,
+        )
+        .expect("parse");
+        for i in 0..n {
+            let cp = k.make_inst(
+                Op::Ckpt(Color::K0),
+                Type::U32,
+                None,
+                vec![penny_ir::Operand::Reg(VReg((i % 4) as u32))],
+            );
+            let end = k.block(penny_ir::BlockId(0)).insts.len() - 1;
+            k.insert_at(penny_ir::Loc { block: penny_ir::BlockId(0), idx: end }, cp);
+        }
+        k
+    }
+
+    #[test]
+    fn global_policy_uses_no_shared() {
+        let k = kernel_with_cps(4);
+        let a = assign_storage(
+            &k,
+            StoragePolicy::Global,
+            &MachineParams::fermi(),
+            &LaunchDims::linear(4, 128),
+            16,
+        );
+        assert_eq!(a.shared_bytes, 0);
+        assert!(a.global_slots > 0);
+        assert!(a.slots.values().all(|s| s.space == MemSpace::Global));
+    }
+
+    #[test]
+    fn shared_policy_prefers_shared() {
+        let k = kernel_with_cps(4);
+        let a = assign_storage(
+            &k,
+            StoragePolicy::Shared,
+            &MachineParams::fermi(),
+            &LaunchDims::linear(4, 128),
+            16,
+        );
+        assert!(a.shared_bytes > 0);
+        assert!(a.slots.values().all(|s| s.space == MemSpace::Shared));
+    }
+
+    #[test]
+    fn auto_respects_occupancy_budget() {
+        let m = MachineParams::fermi();
+        let launch = LaunchDims::linear(4, 128);
+        // Light register use: 8 blocks/SM baseline; budget = 48K/8 = 6K.
+        assert_eq!(shared_budget(&m, &launch, 16, 0), 6 * 1024);
+        // Heavy register use: 4 blocks/SM; budget = 12K.
+        assert_eq!(shared_budget(&m, &launch, 63, 0), 12 * 1024);
+        // Program shared memory eats the budget entirely when it already
+        // sits at the per-block limit (48K/8 blocks = 6K).
+        assert_eq!(shared_budget(&m, &launch, 16, 6 * 1024), 0);
+        // With a smaller program footprint, the remainder is available.
+        assert_eq!(shared_budget(&m, &launch, 16, 4 * 1024), 2 * 1024);
+    }
+
+    #[test]
+    fn auto_spills_to_global_when_budget_exhausted() {
+        let k = kernel_with_cps(4);
+        // A tiny machine with almost no shared memory.
+        let tiny = MachineParams {
+            shared_per_sm: 1024,
+            ..MachineParams::fermi()
+        };
+        let a = assign_storage(
+            &k,
+            StoragePolicy::Auto,
+            &tiny,
+            &LaunchDims::linear(4, 128),
+            16,
+        );
+        // 1024 / baseline-blocks budget < one 512-byte slot per register.
+        assert!(a.global_slots > 0, "{a:?}");
+    }
+
+    #[test]
+    fn distinct_slots_per_register_and_color() {
+        let mut k = kernel_with_cps(2);
+        // Add a K1 checkpoint for register 0.
+        let cp = k.make_inst(
+            Op::Ckpt(Color::K1),
+            Type::U32,
+            None,
+            vec![penny_ir::Operand::Reg(VReg(0))],
+        );
+        let end = k.block(penny_ir::BlockId(0)).insts.len() - 1;
+        k.insert_at(penny_ir::Loc { block: penny_ir::BlockId(0), idx: end }, cp);
+        let a = assign_storage(
+            &k,
+            StoragePolicy::Global,
+            &MachineParams::fermi(),
+            &LaunchDims::linear(4, 128),
+            16,
+        );
+        let mut seen = std::collections::HashSet::new();
+        for slot in a.slots.values() {
+            assert!(seen.insert((slot.space, slot.index)), "slot reused: {slot:?}");
+        }
+        assert!(a.slots.contains_key(&(VReg(0), 0)));
+        assert!(a.slots.contains_key(&(VReg(0), 1)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests of the full compile pipeline on generated
+//! kernels: every configuration must produce valid, anti-dependence-free,
+//! recoverable code.
+
+use proptest::prelude::*;
+
+use penny_analysis::{AliasOptions, Liveness};
+use penny_core::{
+    checkpoint, compile, regions, LaunchDims, OverwritePolicy, PennyConfig, Protection,
+    PruningMode, RegionMap, Restore, StoragePolicy,
+};
+use penny_ir::{Cmp, Kernel, KernelBuilder, MemSpace, Special, Type};
+
+/// Structured random kernels: optional guard, a body with in-place
+/// memory updates (forcing cuts), an optional loop, and divergence.
+fn gen_kernel(shape: u8, ops: &[u8]) -> Kernel {
+    let mut b = KernelBuilder::new("pipe", &["A", "B"]);
+    b.block("entry");
+    let tid = b.special(Special::TidX);
+    let a = b.ld_param("A");
+    let bb = b.ld_param("B");
+    let off = b.shl(Type::U32, tid, 2u32);
+    let addr = b.add(Type::U32, a, off);
+    let out = b.add(Type::U32, bb, off);
+    let mut v = b.ld(MemSpace::Global, Type::U32, addr, 0);
+
+    if shape.is_multiple_of(2) {
+        // A loop with an in-place update: regions per iteration.
+        let head = b.block("head");
+        let exit = b.block("exit");
+        let i = b.imm(0);
+        b.jump(head);
+        b.select(head);
+        for (j, op) in ops.iter().enumerate() {
+            let c = (j as u32 + 1) | 1;
+            v = match op % 4 {
+                0 => b.add(Type::U32, v, c),
+                1 => b.mul(Type::U32, v, c),
+                2 => {
+                    let t = b.ld(MemSpace::Global, Type::U32, addr, 0);
+                    let u = b.add(Type::U32, t, v);
+                    b.st(MemSpace::Global, addr, 0, u);
+                    u
+                }
+                _ => b.xor(Type::U32, v, i),
+            };
+        }
+        let ni = b.add(Type::U32, i, 1u32);
+        b.mov_to(Type::U32, i, ni);
+        let p = b.setp(Cmp::Lt, Type::U32, i, 3u32);
+        b.branch(p, false, head, exit);
+        b.select(exit);
+        b.st(MemSpace::Global, out, 0, v);
+        b.ret();
+    } else {
+        // Divergent in-place updates.
+        let hot = b.block("hot");
+        let cold = b.block("cold");
+        let join = b.block("join");
+        let p = b.setp(Cmp::Lt, Type::U32, tid, 13u32);
+        let merged = b.fresh();
+        b.branch(p, false, hot, cold);
+        b.select(hot);
+        let mut hv = v;
+        for (j, op) in ops.iter().enumerate() {
+            let c = (j as u32 + 1) | 1;
+            hv = match op % 3 {
+                0 => b.add(Type::U32, hv, c),
+                1 => {
+                    let t = b.ld(MemSpace::Global, Type::U32, addr, 0);
+                    let u = b.xor(Type::U32, t, hv);
+                    b.st(MemSpace::Global, addr, 0, u);
+                    u
+                }
+                _ => b.mul(Type::U32, hv, c),
+            };
+        }
+        b.mov_to(Type::U32, merged, hv);
+        b.jump(join);
+        b.select(cold);
+        let cv = b.add(Type::U32, v, 7u32);
+        b.mov_to(Type::U32, merged, cv);
+        b.jump(join);
+        b.select(join);
+        b.st(MemSpace::Global, out, 0, merged);
+        b.ret();
+    }
+    let k = b.finish();
+    penny_ir::validate(&k).expect("generator produced invalid kernel");
+    k
+}
+
+fn configs() -> Vec<PennyConfig> {
+    let dims = LaunchDims::linear(2, 32);
+    let mut cfgs = vec![
+        PennyConfig::penny().with_launch(dims),
+        PennyConfig::bolt_global().with_launch(dims),
+        PennyConfig::bolt_auto().with_launch(dims),
+        PennyConfig::igpu().with_launch(dims),
+        PennyConfig {
+            overwrite: OverwritePolicy::Renaming,
+            ..PennyConfig::penny().with_launch(dims)
+        },
+        PennyConfig {
+            overwrite: OverwritePolicy::Alternation,
+            storage: StoragePolicy::Shared,
+            pruning: PruningMode::None,
+            bcp: false,
+            low_opts: false,
+            ..PennyConfig::penny().with_launch(dims)
+        },
+    ];
+    cfgs.push(PennyConfig { protection: Protection::None, ..cfgs[0].clone() });
+    cfgs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The pipeline never produces invalid code, never leaves a memory
+    /// anti-dependence inside a region, and always gives every region
+    /// live-in a restore plan.
+    #[test]
+    fn pipeline_invariants(shape: u8, ops in proptest::collection::vec(0u8..4, 1..10)) {
+        let kernel = gen_kernel(shape, &ops);
+        for cfg in configs() {
+            let protected = compile(&kernel, &cfg)
+                .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+            penny_ir::validate(&protected.kernel)
+                .unwrap_or_else(|e| panic!("{cfg:?}: output invalid: {e}"));
+            if matches!(cfg.protection, Protection::None) {
+                continue;
+            }
+            // No anti-dependence survives inside any region.
+            prop_assert!(
+                regions::verify_no_antidep(&protected.kernel, AliasOptions::default()),
+                "anti-dependence survives under {cfg:?}"
+            );
+            // Every live-in of every region has a restore (skip iGPU:
+            // it relies on ECC, not restores).
+            if matches!(cfg.protection, Protection::Penny | Protection::Bolt) {
+                let rm = RegionMap::compute(&protected.kernel);
+                let lv = Liveness::compute(&protected.kernel);
+                let live = checkpoint::region_live_ins(&protected.kernel, &rm, &lv);
+                for info in &protected.regions {
+                    let region_live = &live[info.id.index()];
+                    for reg in region_live {
+                        // Codegen setup registers are restored separately.
+                        let in_restores =
+                            info.restores.iter().any(|(r, _)| r == reg);
+                        let in_setup =
+                            protected.setup.iter().any(|(r, _)| r == reg);
+                        prop_assert!(
+                            in_restores || in_setup,
+                            "{reg} live into {} has no restore under {cfg:?}",
+                            info.id
+                        );
+                    }
+                    for (_, restore) in &info.restores {
+                        if let Restore::Slice(s) = restore {
+                            prop_assert!(!s.is_empty());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Region formation alone is idempotent in its postcondition and
+    /// keeps region ids dense.
+    #[test]
+    fn region_formation_postconditions(shape: u8, ops in proptest::collection::vec(0u8..4, 1..10)) {
+        let mut k = gen_kernel(shape, &ops);
+        let n = regions::form_regions(&mut k, AliasOptions::default());
+        prop_assert!(n >= 1);
+        prop_assert!(regions::regions_are_dense(&k));
+        prop_assert!(regions::verify_no_antidep(&k, AliasOptions::default()));
+        penny_ir::validate(&k).expect("valid after region formation");
+        prop_assert_eq!(regions::region_count(&k), n);
+    }
+}

@@ -1,0 +1,197 @@
+//! Scenario tests for the optimal pruning phases: trivially prunable
+//! values, committed memory-dependent values, and the phase-2 decision
+//! dependences where one checkpoint's fate rides on another's.
+
+use penny_analysis::{AliasOptions, Liveness, ReachingDefs};
+use penny_core::{checkpoint, regions, PruningMode, RegionMap};
+use penny_ir::{Kernel, VReg};
+
+fn prepared(src: &str) -> (Kernel, RegionMap) {
+    let mut k = penny_ir::parse_kernel(src).expect("parse");
+    regions::form_regions(&mut k, AliasOptions::default());
+    let rm = RegionMap::compute(&k);
+    let lv = Liveness::compute(&k);
+    let rd = ReachingDefs::compute(&k);
+    let live = checkpoint::region_live_ins(&k, &rm, &lv);
+    let edges = checkpoint::lup_edges(&k, &rm, &live, &rd);
+    let ps = checkpoint::eager_placement(&edges);
+    checkpoint::insert_checkpoints(&mut k, &ps);
+    let rm = RegionMap::compute(&k);
+    (k, rm)
+}
+
+fn pruned_regs(k: &Kernel, out: &penny_core::pruning::PruneOutcome) -> Vec<VReg> {
+    out.decisions
+        .pruned
+        .iter()
+        .map(|&id| k.inst_at(k.find_inst(id).expect("cp")).ckpt_reg())
+        .collect()
+}
+
+fn committed_regs(k: &Kernel, out: &penny_core::pruning::PruneOutcome) -> Vec<VReg> {
+    out.decisions
+        .committed
+        .iter()
+        .map(|&id| k.inst_at(k.find_inst(id).expect("cp")).ckpt_reg())
+        .collect()
+}
+
+/// A value derived from another checkpointed value whose own recompute
+/// fails (memory overwritten): its pruning decision *depends on* the
+/// other checkpoint being committed — the ϕU → phase-2 path.
+#[test]
+fn dependent_value_prunes_via_committed_checkpoint() {
+    // %r1 loads from memory that is later overwritten -> its checkpoint
+    // must commit. %r2 = %r1 + 1 is recomputable *from %r1's slot*:
+    // phase 2 should prune %r2's checkpoint with a LoadSlot slice.
+    let (k, rm) = prepared(
+        r#"
+        .kernel dep
+        entry:
+            mov.u32 %r0, 64
+            ld.global.u32 %r1, [%r0]
+            add.u32 %r2, %r1, 1
+            st.global.u32 [%r0], %r2
+            add.u32 %r3, %r2, %r1
+            st.global.u32 [%r0+4], %r3
+            ret
+    "#,
+    );
+    let out = penny_core::pruning::prune(&k, &rm, PruningMode::Optimal);
+    let committed = committed_regs(&k, &out);
+    let pruned = pruned_regs(&k, &out);
+    assert!(
+        committed.contains(&VReg(1)),
+        "memory-dependent %r1 must commit: committed={committed:?}"
+    );
+    assert!(
+        pruned.contains(&VReg(2)),
+        "%r2 should prune via %r1's slot: pruned={pruned:?} committed={committed:?}"
+    );
+}
+
+/// Negated-branch predicate dependence: values defined under `@!p`-style
+/// control still reconstruct with the right select polarity.
+#[test]
+fn negated_branch_polarity_is_respected() {
+    let (k, rm) = prepared(
+        r#"
+        .kernel neg .params A
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [A]
+            setp.ge.u32 %p0, %r0, 16
+            bra !%p0, low, high
+        low:
+            mov.u32 %r2, 111
+            jmp join
+        high:
+            mov.u32 %r2, 222
+            jmp join
+        join:
+            shl.u32 %r3, %r0, 2
+            add.u32 %r4, %r1, %r3
+            ld.global.u32 %r5, [%r4]
+            st.global.u32 [%r4], %r5
+            add.u32 %r6, %r5, %r2
+            st.global.u32 [%r4+4], %r6
+            ret
+    "#,
+    );
+    let out = penny_core::pruning::prune(&k, &rm, PruningMode::Optimal);
+    let pruned = pruned_regs(&k, &out);
+    assert!(pruned.contains(&VReg(3)), "merged %r2 (VReg 3) should prune: {pruned:?}");
+}
+
+/// Checkpoints with no consumers (dead) always prune, in both modes.
+#[test]
+fn dead_checkpoints_prune_in_basic_mode_too() {
+    let (k, rm) = prepared(
+        r#"
+        .kernel live .params A B
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [A]
+            ld.param.u32 %r2, [B]
+            shl.u32 %r3, %r0, 2
+            add.u32 %r4, %r1, %r3
+            ld.global.u32 %r5, [%r4]
+            st.global.u32 [%r4], %r5
+            add.u32 %r6, %r2, %r3
+            st.global.u32 [%r6], %r5
+            ret
+    "#,
+    );
+    for mode in [PruningMode::Optimal, PruningMode::Basic { seed: 9, trials: 32 }] {
+        let out = penny_core::pruning::prune(&k, &rm, mode);
+        assert_eq!(
+            out.decisions.pruned.len() + out.decisions.committed.len(),
+            out.total as usize
+        );
+    }
+}
+
+/// Optimal pruning is deterministic: same input, same decisions.
+#[test]
+fn optimal_pruning_is_deterministic() {
+    let src = r#"
+        .kernel det .params A N
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [A]
+            ld.param.u32 %r2, [N]
+            shl.u32 %r3, %r0, 2
+            add.u32 %r4, %r1, %r3
+            ld.global.u32 %r5, [%r4]
+            mul.u32 %r6, %r5, %r2
+            st.global.u32 [%r4], %r6
+            add.u32 %r7, %r6, 1
+            st.global.u32 [%r4], %r7
+            ret
+    "#;
+    let (k1, rm1) = prepared(src);
+    let (k2, rm2) = prepared(src);
+    let a = penny_core::pruning::prune(&k1, &rm1, PruningMode::Optimal);
+    let b = penny_core::pruning::prune(&k2, &rm2, PruningMode::Optimal);
+    assert_eq!(a.decisions.pruned.len(), b.decisions.pruned.len());
+    assert_eq!(a.optimal_pruned_count, b.optimal_pruned_count);
+    assert_eq!(a.basic_pruned_count, b.basic_pruned_count);
+}
+
+/// Bolt's random search never prunes a checkpoint the validator rejects:
+/// whatever it returns, the committed set still covers every region
+/// live-in through slots or buildable slices (compile-level check).
+#[test]
+fn basic_pruning_is_safe_end_to_end() {
+    use penny_core::{compile, LaunchDims, PennyConfig};
+    let src = r#"
+        .kernel safe .params A
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [A]
+            shl.u32 %r2, %r0, 2
+            add.u32 %r3, %r1, %r2
+            ld.global.u32 %r4, [%r3]
+            add.u32 %r5, %r4, 3
+            st.global.u32 [%r3], %r5
+            mul.u32 %r6, %r5, %r4
+            st.global.u32 [%r3], %r6
+            ret
+    "#;
+    let kernel = penny_ir::parse_kernel(src).expect("parse");
+    for seed in 0..10u64 {
+        let cfg = PennyConfig {
+            pruning: PruningMode::Basic { seed, trials: 32 },
+            ..PennyConfig::penny()
+        }
+        .with_launch(LaunchDims::linear(1, 32));
+        let protected = compile(&kernel, &cfg).expect("compile");
+        for region in &protected.regions {
+            for (_, restore) in &region.restores {
+                if let penny_core::Restore::Slice(s) = restore {
+                    assert!(!s.is_empty());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Graph algorithms underpinning the Penny compiler.
+//!
+//! The Penny paper relies on three classic graph results:
+//!
+//! * **Max-flow / min-cut** (Dinic's algorithm, [`maxflow`]) — used to solve
+//!   the weighted bipartite vertex-cover formulation of bimodal checkpoint
+//!   placement (paper §6.2, via König's theorem).
+//! * **Strongly connected components** (Tarjan, [`scc`]) — used to order the
+//!   decision-dependence graph during optimal checkpoint pruning (paper
+//!   §6.4.2).
+//! * **Topological ordering** of the SCC condensation ([`scc::Condensation`]).
+//!
+//! The crate is IR-agnostic: all graphs are over `usize` vertex ids.
+//!
+//! # Examples
+//!
+//! ```
+//! use penny_graph::bipartite::{BipartiteCover, Side};
+//!
+//! // One LUP (cost 1) feeding two region boundaries (cost 2 each):
+//! // covering the LUP alone is optimal.
+//! let mut g = BipartiteCover::new();
+//! let l = g.add_left(1);
+//! let b1 = g.add_right(2);
+//! let b2 = g.add_right(2);
+//! g.add_edge(l, b1);
+//! g.add_edge(l, b2);
+//! let cover = g.solve();
+//! assert_eq!(cover.total_cost, 1);
+//! assert_eq!(cover.chosen, vec![(Side::Left, l)]);
+//! ```
+
+pub mod bipartite;
+pub mod maxflow;
+pub mod scc;
+pub mod topo;
+
+pub use bipartite::{BipartiteCover, Cover, Side};
+pub use maxflow::MaxFlow;
+pub use scc::{Condensation, StronglyConnectedComponents};
+pub use topo::topological_sort;

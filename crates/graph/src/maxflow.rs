@@ -1,0 +1,259 @@
+//! Dinic's maximum-flow algorithm on an adjacency-list flow network.
+//!
+//! Used by [`crate::bipartite`] to compute minimum-weight vertex covers for
+//! bimodal checkpoint placement. Capacities are `u64`; use
+//! [`MaxFlow::INF`] for effectively-infinite edges.
+
+/// A flow network supporting max-flow queries via Dinic's algorithm.
+///
+/// Vertices are dense `usize` ids in `0..n`. Edges are directed; each added
+/// edge implicitly creates a residual reverse edge of capacity zero.
+///
+/// # Examples
+///
+/// ```
+/// use penny_graph::MaxFlow;
+///
+/// let mut net = MaxFlow::new(4);
+/// net.add_edge(0, 1, 3);
+/// net.add_edge(0, 2, 2);
+/// net.add_edge(1, 3, 2);
+/// net.add_edge(2, 3, 3);
+/// assert_eq!(net.max_flow(0, 3), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxFlow {
+    /// Head of the adjacency list per vertex (edge indices).
+    adj: Vec<Vec<usize>>,
+    /// Flat edge storage: (to, capacity). Edge `i ^ 1` is the reverse of `i`.
+    to: Vec<usize>,
+    cap: Vec<u64>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl MaxFlow {
+    /// Effectively-infinite capacity (large enough to never saturate, small
+    /// enough to never overflow when summed).
+    pub const INF: u64 = u64::MAX / 4;
+
+    /// Creates an empty network with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` if the network has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds a directed edge `from -> to` with capacity `cap`.
+    ///
+    /// Returns the edge index, usable with [`MaxFlow::flow_on`] after a
+    /// [`MaxFlow::max_flow`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> usize {
+        assert!(from < self.len() && to < self.len(), "vertex out of range");
+        let e = self.to.len();
+        self.adj[from].push(e);
+        self.to.push(to);
+        self.cap.push(cap);
+        self.adj[to].push(e + 1);
+        self.to.push(from);
+        self.cap.push(0);
+        e
+    }
+
+    /// Flow currently routed through the edge returned by `add_edge`.
+    pub fn flow_on(&self, edge: usize) -> u64 {
+        // Residual capacity of the reverse edge equals pushed flow.
+        self.cap[edge ^ 1]
+    }
+
+    /// Remaining (residual) capacity of an edge.
+    pub fn residual(&self, edge: usize) -> u64 {
+        self.cap[edge]
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &e in &self.adj[v] {
+                let u = self.to[e];
+                if self.cap[e] > 0 && self.level[u] < 0 {
+                    self.level[u] = self.level[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: u64) -> u64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.adj[v].len() {
+            let e = self.adj[v][self.iter[v]];
+            let u = self.to[e];
+            if self.cap[e] > 0 && self.level[v] < self.level[u] {
+                let d = self.dfs(u, t, f.min(self.cap[e]));
+                if d > 0 {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum flow from `s` to `t`, mutating residual
+    /// capacities in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either vertex is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert!(s < self.len() && t < self.len(), "vertex out of range");
+        assert_ne!(s, t, "source must differ from sink");
+        let mut flow = 0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, u64::MAX);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// After a `max_flow(s, _)` call, returns the set of vertices reachable
+    /// from `s` in the residual graph (the source side of a minimum cut).
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(v) = stack.pop() {
+            for &e in &self.adj[v] {
+                let u = self.to[e];
+                if self.cap[e] > 0 && !seen[u] {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_diamond() {
+        let mut net = MaxFlow::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        assert_eq!(net.max_flow(0, 3), 4);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = MaxFlow::new(3);
+        net.add_edge(0, 1, 10);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn bottleneck_path() {
+        let mut net = MaxFlow::new(5);
+        net.add_edge(0, 1, 10);
+        net.add_edge(1, 2, 1);
+        net.add_edge(2, 3, 10);
+        net.add_edge(3, 4, 10);
+        assert_eq!(net.max_flow(0, 4), 1);
+    }
+
+    #[test]
+    fn flow_on_reports_per_edge_flow() {
+        let mut net = MaxFlow::new(3);
+        let a = net.add_edge(0, 1, 5);
+        let b = net.add_edge(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2), 3);
+        assert_eq!(net.flow_on(a), 3);
+        assert_eq!(net.flow_on(b), 3);
+    }
+
+    #[test]
+    fn min_cut_separates_source_and_sink() {
+        let mut net = MaxFlow::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(1, 3, 10);
+        net.add_edge(2, 3, 10);
+        net.max_flow(0, 3);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0]);
+        assert!(!side[3]);
+        // Saturated source edges: neither 1 nor 2 is reachable.
+        assert!(!side[1] && !side[2]);
+    }
+
+    #[test]
+    fn classic_cormen_network() {
+        // CLRS figure 26.1-style network with known max flow 23.
+        let mut net = MaxFlow::new(6);
+        net.add_edge(0, 1, 16);
+        net.add_edge(0, 2, 13);
+        net.add_edge(1, 2, 10);
+        net.add_edge(2, 1, 4);
+        net.add_edge(1, 3, 12);
+        net.add_edge(3, 2, 9);
+        net.add_edge(2, 4, 14);
+        net.add_edge(4, 3, 7);
+        net.add_edge(3, 5, 20);
+        net.add_edge(4, 5, 4);
+        assert_eq!(net.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn infinite_edges_do_not_overflow() {
+        let mut net = MaxFlow::new(4);
+        net.add_edge(0, 1, 7);
+        net.add_edge(1, 2, MaxFlow::INF);
+        net.add_edge(2, 3, 9);
+        assert_eq!(net.max_flow(0, 3), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "source must differ")]
+    fn same_source_sink_panics() {
+        let mut net = MaxFlow::new(2);
+        net.max_flow(0, 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Tarjan's strongly-connected-components algorithm and SCC condensation.
+//!
+//! Penny's optimal checkpoint pruning (paper §6.4.2) orders undecided
+//! checkpoints by decision dependence. Cyclic dependences are collapsed into
+//! SCCs (each solved by brute force over its members) and the condensation is
+//! processed in topological order.
+
+/// Strongly connected components of a directed graph, computed with
+/// Tarjan's algorithm (iterative, so deep graphs cannot overflow the stack).
+///
+/// Components are emitted in **reverse topological order** of the
+/// condensation: if there is an edge from component A to component B,
+/// B's index is smaller than A's.
+///
+/// # Examples
+///
+/// ```
+/// use penny_graph::StronglyConnectedComponents;
+///
+/// // 0 -> 1 -> 2 -> 0 (a cycle), 2 -> 3.
+/// let scc = StronglyConnectedComponents::compute(4, |v| match v {
+///     0 => vec![1],
+///     1 => vec![2],
+///     2 => vec![0, 3],
+///     _ => vec![],
+/// });
+/// assert_eq!(scc.count(), 2);
+/// assert_eq!(scc.component_of(0), scc.component_of(1));
+/// assert_ne!(scc.component_of(0), scc.component_of(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StronglyConnectedComponents {
+    component: Vec<usize>,
+    members: Vec<Vec<usize>>,
+}
+
+impl StronglyConnectedComponents {
+    /// Computes SCCs for a graph with `n` vertices whose successor lists are
+    /// produced by `succs`.
+    pub fn compute<F>(n: usize, succs: F) -> Self
+    where
+        F: Fn(usize) -> Vec<usize>,
+    {
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut component = vec![UNVISITED; n];
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut next_index = 0usize;
+
+        // Explicit DFS state: (vertex, successor list, next child position).
+        let mut work: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            work.push((root, succs(root), 0));
+            while let Some(&mut (v, ref vsuccs, ref mut i)) = work.last_mut() {
+                if *i < vsuccs.len() {
+                    let w = vsuccs[*i];
+                    *i += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        work.push((w, succs(w), 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&mut (parent, _, _)) = work.last_mut() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let id = members.len();
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component[w] = id;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        members.push(comp);
+                    }
+                }
+            }
+        }
+        Self { component, members }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component id of a vertex.
+    pub fn component_of(&self, v: usize) -> usize {
+        self.component[v]
+    }
+
+    /// Vertices in the given component, in ascending order.
+    pub fn members(&self, component: usize) -> &[usize] {
+        &self.members[component]
+    }
+
+    /// Returns `true` if the vertex sits in a component of size > 1, or has a
+    /// self-loop according to `succs`.
+    pub fn in_cycle<F>(&self, v: usize, succs: F) -> bool
+    where
+        F: Fn(usize) -> Vec<usize>,
+    {
+        self.members(self.component_of(v)).len() > 1 || succs(v).contains(&v)
+    }
+
+    /// Builds the condensation DAG and a topological order over it.
+    pub fn condense<F>(&self, n: usize, succs: F) -> Condensation
+    where
+        F: Fn(usize) -> Vec<usize>,
+    {
+        let c = self.count();
+        let mut edges = vec![Vec::new(); c];
+        for v in 0..n {
+            let cv = self.component_of(v);
+            for w in succs(v) {
+                let cw = self.component_of(w);
+                if cv != cw && !edges[cv].contains(&cw) {
+                    edges[cv].push(cw);
+                }
+            }
+        }
+        // Tarjan emits components in reverse topological order, so the
+        // topological order of the condensation is component count-1 .. 0.
+        let order: Vec<usize> = (0..c).rev().collect();
+        Condensation { edges, order }
+    }
+}
+
+/// The condensation DAG of an SCC decomposition.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    edges: Vec<Vec<usize>>,
+    order: Vec<usize>,
+}
+
+impl Condensation {
+    /// Successor components of a component.
+    pub fn succs(&self, component: usize) -> &[usize] {
+        &self.edges[component]
+    }
+
+    /// Components in topological order (sources first).
+    pub fn topological_order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj(edges: &[(usize, usize)], n: usize) -> impl Fn(usize) -> Vec<usize> + '_ {
+        move |v| {
+            assert!(v < n);
+            edges.iter().filter(|&&(a, _)| a == v).map(|&(_, b)| b).collect()
+        }
+    }
+
+    #[test]
+    fn singleton_components_in_dag() {
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        let scc = StronglyConnectedComponents::compute(3, adj(&edges, 3));
+        assert_eq!(scc.count(), 3);
+        let cond = scc.condense(3, adj(&edges, 3));
+        let order = cond.topological_order();
+        let pos = |v: usize| {
+            order
+                .iter()
+                .position(|&c| c == scc.component_of(v))
+                .expect("component present")
+        };
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn cycle_collapses() {
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3)];
+        let scc = StronglyConnectedComponents::compute(4, adj(&edges, 4));
+        assert_eq!(scc.count(), 2);
+        let c0 = scc.component_of(0);
+        assert_eq!(scc.members(c0), &[0, 1, 2]);
+        assert!(scc.in_cycle(0, adj(&edges, 4)));
+        assert!(!scc.in_cycle(3, adj(&edges, 4)));
+    }
+
+    #[test]
+    fn self_loop_counts_as_cycle() {
+        let edges = [(0, 0), (0, 1)];
+        let scc = StronglyConnectedComponents::compute(2, adj(&edges, 2));
+        assert_eq!(scc.count(), 2);
+        assert!(scc.in_cycle(0, adj(&edges, 2)));
+        assert!(!scc.in_cycle(1, adj(&edges, 2)));
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let edges = [(0, 1), (1, 0), (2, 3), (3, 2)];
+        let scc = StronglyConnectedComponents::compute(4, adj(&edges, 4));
+        assert_eq!(scc.count(), 2);
+        assert_eq!(scc.component_of(0), scc.component_of(1));
+        assert_eq!(scc.component_of(2), scc.component_of(3));
+        assert_ne!(scc.component_of(0), scc.component_of(2));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let n = 200_000;
+        let scc = StronglyConnectedComponents::compute(n, |v| {
+            if v + 1 < n {
+                vec![v + 1]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(scc.count(), n);
+    }
+
+    #[test]
+    fn condensation_topological_order_respects_edges() {
+        let edges = [(0, 1), (1, 2), (2, 1), (2, 3), (4, 0), (3, 5)];
+        let n = 6;
+        let scc = StronglyConnectedComponents::compute(n, adj(&edges, n));
+        let cond = scc.condense(n, adj(&edges, n));
+        let order = cond.topological_order();
+        let pos: Vec<usize> = (0..scc.count())
+            .map(|c| order.iter().position(|&x| x == c).expect("present"))
+            .collect();
+        for c in 0..scc.count() {
+            for &s in cond.succs(c) {
+                assert!(pos[c] < pos[s], "edge {c}->{s} violates topo order");
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Topological sorting of directed acyclic graphs.
+
+/// Computes a topological order (Kahn's algorithm) of a DAG with `n`
+/// vertices.
+///
+/// Returns `None` if the graph contains a cycle.
+///
+/// # Examples
+///
+/// ```
+/// use penny_graph::topological_sort;
+///
+/// let order = penny_graph::topological_sort(3, |v| match v {
+///     0 => vec![1, 2],
+///     1 => vec![2],
+///     _ => vec![],
+/// }).expect("acyclic");
+/// assert_eq!(order, vec![0, 1, 2]);
+/// ```
+pub fn topological_sort<F>(n: usize, succs: F) -> Option<Vec<usize>>
+where
+    F: Fn(usize) -> Vec<usize>,
+{
+    let mut indegree = vec![0usize; n];
+    for v in 0..n {
+        for w in succs(v) {
+            indegree[w] += 1;
+        }
+    }
+    // Use a sorted frontier so the order is deterministic (smallest id first).
+    let mut frontier: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| indegree[v] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(v)) = frontier.pop() {
+        order.push(v);
+        for w in succs(v) {
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                frontier.push(std::cmp::Reverse(w));
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_a_chain() {
+        let order =
+            topological_sort(4, |v| if v + 1 < 4 { vec![v + 1] } else { vec![] }).expect("dag");
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        assert!(topological_sort(2, |v| vec![1 - v]).is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Both 0 and 1 are sources; 0 must come first.
+        let order = topological_sort(3, |v| if v < 2 { vec![2] } else { vec![] }).expect("dag");
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(topological_sort(0, |_| vec![]), Some(vec![]));
+    }
+}

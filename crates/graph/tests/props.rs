@@ -1,0 +1,161 @@
+//! Property-based tests for the graph algorithms.
+
+use proptest::prelude::*;
+
+use penny_graph::bipartite::BipartiteCover;
+use penny_graph::{MaxFlow, StronglyConnectedComponents};
+
+/// Brute-force max-flow via min-cut enumeration on tiny graphs.
+fn brute_min_cut(n: usize, edges: &[(usize, usize, u64)], s: usize, t: usize) -> u64 {
+    let mut best = u64::MAX;
+    for mask in 0u32..(1 << n) {
+        if mask & (1 << s) == 0 || mask & (1 << t) != 0 {
+            continue;
+        }
+        let cut: u64 = edges
+            .iter()
+            .filter(|&&(a, b, _)| mask & (1 << a) != 0 && mask & (1 << b) == 0)
+            .map(|&(_, _, c)| c)
+            .sum();
+        best = best.min(cut);
+    }
+    best
+}
+
+proptest! {
+    /// Dinic's flow equals the brute-force minimum cut (max-flow/min-cut
+    /// theorem) on random graphs of up to 7 vertices.
+    #[test]
+    fn maxflow_equals_brute_force_mincut(
+        n in 2usize..7,
+        raw_edges in proptest::collection::vec((0usize..7, 0usize..7, 1u64..16), 0..18),
+    ) {
+        let edges: Vec<(usize, usize, u64)> = raw_edges
+            .into_iter()
+            .filter(|&(a, b, _)| a < n && b < n && a != b)
+            .collect();
+        let mut net = MaxFlow::new(n);
+        for &(a, b, c) in &edges {
+            net.add_edge(a, b, c);
+        }
+        let flow = net.max_flow(0, n - 1);
+        prop_assert_eq!(flow, brute_min_cut(n, &edges, 0, n - 1));
+    }
+
+    /// Min-cut source side after max-flow: the source is inside, the
+    /// sink outside, and all crossing edges are saturated.
+    #[test]
+    fn min_cut_side_is_a_valid_cut(
+        n in 2usize..7,
+        raw_edges in proptest::collection::vec((0usize..7, 0usize..7, 1u64..16), 0..18),
+    ) {
+        let edges: Vec<(usize, usize, u64)> = raw_edges
+            .into_iter()
+            .filter(|&(a, b, _)| a < n && b < n && a != b)
+            .collect();
+        let mut net = MaxFlow::new(n);
+        let mut ids = Vec::new();
+        for &(a, b, c) in &edges {
+            ids.push(net.add_edge(a, b, c));
+        }
+        let flow = net.max_flow(0, n - 1);
+        let side = net.min_cut_source_side(0);
+        prop_assert!(side[0]);
+        prop_assert!(!side[n - 1]);
+        let crossing: u64 = edges
+            .iter()
+            .zip(&ids)
+            .filter(|(&(a, b, _), _)| side[a] && !side[b])
+            .map(|(&(_, _, c), &e)| {
+                // Saturated: no residual capacity remains.
+                assert_eq!(net.residual(e), 0, "cut edge not saturated");
+                c
+            })
+            .sum();
+        prop_assert_eq!(crossing, flow);
+    }
+
+    /// The SCC decomposition partitions the vertex set, and mutually
+    /// reachable vertex pairs land in the same component.
+    #[test]
+    fn scc_is_a_partition_respecting_reachability(
+        n in 1usize..8,
+        raw_edges in proptest::collection::vec((0usize..8, 0usize..8), 0..24),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            raw_edges.into_iter().filter(|&(a, b)| a < n && b < n).collect();
+        let succs = |v: usize| -> Vec<usize> {
+            edges.iter().filter(|&&(a, _)| a == v).map(|&(_, b)| b).collect()
+        };
+        let scc = StronglyConnectedComponents::compute(n, succs);
+        // Partition: every vertex in exactly one component.
+        let mut seen = vec![false; n];
+        for c in 0..scc.count() {
+            for &v in scc.members(c) {
+                prop_assert!(!seen[v], "vertex {} in two components", v);
+                seen[v] = true;
+                prop_assert_eq!(scc.component_of(v), c);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Reachability closure.
+        let mut reach = vec![vec![false; n]; n];
+        for (v, row) in reach.iter_mut().enumerate() {
+            row[v] = true;
+        }
+        for _ in 0..n {
+            for &(a, b) in &edges {
+                for row in reach.iter_mut() {
+                    if row[a] && !row[b] {
+                        row[b] = true;
+                    }
+                }
+            }
+        }
+        for (a, row_a) in reach.iter().enumerate() {
+            for (b, row_b) in reach.iter().enumerate() {
+                let same = scc.component_of(a) == scc.component_of(b);
+                let mutual = row_a[b] && row_b[a];
+                prop_assert_eq!(same, mutual, "vertices {} and {}", a, b);
+            }
+        }
+    }
+
+    /// Every edge of a bipartite instance is covered by the solver's
+    /// cover, and the reported cost matches the chosen vertices.
+    #[test]
+    fn bipartite_cover_is_sound(
+        nl in 1usize..6,
+        nr in 1usize..6,
+        lw in proptest::collection::vec(1u64..20, 6),
+        rw in proptest::collection::vec(1u64..20, 6),
+        raw_edges in proptest::collection::vec((0usize..6, 0usize..6), 1..15),
+    ) {
+        let mut g = BipartiteCover::new();
+        for w in lw.iter().take(nl) {
+            g.add_left(*w);
+        }
+        for w in rw.iter().take(nr) {
+            g.add_right(*w);
+        }
+        let edges: Vec<(usize, usize)> =
+            raw_edges.into_iter().filter(|&(l, r)| l < nl && r < nr).collect();
+        prop_assume!(!edges.is_empty());
+        for &(l, r) in &edges {
+            g.add_edge(l, r);
+        }
+        let cover = g.solve();
+        for &(l, r) in &edges {
+            prop_assert!(cover.has_left(l) || cover.has_right(r), "edge ({l},{r}) uncovered");
+        }
+        let cost: u64 = cover
+            .chosen
+            .iter()
+            .map(|&(side, i)| match side {
+                penny_graph::Side::Left => lw[i],
+                penny_graph::Side::Right => rw[i],
+            })
+            .sum();
+        prop_assert_eq!(cost, cover.total_cost);
+    }
+}

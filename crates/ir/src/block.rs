@@ -1,0 +1,114 @@
+//! Basic blocks and terminators.
+
+use crate::inst::Inst;
+use crate::types::{BlockId, VReg};
+
+/// Control transfer at the end of a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch on a predicate register.
+    Branch {
+        /// Predicate register tested.
+        pred: VReg,
+        /// If `true`, the branch is taken when the predicate is false.
+        negated: bool,
+        /// Target when the (possibly negated) predicate holds.
+        then_: BlockId,
+        /// Target otherwise.
+        else_: BlockId,
+    },
+    /// Kernel exit.
+    Ret,
+}
+
+impl Terminator {
+    /// Successor blocks, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(t) => vec![t],
+            Terminator::Branch { then_, else_, .. } => vec![then_, else_],
+            Terminator::Ret => vec![],
+        }
+    }
+
+    /// The predicate register controlling a conditional branch, if any.
+    pub fn pred(&self) -> Option<VReg> {
+        match *self {
+            Terminator::Branch { pred, .. } => Some(pred),
+            _ => None,
+        }
+    }
+
+    /// Rewrites successor block ids through `f`.
+    pub fn map_targets<F: FnMut(BlockId) -> BlockId>(&mut self, mut f: F) {
+        match self {
+            Terminator::Jump(t) => *t = f(*t),
+            Terminator::Branch { then_, else_, .. } => {
+                *then_ = f(*then_);
+                *else_ = f(*else_);
+            }
+            Terminator::Ret => {}
+        }
+    }
+}
+
+/// A basic block: a label, straight-line instructions, and a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Human-readable label (unique within the kernel).
+    pub label: String,
+    /// Straight-line body.
+    pub insts: Vec<Inst>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// Creates an empty block ending in `ret`.
+    pub fn new(label: impl Into<String>) -> BasicBlock {
+        BasicBlock { label: label.into(), insts: Vec::new(), term: Terminator::Ret }
+    }
+
+    /// Number of instructions (terminator excluded).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_lists() {
+        assert_eq!(Terminator::Jump(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert_eq!(Terminator::Ret.successors(), vec![]);
+        let b = Terminator::Branch {
+            pred: VReg(0),
+            negated: false,
+            then_: BlockId(1),
+            else_: BlockId(2),
+        };
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(b.pred(), Some(VReg(0)));
+    }
+
+    #[test]
+    fn map_targets_rewrites_all() {
+        let mut t = Terminator::Branch {
+            pred: VReg(0),
+            negated: true,
+            then_: BlockId(1),
+            else_: BlockId(2),
+        };
+        t.map_targets(|b| BlockId(b.0 + 10));
+        assert_eq!(t.successors(), vec![BlockId(11), BlockId(12)]);
+    }
+}

@@ -1,0 +1,440 @@
+//! Ergonomic programmatic construction of kernels.
+//!
+//! # Examples
+//!
+//! Build a SAXPY-style kernel (`Y[i] += A * X[i]` for `i = tid`):
+//!
+//! ```
+//! use penny_ir::{Cmp, KernelBuilder, MemSpace, Special, Type};
+//!
+//! let mut b = KernelBuilder::new("saxpy", &["X", "Y", "A", "N"]);
+//! let entry = b.block("entry");
+//! let body = b.block("body");
+//! let exit = b.block("exit");
+//!
+//! b.select(entry);
+//! let tid = b.special(Special::TidX);
+//! let n = b.ld_param("N");
+//! let in_range = b.setp(Cmp::Lt, Type::S32, tid, n);
+//! b.branch(in_range, false, body, exit);
+//!
+//! b.select(body);
+//! let x = b.ld_param("X");
+//! let y = b.ld_param("Y");
+//! let a = b.ld_param("A");
+//! let off = b.shl(Type::U32, tid, 2u32);
+//! let xa = b.add(Type::U32, x, off);
+//! let ya = b.add(Type::U32, y, off);
+//! let xv = b.ld(MemSpace::Global, Type::F32, xa, 0);
+//! let yv = b.ld(MemSpace::Global, Type::F32, ya, 0);
+//! let prod = b.mad(Type::F32, a, xv, yv);
+//! b.st(MemSpace::Global, ya, 0, prod);
+//! b.jump(exit);
+//!
+//! b.select(exit);
+//! b.ret();
+//!
+//! let kernel = b.finish();
+//! assert_eq!(kernel.num_blocks(), 3);
+//! ```
+
+use crate::block::Terminator;
+use crate::inst::{Guard, Op, Operand};
+use crate::kernel::Kernel;
+use crate::types::{AtomOp, BlockId, Cmp, Color, MemSpace, Special, Type, VReg};
+
+/// Builder for [`Kernel`]s.
+///
+/// Instructions are appended to the *selected* block (see
+/// [`KernelBuilder::select`]). Every value-producing method allocates and
+/// returns a fresh destination register.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+    current: Option<BlockId>,
+    pending_guard: Option<Guard>,
+}
+
+impl KernelBuilder {
+    /// Starts building a kernel with the given parameter names.
+    pub fn new(name: impl Into<String>, params: &[&str]) -> KernelBuilder {
+        KernelBuilder { kernel: Kernel::new(name, params), current: None, pending_guard: None }
+    }
+
+    /// Declares static shared memory used by the program.
+    pub fn shared_bytes(&mut self, bytes: u32) -> &mut Self {
+        self.kernel.shared_bytes = bytes;
+        self
+    }
+
+    /// Adds a block; the first block added becomes the entry and is
+    /// auto-selected.
+    pub fn block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = self.kernel.add_block(label);
+        if self.current.is_none() {
+            self.current = Some(id);
+        }
+        id
+    }
+
+    /// Selects the block receiving subsequent instructions.
+    pub fn select(&mut self, block: BlockId) -> &mut Self {
+        self.current = Some(block);
+        self
+    }
+
+    /// Runs `f` with a predication guard applied to every instruction it
+    /// pushes.
+    pub fn guarded<F: FnOnce(&mut Self)>(&mut self, pred: VReg, negated: bool, f: F) {
+        let prev = self.pending_guard.replace(Guard { pred, negated });
+        f(self);
+        self.pending_guard = prev;
+    }
+
+    fn cur(&self) -> BlockId {
+        self.current.expect("no block selected; call block()/select() first")
+    }
+
+    fn push(&mut self, op: Op, ty: Type, dst: Option<VReg>, srcs: Vec<Operand>) -> Option<VReg> {
+        let mut inst = self.kernel.make_inst(op, ty, dst, srcs);
+        inst.guard = self.pending_guard;
+        let b = self.cur();
+        self.kernel.block_mut(b).insts.push(inst);
+        dst
+    }
+
+    fn value(&mut self, op: Op, ty: Type, srcs: Vec<Operand>) -> VReg {
+        let d = self.kernel.fresh_vreg();
+        self.push(op, ty, Some(d), srcs);
+        d
+    }
+
+    /// Allocates a fresh register without defining it (for loop-carried
+    /// values initialized elsewhere).
+    pub fn fresh(&mut self) -> VReg {
+        self.kernel.fresh_vreg()
+    }
+
+    /// `mov` of any operand into a fresh register.
+    pub fn mov(&mut self, ty: Type, src: impl Into<Operand>) -> VReg {
+        self.value(Op::Mov, ty, vec![src.into()])
+    }
+
+    /// `mov` into an existing register (for loop updates / phis-by-copy).
+    pub fn mov_to(&mut self, ty: Type, dst: VReg, src: impl Into<Operand>) {
+        self.push(Op::Mov, ty, Some(dst), vec![src.into()]);
+    }
+
+    /// Unsigned immediate move.
+    pub fn imm(&mut self, v: u32) -> VReg {
+        self.mov(Type::U32, v)
+    }
+
+    /// Float immediate move.
+    pub fn fimm(&mut self, v: f32) -> VReg {
+        self.mov(Type::F32, Operand::fimm(v))
+    }
+
+    /// Reads a special register.
+    pub fn special(&mut self, s: Special) -> VReg {
+        self.mov(Type::U32, s)
+    }
+
+    /// Loads a kernel parameter by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter does not exist.
+    pub fn ld_param(&mut self, name: &str) -> VReg {
+        let off = self
+            .kernel
+            .param_offset(name)
+            .unwrap_or_else(|| panic!("unknown parameter `{name}`"));
+        let d = self.kernel.fresh_vreg();
+        let mut inst = self.kernel.make_inst(
+            Op::Ld(MemSpace::Param),
+            Type::U32,
+            Some(d),
+            vec![Operand::Imm(0)],
+        );
+        inst.offset = off as i32;
+        inst.guard = self.pending_guard;
+        let b = self.cur();
+        self.kernel.block_mut(b).insts.push(inst);
+        d
+    }
+
+    /// Binary op helper macro-expansion targets.
+    pub fn add(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Add, ty, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a - b`.
+    pub fn sub(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Sub, ty, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a * b`.
+    pub fn mul(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Mul, ty, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a * b + c`.
+    pub fn mad(
+        &mut self,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> VReg {
+        self.value(Op::Mad, ty, vec![a.into(), b.into(), c.into()])
+    }
+
+    /// `dst = a / b`.
+    pub fn div(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Div, ty, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a % b`.
+    pub fn rem(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Rem, ty, vec![a.into(), b.into()])
+    }
+
+    /// `dst = min(a, b)`.
+    pub fn min(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Min, ty, vec![a.into(), b.into()])
+    }
+
+    /// `dst = max(a, b)`.
+    pub fn max(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Max, ty, vec![a.into(), b.into()])
+    }
+
+    /// Bitwise and.
+    pub fn and(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::And, ty, vec![a.into(), b.into()])
+    }
+
+    /// Bitwise or.
+    pub fn or(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Or, ty, vec![a.into(), b.into()])
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Xor, ty, vec![a.into(), b.into()])
+    }
+
+    /// Shift left.
+    pub fn shl(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Shl, ty, vec![a.into(), b.into()])
+    }
+
+    /// Logical shift right.
+    pub fn shr(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.value(Op::Shr, ty, vec![a.into(), b.into()])
+    }
+
+    /// Unary negation.
+    pub fn neg(&mut self, ty: Type, a: impl Into<Operand>) -> VReg {
+        self.value(Op::Neg, ty, vec![a.into()])
+    }
+
+    /// Float square root.
+    pub fn sqrt(&mut self, a: impl Into<Operand>) -> VReg {
+        self.value(Op::Sqrt, Type::F32, vec![a.into()])
+    }
+
+    /// Float reciprocal square root.
+    pub fn rsqrt(&mut self, a: impl Into<Operand>) -> VReg {
+        self.value(Op::Rsqrt, Type::F32, vec![a.into()])
+    }
+
+    /// Float reciprocal.
+    pub fn rcp(&mut self, a: impl Into<Operand>) -> VReg {
+        self.value(Op::Rcp, Type::F32, vec![a.into()])
+    }
+
+    /// Float exp2.
+    pub fn ex2(&mut self, a: impl Into<Operand>) -> VReg {
+        self.value(Op::Ex2, Type::F32, vec![a.into()])
+    }
+
+    /// Float log2.
+    pub fn lg2(&mut self, a: impl Into<Operand>) -> VReg {
+        self.value(Op::Lg2, Type::F32, vec![a.into()])
+    }
+
+    /// Float sine.
+    pub fn sin(&mut self, a: impl Into<Operand>) -> VReg {
+        self.value(Op::Sin, Type::F32, vec![a.into()])
+    }
+
+    /// Float cosine.
+    pub fn cos(&mut self, a: impl Into<Operand>) -> VReg {
+        self.value(Op::Cos, Type::F32, vec![a.into()])
+    }
+
+    /// Converts `src` of type `from` to type `to`.
+    pub fn cvt(&mut self, to: Type, from: Type, src: impl Into<Operand>) -> VReg {
+        let d = self.kernel.fresh_vreg();
+        let mut inst = self.kernel.make_inst(Op::Cvt, to, Some(d), vec![src.into()]);
+        inst.ty2 = from;
+        inst.guard = self.pending_guard;
+        let b = self.cur();
+        self.kernel.block_mut(b).insts.push(inst);
+        d
+    }
+
+    /// Compare and set predicate.
+    pub fn setp(&mut self, cmp: Cmp, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        let d = self.kernel.fresh_pred();
+        self.push(Op::Setp(cmp), ty, Some(d), vec![a.into(), b.into()]);
+        d
+    }
+
+    /// Select: `dst = p ? a : b`.
+    pub fn selp(
+        &mut self,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        p: VReg,
+    ) -> VReg {
+        self.value(Op::Selp, ty, vec![a.into(), b.into(), Operand::Reg(p)])
+    }
+
+    /// Load from memory.
+    pub fn ld(&mut self, space: MemSpace, ty: Type, addr: impl Into<Operand>, off: i32) -> VReg {
+        let d = self.kernel.fresh_vreg();
+        let mut inst = self.kernel.make_inst(Op::Ld(space), ty, Some(d), vec![addr.into()]);
+        inst.offset = off;
+        inst.guard = self.pending_guard;
+        let b = self.cur();
+        self.kernel.block_mut(b).insts.push(inst);
+        d
+    }
+
+    /// Store to memory.
+    pub fn st(
+        &mut self,
+        space: MemSpace,
+        addr: impl Into<Operand>,
+        off: i32,
+        val: impl Into<Operand>,
+    ) {
+        let mut inst =
+            self.kernel.make_inst(Op::St(space), Type::U32, None, vec![addr.into(), val.into()]);
+        inst.offset = off;
+        inst.guard = self.pending_guard;
+        let b = self.cur();
+        self.kernel.block_mut(b).insts.push(inst);
+    }
+
+    /// Atomic read-modify-write; returns the old value.
+    pub fn atom(
+        &mut self,
+        op: AtomOp,
+        space: MemSpace,
+        addr: impl Into<Operand>,
+        off: i32,
+        val: impl Into<Operand>,
+    ) -> VReg {
+        let d = self.kernel.fresh_vreg();
+        let mut inst =
+            self.kernel.make_inst(Op::Atom(op, space), Type::U32, Some(d), vec![addr.into(), val.into()]);
+        inst.offset = off;
+        inst.guard = self.pending_guard;
+        let b = self.cur();
+        self.kernel.block_mut(b).insts.push(inst);
+        d
+    }
+
+    /// Block-wide barrier.
+    pub fn bar(&mut self) {
+        self.push(Op::Bar, Type::U32, None, vec![]);
+    }
+
+    /// Checkpoint pseudo-instruction (normally inserted by the compiler).
+    pub fn ckpt(&mut self, reg: VReg, color: Color) {
+        self.push(Op::Ckpt(color), Type::U32, None, vec![Operand::Reg(reg)]);
+    }
+
+    /// Ends the selected block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        let b = self.cur();
+        self.kernel.block_mut(b).term = Terminator::Jump(target);
+    }
+
+    /// Ends the selected block with a conditional branch.
+    pub fn branch(&mut self, pred: VReg, negated: bool, then_: BlockId, else_: BlockId) {
+        let b = self.cur();
+        self.kernel.block_mut(b).term = Terminator::Branch { pred, negated, then_, else_ };
+    }
+
+    /// Ends the selected block with a kernel exit.
+    pub fn ret(&mut self) {
+        let b = self.cur();
+        self.kernel.block_mut(b).term = Terminator::Ret;
+    }
+
+    /// Finishes and returns the kernel.
+    pub fn finish(self) -> Kernel {
+        self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straightline_kernel() {
+        let mut b = KernelBuilder::new("k", &["A"]);
+        let e = b.block("entry");
+        let a = b.ld_param("A");
+        let t = b.special(Special::TidX);
+        let addr = b.mad(Type::U32, t, 4u32, a);
+        let v = b.ld(MemSpace::Global, Type::U32, addr, 0);
+        let v2 = b.add(Type::U32, v, 1u32);
+        b.st(MemSpace::Global, addr, 0, v2);
+        b.ret();
+        let k = b.finish();
+        assert_eq!(k.num_blocks(), 1);
+        assert_eq!(k.block(e).insts.len(), 6);
+        assert_eq!(k.block(e).term, Terminator::Ret);
+    }
+
+    #[test]
+    fn guarded_instructions_carry_guard() {
+        let mut b = KernelBuilder::new("k", &["A"]);
+        b.block("entry");
+        let p = b.setp(Cmp::Eq, Type::U32, 0u32, 0u32);
+        let a = b.ld_param("A");
+        b.guarded(p, true, |b| {
+            b.st(MemSpace::Global, a, 0, 7u32);
+        });
+        b.ret();
+        let k = b.finish();
+        let st = k.block(BlockId(0)).insts.last().expect("store");
+        assert_eq!(st.guard, Some(Guard { pred: p, negated: true }));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn unknown_param_panics() {
+        let mut b = KernelBuilder::new("k", &[]);
+        b.block("entry");
+        b.ld_param("missing");
+    }
+
+    #[test]
+    fn setp_produces_predicate() {
+        let mut b = KernelBuilder::new("k", &[]);
+        b.block("entry");
+        let p = b.setp(Cmp::Lt, Type::S32, 1u32, 2u32);
+        b.ret();
+        let k = b.finish();
+        assert!(k.is_pred(p));
+    }
+}

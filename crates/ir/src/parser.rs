@@ -1,0 +1,709 @@
+//! Parser for the textual assembly format produced by the kernel printer
+//! (the [`std::fmt::Display`] impl on [`Kernel`]).
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! .kernel <name> [.params <p1> <p2> ...]
+//! [.shared <bytes>]
+//! <label>:
+//!     [@[!]%pN ] <mnemonic>[.<space>][.<type>] operands...
+//!     jmp <label> | bra [!]%pN, <then>, <else> | ret
+//! ```
+//!
+//! Comments run from `//` or `#` to end of line. Registers are `%rN`
+//! (general) or `%pN` (predicate); integer immediates are decimal or
+//! `0x...`; float immediates end in `f` (e.g. `1.5f`) or use the raw-bits
+//! form `0fXXXXXXXX`.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::block::Terminator;
+use crate::inst::{Guard, Inst, Op, Operand};
+use crate::kernel::{Kernel, Module};
+use crate::types::{AtomOp, BlockId, Cmp, Color, MemSpace, Special, Type, VReg};
+
+/// An error produced while parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a module (one or more kernels).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line on malformed input,
+/// unknown mnemonics, undefined labels, or operand arity mismatches.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut kernels = Vec::new();
+    let mut chunk: Vec<(usize, &str)> = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with(".kernel") && !chunk.is_empty() {
+            kernels.push(parse_kernel_lines(&chunk)?);
+            chunk.clear();
+        }
+        chunk.push((n + 1, line));
+    }
+    if !chunk.is_empty() {
+        kernels.push(parse_kernel_lines(&chunk)?);
+    }
+    Ok(Module { kernels })
+}
+
+/// Parses a single kernel.
+///
+/// # Errors
+///
+/// See [`parse_module`].
+pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
+    let module = parse_module(text)?;
+    match module.kernels.len() {
+        1 => Ok(module.kernels.into_iter().next().expect("one kernel")),
+        n => Err(ParseError { line: 1, message: format!("expected 1 kernel, found {n}") }),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find("//").into_iter().chain(line.find('#')).min();
+    match cut {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+struct Ctx {
+    kernel: Kernel,
+    regs: HashMap<String, VReg>,
+    labels: HashMap<String, BlockId>,
+    defined_labels: std::collections::HashSet<String>,
+    /// Branch fixups: (line, block, kind) where kind encodes pending labels.
+    fixups: Vec<(usize, BlockId, PendingTerm)>,
+    current: Option<BlockId>,
+    region_count: u32,
+}
+
+enum PendingTerm {
+    Jump(String),
+    Branch { pred: VReg, negated: bool, then_: String, else_: String },
+}
+
+impl Ctx {
+    fn reg(&mut self, tok: &str, line: usize) -> Result<VReg, ParseError> {
+        if !tok.starts_with("%r") && !tok.starts_with("%p") {
+            return Err(err(line, format!("expected register, found `{tok}`")));
+        }
+        if let Some(&r) = self.regs.get(tok) {
+            return Ok(r);
+        }
+        let r = self.kernel.fresh_vreg();
+        if tok.starts_with("%p") {
+            self.kernel.mark_pred(r);
+        }
+        self.regs.insert(tok.to_string(), r);
+        Ok(r)
+    }
+
+    fn block(&mut self, label: &str) -> BlockId {
+        if let Some(&b) = self.labels.get(label) {
+            b
+        } else {
+            let b = self.kernel.add_block(label);
+            self.labels.insert(label.to_string(), b);
+            b
+        }
+    }
+
+    fn operand(&mut self, tok: &str, ty: Type, line: usize) -> Result<Operand, ParseError> {
+        if let Some(s) = Special::ALL.iter().find(|s| s.name() == tok) {
+            return Ok(Operand::Special(*s));
+        }
+        if tok.starts_with('%') {
+            return Ok(Operand::Reg(self.reg(tok, line)?));
+        }
+        parse_imm(tok, ty, line)
+    }
+}
+
+fn parse_imm(tok: &str, ty: Type, line: usize) -> Result<Operand, ParseError> {
+    if let Some(hex) = tok.strip_prefix("0f").or_else(|| tok.strip_prefix("0F")) {
+        if hex.len() == 8 {
+            let bits = u32::from_str_radix(hex, 16)
+                .map_err(|_| err(line, format!("bad float bits `{tok}`")))?;
+            return Ok(Operand::Imm(bits));
+        }
+    }
+    if ty == Type::F32 || tok.ends_with('f') {
+        let body = tok.strip_suffix('f').unwrap_or(tok);
+        let f: f32 =
+            body.parse().map_err(|_| err(line, format!("bad float immediate `{tok}`")))?;
+        return Ok(Operand::fimm(f));
+    }
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| err(line, format!("bad hex immediate `{tok}`")))?;
+        return Ok(Operand::Imm(v));
+    }
+    let v: i64 = tok.parse().map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(Operand::Imm(v as u32))
+}
+
+fn parse_type(tok: &str, line: usize) -> Result<Type, ParseError> {
+    match tok {
+        "u32" => Ok(Type::U32),
+        "s32" => Ok(Type::S32),
+        "f32" => Ok(Type::F32),
+        "pred" => Ok(Type::Pred),
+        _ => Err(err(line, format!("unknown type `.{tok}`"))),
+    }
+}
+
+fn parse_space(tok: &str) -> Option<MemSpace> {
+    match tok {
+        "global" => Some(MemSpace::Global),
+        "shared" => Some(MemSpace::Shared),
+        "local" => Some(MemSpace::Local),
+        "param" => Some(MemSpace::Param),
+        "const" => Some(MemSpace::Const),
+        _ => None,
+    }
+}
+
+fn parse_cmp(tok: &str) -> Option<Cmp> {
+    match tok {
+        "eq" => Some(Cmp::Eq),
+        "ne" => Some(Cmp::Ne),
+        "lt" => Some(Cmp::Lt),
+        "le" => Some(Cmp::Le),
+        "gt" => Some(Cmp::Gt),
+        "ge" => Some(Cmp::Ge),
+        _ => None,
+    }
+}
+
+fn parse_atom_op(tok: &str) -> Option<AtomOp> {
+    match tok {
+        "add" => Some(AtomOp::Add),
+        "min" => Some(AtomOp::Min),
+        "max" => Some(AtomOp::Max),
+        "exch" => Some(AtomOp::Exch),
+        "cas" => Some(AtomOp::Cas),
+        _ => None,
+    }
+}
+
+/// Splits `"[%r3+8]"` / `"[N]"` / `"[%r3]"` into (base token, offset token).
+fn split_addr(tok: &str, line: usize) -> Result<(String, i32), ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [addr], found `{tok}`")))?;
+    // Offset separator: a '+' or '-' after the first character.
+    for (i, c) in inner.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            let base = inner[..i].to_string();
+            let off_str = &inner[i..];
+            let off: i32 = off_str
+                .parse()
+                .map_err(|_| err(line, format!("bad address offset `{off_str}`")))?;
+            return Ok((base, off));
+        }
+    }
+    Ok((inner.to_string(), 0))
+}
+
+fn parse_kernel_lines(lines: &[(usize, &str)]) -> Result<Kernel, ParseError> {
+    let (first_no, first) = lines[0];
+    let mut toks = first.split_whitespace();
+    if toks.next() != Some(".kernel") {
+        return Err(err(first_no, "expected `.kernel <name>`"));
+    }
+    let name = toks.next().ok_or_else(|| err(first_no, "missing kernel name"))?;
+    let mut params: Vec<&str> = Vec::new();
+    match toks.next() {
+        None => {}
+        Some(".params") => params.extend(toks),
+        Some(other) => return Err(err(first_no, format!("unexpected token `{other}`"))),
+    }
+    let mut ctx = Ctx {
+        kernel: Kernel::new(name, &params),
+        regs: HashMap::new(),
+        labels: HashMap::new(),
+        defined_labels: std::collections::HashSet::new(),
+        fixups: Vec::new(),
+        current: None,
+        region_count: 0,
+    };
+
+    for &(no, line) in &lines[1..] {
+        if let Some(bytes) = line.strip_prefix(".shared") {
+            ctx.kernel.shared_bytes = bytes
+                .trim()
+                .parse()
+                .map_err(|_| err(no, format!("bad shared size `{}`", bytes.trim())))?;
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(no, format!("bad label `{label}`")));
+            }
+            if !ctx.defined_labels.insert(label.to_string()) {
+                return Err(err(no, format!("label `{label}` defined twice")));
+            }
+            let b = ctx.block(label);
+            ctx.current = Some(b);
+            continue;
+        }
+        parse_statement(&mut ctx, no, line)?;
+    }
+
+    // Resolve branch targets.
+    for (no, block, pending) in std::mem::take(&mut ctx.fixups) {
+        let resolve = |ctx: &Ctx, l: &str| {
+            ctx.labels
+                .get(l)
+                .copied()
+                .ok_or_else(|| err(no, format!("undefined label `{l}`")))
+        };
+        let term = match pending {
+            PendingTerm::Jump(l) => Terminator::Jump(resolve(&ctx, &l)?),
+            PendingTerm::Branch { pred, negated, then_, else_ } => Terminator::Branch {
+                pred,
+                negated,
+                then_: resolve(&ctx, &then_)?,
+                else_: resolve(&ctx, &else_)?,
+            },
+        };
+        ctx.kernel.block_mut(block).term = term;
+    }
+    if ctx.kernel.blocks.is_empty() {
+        return Err(err(first_no, "kernel has no blocks"));
+    }
+    Ok(ctx.kernel)
+}
+
+fn parse_statement(ctx: &mut Ctx, no: usize, line: &str) -> Result<(), ParseError> {
+    let cur = ctx.current.ok_or_else(|| err(no, "statement before first label"))?;
+    // Tokenize: split off guard, mnemonic, then comma-separated operands.
+    let mut rest = line;
+    let mut guard = None;
+    if let Some(g) = rest.strip_prefix('@') {
+        let (gtok, tail) =
+            g.split_once(char::is_whitespace).ok_or_else(|| err(no, "guard without body"))?;
+        let (negated, preg) = match gtok.strip_prefix('!') {
+            Some(p) => (true, p),
+            None => (false, gtok),
+        };
+        let pred = ctx.reg(preg, no)?;
+        guard = Some(Guard { pred, negated });
+        rest = tail.trim_start();
+    }
+    let (mnemonic, operand_str) = match rest.split_once(char::is_whitespace) {
+        Some((m, o)) => (m, o.trim()),
+        None => (rest, ""),
+    };
+    let operands: Vec<&str> = if operand_str.is_empty() {
+        Vec::new()
+    } else {
+        operand_str.split(',').map(str::trim).collect()
+    };
+
+    // Terminators.
+    match mnemonic {
+        "jmp" => {
+            let [label] = operands[..] else {
+                return Err(err(no, "jmp takes one label"));
+            };
+            ctx.fixups.push((no, cur, PendingTerm::Jump(label.to_string())));
+            return Ok(());
+        }
+        "bra" => {
+            let [ptok, then_, else_] = operands[..] else {
+                return Err(err(no, "bra takes `[!]%p, then, else`"));
+            };
+            let (negated, preg) = match ptok.strip_prefix('!') {
+                Some(p) => (true, p),
+                None => (false, ptok),
+            };
+            let pred = ctx.reg(preg, no)?;
+            ctx.fixups.push((
+                no,
+                cur,
+                PendingTerm::Branch {
+                    pred,
+                    negated,
+                    then_: then_.to_string(),
+                    else_: else_.to_string(),
+                },
+            ));
+            return Ok(());
+        }
+        "ret" => {
+            ctx.kernel.block_mut(cur).term = Terminator::Ret;
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let parts: Vec<&str> = mnemonic.split('.').collect();
+    let base = parts[0];
+    let mut inst = match base {
+        "bar" => ctx.kernel.make_inst(Op::Bar, Type::U32, None, vec![]),
+        "nop" => ctx.kernel.make_inst(Op::Nop, Type::U32, None, vec![]),
+        "region" => {
+            let r = crate::types::RegionId(ctx.region_count);
+            ctx.region_count += 1;
+            ctx.kernel.make_inst(Op::RegionEntry(r), Type::U32, None, vec![])
+        }
+        "cp" => {
+            let color = match parts.get(1) {
+                Some(&"K0") | None => Color::K0,
+                Some(&"K1") => Color::K1,
+                Some(c) => return Err(err(no, format!("unknown checkpoint color `{c}`"))),
+            };
+            let [rtok] = operands[..] else {
+                return Err(err(no, "cp takes one register"));
+            };
+            let r = ctx.reg(rtok, no)?;
+            ctx.kernel.make_inst(Op::Ckpt(color), Type::U32, None, vec![Operand::Reg(r)])
+        }
+        "ld" | "st" | "atom" => parse_memory(ctx, no, &parts, &operands)?,
+        "cvt" => {
+            if parts.len() != 3 {
+                return Err(err(no, "cvt needs `.dstty.srcty`"));
+            }
+            let to = parse_type(parts[1], no)?;
+            let from = parse_type(parts[2], no)?;
+            let [dtok, stok] = operands[..] else {
+                return Err(err(no, "cvt takes dst, src"));
+            };
+            let d = ctx.reg(dtok, no)?;
+            let s = ctx.operand(stok, from, no)?;
+            let mut i = ctx.kernel.make_inst(Op::Cvt, to, Some(d), vec![s]);
+            i.ty2 = from;
+            i
+        }
+        "setp" => {
+            if parts.len() != 3 {
+                return Err(err(no, "setp needs `.cmp.type`"));
+            }
+            let cmp = parse_cmp(parts[1])
+                .ok_or_else(|| err(no, format!("unknown comparison `{}`", parts[1])))?;
+            let ty = parse_type(parts[2], no)?;
+            let [dtok, atok, btok] = operands[..] else {
+                return Err(err(no, "setp takes dst, a, b"));
+            };
+            let d = ctx.reg(dtok, no)?;
+            ctx.kernel.mark_pred(d);
+            let a = ctx.operand(atok, ty, no)?;
+            let b = ctx.operand(btok, ty, no)?;
+            ctx.kernel.make_inst(Op::Setp(cmp), ty, Some(d), vec![a, b])
+        }
+        _ => parse_simple(ctx, no, base, &parts, &operands)?,
+    };
+    inst.guard = guard;
+    ctx.kernel.block_mut(cur).insts.push(inst);
+    Ok(())
+}
+
+fn parse_memory(
+    ctx: &mut Ctx,
+    no: usize,
+    parts: &[&str],
+    operands: &[&str],
+) -> Result<Inst, ParseError> {
+    let base = parts[0];
+    let space = parts
+        .get(1)
+        .and_then(|s| parse_space(s))
+        .ok_or_else(|| err(no, "memory op needs a space suffix"))?;
+    let (atom_op, ty_idx) = if base == "atom" {
+        let a = parts
+            .get(2)
+            .and_then(|s| parse_atom_op(s))
+            .ok_or_else(|| err(no, "atom needs an op suffix"))?;
+        (Some(a), 3)
+    } else {
+        (None, 2)
+    };
+    let ty = parse_type(parts.get(ty_idx).copied().unwrap_or("u32"), no)?;
+
+    let parse_base = |ctx: &mut Ctx, tok: &str| -> Result<(Operand, i32), ParseError> {
+        let (base_tok, off) = split_addr(tok, no)?;
+        if space == MemSpace::Param {
+            if let Some(p) = ctx.kernel.params.iter().find(|p| p.name == base_tok) {
+                return Ok((Operand::Imm(0), p.offset as i32 + off));
+            }
+        }
+        let b = ctx.operand(&base_tok, Type::U32, no)?;
+        Ok((b, off))
+    };
+
+    match (base, atom_op) {
+        ("ld", _) => {
+            let [dtok, atok] = operands[..] else {
+                return Err(err(no, "ld takes dst, [addr]"));
+            };
+            let d = ctx.reg(dtok, no)?;
+            let (b, off) = parse_base(ctx, atok)?;
+            let mut i = ctx.kernel.make_inst(Op::Ld(space), ty, Some(d), vec![b]);
+            i.offset = off;
+            Ok(i)
+        }
+        ("st", _) => {
+            let [atok, vtok] = operands[..] else {
+                return Err(err(no, "st takes [addr], value"));
+            };
+            let (b, off) = parse_base(ctx, atok)?;
+            let v = ctx.operand(vtok, ty, no)?;
+            let mut i = ctx.kernel.make_inst(Op::St(space), ty, None, vec![b, v]);
+            i.offset = off;
+            Ok(i)
+        }
+        ("atom", Some(a)) => {
+            let [dtok, atok, vtok] = operands[..] else {
+                return Err(err(no, "atom takes dst, [addr], value"));
+            };
+            let d = ctx.reg(dtok, no)?;
+            let (b, off) = parse_base(ctx, atok)?;
+            let v = ctx.operand(vtok, ty, no)?;
+            let mut i = ctx.kernel.make_inst(Op::Atom(a, space), ty, Some(d), vec![b, v]);
+            i.offset = off;
+            Ok(i)
+        }
+        _ => Err(err(no, format!("unknown memory op `{base}`"))),
+    }
+}
+
+fn parse_simple(
+    ctx: &mut Ctx,
+    no: usize,
+    base: &str,
+    parts: &[&str],
+    operands: &[&str],
+) -> Result<Inst, ParseError> {
+    let (op, nsrc): (Op, usize) = match base {
+        "mov" => (Op::Mov, 1),
+        "add" => (Op::Add, 2),
+        "sub" => (Op::Sub, 2),
+        "mul" => (Op::Mul, 2),
+        "mulhi" => (Op::MulHi, 2),
+        "mad" => (Op::Mad, 3),
+        "div" => (Op::Div, 2),
+        "rem" => (Op::Rem, 2),
+        "min" => (Op::Min, 2),
+        "max" => (Op::Max, 2),
+        "neg" => (Op::Neg, 1),
+        "abs" => (Op::Abs, 1),
+        "and" => (Op::And, 2),
+        "or" => (Op::Or, 2),
+        "xor" => (Op::Xor, 2),
+        "not" => (Op::Not, 1),
+        "shl" => (Op::Shl, 2),
+        "shr" => (Op::Shr, 2),
+        "sra" => (Op::Sra, 2),
+        "selp" => (Op::Selp, 3),
+        "sqrt" => (Op::Sqrt, 1),
+        "rsqrt" => (Op::Rsqrt, 1),
+        "rcp" => (Op::Rcp, 1),
+        "ex2" => (Op::Ex2, 1),
+        "lg2" => (Op::Lg2, 1),
+        "sin" => (Op::Sin, 1),
+        "cos" => (Op::Cos, 1),
+        other => return Err(err(no, format!("unknown mnemonic `{other}`"))),
+    };
+    let ty = parse_type(parts.get(1).copied().unwrap_or("u32"), no)?;
+    if operands.len() != nsrc + 1 {
+        return Err(err(
+            no,
+            format!("`{base}` expects {} operands, found {}", nsrc + 1, operands.len()),
+        ));
+    }
+    let d = ctx.reg(operands[0], no)?;
+    let mut srcs = Vec::with_capacity(nsrc);
+    for (i, tok) in operands[1..].iter().enumerate() {
+        // selp's last operand is the predicate (always a register).
+        let oty = if op == Op::Selp && i == 2 { Type::Pred } else { ty };
+        srcs.push(ctx.operand(tok, oty, no)?);
+    }
+    Ok(ctx.kernel.make_inst(op, ty, Some(d), srcs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAXPY: &str = r#"
+        .kernel saxpy .params X Y A N
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [N]
+            setp.lt.s32 %p0, %r0, %r1
+            bra %p0, body, exit
+        body:
+            ld.param.u32 %r2, [X]
+            ld.param.u32 %r3, [Y]
+            ld.param.f32 %r4, [A]
+            shl.u32 %r5, %r0, 2
+            add.u32 %r6, %r2, %r5
+            add.u32 %r7, %r3, %r5
+            ld.global.f32 %r8, [%r6]
+            ld.global.f32 %r9, [%r7+0]
+            mad.f32 %r10, %r4, %r8, %r9
+            st.global.f32 [%r7], %r10
+            jmp exit
+        exit:
+            ret
+    "#;
+
+    #[test]
+    fn parses_saxpy() {
+        let k = parse_kernel(SAXPY).expect("parse");
+        assert_eq!(k.name, "saxpy");
+        assert_eq!(k.params.len(), 4);
+        assert_eq!(k.num_blocks(), 3);
+        assert_eq!(k.block(BlockId(0)).insts.len(), 3);
+        assert!(matches!(k.block(BlockId(0)).term, Terminator::Branch { .. }));
+        assert_eq!(k.block(BlockId(2)).term, Terminator::Ret);
+    }
+
+    #[test]
+    fn roundtrips_through_printer() {
+        let k = parse_kernel(SAXPY).expect("parse");
+        let text = k.to_string();
+        let k2 = parse_kernel(&text).expect("reparse");
+        assert_eq!(k.to_string(), k2.to_string());
+        assert_eq!(k.num_insts(), k2.num_insts());
+    }
+
+    #[test]
+    fn guards_and_negation() {
+        let src = r#"
+            .kernel g
+            entry:
+                setp.eq.u32 %p1, 1, 1
+                @!%p1 add.u32 %r1, %r1, 1
+                bra !%p1, a, b
+            a:
+                ret
+            b:
+                ret
+        "#;
+        let k = parse_kernel(src).expect("parse");
+        let add = &k.block(BlockId(0)).insts[1];
+        let g = add.guard.expect("guard");
+        assert!(g.negated);
+        match k.block(BlockId(0)).term {
+            Terminator::Branch { negated, .. } => assert!(negated),
+            ref t => panic!("expected branch, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_undefined_label() {
+        let src = ".kernel k\nentry:\n jmp nowhere\n";
+        let e = parse_kernel(src).expect_err("should fail");
+        assert!(e.message.contains("undefined label"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let src = ".kernel k\nentry:\n frobnicate.u32 %r1, %r2\n ret\n";
+        let e = parse_kernel(src).expect_err("should fail");
+        assert!(e.message.contains("unknown mnemonic"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let src = ".kernel k\nentry:\n add.u32 %r1, %r2\n ret\n";
+        let e = parse_kernel(src).expect_err("should fail");
+        assert!(e.message.contains("expects 3 operands"), "{e}");
+    }
+
+    #[test]
+    fn parses_immediates() {
+        let src = r#"
+            .kernel k
+            entry:
+                mov.u32 %r1, 0x10
+                mov.s32 %r2, -5
+                mov.f32 %r3, 1.5f
+                mov.f32 %r4, 0f3F800000
+                ret
+        "#;
+        let k = parse_kernel(src).expect("parse");
+        let insts = &k.block(BlockId(0)).insts;
+        assert_eq!(insts[0].srcs[0], Operand::Imm(16));
+        assert_eq!(insts[1].srcs[0], Operand::Imm((-5i32) as u32));
+        assert_eq!(insts[2].srcs[0], Operand::Imm(1.5f32.to_bits()));
+        assert_eq!(insts[3].srcs[0], Operand::Imm(1.0f32.to_bits()));
+    }
+
+    #[test]
+    fn parses_shared_and_barrier_and_atomics() {
+        let src = r#"
+            .kernel k .params H
+            .shared 128
+            entry:
+                mov.u32 %r0, %tid.x
+                shl.u32 %r1, %r0, 2
+                st.shared.u32 [%r1], %r0
+                bar.sync
+                ld.shared.u32 %r2, [%r1+4]
+                ld.param.u32 %r3, [H]
+                atom.global.add.u32 %r4, [%r3], %r2
+                ret
+        "#;
+        let k = parse_kernel(src).expect("parse");
+        assert_eq!(k.shared_bytes, 128);
+        let insts = &k.block(BlockId(0)).insts;
+        assert_eq!(insts[3].op, Op::Bar);
+        assert_eq!(insts[6].op, Op::Atom(AtomOp::Add, MemSpace::Global));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "// header\n.kernel k\nentry: # label\n ret // done\n";
+        let k = parse_kernel(src).expect("parse");
+        assert_eq!(k.num_blocks(), 1);
+    }
+
+    #[test]
+    fn parses_multi_kernel_module() {
+        let src = ".kernel a\nentry:\n ret\n.kernel b\nentry:\n ret\n";
+        let m = parse_module(src).expect("parse");
+        assert_eq!(m.kernels.len(), 2);
+        assert!(m.kernel("a").is_some());
+        assert!(m.kernel("b").is_some());
+    }
+
+    #[test]
+    fn statement_before_label_is_an_error() {
+        let src = ".kernel k\n mov.u32 %r1, 0\n";
+        let e = parse_kernel(src).expect_err("should fail");
+        assert!(e.message.contains("before first label"), "{e}");
+    }
+}

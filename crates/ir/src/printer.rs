@@ -1,0 +1,218 @@
+//! Textual assembly output for kernels (the inverse of [`crate::parser`]).
+
+use std::fmt;
+
+use crate::block::Terminator;
+use crate::inst::{Inst, Op, Operand};
+use crate::kernel::{Kernel, Module};
+use crate::types::VReg;
+
+impl Kernel {
+    fn reg_name(&self, r: VReg) -> String {
+        if self.is_pred(r) {
+            format!("%p{}", r.0)
+        } else {
+            format!("%r{}", r.0)
+        }
+    }
+
+    fn operand(&self, o: Operand, ty: crate::types::Type) -> String {
+        match o {
+            Operand::Reg(r) => self.reg_name(r),
+            Operand::Imm(v) => {
+                if ty == crate::types::Type::F32 {
+                    let f = f32::from_bits(v);
+                    if f.is_finite() && format!("{f}").parse::<f32>() == Ok(f) {
+                        format!("{f}f")
+                    } else {
+                        format!("0f{v:08X}")
+                    }
+                } else {
+                    format!("{}", v as i32)
+                }
+            }
+            Operand::Special(s) => s.to_string(),
+        }
+    }
+
+    fn addr(&self, inst: &Inst) -> String {
+        let (base, off) = inst.mem_addr().expect("memory instruction");
+        if inst.mem_space() == Some(crate::types::MemSpace::Param) {
+            if let Operand::Imm(b) = base {
+                let total = b as i64 + off as i64;
+                if let Some(p) = self.params.iter().find(|p| p.offset as i64 == total) {
+                    return format!("[{}]", p.name);
+                }
+            }
+        }
+        let base_s = self.operand(base, crate::types::Type::U32);
+        match off.cmp(&0) {
+            std::cmp::Ordering::Equal => format!("[{base_s}]"),
+            std::cmp::Ordering::Greater => format!("[{base_s}+{off}]"),
+            std::cmp::Ordering::Less => format!("[{base_s}{off}]"),
+        }
+    }
+
+    /// Formats one instruction in assembly syntax.
+    pub fn format_inst(&self, inst: &Inst) -> String {
+        let mut s = String::new();
+        if let Some(g) = inst.guard {
+            s.push('@');
+            if g.negated {
+                s.push('!');
+            }
+            s.push_str(&self.reg_name(g.pred));
+            s.push(' ');
+        }
+        match inst.op {
+            Op::Ld(_) => {
+                s.push_str(&format!(
+                    "{}.{} {}, {}",
+                    inst.op.mnemonic(),
+                    inst.ty.suffix(),
+                    self.reg_name(inst.dst.expect("load dst")),
+                    self.addr(inst)
+                ));
+            }
+            Op::St(_) => {
+                s.push_str(&format!(
+                    "{}.{} {}, {}",
+                    inst.op.mnemonic(),
+                    inst.ty.suffix(),
+                    self.addr(inst),
+                    self.operand(inst.srcs[1], inst.ty)
+                ));
+            }
+            Op::Atom(..) => {
+                s.push_str(&format!(
+                    "{}.{} {}, {}, {}",
+                    inst.op.mnemonic(),
+                    inst.ty.suffix(),
+                    self.reg_name(inst.dst.expect("atom dst")),
+                    self.addr(inst),
+                    self.operand(inst.srcs[1], inst.ty)
+                ));
+            }
+            Op::Bar | Op::Nop => s.push_str(&inst.op.mnemonic()),
+            Op::RegionEntry(r) => s.push_str(&format!("region {r}")),
+            Op::Ckpt(_) => {
+                s.push_str(&format!(
+                    "{} {}",
+                    inst.op.mnemonic(),
+                    self.operand(inst.srcs[0], inst.ty)
+                ));
+            }
+            Op::Cvt => {
+                s.push_str(&format!(
+                    "cvt.{}.{} {}, {}",
+                    inst.ty.suffix(),
+                    inst.ty2.suffix(),
+                    self.reg_name(inst.dst.expect("cvt dst")),
+                    self.operand(inst.srcs[0], inst.ty2)
+                ));
+            }
+            _ => {
+                s.push_str(&format!("{}.{}", inst.op.mnemonic(), inst.ty.suffix()));
+                s.push(' ');
+                let mut parts = Vec::new();
+                if let Some(d) = inst.dst {
+                    parts.push(self.reg_name(d));
+                }
+                for &src in &inst.srcs {
+                    parts.push(self.operand(src, inst.ty));
+                }
+                s.push_str(&parts.join(", "));
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".kernel {}", self.name)?;
+        if !self.params.is_empty() {
+            write!(f, " .params")?;
+            for p in &self.params {
+                write!(f, " {}", p.name)?;
+            }
+        }
+        writeln!(f)?;
+        if self.shared_bytes > 0 {
+            writeln!(f, ".shared {}", self.shared_bytes)?;
+        }
+        for b in self.block_ids() {
+            let blk = self.block(b);
+            writeln!(f, "{}:", blk.label)?;
+            for inst in &blk.insts {
+                writeln!(f, "    {}", self.format_inst(inst))?;
+            }
+            match blk.term {
+                Terminator::Jump(t) => writeln!(f, "    jmp {}", self.block(t).label)?,
+                Terminator::Branch { pred, negated, then_, else_ } => {
+                    writeln!(
+                        f,
+                        "    bra {}{}, {}, {}",
+                        if negated { "!" } else { "" },
+                        self.reg_name(pred),
+                        self.block(then_).label,
+                        self.block(else_).label
+                    )?;
+                }
+                Terminator::Ret => writeln!(f, "    ret")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, k) in self.kernels.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::KernelBuilder;
+    use crate::types::{Cmp, MemSpace, Special, Type};
+
+    #[test]
+    fn prints_expected_syntax() {
+        let mut b = KernelBuilder::new("k", &["A", "N"]);
+        let entry = b.block("entry");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.select(entry);
+        let t = b.special(Special::TidX);
+        let n = b.ld_param("N");
+        let p = b.setp(Cmp::Lt, Type::S32, t, n);
+        b.branch(p, false, body, exit);
+        b.select(body);
+        let a = b.ld_param("A");
+        let addr = b.mad(Type::U32, t, 4u32, a);
+        let v = b.ld(MemSpace::Global, Type::F32, addr, 8);
+        let v2 = b.add(Type::F32, v, crate::inst::Operand::fimm(1.5));
+        b.st(MemSpace::Global, addr, 8, v2);
+        b.jump(exit);
+        b.select(exit);
+        b.ret();
+        let k = b.finish();
+        let text = k.to_string();
+        assert!(text.contains(".kernel k .params A N"), "{text}");
+        assert!(text.contains("mov.u32 %r0, %tid.x"), "{text}");
+        assert!(text.contains("ld.param.u32 %r1, [N]"), "{text}");
+        assert!(text.contains("setp.lt.s32 %p2"), "{text}");
+        assert!(text.contains("bra %p2, body, exit"), "{text}");
+        assert!(text.contains("ld.global.f32"), "{text}");
+        assert!(text.contains("[%r4+8]"), "{text}");
+        assert!(text.contains("1.5f"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+}

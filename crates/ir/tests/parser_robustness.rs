@@ -1,0 +1,88 @@
+//! Parser robustness: arbitrary input must produce a clean error, never
+//! a panic; valid programs survive mutation testing of the error paths.
+
+use proptest::prelude::*;
+
+use penny_ir::parse_kernel;
+
+proptest! {
+    /// The parser never panics on arbitrary text.
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC{0,200}") {
+        let _ = parse_kernel(&text);
+    }
+
+    /// Arbitrary line soup built from plausible tokens never panics and
+    /// errors carry a line number within range.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just(".kernel k"),
+                Just(".shared 64"),
+                Just("entry:"),
+                Just("loop:"),
+                Just("mov.u32 %r1, 5"),
+                Just("add.u32 %r1, %r1, %r2"),
+                Just("add.u32 %r1"),
+                Just("ld.global.u32 %r3, [%r1+4]"),
+                Just("ld.global.u32 %r3, [%r1"),
+                Just("st.shared.f32 [%r1], %r2"),
+                Just("setp.lt.s32 %p0, %r1, %r2"),
+                Just("@%p0 bra loop"),
+                Just("bra %p0, loop, entry"),
+                Just("jmp nowhere"),
+                Just("jmp entry"),
+                Just("ret"),
+                Just("bar.sync"),
+                Just("cp.K1 %r1"),
+                Just("garbage.x99 %%%"),
+                Just("mov.u32 %r1, 99999999999999999999"),
+                Just("// comment"),
+            ],
+            0..24,
+        )
+    ) {
+        let text = tokens.join("\n");
+        if let Err(e) = parse_kernel(&text) {
+            prop_assert!(e.line <= tokens.len() + 1, "line {} out of range", e.line);
+            prop_assert!(!e.message.is_empty());
+        }
+    }
+}
+
+#[test]
+fn error_messages_name_the_problem() {
+    let cases = [
+        ("", "expected 1 kernel"),
+        (".kernel k\nentry:\n bogus.u32 %r1, %r2\n", "unknown mnemonic"),
+        (".kernel k\nentry:\n mov.q64 %r1, 0\n", "unknown type"),
+        (".kernel k\nentry:\n jmp missing\n", "undefined label"),
+        (".kernel k\nentry:\n setp.zz.u32 %p0, 1, 2\n", "unknown comparison"),
+        (".kernel k\nentry:\n ld.flash.u32 %r1, [%r2]\n", "space"),
+        (".kernel k\nentry:\n mov.u32 %r1, zz\n", "bad immediate"),
+        (".kernel k\nentry:\nentry:\n ret\n", "defined twice"),
+        (".kernel k\n mov.u32 %r1, 0\n", "before first label"),
+    ];
+    for (src, needle) in cases {
+        let err = parse_kernel(src).expect_err(src);
+        assert!(
+            err.to_string().contains(needle),
+            "for {src:?}: expected {needle:?} in {err}"
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_structures_parse() {
+    // A long chain of blocks: no recursion limits or stack issues.
+    let mut src = String::from(".kernel deep\n");
+    for i in 0..500 {
+        src.push_str(&format!("b{i}:\n add.u32 %r0, %r0, 1\n jmp b{}\n", i + 1));
+    }
+    src.push_str("b500:\n ret\n");
+    // %r0 used before def: the *parser* accepts it; the validator rejects.
+    let k = parse_kernel(&src).expect("parses");
+    assert_eq!(k.num_blocks(), 501);
+    assert!(penny_ir::validate(&k).is_err());
+}

@@ -1,0 +1,229 @@
+//! Scalar instruction semantics shared by the SIMT interpreter and the
+//! recovery-slice evaluator.
+
+use penny_ir::{Cmp, Op, Type};
+
+/// Evaluates a value-producing ALU opcode over 32-bit operands.
+///
+/// Floats travel as IEEE-754 bit patterns. Integer division by zero
+/// yields all-ones (the CUDA hardware convention); shifts mask their
+/// amount to 5 bits.
+///
+/// # Panics
+///
+/// Panics on non-ALU opcodes (memory, control, pseudo-ops).
+pub fn eval(op: Op, ty: Type, ty2: Type, srcs: &[u32]) -> u32 {
+    let f = |i: usize| f32::from_bits(srcs[i]);
+    let s = |i: usize| srcs[i] as i32;
+    let u = |i: usize| srcs[i];
+    match (op, ty) {
+        (Op::Mov, _) => srcs[0],
+        (Op::Add, Type::F32) => (f(0) + f(1)).to_bits(),
+        (Op::Add, _) => u(0).wrapping_add(u(1)),
+        (Op::Sub, Type::F32) => (f(0) - f(1)).to_bits(),
+        (Op::Sub, _) => u(0).wrapping_sub(u(1)),
+        (Op::Mul, Type::F32) => (f(0) * f(1)).to_bits(),
+        (Op::Mul, _) => u(0).wrapping_mul(u(1)),
+        (Op::MulHi, Type::S32) => (((s(0) as i64 * s(1) as i64) >> 32) as u64 & 0xFFFF_FFFF) as u32,
+        (Op::MulHi, _) => ((u(0) as u64 * u(1) as u64) >> 32) as u32,
+        (Op::Mad, Type::F32) => (f(0) * f(1) + f(2)).to_bits(),
+        (Op::Mad, _) => u(0).wrapping_mul(u(1)).wrapping_add(u(2)),
+        (Op::Div, Type::F32) => (f(0) / f(1)).to_bits(),
+        (Op::Div, Type::S32) => {
+            if s(1) == 0 {
+                u32::MAX
+            } else {
+                s(0).wrapping_div(s(1)) as u32
+            }
+        }
+        (Op::Div, _) => {
+            if u(1) == 0 {
+                u32::MAX
+            } else {
+                u(0) / u(1)
+            }
+        }
+        (Op::Rem, Type::S32) => {
+            if s(1) == 0 {
+                u(0)
+            } else {
+                s(0).wrapping_rem(s(1)) as u32
+            }
+        }
+        (Op::Rem, _) => {
+            if u(1) == 0 {
+                u(0)
+            } else {
+                u(0) % u(1)
+            }
+        }
+        (Op::Min, Type::F32) => f(0).min(f(1)).to_bits(),
+        (Op::Min, Type::S32) => s(0).min(s(1)) as u32,
+        (Op::Min, _) => u(0).min(u(1)),
+        (Op::Max, Type::F32) => f(0).max(f(1)).to_bits(),
+        (Op::Max, Type::S32) => s(0).max(s(1)) as u32,
+        (Op::Max, _) => u(0).max(u(1)),
+        (Op::Neg, Type::F32) => (-f(0)).to_bits(),
+        (Op::Neg, _) => (s(0).wrapping_neg()) as u32,
+        (Op::Abs, Type::F32) => f(0).abs().to_bits(),
+        (Op::Abs, _) => s(0).wrapping_abs() as u32,
+        (Op::And, _) => u(0) & u(1),
+        (Op::Or, _) => u(0) | u(1),
+        (Op::Xor, _) => u(0) ^ u(1),
+        (Op::Not, _) => !u(0),
+        (Op::Shl, _) => u(0).wrapping_shl(u(1) & 31),
+        (Op::Shr, _) => u(0).wrapping_shr(u(1) & 31),
+        (Op::Sra, _) => (s(0).wrapping_shr(u(1) & 31)) as u32,
+        (Op::Setp(c), _) => eval_cmp(c, ty, srcs[0], srcs[1]) as u32,
+        (Op::Selp, _) => {
+            if srcs[2] != 0 {
+                srcs[0]
+            } else {
+                srcs[1]
+            }
+        }
+        (Op::Cvt, _) => eval_cvt(ty, ty2, srcs[0]),
+        (Op::Sqrt, _) => f(0).sqrt().to_bits(),
+        (Op::Rsqrt, _) => (1.0 / f(0).sqrt()).to_bits(),
+        (Op::Rcp, _) => (1.0 / f(0)).to_bits(),
+        (Op::Ex2, _) => f(0).exp2().to_bits(),
+        (Op::Lg2, _) => f(0).log2().to_bits(),
+        (Op::Sin, _) => f(0).sin().to_bits(),
+        (Op::Cos, _) => f(0).cos().to_bits(),
+        other => panic!("not an ALU op: {other:?}"),
+    }
+}
+
+/// Comparison semantics for `setp`.
+pub fn eval_cmp(cmp: Cmp, ty: Type, a: u32, b: u32) -> bool {
+    match ty {
+        Type::F32 => {
+            let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+            match cmp {
+                Cmp::Eq => x == y,
+                Cmp::Ne => x != y,
+                Cmp::Lt => x < y,
+                Cmp::Le => x <= y,
+                Cmp::Gt => x > y,
+                Cmp::Ge => x >= y,
+            }
+        }
+        Type::S32 => {
+            let (x, y) = (a as i32, b as i32);
+            match cmp {
+                Cmp::Eq => x == y,
+                Cmp::Ne => x != y,
+                Cmp::Lt => x < y,
+                Cmp::Le => x <= y,
+                Cmp::Gt => x > y,
+                Cmp::Ge => x >= y,
+            }
+        }
+        _ => match cmp {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        },
+    }
+}
+
+fn eval_cvt(to: Type, from: Type, v: u32) -> u32 {
+    match (to, from) {
+        (Type::F32, Type::S32) => (v as i32 as f32).to_bits(),
+        (Type::F32, Type::U32) => (v as f32).to_bits(),
+        (Type::S32, Type::F32) => {
+            let f = f32::from_bits(v);
+            if f.is_nan() {
+                0
+            } else {
+                (f as i32) as u32 // Rust saturates, matching PTX cvt.rzi
+            }
+        }
+        (Type::U32, Type::F32) => {
+            let f = f32::from_bits(v);
+            if f.is_nan() {
+                0
+            } else {
+                f as u32
+            }
+        }
+        _ => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic_wraps() {
+        assert_eq!(eval(Op::Add, Type::U32, Type::U32, &[u32::MAX, 1]), 0);
+        assert_eq!(eval(Op::Sub, Type::U32, Type::U32, &[0, 1]), u32::MAX);
+        assert_eq!(eval(Op::Mul, Type::U32, Type::U32, &[3, 7]), 21);
+        assert_eq!(eval(Op::Mad, Type::U32, Type::U32, &[2, 3, 4]), 10);
+    }
+
+    #[test]
+    fn float_ops_use_bit_patterns() {
+        let a = 1.5f32.to_bits();
+        let b = 2.0f32.to_bits();
+        assert_eq!(f32::from_bits(eval(Op::Add, Type::F32, Type::F32, &[a, b])), 3.5);
+        assert_eq!(f32::from_bits(eval(Op::Mul, Type::F32, Type::F32, &[a, b])), 3.0);
+        assert_eq!(
+            f32::from_bits(eval(Op::Sqrt, Type::F32, Type::F32, &[4.0f32.to_bits()])),
+            2.0
+        );
+    }
+
+    #[test]
+    fn division_by_zero_follows_cuda() {
+        assert_eq!(eval(Op::Div, Type::U32, Type::U32, &[5, 0]), u32::MAX);
+        assert_eq!(eval(Op::Rem, Type::U32, Type::U32, &[5, 0]), 5);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_comparisons() {
+        let neg1 = (-1i32) as u32;
+        assert!(eval_cmp(Cmp::Lt, Type::S32, neg1, 0));
+        assert!(!eval_cmp(Cmp::Lt, Type::U32, neg1, 0));
+        assert!(eval_cmp(Cmp::Ge, Type::U32, neg1, 0));
+    }
+
+    #[test]
+    fn float_comparison_and_nan() {
+        let nan = f32::NAN.to_bits();
+        let one = 1.0f32.to_bits();
+        assert!(!eval_cmp(Cmp::Lt, Type::F32, nan, one));
+        assert!(!eval_cmp(Cmp::Eq, Type::F32, nan, nan));
+        assert!(eval_cmp(Cmp::Ne, Type::F32, nan, nan));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(eval_cvt(Type::F32, Type::S32, (-2i32) as u32), (-2.0f32).to_bits());
+        assert_eq!(eval_cvt(Type::S32, Type::F32, (-2.7f32).to_bits()), (-2i32) as u32);
+        assert_eq!(eval_cvt(Type::U32, Type::F32, 3.9f32.to_bits()), 3);
+        assert_eq!(eval_cvt(Type::S32, Type::F32, f32::NAN.to_bits()), 0);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(eval(Op::Shl, Type::U32, Type::U32, &[1, 33]), 2);
+        assert_eq!(eval(Op::Sra, Type::S32, Type::S32, &[(-8i32) as u32, 1]), (-4i32) as u32);
+    }
+
+    #[test]
+    fn mulhi_matches_wide_multiply() {
+        assert_eq!(eval(Op::MulHi, Type::U32, Type::U32, &[u32::MAX, u32::MAX]), u32::MAX - 1);
+        assert_eq!(eval(Op::MulHi, Type::S32, Type::S32, &[(-1i32) as u32, 2]), u32::MAX);
+    }
+
+    #[test]
+    fn selp_selects_on_predicate() {
+        assert_eq!(eval(Op::Selp, Type::U32, Type::U32, &[10, 20, 1]), 10);
+        assert_eq!(eval(Op::Selp, Type::U32, Type::U32, &[10, 20, 0]), 20);
+    }
+}

@@ -1,0 +1,71 @@
+//! Register-file energy accounting (paper §7.7, figure 14).
+//!
+//! The paper feeds its synthesis data into GPUWattch; we substitute the
+//! direct product of simulated RF access counts and the per-access
+//! energy of the configured coding scheme (from the `penny-coding` cost
+//! model). Figure 14 then compares, per benchmark:
+//!
+//! * **ECC**: the baseline program on a SECDED-protected RF;
+//! * **Parity/Penny**: the Penny-instrumented program (more RF accesses
+//!   from checkpoint code) on a parity-protected RF;
+//!
+//! both normalized to the baseline program on an unprotected RF.
+
+use penny_coding::{BaselineBank, HwCost, Scheme};
+
+use crate::regfile::RfStats;
+
+/// Energy per RF access (pJ) under a coding scheme.
+pub fn energy_per_access_pj(scheme: Scheme) -> f64 {
+    let base = BaselineBank::paper().energy_pj;
+    let overhead = HwCost::synthesized(scheme).energy_pct;
+    base * (1.0 + overhead / 100.0)
+}
+
+/// Total RF energy (pJ) for a run.
+pub fn rf_energy_pj(stats: &RfStats, scheme: Scheme) -> f64 {
+    (stats.reads + stats.writes) as f64 * energy_per_access_pj(scheme)
+}
+
+/// RF energy normalized to a baseline run on an unprotected RF.
+pub fn normalized_rf_energy(run: &RfStats, scheme: Scheme, baseline: &RfStats) -> f64 {
+    let base = rf_energy_pj(baseline, Scheme::None);
+    if base == 0.0 {
+        return 1.0;
+    }
+    rf_energy_pj(run, scheme) / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_access_energy_tracks_table2() {
+        let none = energy_per_access_pj(Scheme::None);
+        let parity = energy_per_access_pj(Scheme::Parity);
+        let secded = energy_per_access_pj(Scheme::Secded);
+        assert_eq!(none, 9.64);
+        assert!((parity / none - 1.03).abs() < 1e-9);
+        assert!((secded / none - 1.211).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization() {
+        let baseline = RfStats { reads: 800, writes: 200, ..RfStats::default() };
+        // Same access count on SECDED: exactly the ECC energy overhead.
+        let ecc = normalized_rf_energy(&baseline, Scheme::Secded, &baseline);
+        assert!((ecc - 1.211).abs() < 1e-9);
+        // Penny: 5% more accesses on parity.
+        let penny = RfStats { reads: 840, writes: 210, ..RfStats::default() };
+        let p = normalized_rf_energy(&penny, Scheme::Parity, &baseline);
+        assert!((p - 1.03 * 1.05).abs() < 1e-9);
+        assert!(p < ecc, "Penny must beat SECDED for modest access growth");
+    }
+
+    #[test]
+    fn zero_baseline_degrades_gracefully() {
+        let z = RfStats::default();
+        assert_eq!(normalized_rf_energy(&z, Scheme::Parity, &z), 1.0);
+    }
+}

@@ -1,0 +1,791 @@
+//! The SIMT execution engine: functional semantics plus a warp-level
+//! timing model.
+//!
+//! Timing captures the three effects Penny's evaluation hinges on:
+//!
+//! 1. loads stall their warp for the memory latency, hidden only when
+//!    enough *other* warps are resident (occupancy);
+//! 2. stores occupy the SM's memory pipeline per coalesced segment, so
+//!    extra checkpointing stores throttle everything behind them;
+//! 3. occupancy derives from per-thread registers and per-block shared
+//!    memory through the same limits the compiler's storage assigner
+//!    uses.
+//!
+//! Faults flip RF bits; parity (EDC) raises a detection at the next read
+//! of the corrupted register, and the engine then runs Penny's recovery:
+//! restore the current region's live-ins (from checkpoint slots or by
+//! recovery slices) and rewind the warp to the region entry snapshot.
+
+use penny_core::{LaunchDims, Protected};
+use penny_ir::{MemSpace, Op, Operand, RegionId, Special, Terminator};
+
+use crate::config::{GpuConfig, RfProtection};
+use crate::fault::FaultPlan;
+use crate::memory::{GlobalMemory, SharedMemory};
+use crate::program::{PInst, Program};
+use crate::recovery;
+use crate::regfile::{ReadOutcome, RegFile, RfStats};
+use crate::warp::{StackEntry, Warp};
+use crate::SimError;
+
+/// Statistics from one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Total cycles (max over SMs).
+    pub cycles: u64,
+    /// Thread-level instructions executed.
+    pub instructions: u64,
+    /// Warp-level instructions issued.
+    pub warp_instructions: u64,
+    /// Register-file accesses and error events.
+    pub rf: RfStats,
+    /// Recovery invocations (region re-executions).
+    pub recoveries: u64,
+    /// Global loads issued (warp-level).
+    pub global_loads: u64,
+    /// Global stores issued (warp-level).
+    pub global_stores: u64,
+    /// Shared-memory accesses (warp-level).
+    pub shared_accesses: u64,
+    /// Barrier waits observed.
+    pub barriers: u64,
+}
+
+/// Kernel launch description.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Grid/block geometry (must match what the kernel was compiled
+    /// for).
+    pub dims: LaunchDims,
+    /// Parameter words, in declaration order.
+    pub params: Vec<u32>,
+    /// Fault campaign.
+    pub faults: FaultPlan,
+}
+
+impl LaunchConfig {
+    /// A fault-free launch.
+    pub fn new(dims: LaunchDims, params: Vec<u32>) -> LaunchConfig {
+        LaunchConfig { dims, params, faults: FaultPlan::none() }
+    }
+
+    /// Builder-style fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> LaunchConfig {
+        self.faults = faults;
+        self
+    }
+}
+
+/// One thread's context.
+pub struct ThreadCtx {
+    /// Register file.
+    pub rf: RegFile,
+    /// Thread coordinates within the block.
+    pub tid: (u32, u32),
+}
+
+/// One resident thread block.
+pub struct BlockCtx {
+    /// Linear block index.
+    pub index: u32,
+    /// Block coordinates.
+    pub cta: (u32, u32),
+    /// Shared memory (program data + checkpoint arena).
+    pub shared: SharedMemory,
+    /// Threads, row-major.
+    pub threads: Vec<ThreadCtx>,
+    /// Warps.
+    pub warps: Vec<Warp>,
+}
+
+/// Values of the special registers for a given thread.
+pub fn special_value(s: Special, tid: (u32, u32), cta: (u32, u32), dims: &LaunchDims) -> u32 {
+    match s {
+        Special::TidX => tid.0,
+        Special::TidY => tid.1,
+        Special::NTidX => dims.block.0,
+        Special::NTidY => dims.block.1,
+        Special::CtaIdX => cta.0,
+        Special::CtaIdY => cta.1,
+        Special::NCtaIdX => dims.grid.0,
+        Special::NCtaIdY => dims.grid.1,
+        Special::LaneId => (tid.0 + tid.1 * dims.block.0) % 32,
+    }
+}
+
+/// Runs a protected kernel on the configured GPU.
+pub fn run(
+    config: &GpuConfig,
+    protected: &Protected,
+    launch: &LaunchConfig,
+    global: &mut GlobalMemory,
+) -> Result<RunStats, SimError> {
+    if launch.params.len() != protected.kernel.params.len() {
+        return Err(SimError::BadLaunch(format!(
+            "kernel `{}` takes {} params, launch supplies {}",
+            protected.kernel.name,
+            protected.kernel.params.len(),
+            launch.params.len()
+        )));
+    }
+    let program = Program::new(&protected.kernel);
+    let regs_per_thread = if protected.stats.regs_per_thread > 0 {
+        protected.stats.regs_per_thread
+    } else {
+        penny_core::regalloc::register_pressure(&protected.kernel)
+    };
+    let shared_per_block = program.shared_bytes + protected.shared_ckpt_bytes;
+    let tpb = launch.dims.threads_per_block();
+    let resident = config
+        .machine
+        .blocks_per_sm(tpb, regs_per_thread, shared_per_block)
+        .max(1);
+
+    let total_blocks = launch.dims.blocks();
+    let mut stats = RunStats::default();
+    let mut max_sm_cycles = 0u64;
+    for sm in 0..config.num_sms {
+        let my_blocks: Vec<u32> =
+            (0..total_blocks).filter(|b| b % config.num_sms == sm).collect();
+        let mut sm_cycles = 0u64;
+        for wave in my_blocks.chunks(resident as usize) {
+            let mut engine = SmEngine::new(config, protected, launch, &program, global, wave);
+            let wave_cycles = engine.run_wave(&mut stats)?;
+            sm_cycles += wave_cycles;
+        }
+        max_sm_cycles = max_sm_cycles.max(sm_cycles);
+    }
+    stats.cycles = max_sm_cycles;
+    Ok(stats)
+}
+
+/// Per-SM, per-wave execution engine.
+struct SmEngine<'a> {
+    config: &'a GpuConfig,
+    protected: &'a Protected,
+    launch: &'a LaunchConfig,
+    program: &'a Program,
+    global: &'a mut GlobalMemory,
+    blocks: Vec<BlockCtx>,
+    cycle: u64,
+    mem_busy_until: u64,
+    rr_cursor: usize,
+    /// Injections already applied (each fires exactly once).
+    faults_applied: Vec<bool>,
+}
+
+impl<'a> SmEngine<'a> {
+    fn new(
+        config: &'a GpuConfig,
+        protected: &'a Protected,
+        launch: &'a LaunchConfig,
+        program: &'a Program,
+        global: &'a mut GlobalMemory,
+        wave: &[u32],
+    ) -> SmEngine<'a> {
+        let dims = &launch.dims;
+        let tpb = dims.threads_per_block();
+        let shared_bytes = program.shared_bytes + protected.shared_ckpt_bytes;
+        let blocks = wave
+            .iter()
+            .map(|&bi| {
+                let cta = (bi % dims.grid.0, bi / dims.grid.0);
+                let threads = (0..tpb)
+                    .map(|t| ThreadCtx {
+                        rf: RegFile::new(program.num_regs.max(1), config.rf),
+                        tid: (t % dims.block.0, t / dims.block.0),
+                    })
+                    .collect();
+                let nwarps = tpb.div_ceil(32);
+                let warps = (0..nwarps)
+                    .map(|w| {
+                        let base = w * 32;
+                        let width = (tpb - base).min(32);
+                        Warp::new(w, base, width, program.start_of(penny_ir::BlockId(0)), program.end_pc())
+                    })
+                    .collect();
+                BlockCtx { index: bi, cta, shared: SharedMemory::new(shared_bytes), threads, warps }
+            })
+            .collect();
+        SmEngine {
+            config,
+            protected,
+            launch,
+            program,
+            global,
+            blocks,
+            cycle: 0,
+            mem_busy_until: 0,
+            rr_cursor: 0,
+            faults_applied: vec![false; launch.faults.injections.len()],
+        }
+    }
+
+    fn run_wave(&mut self, stats: &mut RunStats) -> Result<u64, SimError> {
+        let deadline: u64 = std::env::var("PENNY_SIM_DEADLINE").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000_000_000);
+        loop {
+            self.release_barriers(stats);
+            // Gather (block, warp) pairs that can issue this cycle.
+            let mut ready: Vec<(usize, usize)> = Vec::new();
+            let mut any_unfinished = false;
+            for (bi, block) in self.blocks.iter_mut().enumerate() {
+                for wi in 0..block.warps.len() {
+                    let finished = block.warps[wi].finished();
+                    if !finished {
+                        any_unfinished = true;
+                        let w = &block.warps[wi];
+                        if !w.at_barrier && w.stall_until <= self.cycle {
+                            ready.push((bi, wi));
+                        }
+                    }
+                }
+            }
+            if !any_unfinished {
+                return Ok(self.cycle);
+            }
+            if ready.is_empty() {
+                // Skip ahead to the earliest wake-up (barrier releases
+                // happen at loop top).
+                let mut next: Option<u64> = None;
+                for b in &mut self.blocks {
+                    for w in &mut b.warps {
+                        if !w.at_barrier && !w.finished() {
+                            next = Some(next.map_or(w.stall_until, |n: u64| n.min(w.stall_until)));
+                        }
+                    }
+                }
+                match next {
+                    Some(n) if n > self.cycle => self.cycle = n,
+                    _ => self.cycle += 1,
+                }
+            } else {
+                let width = self.config.issue_width as usize;
+                let n = ready.len();
+                let start = self.rr_cursor % n;
+                let picks: Vec<(usize, usize)> =
+                    (0..n.min(width)).map(|i| ready[(start + i) % n]).collect();
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                for (bi, wi) in picks {
+                    self.step_warp(bi, wi, stats)?;
+                }
+                self.cycle += 1;
+            }
+            if self.cycle > deadline {
+                let mut dump = String::new();
+                for (bi, b) in self.blocks.iter_mut().enumerate() {
+                    for wi in 0..b.warps.len() {
+                        let fin = b.warps[wi].finished();
+                        let w = &b.warps[wi];
+                        dump.push_str(&format!(
+                            "\n  blk{bi} w{wi}: fin={fin} bar={} stall={} exec={} stack={:?} exited={:08x}",
+                            w.at_barrier, w.stall_until, w.executed, w.stack, w.exited
+                        ));
+                    }
+                }
+                return Err(SimError::Deadlock(format!(
+                    "{} cycle={} {dump}",
+                    self.program.name, self.cycle
+                )));
+            }
+        }
+    }
+
+    fn release_barriers(&mut self, stats: &mut RunStats) {
+        for block in &mut self.blocks {
+            let all_waiting = block
+                .warps
+                .iter_mut()
+                .all(|w| w.at_barrier || w.finished());
+            if all_waiting {
+                let mut released = false;
+                for w in &mut block.warps {
+                    if w.at_barrier {
+                        w.at_barrier = false;
+                        released = true;
+                    }
+                }
+                if released {
+                    stats.barriers += 1;
+                }
+            }
+        }
+    }
+
+    /// Executes one warp-instruction.
+    fn step_warp(&mut self, bi: usize, wi: usize, stats: &mut RunStats) -> Result<(), SimError> {
+        // Fast-forward region markers (zero-cost boundary bookkeeping).
+        loop {
+            let Some(flow) = self.blocks[bi].warps[wi].current_flow() else {
+                return Ok(());
+            };
+            if flow.pc >= self.program.end_pc() {
+                self.blocks[bi].warps[wi].exited |= flow.mask;
+                continue;
+            }
+            if let PInst::Inst(inst) = &self.program.insts[flow.pc] {
+                if let Some(region) = inst.region_entry() {
+                    let warp = &mut self.blocks[bi].warps[wi];
+                    warp.set_pc(flow.pc + 1);
+                    warp.snapshot_region(region);
+                    continue;
+                }
+            }
+            break;
+        }
+        let Some(flow) = self.blocks[bi].warps[wi].current_flow() else {
+            return Ok(());
+        };
+        // Apply any pending fault injections triggered by this warp's
+        // progress.
+        self.apply_faults(bi, wi);
+        let result = match self.program.insts[flow.pc].clone() {
+            PInst::Term(t) => self.exec_terminator(bi, wi, flow, t, stats),
+            PInst::Inst(inst) => self.exec_inst(bi, wi, flow, &inst, stats),
+        };
+        match result {
+            Ok(()) => {
+                let warp = &mut self.blocks[bi].warps[wi];
+                warp.executed += 1;
+                stats.warp_instructions += 1;
+                Ok(())
+            }
+            Err(StepFault::Detected) => {
+                self.recover(bi, wi, stats)?;
+                Ok(())
+            }
+            Err(StepFault::Sim(e)) => Err(e),
+        }
+    }
+
+    fn apply_faults(&mut self, bi: usize, wi: usize) {
+        let block_index = self.blocks[bi].index;
+        let warp = &self.blocks[bi].warps[wi];
+        let executed = warp.executed;
+        let base_thread = warp.base_thread;
+        let width = warp.width;
+        let warp_id = warp.id;
+        let pending: Vec<(usize, crate::fault::Injection)> = self
+            .launch
+            .faults
+            .injections
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| {
+                !self.faults_applied[*i]
+                    && f.block == block_index
+                    && f.warp == warp_id
+                    && f.lane < width
+                    && f.after_warp_insts <= executed
+            })
+            .map(|(i, f)| (i, *f))
+            .collect();
+        for (i, f) in pending {
+            self.faults_applied[i] = true;
+            let t = (base_thread + f.lane) as usize;
+            let rf = &mut self.blocks[bi].threads[t].rf;
+            if (f.reg as usize) < rf.len() {
+                rf.flip_bit(f.reg as usize, f.bit);
+            }
+        }
+    }
+
+    /// Reads a register for one lane, surfacing detections.
+    fn read_reg(
+        &mut self,
+        bi: usize,
+        thread: usize,
+        reg: penny_ir::VReg,
+        stats: &mut RunStats,
+    ) -> Result<u32, StepFault> {
+        let rf = &mut self.blocks[bi].threads[thread].rf;
+        match rf.read(reg.index(), &mut stats.rf) {
+            ReadOutcome::Ok(v) | ReadOutcome::CorrectedInline(v) => Ok(v),
+            ReadOutcome::Detected => match self.config.rf {
+                RfProtection::Edc(_) if self.protected.regions.is_empty() => {
+                    Err(StepFault::Sim(SimError::UnrecoverableFault {
+                        kernel: self.program.name.clone(),
+                        reg: reg.0,
+                    }))
+                }
+                RfProtection::Edc(_) => Err(StepFault::Detected),
+                _ => Err(StepFault::Sim(SimError::UnrecoverableFault {
+                    kernel: self.program.name.clone(),
+                    reg: reg.0,
+                })),
+            },
+        }
+    }
+
+    fn read_operand(
+        &mut self,
+        bi: usize,
+        thread: usize,
+        op: Operand,
+        stats: &mut RunStats,
+    ) -> Result<u32, StepFault> {
+        match op {
+            Operand::Reg(r) => self.read_reg(bi, thread, r, stats),
+            Operand::Imm(v) => Ok(v),
+            Operand::Special(s) => {
+                let t = &self.blocks[bi].threads[thread];
+                Ok(special_value(s, t.tid, self.blocks[bi].cta, &self.launch.dims))
+            }
+        }
+    }
+
+    fn exec_terminator(
+        &mut self,
+        bi: usize,
+        wi: usize,
+        flow: StackEntry,
+        term: Terminator,
+        stats: &mut RunStats,
+    ) -> Result<(), StepFault> {
+        match term {
+            Terminator::Ret => {
+                let warp = &mut self.blocks[bi].warps[wi];
+                warp.exited |= flow.mask;
+                warp.set_pc(flow.reconv); // force a pop on next flow query
+                Ok(())
+            }
+            Terminator::Jump(t) => {
+                let pc = self.program.start_of(t);
+                let warp = &mut self.blocks[bi].warps[wi];
+                warp.set_pc(pc);
+                warp.stall_until = self.cycle + self.config.lat_alu as u64;
+                Ok(())
+            }
+            Terminator::Branch { pred, negated, then_, else_ } => {
+                // Phase 1: read the predicate for every lane (detections
+                // fire before any control-state change).
+                let base = self.blocks[bi].warps[wi].base_thread as usize;
+                let mut taken = 0u32;
+                for lane in 0..32 {
+                    if flow.mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let v = self.read_reg(bi, base + lane, pred, stats)?;
+                    stats.instructions += 1;
+                    let p = (v != 0) ^ negated;
+                    if p {
+                        taken |= 1 << lane;
+                    }
+                }
+                let not_taken = flow.mask & !taken;
+                let then_pc = self.program.start_of(then_);
+                let else_pc = self.program.start_of(else_);
+                let block_id = self.pc_block(flow.pc);
+                let reconv = self.program.reconv[block_id];
+                let warp = &mut self.blocks[bi].warps[wi];
+                if not_taken == 0 {
+                    warp.set_pc(then_pc);
+                } else if taken == 0 {
+                    warp.set_pc(else_pc);
+                } else {
+                    warp.set_pc(reconv);
+                    warp.stack.push(StackEntry { pc: else_pc, reconv, mask: not_taken });
+                    warp.stack.push(StackEntry { pc: then_pc, reconv, mask: taken });
+                }
+                warp.stall_until = self.cycle + self.config.lat_alu as u64;
+                Ok(())
+            }
+        }
+    }
+
+    /// Block id containing a pc (for reconvergence lookup).
+    fn pc_block(&self, pc: usize) -> usize {
+        match self.program.block_start.binary_search(&pc) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        bi: usize,
+        wi: usize,
+        flow: StackEntry,
+        inst: &penny_ir::Inst,
+        stats: &mut RunStats,
+    ) -> Result<(), StepFault> {
+        let base = self.blocks[bi].warps[wi].base_thread as usize;
+        let width = self.blocks[bi].warps[wi].width;
+        // ---- Phase 1: gather operands (and guards) for all lanes. ----
+        let mut lane_active = [false; 32];
+        let mut lane_srcs: Vec<Vec<u32>> = vec![Vec::new(); 32];
+        for lane in 0..width as usize {
+            if flow.mask & (1 << lane) == 0 {
+                continue;
+            }
+            let thread = base + lane;
+            let active = match inst.guard {
+                Some(g) => {
+                    let gv = self.read_reg(bi, thread, g.pred, stats)?;
+                    (gv != 0) != g.negated
+                }
+                None => true,
+            };
+            if !active {
+                continue;
+            }
+            lane_active[lane] = true;
+            let mut srcs = Vec::with_capacity(inst.srcs.len());
+            for &s in &inst.srcs {
+                srcs.push(self.read_operand(bi, thread, s, stats)?);
+            }
+            lane_srcs[lane] = srcs;
+        }
+
+        // ---- Phase 2: effects. ----
+        let latency = self.apply_effects(bi, wi, inst, &lane_active, &lane_srcs, stats)?;
+        let warp = &mut self.blocks[bi].warps[wi];
+        warp.set_pc(flow.pc + 1);
+        warp.stall_until = self.cycle + latency;
+        Ok(())
+    }
+
+    fn apply_effects(
+        &mut self,
+        bi: usize,
+        wi: usize,
+        inst: &penny_ir::Inst,
+        lane_active: &[bool; 32],
+        lane_srcs: &[Vec<u32>],
+        stats: &mut RunStats,
+    ) -> Result<u64, StepFault> {
+        let base = self.blocks[bi].warps[wi].base_thread as usize;
+        let active_count = lane_active.iter().filter(|&&a| a).count() as u64;
+        stats.instructions += active_count;
+        match inst.op {
+            Op::Bar => {
+                self.blocks[bi].warps[wi].at_barrier = true;
+                Ok(self.config.lat_alu as u64)
+            }
+            Op::Nop | Op::RegionEntry(_) => Ok(1),
+            Op::Ckpt(_) => {
+                // Unlowered checkpoints should never reach the engine;
+                // treat as a store-like stall to stay robust.
+                Ok(self.config.lat_store_issue as u64)
+            }
+            Op::Ld(space) => {
+                let mut addrs = Vec::new();
+                for lane in 0..32 {
+                    if !lane_active[lane] {
+                        continue;
+                    }
+                    let addr = lane_srcs[lane][0].wrapping_add(inst.offset as u32);
+                    let v = self.load(bi, space, addr, stats);
+                    let thread = base + lane;
+                    if let Some(d) = inst.dst {
+                        self.blocks[bi].threads[thread].rf.write(d.index(), v, &mut stats.rf);
+                    }
+                    addrs.push(addr);
+                }
+                Ok(self.mem_latency(space, &addrs, true, stats))
+            }
+            Op::St(space) => {
+                let mut addrs = Vec::new();
+                for lane in 0..32 {
+                    if !lane_active[lane] {
+                        continue;
+                    }
+                    let addr = lane_srcs[lane][0].wrapping_add(inst.offset as u32);
+                    let v = lane_srcs[lane][1];
+                    self.store(bi, space, addr, v, stats);
+                    addrs.push(addr);
+                }
+                Ok(self.mem_latency(space, &addrs, false, stats))
+            }
+            Op::Atom(aop, space) => {
+                let mut addrs = Vec::new();
+                for lane in 0..32 {
+                    if !lane_active[lane] {
+                        continue;
+                    }
+                    let addr = lane_srcs[lane][0].wrapping_add(inst.offset as u32);
+                    let operand = lane_srcs[lane][1];
+                    let old = self.load(bi, space, addr, stats);
+                    let new = match aop {
+                        penny_ir::AtomOp::Add => old.wrapping_add(operand),
+                        penny_ir::AtomOp::Min => old.min(operand),
+                        penny_ir::AtomOp::Max => old.max(operand),
+                        penny_ir::AtomOp::Exch => operand,
+                        penny_ir::AtomOp::Cas => operand, // simple model
+                    };
+                    self.store(bi, space, addr, new, stats);
+                    let thread = base + lane;
+                    if let Some(d) = inst.dst {
+                        self.blocks[bi].threads[thread].rf.write(d.index(), old, &mut stats.rf);
+                    }
+                    addrs.push(addr);
+                }
+                Ok(self.mem_latency(space, &addrs, true, stats))
+            }
+            _ => {
+                // ALU.
+                for lane in 0..32 {
+                    if !lane_active[lane] {
+                        continue;
+                    }
+                    let v = crate::alu::eval(inst.op, inst.ty, inst.ty2, &lane_srcs[lane]);
+                    let thread = base + lane;
+                    if let Some(d) = inst.dst {
+                        self.blocks[bi].threads[thread].rf.write(d.index(), v, &mut stats.rf);
+                    }
+                }
+                Ok(self.config.latency_of(inst.op) as u64)
+            }
+        }
+    }
+
+    fn load(&mut self, bi: usize, space: MemSpace, addr: u32, _stats: &mut RunStats) -> u32 {
+        match space {
+            MemSpace::Global => self.global.read(addr),
+            MemSpace::Shared | MemSpace::Local => self.blocks[bi].shared.read(addr),
+            MemSpace::Param => {
+                let idx = (addr / 4) as usize;
+                self.launch.params.get(idx).copied().unwrap_or(0)
+            }
+            MemSpace::Const => self.global.read(addr),
+        }
+    }
+
+    fn store(&mut self, bi: usize, space: MemSpace, addr: u32, value: u32, _stats: &mut RunStats) {
+        match space {
+            MemSpace::Global | MemSpace::Const => self.global.write(addr, value),
+            MemSpace::Shared | MemSpace::Local => self.blocks[bi].shared.write(addr, value),
+            MemSpace::Param => {} // read-only: dropped
+        }
+    }
+
+    /// Warp-visible latency of a memory access, charging the SM memory
+    /// pipeline per coalesced 128-byte segment.
+    fn mem_latency(
+        &mut self,
+        space: MemSpace,
+        addrs: &[u32],
+        is_load: bool,
+        stats: &mut RunStats,
+    ) -> u64 {
+        if addrs.is_empty() {
+            return 1;
+        }
+        let mut segments: Vec<u32> = addrs.iter().map(|a| a / 128).collect();
+        segments.sort_unstable();
+        segments.dedup();
+        let nseg = segments.len() as u64;
+        match space {
+            MemSpace::Param => self.config.lat_alu as u64,
+            MemSpace::Shared | MemSpace::Local => {
+                stats.shared_accesses += 1;
+                // Shared memory has its own banks and no long pipeline:
+                // loads pay the scratchpad latency, stores retire at
+                // issue cost (this is exactly why Penny prefers shared
+                // checkpoint storage).
+                if is_load {
+                    self.config.lat_shared as u64 + (nseg - 1) * 2
+                } else {
+                    self.config.lat_store_issue as u64 + (nseg - 1) * 2
+                }
+            }
+            _ => {
+                if is_load {
+                    stats.global_loads += 1;
+                } else {
+                    stats.global_stores += 1;
+                }
+                let start = self.cycle.max(self.mem_busy_until);
+                let occupancy_cycles = nseg * self.config.seg_cycles as u64;
+                self.mem_busy_until = start + occupancy_cycles;
+                let queue_delay = start - self.cycle;
+                if is_load {
+                    queue_delay + occupancy_cycles + self.config.lat_global as u64
+                } else {
+                    queue_delay + occupancy_cycles + self.config.lat_store_issue as u64
+                }
+            }
+        }
+    }
+
+    /// Penny recovery: roll the warp back to its region snapshot and
+    /// restore every live-in of that region for every lane.
+    fn recover(&mut self, bi: usize, wi: usize, stats: &mut RunStats) -> Result<(), SimError> {
+        stats.recoveries += 1;
+        if self.blocks[bi].warps[wi].snapshot.is_none() {
+            return Err(SimError::UnrecoverableFault {
+                kernel: self.program.name.clone(),
+                reg: u32::MAX,
+            });
+        }
+        let region = self.blocks[bi].warps[wi].rollback();
+        let restores = recovery::restore_warp(
+            self.protected,
+            &self.launch.dims,
+            region,
+            bi,
+            wi,
+            &mut self.blocks,
+            self.global,
+            &self.launch.params,
+            &mut stats.rf,
+        )?;
+        let warp = &mut self.blocks[bi].warps[wi];
+        warp.stall_until = self.cycle
+            + (restores as u64 + 1) * self.config.recovery_cycles_per_restore as u64;
+        Ok(())
+    }
+}
+
+/// Internal step outcome.
+enum StepFault {
+    /// EDC detection: run recovery.
+    Detected,
+    /// Fatal simulation error.
+    Sim(SimError),
+}
+
+impl From<SimError> for StepFault {
+    fn from(e: SimError) -> StepFault {
+        StepFault::Sim(e)
+    }
+}
+
+/// Recovery needs mutable access to blocks; expose the pieces it uses.
+impl BlockCtx {
+    /// The region id marker instruction of `region` if the warp's
+    /// current snapshot matches (diagnostics).
+    pub fn snapshot_region_of(&self, wi: usize) -> Option<RegionId> {
+        self.warps[wi].snapshot.as_ref().map(|s| s.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_values() {
+        let dims = LaunchDims { block: (8, 4), grid: (2, 3) };
+        assert_eq!(special_value(Special::TidX, (3, 2), (1, 0), &dims), 3);
+        assert_eq!(special_value(Special::NTidX, (0, 0), (0, 0), &dims), 8);
+        assert_eq!(special_value(Special::NTidY, (0, 0), (0, 0), &dims), 4);
+        assert_eq!(special_value(Special::CtaIdY, (0, 0), (1, 2), &dims), 2);
+        assert_eq!(special_value(Special::NCtaIdX, (0, 0), (0, 0), &dims), 2);
+        assert_eq!(special_value(Special::LaneId, (3, 1), (0, 0), &dims), 11);
+    }
+
+    #[test]
+    fn launch_config_builders() {
+        let l = LaunchConfig::new(LaunchDims::linear(1, 32), vec![1, 2]);
+        assert!(l.faults.is_empty());
+        let f = l.with_faults(crate::fault::FaultPlan::random(1, 3, 1, 1, 32, 4, 33, 10));
+        assert_eq!(f.faults.injections.len(), 3);
+    }
+
+    #[test]
+    fn stats_default_is_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.recoveries, 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic soft-error injection into the register file.
+//!
+//! The paper's error model is a particle strike flipping one or more RF
+//! bits. An [`Injection`] names its victim by grid coordinates and fires
+//! after the victim's warp has executed a given number of instructions —
+//! a trigger that is independent of timing-model details, so campaigns
+//! are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Linear block index within the grid.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Lane within the warp.
+    pub lane: u32,
+    /// Victim register.
+    pub reg: u32,
+    /// Codeword bit to flip (wraps modulo the codeword length).
+    pub bit: u32,
+    /// Fires when the victim warp has executed this many instructions.
+    pub after_warp_insts: u64,
+}
+
+/// A full injection campaign for one launch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Injections, in any order.
+    pub injections: Vec<Injection>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A single fault.
+    pub fn single(i: Injection) -> FaultPlan {
+        FaultPlan { injections: vec![i] }
+    }
+
+    /// Generates `count` random single-bit faults over the given
+    /// geometry, deterministically from `seed`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn random(
+        seed: u64,
+        count: usize,
+        blocks: u32,
+        warps_per_block: u32,
+        lanes: u32,
+        regs: u32,
+        bits: u32,
+        max_insts: u64,
+    ) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let injections = (0..count)
+            .map(|_| Injection {
+                block: rng.gen_range(0..blocks.max(1)),
+                warp: rng.gen_range(0..warps_per_block.max(1)),
+                lane: rng.gen_range(0..lanes.max(1)),
+                reg: rng.gen_range(0..regs.max(1)),
+                bit: rng.gen_range(0..bits.max(1)),
+                after_warp_insts: rng.gen_range(1..max_insts.max(2)),
+            })
+            .collect();
+        FaultPlan { injections }
+    }
+
+    /// Returns `true` when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let a = FaultPlan::random(7, 5, 4, 2, 32, 16, 33, 100);
+        let b = FaultPlan::random(7, 5, 4, 2, 32, 16, 33, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.injections.len(), 5);
+        let c = FaultPlan::random(8, 5, 4, 2, 32, 16, 33, 100);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let p = FaultPlan::random(1, 100, 2, 3, 32, 10, 33, 50);
+        for i in &p.injections {
+            assert!(i.block < 2);
+            assert!(i.warp < 3);
+            assert!(i.lane < 32);
+            assert!(i.reg < 10);
+            assert!(i.bit < 33);
+            assert!(i.after_warp_insts >= 1 && i.after_warp_insts < 50);
+        }
+    }
+
+    #[test]
+    fn empty_plan() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::single(Injection {
+            block: 0,
+            warp: 0,
+            lane: 0,
+            reg: 0,
+            bit: 0,
+            after_warp_insts: 1
+        })
+        .is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulated GPU memories.
+//!
+//! Global memory is a sparse, paged, word-granular 32-bit address space
+//! (so the high checkpoint arena at `GLOBAL_CKPT_BASE` costs nothing
+//! until touched). Shared memory is a flat per-block scratchpad. Both
+//! are ECC-protected in the machine model — the reason Penny puts
+//! checkpoints there — so injected faults only ever target the RF.
+
+use std::collections::HashMap;
+
+/// Words per page.
+const PAGE_WORDS: usize = 1024;
+
+/// Sparse global memory (word-addressable via byte addresses).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMemory {
+    pages: HashMap<u32, Box<[u32; PAGE_WORDS]>>,
+    /// Read/write counters (for statistics).
+    pub reads: u64,
+    /// Write counter.
+    pub writes: u64,
+}
+
+impl GlobalMemory {
+    /// Creates an empty memory.
+    pub fn new() -> GlobalMemory {
+        GlobalMemory::default()
+    }
+
+    fn page_of(addr: u32) -> (u32, usize) {
+        let word = addr / 4;
+        (word / PAGE_WORDS as u32, (word as usize) % PAGE_WORDS)
+    }
+
+    /// Reads the word at a byte address (unaligned bits are ignored).
+    pub fn read(&mut self, addr: u32) -> u32 {
+        self.reads += 1;
+        let (p, o) = Self::page_of(addr);
+        self.pages.get(&p).map(|pg| pg[o]).unwrap_or(0)
+    }
+
+    /// Reads without counting (host-side inspection).
+    pub fn peek(&self, addr: u32) -> u32 {
+        let (p, o) = Self::page_of(addr);
+        self.pages.get(&p).map(|pg| pg[o]).unwrap_or(0)
+    }
+
+    /// Writes the word at a byte address.
+    pub fn write(&mut self, addr: u32, value: u32) {
+        self.writes += 1;
+        let (p, o) = Self::page_of(addr);
+        self.pages.entry(p).or_insert_with(|| Box::new([0; PAGE_WORDS]))[o] = value;
+    }
+
+    /// Host-side bulk write of consecutive words.
+    pub fn write_slice(&mut self, addr: u32, data: &[u32]) {
+        for (i, &w) in data.iter().enumerate() {
+            let (p, o) = Self::page_of(addr + (i as u32) * 4);
+            self.pages.entry(p).or_insert_with(|| Box::new([0; PAGE_WORDS]))[o] = w;
+        }
+    }
+
+    /// Host-side bulk read of consecutive words.
+    pub fn read_slice(&self, addr: u32, len: usize) -> Vec<u32> {
+        (0..len).map(|i| self.peek(addr + (i as u32) * 4)).collect()
+    }
+
+    /// Host-side write of f32 data.
+    pub fn write_f32_slice(&mut self, addr: u32, data: &[f32]) {
+        let words: Vec<u32> = data.iter().map(|f| f.to_bits()).collect();
+        self.write_slice(addr, &words);
+    }
+
+    /// Host-side read of f32 data.
+    pub fn read_f32_slice(&self, addr: u32, len: usize) -> Vec<f32> {
+        self.read_slice(addr, len).into_iter().map(f32::from_bits).collect()
+    }
+}
+
+/// Flat per-block shared memory.
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    words: Vec<u32>,
+    /// Read counter.
+    pub reads: u64,
+    /// Write counter.
+    pub writes: u64,
+}
+
+impl SharedMemory {
+    /// Creates a zeroed scratchpad of `bytes` bytes (rounded up to a
+    /// word).
+    pub fn new(bytes: u32) -> SharedMemory {
+        SharedMemory { words: vec![0; bytes.div_ceil(4) as usize], reads: 0, writes: 0 }
+    }
+
+    /// Size in bytes.
+    pub fn len_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Reads the word at a byte address; out-of-range reads return 0
+    /// (the verifier-level contract is that programs stay in bounds; the
+    /// checkpoint arena is sized by the compiler).
+    pub fn read(&mut self, addr: u32) -> u32 {
+        self.reads += 1;
+        self.words.get((addr / 4) as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at a byte address (out-of-range writes are
+    /// dropped).
+    pub fn write(&mut self, addr: u32, value: u32) {
+        self.writes += 1;
+        if let Some(w) = self.words.get_mut((addr / 4) as usize) {
+            *w = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_roundtrip_and_default_zero() {
+        let mut m = GlobalMemory::new();
+        assert_eq!(m.read(0x1000), 0);
+        m.write(0x1000, 42);
+        assert_eq!(m.read(0x1000), 42);
+        assert_eq!(m.peek(0x1004), 0);
+    }
+
+    #[test]
+    fn global_high_addresses_are_cheap() {
+        let mut m = GlobalMemory::new();
+        m.write(0xC000_0000, 7);
+        m.write(0xFFFF_FFFC, 9);
+        assert_eq!(m.peek(0xC000_0000), 7);
+        assert_eq!(m.peek(0xFFFF_FFFC), 9);
+        assert!(m.pages.len() <= 2);
+    }
+
+    #[test]
+    fn slices_roundtrip() {
+        let mut m = GlobalMemory::new();
+        m.write_slice(0x2000, &[1, 2, 3, 4]);
+        assert_eq!(m.read_slice(0x2000, 4), vec![1, 2, 3, 4]);
+        m.write_f32_slice(0x3000, &[1.5, -2.5]);
+        assert_eq!(m.read_f32_slice(0x3000, 2), vec![1.5, -2.5]);
+    }
+
+    #[test]
+    fn slice_crossing_page_boundary() {
+        let mut m = GlobalMemory::new();
+        let addr = (PAGE_WORDS as u32) * 4 - 8; // last two words of page 0
+        m.write_slice(addr, &[10, 20, 30, 40]);
+        assert_eq!(m.read_slice(addr, 4), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn shared_bounds() {
+        let mut s = SharedMemory::new(16);
+        s.write(0, 5);
+        s.write(12, 7);
+        assert_eq!(s.read(0), 5);
+        assert_eq!(s.read(12), 7);
+        // Out of range: dropped / zero.
+        s.write(1000, 1);
+        assert_eq!(s.read(1000), 0);
+        assert_eq!(s.len_bytes(), 16);
+    }
+
+    #[test]
+    fn counters_track_accesses() {
+        let mut m = GlobalMemory::new();
+        m.write(0, 1);
+        m.read(0);
+        m.read(4);
+        assert_eq!(m.writes, 1);
+        assert_eq!(m.reads, 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Program linearization for execution: blocks flattened into a single
+//! instruction array with explicit terminators, plus the immediate-
+//! post-dominator reconvergence table the SIMT stack uses.
+
+use penny_analysis::Dominators;
+use penny_ir::{BlockId, Inst, Kernel, Terminator};
+
+/// One linearized program element.
+#[derive(Debug, Clone)]
+pub enum PInst {
+    /// An ordinary instruction.
+    Inst(Inst),
+    /// A block terminator.
+    Term(Terminator),
+}
+
+/// An executable, linearized kernel.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Flattened instruction stream.
+    pub insts: Vec<PInst>,
+    /// Start PC of each block.
+    pub block_start: Vec<usize>,
+    /// Reconvergence PC for a branch in each block: the start of the
+    /// block's immediate post-dominator, or [`Program::end_pc`] when the
+    /// paths only rejoin at exit.
+    pub reconv: Vec<usize>,
+    /// Kernel name (diagnostics).
+    pub name: String,
+    /// Static shared-memory bytes (program data; checkpoint storage is
+    /// accounted separately by the launch).
+    pub shared_bytes: u32,
+    /// Number of virtual registers.
+    pub num_regs: usize,
+}
+
+impl Program {
+    /// Linearizes a kernel.
+    pub fn new(kernel: &Kernel) -> Program {
+        let pdom = Dominators::compute_post(kernel);
+        let mut insts = Vec::new();
+        let mut block_start = Vec::with_capacity(kernel.num_blocks());
+        for b in kernel.block_ids() {
+            block_start.push(insts.len());
+            for i in &kernel.block(b).insts {
+                insts.push(PInst::Inst(i.clone()));
+            }
+            insts.push(PInst::Term(kernel.block(b).term));
+        }
+        let end_pc = insts.len();
+        let reconv = kernel
+            .block_ids()
+            .map(|b| match pdom.idom(b) {
+                Some(p) => block_start[p.index()],
+                None => end_pc,
+            })
+            .collect();
+        Program {
+            insts,
+            block_start,
+            reconv,
+            name: kernel.name.clone(),
+            shared_bytes: kernel.shared_bytes,
+            num_regs: kernel.vreg_limit() as usize,
+        }
+    }
+
+    /// Sentinel PC one past the last instruction.
+    pub fn end_pc(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Start PC of a block.
+    pub fn start_of(&self, b: BlockId) -> usize {
+        self.block_start[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penny_ir::parse_kernel;
+
+    #[test]
+    fn linearization_preserves_order() {
+        let k = parse_kernel(
+            r#"
+            .kernel l
+            entry:
+                mov.u32 %r0, 1
+                jmp next
+            next:
+                mov.u32 %r1, 2
+                ret
+        "#,
+        )
+        .expect("parse");
+        let p = Program::new(&k);
+        assert_eq!(p.block_start, vec![0, 2]);
+        assert_eq!(p.insts.len(), 4);
+        assert!(matches!(p.insts[1], PInst::Term(Terminator::Jump(_))));
+        assert!(matches!(p.insts[3], PInst::Term(Terminator::Ret)));
+        assert_eq!(p.end_pc(), 4);
+    }
+
+    #[test]
+    fn reconvergence_at_ipostdom() {
+        let k = parse_kernel(
+            r#"
+            .kernel d
+            entry:
+                setp.eq.u32 %p0, 1, 1
+                bra %p0, a, b
+            a:
+                jmp join
+            b:
+                jmp join
+            join:
+                ret
+        "#,
+        )
+        .expect("parse");
+        let p = Program::new(&k);
+        // entry's branch reconverges at join's start.
+        let join_start = p.start_of(BlockId(3));
+        assert_eq!(p.reconv[0], join_start);
+        // join itself reconverges at exit.
+        assert_eq!(p.reconv[3], p.end_pc());
+    }
+}

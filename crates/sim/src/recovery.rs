@@ -1,0 +1,172 @@
+//! Penny's recovery runtime (paper §3 footnote 3 and Appendix A).
+//!
+//! When parity detects a corrupted register, the runtime (1) restores
+//! every live-in register of the faulting warp's current region — from
+//! its checkpoint slot or by evaluating its recovery slice — (2)
+//! recomputes the code generator's setup registers, and (3) rewinds the
+//! warp to the region-entry snapshot. Re-execution then corrects the
+//! error, no matter how many bits were corrupted.
+
+use penny_core::{LaunchDims, Protected, Restore, SetupValue, Slice, SliceInst, SlotRef};
+use penny_ir::{MemSpace, RegionId};
+
+use crate::engine::{special_value, BlockCtx};
+use crate::memory::GlobalMemory;
+use crate::regfile::RfStats;
+use crate::SimError;
+
+/// Byte address of `thread`'s word in a checkpoint slot.
+pub fn slot_addr(
+    slot: &SlotRef,
+    protected: &Protected,
+    dims: &LaunchDims,
+    cta_linear: u32,
+    tid_flat: u32,
+) -> u32 {
+    let base = penny_core::codegen::slot_base(slot, protected.shared_ckpt_base, dims);
+    match slot.space {
+        MemSpace::Shared => base + tid_flat * 4,
+        _ => base + (cta_linear * dims.threads_per_block() + tid_flat) * 4,
+    }
+}
+
+/// Restores all live-ins of `region` for every lane of warp `wi` in
+/// block `bi`. Returns the number of restore operations performed (for
+/// the timing charge).
+#[allow(clippy::too_many_arguments)]
+pub fn restore_warp(
+    protected: &Protected,
+    dims: &LaunchDims,
+    region: RegionId,
+    bi: usize,
+    wi: usize,
+    blocks: &mut [BlockCtx],
+    global: &mut GlobalMemory,
+    params: &[u32],
+    rf_stats: &mut RfStats,
+) -> Result<u32, SimError> {
+    let info = protected
+        .region(region)
+        .ok_or_else(|| SimError::BadMetadata(format!("no metadata for {region}")))?;
+    let (base_thread, width) = {
+        let w = &blocks[bi].warps[wi];
+        (w.base_thread as usize, w.width as usize)
+    };
+    let mut ops = 0u32;
+    for lane in 0..width {
+        let thread = base_thread + lane;
+        let (tid, cta) = {
+            let b = &blocks[bi];
+            (b.threads[thread].tid, b.cta)
+        };
+        let tid_flat = tid.0 + tid.1 * dims.block.0;
+        let cta_linear = cta.0 + cta.1 * dims.grid.0;
+        // Live-in restores.
+        for (reg, restore) in &info.restores {
+            let value = match restore {
+                Restore::Slot(slot) => {
+                    let addr = slot_addr(slot, protected, dims, cta_linear, tid_flat);
+                    read_slot(blocks, bi, global, slot.space, addr)
+                }
+                Restore::Slice(slice) => eval_slice(
+                    slice, protected, dims, blocks, bi, global, params, tid, cta, tid_flat,
+                    cta_linear,
+                )?,
+            };
+            blocks[bi].threads[thread].rf.write(reg.index(), value, rf_stats);
+            ops += 1;
+        }
+        // Setup registers (checkpoint addressing).
+        for (reg, sv) in &protected.setup {
+            let value = match sv {
+                SetupValue::TidFlat4 => tid_flat * 4,
+                SetupValue::GlobalTid4 => {
+                    (cta_linear * dims.threads_per_block() + tid_flat) * 4
+                }
+                SetupValue::SlotAddr(slot) => {
+                    // The in-kernel address: base + per-thread offset in
+                    // the slot's own space addressing scheme.
+                    let base = penny_core::codegen::slot_base(
+                        slot,
+                        protected.shared_ckpt_base,
+                        dims,
+                    );
+                    match slot.space {
+                        MemSpace::Shared => base + tid_flat * 4,
+                        _ => base + (cta_linear * dims.threads_per_block() + tid_flat) * 4,
+                    }
+                }
+            };
+            blocks[bi].threads[thread].rf.write(reg.index(), value, rf_stats);
+            ops += 1;
+        }
+    }
+    Ok(ops)
+}
+
+fn read_slot(
+    blocks: &mut [BlockCtx],
+    bi: usize,
+    global: &mut GlobalMemory,
+    space: MemSpace,
+    addr: u32,
+) -> u32 {
+    match space {
+        MemSpace::Shared => blocks[bi].shared.read(addr),
+        _ => global.read(addr),
+    }
+}
+
+/// Evaluates one recovery slice for one thread.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_slice(
+    slice: &Slice,
+    protected: &Protected,
+    dims: &LaunchDims,
+    blocks: &mut [BlockCtx],
+    bi: usize,
+    global: &mut GlobalMemory,
+    params: &[u32],
+    tid: (u32, u32),
+    cta: (u32, u32),
+    tid_flat: u32,
+    cta_linear: u32,
+) -> Result<u32, SimError> {
+    let mut values: Vec<u32> = Vec::with_capacity(slice.len());
+    for inst in &slice.insts {
+        let v = match inst {
+            SliceInst::Const(c) => *c,
+            SliceInst::Special(s) => special_value(*s, tid, cta, dims),
+            SliceInst::LoadSlot(slot) => {
+                let addr = slot_addr(slot, protected, dims, cta_linear, tid_flat);
+                read_slot(blocks, bi, global, slot.space, addr)
+            }
+            SliceInst::LoadMem { space, base, offset } => {
+                let addr = values[*base].wrapping_add(*offset as u32);
+                match space {
+                    MemSpace::Global | MemSpace::Const => global.read(addr),
+                    MemSpace::Shared | MemSpace::Local => blocks[bi].shared.read(addr),
+                    MemSpace::Param => {
+                        params.get((addr / 4) as usize).copied().unwrap_or(0)
+                    }
+                }
+            }
+            SliceInst::Alu { op, ty, ty2, args } => {
+                let srcs: Vec<u32> = args.iter().map(|&a| values[a]).collect();
+                crate::alu::eval(*op, *ty, *ty2, &srcs)
+            }
+            SliceInst::Setp { cmp, ty, a, b } => {
+                crate::alu::eval_cmp(*cmp, *ty, values[*a], values[*b]) as u32
+            }
+            SliceInst::Select { pred, a, b } => {
+                if values[*pred] != 0 {
+                    values[*a]
+                } else {
+                    values[*b]
+                }
+            }
+        };
+        values.push(v);
+    }
+    values.last().copied().ok_or_else(|| SimError::BadMetadata("empty recovery slice".into()))
+}

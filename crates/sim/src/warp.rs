@@ -1,0 +1,175 @@
+//! Warp execution state: the SIMT divergence stack, barrier/stall
+//! bookkeeping, and the per-warp region snapshot Penny's recovery
+//! rewinds to.
+
+use penny_ir::RegionId;
+
+/// One SIMT stack entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackEntry {
+    /// Next PC for this flow.
+    pub pc: usize,
+    /// PC where this flow reconverges with its sibling.
+    pub reconv: usize,
+    /// Lanes executing this flow.
+    pub mask: u32,
+}
+
+/// The warp state captured when a region marker is crossed; recovery
+/// restores it verbatim (the hardware analogue is resetting the warp's
+/// PC/divergence state to the region entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpSnapshot {
+    /// SIMT stack at the marker (with the top PC already past it).
+    pub stack: Vec<StackEntry>,
+    /// Exited lanes at the marker.
+    pub exited: u32,
+    /// The region entered.
+    pub region: RegionId,
+}
+
+/// A warp.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Warp index within its block.
+    pub id: u32,
+    /// First thread index (within the block) of lane 0.
+    pub base_thread: u32,
+    /// Number of live lanes (the last warp of a block may be partial).
+    pub width: u32,
+    /// Divergence stack; the top entry is the executing flow.
+    pub stack: Vec<StackEntry>,
+    /// Lanes that have executed `ret`.
+    pub exited: u32,
+    /// Cycle until which the warp is stalled.
+    pub stall_until: u64,
+    /// Waiting at a block-wide barrier.
+    pub at_barrier: bool,
+    /// Instructions this warp has executed (fault-plan trigger).
+    pub executed: u64,
+    /// Snapshot of the current region's entry.
+    pub snapshot: Option<WarpSnapshot>,
+}
+
+impl Warp {
+    /// Creates a warp starting at `entry_pc` with `width` live lanes,
+    /// reconverging (terminating) at `end_pc`.
+    pub fn new(id: u32, base_thread: u32, width: u32, entry_pc: usize, end_pc: usize) -> Warp {
+        let mask = if width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
+        Warp {
+            id,
+            base_thread,
+            width,
+            stack: vec![StackEntry { pc: entry_pc, reconv: end_pc, mask }],
+            exited: 0,
+            stall_until: 0,
+            at_barrier: false,
+            executed: 0,
+            snapshot: None,
+        }
+    }
+
+    /// Pops merged/empty entries; returns the current flow, or `None`
+    /// when the warp has finished.
+    pub fn current_flow(&mut self) -> Option<StackEntry> {
+        loop {
+            let &top = self.stack.last()?;
+            let live = top.mask & !self.exited;
+            if live == 0 || top.pc == top.reconv {
+                self.stack.pop();
+                continue;
+            }
+            return Some(StackEntry { mask: live, ..top });
+        }
+    }
+
+    /// Returns `true` when every lane has exited or the stack drained.
+    pub fn finished(&mut self) -> bool {
+        self.current_flow().is_none()
+    }
+
+    /// Advances the top-of-stack PC.
+    pub fn set_pc(&mut self, pc: usize) {
+        if let Some(top) = self.stack.last_mut() {
+            top.pc = pc;
+        }
+    }
+
+    /// Takes a region snapshot (top PC must already be past the marker).
+    pub fn snapshot_region(&mut self, region: RegionId) {
+        self.snapshot =
+            Some(WarpSnapshot { stack: self.stack.clone(), exited: self.exited, region });
+    }
+
+    /// Rolls the warp back to its region snapshot; returns the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshot exists.
+    pub fn rollback(&mut self) -> RegionId {
+        let snap = self.snapshot.clone().expect("no region snapshot to roll back to");
+        self.stack = snap.stack.clone();
+        self.exited = snap.exited;
+        snap.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_warp_flows_from_entry() {
+        let mut w = Warp::new(0, 0, 32, 5, 100);
+        let f = w.current_flow().expect("flow");
+        assert_eq!(f.pc, 5);
+        assert_eq!(f.mask, u32::MAX);
+        assert!(!w.finished());
+    }
+
+    #[test]
+    fn partial_warp_mask() {
+        let mut w = Warp::new(1, 32, 7, 0, 10);
+        assert_eq!(w.current_flow().expect("flow").mask, 0b111_1111);
+    }
+
+    #[test]
+    fn reconvergence_pops() {
+        let mut w = Warp::new(0, 0, 32, 0, 100);
+        // Simulate a divergence reconverging at pc 8: the root entry
+        // waits at the merge point while the two sides execute.
+        w.set_pc(8);
+        w.stack.push(StackEntry { pc: 3, reconv: 8, mask: 0xF0 });
+        w.stack.push(StackEntry { pc: 1, reconv: 8, mask: 0x0F });
+        // Execute the then-side to its reconvergence point.
+        w.set_pc(8);
+        let f = w.current_flow().expect("flow");
+        assert_eq!(f.mask, 0xF0, "else side resumes");
+        w.set_pc(8);
+        let f = w.current_flow().expect("flow");
+        assert_eq!(f.pc, 8, "merged flow at reconvergence");
+        assert_eq!(f.mask, u32::MAX);
+        // Draining the final entry ends the warp.
+        w.exited = u32::MAX;
+        assert!(w.finished());
+    }
+
+    #[test]
+    fn rollback_restores_snapshot() {
+        let mut w = Warp::new(0, 0, 32, 0, 100);
+        w.set_pc(4);
+        w.snapshot_region(RegionId(2));
+        w.set_pc(42);
+        w.stack.push(StackEntry { pc: 50, reconv: 60, mask: 1 });
+        let r = w.rollback();
+        assert_eq!(r, RegionId(2));
+        assert_eq!(w.stack.len(), 1);
+        assert_eq!(w.current_flow().expect("flow").pc, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no region snapshot")]
+    fn rollback_without_snapshot_panics() {
+        Warp::new(0, 0, 32, 0, 10).rollback();
+    }
+}

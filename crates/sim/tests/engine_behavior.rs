@@ -1,0 +1,262 @@
+//! Focused behavioral tests of the SIMT engine: divergence and
+//! reconvergence, predication, barriers, atomics, and the
+//! coalescing-sensitive timing model.
+
+use penny_core::{compile, LaunchDims, PennyConfig};
+use penny_sim::{Gpu, GpuConfig, LaunchConfig, RfProtection};
+
+fn run_kernel(src: &str, dims: LaunchDims, params: Vec<u32>, setup: &[(u32, Vec<u32>)]) -> (Gpu, penny_sim::RunStats) {
+    let kernel = penny_ir::parse_kernel(src).expect("parse");
+    let cfg = PennyConfig::unprotected().with_launch(dims);
+    let protected = compile(&kernel, &cfg).expect("compile");
+    let mut gpu = Gpu::new(GpuConfig::fermi().with_rf(RfProtection::None));
+    for (addr, data) in setup {
+        gpu.global_mut().write_slice(*addr, data);
+    }
+    let stats = gpu.run(&protected, &LaunchConfig::new(dims, params)).expect("run");
+    (gpu, stats)
+}
+
+#[test]
+fn nested_divergence_reconverges() {
+    // Two nested branches on tid bits; each lane writes a distinct code
+    // identifying the path it took, then all lanes write a common value
+    // after reconvergence.
+    let src = r#"
+        .kernel nest .params OUT
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [OUT]
+            shl.u32 %r2, %r0, 3
+            add.u32 %r3, %r1, %r2
+            and.u32 %r4, %r0, 1
+            setp.eq.u32 %p0, %r4, 0
+            bra %p0, even, odd
+        even:
+            and.u32 %r5, %r0, 2
+            setp.eq.u32 %p1, %r5, 0
+            bra %p1, even_a, even_b
+        even_a:
+            st.global.u32 [%r3], 10
+            jmp join
+        even_b:
+            st.global.u32 [%r3], 20
+            jmp join
+        odd:
+            st.global.u32 [%r3], 30
+            jmp join
+        join:
+            st.global.u32 [%r3+4], 99
+            ret
+    "#;
+    let dims = LaunchDims::linear(1, 32);
+    let (gpu, _) = run_kernel(src, dims, vec![0x1000], &[]);
+    for t in 0..32u32 {
+        let code = gpu.global().peek(0x1000 + t * 8);
+        let after = gpu.global().peek(0x1000 + t * 8 + 4);
+        let expected = if t % 2 == 1 {
+            30
+        } else if t % 4 == 0 {
+            10
+        } else {
+            20
+        };
+        assert_eq!(code, expected, "thread {t} took the wrong path");
+        assert_eq!(after, 99, "thread {t} missed the reconverged store");
+    }
+}
+
+#[test]
+fn guarded_execution_does_not_diverge_control() {
+    // Predicated stores: inactive lanes skip the effect but the warp
+    // stays converged (no branch).
+    let src = r#"
+        .kernel pred .params OUT
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [OUT]
+            shl.u32 %r2, %r0, 2
+            add.u32 %r3, %r1, %r2
+            st.global.u32 [%r3], 1
+            and.u32 %r4, %r0, 1
+            setp.eq.u32 %p0, %r4, 0
+            @%p0 st.global.u32 [%r3], 2
+            @!%p0 st.global.u32 [%r3], 3
+            ret
+    "#;
+    let dims = LaunchDims::linear(1, 32);
+    let (gpu, _) = run_kernel(src, dims, vec![0x1000], &[]);
+    for t in 0..32u32 {
+        let v = gpu.global().peek(0x1000 + t * 4);
+        assert_eq!(v, if t % 2 == 0 { 2 } else { 3 }, "thread {t}");
+    }
+}
+
+#[test]
+fn atomics_serialize_correctly_across_warps_and_blocks() {
+    let src = r#"
+        .kernel count .params CTR
+        entry:
+            ld.param.u32 %r0, [CTR]
+            atom.global.add.u32 %r1, [%r0], 1
+            ret
+    "#;
+    let dims = LaunchDims::linear(4, 32);
+    let (gpu, _) = run_kernel(src, dims, vec![0x2000], &[(0x2000, vec![0])]);
+    assert_eq!(gpu.global().peek(0x2000), 128, "every thread increments once");
+}
+
+#[test]
+fn coalesced_loads_are_faster_than_scattered() {
+    // Same instruction count; one kernel strides by 4 bytes (1 segment
+    // per warp access), the other by 256 bytes (32 segments).
+    let coalesced = r#"
+        .kernel c .params IN OUT
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [IN]
+            ld.param.u32 %r2, [OUT]
+            shl.u32 %r3, %r0, 2
+            add.u32 %r4, %r1, %r3
+            ld.global.u32 %r5, [%r4]
+            add.u32 %r6, %r2, %r3
+            st.global.u32 [%r6], %r5
+            ret
+    "#;
+    let scattered = r#"
+        .kernel s .params IN OUT
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [IN]
+            ld.param.u32 %r2, [OUT]
+            shl.u32 %r3, %r0, 8
+            add.u32 %r4, %r1, %r3
+            ld.global.u32 %r5, [%r4]
+            shl.u32 %r7, %r0, 2
+            add.u32 %r6, %r2, %r7
+            st.global.u32 [%r6], %r5
+            ret
+    "#;
+    let dims = LaunchDims::linear(1, 32);
+    let input: Vec<u32> = (0..32 * 64).collect();
+    let (_, fast) = run_kernel(coalesced, dims, vec![0x1_0000, 0x8_0000], &[(0x1_0000, input.clone())]);
+    let (_, slow) = run_kernel(scattered, dims, vec![0x1_0000, 0x8_0000], &[(0x1_0000, input)]);
+    assert!(
+        slow.cycles > fast.cycles,
+        "scattered ({}) must be slower than coalesced ({})",
+        slow.cycles,
+        fast.cycles
+    );
+}
+
+#[test]
+fn barrier_orders_shared_memory_across_warps() {
+    // Warp 1 reads what warp 0 wrote, through a barrier. 64 threads =
+    // 2 warps; each thread reads its "mirror" element written by the
+    // other warp.
+    let src = r#"
+        .kernel flipflop .params OUT N
+        .shared 256
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [OUT]
+            ld.param.u32 %r2, [N]
+            shl.u32 %r3, %r0, 2
+            mul.u32 %r4, %r0, 3
+            st.shared.u32 [%r3], %r4
+            bar.sync
+            sub.u32 %r5, %r2, 1
+            sub.u32 %r6, %r5, %r0
+            shl.u32 %r7, %r6, 2
+            ld.shared.u32 %r8, [%r7]
+            add.u32 %r9, %r1, %r3
+            st.global.u32 [%r9], %r8
+            ret
+    "#;
+    let dims = LaunchDims::linear(1, 64);
+    let (gpu, stats) = run_kernel(src, dims, vec![0x3000, 64], &[]);
+    for t in 0..64u32 {
+        let got = gpu.global().peek(0x3000 + t * 4);
+        assert_eq!(got, (63 - t) * 3, "thread {t} read a stale value");
+    }
+    assert!(stats.barriers >= 1);
+}
+
+#[test]
+fn early_exit_threads_do_not_hang_the_warp() {
+    // Half the threads return immediately; the rest continue through a
+    // loop and a store.
+    let src = r#"
+        .kernel half .params OUT
+        entry:
+            mov.u32 %r0, %tid.x
+            setp.lt.u32 %p0, %r0, 16
+            bra %p0, work, exit
+        work:
+            ld.param.u32 %r1, [OUT]
+            shl.u32 %r2, %r0, 2
+            add.u32 %r3, %r1, %r2
+            mov.u32 %r4, 0
+            mov.u32 %r5, 0
+            jmp loop
+        loop:
+            add.u32 %r5, %r5, %r0
+            add.u32 %r4, %r4, 1
+            setp.lt.u32 %p1, %r4, 4
+            bra %p1, loop, done
+        done:
+            st.global.u32 [%r3], %r5
+            ret
+        exit:
+            ret
+    "#;
+    let dims = LaunchDims::linear(1, 32);
+    let (gpu, _) = run_kernel(src, dims, vec![0x4000], &[]);
+    for t in 0..16u32 {
+        assert_eq!(gpu.global().peek(0x4000 + t * 4), t * 4, "worker {t}");
+    }
+    for t in 16..32u32 {
+        assert_eq!(gpu.global().peek(0x4000 + t * 4), 0, "early-exit {t} wrote");
+    }
+}
+
+#[test]
+fn occupancy_hides_memory_latency() {
+    // The same per-thread work with 1 block vs 4 blocks resident: more
+    // warps overlap the global-load latency, so 4 blocks take well under
+    // 4x the single-block cycles.
+    let src = r#"
+        .kernel lat .params IN OUT
+        entry:
+            mov.u32 %r0, %tid.x
+            mov.u32 %r1, %ctaid.x
+            mov.u32 %r2, %ntid.x
+            mad.u32 %r3, %r1, %r2, %r0
+            ld.param.u32 %r4, [IN]
+            ld.param.u32 %r5, [OUT]
+            shl.u32 %r6, %r3, 2
+            add.u32 %r7, %r4, %r6
+            mov.u32 %r8, 0
+            mov.u32 %r9, 0
+            jmp loop
+        loop:
+            ld.global.u32 %r10, [%r7]
+            add.u32 %r9, %r9, %r10
+            add.u32 %r8, %r8, 1
+            setp.lt.u32 %p0, %r8, 8
+            bra %p0, loop, done
+        done:
+            add.u32 %r11, %r5, %r6
+            st.global.u32 [%r11], %r9
+            ret
+    "#;
+    let input: Vec<u32> = (0..256).collect();
+    let one = run_kernel(src, LaunchDims::linear(1, 32), vec![0x1_0000, 0x8_0000], &[(0x1_0000, input.clone())]).1;
+    let four = run_kernel(src, LaunchDims::linear(4, 32), vec![0x1_0000, 0x8_0000], &[(0x1_0000, input)]).1;
+    assert!(
+        (four.cycles as f64) < 3.0 * one.cycles as f64,
+        "4 blocks ({}) should overlap latency vs 1 block ({})",
+        four.cycles,
+        one.cycles
+    );
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the simulator's scalar semantics and the
+//! protected register-file model.
+
+use proptest::prelude::*;
+
+use penny_coding::Scheme;
+use penny_ir::{Cmp, Op, Type};
+use penny_sim::alu::{eval, eval_cmp};
+use penny_sim::{ReadOutcome, RegFile, RfProtection, RfStats};
+
+proptest! {
+    /// Integer ALU algebra: commutativity, identities, inverses.
+    #[test]
+    fn integer_alu_algebra(a: u32, b: u32) {
+        let add = |x, y| eval(Op::Add, Type::U32, Type::U32, &[x, y]);
+        let mul = |x, y| eval(Op::Mul, Type::U32, Type::U32, &[x, y]);
+        prop_assert_eq!(add(a, b), add(b, a));
+        prop_assert_eq!(mul(a, b), mul(b, a));
+        prop_assert_eq!(add(a, 0), a);
+        prop_assert_eq!(mul(a, 1), a);
+        prop_assert_eq!(eval(Op::Sub, Type::U32, Type::U32, &[a, a]), 0);
+        prop_assert_eq!(eval(Op::Xor, Type::U32, Type::U32, &[a, a]), 0);
+        prop_assert_eq!(eval(Op::Not, Type::U32, Type::U32, &[a]) ^ a, u32::MAX);
+        // mad == mul + add.
+        prop_assert_eq!(
+            eval(Op::Mad, Type::U32, Type::U32, &[a, b, 7]),
+            add(mul(a, b), 7)
+        );
+    }
+
+    /// mulhi:mul form the exact 64-bit product.
+    #[test]
+    fn mulhi_mul_compose(a: u32, b: u32) {
+        let lo = eval(Op::Mul, Type::U32, Type::U32, &[a, b]) as u64;
+        let hi = eval(Op::MulHi, Type::U32, Type::U32, &[a, b]) as u64;
+        prop_assert_eq!((hi << 32) | lo, a as u64 * b as u64);
+    }
+
+    /// Comparison trichotomy for signed and unsigned modes.
+    #[test]
+    fn comparison_trichotomy(a: u32, b: u32) {
+        for ty in [Type::U32, Type::S32] {
+            let lt = eval_cmp(Cmp::Lt, ty, a, b);
+            let eq = eval_cmp(Cmp::Eq, ty, a, b);
+            let gt = eval_cmp(Cmp::Gt, ty, a, b);
+            prop_assert_eq!(usize::from(lt) + usize::from(eq) + usize::from(gt), 1);
+            prop_assert_eq!(eval_cmp(Cmp::Le, ty, a, b), lt || eq);
+            prop_assert_eq!(eval_cmp(Cmp::Ge, ty, a, b), gt || eq);
+            prop_assert_eq!(eval_cmp(Cmp::Ne, ty, a, b), !eq);
+        }
+    }
+
+    /// Min/max laws.
+    #[test]
+    fn min_max_laws(a: u32, b: u32) {
+        for ty in [Type::U32, Type::S32] {
+            let mn = eval(Op::Min, ty, ty, &[a, b]);
+            let mx = eval(Op::Max, ty, ty, &[a, b]);
+            prop_assert!(mn == a || mn == b);
+            prop_assert!(mx == a || mx == b);
+            // min + max = a + b (as multiset identity).
+            prop_assert_eq!(mn.wrapping_add(mx), a.wrapping_add(b));
+        }
+    }
+
+    /// Float ops mirror Rust `f32` semantics bit-for-bit.
+    #[test]
+    fn float_alu_matches_host(x in -1.0e6f32..1.0e6, y in -1.0e6f32..1.0e6) {
+        let (a, b) = (x.to_bits(), y.to_bits());
+        prop_assert_eq!(eval(Op::Add, Type::F32, Type::F32, &[a, b]), (x + y).to_bits());
+        prop_assert_eq!(eval(Op::Mul, Type::F32, Type::F32, &[a, b]), (x * y).to_bits());
+        prop_assert_eq!(
+            eval(Op::Mad, Type::F32, Type::F32, &[a, b, 1.0f32.to_bits()]),
+            (x * y + 1.0).to_bits()
+        );
+        prop_assert_eq!(eval(Op::Neg, Type::F32, Type::F32, &[a]), (-x).to_bits());
+    }
+
+    /// A write always clears corruption: write-then-read returns the
+    /// written value regardless of prior fault history.
+    #[test]
+    fn rf_write_clears_faults(v1: u32, v2: u32, bit in 0u32..33, scheme_ix in 0usize..3) {
+        let scheme = [Scheme::Parity, Scheme::Hamming, Scheme::Secded][scheme_ix];
+        let mut rf = RegFile::new(1, RfProtection::Edc(scheme));
+        let mut st = RfStats::default();
+        rf.write(0, v1, &mut st);
+        rf.flip_bit(0, bit % rf.codeword_bits());
+        rf.write(0, v2, &mut st);
+        prop_assert_eq!(rf.read(0, &mut st), ReadOutcome::Ok(v2));
+    }
+
+    /// Double flips of the same bit cancel: the register reads clean.
+    #[test]
+    fn rf_double_flip_cancels(v: u32, bit in 0u32..33) {
+        let mut rf = RegFile::new(1, RfProtection::Edc(Scheme::Parity));
+        let mut st = RfStats::default();
+        rf.write(0, v, &mut st);
+        rf.flip_bit(0, bit);
+        rf.flip_bit(0, bit);
+        prop_assert_eq!(rf.read(0, &mut st), ReadOutcome::Ok(v));
+        prop_assert_eq!(st.detected, 0);
+    }
+
+    /// ECC mode always returns the original value for any single flip,
+    /// and scrubs so the next read is clean.
+    #[test]
+    fn rf_ecc_scrubs(v: u32, bit in 0u32..39) {
+        let mut rf = RegFile::new(1, RfProtection::Ecc(Scheme::Secded));
+        let mut st = RfStats::default();
+        rf.write(0, v, &mut st);
+        rf.flip_bit(0, bit);
+        prop_assert_eq!(rf.read(0, &mut st), ReadOutcome::CorrectedInline(v));
+        prop_assert_eq!(rf.read(0, &mut st), ReadOutcome::Ok(v));
+        prop_assert_eq!(st.corrected, 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end fault-injection tests: the executable form of the paper's
+//! Appendix A correctness argument. For every injected RF fault, a
+//! Penny-protected kernel must produce exactly the fault-free output.
+
+use penny_core::{compile, LaunchDims, PennyConfig};
+use penny_sim::{FaultPlan, Gpu, GpuConfig, Injection, LaunchConfig, RfProtection};
+
+const KERNEL: &str = r#"
+    .kernel work .params A B N
+    entry:
+        mov.u32 %r0, %tid.x
+        mov.u32 %r1, %ctaid.x
+        mov.u32 %r2, %ntid.x
+        mad.u32 %r3, %r1, %r2, %r0
+        ld.param.u32 %r4, [A]
+        ld.param.u32 %r5, [B]
+        ld.param.u32 %r6, [N]
+        setp.lt.u32 %p0, %r3, %r6
+        bra %p0, body, exit
+    body:
+        shl.u32 %r7, %r3, 2
+        add.u32 %r8, %r4, %r7
+        add.u32 %r9, %r5, %r7
+        ld.global.u32 %r10, [%r8]
+        mul.u32 %r11, %r10, 3
+        add.u32 %r12, %r11, %r3
+        st.global.u32 [%r9], %r12
+        ld.global.u32 %r13, [%r9]
+        add.u32 %r14, %r13, 1
+        st.global.u32 [%r9], %r14
+        jmp exit
+    exit:
+        ret
+"#;
+
+const A: u32 = 0x1_0000;
+const B: u32 = 0x2_0000;
+const N: usize = 128;
+
+fn expected() -> Vec<u32> {
+    (0..N as u32).map(|i| (i * 7) * 3 + i + 1).collect()
+}
+
+fn run_with(plan: FaultPlan) -> (Vec<u32>, penny_sim::RunStats) {
+    let kernel = penny_ir::parse_kernel(KERNEL).expect("parse");
+    let dims = LaunchDims::linear(2, 64);
+    let config = PennyConfig::penny().with_launch(dims);
+    let protected = compile(&kernel, &config).expect("compile");
+    let mut gpu = Gpu::new(GpuConfig::fermi());
+    let input: Vec<u32> = (0..N as u32).map(|i| i * 7).collect();
+    gpu.global_mut().write_slice(A, &input);
+    let launch = LaunchConfig::new(dims, vec![A, B, N as u32]).with_faults(plan);
+    let stats = gpu.run(&protected, &launch).expect("run");
+    (gpu.global().read_slice(B, N), stats)
+}
+
+#[test]
+fn fault_free_run_is_correct() {
+    let (out, stats) = run_with(FaultPlan::none());
+    assert_eq!(out, expected());
+    assert_eq!(stats.recoveries, 0);
+    assert_eq!(stats.rf.detected, 0);
+}
+
+#[test]
+fn single_bit_fault_is_recovered() {
+    // Corrupt the output-address register %r9 at every possible point
+    // in its warp's execution. Instrumentation shifts instruction
+    // counts, so sweep the trigger: the output must always be correct,
+    // and at least one trigger must land in the register's live window
+    // (i.e. actually be detected and recovered).
+    let mut detections = 0;
+    let mut recoveries = 0;
+    for after in 1..40 {
+        let plan = FaultPlan::single(Injection {
+            block: 0,
+            warp: 0,
+            lane: 5,
+            reg: 9,
+            bit: 12,
+            after_warp_insts: after,
+        });
+        let (out, stats) = run_with(plan);
+        assert_eq!(out, expected(), "after={after}: output corrupted");
+        detections += stats.rf.detected;
+        recoveries += stats.recoveries;
+    }
+    assert!(detections >= 1, "no trigger point hit the live window");
+    assert!(recoveries >= 1, "recovery must have run");
+}
+
+#[test]
+fn multi_bit_fault_is_recovered() {
+    // Parity detects odd-weight flips; flip 3 bits of one register and
+    // sweep the trigger point as above.
+    let mut detections = 0;
+    for after in 1..40 {
+        let mk = |bit| Injection {
+            block: 1,
+            warp: 1,
+            lane: 9,
+            reg: 9,
+            bit,
+            after_warp_insts: after,
+        };
+        let plan = FaultPlan { injections: vec![mk(0), mk(7), mk(20)] };
+        let (out, stats) = run_with(plan);
+        assert_eq!(out, expected(), "after={after}: output corrupted");
+        detections += stats.rf.detected;
+    }
+    assert!(detections >= 1);
+}
+
+#[test]
+fn random_campaign_never_corrupts_output() {
+    // Sweep many random single-bit faults; every run must match the
+    // fault-free output (registers whose faults are never read simply
+    // never trigger recovery).
+    for seed in 0..20 {
+        let plan = FaultPlan::random(seed, 2, 2, 2, 32, 15, 33, 16);
+        let (out, stats) = run_with(plan);
+        assert_eq!(out, expected(), "seed {seed} corrupted output: {stats:?}");
+    }
+}
+
+#[test]
+fn unprotected_rf_can_silently_corrupt() {
+    // Sanity check that the fault machinery really corrupts state when
+    // no protection is configured: at least one seed must change the
+    // output (otherwise the campaign above proves nothing).
+    let kernel = penny_ir::parse_kernel(KERNEL).expect("parse");
+    let dims = LaunchDims::linear(2, 64);
+    let config = PennyConfig::unprotected().with_launch(dims);
+    let protected = compile(&kernel, &config).expect("compile");
+    let mut corrupted = 0;
+    for seed in 0..20 {
+        let mut gpu = Gpu::new(GpuConfig::fermi().with_rf(RfProtection::None));
+        let input: Vec<u32> = (0..N as u32).map(|i| i * 7).collect();
+        gpu.global_mut().write_slice(A, &input);
+        let plan = FaultPlan::random(seed, 2, 2, 2, 32, 15, 32, 16);
+        let launch = LaunchConfig::new(dims, vec![A, B, N as u32]).with_faults(plan);
+        gpu.run(&protected, &launch).expect("run");
+        if gpu.global().read_slice(B, N) != expected() {
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted > 0, "fault injection must be able to corrupt an unprotected run");
+}
+
+#[test]
+fn detection_in_a_later_region_still_recovers() {
+    // The paper's key relaxation (§4): corrupt a register *after* its
+    // defining region has ended; parity detects it at first read in a
+    // later region, and re-executing that later region recovers.
+    // %r9 (the output address) is computed early and read in the final
+    // store region.
+    let plan = FaultPlan::single(Injection {
+        block: 0,
+        warp: 0,
+        lane: 0,
+        reg: 9,
+        bit: 3,
+        after_warp_insts: 15,
+    });
+    let (out, stats) = run_with(plan);
+    assert_eq!(out, expected());
+    assert!(stats.recoveries >= 1);
+}

@@ -1,0 +1,635 @@
+//! CUDA toolkit sample workloads: BS, SQ, BO, CS, FW, SP, MT.
+
+use penny_core::LaunchDims;
+use penny_sim::GlobalMemory;
+
+use crate::gpgpusim::GID;
+use crate::util::{addr, close, XorShift32};
+use crate::{Suite, Workload};
+
+const N: usize = 128;
+
+// ---------------------------------------------------------------- BS --
+
+fn bs_source() -> String {
+    format!(
+        r#"
+        .kernel bs .params S X T OUT
+        entry:
+            {GID}
+            ld.param.u32 %r4, [S]
+            ld.param.u32 %r5, [X]
+            ld.param.u32 %r6, [T]
+            shl.u32 %r7, %r3, 2
+            add.u32 %r8, %r4, %r7
+            ld.global.f32 %r9, [%r8]
+            add.u32 %r10, %r5, %r7
+            ld.global.f32 %r11, [%r10]
+            add.u32 %r12, %r6, %r7
+            ld.global.f32 %r13, [%r12]
+            div.f32 %r14, %r9, %r11
+            lg2.f32 %r15, %r14
+            mad.f32 %r16, %r13, 0.2f, %r15
+            sqrt.f32 %r17, %r13
+            mul.f32 %r18, %r17, 0.3f
+            div.f32 %r19, %r16, %r18
+            sub.f32 %r20, %r19, %r18
+            neg.f32 %r21, %r19
+            ex2.f32 %r22, %r21
+            add.f32 %r23, %r22, 1.0f
+            rcp.f32 %r24, %r23
+            neg.f32 %r25, %r20
+            ex2.f32 %r26, %r25
+            add.f32 %r27, %r26, 1.0f
+            rcp.f32 %r28, %r27
+            mul.f32 %r29, %r9, %r24
+            mul.f32 %r30, %r11, 0.9f
+            mul.f32 %r31, %r30, %r28
+            sub.f32 %r32, %r29, %r31
+            ld.param.u32 %r33, [OUT]
+            add.u32 %r34, %r33, %r7
+            st.global.f32 [%r34], %r32
+            ret
+    "#
+    )
+}
+
+fn bs_inputs() -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0xB5);
+    let s: Vec<f32> = (0..N).map(|_| 10.0 + rng.next_f32() * 90.0).collect();
+    let x: Vec<f32> = (0..N).map(|_| 10.0 + rng.next_f32() * 90.0).collect();
+    let t: Vec<f32> = (0..N).map(|_| 0.5 + rng.next_f32() * 2.0).collect();
+    (s, x, t)
+}
+
+fn bs_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (s, x, t) = bs_inputs();
+    g.write_f32_slice(addr::A, &s);
+    g.write_f32_slice(addr::B, &x);
+    g.write_f32_slice(addr::D, &t);
+    vec![addr::A, addr::B, addr::D, addr::C]
+}
+
+fn bs_verify(g: &GlobalMemory) -> bool {
+    let (s, x, t) = bs_inputs();
+    let expected: Vec<f32> = (0..N)
+        .map(|i| {
+            let vol = 0.3 * t[i].sqrt();
+            let d1 = (t[i] * 0.2 + (s[i] / x[i]).log2()) / vol;
+            let d2 = d1 - vol;
+            let nd1 = 1.0 / ((-d1).exp2() + 1.0);
+            let nd2 = 1.0 / ((-d2).exp2() + 1.0);
+            s[i] * nd1 - x[i] * 0.9 * nd2
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 2e-3)
+}
+
+// ---------------------------------------------------------------- SQ --
+
+const SQ_BITS: usize = 16;
+
+fn sq_source() -> String {
+    format!(
+        r#"
+        .kernel sq .params DIR OUT BITS
+        entry:
+            {GID}
+            ld.param.u32 %r4, [DIR]
+            ld.param.u32 %r5, [BITS]
+            mov.u32 %r6, 0
+            mov.u32 %r7, 0
+            jmp loop
+        loop:
+            shr.u32 %r8, %r3, %r7
+            and.u32 %r9, %r8, 1
+            setp.eq.u32 %p0, %r9, 1
+            shl.u32 %r10, %r7, 2
+            add.u32 %r11, %r4, %r10
+            ld.global.u32 %r12, [%r11]
+            xor.u32 %r13, %r6, %r12
+            selp.u32 %r6, %r13, %r6, %p0
+            add.u32 %r7, %r7, 1
+            setp.lt.u32 %p1, %r7, %r5
+            bra %p1, loop, done
+        done:
+            ld.param.u32 %r14, [OUT]
+            shl.u32 %r15, %r3, 2
+            add.u32 %r16, %r14, %r15
+            st.global.u32 [%r16], %r6
+            ret
+    "#
+    )
+}
+
+fn sq_dirs() -> Vec<u32> {
+    let mut rng = XorShift32::new(0x50B);
+    (0..SQ_BITS).map(|_| rng.next_u32()).collect()
+}
+
+fn sq_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    g.write_slice(addr::A, &sq_dirs());
+    vec![addr::A, addr::C, SQ_BITS as u32]
+}
+
+fn sq_verify(g: &GlobalMemory) -> bool {
+    let dirs = sq_dirs();
+    let expected: Vec<u32> = (0..N as u32)
+        .map(|gid| {
+            let mut x = 0u32;
+            for (b, &d) in dirs.iter().enumerate() {
+                if (gid >> b) & 1 == 1 {
+                    x ^= d;
+                }
+            }
+            x
+        })
+        .collect();
+    g.read_slice(addr::C, N) == expected
+}
+
+// ---------------------------------------------------------------- BO --
+
+const BO_STEPS: usize = 8;
+
+fn bo_source() -> String {
+    // Per-thread option value array in shared memory (9 floats each, 64
+    // threads = 2304 bytes). Backward induction repeatedly overwrites
+    // the array — the checkpoint-hostile inner loop the paper calls out
+    // (binomialOptions: 2 in-loop checkpointing stores = 26.7% slowdown
+    // under naive Bolt).
+    r#"
+        .kernel bo .params STRIKE OUT STEPS
+        .shared 2304
+        entry:
+            mov.u32 %r0, %tid.x
+            mov.u32 %r1, %ctaid.x
+            mov.u32 %r2, %ntid.x
+            mad.u32 %r3, %r1, %r2, %r0
+            ld.param.u32 %r4, [STRIKE]
+            ld.param.u32 %r5, [STEPS]
+            shl.u32 %r6, %r3, 2
+            add.u32 %r7, %r4, %r6
+            ld.global.f32 %r8, [%r7]
+            add.u32 %r9, %r5, 1
+            mul.u32 %r10, %r0, %r9
+            shl.u32 %r11, %r10, 2
+            mov.u32 %r12, 0
+            jmp init
+        init:
+            cvt.f32.u32 %r13, %r12
+            mul.f32 %r14, %r13, 12.0f
+            sub.f32 %r15, %r14, %r8
+            max.f32 %r16, %r15, 0.0f
+            shl.u32 %r17, %r12, 2
+            add.u32 %r18, %r11, %r17
+            st.shared.f32 [%r18], %r16
+            add.u32 %r12, %r12, 1
+            setp.le.u32 %p0, %r12, %r5
+            bra %p0, init, backstart
+        backstart:
+            mov.u32 %r19, %r5
+            jmp back
+        back:
+            mov.u32 %r20, 0
+            jmp inner
+        inner:
+            shl.u32 %r21, %r20, 2
+            add.u32 %r22, %r11, %r21
+            ld.shared.f32 %r23, [%r22]
+            ld.shared.f32 %r24, [%r22+4]
+            add.f32 %r25, %r23, %r24
+            mul.f32 %r26, %r25, 0.495f
+            st.shared.f32 [%r22], %r26
+            add.u32 %r20, %r20, 1
+            setp.lt.u32 %p1, %r20, %r19
+            bra %p1, inner, innerdone
+        innerdone:
+            sub.u32 %r19, %r19, 1
+            setp.gt.u32 %p2, %r19, 0
+            bra %p2, back, done
+        done:
+            ld.shared.f32 %r27, [%r11]
+            ld.param.u32 %r28, [OUT]
+            add.u32 %r29, %r28, %r6
+            st.global.f32 [%r29], %r27
+            ret
+    "#
+    .to_string()
+}
+
+fn bo_strikes() -> Vec<f32> {
+    let mut rng = XorShift32::new(0xB0);
+    (0..N).map(|_| rng.next_f32() * 50.0).collect()
+}
+
+fn bo_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    g.write_f32_slice(addr::A, &bo_strikes());
+    vec![addr::A, addr::C, BO_STEPS as u32]
+}
+
+fn bo_verify(g: &GlobalMemory) -> bool {
+    let strikes = bo_strikes();
+    let expected: Vec<f32> = strikes
+        .iter()
+        .map(|&k| {
+            let mut v: Vec<f32> =
+                (0..=BO_STEPS).map(|j| (j as f32 * 12.0 - k).max(0.0)).collect();
+            for s in (1..=BO_STEPS).rev() {
+                for j in 0..s {
+                    v[j] = (v[j] + v[j + 1]) * 0.495;
+                }
+            }
+            v[0]
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 2e-3)
+}
+
+// ---------------------------------------------------------------- CS --
+
+const CS_TAPS: usize = 8;
+
+fn cs_source() -> String {
+    format!(
+        r#"
+        .kernel cs .params IN W OUT TAPS
+        entry:
+            {GID}
+            ld.param.u32 %r4, [IN]
+            ld.param.u32 %r5, [W]
+            ld.param.u32 %r6, [TAPS]
+            shl.u32 %r7, %r3, 2
+            add.u32 %r8, %r4, %r7
+            mov.f32 %r9, 0.0f
+            mov.u32 %r10, 0
+            jmp loop
+        loop:
+            shl.u32 %r11, %r10, 2
+            add.u32 %r12, %r8, %r11
+            ld.global.f32 %r13, [%r12]
+            add.u32 %r14, %r5, %r11
+            ld.global.f32 %r15, [%r14]
+            mad.f32 %r9, %r13, %r15, %r9
+            add.u32 %r10, %r10, 1
+            setp.lt.u32 %p0, %r10, %r6
+            bra %p0, loop, done
+        done:
+            ld.param.u32 %r16, [OUT]
+            add.u32 %r17, %r16, %r7
+            st.global.f32 [%r17], %r9
+            ret
+    "#
+    )
+}
+
+fn cs_inputs() -> (Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0xC5);
+    let input: Vec<f32> = (0..N + CS_TAPS).map(|_| rng.next_f32() - 0.5).collect();
+    let w: Vec<f32> = (0..CS_TAPS).map(|_| rng.next_f32()).collect();
+    (input, w)
+}
+
+fn cs_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (input, w) = cs_inputs();
+    g.write_f32_slice(addr::A, &input);
+    g.write_f32_slice(addr::B, &w);
+    vec![addr::A, addr::B, addr::C, CS_TAPS as u32]
+}
+
+fn cs_verify(g: &GlobalMemory) -> bool {
+    let (input, w) = cs_inputs();
+    let expected: Vec<f32> = (0..N)
+        .map(|i| {
+            let mut acc = 0.0f32;
+            for k in 0..CS_TAPS {
+                acc += input[i + k] * w[k];
+            }
+            acc
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 1e-3)
+}
+
+// ---------------------------------------------------------------- FW --
+
+const FW_N: usize = 128;
+
+fn fw_source() -> String {
+    // Single block of 128 threads; butterfly stages over a shared array
+    // with read/write barriers (in-place overwrites across stages).
+    r#"
+        .kernel fw .params IN OUT N
+        .shared 512
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [IN]
+            ld.param.u32 %r2, [OUT]
+            ld.param.u32 %r3, [N]
+            shl.u32 %r4, %r0, 2
+            add.u32 %r5, %r1, %r4
+            ld.global.f32 %r6, [%r5]
+            st.shared.f32 [%r4], %r6
+            mov.u32 %r7, 1
+            jmp stage
+        stage:
+            bar.sync
+            xor.u32 %r8, %r0, %r7
+            shl.u32 %r9, %r8, 2
+            ld.shared.f32 %r10, [%r4]
+            ld.shared.f32 %r11, [%r9]
+            and.u32 %r12, %r0, %r7
+            setp.eq.u32 %p0, %r12, 0
+            add.f32 %r13, %r10, %r11
+            sub.f32 %r14, %r11, %r10
+            selp.f32 %r15, %r13, %r14, %p0
+            bar.sync
+            st.shared.f32 [%r4], %r15
+            shl.u32 %r7, %r7, 1
+            setp.lt.u32 %p1, %r7, %r3
+            bra %p1, stage, done
+        done:
+            bar.sync
+            ld.shared.f32 %r16, [%r4]
+            add.u32 %r17, %r2, %r4
+            st.global.f32 [%r17], %r16
+            ret
+    "#
+    .to_string()
+}
+
+fn fw_input() -> Vec<f32> {
+    let mut rng = XorShift32::new(0xF3);
+    (0..FW_N).map(|_| rng.next_f32() - 0.5).collect()
+}
+
+fn fw_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    g.write_f32_slice(addr::A, &fw_input());
+    vec![addr::A, addr::C, FW_N as u32]
+}
+
+fn fw_verify(g: &GlobalMemory) -> bool {
+    let mut s = fw_input();
+    let mut stride = 1usize;
+    while stride < FW_N {
+        let mut next = vec![0.0f32; FW_N];
+        for (i, n) in next.iter_mut().enumerate() {
+            let pair = i ^ stride;
+            let (a, b) = (s[i], s[pair]);
+            *n = if i & stride == 0 { a + b } else { b - a };
+        }
+        s = next;
+        stride <<= 1;
+    }
+    close(&g.read_f32_slice(addr::C, FW_N), &s, 2e-3)
+}
+
+// ---------------------------------------------------------------- SP --
+
+const SP_PER_THREAD: usize = 4;
+
+fn sp_source() -> String {
+    // Strided per-thread partial products, shared-memory tree reduction,
+    // one partial sum per block.
+    r#"
+        .kernel sp .params A B OUT K
+        .shared 256
+        entry:
+            mov.u32 %r0, %tid.x
+            mov.u32 %r1, %ctaid.x
+            mov.u32 %r2, %ntid.x
+            mad.u32 %r3, %r1, %r2, %r0
+            ld.param.u32 %r4, [A]
+            ld.param.u32 %r5, [B]
+            ld.param.u32 %r6, [K]
+            mov.f32 %r7, 0.0f
+            mov.u32 %r8, 0
+            mov.u32 %r9, %nctaid.x
+            mul.u32 %r10, %r9, %r2
+            jmp loop
+        loop:
+            mad.u32 %r11, %r8, %r10, %r3
+            shl.u32 %r12, %r11, 2
+            add.u32 %r13, %r4, %r12
+            ld.global.f32 %r14, [%r13]
+            add.u32 %r15, %r5, %r12
+            ld.global.f32 %r16, [%r15]
+            mad.f32 %r7, %r14, %r16, %r7
+            add.u32 %r8, %r8, 1
+            setp.lt.u32 %p0, %r8, %r6
+            bra %p0, loop, reduce
+        reduce:
+            shl.u32 %r17, %r0, 2
+            st.shared.f32 [%r17], %r7
+            mov.u32 %r18, 32
+            jmp rloop
+        rloop:
+            bar.sync
+            setp.lt.u32 %p1, %r0, %r18
+            bra %p1, radd, rskip
+        radd:
+            add.u32 %r19, %r0, %r18
+            shl.u32 %r20, %r19, 2
+            ld.shared.f32 %r21, [%r20]
+            ld.shared.f32 %r22, [%r17]
+            add.f32 %r23, %r21, %r22
+            st.shared.f32 [%r17], %r23
+            jmp rskip
+        rskip:
+            shr.u32 %r18, %r18, 1
+            setp.gt.u32 %p2, %r18, 0
+            bra %p2, rloop, emit
+        emit:
+            setp.eq.u32 %p3, %r0, 0
+            bra %p3, write, done
+        write:
+            ld.shared.f32 %r24, [0]
+            ld.param.u32 %r25, [OUT]
+            shl.u32 %r26, %r1, 2
+            add.u32 %r27, %r25, %r26
+            st.global.f32 [%r27], %r24
+            ret
+        done:
+            ret
+    "#
+    .to_string()
+}
+
+fn sp_inputs() -> (Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0x5D);
+    let total = 4 * 32 * SP_PER_THREAD;
+    let a: Vec<f32> = (0..total).map(|_| rng.next_f32() - 0.5).collect();
+    let b: Vec<f32> = (0..total).map(|_| rng.next_f32() - 0.5).collect();
+    (a, b)
+}
+
+fn sp_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (a, b) = sp_inputs();
+    g.write_f32_slice(addr::A, &a);
+    g.write_f32_slice(addr::B, &b);
+    vec![addr::A, addr::B, addr::C, SP_PER_THREAD as u32]
+}
+
+fn sp_verify(g: &GlobalMemory) -> bool {
+    let (a, b) = sp_inputs();
+    let tpb = 32usize;
+    let stride = 4 * tpb;
+    let mut expected = vec![0.0f32; 4];
+    for (blk, exp) in expected.iter_mut().enumerate() {
+        // Per-thread partials in the kernel's evaluation order.
+        let mut partials: Vec<f32> = (0..tpb)
+            .map(|t| {
+                let gid = blk * tpb + t;
+                let mut acc = 0.0f32;
+                for k in 0..SP_PER_THREAD {
+                    let idx = k * stride + gid;
+                    acc += a[idx] * b[idx];
+                }
+                acc
+            })
+            .collect();
+        // Tree reduction, same order as the kernel.
+        let mut s = 32usize;
+        while s > 0 {
+            for t in 0..s.min(tpb) {
+                if t + s < tpb {
+                    partials[t] += partials[t + s];
+                }
+            }
+            s >>= 1;
+        }
+        *exp = partials[0];
+    }
+    close(&g.read_f32_slice(addr::C, 4), &expected, 2e-3)
+}
+
+// ---------------------------------------------------------------- MT --
+
+const MT_N: usize = 16;
+
+fn mt_source() -> String {
+    // Tiled transpose through shared memory (8x8 tiles, 2D grid).
+    r#"
+        .kernel mt .params IN OUT N
+        .shared 256
+        entry:
+            mov.u32 %r0, %tid.x
+            mov.u32 %r1, %tid.y
+            mov.u32 %r2, %ctaid.x
+            mov.u32 %r3, %ctaid.y
+            ld.param.u32 %r4, [IN]
+            ld.param.u32 %r5, [OUT]
+            ld.param.u32 %r6, [N]
+            mad.u32 %r7, %r3, 8, %r1
+            mad.u32 %r8, %r2, 8, %r0
+            mad.u32 %r9, %r7, %r6, %r8
+            shl.u32 %r10, %r9, 2
+            add.u32 %r11, %r4, %r10
+            ld.global.u32 %r12, [%r11]
+            mad.u32 %r13, %r1, 8, %r0
+            shl.u32 %r14, %r13, 2
+            st.shared.u32 [%r14], %r12
+            bar.sync
+            mad.u32 %r15, %r2, 8, %r1
+            mad.u32 %r16, %r3, 8, %r0
+            mad.u32 %r17, %r15, %r6, %r16
+            shl.u32 %r18, %r17, 2
+            add.u32 %r19, %r5, %r18
+            mad.u32 %r20, %r0, 8, %r1
+            shl.u32 %r21, %r20, 2
+            ld.shared.u32 %r22, [%r21]
+            st.global.u32 [%r19], %r22
+            ret
+    "#
+    .to_string()
+}
+
+fn mt_input() -> Vec<u32> {
+    let mut rng = XorShift32::new(0x37);
+    (0..MT_N * MT_N).map(|_| rng.next_u32()).collect()
+}
+
+fn mt_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    g.write_slice(addr::A, &mt_input());
+    vec![addr::A, addr::C, MT_N as u32]
+}
+
+fn mt_verify(g: &GlobalMemory) -> bool {
+    let input = mt_input();
+    let mut expected = vec![0u32; MT_N * MT_N];
+    for r in 0..MT_N {
+        for c in 0..MT_N {
+            expected[c * MT_N + r] = input[r * MT_N + c];
+        }
+    }
+    g.read_slice(addr::C, MT_N * MT_N) == expected
+}
+
+/// The CUDA SDK workloads.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "Black-Scholes",
+            abbr: "BS",
+            suite: Suite::CudaSdk,
+            dims: LaunchDims::linear(4, 32),
+            source: bs_source,
+            setup: bs_setup,
+            verify: bs_verify,
+        },
+        Workload {
+            name: "Sobol filter",
+            abbr: "SQ",
+            suite: Suite::CudaSdk,
+            dims: LaunchDims::linear(4, 32),
+            source: sq_source,
+            setup: sq_setup,
+            verify: sq_verify,
+        },
+        Workload {
+            name: "Binomial options",
+            abbr: "BO",
+            suite: Suite::CudaSdk,
+            dims: LaunchDims::linear(4, 32),
+            source: bo_source,
+            setup: bo_setup,
+            verify: bo_verify,
+        },
+        Workload {
+            name: "Convolution separable",
+            abbr: "CS",
+            suite: Suite::CudaSdk,
+            dims: LaunchDims::linear(4, 32),
+            source: cs_source,
+            setup: cs_setup,
+            verify: cs_verify,
+        },
+        Workload {
+            name: "Fast Walsh transform",
+            abbr: "FW",
+            suite: Suite::CudaSdk,
+            dims: LaunchDims::linear(1, 128),
+            source: fw_source,
+            setup: fw_setup,
+            verify: fw_verify,
+        },
+        Workload {
+            name: "Scalar product",
+            abbr: "SP",
+            suite: Suite::CudaSdk,
+            dims: LaunchDims::linear(4, 32),
+            source: sp_source,
+            setup: sp_setup,
+            verify: sp_verify,
+        },
+        Workload {
+            name: "Matrix transpose",
+            abbr: "MT",
+            suite: Suite::CudaSdk,
+            dims: LaunchDims { block: (8, 8), grid: (2, 2) },
+            source: mt_source,
+            setup: mt_setup,
+            verify: mt_verify,
+        },
+    ]
+}

@@ -1,0 +1,409 @@
+//! GPGPU-Sim benchmark suite workloads: CP, LIB, LPS, NN, NQU.
+
+use penny_core::LaunchDims;
+use penny_sim::GlobalMemory;
+
+use crate::util::{addr, close, XorShift32};
+use crate::{Suite, Workload};
+
+/// Common prologue computing the global thread id into `%r3`.
+pub(crate) const GID: &str = r#"
+        mov.u32 %r0, %tid.x
+        mov.u32 %r1, %ctaid.x
+        mov.u32 %r2, %ntid.x
+        mad.u32 %r3, %r1, %r2, %r0
+"#;
+
+const N: usize = 128;
+const CP_ATOMS: usize = 16;
+
+fn cp_source() -> String {
+    format!(
+        r#"
+        .kernel cp .params AX AQ OUT M
+        entry:
+            {GID}
+            cvt.f32.u32 %r4, %r3
+            mov.u32 %r5, 0
+            mov.f32 %r6, 0.0f
+            ld.param.u32 %r7, [AX]
+            ld.param.u32 %r8, [AQ]
+            ld.param.u32 %r9, [M]
+            jmp loop
+        loop:
+            shl.u32 %r10, %r5, 2
+            add.u32 %r11, %r7, %r10
+            ld.global.f32 %r12, [%r11]
+            add.u32 %r13, %r8, %r10
+            ld.global.f32 %r14, [%r13]
+            sub.f32 %r15, %r4, %r12
+            mad.f32 %r16, %r15, %r15, 1.0f
+            rsqrt.f32 %r17, %r16
+            mad.f32 %r6, %r14, %r17, %r6
+            add.u32 %r5, %r5, 1
+            setp.lt.u32 %p0, %r5, %r9
+            bra %p0, loop, done
+        done:
+            ld.param.u32 %r18, [OUT]
+            shl.u32 %r19, %r3, 2
+            add.u32 %r20, %r18, %r19
+            st.global.f32 [%r20], %r6
+            ret
+    "#
+    )
+}
+
+fn cp_inputs() -> (Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0xC0);
+    let ax: Vec<f32> = (0..CP_ATOMS).map(|_| rng.next_f32() * N as f32).collect();
+    let aq: Vec<f32> = (0..CP_ATOMS).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+    (ax, aq)
+}
+
+fn cp_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (ax, aq) = cp_inputs();
+    g.write_f32_slice(addr::A, &ax);
+    g.write_f32_slice(addr::B, &aq);
+    vec![addr::A, addr::B, addr::C, CP_ATOMS as u32]
+}
+
+fn cp_verify(g: &GlobalMemory) -> bool {
+    let (ax, aq) = cp_inputs();
+    let expected: Vec<f32> = (0..N)
+        .map(|i| {
+            let xi = i as f32;
+            let mut acc = 0.0f32;
+            for j in 0..CP_ATOMS {
+                let d = xi - ax[j];
+                let r2 = d * d + 1.0;
+                acc += aq[j] * (1.0 / r2.sqrt());
+            }
+            acc
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 1e-3)
+}
+
+const LIB_STEPS: usize = 24;
+
+fn lib_source() -> String {
+    format!(
+        r#"
+        .kernel lib .params OUT STEPS
+        entry:
+            {GID}
+            mad.u32 %r4, %r3, 2654435761, 12345
+            mov.f32 %r5, 1.0f
+            mov.u32 %r6, 0
+            ld.param.u32 %r7, [STEPS]
+            jmp loop
+        loop:
+            mad.u32 %r4, %r4, 1664525, 1013904223
+            shr.u32 %r8, %r4, 8
+            cvt.f32.u32 %r9, %r8
+            mul.f32 %r10, %r9, 0.000000059604645f
+            mul.f32 %r11, %r10, 0.01f
+            add.f32 %r12, %r11, 1.0f
+            mul.f32 %r5, %r5, %r12
+            add.u32 %r6, %r6, 1
+            setp.lt.u32 %p0, %r6, %r7
+            bra %p0, loop, done
+        done:
+            ld.param.u32 %r13, [OUT]
+            shl.u32 %r14, %r3, 2
+            add.u32 %r15, %r13, %r14
+            st.global.f32 [%r15], %r5
+            ret
+    "#
+    )
+}
+
+fn lib_setup(_g: &mut GlobalMemory) -> Vec<u32> {
+    vec![addr::C, LIB_STEPS as u32]
+}
+
+fn lib_verify(g: &GlobalMemory) -> bool {
+    let expected: Vec<f32> = (0..N as u32)
+        .map(|gid| {
+            let mut z = gid.wrapping_mul(2654435761).wrapping_add(12345);
+            let mut rate = 1.0f32;
+            for _ in 0..LIB_STEPS {
+                z = z.wrapping_mul(1664525).wrapping_add(1013904223);
+                let u = (z >> 8) as f32 * 0.000000059604645f32;
+                rate *= u * 0.01 + 1.0;
+            }
+            rate
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 1e-3)
+}
+
+const LPS_W: usize = 16;
+
+fn lps_source() -> String {
+    format!(
+        r#"
+        .kernel lps .params IN OUT N W
+        entry:
+            {GID}
+            ld.param.u32 %r4, [IN]
+            ld.param.u32 %r5, [OUT]
+            ld.param.u32 %r6, [N]
+            ld.param.u32 %r7, [W]
+            rem.u32 %r8, %r3, %r7
+            div.u32 %r9, %r3, %r7
+            div.u32 %r19, %r6, %r7
+            sub.u32 %r20, %r19, 1
+            sub.u32 %r21, %r7, 1
+            setp.gt.u32 %p0, %r8, 0
+            setp.lt.u32 %p1, %r8, %r21
+            setp.gt.u32 %p2, %r9, 0
+            setp.lt.u32 %p3, %r9, %r20
+            shl.u32 %r10, %r3, 2
+            add.u32 %r11, %r4, %r10
+            add.u32 %r12, %r5, %r10
+            bra %p0, c1, edge
+        c1:
+            bra %p1, c2, edge
+        c2:
+            bra %p2, c3, edge
+        c3:
+            bra %p3, interior, edge
+        interior:
+            ld.global.f32 %r13, [%r11-4]
+            ld.global.f32 %r14, [%r11+4]
+            ld.global.f32 %r15, [%r11-64]
+            ld.global.f32 %r16, [%r11+64]
+            ld.global.f32 %r17, [%r11]
+            add.f32 %r18, %r13, %r14
+            add.f32 %r18, %r18, %r15
+            add.f32 %r18, %r18, %r16
+            mul.f32 %r18, %r18, 0.25f
+            sub.f32 %r18, %r18, %r17
+            st.global.f32 [%r12], %r18
+            ret
+        edge:
+            st.global.f32 [%r12], 0.0f
+            ret
+    "#
+    )
+}
+
+fn lps_input() -> Vec<f32> {
+    let mut rng = XorShift32::new(0x195);
+    (0..N).map(|_| rng.next_f32()).collect()
+}
+
+fn lps_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    g.write_f32_slice(addr::A, &lps_input());
+    vec![addr::A, addr::C, N as u32, LPS_W as u32]
+}
+
+fn lps_verify(g: &GlobalMemory) -> bool {
+    let input = lps_input();
+    let h = N / LPS_W;
+    let expected: Vec<f32> = (0..N)
+        .map(|i| {
+            let (x, y) = (i % LPS_W, i / LPS_W);
+            if x > 0 && x < LPS_W - 1 && y > 0 && y < h - 1 {
+                let s = input[i - 1] + input[i + 1] + input[i - LPS_W] + input[i + LPS_W];
+                s * 0.25 - input[i]
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 1e-3)
+}
+
+const NN_IN: usize = 16;
+
+fn nn_source() -> String {
+    format!(
+        r#"
+        .kernel nn .params W X OUT K
+        entry:
+            {GID}
+            ld.param.u32 %r4, [W]
+            ld.param.u32 %r5, [X]
+            ld.param.u32 %r6, [K]
+            mov.f32 %r7, 0.0f
+            mov.u32 %r8, 0
+            mul.u32 %r9, %r3, %r6
+            jmp loop
+        loop:
+            add.u32 %r10, %r9, %r8
+            shl.u32 %r11, %r10, 2
+            add.u32 %r12, %r4, %r11
+            ld.global.f32 %r13, [%r12]
+            shl.u32 %r14, %r8, 2
+            add.u32 %r15, %r5, %r14
+            ld.global.f32 %r16, [%r15]
+            mad.f32 %r7, %r13, %r16, %r7
+            add.u32 %r8, %r8, 1
+            setp.lt.u32 %p0, %r8, %r6
+            bra %p0, loop, done
+        done:
+            neg.f32 %r17, %r7
+            ex2.f32 %r18, %r17
+            add.f32 %r19, %r18, 1.0f
+            rcp.f32 %r20, %r19
+            ld.param.u32 %r21, [OUT]
+            shl.u32 %r22, %r3, 2
+            add.u32 %r23, %r21, %r22
+            st.global.f32 [%r23], %r20
+            ret
+    "#
+    )
+}
+
+fn nn_inputs() -> (Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0x22);
+    let w: Vec<f32> = (0..N * NN_IN).map(|_| rng.next_f32() - 0.5).collect();
+    let x: Vec<f32> = (0..NN_IN).map(|_| rng.next_f32()).collect();
+    (w, x)
+}
+
+fn nn_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (w, x) = nn_inputs();
+    g.write_f32_slice(addr::A, &w);
+    g.write_f32_slice(addr::B, &x);
+    vec![addr::A, addr::B, addr::C, NN_IN as u32]
+}
+
+fn nn_verify(g: &GlobalMemory) -> bool {
+    let (w, x) = nn_inputs();
+    let expected: Vec<f32> = (0..N)
+        .map(|j| {
+            let mut dot = 0.0f32;
+            for i in 0..NN_IN {
+                dot += w[j * NN_IN + i] * x[i];
+            }
+            1.0 / ((-dot).exp2() + 1.0)
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 1e-3)
+}
+
+fn nqu_source() -> String {
+    format!(
+        r#"
+        .kernel nqu .params PI PJ CNT NP
+        entry:
+            {GID}
+            ld.param.u32 %r4, [PI]
+            ld.param.u32 %r5, [PJ]
+            ld.param.u32 %r6, [NP]
+            mov.u32 %r7, 1
+            mov.u32 %r8, 0
+            jmp loop
+        loop:
+            shl.u32 %r9, %r8, 2
+            add.u32 %r10, %r4, %r9
+            ld.global.u32 %r11, [%r10]
+            add.u32 %r12, %r5, %r9
+            ld.global.u32 %r13, [%r12]
+            shl.u32 %r14, %r11, 1
+            shr.u32 %r15, %r3, %r14
+            and.u32 %r16, %r15, 3
+            shl.u32 %r17, %r13, 1
+            shr.u32 %r18, %r3, %r17
+            and.u32 %r19, %r18, 3
+            setp.eq.u32 %p0, %r16, %r19
+            selp.u32 %r7, 0, %r7, %p0
+            sub.s32 %r20, %r16, %r19
+            abs.s32 %r21, %r20
+            sub.u32 %r22, %r13, %r11
+            setp.eq.u32 %p1, %r21, %r22
+            selp.u32 %r7, 0, %r7, %p1
+            add.u32 %r8, %r8, 1
+            setp.lt.u32 %p2, %r8, %r6
+            bra %p2, loop, done
+        done:
+            ld.param.u32 %r23, [CNT]
+            atom.global.add.u32 %r24, [%r23], %r7
+            ret
+    "#
+    )
+}
+
+const NQU_PAIRS: [(u32, u32); 6] = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+
+fn nqu_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let pi: Vec<u32> = NQU_PAIRS.iter().map(|p| p.0).collect();
+    let pj: Vec<u32> = NQU_PAIRS.iter().map(|p| p.1).collect();
+    g.write_slice(addr::A, &pi);
+    g.write_slice(addr::B, &pj);
+    g.write_slice(addr::C, &[0]);
+    vec![addr::A, addr::B, addr::C, NQU_PAIRS.len() as u32]
+}
+
+fn nqu_verify(g: &GlobalMemory) -> bool {
+    let mut expected = 0u32;
+    for cand in 0..N as u32 {
+        let mut valid = 1u32;
+        for (i, j) in NQU_PAIRS {
+            let qi = (cand >> (2 * i)) & 3;
+            let qj = (cand >> (2 * j)) & 3;
+            if qi == qj {
+                valid = 0;
+            }
+            if (qi as i32 - qj as i32).unsigned_abs() == j - i {
+                valid = 0;
+            }
+        }
+        expected += valid;
+    }
+    g.peek(addr::C) == expected
+}
+
+/// The GPGPU-Sim suite workloads.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "Coulombic potential",
+            abbr: "CP",
+            suite: Suite::GpgpuSim,
+            dims: LaunchDims::linear(4, 32),
+            source: cp_source,
+            setup: cp_setup,
+            verify: cp_verify,
+        },
+        Workload {
+            name: "Libor Monte Carlo",
+            abbr: "LIB",
+            suite: Suite::GpgpuSim,
+            dims: LaunchDims::linear(4, 32),
+            source: lib_source,
+            setup: lib_setup,
+            verify: lib_verify,
+        },
+        Workload {
+            name: "Laplace transform",
+            abbr: "LPS",
+            suite: Suite::GpgpuSim,
+            dims: LaunchDims::linear(4, 32),
+            source: lps_source,
+            setup: lps_setup,
+            verify: lps_verify,
+        },
+        Workload {
+            name: "Neural network",
+            abbr: "NN",
+            suite: Suite::GpgpuSim,
+            dims: LaunchDims::linear(4, 32),
+            source: nn_source,
+            setup: nn_setup,
+            verify: nn_verify,
+        },
+        Workload {
+            name: "N Queen",
+            abbr: "NQU",
+            suite: Suite::GpgpuSim,
+            dims: LaunchDims::linear(4, 32),
+            source: nqu_source,
+            setup: nqu_setup,
+            verify: nqu_verify,
+        },
+    ]
+}

@@ -1,0 +1,173 @@
+#![warn(missing_docs)]
+//! The 25 evaluation workloads (paper Table 3), re-implemented in the
+//! `penny-ir` assembly with the loop/live-value structure of the
+//! originals, plus seeded inputs and host-side output checkers.
+//!
+//! | Suite | Workloads |
+//! |---|---|
+//! | GPGPU-Sim bench | CP, LIB, LPS, NN, NQU |
+//! | CUDA SDK | BO, BS, CS, SP, SQ, FW, MT |
+//! | Parboil | SGEMM, SPMV, STC, TPACF |
+//! | Rodinia | BP, BFS, GAU, HS, MD, NW, PF, SRAD, SC |
+//!
+//! # Examples
+//!
+//! ```
+//! use penny_core::{compile, PennyConfig};
+//! use penny_sim::{Gpu, GpuConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w = penny_workloads::by_abbr("MT").expect("matrix transpose");
+//! let cfg = PennyConfig::penny().with_launch(w.dims);
+//! let protected = compile(&w.kernel()?, &cfg)?;
+//! let mut gpu = Gpu::new(GpuConfig::fermi());
+//! let launch = w.prepare(gpu.global_mut());
+//! gpu.run(&protected, &launch)?;
+//! assert!(w.check(gpu.global()));
+//! # Ok(())
+//! # }
+//! ```
+
+mod cuda_sdk;
+mod gpgpusim;
+mod parboil;
+mod rodinia;
+pub mod util;
+
+use penny_core::LaunchDims;
+use penny_ir::{Kernel, ParseError};
+use penny_sim::{GlobalMemory, LaunchConfig};
+
+/// Benchmark suite of origin (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// GPGPU-Sim benchmark suite.
+    GpgpuSim,
+    /// CUDA toolkit samples.
+    CudaSdk,
+    /// Parboil.
+    Parboil,
+    /// Rodinia.
+    Rodinia,
+}
+
+impl Suite {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::GpgpuSim => "GPGPU-Sim bench",
+            Suite::CudaSdk => "CUDA toolkit samples",
+            Suite::Parboil => "Parboil",
+            Suite::Rodinia => "Rodinia",
+        }
+    }
+}
+
+/// One benchmark: kernel source, launch geometry, input setup, and an
+/// output checker.
+pub struct Workload {
+    /// Full application name.
+    pub name: &'static str,
+    /// Paper abbreviation (Table 3).
+    pub abbr: &'static str,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// Launch geometry the kernel was written for.
+    pub dims: LaunchDims,
+    /// Assembly source.
+    pub source: fn() -> String,
+    /// Writes inputs into device memory; returns the parameter words.
+    pub setup: fn(&mut GlobalMemory) -> Vec<u32>,
+    /// Verifies device memory against the host-computed expectation.
+    pub verify: fn(&GlobalMemory) -> bool,
+}
+
+impl Workload {
+    /// Parses the workload's kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors (a workload-authoring bug; tests parse
+    /// every workload).
+    pub fn kernel(&self) -> Result<Kernel, ParseError> {
+        penny_ir::parse_kernel(&(self.source)())
+    }
+
+    /// Writes inputs and builds the launch configuration.
+    pub fn prepare(&self, global: &mut GlobalMemory) -> LaunchConfig {
+        let params = (self.setup)(global);
+        LaunchConfig::new(self.dims, params)
+    }
+
+    /// Checks device memory against the expected output.
+    pub fn check(&self, global: &GlobalMemory) -> bool {
+        (self.verify)(global)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("abbr", &self.abbr)
+            .field("name", &self.name)
+            .field("suite", &self.suite.name())
+            .finish()
+    }
+}
+
+/// All 25 workloads, in the paper's figure order.
+pub fn all() -> Vec<Workload> {
+    let mut v = Vec::with_capacity(25);
+    v.extend(gpgpusim::workloads()); // CP LIB LPS NN NQU
+    v.extend(parboil::workloads()); // SGEMM SPMV STC TPACF
+    v.extend(rodinia::workloads()); // BP BFS GAU HS MD NW PF SRAD SC
+    v.extend(cuda_sdk::workloads()); // BS SQ BO CS FW SP MT
+    v
+}
+
+/// Looks a workload up by its paper abbreviation.
+pub fn by_abbr(abbr: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.abbr == abbr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_25_unique_workloads() {
+        let ws = all();
+        assert_eq!(ws.len(), 25);
+        let mut abbrs: Vec<&str> = ws.iter().map(|w| w.abbr).collect();
+        abbrs.sort();
+        abbrs.dedup();
+        assert_eq!(abbrs.len(), 25, "duplicate abbreviations");
+    }
+
+    #[test]
+    fn every_kernel_parses_and_validates() {
+        for w in all() {
+            let k = w.kernel().unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
+            penny_ir::validate(&k).unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
+        }
+    }
+
+    #[test]
+    fn lookup_by_abbr() {
+        assert!(by_abbr("SGEMM").is_some());
+        assert!(by_abbr("BO").is_some());
+        assert!(by_abbr("nope").is_none());
+    }
+
+    #[test]
+    fn table3_coverage() {
+        let expect = [
+            "CP", "LIB", "LPS", "NN", "NQU", "SGEMM", "SPMV", "STC", "TPACF", "BP", "BFS",
+            "GAU", "HS", "MD", "NW", "PF", "SRAD", "SC", "BS", "SQ", "BO", "CS", "FW", "SP",
+            "MT",
+        ];
+        for a in expect {
+            assert!(by_abbr(a).is_some(), "missing workload {a}");
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Parboil workloads: SGEMM, SPMV, STC, TPACF.
+
+use penny_core::LaunchDims;
+use penny_sim::GlobalMemory;
+
+use crate::gpgpusim::GID;
+use crate::util::{addr, close, XorShift32};
+use crate::{Suite, Workload};
+
+const SGEMM_N: usize = 16;
+const SGEMM_TILE: usize = 8;
+
+fn sgemm_source() -> String {
+    // Tiled matrix multiply: 8x8 tiles in shared memory, As at byte 0,
+    // Bs at byte 256.
+    r#"
+        .kernel sgemm .params A B C N
+        .shared 512
+        entry:
+            mov.u32 %r0, %tid.x
+            mov.u32 %r1, %tid.y
+            mov.u32 %r2, %ctaid.x
+            mov.u32 %r3, %ctaid.y
+            ld.param.u32 %r4, [A]
+            ld.param.u32 %r5, [B]
+            ld.param.u32 %r6, [N]
+            mad.u32 %r7, %r3, 8, %r1
+            mad.u32 %r8, %r2, 8, %r0
+            mov.f32 %r9, 0.0f
+            mov.u32 %r10, 0
+            div.u32 %r11, %r6, 8
+            mad.u32 %r30, %r1, 8, %r0
+            shl.u32 %r31, %r30, 2
+            jmp tile
+        tile:
+            mad.u32 %r12, %r10, 8, %r0
+            mad.u32 %r13, %r7, %r6, %r12
+            shl.u32 %r14, %r13, 2
+            add.u32 %r15, %r4, %r14
+            ld.global.f32 %r16, [%r15]
+            st.shared.f32 [%r31], %r16
+            mad.u32 %r17, %r10, 8, %r1
+            mad.u32 %r18, %r17, %r6, %r8
+            shl.u32 %r19, %r18, 2
+            add.u32 %r20, %r5, %r19
+            ld.global.f32 %r21, [%r20]
+            st.shared.f32 [%r31+256], %r21
+            bar.sync
+            mov.u32 %r22, 0
+            jmp inner
+        inner:
+            mad.u32 %r23, %r1, 8, %r22
+            shl.u32 %r24, %r23, 2
+            ld.shared.f32 %r25, [%r24]
+            mad.u32 %r26, %r22, 8, %r0
+            shl.u32 %r27, %r26, 2
+            ld.shared.f32 %r28, [%r27+256]
+            mad.f32 %r9, %r25, %r28, %r9
+            add.u32 %r22, %r22, 1
+            setp.lt.u32 %p0, %r22, 8
+            bra %p0, inner, after
+        after:
+            bar.sync
+            add.u32 %r10, %r10, 1
+            setp.lt.u32 %p1, %r10, %r11
+            bra %p1, tile, done
+        done:
+            ld.param.u32 %r32, [C]
+            mad.u32 %r33, %r7, %r6, %r8
+            shl.u32 %r34, %r33, 2
+            add.u32 %r35, %r32, %r34
+            st.global.f32 [%r35], %r9
+            ret
+    "#
+    .to_string()
+}
+
+fn sgemm_inputs() -> (Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0x5E);
+    let a: Vec<f32> = (0..SGEMM_N * SGEMM_N).map(|_| rng.next_f32() - 0.5).collect();
+    let b: Vec<f32> = (0..SGEMM_N * SGEMM_N).map(|_| rng.next_f32() - 0.5).collect();
+    (a, b)
+}
+
+fn sgemm_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (a, b) = sgemm_inputs();
+    g.write_f32_slice(addr::A, &a);
+    g.write_f32_slice(addr::B, &b);
+    vec![addr::A, addr::B, addr::C, SGEMM_N as u32]
+}
+
+fn sgemm_verify(g: &GlobalMemory) -> bool {
+    let (a, b) = sgemm_inputs();
+    let n = SGEMM_N;
+    let mut expected = vec![0.0f32; n * n];
+    let tiles = n / SGEMM_TILE;
+    for row in 0..n {
+        for col in 0..n {
+            let mut acc = 0.0f32;
+            for t in 0..tiles {
+                for k in 0..SGEMM_TILE {
+                    let kk = t * SGEMM_TILE + k;
+                    acc += a[row * n + kk] * b[kk * n + col];
+                }
+            }
+            expected[row * n + col] = acc;
+        }
+    }
+    close(&g.read_f32_slice(addr::C, n * n), &expected, 1e-3)
+}
+
+const SPMV_ROWS: usize = 128;
+const SPMV_NNZ: usize = 4;
+
+fn spmv_source() -> String {
+    format!(
+        r#"
+        .kernel spmv .params PTR COL VAL X Y
+        entry:
+            {GID}
+            ld.param.u32 %r4, [PTR]
+            ld.param.u32 %r5, [COL]
+            ld.param.u32 %r6, [VAL]
+            ld.param.u32 %r7, [X]
+            shl.u32 %r8, %r3, 2
+            add.u32 %r9, %r4, %r8
+            ld.global.u32 %r10, [%r9]
+            ld.global.u32 %r11, [%r9+4]
+            mov.f32 %r12, 0.0f
+            jmp loop
+        loop:
+            setp.ge.u32 %p0, %r10, %r11
+            bra %p0, done, body
+        body:
+            shl.u32 %r13, %r10, 2
+            add.u32 %r14, %r5, %r13
+            ld.global.u32 %r15, [%r14]
+            add.u32 %r16, %r6, %r13
+            ld.global.f32 %r17, [%r16]
+            shl.u32 %r18, %r15, 2
+            add.u32 %r19, %r7, %r18
+            ld.global.f32 %r20, [%r19]
+            mad.f32 %r12, %r17, %r20, %r12
+            add.u32 %r10, %r10, 1
+            jmp loop
+        done:
+            ld.param.u32 %r21, [Y]
+            add.u32 %r22, %r21, %r8
+            st.global.f32 [%r22], %r12
+            ret
+    "#
+    )
+}
+
+fn spmv_inputs() -> (Vec<u32>, Vec<u32>, Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0x5731);
+    let ptr: Vec<u32> = (0..=SPMV_ROWS as u32).map(|i| i * SPMV_NNZ as u32).collect();
+    let col: Vec<u32> =
+        (0..SPMV_ROWS * SPMV_NNZ).map(|_| rng.next_below(SPMV_ROWS as u32)).collect();
+    let val: Vec<f32> = (0..SPMV_ROWS * SPMV_NNZ).map(|_| rng.next_f32()).collect();
+    let x: Vec<f32> = (0..SPMV_ROWS).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+    (ptr, col, val, x)
+}
+
+fn spmv_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (ptr, col, val, x) = spmv_inputs();
+    g.write_slice(addr::A, &ptr);
+    g.write_slice(addr::B, &col);
+    g.write_f32_slice(addr::D, &val);
+    g.write_f32_slice(addr::E, &x);
+    vec![addr::A, addr::B, addr::D, addr::E, addr::C]
+}
+
+fn spmv_verify(g: &GlobalMemory) -> bool {
+    let (ptr, col, val, x) = spmv_inputs();
+    let expected: Vec<f32> = (0..SPMV_ROWS)
+        .map(|r| {
+            let mut acc = 0.0f32;
+            for k in ptr[r] as usize..ptr[r + 1] as usize {
+                acc += val[k] * x[col[k] as usize];
+            }
+            acc
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, SPMV_ROWS), &expected, 1e-3)
+}
+
+const STC_N: usize = 128;
+const STC_T: usize = 6;
+
+fn stc_source() -> String {
+    // One block; shared halo array of N+2 floats at byte 0. The time
+    // loop overwrites shared memory each step, and the register
+    // accumulator %r9 is loop-carried — the structure the paper blames
+    // for STC's residual overhead (unprunable in-loop checkpoints).
+    r#"
+        .kernel stc .params IN OUT T N
+        .shared 520
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [IN]
+            ld.param.u32 %r2, [OUT]
+            ld.param.u32 %r3, [T]
+            ld.param.u32 %r4, [N]
+            shl.u32 %r5, %r0, 2
+            add.u32 %r6, %r1, %r5
+            ld.global.f32 %r7, [%r6]
+            st.shared.f32 [%r5+4], %r7
+            setp.eq.u32 %p0, %r0, 0
+            bra %p0, halo, afterhalo
+        halo:
+            st.shared.f32 [0], 0.0f
+            sub.u32 %r8, %r4, 1
+            shl.u32 %r28, %r8, 2
+            st.shared.f32 [%r28+8], 0.0f
+            jmp afterhalo
+        afterhalo:
+            mov.f32 %r9, 0.0f
+            mov.u32 %r10, 0
+            jmp timeloop
+        timeloop:
+            bar.sync
+            ld.shared.f32 %r11, [%r5]
+            ld.shared.f32 %r12, [%r5+4]
+            ld.shared.f32 %r13, [%r5+8]
+            add.f32 %r14, %r11, %r13
+            mul.f32 %r15, %r14, 0.25f
+            mad.f32 %r16, %r12, 0.5f, %r15
+            bar.sync
+            st.shared.f32 [%r5+4], %r16
+            add.f32 %r9, %r9, %r16
+            add.u32 %r10, %r10, 1
+            setp.lt.u32 %p1, %r10, %r3
+            bra %p1, timeloop, done
+        done:
+            add.u32 %r17, %r2, %r5
+            st.global.f32 [%r17], %r9
+            ret
+    "#
+    .to_string()
+}
+
+fn stc_input() -> Vec<f32> {
+    let mut rng = XorShift32::new(0x57C);
+    (0..STC_N).map(|_| rng.next_f32()).collect()
+}
+
+fn stc_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    g.write_f32_slice(addr::A, &stc_input());
+    vec![addr::A, addr::C, STC_T as u32, STC_N as u32]
+}
+
+fn stc_verify(g: &GlobalMemory) -> bool {
+    let mut s = vec![0.0f32; STC_N + 2];
+    s[1..=STC_N].copy_from_slice(&stc_input());
+    let mut acc = vec![0.0f32; STC_N];
+    for _ in 0..STC_T {
+        let mut next = vec![0.0f32; STC_N];
+        for (i, n) in next.iter_mut().enumerate() {
+            *n = s[i + 1] * 0.5 + (s[i] + s[i + 2]) * 0.25;
+        }
+        s[1..=STC_N].copy_from_slice(&next);
+        for (a, n) in acc.iter_mut().zip(&next) {
+            *a += n;
+        }
+    }
+    close(&g.read_f32_slice(addr::C, STC_N), &acc, 1e-3)
+}
+
+const TPACF_BINS: u32 = 8;
+const TPACF_REF: usize = 8;
+
+fn tpacf_source() -> String {
+    format!(
+        r#"
+        .kernel tpacf .params DATA REF HIST M
+        entry:
+            {GID}
+            ld.param.u32 %r4, [DATA]
+            ld.param.u32 %r5, [REF]
+            ld.param.u32 %r6, [HIST]
+            ld.param.u32 %r7, [M]
+            shl.u32 %r8, %r3, 2
+            add.u32 %r9, %r4, %r8
+            ld.global.f32 %r10, [%r9]
+            mov.u32 %r11, 0
+            jmp loop
+        loop:
+            shl.u32 %r12, %r11, 2
+            add.u32 %r13, %r5, %r12
+            ld.global.f32 %r14, [%r13]
+            sub.f32 %r15, %r10, %r14
+            abs.f32 %r16, %r15
+            mul.f32 %r17, %r16, 4.0f
+            cvt.u32.f32 %r18, %r17
+            and.u32 %r19, %r18, 7
+            shl.u32 %r20, %r19, 2
+            add.u32 %r21, %r6, %r20
+            atom.global.add.u32 %r22, [%r21], 1
+            add.u32 %r11, %r11, 1
+            setp.lt.u32 %p0, %r11, %r7
+            bra %p0, loop, done
+        done:
+            ret
+    "#
+    )
+}
+
+fn tpacf_inputs() -> (Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0x7ACF);
+    let data: Vec<f32> = (0..128).map(|_| rng.next_f32() * 3.0).collect();
+    let reference: Vec<f32> = (0..TPACF_REF).map(|_| rng.next_f32() * 3.0).collect();
+    (data, reference)
+}
+
+fn tpacf_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (data, reference) = tpacf_inputs();
+    g.write_f32_slice(addr::A, &data);
+    g.write_f32_slice(addr::B, &reference);
+    g.write_slice(addr::C, &vec![0u32; TPACF_BINS as usize]);
+    vec![addr::A, addr::B, addr::C, TPACF_REF as u32]
+}
+
+fn tpacf_verify(g: &GlobalMemory) -> bool {
+    let (data, reference) = tpacf_inputs();
+    let mut expected = vec![0u32; TPACF_BINS as usize];
+    for &d in &data {
+        for &r in &reference {
+            let bin = (((d - r).abs() * 4.0) as u32) & 7;
+            expected[bin as usize] += 1;
+        }
+    }
+    g.read_slice(addr::C, TPACF_BINS as usize) == expected
+}
+
+/// The Parboil workloads.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "SP matrix multiplication",
+            abbr: "SGEMM",
+            suite: Suite::Parboil,
+            dims: LaunchDims { block: (8, 8), grid: (2, 2) },
+            source: sgemm_source,
+            setup: sgemm_setup,
+            verify: sgemm_verify,
+        },
+        Workload {
+            name: "Sparse matrix-vector mult.",
+            abbr: "SPMV",
+            suite: Suite::Parboil,
+            dims: LaunchDims::linear(4, 32),
+            source: spmv_source,
+            setup: spmv_setup,
+            verify: spmv_verify,
+        },
+        Workload {
+            name: "Jacobi stencil",
+            abbr: "STC",
+            suite: Suite::Parboil,
+            dims: LaunchDims::linear(1, 128),
+            source: stc_source,
+            setup: stc_setup,
+            verify: stc_verify,
+        },
+        Workload {
+            name: "2-point angular correlation",
+            abbr: "TPACF",
+            suite: Suite::Parboil,
+            dims: LaunchDims::linear(4, 32),
+            source: tpacf_source,
+            setup: tpacf_setup,
+            verify: tpacf_verify,
+        },
+    ]
+}

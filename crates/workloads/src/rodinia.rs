@@ -1,0 +1,878 @@
+//! Rodinia workloads: BP, BFS, GAU, HS, MD, NW, PF, SRAD, SC.
+
+use penny_core::LaunchDims;
+use penny_sim::GlobalMemory;
+
+use crate::gpgpusim::GID;
+use crate::util::{addr, close, XorShift32};
+use crate::{Suite, Workload};
+
+const N: usize = 128;
+
+// ---------------------------------------------------------------- BP --
+
+const BP_IN: usize = 16;
+
+fn bp_source() -> String {
+    format!(
+        r#"
+        .kernel bp .params W X B OUT K
+        entry:
+            {GID}
+            ld.param.u32 %r4, [W]
+            ld.param.u32 %r5, [X]
+            ld.param.u32 %r6, [K]
+            mov.f32 %r7, 0.0f
+            mov.u32 %r8, 0
+            mul.u32 %r9, %r3, %r6
+            jmp loop
+        loop:
+            add.u32 %r10, %r9, %r8
+            shl.u32 %r11, %r10, 2
+            add.u32 %r12, %r4, %r11
+            ld.global.f32 %r13, [%r12]
+            shl.u32 %r14, %r8, 2
+            add.u32 %r15, %r5, %r14
+            ld.global.f32 %r16, [%r15]
+            mad.f32 %r7, %r13, %r16, %r7
+            add.u32 %r8, %r8, 1
+            setp.lt.u32 %p0, %r8, %r6
+            bra %p0, loop, done
+        done:
+            ld.param.u32 %r17, [B]
+            shl.u32 %r18, %r3, 2
+            add.u32 %r19, %r17, %r18
+            ld.global.f32 %r20, [%r19]
+            add.f32 %r21, %r7, %r20
+            neg.f32 %r22, %r21
+            ex2.f32 %r23, %r22
+            add.f32 %r24, %r23, 1.0f
+            rcp.f32 %r25, %r24
+            ld.param.u32 %r26, [OUT]
+            add.u32 %r27, %r26, %r18
+            st.global.f32 [%r27], %r25
+            ret
+    "#
+    )
+}
+
+fn bp_inputs() -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0xB9);
+    let w: Vec<f32> = (0..N * BP_IN).map(|_| rng.next_f32() - 0.5).collect();
+    let x: Vec<f32> = (0..BP_IN).map(|_| rng.next_f32()).collect();
+    let b: Vec<f32> = (0..N).map(|_| rng.next_f32() - 0.5).collect();
+    (w, x, b)
+}
+
+fn bp_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (w, x, b) = bp_inputs();
+    g.write_f32_slice(addr::A, &w);
+    g.write_f32_slice(addr::B, &x);
+    g.write_f32_slice(addr::D, &b);
+    vec![addr::A, addr::B, addr::D, addr::C, BP_IN as u32]
+}
+
+fn bp_verify(g: &GlobalMemory) -> bool {
+    let (w, x, b) = bp_inputs();
+    let expected: Vec<f32> = (0..N)
+        .map(|j| {
+            let mut dot = 0.0f32;
+            for i in 0..BP_IN {
+                dot += w[j * BP_IN + i] * x[i];
+            }
+            1.0 / ((-(dot + b[j])).exp2() + 1.0)
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 1e-3)
+}
+
+// --------------------------------------------------------------- BFS --
+
+const BFS_DEG: usize = 3;
+const UNVISITED: u32 = 0xFFFF_FFFF;
+
+fn bfs_source() -> String {
+    format!(
+        r#"
+        .kernel bfs .params PTR DST FRONT COST NEXT
+        entry:
+            {GID}
+            ld.param.u32 %r4, [FRONT]
+            shl.u32 %r5, %r3, 2
+            add.u32 %r6, %r4, %r5
+            ld.global.u32 %r7, [%r6]
+            setp.eq.u32 %p0, %r7, 1
+            bra %p0, expand, exit
+        expand:
+            ld.param.u32 %r8, [PTR]
+            ld.param.u32 %r9, [DST]
+            ld.param.u32 %r10, [COST]
+            ld.param.u32 %r11, [NEXT]
+            add.u32 %r12, %r8, %r5
+            ld.global.u32 %r13, [%r12]
+            ld.global.u32 %r14, [%r12+4]
+            add.u32 %r15, %r10, %r5
+            ld.global.u32 %r16, [%r15]
+            add.u32 %r17, %r16, 1
+            jmp loop
+        loop:
+            setp.ge.u32 %p1, %r13, %r14
+            bra %p1, exit, body
+        body:
+            shl.u32 %r18, %r13, 2
+            add.u32 %r19, %r9, %r18
+            ld.global.u32 %r20, [%r19]
+            shl.u32 %r21, %r20, 2
+            add.u32 %r22, %r10, %r21
+            ld.global.u32 %r23, [%r22]
+            setp.eq.u32 %p2, %r23, 4294967295
+            @%p2 st.global.u32 [%r22], %r17
+            add.u32 %r24, %r11, %r21
+            @%p2 st.global.u32 [%r24], 1
+            add.u32 %r13, %r13, 1
+            jmp loop
+        exit:
+            ret
+    "#
+    )
+}
+
+fn bfs_graph() -> (Vec<u32>, Vec<u32>) {
+    let mut rng = XorShift32::new(0xBF5);
+    let ptr: Vec<u32> = (0..=N as u32).map(|i| i * BFS_DEG as u32).collect();
+    // Destinations: odd nodes only, so frontier nodes (multiples of 8)
+    // are never re-discovered.
+    let dst: Vec<u32> =
+        (0..N * BFS_DEG).map(|_| rng.next_below((N / 2) as u32) * 2 + 1).collect();
+    (ptr, dst)
+}
+
+fn bfs_state() -> (Vec<u32>, Vec<u32>) {
+    let frontier: Vec<u32> = (0..N).map(|i| u32::from(i % 8 == 0)).collect();
+    let cost: Vec<u32> =
+        (0..N).map(|i| if i % 8 == 0 { 1 } else { UNVISITED }).collect();
+    (frontier, cost)
+}
+
+fn bfs_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (ptr, dst) = bfs_graph();
+    let (frontier, cost) = bfs_state();
+    g.write_slice(addr::A, &ptr);
+    g.write_slice(addr::B, &dst);
+    g.write_slice(addr::D, &frontier);
+    g.write_slice(addr::C, &cost);
+    g.write_slice(addr::E, &vec![0u32; N]);
+    vec![addr::A, addr::B, addr::D, addr::C, addr::E]
+}
+
+fn bfs_verify(g: &GlobalMemory) -> bool {
+    let (ptr, dst) = bfs_graph();
+    let (frontier, mut cost) = bfs_state();
+    let mut next = vec![0u32; N];
+    for n in 0..N {
+        if frontier[n] == 1 {
+            for &dest in &dst[ptr[n] as usize..ptr[n + 1] as usize] {
+                let d = dest as usize;
+                if cost[d] == UNVISITED {
+                    cost[d] = 2; // every frontier node is at cost 1
+                    next[d] = 1;
+                }
+            }
+        }
+    }
+    g.read_slice(addr::C, N) == cost && g.read_slice(addr::E, N) == next
+}
+
+// --------------------------------------------------------------- GAU --
+
+const GAU_COLS: usize = 8;
+
+fn gau_source() -> String {
+    format!(
+        r#"
+        .kernel gau .params A COLS
+        entry:
+            {GID}
+            setp.eq.u32 %p0, %r3, 0
+            bra %p0, exit, work
+        work:
+            ld.param.u32 %r4, [A]
+            ld.param.u32 %r5, [COLS]
+            mul.u32 %r6, %r3, %r5
+            shl.u32 %r7, %r6, 2
+            add.u32 %r8, %r4, %r7
+            ld.global.f32 %r9, [%r8]
+            ld.global.f32 %r10, [%r4]
+            div.f32 %r11, %r9, %r10
+            mov.u32 %r12, 0
+            jmp loop
+        loop:
+            shl.u32 %r13, %r12, 2
+            add.u32 %r14, %r4, %r13
+            ld.global.f32 %r15, [%r14]
+            add.u32 %r16, %r8, %r13
+            ld.global.f32 %r17, [%r16]
+            mul.f32 %r18, %r11, %r15
+            sub.f32 %r19, %r17, %r18
+            st.global.f32 [%r16], %r19
+            add.u32 %r12, %r12, 1
+            setp.lt.u32 %p1, %r12, %r5
+            bra %p1, loop, exit
+        exit:
+            ret
+    "#
+    )
+}
+
+fn gau_input() -> Vec<f32> {
+    let mut rng = XorShift32::new(0x6A0);
+    let mut a: Vec<f32> = (0..N * GAU_COLS).map(|_| rng.next_f32() + 0.5).collect();
+    a[0] = 2.0; // well-conditioned pivot
+    a
+}
+
+fn gau_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    g.write_f32_slice(addr::A, &gau_input());
+    vec![addr::A, GAU_COLS as u32]
+}
+
+fn gau_verify(g: &GlobalMemory) -> bool {
+    let mut a = gau_input();
+    let pivot_row: Vec<f32> = a[..GAU_COLS].to_vec();
+    for i in 1..N {
+        let factor = a[i * GAU_COLS] / pivot_row[0];
+        for j in 0..GAU_COLS {
+            a[i * GAU_COLS + j] -= factor * pivot_row[j];
+        }
+    }
+    close(&g.read_f32_slice(addr::A, N * GAU_COLS), &a, 1e-3)
+}
+
+// ---------------------------------------------------------------- HS --
+
+const HS_W: usize = 16;
+
+fn hs_source() -> String {
+    format!(
+        r#"
+        .kernel hs .params TIN PWR TOUT N W
+        entry:
+            {GID}
+            ld.param.u32 %r4, [TIN]
+            ld.param.u32 %r5, [PWR]
+            ld.param.u32 %r6, [TOUT]
+            ld.param.u32 %r7, [N]
+            ld.param.u32 %r8, [W]
+            rem.u32 %r9, %r3, %r8
+            div.u32 %r10, %r3, %r8
+            div.u32 %r11, %r7, %r8
+            sub.u32 %r12, %r11, 1
+            sub.u32 %r13, %r8, 1
+            shl.u32 %r14, %r3, 2
+            add.u32 %r15, %r4, %r14
+            add.u32 %r16, %r6, %r14
+            ld.global.f32 %r17, [%r15]
+            setp.gt.u32 %p0, %r9, 0
+            bra %p0, c1, edge
+        c1:
+            setp.lt.u32 %p1, %r9, %r13
+            bra %p1, c2, edge
+        c2:
+            setp.gt.u32 %p2, %r10, 0
+            bra %p2, c3, edge
+        c3:
+            setp.lt.u32 %p3, %r10, %r12
+            bra %p3, interior, edge
+        interior:
+            ld.global.f32 %r18, [%r15-4]
+            ld.global.f32 %r19, [%r15+4]
+            ld.global.f32 %r20, [%r15-64]
+            ld.global.f32 %r21, [%r15+64]
+            add.u32 %r22, %r5, %r14
+            ld.global.f32 %r23, [%r22]
+            add.f32 %r24, %r18, %r19
+            add.f32 %r24, %r24, %r20
+            add.f32 %r24, %r24, %r21
+            mul.f32 %r25, %r17, 4.0f
+            sub.f32 %r26, %r24, %r25
+            mad.f32 %r27, %r26, 0.2f, %r23
+            mad.f32 %r28, %r27, 0.3f, %r17
+            st.global.f32 [%r16], %r28
+            ret
+        edge:
+            st.global.f32 [%r16], %r17
+            ret
+    "#
+    )
+}
+
+fn hs_inputs() -> (Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0x4075);
+    let t: Vec<f32> = (0..N).map(|_| 40.0 + rng.next_f32() * 20.0).collect();
+    let p: Vec<f32> = (0..N).map(|_| rng.next_f32()).collect();
+    (t, p)
+}
+
+fn hs_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (t, p) = hs_inputs();
+    g.write_f32_slice(addr::A, &t);
+    g.write_f32_slice(addr::B, &p);
+    vec![addr::A, addr::B, addr::C, N as u32, HS_W as u32]
+}
+
+fn hs_verify(g: &GlobalMemory) -> bool {
+    let (t, p) = hs_inputs();
+    let h = N / HS_W;
+    let expected: Vec<f32> = (0..N)
+        .map(|i| {
+            let (x, y) = (i % HS_W, i / HS_W);
+            if x > 0 && x < HS_W - 1 && y > 0 && y < h - 1 {
+                let s = t[i - 1] + t[i + 1] + t[i - HS_W] + t[i + HS_W];
+                let delta = (s - t[i] * 4.0) * 0.2 + p[i];
+                delta * 0.3 + t[i]
+            } else {
+                t[i]
+            }
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 1e-3)
+}
+
+// ---------------------------------------------------------------- MD --
+
+const MD_NB: usize = 8;
+
+fn md_source() -> String {
+    format!(
+        r#"
+        .kernel md .params POS NBR F K
+        entry:
+            {GID}
+            ld.param.u32 %r4, [POS]
+            ld.param.u32 %r5, [NBR]
+            ld.param.u32 %r6, [K]
+            shl.u32 %r7, %r3, 2
+            add.u32 %r8, %r4, %r7
+            ld.global.f32 %r9, [%r8]
+            mov.f32 %r10, 0.0f
+            mov.u32 %r11, 0
+            mul.u32 %r12, %r3, %r6
+            jmp loop
+        loop:
+            add.u32 %r13, %r12, %r11
+            shl.u32 %r14, %r13, 2
+            add.u32 %r15, %r5, %r14
+            ld.global.u32 %r16, [%r15]
+            shl.u32 %r17, %r16, 2
+            add.u32 %r18, %r4, %r17
+            ld.global.f32 %r19, [%r18]
+            sub.f32 %r20, %r9, %r19
+            mad.f32 %r21, %r20, %r20, 0.01f
+            rcp.f32 %r22, %r21
+            mul.f32 %r23, %r22, %r22
+            mul.f32 %r24, %r23, %r22
+            sub.f32 %r25, %r24, 0.5f
+            mul.f32 %r26, %r24, %r25
+            mad.f32 %r10, %r26, %r20, %r10
+            add.u32 %r11, %r11, 1
+            setp.lt.u32 %p0, %r11, %r6
+            bra %p0, loop, done
+        done:
+            ld.param.u32 %r27, [F]
+            add.u32 %r28, %r27, %r7
+            st.global.f32 [%r28], %r10
+            ret
+    "#
+    )
+}
+
+fn md_inputs() -> (Vec<f32>, Vec<u32>) {
+    let mut rng = XorShift32::new(0x3D);
+    let pos: Vec<f32> = (0..N).map(|_| rng.next_f32() * 10.0).collect();
+    let nbr: Vec<u32> = (0..N * MD_NB).map(|_| rng.next_below(N as u32)).collect();
+    (pos, nbr)
+}
+
+fn md_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (pos, nbr) = md_inputs();
+    g.write_f32_slice(addr::A, &pos);
+    g.write_slice(addr::B, &nbr);
+    vec![addr::A, addr::B, addr::C, MD_NB as u32]
+}
+
+fn md_verify(g: &GlobalMemory) -> bool {
+    let (pos, nbr) = md_inputs();
+    let expected: Vec<f32> = (0..N)
+        .map(|i| {
+            let mut f = 0.0f32;
+            for k in 0..MD_NB {
+                let j = nbr[i * MD_NB + k] as usize;
+                let dx = pos[i] - pos[j];
+                let inv = 1.0 / (dx * dx + 0.01);
+                let inv6 = inv * inv * inv;
+                f += inv6 * (inv6 - 0.5) * dx;
+            }
+            f
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 2e-3)
+}
+
+// ---------------------------------------------------------------- NW --
+
+const NW_DIM: usize = 65; // (N+1) x (N+1) score matrix, N = 64
+const NW_DIAG: usize = 64;
+
+fn nw_source() -> String {
+    format!(
+        r#"
+        .kernel nw .params M S1 S2 DIM DIAG
+        entry:
+            {GID}
+            ld.param.u32 %r4, [M]
+            ld.param.u32 %r5, [S1]
+            ld.param.u32 %r6, [S2]
+            ld.param.u32 %r7, [DIM]
+            ld.param.u32 %r8, [DIAG]
+            add.u32 %r9, %r3, 1
+            sub.u32 %r10, %r8, %r9
+            setp.ge.u32 %p0, %r3, %r8
+            bra %p0, exit, c1
+        c1:
+            setp.eq.u32 %p4, %r10, 0
+            bra %p4, exit, work
+        work:
+            setp.ge.u32 %p1, %r10, %r7
+            bra %p1, exit, work2
+        work2:
+            sub.u32 %r30, %r9, 1
+            shl.u32 %r11, %r30, 2
+            add.u32 %r12, %r5, %r11
+            ld.global.u32 %r13, [%r12]
+            sub.u32 %r31, %r10, 1
+            shl.u32 %r14, %r31, 2
+            add.u32 %r15, %r6, %r14
+            ld.global.u32 %r16, [%r15]
+            setp.eq.u32 %p2, %r13, %r16
+            selp.s32 %r17, 3, -1, %p2
+            mad.u32 %r18, %r9, %r7, %r10
+            sub.u32 %r19, %r18, %r7
+            shl.u32 %r20, %r19, 2
+            add.u32 %r21, %r4, %r20
+            ld.global.u32 %r22, [%r21-4]
+            ld.global.u32 %r23, [%r21]
+            mad.u32 %r24, %r9, %r7, %r10
+            shl.u32 %r25, %r24, 2
+            add.u32 %r26, %r4, %r25
+            ld.global.u32 %r27, [%r26-4]
+            add.s32 %r28, %r22, %r17
+            sub.s32 %r29, %r23, 1
+            sub.s32 %r32, %r27, 1
+            max.s32 %r33, %r28, %r29
+            max.s32 %r34, %r33, %r32
+            st.global.u32 [%r26], %r34
+            ret
+        exit:
+            ret
+    "#
+    )
+}
+
+fn nw_inputs() -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut rng = XorShift32::new(0x9A);
+    let s1: Vec<u32> = (0..NW_DIM - 1).map(|_| rng.next_below(4)).collect();
+    let s2: Vec<u32> = (0..NW_DIM - 1).map(|_| rng.next_below(4)).collect();
+    // Score matrix filled for all diagonals before DIAG.
+    let mut m = vec![0i32; NW_DIM * NW_DIM];
+    for i in 0..NW_DIM {
+        m[i * NW_DIM] = -(i as i32);
+        m[i] = -(i as i32);
+    }
+    for d in 2..NW_DIAG {
+        for i in 1..NW_DIM {
+            if d < i {
+                continue;
+            }
+            let j = d - i;
+            if j == 0 || j >= NW_DIM {
+                continue;
+            }
+            let sub = if s1[i - 1] == s2[j - 1] { 3 } else { -1 };
+            m[i * NW_DIM + j] = (m[(i - 1) * NW_DIM + j - 1] + sub)
+                .max(m[(i - 1) * NW_DIM + j] - 1)
+                .max(m[i * NW_DIM + j - 1] - 1);
+        }
+    }
+    (s1, s2, m.into_iter().map(|v| v as u32).collect())
+}
+
+fn nw_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (s1, s2, m) = nw_inputs();
+    g.write_slice(addr::A, &m);
+    g.write_slice(addr::B, &s1);
+    g.write_slice(addr::D, &s2);
+    vec![addr::A, addr::B, addr::D, NW_DIM as u32, NW_DIAG as u32]
+}
+
+fn nw_verify(g: &GlobalMemory) -> bool {
+    let (s1, s2, m) = nw_inputs();
+    let mut expected: Vec<i32> = m.into_iter().map(|v| v as i32).collect();
+    let d = NW_DIAG;
+    for i in 1..NW_DIM {
+        if d <= i {
+            continue;
+        }
+        let j = d - i;
+        if j == 0 || j >= NW_DIM {
+            continue;
+        }
+        let sub = if s1[i - 1] == s2[j - 1] { 3 } else { -1 };
+        expected[i * NW_DIM + j] = (expected[(i - 1) * NW_DIM + j - 1] + sub)
+            .max(expected[(i - 1) * NW_DIM + j] - 1)
+            .max(expected[i * NW_DIM + j - 1] - 1);
+    }
+    let got: Vec<i32> =
+        g.read_slice(addr::A, NW_DIM * NW_DIM).into_iter().map(|v| v as i32).collect();
+    got == expected
+}
+
+// ---------------------------------------------------------------- PF --
+
+const PF_COLS: usize = 128;
+const PF_ROWS: usize = 5;
+
+fn pf_source() -> String {
+    // Single block; current path-cost row lives in shared memory and is
+    // updated in place across row iterations with barriers.
+    r#"
+        .kernel pf .params WALL OUT ROWS COLS
+        .shared 512
+        entry:
+            mov.u32 %r0, %tid.x
+            ld.param.u32 %r1, [WALL]
+            ld.param.u32 %r2, [OUT]
+            ld.param.u32 %r3, [ROWS]
+            ld.param.u32 %r4, [COLS]
+            shl.u32 %r5, %r0, 2
+            add.u32 %r6, %r1, %r5
+            ld.global.u32 %r7, [%r6]
+            st.shared.u32 [%r5], %r7
+            mov.u32 %r8, 1
+            sub.u32 %r9, %r4, 1
+            jmp rows
+        rows:
+            bar.sync
+            ld.shared.u32 %r10, [%r5]
+            mov.u32 %r11, %r10
+            setp.gt.u32 %p0, %r0, 0
+            @%p0 ld.shared.u32 %r11, [%r5-4]
+            mov.u32 %r12, %r10
+            setp.lt.u32 %p1, %r0, %r9
+            @%p1 ld.shared.u32 %r12, [%r5+4]
+            min.u32 %r13, %r10, %r11
+            min.u32 %r13, %r13, %r12
+            mul.u32 %r14, %r8, %r4
+            add.u32 %r15, %r14, %r0
+            shl.u32 %r16, %r15, 2
+            add.u32 %r17, %r1, %r16
+            ld.global.u32 %r18, [%r17]
+            add.u32 %r19, %r13, %r18
+            bar.sync
+            st.shared.u32 [%r5], %r19
+            add.u32 %r8, %r8, 1
+            setp.lt.u32 %p2, %r8, %r3
+            bra %p2, rows, done
+        done:
+            ld.shared.u32 %r20, [%r5]
+            add.u32 %r21, %r2, %r5
+            st.global.u32 [%r21], %r20
+            ret
+    "#
+    .to_string()
+}
+
+fn pf_input() -> Vec<u32> {
+    let mut rng = XorShift32::new(0x9F);
+    (0..PF_ROWS * PF_COLS).map(|_| rng.next_below(10)).collect()
+}
+
+fn pf_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    g.write_slice(addr::A, &pf_input());
+    vec![addr::A, addr::C, PF_ROWS as u32, PF_COLS as u32]
+}
+
+fn pf_verify(g: &GlobalMemory) -> bool {
+    let wall = pf_input();
+    let mut cur: Vec<u32> = wall[..PF_COLS].to_vec();
+    for r in 1..PF_ROWS {
+        let mut next = vec![0u32; PF_COLS];
+        for (i, n) in next.iter_mut().enumerate() {
+            let left = if i > 0 { cur[i - 1] } else { cur[i] };
+            let right = if i < PF_COLS - 1 { cur[i + 1] } else { cur[i] };
+            *n = cur[i].min(left).min(right) + wall[r * PF_COLS + i];
+        }
+        cur = next;
+    }
+    g.read_slice(addr::C, PF_COLS) == cur
+}
+
+// -------------------------------------------------------------- SRAD --
+
+const SRAD_W: usize = 16;
+
+fn srad_source() -> String {
+    format!(
+        r#"
+        .kernel srad .params IN OUT N W
+        entry:
+            {GID}
+            ld.param.u32 %r4, [IN]
+            ld.param.u32 %r5, [OUT]
+            ld.param.u32 %r6, [N]
+            ld.param.u32 %r7, [W]
+            rem.u32 %r8, %r3, %r7
+            div.u32 %r9, %r3, %r7
+            div.u32 %r10, %r6, %r7
+            sub.u32 %r11, %r10, 1
+            sub.u32 %r12, %r7, 1
+            shl.u32 %r13, %r3, 2
+            add.u32 %r14, %r4, %r13
+            add.u32 %r15, %r5, %r13
+            ld.global.f32 %r16, [%r14]
+            setp.gt.u32 %p0, %r8, 0
+            bra %p0, c1, edge
+        c1:
+            setp.lt.u32 %p1, %r8, %r12
+            bra %p1, c2, edge
+        c2:
+            setp.gt.u32 %p2, %r9, 0
+            bra %p2, c3, edge
+        c3:
+            setp.lt.u32 %p3, %r9, %r11
+            bra %p3, interior, edge
+        interior:
+            ld.global.f32 %r17, [%r14-4]
+            ld.global.f32 %r18, [%r14+4]
+            ld.global.f32 %r19, [%r14-64]
+            ld.global.f32 %r20, [%r14+64]
+            add.f32 %r21, %r17, %r18
+            add.f32 %r21, %r21, %r19
+            add.f32 %r21, %r21, %r20
+            mul.f32 %r22, %r16, 4.0f
+            sub.f32 %r23, %r21, %r22
+            mul.f32 %r24, %r23, %r23
+            rcp.f32 %r26, %r16
+            mul.f32 %r27, %r24, %r26
+            mul.f32 %r27, %r27, %r26
+            add.f32 %r28, %r27, 1.0f
+            rcp.f32 %r29, %r28
+            mul.f32 %r30, %r29, %r23
+            mad.f32 %r31, %r30, 0.25f, %r16
+            st.global.f32 [%r15], %r31
+            ret
+        edge:
+            st.global.f32 [%r15], %r16
+            ret
+    "#
+    )
+}
+
+fn srad_input() -> Vec<f32> {
+    let mut rng = XorShift32::new(0x52AD);
+    (0..N).map(|_| rng.next_f32() + 0.5).collect()
+}
+
+fn srad_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    g.write_f32_slice(addr::A, &srad_input());
+    vec![addr::A, addr::C, N as u32, SRAD_W as u32]
+}
+
+fn srad_verify(g: &GlobalMemory) -> bool {
+    let input = srad_input();
+    let h = N / SRAD_W;
+    let expected: Vec<f32> = (0..N)
+        .map(|i| {
+            let (x, y) = (i % SRAD_W, i / SRAD_W);
+            let v = input[i];
+            if x > 0 && x < SRAD_W - 1 && y > 0 && y < h - 1 {
+                let lap =
+                    input[i - 1] + input[i + 1] + input[i - SRAD_W] + input[i + SRAD_W]
+                        - v * 4.0;
+                let g2 = lap * lap;
+                let inv = 1.0 / v;
+                let q = g2 * inv * inv;
+                let c = 1.0 / (q + 1.0);
+                c * lap * 0.25 + v
+            } else {
+                v
+            }
+        })
+        .collect();
+    close(&g.read_f32_slice(addr::C, N), &expected, 2e-3)
+}
+
+// ---------------------------------------------------------------- SC --
+
+const SC_CENTERS: usize = 8;
+
+fn sc_source() -> String {
+    format!(
+        r#"
+        .kernel sc .params P C ASSIGN DIST K
+        entry:
+            {GID}
+            ld.param.u32 %r4, [P]
+            ld.param.u32 %r5, [C]
+            ld.param.u32 %r6, [K]
+            shl.u32 %r7, %r3, 2
+            add.u32 %r8, %r4, %r7
+            ld.global.f32 %r9, [%r8]
+            mov.f32 %r10, 340282346638528859811704183484516925440.0f
+            mov.u32 %r11, 0
+            mov.u32 %r12, 0
+            jmp loop
+        loop:
+            shl.u32 %r13, %r12, 2
+            add.u32 %r14, %r5, %r13
+            ld.global.f32 %r15, [%r14]
+            sub.f32 %r16, %r9, %r15
+            mul.f32 %r17, %r16, %r16
+            setp.lt.f32 %p0, %r17, %r10
+            selp.f32 %r10, %r17, %r10, %p0
+            selp.u32 %r11, %r12, %r11, %p0
+            add.u32 %r12, %r12, 1
+            setp.lt.u32 %p1, %r12, %r6
+            bra %p1, loop, done
+        done:
+            ld.param.u32 %r18, [ASSIGN]
+            add.u32 %r19, %r18, %r7
+            st.global.u32 [%r19], %r11
+            ld.param.u32 %r20, [DIST]
+            add.u32 %r21, %r20, %r7
+            st.global.f32 [%r21], %r10
+            ret
+    "#
+    )
+}
+
+fn sc_inputs() -> (Vec<f32>, Vec<f32>) {
+    let mut rng = XorShift32::new(0x5C);
+    let p: Vec<f32> = (0..N).map(|_| rng.next_f32() * 100.0).collect();
+    let c: Vec<f32> = (0..SC_CENTERS).map(|_| rng.next_f32() * 100.0).collect();
+    (p, c)
+}
+
+fn sc_setup(g: &mut GlobalMemory) -> Vec<u32> {
+    let (p, c) = sc_inputs();
+    g.write_f32_slice(addr::A, &p);
+    g.write_f32_slice(addr::B, &c);
+    vec![addr::A, addr::B, addr::C, addr::D, SC_CENTERS as u32]
+}
+
+fn sc_verify(g: &GlobalMemory) -> bool {
+    let (p, c) = sc_inputs();
+    let mut exp_assign = vec![0u32; N];
+    let mut exp_dist = vec![0.0f32; N];
+    for i in 0..N {
+        let mut best = f32::MAX;
+        let mut arg = 0u32;
+        for (k, &ck) in c.iter().enumerate() {
+            let d = (p[i] - ck) * (p[i] - ck);
+            if d < best {
+                best = d;
+                arg = k as u32;
+            }
+        }
+        exp_assign[i] = arg;
+        exp_dist[i] = best;
+    }
+    g.read_slice(addr::C, N) == exp_assign
+        && close(&g.read_f32_slice(addr::D, N), &exp_dist, 1e-3)
+}
+
+/// The Rodinia workloads.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "Back propagation",
+            abbr: "BP",
+            suite: Suite::Rodinia,
+            dims: LaunchDims::linear(4, 32),
+            source: bp_source,
+            setup: bp_setup,
+            verify: bp_verify,
+        },
+        Workload {
+            name: "Breadth-first search",
+            abbr: "BFS",
+            suite: Suite::Rodinia,
+            dims: LaunchDims::linear(4, 32),
+            source: bfs_source,
+            setup: bfs_setup,
+            verify: bfs_verify,
+        },
+        Workload {
+            name: "Gaussian elimination",
+            abbr: "GAU",
+            suite: Suite::Rodinia,
+            dims: LaunchDims::linear(4, 32),
+            source: gau_source,
+            setup: gau_setup,
+            verify: gau_verify,
+        },
+        Workload {
+            name: "Hotspot",
+            abbr: "HS",
+            suite: Suite::Rodinia,
+            dims: LaunchDims::linear(4, 32),
+            source: hs_source,
+            setup: hs_setup,
+            verify: hs_verify,
+        },
+        Workload {
+            name: "Molecular dynamics",
+            abbr: "MD",
+            suite: Suite::Rodinia,
+            dims: LaunchDims::linear(4, 32),
+            source: md_source,
+            setup: md_setup,
+            verify: md_verify,
+        },
+        Workload {
+            name: "Needleman-Wunsch",
+            abbr: "NW",
+            suite: Suite::Rodinia,
+            dims: LaunchDims::linear(4, 32),
+            source: nw_source,
+            setup: nw_setup,
+            verify: nw_verify,
+        },
+        Workload {
+            name: "Pathfinder",
+            abbr: "PF",
+            suite: Suite::Rodinia,
+            dims: LaunchDims::linear(1, 128),
+            source: pf_source,
+            setup: pf_setup,
+            verify: pf_verify,
+        },
+        Workload {
+            name: "Speckle reducing anisotropic diffusion",
+            abbr: "SRAD",
+            suite: Suite::Rodinia,
+            dims: LaunchDims::linear(4, 32),
+            source: srad_source,
+            setup: srad_setup,
+            verify: srad_verify,
+        },
+        Workload {
+            name: "Stream cluster",
+            abbr: "SC",
+            suite: Suite::Rodinia,
+            dims: LaunchDims::linear(4, 32),
+            source: sc_source,
+            setup: sc_setup,
+            verify: sc_verify,
+        },
+    ]
+}

@@ -1,0 +1,94 @@
+//! Shared helpers for workload inputs and output checking.
+
+/// Standard device-memory layout used by the workloads.
+pub mod addr {
+    /// First input array.
+    pub const A: u32 = 0x0001_0000;
+    /// Second input array.
+    pub const B: u32 = 0x0002_0000;
+    /// Output array.
+    pub const C: u32 = 0x0003_0000;
+    /// Auxiliary array.
+    pub const D: u32 = 0x0004_0000;
+    /// Second auxiliary array.
+    pub const E: u32 = 0x0005_0000;
+}
+
+/// A tiny deterministic PRNG (xorshift32) shared between host setup and
+/// any in-kernel pseudo-random sequences.
+#[derive(Debug, Clone)]
+pub struct XorShift32 {
+    state: u32,
+}
+
+impl XorShift32 {
+    /// Seeds the generator (zero seeds are fixed up).
+    pub fn new(seed: u32) -> XorShift32 {
+        XorShift32 { state: if seed == 0 { 0x9E37_79B9 } else { seed } }
+    }
+
+    /// Next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+
+    /// Next float in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Next value in `0..bound`.
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        self.next_u32() % bound.max(1)
+    }
+}
+
+/// Compares float slices with a relative tolerance.
+pub fn close(actual: &[f32], expected: &[f32], tol: f32) -> bool {
+    if actual.len() != expected.len() {
+        return false;
+    }
+    actual.iter().zip(expected).all(|(&a, &e)| {
+        if e.abs() < 1e-5 {
+            (a - e).abs() < tol
+        } else {
+            ((a - e) / e).abs() < tol
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = XorShift32::new(42);
+        let mut b = XorShift32::new(42);
+        for _ in 0..100 {
+            let x = a.next_u32();
+            assert_eq!(x, b.next_u32());
+            assert_ne!(x, 0);
+        }
+        let f = XorShift32::new(7).next_f32();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn zero_seed_is_fixed() {
+        assert_ne!(XorShift32::new(0).next_u32(), 0);
+    }
+
+    #[test]
+    fn close_tolerates_small_errors() {
+        assert!(close(&[1.0001], &[1.0], 1e-3));
+        assert!(!close(&[1.1], &[1.0], 1e-3));
+        assert!(!close(&[1.0], &[1.0, 2.0], 1e-3));
+        assert!(close(&[1e-7], &[0.0], 1e-3));
+    }
+}

@@ -1,0 +1,79 @@
+//! Every workload must compute its expected output on the simulator —
+//! both as an untransformed baseline and under full Penny protection
+//! (whose instrumentation must be semantically transparent).
+
+use penny_core::{compile, PennyConfig};
+use penny_sim::{Gpu, GpuConfig, RfProtection};
+use penny_workloads::{all, by_abbr};
+
+fn run_one(abbr: &str, config: &PennyConfig, rf: RfProtection) {
+    let w = by_abbr(abbr).unwrap_or_else(|| panic!("workload {abbr}"));
+    let kernel = w.kernel().unwrap_or_else(|e| panic!("{abbr}: parse: {e}"));
+    let cfg = config.clone().with_launch(w.dims);
+    let protected = compile(&kernel, &cfg).unwrap_or_else(|e| panic!("{abbr}: compile: {e}"));
+    let mut gpu = Gpu::new(GpuConfig::fermi().with_rf(rf));
+    let launch = w.prepare(gpu.global_mut());
+    gpu.run(&protected, &launch).unwrap_or_else(|e| panic!("{abbr}: run: {e}"));
+    assert!(w.check(gpu.global()), "{abbr}: wrong output");
+}
+
+#[test]
+fn all_workloads_correct_unprotected() {
+    for w in all() {
+        run_one(w.abbr, &PennyConfig::unprotected(), RfProtection::None);
+    }
+}
+
+#[test]
+fn all_workloads_correct_under_penny() {
+    for w in all() {
+        run_one(w.abbr, &PennyConfig::penny(), GpuConfig::fermi().rf);
+    }
+}
+
+#[test]
+fn all_workloads_correct_under_bolt() {
+    for w in all() {
+        run_one(w.abbr, &PennyConfig::bolt_auto(), GpuConfig::fermi().rf);
+    }
+}
+
+#[test]
+fn all_workloads_correct_under_igpu() {
+    // iGPU relies on an ECC-protected RF.
+    for w in all() {
+        run_one(
+            w.abbr,
+            &PennyConfig::igpu(),
+            RfProtection::Ecc(penny_coding::Scheme::Secded),
+        );
+    }
+}
+
+#[test]
+fn every_workload_roundtrips_through_the_printer() {
+    // The textual printer/parser pair must round-trip every benchmark.
+    for w in all() {
+        let k = w.kernel().unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
+        let text = k.to_string();
+        let k2 = penny_ir::parse_kernel(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse: {e}", w.abbr));
+        assert_eq!(text, k2.to_string(), "{}: unstable round-trip", w.abbr);
+        assert_eq!(k.num_insts(), k2.num_insts());
+        assert_eq!(k.num_blocks(), k2.num_blocks());
+    }
+}
+
+#[test]
+fn workloads_compile_as_a_module() {
+    // compile_module: batch compilation of all 25 kernels.
+    let module = penny_ir::Module {
+        kernels: all().iter().map(|w| w.kernel().expect("parse")).collect(),
+    };
+    let cfg = PennyConfig::penny();
+    let compiled = penny_core::compile_module(&module, &cfg).expect("module compile");
+    assert_eq!(compiled.len(), 25);
+    for p in &compiled {
+        penny_ir::validate(&p.kernel).expect("valid");
+    }
+}

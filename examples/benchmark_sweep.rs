@@ -1,0 +1,50 @@
+//! Benchmark sweep: reproduce the paper's headline comparison (figure 9)
+//! on any subset of the 25 workloads, from the command line.
+//!
+//! ```text
+//! cargo run --release --example benchmark_sweep            # all 25
+//! cargo run --release --example benchmark_sweep SGEMM STC  # a subset
+//! ```
+
+use penny::eval::report::render_figure;
+use penny::eval::runner::{gmean, run_scheme, SchemeId};
+use penny::eval::{Figure, Series};
+use penny::sim::GpuConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workloads: Vec<_> = penny::workloads::all()
+        .into_iter()
+        .filter(|w| args.is_empty() || args.iter().any(|a| a == w.abbr))
+        .collect();
+    if workloads.is_empty() {
+        eprintln!("no matching workloads; known abbreviations:");
+        for w in penny::workloads::all() {
+            eprint!(" {}", w.abbr);
+        }
+        eprintln!();
+        std::process::exit(1);
+    }
+
+    let gpu = GpuConfig::fermi();
+    let schemes =
+        [SchemeId::IGpu, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::Penny];
+    let mut series = Vec::new();
+    for scheme in schemes {
+        let mut values = Vec::new();
+        for w in &workloads {
+            let base = run_scheme(w, SchemeId::Baseline, &gpu).run.cycles as f64;
+            let m = run_scheme(w, scheme, &gpu.clone().with_rf(scheme.rf()));
+            values.push((w.abbr.to_string(), m.run.cycles as f64 / base));
+        }
+        let g = gmean(&values.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+        println!("{:<18} gmean overhead: {:+.1}%", scheme.name(), (g - 1.0) * 100.0);
+        series.push(Series::new(scheme.name(), values));
+    }
+    let fig = Figure {
+        title: "fault-free execution time, normalized to unprotected baseline".into(),
+        workloads: workloads.iter().map(|w| w.abbr.to_string()).collect(),
+        series,
+    };
+    println!("{}", render_figure(&fig));
+}

@@ -1,0 +1,83 @@
+//! Error-coverage study: how the same coding budget behaves as ECC
+//! versus as Penny's detection-only EDC (the paper's Table 1 argument,
+//! exercised bit-by-bit on the executable codes).
+//!
+//! ```text
+//! cargo run --release --example error_coverage
+//! ```
+
+use penny::coding::{Decode, Scheme};
+
+/// Counts outcomes of every k-bit error pattern (sampled deterministically
+/// when the space is large).
+fn sweep(scheme: Scheme, flips: usize) -> (u64, u64, u64, u64) {
+    let codec = scheme.codec().expect("codec");
+    let n = codec.n();
+    let data = 0x5A5A_C3C3u32;
+    let word = codec.encode(data);
+    let (mut clean, mut corrected, mut detected, mut miscorrected) = (0, 0, 0, 0);
+    let mut pattern: Vec<usize> = (0..flips).collect();
+    let mut tested = 0u64;
+    loop {
+        let mut w = word;
+        for &b in &pattern {
+            w ^= 1u64 << b;
+        }
+        match codec.decode(w) {
+            Decode::Clean(d) if d == data => clean += 1,
+            Decode::Clean(_) => miscorrected += 1,
+            Decode::Corrected { data: d, .. } if d == data => corrected += 1,
+            Decode::Corrected { .. } => miscorrected += 1,
+            Decode::Detected => detected += 1,
+        }
+        tested += 1;
+        // Next combination (lexicographic), bounded for big spaces.
+        let mut i = flips;
+        loop {
+            if i == 0 {
+                return (clean, corrected, detected, miscorrected);
+            }
+            i -= 1;
+            pattern[i] += 1;
+            if pattern[i] <= n - (flips - i) {
+                for j in i + 1..flips {
+                    pattern[j] = pattern[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        if tested >= 20_000 {
+            return (clean, corrected, detected, miscorrected);
+        }
+    }
+}
+
+fn main() {
+    println!("error outcomes per scheme (data word 0x5A5AC3C3):\n");
+    println!(
+        "{:<10} {:>6} {:>10} {:>10} {:>10} {:>13}",
+        "scheme", "flips", "clean", "corrected", "detected", "miscorrected"
+    );
+    for scheme in [Scheme::Parity, Scheme::Hamming, Scheme::Secded, Scheme::Dected] {
+        for flips in 1..=4usize {
+            let (clean, corrected, detected, mis) = sweep(scheme, flips);
+            println!(
+                "{:<10} {:>6} {:>10} {:>10} {:>10} {:>13}",
+                scheme.name(),
+                flips,
+                clean,
+                corrected,
+                detected,
+                mis
+            );
+        }
+        println!();
+    }
+    println!("Reading guide:");
+    println!("* Parity detects every odd-weight error but no even-weight one —");
+    println!("  enough for Penny, because detection + idempotent re-execution");
+    println!("  equals correction at a fraction of ECC's bit budget.");
+    println!("* SECDED corrects single flips inline but *miscorrects* some");
+    println!("  3-bit patterns — exactly why the paper runs the same code in");
+    println!("  detection-only mode under Penny to survive 3-bit errors.");
+}

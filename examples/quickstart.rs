@@ -1,0 +1,91 @@
+//! Quickstart: protect a kernel with Penny and watch it survive a
+//! register-file soft error.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use penny::compiler::{compile, LaunchDims, PennyConfig};
+use penny::sim::{FaultPlan, Gpu, GpuConfig, Injection, LaunchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small CUDA-style kernel in the PTX-like assembly: each thread
+    // triples its element and adds its global id.
+    let kernel = penny::ir::parse_kernel(
+        r#"
+        .kernel triple .params IN OUT N
+        entry:
+            mov.u32 %r0, %tid.x
+            mov.u32 %r1, %ctaid.x
+            mov.u32 %r2, %ntid.x
+            mad.u32 %r3, %r1, %r2, %r0
+            ld.param.u32 %r4, [IN]
+            ld.param.u32 %r5, [OUT]
+            ld.param.u32 %r6, [N]
+            setp.lt.u32 %p0, %r3, %r6
+            bra %p0, body, exit
+        body:
+            shl.u32 %r7, %r3, 2
+            add.u32 %r8, %r4, %r7
+            add.u32 %r9, %r5, %r7
+            ld.global.u32 %r10, [%r8]
+            mul.u32 %r11, %r10, 3
+            add.u32 %r12, %r11, %r3
+            st.global.u32 [%r9], %r12
+            ld.global.u32 %r13, [%r9]
+            add.u32 %r14, %r13, %r3
+            st.global.u32 [%r9], %r14
+            jmp exit
+        exit:
+            ret
+    "#,
+    )?;
+
+    // Compile with full Penny protection: idempotent regions, eagerly
+    // checkpointed live-ins (bimodal placement), optimal pruning,
+    // occupancy-aware checkpoint storage.
+    let dims = LaunchDims::linear(4, 32);
+    let config = PennyConfig::penny().with_launch(dims);
+    let protected = compile(&kernel, &config)?;
+    println!("kernel `triple` compiled with Penny:");
+    println!("  regions formed:        {}", protected.stats.regions);
+    println!("  checkpoints considered:{:>3}", protected.stats.total_checkpoints);
+    println!("  committed after prune: {:>3}", protected.stats.committed);
+    println!("  est. occupancy:        {:.0}%", protected.stats.occupancy * 100.0);
+
+    // Inject a 3-bit soft error into thread 17's output-address register
+    // %r9. Instruction counts shift with instrumentation, so sweep the
+    // trigger point until the fault lands inside the register's live
+    // window; parity then detects it at the next read and Penny's
+    // runtime restores the region's live-ins and re-executes.
+    let expected: Vec<u32> = (0..128u32).map(|i| i * 11 * 3 + i + i).collect();
+    let mut detected_total = 0u64;
+    let mut recovered_total = 0u64;
+    for after in 1..40 {
+        let mut gpu = Gpu::new(GpuConfig::fermi()); // parity-protected RF
+        let input: Vec<u32> = (0..128).map(|i| i * 11).collect();
+        gpu.global_mut().write_slice(0x1_0000, &input);
+        let mk = |bit| Injection {
+            block: 0,
+            warp: 0,
+            lane: 17,
+            reg: 9,
+            bit,
+            after_warp_insts: after,
+        };
+        let faults = FaultPlan { injections: vec![mk(2), mk(9), mk(30)] };
+        let launch =
+            LaunchConfig::new(dims, vec![0x1_0000, 0x2_0000, 128]).with_faults(faults);
+        let stats = gpu.run(&protected, &launch)?;
+        let out = gpu.global().read_slice(0x2_0000, 128);
+        assert_eq!(out, expected, "output must match the fault-free result");
+        detected_total += stats.rf.detected;
+        recovered_total += stats.recoveries;
+    }
+    println!("\nswept 39 injection points into register %r9 (3 bits each):");
+    println!("  errors detected by parity: {detected_total}");
+    println!("  region re-executions:      {recovered_total}");
+    println!("  output verified after every run: matches the fault-free result ✓");
+    assert!(detected_total > 0, "demo must exercise the detection path");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # Penny
+//!
+//! A reproduction of *"Compiler-Directed Soft Error Resilience for
+//! Lightweight GPU Register File Protection"* (PLDI 2020).
+//!
+//! Penny protects GPU register files (RF) against soft errors without the
+//! full cost of ECC: registers carry cheap **error detection codes** (parity),
+//! and detected errors are **corrected by re-executing compiler-constructed
+//! idempotent regions** whose inputs were checkpointed.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`ir`] — a PTX-like GPU IR with parser, printer and builder.
+//! * [`analysis`] — CFG, dominators, loops, liveness, reaching definitions,
+//!   alias analysis.
+//! * [`compiler`] — the Penny passes (region formation, eager checkpointing,
+//!   bimodal placement, overwrite prevention, optimal pruning, storage
+//!   assignment, low-level opts, code generation) plus the iGPU and Bolt
+//!   baselines.
+//! * [`sim`] — a SIMT GPU simulator with a parity/ECC register-file model,
+//!   fault injection and the Penny recovery runtime.
+//! * [`coding`] — executable ECC/EDC codes (parity, Hamming, SECDED, DECTED,
+//!   TECQED) and the register-file hardware cost model.
+//! * [`workloads`] — the 25 evaluation kernels.
+//! * [`eval`] — the experiment harness regenerating every table and figure.
+//!
+//! # Quick start
+//!
+//! ```
+//! use penny::compiler::{compile, PennyConfig};
+//! use penny::sim::{Gpu, GpuConfig};
+//! use penny::workloads;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Pick a workload, compile it with full Penny protection, and run it.
+//! let w = workloads::by_abbr("MT").expect("matrix transpose workload");
+//! let config = PennyConfig::penny().with_launch(w.dims);
+//! let protected = compile(&w.kernel()?, &config)?;
+//!
+//! let mut gpu = Gpu::new(GpuConfig::fermi());
+//! let launch = w.prepare(gpu.global_mut());
+//! let stats = gpu.run(&protected, &launch)?;
+//! assert!(w.check(gpu.global()));
+//! assert!(stats.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use penny_analysis as analysis;
+pub use penny_bench as eval;
+pub use penny_coding as coding;
+pub use penny_core as compiler;
+pub use penny_graph as graph;
+pub use penny_ir as ir;
+pub use penny_sim as sim;
+pub use penny_workloads as workloads;

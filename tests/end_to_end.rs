@@ -1,0 +1,150 @@
+//! Workspace-level end-to-end tests: source text → compiler → simulator
+//! → verified output, across protection schemes.
+
+use penny::compiler::{compile, LaunchDims, PennyConfig, PruningMode, StoragePolicy};
+use penny::sim::{FaultPlan, Gpu, GpuConfig, LaunchConfig, RfProtection};
+
+const IN: u32 = 0x1_0000;
+const OUT: u32 = 0x2_0000;
+
+/// An in-place histogram-style kernel exercising regions, loops,
+/// divergence, and atomics at once.
+const KERNEL: &str = r#"
+    .kernel mix .params IN OUT HIST N
+    entry:
+        mov.u32 %r0, %tid.x
+        mov.u32 %r1, %ctaid.x
+        mov.u32 %r2, %ntid.x
+        mad.u32 %r3, %r1, %r2, %r0
+        ld.param.u32 %r4, [IN]
+        ld.param.u32 %r5, [OUT]
+        ld.param.u32 %r6, [HIST]
+        ld.param.u32 %r7, [N]
+        setp.lt.u32 %p0, %r3, %r7
+        bra %p0, body, exit
+    body:
+        shl.u32 %r8, %r3, 2
+        add.u32 %r9, %r4, %r8
+        ld.global.u32 %r10, [%r9]
+        mov.u32 %r11, 0
+        mov.u32 %r12, %r10
+        jmp loop
+    loop:
+        and.u32 %r13, %r12, 1
+        add.u32 %r11, %r11, %r13
+        shr.u32 %r12, %r12, 1
+        setp.gt.u32 %p1, %r12, 0
+        bra %p1, loop, after
+    after:
+        add.u32 %r14, %r5, %r8
+        st.global.u32 [%r14], %r11
+        and.u32 %r15, %r11, 7
+        shl.u32 %r16, %r15, 2
+        add.u32 %r17, %r6, %r16
+        atom.global.add.u32 %r18, [%r17], 1
+        jmp exit
+    exit:
+        ret
+"#;
+
+const HIST: u32 = 0x3_0000;
+const N: usize = 128;
+
+fn inputs() -> Vec<u32> {
+    (0..N as u32).map(|i| i.wrapping_mul(0x9E37_79B9) | 1).collect()
+}
+
+fn expected() -> (Vec<u32>, Vec<u32>) {
+    let ins = inputs();
+    let pop: Vec<u32> = ins.iter().map(|v| v.count_ones()).collect();
+    let mut hist = vec![0u32; 8];
+    for &p in &pop {
+        hist[(p & 7) as usize] += 1;
+    }
+    (pop, hist)
+}
+
+fn run(config: &PennyConfig, rf: RfProtection, faults: FaultPlan) -> (Vec<u32>, Vec<u32>, penny::sim::RunStats) {
+    let kernel = penny::ir::parse_kernel(KERNEL).expect("parse");
+    let dims = LaunchDims::linear(4, 32);
+    let cfg = config.clone().with_launch(dims);
+    let protected = compile(&kernel, &cfg).expect("compile");
+    let mut gpu = Gpu::new(GpuConfig::fermi().with_rf(rf));
+    gpu.global_mut().write_slice(IN, &inputs());
+    let launch = LaunchConfig::new(dims, vec![IN, OUT, HIST, N as u32]).with_faults(faults);
+    let stats = gpu.run(&protected, &launch).expect("run");
+    (gpu.global().read_slice(OUT, N), gpu.global().read_slice(HIST, 8), stats)
+}
+
+#[test]
+fn popcount_histogram_baseline() {
+    let (pop, hist, _) = run(&PennyConfig::unprotected(), RfProtection::None, FaultPlan::none());
+    let (epop, ehist) = expected();
+    assert_eq!(pop, epop);
+    assert_eq!(hist, ehist);
+}
+
+#[test]
+fn penny_transparent_without_faults() {
+    let (pop, hist, stats) =
+        run(&PennyConfig::penny(), GpuConfig::fermi().rf, FaultPlan::none());
+    let (epop, ehist) = expected();
+    assert_eq!(pop, epop);
+    assert_eq!(hist, ehist);
+    assert_eq!(stats.recoveries, 0);
+}
+
+#[test]
+fn penny_recovers_under_fault_storm() {
+    // Many faults spread across warps and triggers: output must always
+    // match, and at least one seed must exercise recovery.
+    let mut recoveries = 0;
+    for seed in 0..12 {
+        let plan = FaultPlan::random(seed, 4, 4, 1, 32, 20, 33, 80);
+        let (pop, hist, stats) = run(&PennyConfig::penny(), GpuConfig::fermi().rf, plan);
+        let (epop, ehist) = expected();
+        assert_eq!(pop, epop, "seed {seed}");
+        assert_eq!(hist, ehist, "seed {seed}");
+        recoveries += stats.recoveries;
+    }
+    assert!(recoveries > 0, "fault storm never triggered recovery");
+}
+
+#[test]
+fn all_penny_config_corners_are_transparent() {
+    // Sweep the optimization space: every combination must preserve
+    // semantics (performance differs; correctness may not).
+    let base = PennyConfig::penny();
+    for storage in [StoragePolicy::Shared, StoragePolicy::Global, StoragePolicy::Auto] {
+        for pruning in
+            [PruningMode::None, PruningMode::Basic { seed: 3, trials: 16 }, PruningMode::Optimal]
+        {
+            for bcp in [false, true] {
+                for low_opts in [false, true] {
+                    let cfg = PennyConfig { storage, pruning, bcp, low_opts, ..base.clone() };
+                    let (pop, hist, _) = run(&cfg, GpuConfig::fermi().rf, FaultPlan::none());
+                    let (epop, ehist) = expected();
+                    assert_eq!(pop, epop, "{storage:?}/{pruning:?}/bcp={bcp}/low={low_opts}");
+                    assert_eq!(hist, ehist);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn volta_preset_matches_fermi_results() {
+    let kernel = penny::ir::parse_kernel(KERNEL).expect("parse");
+    let dims = LaunchDims::linear(4, 32);
+    let cfg = PennyConfig::penny()
+        .with_launch(dims)
+        .with_machine(penny::compiler::MachineParams::scaled_volta());
+    let protected = compile(&kernel, &cfg).expect("compile");
+    let mut gpu = Gpu::new(GpuConfig::volta());
+    gpu.global_mut().write_slice(IN, &inputs());
+    let launch = LaunchConfig::new(dims, vec![IN, OUT, HIST, N as u32]);
+    gpu.run(&protected, &launch).expect("run");
+    let (epop, ehist) = expected();
+    assert_eq!(gpu.global().read_slice(OUT, N), epop);
+    assert_eq!(gpu.global().read_slice(HIST, 8), ehist);
+}

@@ -1,0 +1,251 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use penny::coding::{Decode, Scheme};
+
+proptest! {
+    /// Every codec round-trips every data word.
+    #[test]
+    fn codecs_roundtrip(data: u32) {
+        for scheme in Scheme::ALL.iter().skip(1) {
+            let codec = scheme.codec().expect("codec");
+            prop_assert_eq!(codec.decode(codec.encode(data)), Decode::Clean(data));
+        }
+    }
+
+    /// Parity detects every single-bit flip at any position.
+    #[test]
+    fn parity_detects_any_single_flip(data: u32, bit in 0u32..33) {
+        let codec = Scheme::Parity.codec().expect("codec");
+        let word = codec.encode(data) ^ (1u64 << bit);
+        prop_assert_eq!(codec.decode(word), Decode::Detected);
+    }
+
+    /// Parity detects every odd-weight error (the paper's EDC guarantee).
+    #[test]
+    fn parity_detects_odd_weight(data: u32, bits in proptest::collection::hash_set(0u32..33, 1..9)) {
+        if bits.len() % 2 == 1 {
+            let codec = Scheme::Parity.codec().expect("codec");
+            let mut word = codec.encode(data);
+            for b in &bits {
+                word ^= 1u64 << b;
+            }
+            prop_assert_eq!(codec.decode(word), Decode::Detected);
+        }
+    }
+
+    /// SECDED corrects any single flip back to the original data.
+    #[test]
+    fn secded_corrects_any_single_flip(data: u32, bit in 0u32..39) {
+        let codec = Scheme::Secded.codec().expect("codec");
+        let word = codec.encode(data) ^ (1u64 << bit);
+        match codec.decode(word) {
+            Decode::Corrected { data: d, flipped } => {
+                prop_assert_eq!(d, data);
+                prop_assert_eq!(flipped, 1);
+            }
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    /// SECDED never silently accepts a double flip (detects, possibly as
+    /// uncorrectable — never Clean, never a wrong correction).
+    #[test]
+    fn secded_never_accepts_double_flips(data: u32, a in 0u32..39, b in 0u32..39) {
+        prop_assume!(a != b);
+        let codec = Scheme::Secded.codec().expect("codec");
+        let word = codec.encode(data) ^ (1u64 << a) ^ (1u64 << b);
+        match codec.decode(word) {
+            Decode::Detected => {}
+            Decode::Clean(_) => prop_assert!(false, "double flip decoded clean"),
+            Decode::Corrected { data: d, .. } => {
+                prop_assert_eq!(d, data, "double flip miscorrected");
+            }
+        }
+    }
+
+    /// DECTED corrects any double flip (the paper's 2-bit claim at the
+    /// Hamming budget).
+    #[test]
+    fn dected_corrects_any_double_flip(data: u32, a in 0u32..44, b in 0u32..44) {
+        prop_assume!(a != b);
+        let codec = Scheme::Dected.codec().expect("codec");
+        let word = codec.encode(data) ^ (1u64 << a) ^ (1u64 << b);
+        match codec.decode(word) {
+            Decode::Corrected { data: d, .. } => prop_assert_eq!(d, data),
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The IR printer/parser round-trips arbitrary straight-line ALU
+    /// kernels.
+    #[test]
+    fn printer_parser_roundtrip(ops in proptest::collection::vec(0u8..6, 1..30)) {
+        use penny::ir::{KernelBuilder, Type};
+        let mut b = KernelBuilder::new("rt", &["A"]);
+        b.block("entry");
+        let mut last = b.imm(1);
+        for (i, op) in ops.iter().enumerate() {
+            let c = (i as u32).wrapping_mul(2654435761) | 1;
+            last = match op {
+                0 => b.add(Type::U32, last, c),
+                1 => b.sub(Type::S32, last, c),
+                2 => b.mul(Type::U32, last, c),
+                3 => b.xor(Type::U32, last, c),
+                4 => b.shl(Type::U32, last, c % 31),
+                _ => b.mad(Type::U32, last, c, 7u32),
+            };
+        }
+        let a = b.ld_param("A");
+        b.st(penny::ir::MemSpace::Global, a, 0, last);
+        b.ret();
+        let k = b.finish();
+        penny::ir::validate(&k).expect("valid");
+        let text = k.to_string();
+        let k2 = penny::ir::parse_kernel(&text).expect("reparse");
+        prop_assert_eq!(text, k2.to_string());
+    }
+
+    /// Random straight-line compute kernels: Penny instrumentation is
+    /// semantically transparent (same memory output as the baseline).
+    #[test]
+    fn penny_is_transparent_on_random_kernels(ops in proptest::collection::vec(0u8..8, 1..24), seed: u32) {
+        use penny::compiler::{compile, LaunchDims, PennyConfig};
+        use penny::ir::{KernelBuilder, MemSpace, Type};
+        use penny::sim::{Gpu, GpuConfig, LaunchConfig, RfProtection};
+
+        let mut b = KernelBuilder::new("rand", &["A", "B"]);
+        b.block("entry");
+        let tid = b.special(penny::ir::Special::TidX);
+        let a = b.ld_param("A");
+        let off = b.shl(Type::U32, tid, 2u32);
+        let addr = b.add(Type::U32, a, off);
+        let mut v = b.ld(MemSpace::Global, Type::U32, addr, 0);
+        let mut w = b.mov(Type::U32, seed);
+        for (i, op) in ops.iter().enumerate() {
+            let c = (i as u32).wrapping_mul(0x9E37_79B9) | 1;
+            match op {
+                0 => v = b.add(Type::U32, v, w),
+                1 => v = b.mul(Type::U32, v, c),
+                2 => w = b.xor(Type::U32, w, v),
+                3 => v = b.shr(Type::U32, v, c % 13),
+                4 => w = b.add(Type::U32, w, c),
+                5 => v = b.sub(Type::U32, v, w),
+                6 => {
+                    // In-place read-modify-write: forces a region cut.
+                    let t = b.ld(MemSpace::Global, Type::U32, addr, 0);
+                    let u = b.add(Type::U32, t, v);
+                    b.st(MemSpace::Global, addr, 0, u);
+                    v = u;
+                }
+                _ => v = b.max(Type::S32, v, w),
+            }
+        }
+        let bb = b.ld_param("B");
+        let outaddr = b.add(Type::U32, bb, off);
+        b.st(MemSpace::Global, outaddr, 0, v);
+        b.ret();
+        let k = b.finish();
+        penny::ir::validate(&k).expect("valid");
+
+        let dims = LaunchDims::linear(1, 32);
+        let run = |cfg: &PennyConfig, rf: RfProtection| -> Vec<u32> {
+            let protected = compile(&k, &cfg.clone().with_launch(dims)).expect("compile");
+            let mut gpu = Gpu::new(GpuConfig::fermi().with_rf(rf));
+            let input: Vec<u32> = (0..32).map(|i| i * 3 + 1).collect();
+            gpu.global_mut().write_slice(0x1000, &input);
+            gpu.run(&protected, &LaunchConfig::new(dims, vec![0x1000, 0x2000]))
+                .expect("run");
+            gpu.global().read_slice(0x2000, 32)
+        };
+        let baseline = run(&PennyConfig::unprotected(), RfProtection::None);
+        let penny = run(&PennyConfig::penny(), GpuConfig::fermi().rf);
+        prop_assert_eq!(baseline, penny);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random structured kernels under fault injection: output equals
+    /// the fault-free run for every generated program and fault plan.
+    #[test]
+    fn random_kernels_survive_faults(
+        ops in proptest::collection::vec(0u8..8, 1..16),
+        fault_seed: u64,
+    ) {
+        use penny::compiler::{compile, LaunchDims, PennyConfig};
+        use penny::ir::{Cmp, KernelBuilder, MemSpace, Type};
+        use penny::sim::{FaultPlan, Gpu, GpuConfig, LaunchConfig};
+
+        // A diamond + loop kernel with an in-place update (region cuts).
+        let mut b = KernelBuilder::new("storm", &["A", "B"]);
+        b.block("entry");
+        let tid = b.special(penny::ir::Special::TidX);
+        let a = b.ld_param("A");
+        let bp = b.ld_param("B");
+        let off = b.shl(Type::U32, tid, 2u32);
+        let addr = b.add(Type::U32, a, off);
+        let out = b.add(Type::U32, bp, off);
+        let v0 = b.ld(MemSpace::Global, Type::U32, addr, 0);
+        let head = b.block("head");
+        let exit = b.block("exit");
+        let i = b.imm(0);
+        let acc = b.mov(Type::U32, v0);
+        b.jump(head);
+        b.select(head);
+        let mut v = acc;
+        for (j, op) in ops.iter().enumerate() {
+            let c = (j as u32 + 1) | 1;
+            v = match op {
+                0 => b.add(Type::U32, v, c),
+                1 => b.mul(Type::U32, v, c),
+                2 => b.xor(Type::U32, v, i),
+                3 => {
+                    let t = b.ld(MemSpace::Global, Type::U32, addr, 0);
+                    let u = b.add(Type::U32, t, v);
+                    b.st(MemSpace::Global, addr, 0, u);
+                    u
+                }
+                4 => b.shr(Type::U32, v, c % 9),
+                5 => b.sub(Type::U32, v, c),
+                6 => b.min(Type::U32, v, 0xFFFFu32),
+                _ => b.or(Type::U32, v, 1u32),
+            };
+        }
+        b.mov_to(Type::U32, acc, v);
+        let ni = b.add(Type::U32, i, 1u32);
+        b.mov_to(Type::U32, i, ni);
+        let p = b.setp(Cmp::Lt, Type::U32, i, 3u32);
+        b.branch(p, false, head, exit);
+        b.select(exit);
+        b.st(MemSpace::Global, out, 0, acc);
+        b.ret();
+        let k = b.finish();
+        penny::ir::validate(&k).expect("valid");
+
+        let dims = LaunchDims::linear(1, 32);
+        let cfg = PennyConfig::penny().with_launch(dims);
+        let protected = compile(&k, &cfg).expect("compile");
+        let regs = protected.kernel.vreg_limit();
+
+        let run = |faults: FaultPlan| -> Vec<u32> {
+            let mut gpu = Gpu::new(GpuConfig::fermi());
+            let input: Vec<u32> = (0..32).map(|x| x * 5 + 3).collect();
+            gpu.global_mut().write_slice(0x1000, &input);
+            let launch =
+                LaunchConfig::new(dims, vec![0x1000, 0x2000]).with_faults(faults);
+            gpu.run(&protected, &launch).expect("run");
+            gpu.global().read_slice(0x2000, 32)
+        };
+        let clean = run(FaultPlan::none());
+        let plan = FaultPlan::random(fault_seed, 3, 1, 1, 32, regs, 33, 60);
+        let faulty = run(plan);
+        prop_assert_eq!(clean, faulty);
+    }
+}
