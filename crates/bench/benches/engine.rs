@@ -1,0 +1,45 @@
+//! Raw simulator-engine throughput: the event-driven fast path against
+//! the dense cycle-by-cycle reference loop, on one compute-bound and
+//! one memory-bound workload. The two modes produce identical cycle
+//! counts (see `tests/determinism.rs`); this bench tracks how much
+//! wall-clock the fast path saves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use penny_sim::{engine, GlobalMemory, GpuConfig, RfProtection};
+
+fn run_pair(c: &mut Criterion, abbr: &str) {
+    let w = penny_workloads::by_abbr(abbr).expect("workload");
+    let gpu = GpuConfig::fermi().with_rf(RfProtection::None);
+    let cfg = penny_core::PennyConfig::unprotected()
+        .with_launch(w.dims)
+        .with_machine(gpu.machine);
+    let protected = penny_bench::cache::compiled(&w, &cfg);
+
+    let mut group = c.benchmark_group(format!("engine/{abbr}"));
+    group.sample_size(10);
+    group.bench_function("event", |b| {
+        b.iter(|| {
+            let mut global = GlobalMemory::new();
+            let launch = w.prepare(&mut global);
+            engine::run(&gpu, &protected, &launch, &mut global).expect("run")
+        })
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            let mut global = GlobalMemory::new();
+            let launch = w.prepare(&mut global);
+            engine::run_reference(&gpu, &protected, &launch, &mut global).expect("run")
+        })
+    });
+    group.finish();
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    // SPMV is memory-bound (long idle stretches to skip); SGEMM is
+    // compute-dense (measures per-step overhead).
+    run_pair(c, "SPMV");
+    run_pair(c, "SGEMM");
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

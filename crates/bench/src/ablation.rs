@@ -12,7 +12,8 @@ use penny_core::PennyConfig;
 use penny_sim::GpuConfig;
 use penny_workloads::all;
 
-use crate::runner::{gmean, run_scheme, run_workload, SchemeId};
+use crate::parallel::parallel_map;
+use crate::runner::{gmean, run_workload};
 
 /// One ablation row.
 #[derive(Debug, Clone)]
@@ -30,15 +31,18 @@ pub struct AblationRow {
 fn measure(label: &str, cfg: &PennyConfig) -> AblationRow {
     let gpu = GpuConfig::fermi();
     let ws = all();
+    let rows = parallel_map(&ws, |w| {
+        let base = crate::cache::baseline(w, &gpu).run.cycles as f64;
+        let m = run_workload(w, cfg, &gpu);
+        (m.run.cycles as f64 / base, m.compile.regions, m.compile.committed)
+    });
     let mut overheads = Vec::new();
     let mut regions = 0u32;
     let mut committed = 0u32;
-    for w in &ws {
-        let base = run_scheme(w, SchemeId::Baseline, &gpu).run.cycles as f64;
-        let m = run_workload(w, cfg, &gpu);
-        overheads.push(m.run.cycles as f64 / base);
-        regions += m.compile.regions;
-        committed += m.compile.committed;
+    for (overhead, r, c) in rows {
+        overheads.push(overhead);
+        regions += r;
+        committed += c;
     }
     AblationRow {
         label: label.into(),

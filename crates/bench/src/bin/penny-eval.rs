@@ -1,19 +1,56 @@
 //! `penny-eval`: regenerate the paper's tables and figures.
 //!
-//! Usage: `penny-eval [table1|table2|table3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|all]...`
+//! Usage:
+//!
+//! ```text
+//! penny-eval [--jobs N] [table1|table2|table3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|
+//!             multibit|ablation|errorrate|bench-json|all]...
+//! ```
+//!
+//! `--jobs N` sets the worker-thread count for the figure harness
+//! (default: all available cores). Results are bit-identical for every
+//! `N`; see `penny_bench::parallel`.
+//!
+//! `bench-json` runs the Figure 9 pipeline under a wall-clock timer and
+//! writes `BENCH_eval.json` (wall-clock seconds, per-workload cycle and
+//! skipped-cycle counts) for tracking harness performance over time.
+
+use std::time::Instant;
 
 use penny_bench::{figures, report};
+use penny_sim::GpuConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec![
-            "table1", "table2", "table3", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15", "multibit", "ablation", "errorrate",
-        ]
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
+    let mut jobs: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--jobs needs a positive integer"));
+            jobs = n;
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = v.parse().unwrap_or_else(|_| die("--jobs needs a positive integer"));
+        } else {
+            targets.push(a);
+        }
+    }
+    if jobs == 0 {
+        die("--jobs needs a positive integer");
+    }
+    penny_bench::set_jobs(jobs);
+
+    let targets: Vec<&str> =
+        if targets.is_empty() || targets.iter().any(|a| a == "all") {
+            vec![
+                "table1", "table2", "table3", "fig9", "fig10", "fig11", "fig12",
+                "fig13", "fig14", "fig15", "multibit", "ablation", "errorrate",
+            ]
+        } else {
+            targets.iter().map(String::as_str).collect()
+        };
     for t in targets {
         match t {
             "table1" => print!("{}", report::render_table1()),
@@ -40,7 +77,50 @@ fn main() {
                 "{}",
                 penny_bench::campaign::render_multibit(&penny_bench::multibit_sweep(100))
             ),
-            other => eprintln!("unknown target `{other}` (try `all`)"),
+            "bench-json" => bench_json(jobs),
+            other => die(&format!("unknown target `{other}` (try `all`)")),
         }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("penny-eval: {msg}");
+    std::process::exit(2);
+}
+
+/// Times the Figure 9 pipeline and writes `BENCH_eval.json`.
+fn bench_json(jobs: usize) {
+    let start = Instant::now();
+    let fig = figures::fig9();
+    let wall = start.elapsed().as_secs_f64();
+
+    let gpu = GpuConfig::fermi();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"fig9_wall_seconds\": {wall:.6},\n"));
+    for s in &fig.series {
+        out.push_str(&format!(
+            "  \"gmean_{}\": {:.6},\n",
+            s.name.to_lowercase().replace(['/', ' '], "_"),
+            s.gmean
+        ));
+    }
+    out.push_str("  \"workloads\": [\n");
+    let ws = penny_workloads::all();
+    for (i, w) in ws.iter().enumerate() {
+        let base = penny_bench::cache::baseline(w, &gpu).run;
+        let comma = if i + 1 == ws.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"abbr\": \"{}\", \"baseline_cycles\": {}, \"skipped_cycles\": {}}}{comma}\n",
+            w.abbr, base.cycles, base.skipped_cycles
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_eval.json", &out) {
+        Ok(()) => eprintln!(
+            "bench-json: fig9 took {wall:.3}s with {jobs} jobs -> BENCH_eval.json"
+        ),
+        Err(e) => die(&format!("writing BENCH_eval.json: {e}")),
     }
 }

@@ -63,10 +63,15 @@ pub fn edc_campaign(scheme: Scheme, flips: u32, runs: u32, seed: u64) -> Campaig
             let j = rng.gen_range(i..bits.len());
             bits.swap(i, j);
         }
-        let injections = bits[..flips as usize]
+        // All flips hit the same register of the same thread: draw the
+        // shared block once, then build the injections with it (one RNG
+        // draw total — previously a per-bit `block` was drawn and then
+        // immediately overwritten, wasting `flips` draws per run).
+        let block = rng.gen_range(0..w.dims.blocks());
+        let injections: Vec<Injection> = bits[..flips as usize]
             .iter()
             .map(|&bit| Injection {
-                block: rng.gen_range(0..w.dims.blocks()),
+                block,
                 warp: 0,
                 lane,
                 reg,
@@ -74,15 +79,6 @@ pub fn edc_campaign(scheme: Scheme, flips: u32, runs: u32, seed: u64) -> Campaig
                 after_warp_insts: trigger,
             })
             .collect();
-        // All flips hit the same register of the same thread: fix block.
-        let block = rng.gen_range(0..w.dims.blocks());
-        let injections: Vec<Injection> = {
-            let mut v: Vec<Injection> = injections;
-            for i in &mut v {
-                i.block = block;
-            }
-            v
-        };
 
         let mut gpu = Gpu::new(gpu_config.clone());
         let launch = w.prepare(gpu.global_mut()).with_faults(FaultPlan { injections });

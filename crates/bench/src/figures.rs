@@ -8,6 +8,7 @@ use penny_core::{OverwritePolicy, PennyConfig, PruningMode, StoragePolicy};
 use penny_sim::{energy, GpuConfig, RfProtection};
 use penny_workloads::{all, Workload};
 
+use crate::parallel::parallel_map;
 use crate::runner::{gmean, run_scheme, run_workload, Measured, SchemeId};
 
 /// A named series of per-workload values plus its geometric mean.
@@ -46,23 +47,22 @@ pub struct Figure {
 }
 
 fn baseline_cycles(w: &Workload, gpu: &GpuConfig) -> f64 {
-    run_scheme(w, SchemeId::Baseline, gpu).run.cycles as f64
+    // One cached baseline simulation per (workload, machine) — shared
+    // by every series of every figure instead of re-run per series.
+    crate::cache::baseline(w, gpu).run.cycles as f64
 }
 
 fn overhead_series(
     name: &str,
     gpu: &GpuConfig,
     workloads: &[Workload],
-    run: impl Fn(&Workload) -> Measured,
+    run: impl Fn(&Workload) -> Measured + Sync,
 ) -> Series {
-    let values = workloads
-        .iter()
-        .map(|w| {
-            let base = baseline_cycles(w, gpu);
-            let m = run(w);
-            (w.abbr.to_string(), m.run.cycles as f64 / base)
-        })
-        .collect();
+    let values = parallel_map(workloads, |w| {
+        let base = baseline_cycles(w, gpu);
+        let m = run(w);
+        (w.abbr.to_string(), m.run.cycles as f64 / base)
+    });
     Series::new(name, values)
 }
 
@@ -179,22 +179,19 @@ pub struct PruneBreakdown {
 /// Figure 12: checkpoints removed by basic vs optimal pruning.
 pub fn fig12() -> Vec<PruneBreakdown> {
     let gpu = GpuConfig::fermi();
-    all()
-        .iter()
-        .map(|w| {
-            let m = run_scheme(w, SchemeId::Penny, &gpu);
-            let total = m.compile.total_checkpoints.max(1) as f64;
-            let basic = m.compile.pruned_basic as f64 / total;
-            let additional = m.compile.pruned_additional as f64 / total;
-            PruneBreakdown {
-                abbr: w.abbr.to_string(),
-                total: m.compile.total_checkpoints,
-                basic,
-                additional,
-                committed: (1.0 - basic - additional).max(0.0),
-            }
-        })
-        .collect()
+    parallel_map(&all(), |w| {
+        let m = run_scheme(w, SchemeId::Penny, &gpu);
+        let total = m.compile.total_checkpoints.max(1) as f64;
+        let basic = m.compile.pruned_basic as f64 / total;
+        let additional = m.compile.pruned_additional as f64 / total;
+        PruneBreakdown {
+            abbr: w.abbr.to_string(),
+            total: m.compile.total_checkpoints,
+            basic,
+            additional,
+            committed: (1.0 - basic - additional).max(0.0),
+        }
+    })
 }
 
 /// Figure 13: run-time impact of pruning quality.
@@ -232,10 +229,8 @@ pub fn fig13() -> Figure {
 pub fn fig14() -> Figure {
     let gpu = GpuConfig::fermi();
     let ws = all();
-    let mut ecc = Vec::new();
-    let mut penny = Vec::new();
-    for w in &ws {
-        let base = run_scheme(w, SchemeId::Baseline, &gpu);
+    let rows = parallel_map(&ws, |w| {
+        let base = crate::cache::baseline(w, &gpu);
         // ECC: the baseline program on a SECDED RF (same access counts).
         let e = energy::normalized_rf_energy(
             &base.run.rf,
@@ -249,8 +244,13 @@ pub fn fig14() -> Figure {
             penny_coding::Scheme::Parity,
             &base.run.rf,
         );
-        ecc.push((w.abbr.to_string(), e));
-        penny.push((w.abbr.to_string(), p));
+        (w.abbr.to_string(), e, p)
+    });
+    let mut ecc = Vec::new();
+    let mut penny = Vec::new();
+    for (abbr, e, p) in rows {
+        ecc.push((abbr.clone(), e));
+        penny.push((abbr, p));
     }
     Figure {
         title: "Figure 14: RF energy consumption (normalized to unprotected)".into(),

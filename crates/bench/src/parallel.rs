@@ -1,0 +1,90 @@
+//! A tiny deterministic fork-join pool for the evaluation harness.
+//!
+//! Figures fan out over independent (workload, configuration) runs;
+//! [`parallel_map`] distributes them over `jobs()` scoped threads
+//! (`std::thread::scope` — no external dependencies) and reassembles
+//! results **by input index**, so the output is bit-identical to the
+//! sequential order no matter how the work was scheduled. The
+//! simulator itself is deterministic, which makes the whole pipeline
+//! reproducible under any `--jobs` value.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the worker count used by [`parallel_map`] (clamped to ≥ 1).
+/// The `penny-eval` binary wires this to `--jobs`; the library default
+/// is 1 (fully sequential).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current worker count.
+pub fn jobs() -> usize {
+    JOBS.load(Ordering::Relaxed).max(1)
+}
+
+/// Applies `f` to every item, on up to [`jobs`] threads, returning
+/// results in input order. With `jobs() == 1` this is exactly
+/// `items.iter().map(f).collect()`. A panic in any worker propagates
+/// after all workers finish.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                collected.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().unwrap();
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..100).collect();
+        let square = |x: &u64| x * x;
+        set_jobs(1);
+        let seq = parallel_map(&items, square);
+        set_jobs(8);
+        let par = parallel_map(&items, square);
+        set_jobs(1);
+        assert_eq!(seq, par);
+        assert_eq!(par[7], 49);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        set_jobs(4);
+        let empty: Vec<u32> = vec![];
+        assert_eq!(parallel_map(&empty, |x| *x), Vec::<u32>::new());
+        assert_eq!(parallel_map(&[5u32], |x| x + 1), vec![6]);
+        set_jobs(1);
+    }
+}

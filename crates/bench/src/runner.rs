@@ -1,8 +1,8 @@
 //! Shared machinery for running workloads under the evaluated schemes.
 
 use penny_coding::Scheme;
-use penny_core::{compile, CompileStats, PennyConfig};
-use penny_sim::{Gpu, GpuConfig, RfProtection, RunStats};
+use penny_core::{CompileStats, PennyConfig};
+use penny_sim::{engine, GlobalMemory, GpuConfig, RfProtection, RunStats};
 use penny_workloads::Workload;
 
 /// The protection schemes of the paper's performance figures.
@@ -62,7 +62,9 @@ pub struct Measured {
     pub compile: CompileStats,
 }
 
-/// Compiles and runs one workload under an explicit configuration.
+/// Compiles (or fetches the cached compilation of) and runs one
+/// workload under an explicit configuration. The simulator borrows
+/// `gpu_config` directly — nothing is cloned per run.
 ///
 /// # Panics
 ///
@@ -73,16 +75,13 @@ pub fn run_workload(
     config: &PennyConfig,
     gpu_config: &GpuConfig,
 ) -> Measured {
-    let kernel = w.kernel().unwrap_or_else(|e| panic!("{}: parse: {e}", w.abbr));
     let cfg = config.clone().with_launch(w.dims).with_machine(gpu_config.machine);
-    let protected =
-        compile(&kernel, &cfg).unwrap_or_else(|e| panic!("{}: compile: {e}", w.abbr));
-    let mut gpu = Gpu::new(gpu_config.clone());
-    let launch = w.prepare(gpu.global_mut());
-    let run = gpu
-        .run(&protected, &launch)
+    let protected = crate::cache::compiled(w, &cfg);
+    let mut global = GlobalMemory::new();
+    let launch = w.prepare(&mut global);
+    let run = engine::run(gpu_config, &protected, &launch, &mut global)
         .unwrap_or_else(|e| panic!("{}: run: {e}", w.abbr));
-    assert!(w.check(gpu.global()), "{}: wrong output under {config:?}", w.abbr);
+    assert!(w.check(&global), "{}: wrong output under {config:?}", w.abbr);
     Measured { run, compile: protected.stats }
 }
 

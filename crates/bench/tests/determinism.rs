@@ -1,0 +1,84 @@
+//! Determinism proofs for the two fast paths added to the harness:
+//!
+//! 1. the parallel figure harness assembles results bit-identically for
+//!    any `--jobs` value (the simulator is deterministic and
+//!    `parallel_map` reorders nothing);
+//! 2. the event-driven engine (idle-cycle skipping) reports exactly the
+//!    same cycle counts as the dense cycle-by-cycle reference loop,
+//!    while actually skipping work on memory-bound workloads.
+
+use penny_core::PennyConfig;
+use penny_sim::{engine, GlobalMemory, GpuConfig, RfProtection, RunStats};
+
+fn stats_pair(abbr: &str, config: &PennyConfig, gpu: &GpuConfig) -> (RunStats, RunStats) {
+    let w = penny_workloads::by_abbr(abbr).expect("workload");
+    let cfg = config.clone().with_launch(w.dims).with_machine(gpu.machine);
+    let protected = penny_bench::cache::compiled(&w, &cfg);
+    let run = |dense: bool| {
+        let mut global = GlobalMemory::new();
+        let launch = w.prepare(&mut global);
+        if dense {
+            engine::run_reference(gpu, &protected, &launch, &mut global).expect("dense")
+        } else {
+            engine::run(gpu, &protected, &launch, &mut global).expect("event")
+        }
+    };
+    (run(false), run(true))
+}
+
+/// Figure 9 must come out bit-identical no matter how many worker
+/// threads computed it. (Scheme runs are re-simulated on every call;
+/// only compilations and baselines are cached, and those memoize
+/// deterministic values.)
+#[test]
+fn fig9_is_bit_identical_across_jobs() {
+    penny_bench::set_jobs(1);
+    let seq = penny_bench::figures::fig9();
+    penny_bench::set_jobs(8);
+    let par = penny_bench::figures::fig9();
+    penny_bench::set_jobs(1);
+
+    assert_eq!(seq.workloads, par.workloads);
+    assert_eq!(seq.series.len(), par.series.len());
+    for (a, b) in seq.series.iter().zip(&par.series) {
+        assert_eq!(a.name, b.name);
+        // Exact f64 equality is the point: same cycles, same ratios,
+        // same order of gmean accumulation.
+        assert_eq!(a.values, b.values, "series {} differs across --jobs", a.name);
+        assert_eq!(a.gmean.to_bits(), b.gmean.to_bits());
+    }
+}
+
+/// The event-driven fast path must change no measured cycle count
+/// relative to the dense reference, across compute-bound, memory-bound
+/// and instrumented (Penny) configurations.
+#[test]
+fn event_engine_matches_dense_reference() {
+    let fermi = GpuConfig::fermi().with_rf(RfProtection::None);
+    for abbr in ["MT", "SPMV", "SGEMM", "BFS"] {
+        let (event, dense) = stats_pair(abbr, &PennyConfig::unprotected(), &fermi);
+        assert_eq!(event.cycles, dense.cycles, "{abbr}: cycle counts diverge");
+        assert_eq!(dense.skipped_cycles, 0, "{abbr}: dense loop must not skip");
+        // Every other counter must agree too — same instructions, same
+        // memory traffic, same RF activity.
+        let normalized = RunStats { skipped_cycles: 0, ..event };
+        assert_eq!(normalized, dense, "{abbr}: stats diverge");
+    }
+    // And under the full Penny instrumentation with parity EDC.
+    let parity = GpuConfig::fermi();
+    let (event, dense) = stats_pair("MT", &PennyConfig::penny(), &parity);
+    assert_eq!(event.cycles, dense.cycles, "penny/MT: cycle counts diverge");
+}
+
+/// On a memory-bound workload the fast path must actually skip idle
+/// cycles (that is the optimization) without altering the total.
+#[test]
+fn memory_bound_workload_skips_idle_cycles() {
+    let fermi = GpuConfig::fermi().with_rf(RfProtection::None);
+    let (event, dense) = stats_pair("SPMV", &PennyConfig::unprotected(), &fermi);
+    assert!(
+        event.skipped_cycles > 0,
+        "SPMV is memory-bound; the event engine should skip idle cycles"
+    );
+    assert_eq!(event.cycles, dense.cycles);
+}

@@ -1,0 +1,55 @@
+//! `any::<T>()` support for typed `proptest!` parameters.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Full-range strategy for a primitive type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+/// The strategy for an arbitrary value of `T` (primitives only).
+pub fn any<T>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_the_space_roughly() {
+        let mut rng = TestRng::for_test("any");
+        let mut small = 0;
+        for _ in 0..1000 {
+            if any::<u32>().sample(&mut rng) < u32::MAX / 2 {
+                small += 1;
+            }
+        }
+        assert!((300..700).contains(&small), "{small}");
+        let b = any::<bool>();
+        let flips: Vec<bool> = (0..10).map(|_| b.sample(&mut rng)).collect();
+        assert!(flips.iter().any(|&x| x) && flips.iter().any(|&x| !x));
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! member shadows registry `proptest` with the subset this repo's
+//! property tests use: the [`proptest!`] macro (typed params and
+//! `name in strategy` params), integer/float range strategies,
+//! [`strategy::Just`], [`prop_oneof!`], `collection::{vec, hash_set}`,
+//! string-pattern strategies (approximate — sized random printable
+//! text), and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case prints
+//! its inputs and panics as-is), and string "regex" strategies only
+//! honor the trailing `{lo,hi}` length bound. Both are immaterial to
+//! the invariants the tests check.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Per-`proptest!`-block configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Rejects the current case (it is not counted against `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn` items
+/// whose parameters are `name: Type` (uses [`arbitrary::any`]) or
+/// `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( $cfg:tt ) => {};
+    ( $cfg:tt
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $crate::__proptest_case! { $cfg $name [] ( $($params)* ) $body }
+        $crate::__proptest_items! { $cfg $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All params munched: emit the test.
+    ( ($cfg:expr) $name:ident [ $(($n:ident ; $s:expr))* ] ( ) $body:block ) => {
+        #[test]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __cfg.cases.saturating_mul(20).max(__cfg.cases);
+            while __accepted < __cfg.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                $(let $n = $crate::Strategy::sample(&($s), &mut __rng);)*
+                // Snapshot inputs before the body may consume them, so a
+                // failing case can still report what it was given.
+                let __inputs: ::std::vec::Vec<(&str, ::std::string::String)> = vec![
+                    $((stringify!($n), format!("{:?}", &$n)),)*
+                ];
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::core::result::Result<(), $crate::test_runner::Reject> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                ));
+                match __outcome {
+                    ::core::result::Result::Ok(::core::result::Result::Ok(())) => {
+                        __accepted += 1;
+                    }
+                    ::core::result::Result::Ok(::core::result::Result::Err(
+                        $crate::test_runner::Reject,
+                    )) => {}
+                    ::core::result::Result::Err(__payload) => {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed with inputs:",
+                            __accepted + 1,
+                            __cfg.cases,
+                            stringify!($name)
+                        );
+                        for (__pname, __pval) in &__inputs {
+                            eprintln!("  {__pname} = {__pval}");
+                        }
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+                let _ = &__inputs;
+            }
+        }
+    };
+    // `name in strategy, rest...`
+    ( $cfg:tt $name:ident [ $($acc:tt)* ] ( $n:ident in $s:expr, $($rest:tt)* ) $body:block ) => {
+        $crate::__proptest_case! { $cfg $name [ $($acc)* ($n ; $s) ] ( $($rest)* ) $body }
+    };
+    ( $cfg:tt $name:ident [ $($acc:tt)* ] ( $n:ident in $s:expr ) $body:block ) => {
+        $crate::__proptest_case! { $cfg $name [ $($acc)* ($n ; $s) ] ( ) $body }
+    };
+    // `name: Type, rest...`
+    ( $cfg:tt $name:ident [ $($acc:tt)* ] ( $n:ident : $t:ty, $($rest:tt)* ) $body:block ) => {
+        $crate::__proptest_case! {
+            $cfg $name [ $($acc)* ($n ; $crate::arbitrary::any::<$t>()) ] ( $($rest)* ) $body
+        }
+    };
+    ( $cfg:tt $name:ident [ $($acc:tt)* ] ( $n:ident : $t:ty ) $body:block ) => {
+        $crate::__proptest_case! {
+            $cfg $name [ $($acc)* ($n ; $crate::arbitrary::any::<$t>()) ] ( ) $body
+        }
+    };
+}

@@ -1,0 +1,215 @@
+//! Value-generation strategies: ranges, `Just`, unions, tuples, and
+//! approximate string patterns.
+
+use crate::test_runner::TestRng;
+
+/// A source of random values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Boxes a strategy as a trait object (used by `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies with a common value type.
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; the option list must be non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty option list.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!options.is_empty(), "empty prop_oneof!");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Approximate string-pattern strategy: a `&str` used as a strategy
+/// yields random printable text whose length honors a trailing
+/// `{lo,hi}` bound when present (default up to 32 chars). The pattern
+/// body itself is not interpreted.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_count_suffix(self).unwrap_or((0, 32));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            // Mostly ASCII printable (heavy on the parser's alphabet),
+            // with occasional non-ASCII to probe UTF-8 handling.
+            let c = match rng.below(20) {
+                0 => char::from_u32(0xA1 + rng.below(0x200) as u32).unwrap_or('§'),
+                _ => (0x20 + rng.below(0x5F) as u8) as char,
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// Parses a trailing `{lo,hi}` repetition bound from a pattern.
+fn parse_count_suffix(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let open = body.rfind('{')?;
+    let inner = &body[open + 1..];
+    let (lo, hi) = inner.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..200 {
+            let v = (3u32..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f32..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn just_and_union() {
+        let mut rng = TestRng::for_test("union");
+        let u = Union::new(vec![boxed(Just("a")), boxed(Just("b"))]);
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..50 {
+            match u.sample(&mut rng) {
+                "a" => seen_a = true,
+                "b" => seen_b = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::for_test("tuples");
+        let (a, b, c) = (0usize..7, 0usize..7, 1u64..16).sample(&mut rng);
+        assert!(a < 7 && b < 7 && (1..16).contains(&c));
+    }
+
+    #[test]
+    fn string_pattern_honors_counts() {
+        let mut rng = TestRng::for_test("strings");
+        for _ in 0..20 {
+            let s = "\\PC{0,200}".sample(&mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+        assert_eq!(parse_count_suffix("\\PC{0,200}"), Some((0, 200)));
+        assert_eq!(parse_count_suffix("abc"), None);
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! member shadows the registry `rand` with the small API subset the
+//! Penny reproduction actually uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer/float ranges, and [`Rng::gen_bool`].
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the
+//! upstream ChaCha-based `StdRng`, so absolute sequences differ from
+//! crates.io `rand`, but every consumer in this repo only relies on
+//! *seed-determinism* (same seed, same stream), which holds.
+
+#![warn(missing_docs)]
+
+/// Core generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word (upper bits of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Maps a uniform `u64` to `[0, 1)` with 53-bit precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: expands a 64-bit seed into xoshiro state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// xoshiro256++ state.
+    #[derive(Debug, Clone)]
+    pub struct Xoshiro256pp {
+        s: [u64; 4],
+    }
+
+    impl Xoshiro256pp {
+        fn from_seed(seed: u64) -> Xoshiro256pp {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Xoshiro256pp { s }
+        }
+    }
+
+    impl RngCore for Xoshiro256pp {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Stand-in for `rand::rngs::StdRng` (xoshiro256++ here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(Xoshiro256pp);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng(Xoshiro256pp::from_seed(seed))
+        }
+    }
+
+    /// Stand-in for `rand::rngs::SmallRng` (same engine, different
+    /// stream constant).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(Xoshiro256pp);
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            SmallRng(Xoshiro256pp::from_seed(seed ^ 0x5EED_5EED_5EED_5EED))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<u32> = (0..16).map(|_| a.gen_range(0..1000)).collect();
+        let diff: Vec<u32> = (0..16).map(|_| c.gen_range(0..1000)).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(3u32..9);
+            assert!((3..9).contains(&v));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[r.gen_range(0usize..=2)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -27,6 +27,11 @@ impl RfProtection {
     }
 }
 
+/// Default watchdog budget: far beyond any real workload in this repo
+/// (the largest finishes in a few million cycles) but finite, so a
+/// scheduling bug fails fast instead of hanging `cargo test`.
+pub const DEFAULT_CYCLE_LIMIT: u64 = 2_000_000_000;
+
 /// Timing and capacity parameters of the simulated GPU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
@@ -54,6 +59,9 @@ pub struct GpuConfig {
     pub rf: RfProtection,
     /// Extra cycles charged per restored register during recovery.
     pub recovery_cycles_per_restore: u32,
+    /// Watchdog: a wave exceeding this many cycles aborts with
+    /// [`crate::SimError::CycleLimit`] instead of hanging the caller.
+    pub cycle_limit: u64,
 }
 
 impl GpuConfig {
@@ -75,6 +83,7 @@ impl GpuConfig {
             lat_store_issue: 6,
             rf: RfProtection::Edc(Scheme::Parity),
             recovery_cycles_per_restore: 40,
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
         }
     }
 
@@ -95,12 +104,20 @@ impl GpuConfig {
             lat_store_issue: 4,
             rf: RfProtection::Edc(Scheme::Parity),
             recovery_cycles_per_restore: 30,
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
         }
     }
 
     /// Builder-style RF protection override.
     pub fn with_rf(mut self, rf: RfProtection) -> GpuConfig {
         self.rf = rf;
+        self
+    }
+
+    /// Builder-style watchdog budget override (see
+    /// [`GpuConfig::cycle_limit`]).
+    pub fn with_cycle_limit(mut self, cycle_limit: u64) -> GpuConfig {
+        self.cycle_limit = cycle_limit;
         self
     }
 

@@ -49,6 +49,12 @@ pub struct RunStats {
     pub shared_accesses: u64,
     /// Barrier waits observed.
     pub barriers: u64,
+    /// Idle cycles fast-forwarded by the event-driven scheduler (cycles
+    /// a dense cycle-by-cycle loop would have ticked through with every
+    /// warp stalled). Counted toward [`RunStats::cycles`] exactly as if
+    /// they had been simulated; the dense reference loop
+    /// ([`run_reference`]) reports 0 here.
+    pub skipped_cycles: u64,
 }
 
 /// Kernel launch description.
@@ -113,12 +119,38 @@ pub fn special_value(s: Special, tid: (u32, u32), cta: (u32, u32), dims: &Launch
     }
 }
 
-/// Runs a protected kernel on the configured GPU.
+/// Runs a protected kernel on the configured GPU (event-driven fast
+/// path: idle cycles where every warp is stalled are skipped in one
+/// jump; see [`RunStats::skipped_cycles`]).
 pub fn run(
     config: &GpuConfig,
     protected: &Protected,
     launch: &LaunchConfig,
     global: &mut GlobalMemory,
+) -> Result<RunStats, SimError> {
+    run_mode(config, protected, launch, global, false)
+}
+
+/// Runs a protected kernel with the dense cycle-by-cycle reference
+/// loop: every cycle is simulated individually and
+/// [`RunStats::skipped_cycles`] stays 0. Timing-identical to [`run`] by
+/// construction; exists so tests can prove the fast path changes no
+/// measured cycle count.
+pub fn run_reference(
+    config: &GpuConfig,
+    protected: &Protected,
+    launch: &LaunchConfig,
+    global: &mut GlobalMemory,
+) -> Result<RunStats, SimError> {
+    run_mode(config, protected, launch, global, true)
+}
+
+fn run_mode(
+    config: &GpuConfig,
+    protected: &Protected,
+    launch: &LaunchConfig,
+    global: &mut GlobalMemory,
+    dense: bool,
 ) -> Result<RunStats, SimError> {
     if launch.params.len() != protected.kernel.params.len() {
         return Err(SimError::BadLaunch(format!(
@@ -149,7 +181,8 @@ pub fn run(
             (0..total_blocks).filter(|b| b % config.num_sms == sm).collect();
         let mut sm_cycles = 0u64;
         for wave in my_blocks.chunks(resident as usize) {
-            let mut engine = SmEngine::new(config, protected, launch, &program, global, wave);
+            let mut engine =
+                SmEngine::new(config, protected, launch, &program, global, wave, dense);
             let wave_cycles = engine.run_wave(&mut stats)?;
             sm_cycles += wave_cycles;
         }
@@ -172,6 +205,16 @@ struct SmEngine<'a> {
     rr_cursor: usize,
     /// Injections already applied (each fires exactly once).
     faults_applied: Vec<bool>,
+    /// Injections not yet applied (lets fault-free runs skip the
+    /// per-step injection scan entirely).
+    faults_remaining: usize,
+    /// Dense reference mode: never jump over idle cycles.
+    dense: bool,
+    // Reused per-step scratch buffers (allocation-free steady state).
+    ready: Vec<(usize, usize)>,
+    scratch_srcs: Vec<Vec<u32>>,
+    scratch_addrs: Vec<u32>,
+    scratch_segs: Vec<u32>,
 }
 
 impl<'a> SmEngine<'a> {
@@ -182,6 +225,7 @@ impl<'a> SmEngine<'a> {
         program: &'a Program,
         global: &'a mut GlobalMemory,
         wave: &[u32],
+        dense: bool,
     ) -> SmEngine<'a> {
         let dims = &launch.dims;
         let tpb = dims.threads_per_block();
@@ -218,74 +262,77 @@ impl<'a> SmEngine<'a> {
             mem_busy_until: 0,
             rr_cursor: 0,
             faults_applied: vec![false; launch.faults.injections.len()],
+            faults_remaining: launch.faults.injections.len(),
+            dense,
+            ready: Vec::new(),
+            scratch_srcs: Vec::new(),
+            scratch_addrs: Vec::new(),
+            scratch_segs: Vec::new(),
         }
     }
 
     fn run_wave(&mut self, stats: &mut RunStats) -> Result<u64, SimError> {
-        let deadline: u64 = std::env::var("PENNY_SIM_DEADLINE").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000_000_000);
+        let cycle_limit = self.config.cycle_limit;
         loop {
             self.release_barriers(stats);
-            // Gather (block, warp) pairs that can issue this cycle.
-            let mut ready: Vec<(usize, usize)> = Vec::new();
+            // One pass over all warps gathers both the ready set for
+            // this cycle and the earliest wake-up among stalled warps,
+            // so an all-stalled cycle needs no second scan to know how
+            // far to jump.
+            let mut ready = std::mem::take(&mut self.ready);
+            ready.clear();
             let mut any_unfinished = false;
+            let mut next_wakeup = u64::MAX;
             for (bi, block) in self.blocks.iter_mut().enumerate() {
                 for wi in 0..block.warps.len() {
-                    let finished = block.warps[wi].finished();
-                    if !finished {
-                        any_unfinished = true;
-                        let w = &block.warps[wi];
-                        if !w.at_barrier && w.stall_until <= self.cycle {
-                            ready.push((bi, wi));
-                        }
+                    if block.warps[wi].finished() {
+                        continue;
+                    }
+                    any_unfinished = true;
+                    let w = &block.warps[wi];
+                    if w.at_barrier {
+                        continue;
+                    }
+                    if w.stall_until <= self.cycle {
+                        ready.push((bi, wi));
+                    } else {
+                        next_wakeup = next_wakeup.min(w.stall_until);
                     }
                 }
             }
             if !any_unfinished {
+                self.ready = ready;
                 return Ok(self.cycle);
             }
             if ready.is_empty() {
-                // Skip ahead to the earliest wake-up (barrier releases
-                // happen at loop top).
-                let mut next: Option<u64> = None;
-                for b in &mut self.blocks {
-                    for w in &mut b.warps {
-                        if !w.at_barrier && !w.finished() {
-                            next = Some(next.map_or(w.stall_until, |n: u64| n.min(w.stall_until)));
-                        }
-                    }
-                }
-                match next {
-                    Some(n) if n > self.cycle => self.cycle = n,
-                    _ => self.cycle += 1,
+                // Every warp is stalled or at a barrier (barrier
+                // releases happen at loop top). Jump to the earliest
+                // wake-up instead of ticking through dead cycles; the
+                // dense reference mode ticks one cycle at a time and
+                // must reach the same cycle counts.
+                if next_wakeup != u64::MAX && next_wakeup > self.cycle && !self.dense {
+                    stats.skipped_cycles += next_wakeup - self.cycle - 1;
+                    self.cycle = next_wakeup;
+                } else {
+                    self.cycle += 1;
                 }
             } else {
                 let width = self.config.issue_width as usize;
                 let n = ready.len();
                 let start = self.rr_cursor % n;
-                let picks: Vec<(usize, usize)> =
-                    (0..n.min(width)).map(|i| ready[(start + i) % n]).collect();
                 self.rr_cursor = self.rr_cursor.wrapping_add(1);
-                for (bi, wi) in picks {
+                for i in 0..n.min(width) {
+                    let (bi, wi) = ready[(start + i) % n];
                     self.step_warp(bi, wi, stats)?;
                 }
                 self.cycle += 1;
             }
-            if self.cycle > deadline {
-                let mut dump = String::new();
-                for (bi, b) in self.blocks.iter_mut().enumerate() {
-                    for wi in 0..b.warps.len() {
-                        let fin = b.warps[wi].finished();
-                        let w = &b.warps[wi];
-                        dump.push_str(&format!(
-                            "\n  blk{bi} w{wi}: fin={fin} bar={} stall={} exec={} stack={:?} exited={:08x}",
-                            w.at_barrier, w.stall_until, w.executed, w.stack, w.exited
-                        ));
-                    }
-                }
-                return Err(SimError::Deadlock(format!(
-                    "{} cycle={} {dump}",
-                    self.program.name, self.cycle
-                )));
+            self.ready = ready;
+            if self.cycle > cycle_limit {
+                return Err(SimError::CycleLimit {
+                    kernel: self.program.name.clone(),
+                    limit: cycle_limit,
+                });
             }
         }
     }
@@ -337,10 +384,15 @@ impl<'a> SmEngine<'a> {
         };
         // Apply any pending fault injections triggered by this warp's
         // progress.
-        self.apply_faults(bi, wi);
-        let result = match self.program.insts[flow.pc].clone() {
-            PInst::Term(t) => self.exec_terminator(bi, wi, flow, t, stats),
-            PInst::Inst(inst) => self.exec_inst(bi, wi, flow, &inst, stats),
+        if self.faults_remaining > 0 {
+            self.apply_faults(bi, wi);
+        }
+        // Copy the program reference out of `self` so the instruction
+        // can be borrowed (not cloned) across the `&mut self` call.
+        let program = self.program;
+        let result = match &program.insts[flow.pc] {
+            PInst::Term(t) => self.exec_terminator(bi, wi, flow, *t, stats),
+            PInst::Inst(inst) => self.exec_inst(bi, wi, flow, inst, stats),
         };
         match result {
             Ok(()) => {
@@ -364,23 +416,20 @@ impl<'a> SmEngine<'a> {
         let base_thread = warp.base_thread;
         let width = warp.width;
         let warp_id = warp.id;
-        let pending: Vec<(usize, crate::fault::Injection)> = self
-            .launch
-            .faults
-            .injections
-            .iter()
-            .enumerate()
-            .filter(|(i, f)| {
-                !self.faults_applied[*i]
-                    && f.block == block_index
-                    && f.warp == warp_id
-                    && f.lane < width
-                    && f.after_warp_insts <= executed
-            })
-            .map(|(i, f)| (i, *f))
-            .collect();
-        for (i, f) in pending {
+        // `launch` lives for 'a, not for the `&mut self` borrow, so the
+        // injection list can be walked while mutating register files.
+        let launch = self.launch;
+        for (i, f) in launch.faults.injections.iter().enumerate() {
+            if self.faults_applied[i]
+                || f.block != block_index
+                || f.warp != warp_id
+                || f.lane >= width
+                || f.after_warp_insts > executed
+            {
+                continue;
+            }
             self.faults_applied[i] = true;
+            self.faults_remaining -= 1;
             let t = (base_thread + f.lane) as usize;
             let rf = &mut self.blocks[bi].threads[t].rf;
             if (f.reg as usize) < rf.len() {
@@ -508,11 +557,38 @@ impl<'a> SmEngine<'a> {
         inst: &penny_ir::Inst,
         stats: &mut RunStats,
     ) -> Result<(), StepFault> {
+        // Borrow the per-engine operand scratch for this step; it is
+        // restored before returning so the steady state allocates
+        // nothing (a rare early error path rebuilds it next step).
+        let mut lane_srcs = std::mem::take(&mut self.scratch_srcs);
+        if lane_srcs.len() != 32 {
+            lane_srcs.resize_with(32, Vec::new);
+        }
+        for srcs in &mut lane_srcs {
+            srcs.clear();
+        }
+        let result = self.exec_inst_phases(bi, wi, flow, inst, &mut lane_srcs, stats);
+        self.scratch_srcs = lane_srcs;
+        let latency = result?;
+        let warp = &mut self.blocks[bi].warps[wi];
+        warp.set_pc(flow.pc + 1);
+        warp.stall_until = self.cycle + latency;
+        Ok(())
+    }
+
+    fn exec_inst_phases(
+        &mut self,
+        bi: usize,
+        wi: usize,
+        flow: StackEntry,
+        inst: &penny_ir::Inst,
+        lane_srcs: &mut [Vec<u32>],
+        stats: &mut RunStats,
+    ) -> Result<u64, StepFault> {
         let base = self.blocks[bi].warps[wi].base_thread as usize;
         let width = self.blocks[bi].warps[wi].width;
         // ---- Phase 1: gather operands (and guards) for all lanes. ----
         let mut lane_active = [false; 32];
-        let mut lane_srcs: Vec<Vec<u32>> = vec![Vec::new(); 32];
         for lane in 0..width as usize {
             if flow.mask & (1 << lane) == 0 {
                 continue;
@@ -529,19 +605,15 @@ impl<'a> SmEngine<'a> {
                 continue;
             }
             lane_active[lane] = true;
-            let mut srcs = Vec::with_capacity(inst.srcs.len());
+            lane_srcs[lane].reserve(inst.srcs.len());
             for &s in &inst.srcs {
-                srcs.push(self.read_operand(bi, thread, s, stats)?);
+                let v = self.read_operand(bi, thread, s, stats)?;
+                lane_srcs[lane].push(v);
             }
-            lane_srcs[lane] = srcs;
         }
 
         // ---- Phase 2: effects. ----
-        let latency = self.apply_effects(bi, wi, inst, &lane_active, &lane_srcs, stats)?;
-        let warp = &mut self.blocks[bi].warps[wi];
-        warp.set_pc(flow.pc + 1);
-        warp.stall_until = self.cycle + latency;
-        Ok(())
+        self.apply_effects(bi, wi, inst, &lane_active, lane_srcs, stats)
     }
 
     fn apply_effects(
@@ -568,7 +640,8 @@ impl<'a> SmEngine<'a> {
                 Ok(self.config.lat_store_issue as u64)
             }
             Op::Ld(space) => {
-                let mut addrs = Vec::new();
+                let mut addrs = std::mem::take(&mut self.scratch_addrs);
+                addrs.clear();
                 for lane in 0..32 {
                     if !lane_active[lane] {
                         continue;
@@ -581,10 +654,13 @@ impl<'a> SmEngine<'a> {
                     }
                     addrs.push(addr);
                 }
-                Ok(self.mem_latency(space, &addrs, true, stats))
+                let lat = self.mem_latency(space, &addrs, true, stats);
+                self.scratch_addrs = addrs;
+                Ok(lat)
             }
             Op::St(space) => {
-                let mut addrs = Vec::new();
+                let mut addrs = std::mem::take(&mut self.scratch_addrs);
+                addrs.clear();
                 for lane in 0..32 {
                     if !lane_active[lane] {
                         continue;
@@ -594,10 +670,13 @@ impl<'a> SmEngine<'a> {
                     self.store(bi, space, addr, v, stats);
                     addrs.push(addr);
                 }
-                Ok(self.mem_latency(space, &addrs, false, stats))
+                let lat = self.mem_latency(space, &addrs, false, stats);
+                self.scratch_addrs = addrs;
+                Ok(lat)
             }
             Op::Atom(aop, space) => {
-                let mut addrs = Vec::new();
+                let mut addrs = std::mem::take(&mut self.scratch_addrs);
+                addrs.clear();
                 for lane in 0..32 {
                     if !lane_active[lane] {
                         continue;
@@ -619,7 +698,9 @@ impl<'a> SmEngine<'a> {
                     }
                     addrs.push(addr);
                 }
-                Ok(self.mem_latency(space, &addrs, true, stats))
+                let lat = self.mem_latency(space, &addrs, true, stats);
+                self.scratch_addrs = addrs;
+                Ok(lat)
             }
             _ => {
                 // ALU.
@@ -670,10 +751,13 @@ impl<'a> SmEngine<'a> {
         if addrs.is_empty() {
             return 1;
         }
-        let mut segments: Vec<u32> = addrs.iter().map(|a| a / 128).collect();
+        let mut segments = std::mem::take(&mut self.scratch_segs);
+        segments.clear();
+        segments.extend(addrs.iter().map(|a| a / 128));
         segments.sort_unstable();
         segments.dedup();
         let nseg = segments.len() as u64;
+        self.scratch_segs = segments;
         match space {
             MemSpace::Param => self.config.lat_alu as u64,
             MemSpace::Shared | MemSpace::Local => {

@@ -81,6 +81,15 @@ pub enum SimError {
     },
     /// The machine made no progress (likely a barrier deadlock).
     Deadlock(String),
+    /// The watchdog budget ([`GpuConfig::cycle_limit`]) was exhausted:
+    /// the simulation was still making (possibly degenerate) progress
+    /// but ran far beyond any plausible cycle count.
+    CycleLimit {
+        /// Kernel name.
+        kernel: String,
+        /// The configured budget that was exceeded.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -92,6 +101,9 @@ impl fmt::Display for SimError {
                 write!(f, "unrecoverable register-file fault in `{kernel}` (reg {reg})")
             }
             SimError::Deadlock(k) => write!(f, "no forward progress in `{k}`"),
+            SimError::CycleLimit { kernel, limit } => {
+                write!(f, "`{kernel}` exceeded the cycle budget of {limit} cycles")
+            }
         }
     }
 }

@@ -260,3 +260,37 @@ fn occupancy_hides_memory_latency() {
         one.cycles
     );
 }
+
+#[test]
+fn cycle_budget_watchdog_catches_runaway_kernels() {
+    // A kernel that spins forever must come back as a CycleLimit error
+    // naming the kernel and the configured budget, not hang the host.
+    let src = r#"
+        .kernel spin
+        entry:
+            mov.u32 %r0, 0
+            jmp loop
+        loop:
+            add.u32 %r0, %r0, 1
+            jmp loop
+    "#;
+    let kernel = penny_ir::parse_kernel(src).expect("parse");
+    let dims = LaunchDims::linear(1, 32);
+    let cfg = PennyConfig::unprotected().with_launch(dims);
+    let protected = compile(&kernel, &cfg).expect("compile");
+    let mut gpu = Gpu::new(
+        GpuConfig::fermi().with_rf(RfProtection::None).with_cycle_limit(10_000),
+    );
+    let err = gpu
+        .run(&protected, &LaunchConfig::new(dims, vec![]))
+        .expect_err("spin kernel must trip the watchdog");
+    match &err {
+        penny_sim::SimError::CycleLimit { kernel, limit } => {
+            assert_eq!(kernel, "spin");
+            assert_eq!(*limit, 10_000);
+        }
+        other => panic!("expected CycleLimit, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("spin") && msg.contains("10000"), "message: {msg}");
+}
