@@ -1,11 +1,18 @@
-//! Raw simulator-engine throughput: the event-driven fast path against
-//! the dense cycle-by-cycle reference loop, on one compute-bound and
-//! one memory-bound workload. The two modes produce identical cycle
-//! counts (see `tests/determinism.rs`); this bench tracks how much
-//! wall-clock the fast path saves.
+//! Raw simulator-engine throughput.
+//!
+//! Three axes, each pinned bit-identical by `tests/determinism.rs` so
+//! the benches measure pure wall-clock, never semantic drift:
+//!
+//! * `event` vs `dense` — the event-driven scheduler against the dense
+//!   cycle-by-cycle loop;
+//! * `decoded` vs `decode_reference` — the pre-decoded micro-op
+//!   interpreter (fixed operand slots, fault-aware RF fast path)
+//!   against the IR-walking interpreter that codec-decodes every read;
+//! * `regfile/*` — a clean-register read (cached value, decode skipped)
+//!   against the unconditional codec-decode read.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use penny_sim::{engine, GlobalMemory, GpuConfig, RfProtection};
+use penny_sim::{engine, GlobalMemory, GpuConfig, RegFile, RfProtection, RfStats};
 
 fn run_pair(c: &mut Criterion, abbr: &str) {
     let w = penny_workloads::by_abbr(abbr).expect("workload");
@@ -34,11 +41,94 @@ fn run_pair(c: &mut Criterion, abbr: &str) {
     group.finish();
 }
 
+/// Decoded micro-op interpreter vs the IR-walking `decode_reference`
+/// interpreter, under full Penny instrumentation (parity codec live on
+/// every register access — the configuration the figure suite runs).
+fn decode_pair(c: &mut Criterion, abbr: &str) {
+    let w = penny_workloads::by_abbr(abbr).expect("workload");
+    let gpu = GpuConfig::fermi();
+    let cfg = penny_core::PennyConfig::penny()
+        .with_launch(w.dims)
+        .with_machine(gpu.machine);
+    let protected = penny_bench::cache::compiled(&w, &cfg);
+
+    let mut group = c.benchmark_group(format!("decode/{abbr}"));
+    group.sample_size(10);
+    group.bench_function("decoded", |b| {
+        b.iter(|| {
+            let mut global = GlobalMemory::new();
+            let launch = w.prepare(&mut global);
+            engine::run(&gpu, &protected, &launch, &mut global).expect("run")
+        })
+    });
+    group.bench_function("decode_reference", |b| {
+        b.iter(|| {
+            let mut global = GlobalMemory::new();
+            let launch = w.prepare(&mut global);
+            engine::run_decode_reference(&gpu, &protected, &launch, &mut global)
+                .expect("run")
+        })
+    });
+    group.finish();
+}
+
+/// Isolated register-file read cost: a clean register served from the
+/// decoded-value cache vs forced codec decodes via the reference read.
+fn regfile_reads(c: &mut Criterion) {
+    const REGS: usize = 64;
+    let mut group = c.benchmark_group("regfile");
+    for (name, protection) in [
+        ("parity", RfProtection::Edc(penny_coding::Scheme::Parity)),
+        ("secded", RfProtection::Ecc(penny_coding::Scheme::Secded)),
+    ] {
+        let mut rf = RegFile::new(REGS, protection);
+        let mut stats = RfStats::default();
+        for r in 0..REGS {
+            rf.write(r, (r as u32).wrapping_mul(0x9E37_79B9), &mut stats);
+        }
+        // 64 reads are sub-microsecond; sweep the file many times per
+        // sample so the stand-in harness's ms-resolution clock sees it.
+        const SWEEPS: usize = 20_000;
+        group.bench_function(&format!("{name}/clean_read"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for _ in 0..SWEEPS {
+                    for r in 0..REGS {
+                        if let penny_sim::ReadOutcome::Ok(v) = rf.read(r, &mut stats) {
+                            acc = acc.wrapping_add(v);
+                        }
+                    }
+                }
+                acc
+            })
+        });
+        group.bench_function(&format!("{name}/codec_read"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for _ in 0..SWEEPS {
+                    for r in 0..REGS {
+                        if let penny_sim::ReadOutcome::Ok(v) =
+                            rf.read_reference(r, &mut stats)
+                        {
+                            acc = acc.wrapping_add(v);
+                        }
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
 fn engine_throughput(c: &mut Criterion) {
     // SPMV is memory-bound (long idle stretches to skip); SGEMM is
     // compute-dense (measures per-step overhead).
     run_pair(c, "SPMV");
     run_pair(c, "SGEMM");
+    decode_pair(c, "SPMV");
+    decode_pair(c, "SGEMM");
+    regfile_reads(c);
 }
 
 criterion_group!(benches, engine_throughput);

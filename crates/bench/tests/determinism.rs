@@ -1,14 +1,18 @@
-//! Determinism proofs for the two fast paths added to the harness:
+//! Determinism proofs for the fast paths added to the harness:
 //!
 //! 1. the parallel figure harness assembles results bit-identically for
 //!    any `--jobs` value (the simulator is deterministic and
 //!    `parallel_map` reorders nothing);
 //! 2. the event-driven engine (idle-cycle skipping) reports exactly the
 //!    same cycle counts as the dense cycle-by-cycle reference loop,
-//!    while actually skipping work on memory-bound workloads.
+//!    while actually skipping work on memory-bound workloads;
+//! 3. the pre-decoded micro-op interpreter with the fault-aware
+//!    register-file fast path produces bit-identical stats (including
+//!    every `RfStats` counter) and memory traffic as the IR-walking
+//!    `decode_reference` interpreter that decodes every read.
 
 use penny_core::PennyConfig;
-use penny_sim::{engine, GlobalMemory, GpuConfig, RfProtection, RunStats};
+use penny_sim::{engine, FaultPlan, GlobalMemory, GpuConfig, RfProtection, RunStats};
 
 fn stats_pair(abbr: &str, config: &PennyConfig, gpu: &GpuConfig) -> (RunStats, RunStats) {
     let w = penny_workloads::by_abbr(abbr).expect("workload");
@@ -68,6 +72,85 @@ fn event_engine_matches_dense_reference() {
     let parity = GpuConfig::fermi();
     let (event, dense) = stats_pair("MT", &PennyConfig::penny(), &parity);
     assert_eq!(event.cycles, dense.cycles, "penny/MT: cycle counts diverge");
+}
+
+/// Runs a workload through the decoded fast path and the
+/// `decode_reference` interpreter under the same (possibly faulty)
+/// launch, returning both stat records and both final memories.
+fn decoded_pair(
+    abbr: &str,
+    config: &PennyConfig,
+    gpu: &GpuConfig,
+    faults: Option<FaultPlan>,
+) -> ((RunStats, GlobalMemory), (RunStats, GlobalMemory)) {
+    let w = penny_workloads::by_abbr(abbr).expect("workload");
+    let cfg = config.clone().with_launch(w.dims).with_machine(gpu.machine);
+    let protected = penny_bench::cache::compiled(&w, &cfg);
+    let run = |reference: bool| {
+        let mut global = GlobalMemory::new();
+        let mut launch = w.prepare(&mut global);
+        if let Some(plan) = &faults {
+            launch = launch.with_faults(plan.clone());
+        }
+        let stats = if reference {
+            engine::run_decode_reference(gpu, &protected, &launch, &mut global)
+                .expect("decode_reference")
+        } else {
+            engine::run(gpu, &protected, &launch, &mut global).expect("decoded")
+        };
+        (stats, global)
+    };
+    (run(false), run(true))
+}
+
+/// The pre-decoded interpreter and RF fast path must be bit-identical
+/// to the always-decode IR interpreter: same cycles, same instruction
+/// counts, same `RfStats` (reads, detections, corrections), and the
+/// same memory contents and access counts.
+#[test]
+fn decoded_engine_matches_decode_reference() {
+    let fermi = GpuConfig::fermi().with_rf(RfProtection::None);
+    for abbr in ["MT", "SPMV", "SGEMM", "BFS"] {
+        let ((fast, fast_mem), (reference, ref_mem)) =
+            decoded_pair(abbr, &PennyConfig::unprotected(), &fermi, None);
+        assert_eq!(fast, reference, "{abbr}: stats diverge");
+        assert_eq!(fast_mem, ref_mem, "{abbr}: memory traffic diverges");
+    }
+    // Under full Penny instrumentation with parity EDC (codec active on
+    // every write, clean reads eligible for the fast path).
+    for abbr in ["MT", "SPMV", "SGEMM", "BFS"] {
+        let ((fast, fast_mem), (reference, ref_mem)) =
+            decoded_pair(abbr, &PennyConfig::penny(), &GpuConfig::fermi(), None);
+        assert_eq!(fast, reference, "penny/{abbr}: stats diverge");
+        assert_eq!(fast_mem, ref_mem, "penny/{abbr}: memory traffic diverges");
+    }
+}
+
+/// Same pin under a fault-injection campaign: injected flips mark
+/// registers dirty, detections must fire at exactly the same read on
+/// both paths, and recovery must leave identical state behind.
+#[test]
+fn decoded_engine_matches_decode_reference_under_faults() {
+    let w = penny_workloads::by_abbr("MT").expect("workload");
+    let warps = w.dims.threads_per_block().div_ceil(32);
+    let cfg = PennyConfig::penny().with_launch(w.dims);
+    let protected = penny_bench::cache::compiled(&w, &cfg);
+    let regs = protected.kernel.vreg_limit();
+    let mut total_detected = 0u64;
+    let mut total_recoveries = 0u64;
+    for seed in 0..6u64 {
+        let plan = FaultPlan::random(seed, 3, w.dims.blocks(), warps, 32, regs, 33, 60);
+        let ((fast, fast_mem), (reference, ref_mem)) =
+            decoded_pair("MT", &PennyConfig::penny(), &GpuConfig::fermi(), Some(plan));
+        assert_eq!(fast, reference, "seed {seed}: stats diverge under faults");
+        assert_eq!(fast_mem, ref_mem, "seed {seed}: memory diverges under faults");
+        total_detected += fast.rf.detected;
+        total_recoveries += fast.recoveries;
+    }
+    // The campaign must actually exercise detection + recovery, or the
+    // equivalence proves nothing about the fault path.
+    assert!(total_detected > 0, "campaign never hit a live register");
+    assert!(total_recoveries > 0, "campaign never triggered recovery");
 }
 
 /// On a memory-bound workload the fast path must actually skip idle

@@ -2,6 +2,12 @@
 
 use crate::types::{AtomOp, Cmp, Color, InstId, MemSpace, RegionId, Special, Type, VReg};
 
+/// Maximum source-operand arity of any opcode (`mad`/`selp` take 3).
+///
+/// Execution layers may rely on this to lower instructions into
+/// fixed-size operand slots; [`crate::validate`] enforces it.
+pub const MAX_SRCS: usize = 3;
+
 /// An instruction operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
@@ -24,6 +30,22 @@ impl Operand {
     pub fn as_reg(self) -> Option<VReg> {
         match self {
             Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The immediate value, if this operand is one.
+    pub fn as_imm(self) -> Option<u32> {
+        match self {
+            Operand::Imm(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The special register, if this operand is one.
+    pub fn as_special(self) -> Option<Special> {
+        match self {
+            Operand::Special(s) => Some(s),
             _ => None,
         }
     }
@@ -258,6 +280,18 @@ impl Inst {
         self
     }
 
+    /// Number of source operands.
+    pub fn num_srcs(&self) -> usize {
+        self.srcs.len()
+    }
+
+    /// The `i`-th source operand, if present — a stable accessor for
+    /// execution layers that lower sources into fixed-size slots
+    /// (see [`MAX_SRCS`]).
+    pub fn src(&self, i: usize) -> Option<Operand> {
+        self.srcs.get(i).copied()
+    }
+
     /// Registers read by this instruction (sources + guard).
     pub fn uses(&self) -> Vec<VReg> {
         let mut v: Vec<VReg> = self.srcs.iter().filter_map(|o| o.as_reg()).collect();
@@ -372,6 +406,21 @@ mod tests {
         assert!(o.is_constant());
         assert!(Operand::Special(Special::TidX).is_constant());
         assert!(!Operand::Reg(VReg(0)).is_constant());
+    }
+
+    #[test]
+    fn operand_slot_accessors() {
+        let i = inst(Op::Mad, Some(VReg(0)), vec![VReg(1).into(), Operand::Imm(3), Special::TidX.into()]);
+        assert_eq!(i.num_srcs(), 3);
+        assert!(i.num_srcs() <= MAX_SRCS);
+        assert_eq!(i.src(0), Some(Operand::Reg(VReg(1))));
+        assert_eq!(i.src(1), Some(Operand::Imm(3)));
+        assert_eq!(i.src(2), Some(Operand::Special(Special::TidX)));
+        assert_eq!(i.src(3), None);
+        assert_eq!(Operand::Imm(3).as_imm(), Some(3));
+        assert_eq!(Operand::Reg(VReg(1)).as_imm(), None);
+        assert_eq!(Operand::Special(Special::TidX).as_special(), Some(Special::TidX));
+        assert_eq!(Operand::Imm(3).as_special(), None);
     }
 
     #[test]

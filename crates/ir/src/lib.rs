@@ -53,7 +53,7 @@ mod validate;
 
 pub use block::{BasicBlock, Terminator};
 pub use builder::KernelBuilder;
-pub use inst::{Guard, Inst, Op, Operand};
+pub use inst::{Guard, Inst, Op, Operand, MAX_SRCS};
 pub use kernel::{Kernel, Module, Param};
 pub use parser::{parse_kernel, parse_module, ParseError};
 pub use types::{

@@ -89,6 +89,17 @@ pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
 }
 
 fn check_inst(kernel: &Kernel, loc: Loc, inst: &Inst) -> Result<(), ValidateError> {
+    if inst.srcs.len() > crate::inst::MAX_SRCS {
+        fail(
+            Some(loc),
+            format!(
+                "{} carries {} sources; no opcode takes more than {}",
+                inst.op.mnemonic(),
+                inst.srcs.len(),
+                crate::inst::MAX_SRCS
+            ),
+        )?;
+    }
     if let Some(n) = expected_srcs(inst.op) {
         if inst.srcs.len() != n {
             fail(

@@ -15,6 +15,19 @@
 //! of the corrupted register, and the engine then runs Penny's recovery:
 //! restore the current region's live-ins (from checkpoint slots or by
 //! recovery slices) and rewind the warp to the region entry snapshot.
+//!
+//! # Execution paths
+//!
+//! The hot path ([`run`], [`run_reference`]) interprets the pre-decoded
+//! micro-op table ([`crate::program::DecodedInst`]): fixed-size operand
+//! slots, pre-resolved register indices and branch targets, and the
+//! fault-aware register-file fast path (`RegFile::read`). The
+//! cross-check path ([`run_decode_reference`]) re-interprets the
+//! original `penny_ir` instruction stream with unconditional codec
+//! decodes (`RegFile::read_reference`) — the pre-decoding behavior,
+//! kept alive so tests can pin the decoded path to it bit-for-bit,
+//! exactly as the dense loop ([`run_reference`]) pins the event-driven
+//! scheduler.
 
 use penny_core::{LaunchDims, Protected};
 use penny_ir::{MemSpace, Op, Operand, RegionId, Special, Terminator};
@@ -22,7 +35,7 @@ use penny_ir::{MemSpace, Op, Operand, RegionId, Special, Terminator};
 use crate::config::{GpuConfig, RfProtection};
 use crate::fault::FaultPlan;
 use crate::memory::{GlobalMemory, SharedMemory};
-use crate::program::{PInst, Program};
+use crate::program::{DKind, DSrc, DecodedInst, PInst, Program, NO_REG};
 use crate::recovery;
 use crate::regfile::{ReadOutcome, RegFile, RfStats};
 use crate::warp::{StackEntry, Warp};
@@ -119,16 +132,27 @@ pub fn special_value(s: Special, tid: (u32, u32), cta: (u32, u32), dims: &Launch
     }
 }
 
+/// Which interpreter a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecPath {
+    /// Pre-decoded micro-op table + fault-aware RF fast path.
+    Decoded,
+    /// IR-walking interpreter + unconditional codec decode — the
+    /// pre-decoding semantics, kept as a cross-check.
+    Reference,
+}
+
 /// Runs a protected kernel on the configured GPU (event-driven fast
-/// path: idle cycles where every warp is stalled are skipped in one
-/// jump; see [`RunStats::skipped_cycles`]).
+/// path over the pre-decoded micro-op table; idle cycles where every
+/// warp is stalled are skipped in one jump; see
+/// [`RunStats::skipped_cycles`]).
 pub fn run(
     config: &GpuConfig,
     protected: &Protected,
     launch: &LaunchConfig,
     global: &mut GlobalMemory,
 ) -> Result<RunStats, SimError> {
-    run_mode(config, protected, launch, global, false)
+    run_mode(config, protected, launch, global, false, ExecPath::Decoded)
 }
 
 /// Runs a protected kernel with the dense cycle-by-cycle reference
@@ -142,7 +166,22 @@ pub fn run_reference(
     launch: &LaunchConfig,
     global: &mut GlobalMemory,
 ) -> Result<RunStats, SimError> {
-    run_mode(config, protected, launch, global, true)
+    run_mode(config, protected, launch, global, true, ExecPath::Decoded)
+}
+
+/// Runs a protected kernel through the `decode_reference` cross-check:
+/// the original IR-walking interpreter with unconditional codec decodes
+/// on every register read. Semantics, [`RfStats`] counters, recovery
+/// behavior, and cycle counts are bit-identical to [`run`] by
+/// construction; tests enforce it (`tests/determinism.rs`,
+/// `crates/sim/tests/decoded_equivalence.rs`).
+pub fn run_decode_reference(
+    config: &GpuConfig,
+    protected: &Protected,
+    launch: &LaunchConfig,
+    global: &mut GlobalMemory,
+) -> Result<RunStats, SimError> {
+    run_mode(config, protected, launch, global, false, ExecPath::Reference)
 }
 
 fn run_mode(
@@ -151,6 +190,7 @@ fn run_mode(
     launch: &LaunchConfig,
     global: &mut GlobalMemory,
     dense: bool,
+    path: ExecPath,
 ) -> Result<RunStats, SimError> {
     if launch.params.len() != protected.kernel.params.len() {
         return Err(SimError::BadLaunch(format!(
@@ -160,7 +200,10 @@ fn run_mode(
             launch.params.len()
         )));
     }
-    let program = Program::new(&protected.kernel);
+    let program = match path {
+        ExecPath::Decoded => Program::new(&protected.kernel),
+        ExecPath::Reference => Program::with_reference(&protected.kernel),
+    };
     let regs_per_thread = if protected.stats.regs_per_thread > 0 {
         protected.stats.regs_per_thread
     } else {
@@ -182,7 +225,7 @@ fn run_mode(
         let mut sm_cycles = 0u64;
         for wave in my_blocks.chunks(resident as usize) {
             let mut engine =
-                SmEngine::new(config, protected, launch, &program, global, wave, dense);
+                SmEngine::new(config, protected, launch, &program, global, wave, dense, path);
             let wave_cycles = engine.run_wave(&mut stats)?;
             sm_cycles += wave_cycles;
         }
@@ -210,6 +253,8 @@ struct SmEngine<'a> {
     faults_remaining: usize,
     /// Dense reference mode: never jump over idle cycles.
     dense: bool,
+    /// Which interpreter steps warps.
+    path: ExecPath,
     // Reused per-step scratch buffers (allocation-free steady state).
     ready: Vec<(usize, usize)>,
     scratch_srcs: Vec<Vec<u32>>,
@@ -218,6 +263,7 @@ struct SmEngine<'a> {
 }
 
 impl<'a> SmEngine<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         config: &'a GpuConfig,
         protected: &'a Protected,
@@ -226,6 +272,7 @@ impl<'a> SmEngine<'a> {
         global: &'a mut GlobalMemory,
         wave: &[u32],
         dense: bool,
+        path: ExecPath,
     ) -> SmEngine<'a> {
         let dims = &launch.dims;
         let tpb = dims.threads_per_block();
@@ -264,6 +311,7 @@ impl<'a> SmEngine<'a> {
             faults_applied: vec![false; launch.faults.injections.len()],
             faults_remaining: launch.faults.injections.len(),
             dense,
+            path,
             ready: Vec::new(),
             scratch_srcs: Vec::new(),
             scratch_addrs: Vec::new(),
@@ -358,8 +406,83 @@ impl<'a> SmEngine<'a> {
         }
     }
 
-    /// Executes one warp-instruction.
+    /// Executes one warp-instruction on the configured interpreter.
     fn step_warp(&mut self, bi: usize, wi: usize, stats: &mut RunStats) -> Result<(), SimError> {
+        match self.path {
+            ExecPath::Decoded => self.step_warp_decoded(bi, wi, stats),
+            ExecPath::Reference => self.step_warp_reference(bi, wi, stats),
+        }
+    }
+
+    fn apply_faults(&mut self, bi: usize, wi: usize) {
+        let block_index = self.blocks[bi].index;
+        let warp = &self.blocks[bi].warps[wi];
+        let executed = warp.executed;
+        let base_thread = warp.base_thread;
+        let width = warp.width;
+        let warp_id = warp.id;
+        // `launch` lives for 'a, not for the `&mut self` borrow, so the
+        // injection list can be walked while mutating register files.
+        let launch = self.launch;
+        for (i, f) in launch.faults.injections.iter().enumerate() {
+            if self.faults_applied[i] || !f.due(block_index, warp_id, width, executed) {
+                continue;
+            }
+            self.faults_applied[i] = true;
+            self.faults_remaining -= 1;
+            let t = (base_thread + f.lane) as usize;
+            // `flip_bit` marks the victim register dirty, steering its
+            // next read through the full codec decode.
+            let rf = &mut self.blocks[bi].threads[t].rf;
+            if (f.reg as usize) < rf.len() {
+                rf.flip_bit(f.reg as usize, f.bit);
+            }
+        }
+    }
+
+    /// Maps a detected/unrecoverable read outcome to a step fault.
+    fn read_fault(&self, reg: u32) -> StepFault {
+        match self.config.rf {
+            RfProtection::Edc(_) if self.protected.regions.is_empty() => {
+                StepFault::Sim(SimError::UnrecoverableFault {
+                    kernel: self.program.name.clone(),
+                    reg,
+                })
+            }
+            RfProtection::Edc(_) => StepFault::Detected,
+            _ => StepFault::Sim(SimError::UnrecoverableFault {
+                kernel: self.program.name.clone(),
+                reg,
+            }),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Decoded fast path
+    // ---------------------------------------------------------------
+
+    /// Reads a register for one lane (fast path), surfacing detections.
+    #[inline]
+    fn read_reg(
+        &mut self,
+        bi: usize,
+        thread: usize,
+        reg: u32,
+        stats: &mut RunStats,
+    ) -> Result<u32, StepFault> {
+        let rf = &mut self.blocks[bi].threads[thread].rf;
+        match rf.read(reg as usize, &mut stats.rf) {
+            ReadOutcome::Ok(v) | ReadOutcome::CorrectedInline(v) => Ok(v),
+            ReadOutcome::Detected => Err(self.read_fault(reg)),
+        }
+    }
+
+    fn step_warp_decoded(
+        &mut self,
+        bi: usize,
+        wi: usize,
+        stats: &mut RunStats,
+    ) -> Result<(), SimError> {
         // Fast-forward region markers (zero-cost boundary bookkeeping).
         loop {
             let Some(flow) = self.blocks[bi].warps[wi].current_flow() else {
@@ -369,7 +492,297 @@ impl<'a> SmEngine<'a> {
                 self.blocks[bi].warps[wi].exited |= flow.mask;
                 continue;
             }
-            if let PInst::Inst(inst) = &self.program.insts[flow.pc] {
+            if let DKind::RegionEntry(region) = self.program.decoded[flow.pc].kind {
+                let warp = &mut self.blocks[bi].warps[wi];
+                warp.set_pc(flow.pc + 1);
+                warp.snapshot_region(region);
+                continue;
+            }
+            break;
+        }
+        let Some(flow) = self.blocks[bi].warps[wi].current_flow() else {
+            return Ok(());
+        };
+        // Apply any pending fault injections triggered by this warp's
+        // progress.
+        if self.faults_remaining > 0 {
+            self.apply_faults(bi, wi);
+        }
+        // The decoded record is `Copy`: lift it out of the table so the
+        // borrow checker places no constraint on `&mut self`.
+        let d = self.program.decoded[flow.pc];
+        let result = self.exec_decoded(bi, wi, flow, &d, stats);
+        match result {
+            Ok(()) => {
+                let warp = &mut self.blocks[bi].warps[wi];
+                warp.executed += 1;
+                stats.warp_instructions += 1;
+                Ok(())
+            }
+            Err(StepFault::Detected) => {
+                self.recover(bi, wi, stats)?;
+                Ok(())
+            }
+            Err(StepFault::Sim(e)) => Err(e),
+        }
+    }
+
+    fn exec_decoded(
+        &mut self,
+        bi: usize,
+        wi: usize,
+        flow: StackEntry,
+        d: &DecodedInst,
+        stats: &mut RunStats,
+    ) -> Result<(), StepFault> {
+        match d.kind {
+            DKind::Ret => {
+                let warp = &mut self.blocks[bi].warps[wi];
+                warp.exited |= flow.mask;
+                warp.set_pc(flow.reconv); // force a pop on next flow query
+                Ok(())
+            }
+            DKind::Jump { target } => {
+                let warp = &mut self.blocks[bi].warps[wi];
+                warp.set_pc(target);
+                warp.stall_until = self.cycle + self.config.lat_alu as u64;
+                Ok(())
+            }
+            DKind::Branch { pred, negated, then_pc, else_pc, reconv } => {
+                // Phase 1: read the predicate for every lane (detections
+                // fire before any control-state change).
+                let base = self.blocks[bi].warps[wi].base_thread as usize;
+                let mut taken = 0u32;
+                for lane in 0..32 {
+                    if flow.mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let v = self.read_reg(bi, base + lane, pred, stats)?;
+                    stats.instructions += 1;
+                    let p = (v != 0) ^ negated;
+                    if p {
+                        taken |= 1 << lane;
+                    }
+                }
+                let not_taken = flow.mask & !taken;
+                let warp = &mut self.blocks[bi].warps[wi];
+                if not_taken == 0 {
+                    warp.set_pc(then_pc);
+                } else if taken == 0 {
+                    warp.set_pc(else_pc);
+                } else {
+                    warp.set_pc(reconv);
+                    warp.stack.push(StackEntry { pc: else_pc, reconv, mask: not_taken });
+                    warp.stack.push(StackEntry { pc: then_pc, reconv, mask: taken });
+                }
+                warp.stall_until = self.cycle + self.config.lat_alu as u64;
+                Ok(())
+            }
+            _ => {
+                let latency = self.exec_inst_decoded(bi, wi, flow, d, stats)?;
+                let warp = &mut self.blocks[bi].warps[wi];
+                warp.set_pc(flow.pc + 1);
+                warp.stall_until = self.cycle + latency;
+                Ok(())
+            }
+        }
+    }
+
+    /// Operand-gather and effect phases over fixed-size slots — no heap
+    /// traffic, no `penny_ir` walking.
+    fn exec_inst_decoded(
+        &mut self,
+        bi: usize,
+        wi: usize,
+        flow: StackEntry,
+        d: &DecodedInst,
+        stats: &mut RunStats,
+    ) -> Result<u64, StepFault> {
+        let base = self.blocks[bi].warps[wi].base_thread as usize;
+        let width = self.blocks[bi].warps[wi].width;
+        let nsrcs = d.nsrcs as usize;
+        // ---- Phase 1: gather operands (and guards) for all lanes. ----
+        let mut lane_active = [false; 32];
+        let mut lane_srcs = [[0u32; penny_ir::MAX_SRCS]; 32];
+        for lane in 0..width as usize {
+            if flow.mask & (1 << lane) == 0 {
+                continue;
+            }
+            let thread = base + lane;
+            if d.guard != NO_REG {
+                let gv = self.read_reg(bi, thread, d.guard, stats)?;
+                if (gv != 0) == d.guard_negated {
+                    continue;
+                }
+            }
+            lane_active[lane] = true;
+            let (slots, srcs) = (&mut lane_srcs[lane][..nsrcs], &d.srcs[..nsrcs]);
+            for (slot, &src) in slots.iter_mut().zip(srcs) {
+                *slot = match src {
+                    DSrc::Imm(v) => v,
+                    DSrc::Reg(r) => self.read_reg(bi, thread, r, stats)?,
+                    DSrc::Special(s) => {
+                        let t = &self.blocks[bi].threads[thread];
+                        special_value(s, t.tid, self.blocks[bi].cta, &self.launch.dims)
+                    }
+                };
+            }
+        }
+
+        // ---- Phase 2: effects. ----
+        let active_count = lane_active.iter().filter(|&&a| a).count() as u64;
+        stats.instructions += active_count;
+        match d.kind {
+            DKind::Bar => {
+                self.blocks[bi].warps[wi].at_barrier = true;
+                Ok(self.config.lat_alu as u64)
+            }
+            DKind::Nop | DKind::RegionEntry(_) => Ok(1),
+            DKind::Ckpt => {
+                // Unlowered checkpoints should never reach the engine;
+                // treat as a store-like stall to stay robust.
+                Ok(self.config.lat_store_issue as u64)
+            }
+            DKind::Ld(space) => {
+                let mut addrs = std::mem::take(&mut self.scratch_addrs);
+                addrs.clear();
+                for lane in 0..32 {
+                    if !lane_active[lane] {
+                        continue;
+                    }
+                    let addr = lane_srcs[lane][0].wrapping_add(d.offset);
+                    let v = self.load(bi, space, addr, stats);
+                    let thread = base + lane;
+                    if d.dst != NO_REG {
+                        self.blocks[bi].threads[thread].rf.write(d.dst as usize, v, &mut stats.rf);
+                    }
+                    addrs.push(addr);
+                }
+                let lat = self.mem_latency(space, &addrs, true, stats);
+                self.scratch_addrs = addrs;
+                Ok(lat)
+            }
+            DKind::St(space) => {
+                let mut addrs = std::mem::take(&mut self.scratch_addrs);
+                addrs.clear();
+                for lane in 0..32 {
+                    if !lane_active[lane] {
+                        continue;
+                    }
+                    let addr = lane_srcs[lane][0].wrapping_add(d.offset);
+                    let v = lane_srcs[lane][1];
+                    self.store(bi, space, addr, v, stats);
+                    addrs.push(addr);
+                }
+                let lat = self.mem_latency(space, &addrs, false, stats);
+                self.scratch_addrs = addrs;
+                Ok(lat)
+            }
+            DKind::Atom(aop, space) => {
+                let mut addrs = std::mem::take(&mut self.scratch_addrs);
+                addrs.clear();
+                for lane in 0..32 {
+                    if !lane_active[lane] {
+                        continue;
+                    }
+                    let addr = lane_srcs[lane][0].wrapping_add(d.offset);
+                    let operand = lane_srcs[lane][1];
+                    let old = self.load(bi, space, addr, stats);
+                    let new = match aop {
+                        penny_ir::AtomOp::Add => old.wrapping_add(operand),
+                        penny_ir::AtomOp::Min => old.min(operand),
+                        penny_ir::AtomOp::Max => old.max(operand),
+                        penny_ir::AtomOp::Exch => operand,
+                        penny_ir::AtomOp::Cas => operand, // simple model
+                    };
+                    self.store(bi, space, addr, new, stats);
+                    let thread = base + lane;
+                    if d.dst != NO_REG {
+                        self.blocks[bi].threads[thread].rf.write(d.dst as usize, old, &mut stats.rf);
+                    }
+                    addrs.push(addr);
+                }
+                let lat = self.mem_latency(space, &addrs, true, stats);
+                self.scratch_addrs = addrs;
+                Ok(lat)
+            }
+            DKind::Alu { op, ty, ty2 } => {
+                for lane in 0..32 {
+                    if !lane_active[lane] {
+                        continue;
+                    }
+                    let v = crate::alu::eval(op, ty, ty2, &lane_srcs[lane][..nsrcs]);
+                    let thread = base + lane;
+                    if d.dst != NO_REG {
+                        self.blocks[bi].threads[thread].rf.write(d.dst as usize, v, &mut stats.rf);
+                    }
+                }
+                Ok(self.config.latency_of(op) as u64)
+            }
+            // Control kinds are handled by `exec_decoded` before phase 1.
+            DKind::Ret | DKind::Jump { .. } | DKind::Branch { .. } => {
+                unreachable!("control micro-ops do not reach exec_inst_decoded")
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // decode_reference cross-check path (pre-decoding interpreter)
+    // ---------------------------------------------------------------
+
+    /// Reads a register for one lane through the unconditional-decode
+    /// reference path.
+    fn read_reg_reference(
+        &mut self,
+        bi: usize,
+        thread: usize,
+        reg: penny_ir::VReg,
+        stats: &mut RunStats,
+    ) -> Result<u32, StepFault> {
+        let rf = &mut self.blocks[bi].threads[thread].rf;
+        match rf.read_reference(reg.index(), &mut stats.rf) {
+            ReadOutcome::Ok(v) | ReadOutcome::CorrectedInline(v) => Ok(v),
+            ReadOutcome::Detected => Err(self.read_fault(reg.0)),
+        }
+    }
+
+    fn read_operand(
+        &mut self,
+        bi: usize,
+        thread: usize,
+        op: Operand,
+        stats: &mut RunStats,
+    ) -> Result<u32, StepFault> {
+        match op {
+            Operand::Reg(r) => self.read_reg_reference(bi, thread, r, stats),
+            Operand::Imm(v) => Ok(v),
+            Operand::Special(s) => {
+                let t = &self.blocks[bi].threads[thread];
+                Ok(special_value(s, t.tid, self.blocks[bi].cta, &self.launch.dims))
+            }
+        }
+    }
+
+    fn step_warp_reference(
+        &mut self,
+        bi: usize,
+        wi: usize,
+        stats: &mut RunStats,
+    ) -> Result<(), SimError> {
+        let insts = self
+            .program
+            .reference()
+            .expect("reference path requires Program::with_reference");
+        // Fast-forward region markers (zero-cost boundary bookkeeping).
+        loop {
+            let Some(flow) = self.blocks[bi].warps[wi].current_flow() else {
+                return Ok(());
+            };
+            if flow.pc >= self.program.end_pc() {
+                self.blocks[bi].warps[wi].exited |= flow.mask;
+                continue;
+            }
+            if let PInst::Inst(inst) = &insts[flow.pc] {
                 if let Some(region) = inst.region_entry() {
                     let warp = &mut self.blocks[bi].warps[wi];
                     warp.set_pc(flow.pc + 1);
@@ -389,8 +802,7 @@ impl<'a> SmEngine<'a> {
         }
         // Copy the program reference out of `self` so the instruction
         // can be borrowed (not cloned) across the `&mut self` call.
-        let program = self.program;
-        let result = match &program.insts[flow.pc] {
+        let result = match &insts[flow.pc] {
             PInst::Term(t) => self.exec_terminator(bi, wi, flow, *t, stats),
             PInst::Inst(inst) => self.exec_inst(bi, wi, flow, inst, stats),
         };
@@ -406,79 +818,6 @@ impl<'a> SmEngine<'a> {
                 Ok(())
             }
             Err(StepFault::Sim(e)) => Err(e),
-        }
-    }
-
-    fn apply_faults(&mut self, bi: usize, wi: usize) {
-        let block_index = self.blocks[bi].index;
-        let warp = &self.blocks[bi].warps[wi];
-        let executed = warp.executed;
-        let base_thread = warp.base_thread;
-        let width = warp.width;
-        let warp_id = warp.id;
-        // `launch` lives for 'a, not for the `&mut self` borrow, so the
-        // injection list can be walked while mutating register files.
-        let launch = self.launch;
-        for (i, f) in launch.faults.injections.iter().enumerate() {
-            if self.faults_applied[i]
-                || f.block != block_index
-                || f.warp != warp_id
-                || f.lane >= width
-                || f.after_warp_insts > executed
-            {
-                continue;
-            }
-            self.faults_applied[i] = true;
-            self.faults_remaining -= 1;
-            let t = (base_thread + f.lane) as usize;
-            let rf = &mut self.blocks[bi].threads[t].rf;
-            if (f.reg as usize) < rf.len() {
-                rf.flip_bit(f.reg as usize, f.bit);
-            }
-        }
-    }
-
-    /// Reads a register for one lane, surfacing detections.
-    fn read_reg(
-        &mut self,
-        bi: usize,
-        thread: usize,
-        reg: penny_ir::VReg,
-        stats: &mut RunStats,
-    ) -> Result<u32, StepFault> {
-        let rf = &mut self.blocks[bi].threads[thread].rf;
-        match rf.read(reg.index(), &mut stats.rf) {
-            ReadOutcome::Ok(v) | ReadOutcome::CorrectedInline(v) => Ok(v),
-            ReadOutcome::Detected => match self.config.rf {
-                RfProtection::Edc(_) if self.protected.regions.is_empty() => {
-                    Err(StepFault::Sim(SimError::UnrecoverableFault {
-                        kernel: self.program.name.clone(),
-                        reg: reg.0,
-                    }))
-                }
-                RfProtection::Edc(_) => Err(StepFault::Detected),
-                _ => Err(StepFault::Sim(SimError::UnrecoverableFault {
-                    kernel: self.program.name.clone(),
-                    reg: reg.0,
-                })),
-            },
-        }
-    }
-
-    fn read_operand(
-        &mut self,
-        bi: usize,
-        thread: usize,
-        op: Operand,
-        stats: &mut RunStats,
-    ) -> Result<u32, StepFault> {
-        match op {
-            Operand::Reg(r) => self.read_reg(bi, thread, r, stats),
-            Operand::Imm(v) => Ok(v),
-            Operand::Special(s) => {
-                let t = &self.blocks[bi].threads[thread];
-                Ok(special_value(s, t.tid, self.blocks[bi].cta, &self.launch.dims))
-            }
         }
     }
 
@@ -513,7 +852,7 @@ impl<'a> SmEngine<'a> {
                     if flow.mask & (1 << lane) == 0 {
                         continue;
                     }
-                    let v = self.read_reg(bi, base + lane, pred, stats)?;
+                    let v = self.read_reg_reference(bi, base + lane, pred, stats)?;
                     stats.instructions += 1;
                     let p = (v != 0) ^ negated;
                     if p {
@@ -541,7 +880,8 @@ impl<'a> SmEngine<'a> {
         }
     }
 
-    /// Block id containing a pc (for reconvergence lookup).
+    /// Block id containing a pc (for reconvergence lookup on the
+    /// reference path; the decoded path carries reconvergence inline).
     fn pc_block(&self, pc: usize) -> usize {
         match self.program.block_start.binary_search(&pc) {
             Ok(i) => i,
@@ -596,7 +936,7 @@ impl<'a> SmEngine<'a> {
             let thread = base + lane;
             let active = match inst.guard {
                 Some(g) => {
-                    let gv = self.read_reg(bi, thread, g.pred, stats)?;
+                    let gv = self.read_reg_reference(bi, thread, g.pred, stats)?;
                     (gv != 0) != g.negated
                 }
                 None => true,
@@ -718,6 +1058,10 @@ impl<'a> SmEngine<'a> {
             }
         }
     }
+
+    // ---------------------------------------------------------------
+    // Shared memory/timing model (both paths)
+    // ---------------------------------------------------------------
 
     fn load(&mut self, bi: usize, space: MemSpace, addr: u32, _stats: &mut RunStats) -> u32 {
         match space {

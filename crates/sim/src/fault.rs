@@ -26,6 +26,19 @@ pub struct Injection {
     pub after_warp_insts: u64,
 }
 
+impl Injection {
+    /// Whether this injection fires for the given victim-warp state: it
+    /// names this warp, its lane exists, and the warp's executed-count
+    /// trigger has been reached.
+    #[inline]
+    pub fn due(&self, block: u32, warp: u32, width: u32, executed: u64) -> bool {
+        self.block == block
+            && self.warp == warp
+            && self.lane < width
+            && self.after_warp_insts <= executed
+    }
+}
+
 /// A full injection campaign for one launch.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -102,6 +115,17 @@ mod tests {
             assert!(i.bit < 33);
             assert!(i.after_warp_insts >= 1 && i.after_warp_insts < 50);
         }
+    }
+
+    #[test]
+    fn due_matches_victim_warp_and_trigger() {
+        let i = Injection { block: 1, warp: 2, lane: 5, reg: 0, bit: 0, after_warp_insts: 10 };
+        assert!(i.due(1, 2, 32, 10), "fires exactly at the trigger count");
+        assert!(i.due(1, 2, 32, 11), "stays due after the trigger count");
+        assert!(!i.due(1, 2, 32, 9), "not before the trigger");
+        assert!(!i.due(0, 2, 32, 10), "wrong block");
+        assert!(!i.due(1, 3, 32, 10), "wrong warp");
+        assert!(!i.due(1, 2, 5, 10), "lane beyond a narrow warp");
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub use config::{GpuConfig, RfProtection};
 pub use engine::{LaunchConfig, RunStats};
 pub use fault::{FaultPlan, Injection};
 pub use memory::{GlobalMemory, SharedMemory};
+pub use program::{DKind, DSrc, DecodedInst, Program, NO_REG};
 pub use regfile::{ReadOutcome, RegFile, RfStats};
 
 /// Simulation errors.

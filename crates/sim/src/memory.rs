@@ -12,7 +12,11 @@ use std::collections::HashMap;
 const PAGE_WORDS: usize = 1024;
 
 /// Sparse global memory (word-addressable via byte addresses).
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares both contents and access counters, so equality
+/// means two runs touched memory identically — the property the
+/// decoded-vs-reference determinism tests pin.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GlobalMemory {
     pages: HashMap<u32, Box<[u32; PAGE_WORDS]>>,
     /// Read/write counters (for statistics).

@@ -1,11 +1,170 @@
-//! Program linearization for execution: blocks flattened into a single
-//! instruction array with explicit terminators, plus the immediate-
-//! post-dominator reconvergence table the SIMT stack uses.
+//! Program lowering for execution: blocks flattened into a single
+//! pre-decoded micro-op table, plus the immediate-post-dominator
+//! reconvergence table the SIMT stack uses.
+//!
+//! [`Program::new`] lowers every `penny_ir::Inst`/`Terminator` into a
+//! flat [`DecodedInst`] — fixed-size operand slots ([`penny_ir::MAX_SRCS`]),
+//! pre-resolved register indices, immediates and special-register kinds,
+//! and branch/jump targets already translated to PCs (the branch also
+//! carries its reconvergence PC, so the engine never searches the block
+//! table on the hot path). The IR instruction stream itself is *not*
+//! retained on the fast path; [`Program::with_reference`] additionally
+//! keeps the [`PInst`] stream for the `decode_reference` cross-check
+//! interpreter (see `engine::run_decode_reference`).
 
 use penny_analysis::Dominators;
-use penny_ir::{BlockId, Inst, Kernel, Terminator};
+use penny_ir::{
+    AtomOp, BlockId, Inst, Kernel, MemSpace, Op, Operand, RegionId, Special, Terminator, Type,
+    MAX_SRCS,
+};
 
-/// One linearized program element.
+/// Sentinel register index meaning "no register" (destination or guard).
+pub const NO_REG: u32 = u32::MAX;
+
+/// One pre-resolved source-operand slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DSrc {
+    /// Register-file index (pre-resolved from the virtual register).
+    Reg(u32),
+    /// Immediate bit pattern.
+    Imm(u32),
+    /// Special (hardware) register kind.
+    Special(Special),
+}
+
+/// Compact decoded opcode the engine dispatches on.
+///
+/// Control flow is fully pre-resolved: jump/branch targets are PCs, and
+/// a branch carries the reconvergence PC of its block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DKind {
+    /// A value-producing ALU operation (dispatched to `alu::eval`).
+    Alu {
+        /// Opcode (used for evaluation and the latency class).
+        op: Op,
+        /// Result/operand type.
+        ty: Type,
+        /// Secondary type (source type for `cvt`).
+        ty2: Type,
+    },
+    /// Load from a memory space.
+    Ld(MemSpace),
+    /// Store to a memory space.
+    St(MemSpace),
+    /// Atomic read-modify-write.
+    Atom(AtomOp, MemSpace),
+    /// Block-wide barrier.
+    Bar,
+    /// Unlowered checkpoint pseudo-op (robustness arm; never emitted by
+    /// code generation).
+    Ckpt,
+    /// Region-entry marker (consumed by the engine's fast-forward loop).
+    RegionEntry(RegionId),
+    /// No operation.
+    Nop,
+    /// Return: retire the flow's lanes.
+    Ret,
+    /// Unconditional jump to a pre-resolved PC.
+    Jump {
+        /// Target PC.
+        target: usize,
+    },
+    /// Two-way branch with pre-resolved targets and reconvergence.
+    Branch {
+        /// Predicate register index.
+        pred: u32,
+        /// Whether the predicate is negated.
+        negated: bool,
+        /// PC of the taken side.
+        then_pc: usize,
+        /// PC of the not-taken side.
+        else_pc: usize,
+        /// Reconvergence PC (start of the immediate post-dominator).
+        reconv: usize,
+    },
+}
+
+/// One pre-decoded micro-op: everything the engine needs in one flat,
+/// `Copy` record — no heap indirection, no `Option<VReg>` re-matching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodedInst {
+    /// Decoded opcode (with control flow pre-resolved).
+    pub kind: DKind,
+    /// Destination register index, or [`NO_REG`].
+    pub dst: u32,
+    /// Guard predicate register index, or [`NO_REG`] when unguarded.
+    pub guard: u32,
+    /// Whether the guard is negated (`@!%p`).
+    pub guard_negated: bool,
+    /// Number of live source slots.
+    pub nsrcs: u8,
+    /// Fixed-size source slots (`srcs[..nsrcs]` are live).
+    pub srcs: [DSrc; MAX_SRCS],
+    /// Constant byte offset for memory operands, pre-wrapped to `u32`.
+    pub offset: u32,
+}
+
+impl DecodedInst {
+    fn lower(inst: &Inst) -> DecodedInst {
+        let kind = match inst.op {
+            Op::Ld(s) => DKind::Ld(s),
+            Op::St(s) => DKind::St(s),
+            Op::Atom(a, s) => DKind::Atom(a, s),
+            Op::Bar => DKind::Bar,
+            Op::Ckpt(_) => DKind::Ckpt,
+            Op::RegionEntry(r) => DKind::RegionEntry(r),
+            Op::Nop => DKind::Nop,
+            op => DKind::Alu { op, ty: inst.ty, ty2: inst.ty2 },
+        };
+        let mut srcs = [DSrc::Imm(0); MAX_SRCS];
+        let nsrcs = inst.num_srcs().min(MAX_SRCS);
+        for (slot, i) in srcs.iter_mut().zip(0..nsrcs) {
+            *slot = match inst.src(i).expect("slot within num_srcs") {
+                Operand::Reg(r) => DSrc::Reg(r.index() as u32),
+                Operand::Imm(v) => DSrc::Imm(v),
+                Operand::Special(s) => DSrc::Special(s),
+            };
+        }
+        let (guard, guard_negated) = match inst.guard {
+            Some(g) => (g.pred.index() as u32, g.negated),
+            None => (NO_REG, false),
+        };
+        DecodedInst {
+            kind,
+            dst: inst.dst.map_or(NO_REG, |d| d.index() as u32),
+            guard,
+            guard_negated,
+            nsrcs: nsrcs as u8,
+            srcs,
+            offset: inst.offset as u32,
+        }
+    }
+
+    fn lower_term(term: Terminator, block_start: &[usize], reconv: usize) -> DecodedInst {
+        let kind = match term {
+            Terminator::Ret => DKind::Ret,
+            Terminator::Jump(t) => DKind::Jump { target: block_start[t.index()] },
+            Terminator::Branch { pred, negated, then_, else_ } => DKind::Branch {
+                pred: pred.index() as u32,
+                negated,
+                then_pc: block_start[then_.index()],
+                else_pc: block_start[else_.index()],
+                reconv,
+            },
+        };
+        DecodedInst {
+            kind,
+            dst: NO_REG,
+            guard: NO_REG,
+            guard_negated: false,
+            nsrcs: 0,
+            srcs: [DSrc::Imm(0); MAX_SRCS],
+            offset: 0,
+        }
+    }
+}
+
+/// One linearized IR program element (the `decode_reference` stream).
 #[derive(Debug, Clone)]
 pub enum PInst {
     /// An ordinary instruction.
@@ -14,11 +173,13 @@ pub enum PInst {
     Term(Terminator),
 }
 
-/// An executable, linearized kernel.
+/// An executable, lowered kernel.
 #[derive(Debug, Clone)]
 pub struct Program {
-    /// Flattened instruction stream.
-    pub insts: Vec<PInst>,
+    /// Flat pre-decoded micro-op stream (one entry per PC; terminators
+    /// occupy a PC slot exactly like the old `PInst` layout, so PCs and
+    /// reconvergence math are unchanged).
+    pub decoded: Vec<DecodedInst>,
     /// Start PC of each block.
     pub block_start: Vec<usize>,
     /// Reconvergence PC for a branch in each block: the start of the
@@ -32,47 +193,81 @@ pub struct Program {
     pub shared_bytes: u32,
     /// Number of virtual registers.
     pub num_regs: usize,
+    /// IR instruction stream, retained only by
+    /// [`Program::with_reference`] for the cross-check interpreter; the
+    /// fast path carries no per-instruction IR (the decoded table owns
+    /// the data).
+    reference: Option<Vec<PInst>>,
 }
 
 impl Program {
-    /// Linearizes a kernel.
+    /// Lowers a kernel into the pre-decoded fast-path form.
     pub fn new(kernel: &Kernel) -> Program {
+        Program::build(kernel, false)
+    }
+
+    /// Lowers a kernel and additionally retains the linearized IR stream
+    /// for the `decode_reference` cross-check interpreter.
+    pub fn with_reference(kernel: &Kernel) -> Program {
+        Program::build(kernel, true)
+    }
+
+    fn build(kernel: &Kernel, keep_reference: bool) -> Program {
         let pdom = Dominators::compute_post(kernel);
-        let mut insts = Vec::new();
+        // Pass 1: PC layout (block starts and the end sentinel).
         let mut block_start = Vec::with_capacity(kernel.num_blocks());
+        let mut pc = 0usize;
         for b in kernel.block_ids() {
-            block_start.push(insts.len());
-            for i in &kernel.block(b).insts {
-                insts.push(PInst::Inst(i.clone()));
-            }
-            insts.push(PInst::Term(kernel.block(b).term));
+            block_start.push(pc);
+            pc += kernel.block(b).insts.len() + 1; // + terminator slot
         }
-        let end_pc = insts.len();
-        let reconv = kernel
+        let end_pc = pc;
+        let reconv: Vec<usize> = kernel
             .block_ids()
             .map(|b| match pdom.idom(b) {
                 Some(p) => block_start[p.index()],
                 None => end_pc,
             })
             .collect();
+        // Pass 2: decode, with control-flow targets resolved to PCs.
+        let mut decoded = Vec::with_capacity(end_pc);
+        let mut reference = keep_reference.then(|| Vec::with_capacity(end_pc));
+        for b in kernel.block_ids() {
+            let block = kernel.block(b);
+            for i in &block.insts {
+                decoded.push(DecodedInst::lower(i));
+            }
+            decoded.push(DecodedInst::lower_term(block.term, &block_start, reconv[b.index()]));
+            if let Some(r) = reference.as_mut() {
+                r.extend(block.insts.iter().map(|i| PInst::Inst(i.clone())));
+                r.push(PInst::Term(block.term));
+            }
+        }
         Program {
-            insts,
+            decoded,
             block_start,
             reconv,
             name: kernel.name.clone(),
             shared_bytes: kernel.shared_bytes,
             num_regs: kernel.vreg_limit() as usize,
+            reference,
         }
     }
 
     /// Sentinel PC one past the last instruction.
     pub fn end_pc(&self) -> usize {
-        self.insts.len()
+        self.decoded.len()
     }
 
     /// Start PC of a block.
     pub fn start_of(&self, b: BlockId) -> usize {
         self.block_start[b.index()]
+    }
+
+    /// The linearized IR stream, if this program was built with
+    /// [`Program::with_reference`].
+    pub fn reference(&self) -> Option<&[PInst]> {
+        self.reference.as_deref()
     }
 }
 
@@ -97,10 +292,11 @@ mod tests {
         .expect("parse");
         let p = Program::new(&k);
         assert_eq!(p.block_start, vec![0, 2]);
-        assert_eq!(p.insts.len(), 4);
-        assert!(matches!(p.insts[1], PInst::Term(Terminator::Jump(_))));
-        assert!(matches!(p.insts[3], PInst::Term(Terminator::Ret)));
+        assert_eq!(p.decoded.len(), 4);
+        assert!(matches!(p.decoded[1].kind, DKind::Jump { target: 2 }));
+        assert!(matches!(p.decoded[3].kind, DKind::Ret));
         assert_eq!(p.end_pc(), 4);
+        assert!(p.reference().is_none(), "fast path must not retain IR");
     }
 
     #[test]
@@ -126,5 +322,64 @@ mod tests {
         assert_eq!(p.reconv[0], join_start);
         // join itself reconverges at exit.
         assert_eq!(p.reconv[3], p.end_pc());
+        // The decoded branch carries targets and reconvergence inline.
+        match p.decoded[1].kind {
+            DKind::Branch { then_pc, else_pc, reconv, .. } => {
+                assert_eq!(then_pc, p.start_of(BlockId(1)));
+                assert_eq!(else_pc, p.start_of(BlockId(2)));
+                assert_eq!(reconv, join_start);
+            }
+            other => panic!("expected a decoded branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decoded_slots_carry_registers_immediates_and_specials() {
+        let k = parse_kernel(
+            r#"
+            .kernel s .params A
+            entry:
+                mov.u32 %r0, %tid.x
+                ld.param.u32 %r1, [A]
+                mad.u32 %r2, %r0, 4, %r1
+                ld.global.u32 %r3, [%r2+8]
+                ret
+        "#,
+        )
+        .expect("parse");
+        let p = Program::new(&k);
+        // mov %r0, %tid.x
+        let mov = &p.decoded[0];
+        assert_eq!(mov.nsrcs, 1);
+        assert_eq!(mov.srcs[0], DSrc::Special(Special::TidX));
+        assert!(mov.dst != NO_REG && mov.guard == NO_REG);
+        // mad %r2, %r0, 4, %r1
+        let mad = &p.decoded[2];
+        assert_eq!(mad.nsrcs, 3);
+        assert!(matches!(mad.srcs[0], DSrc::Reg(_)));
+        assert_eq!(mad.srcs[1], DSrc::Imm(4));
+        assert!(matches!(mad.srcs[2], DSrc::Reg(_)));
+        // ld.global %r3, [%r2+8]
+        let ld = &p.decoded[3];
+        assert!(matches!(ld.kind, DKind::Ld(MemSpace::Global)));
+        assert_eq!(ld.offset, 8);
+    }
+
+    #[test]
+    fn with_reference_retains_the_ir_stream() {
+        let k = parse_kernel(
+            r#"
+            .kernel l
+            entry:
+                mov.u32 %r0, 1
+                ret
+        "#,
+        )
+        .expect("parse");
+        let p = Program::with_reference(&k);
+        let r = p.reference().expect("reference stream");
+        assert_eq!(r.len(), p.decoded.len());
+        assert!(matches!(r[0], PInst::Inst(_)));
+        assert!(matches!(r[1], PInst::Term(Terminator::Ret)));
     }
 }

@@ -152,8 +152,14 @@ pub fn eval_slice(
                 }
             }
             SliceInst::Alu { op, ty, ty2, args } => {
-                let srcs: Vec<u32> = args.iter().map(|&a| values[a]).collect();
-                crate::alu::eval(*op, *ty, *ty2, &srcs)
+                // Slice args mirror instruction sources, so the arity
+                // cap `penny_ir::MAX_SRCS` applies; gather into fixed
+                // slots like the decoded engine path.
+                let mut srcs = [0u32; penny_ir::MAX_SRCS];
+                for (s, &a) in srcs.iter_mut().zip(args) {
+                    *s = values[a];
+                }
+                crate::alu::eval(*op, *ty, *ty2, &srcs[..args.len()])
             }
             SliceInst::Setp { cmp, ty, a, b } => {
                 crate::alu::eval_cmp(*cmp, *ty, values[*a], values[*b]) as u32

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the Penny reproduction.
+#
+# Runs the same checks CI and reviewers rely on, in order of cost:
+#
+#   1. release build of the whole workspace;
+#   2. the root-package test suite (the tier-1 gate);
+#   3. the determinism/equivalence suites that pin every engine fast
+#      path — event-driven vs dense scheduling, --jobs fan-out, and the
+#      pre-decoded micro-op + register-file fast path vs the
+#      always-decode reference interpreter — bit-identical.
+#
+# Usage: scripts/verify.sh [--full]
+#   --full additionally runs every workspace test (fault-injection
+#   campaigns included; slower).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q (root package)"
+cargo test -q
+
+echo "==> determinism: harness + engine fast paths"
+cargo test --release -p penny-bench --test determinism
+cargo test --release -p penny-sim --test decoded_equivalence
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "==> full workspace test suite"
+    cargo test --release --workspace -q
+fi
+
+echo "verify: OK"
