@@ -170,9 +170,8 @@ impl Sym {
     fn add(self, o: Sym) -> Sym {
         match (self, o) {
             (Sym::Aff(a), Sym::Aff(b)) => Sym::Aff(a.add(b)),
-            (Sym::Ptr { param, off }, Sym::Aff(b)) | (Sym::Aff(b), Sym::Ptr { param, off }) => {
-                Sym::Ptr { param, off: off.add(b) }
-            }
+            (Sym::Ptr { param, off }, Sym::Aff(b))
+            | (Sym::Aff(b), Sym::Ptr { param, off }) => Sym::Ptr { param, off: off.add(b) },
             (Sym::Undef, _) | (_, Sym::Undef) => Sym::Unknown,
             _ => Sym::Unknown,
         }
@@ -193,7 +192,8 @@ impl Sym {
                     Sym::Aff(a.scale(c))
                 } else if let Some(c) = a.as_const() {
                     Sym::Aff(b.scale(c))
-                } else if a.single_term() == Some(T_CTAX) && b.single_term() == Some(T_NTIDX)
+                } else if a.single_term() == Some(T_CTAX)
+                    && b.single_term() == Some(T_NTIDX)
                     || a.single_term() == Some(T_NTIDX) && b.single_term() == Some(T_CTAX)
                 {
                     Sym::Aff(Affine::term(T_GIDX))
@@ -208,7 +208,9 @@ impl Sym {
     fn shl(self, o: Sym) -> Sym {
         match o {
             Sym::Aff(b) => match b.as_const() {
-                Some(c) if (0..31).contains(&c) => self.mul(Sym::Aff(Affine::konst(1 << c))),
+                Some(c) if (0..31).contains(&c) => {
+                    self.mul(Sym::Aff(Affine::konst(1 << c)))
+                }
                 _ => Sym::Unknown,
             },
             _ => Sym::Unknown,
@@ -398,9 +400,10 @@ fn transfer(inst: &penny_ir::Inst, env: &mut Env) {
         Op::Ld(MemSpace::Param) => {
             // The loaded *value* of the parameter at this offset.
             match inst.srcs[0] {
-                Operand::Imm(base) => {
-                    Sym::Ptr { param: base.wrapping_add(inst.offset as u32), off: Affine::zero() }
-                }
+                Operand::Imm(base) => Sym::Ptr {
+                    param: base.wrapping_add(inst.offset as u32),
+                    off: Affine::zero(),
+                },
                 _ => Sym::Unknown,
             }
         }
@@ -463,10 +466,8 @@ mod tests {
         );
         let accesses = aa.accesses();
         // [param A load, param B load, global load, global store]
-        let reads: Vec<_> = accesses
-            .iter()
-            .filter(|a| a.is_read && a.space == MemSpace::Global)
-            .collect();
+        let reads: Vec<_> =
+            accesses.iter().filter(|a| a.is_read && a.space == MemSpace::Global).collect();
         let writes: Vec<_> = accesses.iter().filter(|a| a.is_write).collect();
         assert_eq!(reads.len(), 1);
         assert_eq!(writes.len(), 1);

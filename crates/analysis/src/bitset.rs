@@ -98,7 +98,9 @@ impl BitSet {
     /// Iterates members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter_map(move |b| if w & (1 << b) != 0 { Some(wi * 64 + b) } else { None })
+            (0..64).filter_map(
+                move |b| if w & (1 << b) != 0 { Some(wi * 64 + b) } else { None },
+            )
         })
     }
 }

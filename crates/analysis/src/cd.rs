@@ -113,10 +113,7 @@ mod tests {
             &[ControlDep { branch: BlockId(0), taken_then: false }]
         );
         assert!(cd.deps_of(BlockId(3)).is_empty(), "join is not controlled");
-        assert_eq!(
-            cd.deciding_branch(BlockId(1), BlockId(2)),
-            Some((BlockId(0), true))
-        );
+        assert_eq!(cd.deciding_branch(BlockId(1), BlockId(2)), Some((BlockId(0), true)));
         assert_eq!(cd.deciding_branch(BlockId(1), BlockId(1)), None);
     }
 

@@ -63,11 +63,7 @@ impl Dominators {
             &preds_generic,
         );
         // Strip the virtual node: idom == virtual exit becomes None.
-        let idom = idom
-            .into_iter()
-            .take(n)
-            .map(|d| d.filter(|x| x.index() != n))
-            .collect();
+        let idom = idom.into_iter().take(n).map(|d| d.filter(|x| x.index() != n)).collect();
         Dominators { idom, root: BlockId(n as u32) }
     }
 

@@ -39,8 +39,8 @@
 //! ```
 
 pub mod alias;
-pub mod cd;
 pub mod bitset;
+pub mod cd;
 pub mod dom;
 pub mod liveness;
 pub mod loops;

@@ -200,8 +200,7 @@ mod tests {
         .expect("parse");
         let lv = Liveness::compute(&k);
         // The predicate (VReg 0) is live just before the terminator...
-        let live =
-            lv.live_set_before(&k, Loc { block: BlockId(0), idx: 1 });
+        let live = lv.live_set_before(&k, Loc { block: BlockId(0), idx: 1 });
         assert!(live.contains(0));
         // ...but not before the setp that defines it.
         let live0 = lv.live_set_before(&k, Loc { block: BlockId(0), idx: 0 });

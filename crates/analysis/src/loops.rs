@@ -94,10 +94,7 @@ impl LoopInfo {
     /// blocks containing `b`... i.e. smallest body among those containing
     /// it).
     pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
-        self.loops
-            .iter()
-            .filter(|l| l.blocks.contains(&b))
-            .min_by_key(|l| l.blocks.len())
+        self.loops.iter().filter(|l| l.blocks.contains(&b)).min_by_key(|l| l.blocks.len())
     }
 }
 

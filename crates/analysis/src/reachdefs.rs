@@ -52,8 +52,7 @@ impl ReachingDefs {
                 if site.loc.block != b {
                     continue;
                 }
-                let guarded =
-                    kernel.block(b).insts[site.loc.idx].guard.is_some();
+                let guarded = kernel.block(b).insts[site.loc.idx].guard.is_some();
                 let entry = cur.entry(site.reg).or_insert((Vec::new(), false));
                 if guarded {
                     entry.0.push(di);
@@ -117,7 +116,11 @@ impl ReachingDefs {
         for idx in (0..loc.idx.min(blk.insts.len())).rev() {
             let inst = &blk.insts[idx];
             if inst.def() == Some(reg) {
-                found.push(DefSite { loc: Loc { block: loc.block, idx }, inst: inst.id, reg });
+                found.push(DefSite {
+                    loc: Loc { block: loc.block, idx },
+                    inst: inst.id,
+                    reg,
+                });
                 if inst.guard.is_none() {
                     found.reverse();
                     return found;

@@ -47,9 +47,8 @@ fn run_pair(c: &mut Criterion, abbr: &str) {
 fn decode_pair(c: &mut Criterion, abbr: &str) {
     let w = penny_workloads::by_abbr(abbr).expect("workload");
     let gpu = GpuConfig::fermi();
-    let cfg = penny_core::PennyConfig::penny()
-        .with_launch(w.dims)
-        .with_machine(gpu.machine);
+    let cfg =
+        penny_core::PennyConfig::penny().with_launch(w.dims).with_machine(gpu.machine);
     let protected = penny_bench::cache::compiled(&w, &cfg);
 
     let mut group = c.benchmark_group(format!("decode/{abbr}"));

@@ -46,7 +46,8 @@ fn bench_simulator(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("fermi", |b| {
         b.iter(|| {
-            let mut gpu = Gpu::new(GpuConfig::fermi().with_rf(penny_sim::RfProtection::None));
+            let mut gpu =
+                Gpu::new(GpuConfig::fermi().with_rf(penny_sim::RfProtection::None));
             let launch = w.prepare(gpu.global_mut());
             gpu.run(&protected, &launch).expect("run")
         });

@@ -64,10 +64,10 @@ pub fn ablation() -> Vec<AblationRow> {
                 ..base.clone()
             },
         ),
-        measure("no local scheduling (low_opts off)", &PennyConfig {
-            low_opts: false,
-            ..base.clone()
-        }),
+        measure(
+            "no local scheduling (low_opts off)",
+            &PennyConfig { low_opts: false, ..base.clone() },
+        ),
         measure("eager placement (BCP off)", &PennyConfig { bcp: false, ..base.clone() }),
     ]
 }

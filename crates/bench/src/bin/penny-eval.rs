@@ -42,15 +42,25 @@ fn main() {
     }
     penny_bench::set_jobs(jobs);
 
-    let targets: Vec<&str> =
-        if targets.is_empty() || targets.iter().any(|a| a == "all") {
-            vec![
-                "table1", "table2", "table3", "fig9", "fig10", "fig11", "fig12",
-                "fig13", "fig14", "fig15", "multibit", "ablation", "errorrate",
-            ]
-        } else {
-            targets.iter().map(String::as_str).collect()
-        };
+    let targets: Vec<&str> = if targets.is_empty() || targets.iter().any(|a| a == "all") {
+        vec![
+            "table1",
+            "table2",
+            "table3",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "multibit",
+            "ablation",
+            "errorrate",
+        ]
+    } else {
+        targets.iter().map(String::as_str).collect()
+    };
     for t in targets {
         match t {
             "table1" => print!("{}", report::render_table1()),

@@ -66,12 +66,7 @@ pub fn baseline(w: &Workload, base: &GpuConfig) -> Measured {
         return m.clone();
     }
     let m = run_workload(w, &SchemeId::Baseline.config(), &gpu);
-    baseline_cache()
-        .lock()
-        .unwrap()
-        .entry(key)
-        .or_insert(m)
-        .clone()
+    baseline_cache().lock().unwrap().entry(key).or_insert(m).clone()
 }
 
 #[cfg(test)]

@@ -1,0 +1,467 @@
+//! Fault-space conformance harness: enumerate the (dynamic instruction ×
+//! destination register × bit) fault space of a workload, run every
+//! covered site through the decoded engine under each protected scheme,
+//! and assert the final memory equals the fault-free reference.
+//!
+//! The space is enumerated **exhaustively** when it fits the budget;
+//! above the budget a deterministic stratified walk (a multiplicative
+//! congruential stride coprime with the space size) covers `budget`
+//! sites spread across every stratum, and the skipped count is reported.
+//! Any failing site is shrunk to a minimal single-[`Injection`]
+//! [`FaultPlan`] reproducer rendered as a ready-to-paste `#[test]`.
+//!
+//! Every kernel the harness compiles runs with
+//! [`PennyConfig::validate`](penny_core::PennyConfig::validate) enabled,
+//! so a compiler-invariant bug fails fast with a named invariant instead
+//! of a corrupted-memory assert thousands of cycles later.
+
+use penny_core::{compile, Protected, GLOBAL_CKPT_BASE};
+use penny_sim::{FaultPlan, Gpu, GpuConfig, Injection, RegFile};
+use penny_workloads::Workload;
+
+use crate::parallel::parallel_map;
+use crate::runner::SchemeId;
+
+/// The mixed-radix fault-space geometry of one (workload, scheme) pair.
+///
+/// Site index digits, innermost first: bit, register, trigger, lane,
+/// warp, block — so a coarse stride varies every digit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpace {
+    /// Blocks in the launch.
+    pub blocks: u32,
+    /// Warps per block.
+    pub warps: u32,
+    /// Lanes per warp.
+    pub lanes: u32,
+    /// Trigger points (dynamic per-warp instruction indices `1..=triggers`).
+    pub triggers: u64,
+    /// Destination registers.
+    pub regs: u32,
+    /// Codeword bits per register.
+    pub bits: u32,
+}
+
+impl FaultSpace {
+    /// Total number of fault sites.
+    pub fn total(&self) -> u64 {
+        self.blocks as u64
+            * self.warps as u64
+            * self.lanes as u64
+            * self.triggers
+            * self.regs as u64
+            * self.bits as u64
+    }
+
+    /// Decodes a site index into its injection.
+    pub fn site(&self, mut index: u64) -> Injection {
+        debug_assert!(index < self.total());
+        let bit = (index % self.bits as u64) as u32;
+        index /= self.bits as u64;
+        let reg = (index % self.regs as u64) as u32;
+        index /= self.regs as u64;
+        let after_warp_insts = 1 + index % self.triggers;
+        index /= self.triggers;
+        let lane = (index % self.lanes as u64) as u32;
+        index /= self.lanes as u64;
+        let warp = (index % self.warps as u64) as u32;
+        index /= self.warps as u64;
+        let block = index as u32;
+        Injection { block, warp, lane, reg, bit, after_warp_insts }
+    }
+
+    /// The deterministic covered subset: all sites when `budget` covers
+    /// the space, otherwise `budget` sites visited by a multiplicative
+    /// stride coprime with the total (distinct sites, every stratum
+    /// touched).
+    pub fn sample(&self, budget: u64) -> Vec<u64> {
+        let total = self.total();
+        if total <= budget {
+            return (0..total).collect();
+        }
+        let mut stride = (total / budget) | 1; // odd ⇒ coprime with powers of 2
+        while gcd(stride, total) != 1 {
+            stride += 2;
+        }
+        (0..budget).map(|j| (j as u128 * stride as u128 % total as u128) as u64).collect()
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// One failing fault site.
+#[derive(Debug, Clone)]
+pub struct ConformanceFailure {
+    /// The shrunk (minimal) injection that still fails.
+    pub injection: Injection,
+    /// What went wrong (mismatch / simulator error).
+    pub reason: String,
+    /// Ready-to-paste regression test reproducing the failure.
+    pub reproducer: String,
+}
+
+/// Conformance result for one (workload, scheme) pair.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// Workload abbreviation.
+    pub workload: &'static str,
+    /// Scheme display name.
+    pub variant: &'static str,
+    /// The enumerated geometry.
+    pub space: FaultSpace,
+    /// Total fault sites in the space.
+    pub total: u64,
+    /// Sites actually executed.
+    pub covered: u64,
+    /// Sites skipped by the budget (logged, per the harness contract).
+    pub skipped: u64,
+    /// Covered sites whose final memory matched the fault-free
+    /// reference (benign or detected-and-recovered).
+    pub recovered: u64,
+    /// Failing sites, shrunk to minimal reproducers.
+    pub failures: Vec<ConformanceFailure>,
+}
+
+/// Everything needed to run fault sites for one (workload, scheme) pair.
+struct Prepared {
+    workload: Workload,
+    protected: Protected,
+    gpu_config: GpuConfig,
+    /// Fault-free user-space memory (below the checkpoint arena).
+    reference: Vec<(u32, u32)>,
+    space: FaultSpace,
+}
+
+/// User-visible final memory: nonzero words below the checkpoint arena.
+/// The arena itself is runtime scratch and legitimately differs between
+/// faulty and fault-free runs.
+fn user_memory(gpu: &Gpu) -> Vec<(u32, u32)> {
+    let mut words = gpu.global().nonzero_words();
+    words.retain(|&(addr, _)| addr < GLOBAL_CKPT_BASE);
+    words
+}
+
+fn prepare(abbr: &str, scheme: SchemeId) -> Prepared {
+    let workload =
+        penny_workloads::by_abbr(abbr).unwrap_or_else(|| panic!("unknown workload {abbr}"));
+    let kernel = workload.kernel().unwrap_or_else(|e| panic!("{abbr}: {e}"));
+    // Validator on: every kernel the harness touches is invariant-checked.
+    let config = scheme.config().with_launch(workload.dims).with_validation(true);
+    let protected = compile(&kernel, &config)
+        .unwrap_or_else(|e| panic!("{abbr} under {}: {e}", scheme.name()));
+    let gpu_config = GpuConfig::fermi().with_rf(scheme.rf());
+
+    // Fault-free reference run; also sizes the trigger dimension.
+    let mut gpu = Gpu::new(gpu_config.clone());
+    let launch = workload.prepare(gpu.global_mut());
+    let stats = gpu
+        .run(&protected, &launch)
+        .unwrap_or_else(|e| panic!("{abbr} fault-free run: {e}"));
+    assert!(workload.check(gpu.global()), "{abbr}: fault-free output wrong");
+    let reference = user_memory(&gpu);
+
+    let warps = workload.dims.threads_per_block().div_ceil(32).max(1);
+    let total_warps = (warps * workload.dims.blocks()).max(1) as u64;
+    // Average dynamic per-warp instruction count. Triggers beyond a
+    // shorter warp's execution simply never fire (benign sites).
+    let triggers = stats.warp_instructions.div_ceil(total_warps).max(1);
+    let bits = RegFile::new(1, gpu_config.rf).codeword_bits();
+    let space = FaultSpace {
+        blocks: workload.dims.blocks(),
+        warps,
+        lanes: 32,
+        triggers,
+        regs: protected.kernel.vreg_limit().max(1),
+        bits,
+    };
+    Prepared { workload, protected, gpu_config, reference, space }
+}
+
+/// Runs one site; `Ok` when the final memory matches the fault-free
+/// reference (and the workload's own checker passes).
+fn run_site(p: &Prepared, inj: &Injection) -> Result<(), String> {
+    let mut gpu = Gpu::new(p.gpu_config.clone());
+    let launch = p.workload.prepare(gpu.global_mut()).with_faults(FaultPlan::single(*inj));
+    match gpu.run(&p.protected, &launch) {
+        Ok(_) => {
+            if !p.workload.check(gpu.global()) {
+                return Err("workload checker rejected the output".into());
+            }
+            if user_memory(&gpu) != p.reference {
+                return Err("final memory differs from fault-free reference".into());
+            }
+            Ok(())
+        }
+        Err(e) => Err(format!("simulator error: {e}")),
+    }
+}
+
+/// Shrink field order (most impactful first) and per-field minimums:
+/// trigger, bit, reg, lane, warp, block.
+const SHRINK_FIELDS: usize = 6;
+const SHRINK_MIN: [u64; SHRINK_FIELDS] = [1, 0, 0, 0, 0, 0];
+
+fn shrink_get(i: &Injection, field: usize) -> u64 {
+    match field {
+        0 => i.after_warp_insts,
+        1 => i.bit as u64,
+        2 => i.reg as u64,
+        3 => i.lane as u64,
+        4 => i.warp as u64,
+        _ => i.block as u64,
+    }
+}
+
+fn shrink_set(i: &mut Injection, field: usize, v: u64) {
+    match field {
+        0 => i.after_warp_insts = v,
+        1 => i.bit = v as u32,
+        2 => i.reg = v as u32,
+        3 => i.lane = v as u32,
+        4 => i.warp = v as u32,
+        _ => i.block = v as u32,
+    }
+}
+
+/// Greedy per-field shrink: repeatedly lower each field of the injection
+/// (trigger first, then bit, reg, lane, warp, block) toward its minimum
+/// while the predicate keeps failing.
+pub fn shrink_injection(
+    mut inj: Injection,
+    fails: &dyn Fn(&Injection) -> bool,
+) -> Injection {
+    let mut trials = 0u32;
+    loop {
+        let mut improved = false;
+        for (field, &min) in SHRINK_MIN.iter().enumerate() {
+            let cur = shrink_get(&inj, field);
+            for cand in [min, cur / 2, cur.saturating_sub(1)] {
+                if cand >= cur || cand < min || trials >= 64 {
+                    continue;
+                }
+                trials += 1;
+                let mut t = inj;
+                shrink_set(&mut t, field, cand);
+                if fails(&t) {
+                    inj = t;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved || trials >= 64 {
+            return inj;
+        }
+    }
+}
+
+/// The `SchemeId::` variant token for generated code.
+fn scheme_token(scheme: SchemeId) -> &'static str {
+    match scheme {
+        SchemeId::Baseline => "Baseline",
+        SchemeId::IGpu => "IGpu",
+        SchemeId::BoltGlobal => "BoltGlobal",
+        SchemeId::BoltAuto => "BoltAuto",
+        SchemeId::Penny => "Penny",
+    }
+}
+
+/// Renders a failing site as a ready-to-paste regression test.
+pub fn render_reproducer(abbr: &str, scheme: SchemeId, inj: &Injection) -> String {
+    let token = scheme_token(scheme);
+    format!(
+        "#[test]\n\
+         fn conformance_regression_{name}_{scheme_lc}() {{\n    \
+             // Minimal reproducer generated by the conformance harness.\n    \
+             let inj = penny_sim::Injection {{\n        \
+                 block: {block},\n        \
+                 warp: {warp},\n        \
+                 lane: {lane},\n        \
+                 reg: {reg},\n        \
+                 bit: {bit},\n        \
+                 after_warp_insts: {trig},\n    \
+             }};\n    \
+             penny_bench::conformance::check_site(\"{abbr}\", \
+             penny_bench::SchemeId::{token}, &inj)\n        \
+             .expect(\"fault site must recover to fault-free memory\");\n\
+         }}\n",
+        name = abbr.to_lowercase(),
+        scheme_lc = token.to_lowercase(),
+        block = inj.block,
+        warp = inj.warp,
+        lane = inj.lane,
+        reg = inj.reg,
+        bit = inj.bit,
+        trig = inj.after_warp_insts,
+    )
+}
+
+/// Re-runs one fault site (the entry point generated reproducers call).
+///
+/// # Errors
+///
+/// Returns the mismatch/simulator-error description when the site does
+/// not recover to the fault-free final memory.
+pub fn check_site(abbr: &str, scheme: SchemeId, inj: &Injection) -> Result<(), String> {
+    let p = prepare(abbr, scheme);
+    run_site(&p, inj)
+}
+
+/// Runs the conformance harness for one (workload, scheme) pair with a
+/// site budget. Sites run in parallel under [`crate::parallel::jobs`];
+/// results are deterministic for any job count.
+pub fn run_conformance(abbr: &str, scheme: SchemeId, budget: u64) -> ConformanceReport {
+    let p = prepare(abbr, scheme);
+    let workload = p.workload.abbr;
+    let total = p.space.total();
+    let sites = p.space.sample(budget);
+    let covered = sites.len() as u64;
+
+    let outcomes = parallel_map(&sites, |&index| {
+        let inj = p.space.site(index);
+        run_site(&p, &inj).err().map(|reason| (inj, reason))
+    });
+
+    let mut failures = Vec::new();
+    for (inj, reason) in outcomes.into_iter().flatten() {
+        let shrunk = shrink_injection(inj, &|cand| run_site(&p, cand).is_err());
+        let reproducer = render_reproducer(workload, scheme, &shrunk);
+        failures.push(ConformanceFailure { injection: shrunk, reason, reproducer });
+    }
+
+    ConformanceReport {
+        workload,
+        variant: scheme.name(),
+        space: p.space,
+        total,
+        covered,
+        skipped: total - covered,
+        recovered: covered - failures.len() as u64,
+        failures,
+    }
+}
+
+/// Renders a report block: coverage counts plus any reproducers.
+pub fn render_report(r: &ConformanceReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:<18} total {:>12}  covered {:>6}  skipped {:>12}  recovered {:>6}  \
+         failures {:>3}",
+        r.workload,
+        r.variant,
+        r.total,
+        r.covered,
+        r.skipped,
+        r.recovered,
+        r.failures.len()
+    );
+    for f in &r.failures {
+        let _ = writeln!(out, "  FAIL {:?}: {}", f.injection, f.reason);
+        let _ = writeln!(out, "{}", f.reproducer);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPACE: FaultSpace =
+        FaultSpace { blocks: 2, warps: 3, lanes: 4, triggers: 5, regs: 6, bits: 7 };
+
+    #[test]
+    fn site_decoding_is_a_bijection() {
+        let total = SPACE.total();
+        assert_eq!(total, 2 * 3 * 4 * 5 * 6 * 7);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..total {
+            let inj = SPACE.site(i);
+            assert!(inj.block < 2 && inj.warp < 3 && inj.lane < 4);
+            assert!((1..=5).contains(&inj.after_warp_insts));
+            assert!(inj.reg < 6 && inj.bit < 7);
+            assert!(seen.insert((
+                inj.block,
+                inj.warp,
+                inj.lane,
+                inj.after_warp_insts,
+                inj.reg,
+                inj.bit
+            )));
+        }
+        assert_eq!(seen.len() as u64, total);
+    }
+
+    #[test]
+    fn sample_is_exhaustive_within_budget() {
+        let total = SPACE.total();
+        let sites = SPACE.sample(total + 10);
+        assert_eq!(sites.len() as u64, total);
+        assert_eq!(sites, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_above_budget_is_distinct_and_stratified() {
+        let budget = 100;
+        let sites = SPACE.sample(budget);
+        assert_eq!(sites.len() as u64, budget);
+        let mut uniq = sites.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len() as u64, budget, "stride must not repeat sites");
+        // Every stratum of the coarse digits is touched.
+        let injs: Vec<Injection> = sites.iter().map(|&i| SPACE.site(i)).collect();
+        for b in 0..2 {
+            assert!(injs.iter().any(|i| i.block == b), "block {b} missed");
+        }
+        for w in 0..3 {
+            assert!(injs.iter().any(|i| i.warp == w), "warp {w} missed");
+        }
+        for bit in 0..7 {
+            assert!(injs.iter().any(|i| i.bit == bit), "bit {bit} missed");
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_the_minimal_failing_site() {
+        // Synthetic predicate: fails whenever reg >= 3 and trigger >= 4.
+        let fails = |i: &Injection| i.reg >= 3 && i.after_warp_insts >= 4;
+        let start = Injection {
+            block: 1,
+            warp: 2,
+            lane: 17,
+            reg: 9,
+            bit: 30,
+            after_warp_insts: 40,
+        };
+        assert!(fails(&start));
+        let s = shrink_injection(start, &fails);
+        assert!(fails(&s));
+        assert_eq!(s.reg, 3);
+        assert_eq!(s.after_warp_insts, 4);
+        assert_eq!(s.block, 0);
+        assert_eq!(s.warp, 0);
+        assert_eq!(s.lane, 0);
+        assert_eq!(s.bit, 0);
+    }
+
+    #[test]
+    fn reproducer_is_a_pasteable_test() {
+        let inj =
+            Injection { block: 0, warp: 1, lane: 2, reg: 3, bit: 4, after_warp_insts: 5 };
+        let s = render_reproducer("MT", SchemeId::Penny, &inj);
+        assert!(s.contains("#[test]"));
+        assert!(s.contains("fn conformance_regression_mt_penny()"));
+        assert!(s.contains("after_warp_insts: 5"));
+        assert!(s.contains("SchemeId::Penny"));
+        assert!(s.contains("check_site(\"MT\""));
+    }
+}

@@ -69,7 +69,11 @@ fn overhead_series(
 /// Figure 9: normalized fault-free execution time of iGPU, Bolt/Global,
 /// Bolt/Auto_storage and Penny on the Fermi-class machine.
 pub fn fig9() -> Figure {
-    fig_performance("Figure 9: fault-free execution time (Fermi)", &GpuConfig::fermi(), &all())
+    fig_performance(
+        "Figure 9: fault-free execution time (Fermi)",
+        &GpuConfig::fermi(),
+        &all(),
+    )
 }
 
 /// Figure 15: the same comparison on the Volta-class machine, over the
@@ -81,13 +85,19 @@ pub fn fig15() -> Figure {
     ];
     let ws: Vec<Workload> =
         all().into_iter().filter(|w| subset.contains(&w.abbr)).collect();
-    fig_performance("Figure 15: fault-free execution time (Volta)", &GpuConfig::volta(), &ws)
+    fig_performance(
+        "Figure 15: fault-free execution time (Volta)",
+        &GpuConfig::volta(),
+        &ws,
+    )
 }
 
 fn fig_performance(title: &str, gpu: &GpuConfig, ws: &[Workload]) -> Figure {
     let series = vec![
         overhead_series("iGPU", gpu, ws, |w| run_scheme(w, SchemeId::IGpu, gpu)),
-        overhead_series("Bolt/Global", gpu, ws, |w| run_scheme(w, SchemeId::BoltGlobal, gpu)),
+        overhead_series("Bolt/Global", gpu, ws, |w| {
+            run_scheme(w, SchemeId::BoltGlobal, gpu)
+        }),
         overhead_series("Bolt/Auto_storage", gpu, ws, |w| {
             run_scheme(w, SchemeId::BoltAuto, gpu)
         }),
@@ -111,7 +121,8 @@ pub fn fig10() -> Figure {
     let auto_storage = PennyConfig { storage: StoragePolicy::Auto, ..no_opt.clone() };
     let bcp = PennyConfig { bcp: true, ..auto_storage.clone() };
     let pruning = PennyConfig { pruning: PruningMode::Optimal, ..bcp.clone() };
-    let low = PennyConfig { low_opts: true, overwrite: OverwritePolicy::Auto, ..pruning.clone() };
+    let low =
+        PennyConfig { low_opts: true, overwrite: OverwritePolicy::Auto, ..pruning.clone() };
     let bars: Vec<(&str, PennyConfig)> = vec![
         ("No_opt", no_opt),
         ("+Auto_storage", auto_storage),

@@ -19,6 +19,7 @@
 pub mod ablation;
 pub mod cache;
 pub mod campaign;
+pub mod conformance;
 pub mod figures;
 pub mod parallel;
 pub mod report;
@@ -26,6 +27,7 @@ pub mod runner;
 
 pub use ablation::{ablation, cost_base_sensitivity, render_ablation, AblationRow};
 pub use campaign::{edc_campaign, multibit_sweep, CampaignResult};
+pub use conformance::{run_conformance, ConformanceFailure, ConformanceReport, FaultSpace};
 pub use figures::{Figure, PruneBreakdown, Series};
 pub use parallel::{jobs, parallel_map, set_jobs};
 pub use runner::{gmean, run_scheme, run_workload, Measured, SchemeId};

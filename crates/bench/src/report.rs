@@ -78,7 +78,8 @@ pub fn render_table2() -> String {
         "{:<10} {:>8} {:>10} {:>10} {:>10}",
         "scheme", "area%", "latency%", "energy%", "leakage%"
     );
-    for scheme in [Scheme::Parity, Scheme::Hamming, Scheme::Secded, Scheme::Dected, Scheme::Tecqed]
+    for scheme in
+        [Scheme::Parity, Scheme::Hamming, Scheme::Secded, Scheme::Dected, Scheme::Tecqed]
     {
         let c = HwCost::synthesized(scheme);
         let _ = writeln!(
@@ -108,7 +109,8 @@ pub fn render_table3() -> String {
 /// Renders figure 12's stacked breakdown as a table.
 pub fn render_fig12(rows: &[PruneBreakdown]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "\n== Figure 12: checkpoints removed by basic/optimal pruning ==");
+    let _ =
+        writeln!(out, "\n== Figure 12: checkpoints removed by basic/optimal pruning ==");
     let _ = writeln!(
         out,
         "{:<8} {:>6} {:>10} {:>12} {:>11}",

@@ -1,0 +1,102 @@
+//! Fault-space conformance: every covered fault site must recover to
+//! the fault-free final memory under each protected scheme.
+//!
+//! Run with `cargo test -q -p penny-bench conformance`. Budgets are
+//! deliberately small so the suite stays fast; the full-coverage runs
+//! recorded in `EXPERIMENTS.md` use larger budgets in release mode.
+
+use penny_bench::conformance::{render_report, run_conformance};
+use penny_bench::SchemeId;
+
+/// Asserts a clean report and returns it (printing coverage counts so
+/// `--nocapture` shows the per-workload totals the harness contract
+/// requires).
+fn assert_clean(abbr: &str, scheme: SchemeId, budget: u64) {
+    let r = run_conformance(abbr, scheme, budget);
+    print!("{}", render_report(&r));
+    assert!(r.total > 0, "{abbr}/{}: empty fault space", r.variant);
+    assert_eq!(r.covered + r.skipped, r.total, "coverage accounting");
+    assert!(r.covered > 0 && r.covered <= budget.max(r.total));
+    assert!(
+        r.failures.is_empty(),
+        "{abbr}/{}: {} fault sites failed to recover; first reproducer:\n{}",
+        r.variant,
+        r.failures.len(),
+        r.failures[0].reproducer
+    );
+    assert_eq!(r.recovered, r.covered);
+}
+
+#[test]
+fn conformance_mt_recovers_under_all_protected_schemes() {
+    for scheme in
+        [SchemeId::Penny, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::IGpu]
+    {
+        assert_clean("MT", scheme, 300);
+    }
+}
+
+#[test]
+fn conformance_spmv_penny_and_bolt() {
+    for scheme in [SchemeId::Penny, SchemeId::BoltGlobal, SchemeId::BoltAuto] {
+        assert_clean("SPMV", scheme, 150);
+    }
+}
+
+#[test]
+fn conformance_sgemm_penny() {
+    assert_clean("SGEMM", SchemeId::Penny, 100);
+}
+
+#[test]
+fn conformance_bfs_penny_and_bolt() {
+    for scheme in [SchemeId::Penny, SchemeId::BoltGlobal] {
+        assert_clean("BFS", scheme, 150);
+    }
+}
+
+#[test]
+fn conformance_detects_corruption_on_unprotected_baseline() {
+    // Negative control: with an unprotected RF the same fault space must
+    // produce silent corruptions, and each failure must carry a shrunk,
+    // pasteable reproducer — proving the harness can actually fail.
+    let r = run_conformance("MT", SchemeId::Baseline, 300);
+    assert!(
+        !r.failures.is_empty(),
+        "300 unprotected fault sites produced no corruption — harness is blind"
+    );
+    assert_eq!(r.recovered + r.failures.len() as u64, r.covered);
+    for f in &r.failures {
+        assert!(f.reproducer.contains("#[test]"), "{}", f.reproducer);
+        assert!(f.reproducer.contains("SchemeId::Baseline"), "{}", f.reproducer);
+        // The shrunk injection still fails when re-run through the
+        // public entry point the reproducer uses.
+        penny_bench::conformance::check_site("MT", SchemeId::Baseline, &f.injection)
+            .expect_err("shrunk reproducer must still fail");
+    }
+}
+
+#[test]
+fn conformance_reports_skip_count_when_budgeted() {
+    let r = run_conformance("MT", SchemeId::Penny, 4);
+    assert_eq!(r.covered, 4);
+    assert_eq!(r.skipped, r.total - 4);
+}
+
+/// The deep sweep recorded in `EXPERIMENTS.md`: all four stock workloads
+/// under every protected scheme at a 2000-site budget. Run it with
+///
+/// ```text
+/// cargo test --release -p penny-bench --test conformance -- --ignored --nocapture
+/// ```
+#[test]
+#[ignore = "deep sweep; run explicitly in release mode"]
+fn conformance_deep_sweep() {
+    for abbr in ["MT", "SPMV", "SGEMM", "BFS"] {
+        for scheme in
+            [SchemeId::Penny, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::IGpu]
+        {
+            assert_clean(abbr, scheme, 2000);
+        }
+    }
+}

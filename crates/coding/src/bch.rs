@@ -116,8 +116,8 @@ impl Bch {
         // Map the shortened word back to polynomial form: our bit i of
         // `base` is data/check bit i; polynomial coefficient of x^i.
         let syndromes = self.syndromes(base);
-        let parity_ok = !self.extended
-            || (base.count_ones() as u64 + stored_parity).is_multiple_of(2);
+        let parity_ok =
+            !self.extended || (base.count_ones() as u64 + stored_parity).is_multiple_of(2);
         if syndromes.iter().all(|&s| s == 0) {
             if parity_ok {
                 return Decode::Clean((base >> self.r) as u32);
@@ -382,7 +382,9 @@ mod tests {
         let w = code.encode(data);
         for a in 0..code.n() {
             for b in (a + 1)..code.n() {
-                if let Decode::Clean(_) = code.decode(flip(w, &[a, b])) { panic!("2-bit error at ({a},{b}) undetected") }
+                if let Decode::Clean(_) = code.decode(flip(w, &[a, b])) {
+                    panic!("2-bit error at ({a},{b}) undetected")
+                }
             }
         }
     }

@@ -189,11 +189,8 @@ mod tests {
     fn model_tracks_synthesized_points() {
         // The interpolation should land within ~20% relative error of
         // the synthesized data for the schemes we know.
-        let checks = [
-            (Scheme::Parity, 33, 0),
-            (Scheme::Hamming, 38, 1),
-            (Scheme::Secded, 39, 1),
-        ];
+        let checks =
+            [(Scheme::Parity, 33, 0), (Scheme::Hamming, 38, 1), (Scheme::Secded, 39, 1)];
         for (scheme, n, t) in checks {
             let syn = HwCost::synthesized(scheme);
             let mdl = HwCost::model(n, 32, t);

@@ -105,3 +105,26 @@ proptest! {
         prop_assert!(a.leakage_pct < b.leakage_pct);
     }
 }
+
+/// Pinned from a proptest-regressions seed (`data = 0, seed =
+/// 5407963000620495022, t = 3, flips = 3`): a t=3 BCH decode of the
+/// all-zero codeword at its full correction capability, which once
+/// miscounted the flipped bits. Kept as a named test so the case
+/// survives regression-file cleanups.
+#[test]
+fn regression_bch_t3_full_capability_on_zero_word() {
+    let code = Bch::new(3, true);
+    let n = code.n();
+    let mut w = code.encode(0);
+    let bits = distinct_bits(n, 3, 5407963000620495022);
+    for &b in &bits {
+        w ^= 1u64 << b;
+    }
+    match code.decode(w) {
+        Decode::Corrected { data, flipped } => {
+            assert_eq!(data, 0);
+            assert_eq!(flipped, 3, "all three flips must be counted");
+        }
+        other => panic!("t=3, flips=3 (bits {bits:?}) must correct, got {other:?}"),
+    }
+}

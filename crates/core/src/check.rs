@@ -1,0 +1,503 @@
+//! Static protection-invariant validator.
+//!
+//! Penny's recovery guarantee (paper Appendix A) rests on four compiler
+//! invariants. Nothing about a corrupted-output assert ten thousand
+//! cycles into a simulation names the pass that broke it; this module
+//! machine-checks each invariant right where it must hold and fails
+//! compilation with a *named* diagnostic instead:
+//!
+//! 1. **Region idempotence** — no memory anti-dependence (load followed
+//!    by a may-aliasing store) inside any region, so re-executing the
+//!    region from its entry recomputes exactly the same state.
+//! 2. **Checkpoint coverage** — on *every* path into a region, each of
+//!    its live-in registers was checkpointed after its last definition,
+//!    so the slot recovery reads holds the region-entry value.
+//! 3. **Slot consistency** — every live-in sits in one well-defined
+//!    checkpoint slot (all paths agree on the color), and no checkpoint
+//!    executed inside a consuming region writes that same slot before
+//!    recovery could read it (the figure-4/figure-5 overwrite hazard,
+//!    adjustment blocks included).
+//! 4. **Pruning soundness** — every checkpoint removed by pruning is
+//!    redundant per the PDDG ϕV/ϕI/ϕU rules: a recovery slice can be
+//!    built for each consumer region under the final commit/prune
+//!    decisions.
+//!
+//! Invariants 1–3 are checked on the instrumented kernel (all
+//! checkpoints still present, before pruning); invariant 4 on the final
+//! pruning decisions. [`crate::compile`] runs both behind
+//! [`crate::PennyConfig::validate`].
+
+use std::collections::{HashMap, HashSet};
+
+use penny_analysis::{AliasAnalysis, AliasOptions, ControlDeps, Liveness, ReachingDefs};
+use penny_ir::{Color, InstId, Kernel, Loc, RegionId, VReg};
+
+use crate::checkpoint::region_live_ins;
+use crate::meta::SlotRef;
+use crate::pruning::slice_builder::{
+    reaching_checkpoints, Assume, BuildResult, SliceBuilder,
+};
+use crate::regionmap::RegionMap;
+
+/// The protection invariant a violation names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// No memory anti-dependence inside any region.
+    RegionIdempotence,
+    /// Every region live-in checkpointed after its last definition on
+    /// every path into the region.
+    CheckpointCoverage,
+    /// Live-in checkpoint slots are unambiguous and never clobbered
+    /// inside a consuming region.
+    SlotConsistency,
+    /// Every pruned checkpoint is redundant (a recovery slice exists).
+    PruningSoundness,
+}
+
+impl Invariant {
+    /// Stable diagnostic name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::RegionIdempotence => "region-idempotence",
+            Invariant::CheckpointCoverage => "checkpoint-coverage",
+            Invariant::SlotConsistency => "slot-consistency",
+            Invariant::PruningSoundness => "pruning-soundness",
+        }
+    }
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One named invariant violation with a precise diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant broke.
+    pub invariant: Invariant,
+    /// What broke, where.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+fn violation(invariant: Invariant, detail: String) -> InvariantViolation {
+    InvariantViolation { invariant, detail }
+}
+
+/// Checks invariants 1–3 on an instrumented kernel: region markers and
+/// checkpoint pseudo-ops present, pruning not yet applied.
+///
+/// # Errors
+///
+/// Returns the first violation found, named after its invariant.
+pub fn check_instrumented(
+    kernel: &Kernel,
+    rm: &RegionMap,
+    alias: AliasOptions,
+) -> Result<(), InvariantViolation> {
+    check_idempotence(kernel, alias)?;
+    let lv = Liveness::compute(kernel);
+    let live_ins = region_live_ins(kernel, rm, &lv);
+    check_coverage(kernel, rm, &live_ins)?;
+    check_slot_consistency(kernel, rm, &live_ins)?;
+    Ok(())
+}
+
+/// Invariant 1: no load→store memory anti-dependence without an
+/// intervening region boundary.
+///
+/// # Errors
+///
+/// Names the endangered store and the load it would clobber.
+pub fn check_idempotence(
+    kernel: &Kernel,
+    alias: AliasOptions,
+) -> Result<(), InvariantViolation> {
+    let aa = AliasAnalysis::compute(kernel, alias);
+    // "Active loads" forward dataflow: loads executed since the last
+    // region boundary (union over paths — any path exposes the hazard).
+    let load_ids: Vec<InstId> =
+        kernel.locs().filter(|(_, i)| i.op.reads_memory()).map(|(_, i)| i.id).collect();
+    let index_of: HashMap<InstId, usize> =
+        load_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let n = kernel.num_blocks();
+    let mut in_sets: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    let order = kernel.reverse_post_order();
+    let preds = kernel.predecessors();
+    let transfer = |b: penny_ir::BlockId, s: &mut HashSet<usize>| {
+        for inst in &kernel.block(b).insts {
+            if inst.region_entry().is_some() {
+                s.clear();
+            }
+            if inst.op.reads_memory() {
+                s.insert(index_of[&inst.id]);
+            }
+        }
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let mut state = HashSet::new();
+            for &p in &preds[b.index()] {
+                let mut s = in_sets[p.index()].clone();
+                transfer(p, &mut s);
+                state.extend(s);
+            }
+            if state != in_sets[b.index()] {
+                in_sets[b.index()] = state;
+                changed = true;
+            }
+        }
+    }
+    // Walk each block and test every store against the active loads.
+    for b in kernel.block_ids() {
+        let mut active = in_sets[b.index()].clone();
+        for (idx, inst) in kernel.block(b).insts.iter().enumerate() {
+            if inst.region_entry().is_some() {
+                active.clear();
+            }
+            if inst.op.writes_memory() {
+                if let Some(write) = aa.access(inst.id) {
+                    for &li in &active {
+                        let load = load_ids[li];
+                        if let Some(read) = aa.access(load) {
+                            if aa.may_antidep(read, write) {
+                                let load_loc = kernel
+                                    .find_inst(load)
+                                    .map(|l| format!("{l:?}"))
+                                    .unwrap_or_else(|| "<gone>".into());
+                                return Err(violation(
+                                    Invariant::RegionIdempotence,
+                                    format!(
+                                        "store `{}` at {:?} may overwrite memory read by \
+                                         load at {} in the same region; re-execution \
+                                         would not be idempotent",
+                                        inst.op.mnemonic(),
+                                        Loc { block: b, idx },
+                                        load_loc,
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            if inst.op.reads_memory() {
+                active.insert(index_of[&inst.id]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-register checkpoint-freshness state for invariant 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Fresh {
+    /// Neither defined nor checkpointed yet on this path.
+    Undef,
+    /// Last definition on this path is followed by a checkpoint.
+    Ckpted,
+    /// Defined after the last checkpoint: the slot is stale.
+    Stale,
+}
+
+/// Invariant 2: on every path into a region, each live-in was
+/// checkpointed *after its last definition* — the slot recovery would
+/// read holds the region-entry value.
+///
+/// # Errors
+///
+/// Names the region and register whose slot can be stale.
+pub fn check_coverage(
+    kernel: &Kernel,
+    rm: &RegionMap,
+    live_ins: &[Vec<VReg>],
+) -> Result<(), InvariantViolation> {
+    let nregs = kernel.vreg_limit() as usize;
+    let n = kernel.num_blocks();
+    // Forward must-dataflow; merge = elementwise max, so one stale path
+    // poisons the join (`Stale` is the top of the per-register lattice).
+    let transfer = |b: penny_ir::BlockId, st: &mut Vec<Fresh>| {
+        for inst in &kernel.block(b).insts {
+            if inst.is_ckpt() {
+                st[inst.ckpt_reg().index()] = Fresh::Ckpted;
+            } else if let Some(d) = inst.def() {
+                // A guarded definition still overwrites on its taken
+                // lanes, so it staledates the slot like any other.
+                st[d.index()] = Fresh::Stale;
+            }
+        }
+    };
+    let mut in_states: Vec<Vec<Fresh>> = vec![vec![Fresh::Undef; nregs]; n];
+    let order = kernel.reverse_post_order();
+    let preds = kernel.predecessors();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let mut state = vec![Fresh::Undef; nregs];
+            for &p in &preds[b.index()] {
+                let mut s = in_states[p.index()].clone();
+                transfer(p, &mut s);
+                for i in 0..nregs {
+                    state[i] = state[i].max(s[i]);
+                }
+            }
+            if state != in_states[b.index()] {
+                in_states[b.index()] = state;
+                changed = true;
+            }
+        }
+    }
+    for &(region, loc, _) in rm.markers() {
+        let mut st = in_states[loc.block.index()].clone();
+        for inst in &kernel.block(loc.block).insts[..loc.idx] {
+            if inst.is_ckpt() {
+                st[inst.ckpt_reg().index()] = Fresh::Ckpted;
+            } else if let Some(d) = inst.def() {
+                st[d.index()] = Fresh::Stale;
+            }
+        }
+        for &reg in &live_ins[region.index()] {
+            if st[reg.index()] == Fresh::Stale {
+                return Err(violation(
+                    Invariant::CheckpointCoverage,
+                    format!(
+                        "live-in {reg} of {region} reaches the region entry at {loc:?} \
+                         with no checkpoint after its last definition on some path; \
+                         recovery would restore a stale value"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-register slot state for invariant 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// No checkpoint executed yet on this path.
+    None,
+    /// Latest checkpoint wrote this slot.
+    One(Color),
+    /// Paths disagree.
+    Conflict,
+}
+
+impl Slot {
+    fn merge(self, other: Slot) -> Slot {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Slot::None, x) | (x, Slot::None) => x,
+            _ => Slot::Conflict,
+        }
+    }
+}
+
+/// Invariant 3: every live-in has one well-defined checkpoint slot at
+/// its region entry, and no checkpoint inside a consuming region writes
+/// that slot before recovery could read it.
+///
+/// # Errors
+///
+/// Names the ambiguous live-in or the clobbering checkpoint.
+pub fn check_slot_consistency(
+    kernel: &Kernel,
+    rm: &RegionMap,
+    live_ins: &[Vec<VReg>],
+) -> Result<(), InvariantViolation> {
+    let nregs = kernel.vreg_limit() as usize;
+    let n = kernel.num_blocks();
+    let transfer = |b: penny_ir::BlockId, st: &mut Vec<Slot>| {
+        for inst in &kernel.block(b).insts {
+            if inst.is_ckpt() {
+                if let Some(c) = inst.ckpt_color() {
+                    st[inst.ckpt_reg().index()] = Slot::One(c);
+                }
+            }
+        }
+    };
+    let mut in_states: Vec<Option<Vec<Slot>>> = vec![None; n];
+    in_states[kernel.entry.index()] = Some(vec![Slot::None; nregs]);
+    let order = kernel.reverse_post_order();
+    let preds = kernel.predecessors();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let mut state: Option<Vec<Slot>> =
+                if b == kernel.entry { Some(vec![Slot::None; nregs]) } else { None };
+            for &p in &preds[b.index()] {
+                let Some(pin) = in_states[p.index()].clone() else { continue };
+                let mut pout = pin;
+                transfer(p, &mut pout);
+                state = Some(match state {
+                    None => pout,
+                    Some(s) => s.iter().zip(&pout).map(|(&a, &b)| a.merge(b)).collect(),
+                });
+            }
+            if state != in_states[b.index()] {
+                in_states[b.index()] = state;
+                changed = true;
+            }
+        }
+    }
+    // Slot of each live-in at its region entry.
+    let mut restore_slot: HashMap<(RegionId, VReg), Color> = HashMap::new();
+    for &(region, loc, _) in rm.markers() {
+        let Some(mut st) = in_states[loc.block.index()].clone() else { continue };
+        for inst in &kernel.block(loc.block).insts[..loc.idx] {
+            if inst.is_ckpt() {
+                if let Some(c) = inst.ckpt_color() {
+                    st[inst.ckpt_reg().index()] = Slot::One(c);
+                }
+            }
+        }
+        for &reg in &live_ins[region.index()] {
+            match st[reg.index()] {
+                Slot::Conflict => {
+                    return Err(violation(
+                        Invariant::SlotConsistency,
+                        format!(
+                            "live-in {reg} of {region} has no consistent checkpoint \
+                             slot at {loc:?}: paths reach the region entry with its \
+                             value in different slots"
+                        ),
+                    ));
+                }
+                Slot::One(c) => {
+                    restore_slot.insert((region, reg), c);
+                }
+                // No checkpoint reaches the marker: either the register
+                // is never defined on that path (benign) or invariant 2
+                // already reported staleness.
+                Slot::None => {}
+            }
+        }
+    }
+    // No checkpoint inside a consuming region may write the slot that
+    // still holds the region's live-in (figure 4/5; this is exactly the
+    // constraint overwrite prevention must discharge — adjustment-block
+    // dummy checkpoints are instructions like any other here).
+    let table = rm.by_inst(kernel);
+    for (loc, id, reg) in kernel.checkpoints() {
+        let Some(color) = kernel.inst_at(loc).ckpt_color() else { continue };
+        for region in table.get(&id).into_iter().flatten() {
+            if !live_ins[region.index()].contains(&reg) {
+                continue;
+            }
+            if restore_slot.get(&(*region, reg)) == Some(&color) {
+                return Err(violation(
+                    Invariant::SlotConsistency,
+                    format!(
+                        "checkpoint of {reg} at {loc:?} writes slot {color:?} while \
+                         executing inside {region}, whose live-in {reg} must remain \
+                         readable from {color:?} until recovery; the checkpoint \
+                         clobbers its own restore source"
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 4: every checkpoint absent from `committed` is redundant —
+/// for each region that would have consumed it, a recovery slice can be
+/// built under the final decisions (the PDDG ϕV verdict; ϕI or a
+/// dangling ϕU here means the pruner removed a load-bearing checkpoint).
+///
+/// # Errors
+///
+/// Names the pruned checkpoint and the consumer region left without a
+/// restore path.
+pub fn check_pruning(
+    kernel: &Kernel,
+    rm: &RegionMap,
+    committed: &HashSet<InstId>,
+) -> Result<(), InvariantViolation> {
+    let rd = ReachingDefs::compute(kernel);
+    let aa = AliasAnalysis::compute(kernel, AliasOptions::default());
+    let cd = ControlDeps::compute(kernel);
+    let lv = Liveness::compute(kernel);
+    let live_ins = region_live_ins(kernel, rm, &lv);
+    let reach_cp = reaching_checkpoints(kernel, rm);
+    let region_of = rm.by_inst(kernel);
+    let provisional = crate::pruning::provisional_slots(kernel);
+    let slot_fn = |reg: VReg, color: Color| -> SlotRef {
+        provisional
+            .get(&(reg, color.index()))
+            .copied()
+            .unwrap_or(SlotRef { space: penny_ir::MemSpace::Global, index: u32::MAX })
+    };
+    let assume_fn = |id: InstId| {
+        if committed.contains(&id) {
+            Assume::Committed
+        } else {
+            Assume::Pruned
+        }
+    };
+    let builder = SliceBuilder::new(
+        kernel, &rd, &aa, &cd, rm, &slot_fn, &assume_fn, &reach_cp, &region_of,
+    );
+    for (_, id, reg) in kernel.checkpoints() {
+        if committed.contains(&id) {
+            continue;
+        }
+        // Consumer regions: live-in of the register, reached by this
+        // checkpoint's value.
+        for &(region, marker_loc, _) in rm.markers() {
+            if !live_ins[region.index()].contains(&reg) {
+                continue;
+            }
+            let reaches =
+                reach_cp.get(&(region, reg)).map(|set| set.contains(&id)).unwrap_or(false);
+            if !reaches {
+                continue;
+            }
+            // If every other reaching checkpoint is committed the slot
+            // itself still serves the restore only when *all* reaching
+            // checkpoints are committed — one pruned member forces a
+            // slice (mirrors `build_restores`).
+            let all_committed = reach_cp
+                .get(&(region, reg))
+                .map(|set| set.iter().all(|i| committed.contains(i)))
+                .unwrap_or(false);
+            if all_committed {
+                continue;
+            }
+            match builder.build(reg, marker_loc, &[region], &HashSet::new()) {
+                BuildResult::Built(_) => {}
+                other => {
+                    let kind = match other {
+                        BuildResult::Invalid => "not reconstructible (ϕI)",
+                        BuildResult::Undecided(_) => {
+                            "left with unresolved decision dependences (ϕU)"
+                        }
+                        BuildResult::Built(_) => unreachable!(),
+                    };
+                    return Err(violation(
+                        Invariant::PruningSoundness,
+                        format!(
+                            "checkpoint {id:?} of {reg} was pruned, but live-in {reg} \
+                             of consumer {region} is {kind}: no recovery slice exists \
+                             under the final commit/prune decisions"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -155,7 +155,7 @@ pub fn insert_checkpoints(kernel: &mut Kernel, placements: &[Placement]) -> Vec<
                     .find(|(_, i)| i.region_entry() == Some(region))
                     .map(|(l, i)| (l, i.id))
                     .expect("marker present");
-                
+
                 kernel.find_inst(marker).expect("marker loc")
             }
         };

@@ -4,9 +4,7 @@
 
 use std::collections::HashMap;
 
-use penny_ir::{
-    Color, InstId, Kernel, Loc, MemSpace, Op, Operand, Special, Type, VReg,
-};
+use penny_ir::{Color, InstId, Kernel, Loc, MemSpace, Op, Operand, Special, Type, VReg};
 
 use crate::config::LaunchDims;
 use crate::meta::{SetupValue, SlotRef, GLOBAL_CKPT_BASE};
@@ -58,11 +56,8 @@ pub fn lower_checkpoints(
     if low_opts {
         local_schedule(kernel);
     }
-    let cp_ids: Vec<InstId> = kernel
-        .locs()
-        .filter(|(_, i)| i.is_ckpt())
-        .map(|(_, i)| i.id)
-        .collect();
+    let cp_ids: Vec<InstId> =
+        kernel.locs().filter(|(_, i)| i.is_ckpt()).map(|(_, i)| i.id).collect();
     if cp_ids.is_empty() {
         return lowered;
     }
@@ -73,9 +68,10 @@ pub fn lower_checkpoints(
         let loc = kernel.find_inst(id).expect("cp");
         let inst = kernel.inst_at(loc);
         let key = (inst.ckpt_reg(), inst.ckpt_color().unwrap_or(Color::K0).index());
-        let slot = slots.get(&key).copied().unwrap_or_else(|| {
-            panic!("committed checkpoint {key:?} has no slot")
-        });
+        let slot = slots
+            .get(&key)
+            .copied()
+            .unwrap_or_else(|| panic!("committed checkpoint {key:?} has no slot"));
         if !used_slots.contains(&slot) {
             used_slots.push(slot);
         }
@@ -201,7 +197,12 @@ fn emit_tid_flat4(
     seq: &mut Vec<penny_ir::Inst>,
 ) -> VReg {
     let tid = kernel.fresh_vreg();
-    seq.push(kernel.make_inst(Op::Mov, Type::U32, Some(tid), vec![Operand::Special(Special::TidX)]));
+    seq.push(kernel.make_inst(
+        Op::Mov,
+        Type::U32,
+        Some(tid),
+        vec![Operand::Special(Special::TidX)],
+    ));
     let flat = if launch.block.1 > 1 {
         let tidy = kernel.fresh_vreg();
         seq.push(kernel.make_inst(
@@ -351,10 +352,8 @@ mod tests {
         let launch = LaunchDims::linear(2, 64);
         let out = lower_checkpoints(&mut k, &one_slot(), 256, &launch, true);
         assert!(k.checkpoints().is_empty(), "pseudo-op must be gone");
-        let stores: Vec<_> = k
-            .locs()
-            .filter(|(_, i)| matches!(i.op, Op::St(MemSpace::Shared)))
-            .collect();
+        let stores: Vec<_> =
+            k.locs().filter(|(_, i)| matches!(i.op, Op::St(MemSpace::Shared))).collect();
         assert_eq!(stores.len(), 1);
         assert!(!out.setup.is_empty());
         penny_ir::validate(&k).expect("valid after lowering");
@@ -394,12 +393,8 @@ mod tests {
         // cp was at idx 2; it can sink past `mov %r1` and `add` but not
         // past the store?  It can sink past the store too (store doesn't
         // redefine %r0): lands at block end.
-        let cp_idx = k
-            .block(b)
-            .insts
-            .iter()
-            .position(|i| i.is_ckpt())
-            .expect("cp still present");
+        let cp_idx =
+            k.block(b).insts.iter().position(|i| i.is_ckpt()).expect("cp still present");
         assert_eq!(cp_idx, k.block(b).insts.len() - 1);
     }
 

@@ -126,7 +126,12 @@ impl MachineParams {
     /// Thread blocks resident per SM for the given per-block demands.
     ///
     /// Returns 0 when a block cannot fit at all.
-    pub fn blocks_per_sm(&self, threads_per_block: u32, regs_per_thread: u32, shared_per_block: u32) -> u32 {
+    pub fn blocks_per_sm(
+        &self,
+        threads_per_block: u32,
+        regs_per_thread: u32,
+        shared_per_block: u32,
+    ) -> u32 {
         if threads_per_block == 0 {
             return 0;
         }
@@ -147,9 +152,15 @@ impl MachineParams {
     }
 
     /// Occupancy (resident warps / max warps) for the given demands.
-    pub fn occupancy(&self, threads_per_block: u32, regs_per_thread: u32, shared_per_block: u32) -> f64 {
+    pub fn occupancy(
+        &self,
+        threads_per_block: u32,
+        regs_per_thread: u32,
+        shared_per_block: u32,
+    ) -> f64 {
         let warps_per_block = threads_per_block.div_ceil(self.warp_size);
-        let blocks = self.blocks_per_sm(threads_per_block, regs_per_thread, shared_per_block);
+        let blocks =
+            self.blocks_per_sm(threads_per_block, regs_per_thread, shared_per_block);
         (blocks * warps_per_block) as f64 / self.max_warps_per_sm as f64
     }
 }
@@ -208,6 +219,11 @@ pub struct PennyConfig {
     pub machine: MachineParams,
     /// Launch geometry.
     pub launch: LaunchDims,
+    /// Run the static protection-invariant validator ([`crate::check`])
+    /// on the instrumented kernel and the pruning decisions; a violation
+    /// fails compilation with [`crate::CompileError::Invariant`]. Debug
+    /// aid — off by default.
+    pub validate: bool,
 }
 
 impl PennyConfig {
@@ -222,6 +238,7 @@ impl PennyConfig {
             alias: AliasOptions::default(),
             machine: MachineParams::fermi(),
             launch: LaunchDims::linear(4, 128),
+            validate: false,
         }
     }
 
@@ -259,7 +276,11 @@ impl PennyConfig {
 
     /// Unprotected baseline.
     pub fn unprotected() -> PennyConfig {
-        PennyConfig { pruning: PruningMode::None, bcp: false, ..Self::base(Protection::None) }
+        PennyConfig {
+            pruning: PruningMode::None,
+            bcp: false,
+            ..Self::base(Protection::None)
+        }
     }
 
     /// Penny with every optimization disabled (figure 10's `No_opt`:
@@ -284,6 +305,12 @@ impl PennyConfig {
     /// Builder-style machine override.
     pub fn with_machine(mut self, machine: MachineParams) -> PennyConfig {
         self.machine = machine;
+        self
+    }
+
+    /// Builder-style validator toggle (see [`PennyConfig::validate`]).
+    pub fn with_validation(mut self, validate: bool) -> PennyConfig {
+        self.validate = validate;
         self
     }
 }

@@ -5,11 +5,16 @@ use std::fmt;
 
 use penny_ir::ValidateError;
 
+use crate::check::InvariantViolation;
+
 /// Errors produced by [`crate::compile`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
     /// The input (or instrumented output) kernel failed verification.
     Validate(ValidateError),
+    /// A protection invariant failed the static validator
+    /// ([`crate::check`], enabled by [`crate::PennyConfig::validate`]).
+    Invariant(InvariantViolation),
     /// A construct the compiler cannot handle safely.
     Unsupported(String),
     /// An internal invariant was violated (a bug).
@@ -20,6 +25,9 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Validate(e) => write!(f, "kernel validation failed: {e}"),
+            CompileError::Invariant(v) => {
+                write!(f, "protection invariant violated: {v}")
+            }
             CompileError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
             CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
         }
@@ -30,6 +38,7 @@ impl Error for CompileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CompileError::Validate(e) => Some(e),
+            CompileError::Invariant(v) => Some(v),
             _ => None,
         }
     }
@@ -38,6 +47,12 @@ impl Error for CompileError {
 impl From<ValidateError> for CompileError {
     fn from(e: ValidateError) -> CompileError {
         CompileError::Validate(e)
+    }
+}
+
+impl From<InvariantViolation> for CompileError {
+    fn from(v: InvariantViolation) -> CompileError {
+        CompileError::Invariant(v)
     }
 }
 

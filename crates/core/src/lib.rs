@@ -46,6 +46,7 @@
 //! ```
 
 pub mod baselines;
+pub mod check;
 pub mod checkpoint;
 pub mod codegen;
 pub mod config;
@@ -60,6 +61,7 @@ pub mod regionmap;
 pub mod regions;
 pub mod storage;
 
+pub use check::{Invariant, InvariantViolation};
 pub use config::{
     LaunchDims, MachineParams, OverwritePolicy, PennyConfig, Protection, PruningMode,
     StoragePolicy,

@@ -447,21 +447,19 @@ fn color_round(kernel: &Kernel, reg: VReg, constrained: &HashSet<InstId>) -> Col
     in_states[kernel.entry.index()] = Some(ColorState::bottom());
     let order = kernel.reverse_post_order();
     let preds = kernel.predecessors();
-    let pred_out = |p: BlockId, in_states: &[Option<ColorState>]| -> Option<Option<ColorState>> {
-        in_states[p.index()].map(|pin| {
-            let mut sink = HashMap::new();
-            transfer_colors(kernel, p, reg, pin, constrained, &mut sink)
-        })
-    };
+    let pred_out =
+        |p: BlockId, in_states: &[Option<ColorState>]| -> Option<Option<ColorState>> {
+            in_states[p.index()].map(|pin| {
+                let mut sink = HashMap::new();
+                transfer_colors(kernel, p, reg, pin, constrained, &mut sink)
+            })
+        };
     // Iterate to fixpoint; conflicts surface as differing pred states.
     for _ in 0..2 * n + 4 {
         let mut changed = false;
         for &b in &order {
-            let mut state: Option<ColorState> = if b == kernel.entry {
-                Some(ColorState::bottom())
-            } else {
-                None
-            };
+            let mut state: Option<ColorState> =
+                if b == kernel.entry { Some(ColorState::bottom()) } else { None };
             let mut conflict: Option<(BlockId, ColorState)> = None;
             for &p in &preds[b.index()] {
                 let Some(pout) = pred_out(p, &in_states) else { continue };
@@ -659,7 +657,9 @@ pub fn restore_colors(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checkpoint::{eager_placement, insert_checkpoints, lup_edges, region_live_ins};
+    use crate::checkpoint::{
+        eager_placement, insert_checkpoints, lup_edges, region_live_ins,
+    };
     use crate::regions::form_regions;
     use penny_analysis::AliasOptions;
     use penny_ir::parse_kernel;

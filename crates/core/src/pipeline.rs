@@ -4,9 +4,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use penny_analysis::{
-    AliasAnalysis, ControlDeps, Liveness, LoopInfo, ReachingDefs,
-};
+use penny_analysis::{AliasAnalysis, ControlDeps, Liveness, LoopInfo, ReachingDefs};
 use penny_ir::{Color, InstId, Kernel, VReg};
 
 use crate::baselines::apply_igpu_renaming;
@@ -18,7 +16,9 @@ use crate::config::{OverwritePolicy, PennyConfig, Protection};
 use crate::error::CompileError;
 use crate::meta::{CompileStats, Protected, RegionInfo, Restore, SlotRef};
 use crate::overwrite::{apply_alternation, apply_renaming, restore_colors};
-use crate::pruning::slice_builder::{reaching_checkpoints, Assume, BuildResult, SliceBuilder};
+use crate::pruning::slice_builder::{
+    reaching_checkpoints, Assume, BuildResult, SliceBuilder,
+};
 use crate::pruning::{prune, PruneOutcome};
 use crate::regalloc::register_pressure;
 use crate::regionmap::RegionMap;
@@ -42,7 +42,8 @@ pub fn compile(kernel: &Kernel, config: &PennyConfig) -> Result<Protected, Compi
                 // Paper §6.3: compile both ways, keep the cheaper. A
                 // variant that cannot protect every register (e.g.
                 // renaming on loop-carried registers) simply loses.
-                let renamed = compile_checkpointed(kernel, config, OverwritePolicy::Renaming);
+                let renamed =
+                    compile_checkpointed(kernel, config, OverwritePolicy::Renaming);
                 let colored =
                     compile_checkpointed(kernel, config, OverwritePolicy::Alternation);
                 match (renamed, colored) {
@@ -95,6 +96,13 @@ fn compile_igpu(kernel: &Kernel, config: &PennyConfig) -> Result<Protected, Comp
     let rm = RegionMap::compute(&k);
     let igpu = apply_igpu_renaming(&mut k, &rm);
     penny_ir::validate(&k).map_err(CompileError::Validate)?;
+    // Skipped loop-carried anti-dependences are a documented gap of the
+    // renaming transformation, so idempotence only holds when none were
+    // skipped.
+    if config.validate && igpu.skipped == 0 {
+        crate::check::check_idempotence(&k, config.alias)
+            .map_err(CompileError::Invariant)?;
+    }
     let regions = rm
         .markers()
         .iter()
@@ -204,6 +212,15 @@ fn compile_checkpointed(
     // Adjustment blocks change the CFG: recompute the region map view.
     let rm = RegionMap::compute(&k);
 
+    // ---- Static invariant validation (instrumented kernel). ----
+    // All checkpoints are still present here, so region idempotence,
+    // checkpoint coverage, and slot consistency must hold
+    // unconditionally.
+    if config.validate {
+        crate::check::check_instrumented(&k, &rm, config.alias)
+            .map_err(CompileError::Invariant)?;
+    }
+
     // ---- Pruning. ----
     // Provisional slot indices are a function of the checkpoint set, so
     // capture them *before* pruned checkpoints are removed — the same
@@ -217,6 +234,13 @@ fn compile_checkpointed(
     let (regions, forced) = build_restores(&k, &rm, &committed_set)?;
     for id in forced {
         committed_set.insert(id);
+    }
+    // ---- Static invariant validation (final pruning decisions). ----
+    // Checked after restore construction so the forced-commit safety net
+    // is part of what gets validated.
+    if config.validate {
+        crate::check::check_pruning(&k, &rm, &committed_set)
+            .map_err(CompileError::Invariant)?;
     }
     // Remove pruned checkpoints from the code.
     for (loc, id, _) in k.checkpoints().into_iter().rev() {
@@ -468,10 +492,8 @@ mod tests {
     fn igpu_adds_no_stores() {
         let k = parse_kernel(KERNEL).expect("parse");
         let p = compile(&k, &PennyConfig::igpu()).expect("compile");
-        let base_stores =
-            k.locs().filter(|(_, i)| i.op.writes_memory()).count();
-        let igpu_stores =
-            p.kernel.locs().filter(|(_, i)| i.op.writes_memory()).count();
+        let base_stores = k.locs().filter(|(_, i)| i.op.writes_memory()).count();
+        let igpu_stores = p.kernel.locs().filter(|(_, i)| i.op.writes_memory()).count();
         assert_eq!(base_stores, igpu_stores, "iGPU must not add stores");
     }
 

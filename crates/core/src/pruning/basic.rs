@@ -31,12 +31,8 @@ pub fn basic_prune(
     let mut accepted: Option<Vec<InstId>> = None;
     for _ in 0..trials {
         let density: f64 = rng.gen_range(0.1..0.9);
-        let subset: Vec<InstId> = opt
-            .checkpoints
-            .iter()
-            .copied()
-            .filter(|_| rng.gen_bool(density))
-            .collect();
+        let subset: Vec<InstId> =
+            opt.checkpoints.iter().copied().filter(|_| rng.gen_bool(density)).collect();
         if subset.is_empty() {
             continue;
         }

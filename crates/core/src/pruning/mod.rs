@@ -104,31 +104,29 @@ pub fn prune(kernel: &Kernel, rm: &RegionMap, mode: PruningMode) -> PruneOutcome
             if !live_ins[region.index()].contains(&reg) {
                 continue;
             }
-            if reach_cp
-                .get(&(region, reg))
-                .map(|set| set.contains(&id))
-                .unwrap_or(false)
-            {
+            if reach_cp.get(&(region, reg)).map(|set| set.contains(&id)).unwrap_or(false) {
                 cs.push(region);
             }
         }
         consumers.insert(id, cs);
     }
 
-    let run_with = |assume: &AssumeTable, f: &dyn Fn(&Optimizer<'_>, &AssumeTable) -> PruneDecisions| {
-        let assume_fn = |id: InstId| assume.get(id);
-        let builder = SliceBuilder::new(
-            kernel, &rd, &aa, &cd, rm, &slot_fn, &assume_fn, &reach_cp, &region_of,
-        );
-        let opt = Optimizer {
-            builder: &builder,
-            checkpoints: checkpoints.clone(),
-            consumers: consumers.clone(),
-            regs: regs.clone(),
-            costs: costs.clone(),
+    let run_with =
+        |assume: &AssumeTable,
+         f: &dyn Fn(&Optimizer<'_>, &AssumeTable) -> PruneDecisions| {
+            let assume_fn = |id: InstId| assume.get(id);
+            let builder = SliceBuilder::new(
+                kernel, &rd, &aa, &cd, rm, &slot_fn, &assume_fn, &reach_cp, &region_of,
+            );
+            let opt = Optimizer {
+                builder: &builder,
+                checkpoints: checkpoints.clone(),
+                consumers: consumers.clone(),
+                regs: regs.clone(),
+                costs: costs.clone(),
+            };
+            f(&opt, assume)
         };
-        f(&opt, assume)
-    };
 
     // Always compute both for the statistics.
     let basic_seed = match mode {
@@ -144,15 +142,15 @@ pub fn prune(kernel: &Kernel, rm: &RegionMap, mode: PruningMode) -> PruneOutcome
         basic::basic_prune(opt, kernel, assume, basic_seed, basic_trials)
     });
     let optimal_assume = AssumeTable::default();
-    let optimal_dec = run_with(&optimal_assume, &|opt, assume| optimal::run(opt, kernel, assume));
+    let optimal_dec =
+        run_with(&optimal_assume, &|opt, assume| optimal::run(opt, kernel, assume));
 
     let basic_pruned_count = basic_dec.pruned.len() as u32;
     let optimal_pruned_count = optimal_dec.pruned.len() as u32;
     let decisions = match mode {
-        PruningMode::None => PruneDecisions {
-            pruned: Vec::new(),
-            committed: checkpoints.clone(),
-        },
+        PruningMode::None => {
+            PruneDecisions { pruned: Vec::new(), committed: checkpoints.clone() }
+        }
         PruningMode::Basic { .. } => basic_dec,
         PruningMode::Optimal => optimal_dec,
     };
@@ -162,7 +160,9 @@ pub fn prune(kernel: &Kernel, rm: &RegionMap, mode: PruningMode) -> PruneOutcome
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checkpoint::{eager_placement, insert_checkpoints, lup_edges, region_live_ins};
+    use crate::checkpoint::{
+        eager_placement, insert_checkpoints, lup_edges, region_live_ins,
+    };
     use crate::regions::form_regions;
     use penny_analysis::AliasOptions;
     use penny_ir::parse_kernel;

@@ -73,11 +73,7 @@ impl AssumeTable {
 }
 
 /// Validates one checkpoint under current assumptions.
-fn validate(
-    opt: &Optimizer<'_>,
-    kernel: &Kernel,
-    cp: InstId,
-) -> BuildResult {
+fn validate(opt: &Optimizer<'_>, kernel: &Kernel, cp: InstId) -> BuildResult {
     let loc = kernel.find_inst(cp).expect("checkpoint present");
     let reg = opt.regs[&cp];
     let consumers = opt.consumers.get(&cp).cloned().unwrap_or_default();
@@ -175,7 +171,12 @@ pub fn run(opt: &Optimizer<'_>, kernel: &Kernel, assume: &AssumeTable) -> PruneD
 
 /// Brute-forces the joint assignment of an SCC's members, minimizing the
 /// total committed cost (paper §6.4.2).
-fn solve_scc(opt: &Optimizer<'_>, kernel: &Kernel, assume: &AssumeTable, members: &[InstId]) {
+fn solve_scc(
+    opt: &Optimizer<'_>,
+    kernel: &Kernel,
+    assume: &AssumeTable,
+    members: &[InstId],
+) {
     if members.len() > MAX_SCC {
         for &m in members {
             assume.set(m, Assume::Committed);

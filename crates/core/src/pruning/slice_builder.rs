@@ -151,7 +151,13 @@ impl<'a> SliceBuilder<'a> {
         match defs.len() {
             0 => Err(()),
             1 => self.def_value(
-                defs[0].inst, consumers, forbidden, slice, constraints, visiting, memo,
+                defs[0].inst,
+                consumers,
+                forbidden,
+                slice,
+                constraints,
+                visiting,
+                memo,
             ),
             2 => {
                 // Predicate dependence: the two definitions are selected
@@ -171,24 +177,40 @@ impl<'a> SliceBuilder<'a> {
                 // recomputable *and* still be the value that made the
                 // decision: require its reaching defs at `at` to match
                 // those at the branch.
-                let branch_point = Loc {
-                    block: branch,
-                    idx: self.kernel.block(branch).insts.len(),
-                };
+                let branch_point =
+                    Loc { block: branch, idx: self.kernel.block(branch).insts.len() };
                 let at_branch = self.rd.reaching_defs_of(self.kernel, branch_point, pred.0);
                 let at_use = self.rd.reaching_defs_of(self.kernel, at, pred.0);
                 if at_branch.len() != 1 || at_branch != at_use {
                     return Err(());
                 }
                 let p = self.value_of(
-                    pred.0, branch_point, consumers, forbidden, slice, constraints, visiting,
+                    pred.0,
+                    branch_point,
+                    consumers,
+                    forbidden,
+                    slice,
+                    constraints,
+                    visiting,
                     memo,
                 )?;
                 let v0 = self.def_value(
-                    d0.inst, consumers, forbidden, slice, constraints, visiting, memo,
+                    d0.inst,
+                    consumers,
+                    forbidden,
+                    slice,
+                    constraints,
+                    visiting,
+                    memo,
                 )?;
                 let v1 = self.def_value(
-                    d1.inst, consumers, forbidden, slice, constraints, visiting, memo,
+                    d1.inst,
+                    consumers,
+                    forbidden,
+                    slice,
+                    constraints,
+                    visiting,
+                    memo,
                 )?;
                 // `pred==true` selects the `then_` side; `negated` swaps.
                 let (tv, fv) = if d0_then != pred.1 { (v0, v1) } else { (v1, v0) };
@@ -233,7 +255,14 @@ impl<'a> SliceBuilder<'a> {
         }
         visiting.insert(def_id);
         let result = self.recompute(
-            loc, inst, consumers, forbidden, slice, constraints, visiting, memo,
+            loc,
+            inst,
+            consumers,
+            forbidden,
+            slice,
+            constraints,
+            visiting,
+            memo,
         );
         visiting.remove(&def_id);
         let idx = result?;
@@ -291,7 +320,8 @@ impl<'a> SliceBuilder<'a> {
                     if other_color != color {
                         continue;
                     }
-                    let regions = self.region_of.get(&other_id).cloned().unwrap_or_default();
+                    let regions =
+                        self.region_of.get(&other_id).cloned().unwrap_or_default();
                     if regions.contains(&r) {
                         match (self.assume)(other_id) {
                             Assume::Pruned => {}
@@ -330,10 +360,10 @@ impl<'a> SliceBuilder<'a> {
         memo: &mut HashMap<(VReg, InstId), usize>,
     ) -> Result<usize, ()> {
         let operand = |o: Operand,
-                           slice: &mut Slice,
-                           constraints: &mut Vec<Constraint>,
-                           visiting: &mut HashSet<InstId>,
-                           memo: &mut HashMap<(VReg, InstId), usize>|
+                       slice: &mut Slice,
+                       constraints: &mut Vec<Constraint>,
+                       visiting: &mut HashSet<InstId>,
+                       memo: &mut HashMap<(VReg, InstId), usize>|
          -> Result<usize, ()> {
             match o {
                 Operand::Imm(v) => {
@@ -345,7 +375,14 @@ impl<'a> SliceBuilder<'a> {
                     Ok(slice.insts.len() - 1)
                 }
                 Operand::Reg(r) => self.value_of(
-                    r, loc, consumers, forbidden, slice, constraints, visiting, memo,
+                    r,
+                    loc,
+                    consumers,
+                    forbidden,
+                    slice,
+                    constraints,
+                    visiting,
+                    memo,
                 ),
             }
         };
@@ -372,10 +409,32 @@ impl<'a> SliceBuilder<'a> {
                 slice.insts.push(SliceInst::Select { pred: p, a, b });
                 Ok(slice.insts.len() - 1)
             }
-            Op::Add | Op::Sub | Op::Mul | Op::MulHi | Op::Mad | Op::Div | Op::Rem | Op::Min
-            | Op::Max | Op::Neg | Op::Abs | Op::And | Op::Or | Op::Xor | Op::Not | Op::Shl
-            | Op::Shr | Op::Sra | Op::Cvt | Op::Sqrt | Op::Rsqrt | Op::Rcp | Op::Ex2
-            | Op::Lg2 | Op::Sin | Op::Cos => {
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::MulHi
+            | Op::Mad
+            | Op::Div
+            | Op::Rem
+            | Op::Min
+            | Op::Max
+            | Op::Neg
+            | Op::Abs
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Not
+            | Op::Shl
+            | Op::Shr
+            | Op::Sra
+            | Op::Cvt
+            | Op::Sqrt
+            | Op::Rsqrt
+            | Op::Rcp
+            | Op::Ex2
+            | Op::Lg2
+            | Op::Sin
+            | Op::Cos => {
                 let mut args = Vec::with_capacity(inst.srcs.len());
                 for &s in &inst.srcs {
                     args.push(operand(s, slice, constraints, visiting, memo)?);

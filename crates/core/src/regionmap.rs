@@ -186,11 +186,8 @@ mod tests {
         assert_eq!(rm.len(), 2);
         // The join-block store may run in region 0 (via b) or region 1
         // (via the barrier in a).
-        let store_loc = k
-            .locs()
-            .find(|(_, i)| i.op.writes_memory())
-            .map(|(l, _)| l)
-            .expect("store");
+        let store_loc =
+            k.locs().find(|(_, i)| i.op.writes_memory()).map(|(l, _)| l).expect("store");
         let rs = rm.regions_at(&k, store_loc);
         assert_eq!(rs.len(), 2, "{rs:?}");
     }

@@ -31,7 +31,8 @@ pub fn form_regions(kernel: &mut Kernel, alias: AliasOptions) -> usize {
         let mut idx = 0;
         while idx < kernel.block(b).insts.len() {
             if kernel.block(b).insts[idx].op.is_sync() {
-                let m = kernel.make_inst(Op::RegionEntry(RegionId(0)), Type::U32, None, vec![]);
+                let m =
+                    kernel.make_inst(Op::RegionEntry(RegionId(0)), Type::U32, None, vec![]);
                 kernel.insert_at(Loc { block: b, idx: idx + 1 }, m);
                 idx += 1;
             }
@@ -65,16 +66,21 @@ pub fn form_regions(kernel: &mut Kernel, alias: AliasOptions) -> usize {
         .loops()
         .iter()
         .filter(|l| {
-            l.blocks.iter().any(|b| {
-                kernel.block(*b).insts.iter().any(|i| i.region_entry().is_some())
-            })
+            l.blocks
+                .iter()
+                .any(|b| kernel.block(*b).insts.iter().any(|i| i.region_entry().is_some()))
         })
         .map(|l| l.header)
         .collect();
     headers.sort();
     headers.dedup();
     for h in headers {
-        if kernel.block(h).insts.first().map(|i| i.region_entry().is_some()).unwrap_or(false)
+        if kernel
+            .block(h)
+            .insts
+            .first()
+            .map(|i| i.region_entry().is_some())
+            .unwrap_or(false)
         {
             continue;
         }
@@ -89,11 +95,8 @@ pub fn form_regions(kernel: &mut Kernel, alias: AliasOptions) -> usize {
 /// intervening region boundary.
 fn first_endangered_store(kernel: &Kernel, aa: &AliasAnalysis) -> Option<Loc> {
     // "Active loads" dataflow: loads since the last boundary.
-    let load_ids: Vec<InstId> = kernel
-        .locs()
-        .filter(|(_, i)| i.op.reads_memory())
-        .map(|(_, i)| i.id)
-        .collect();
+    let load_ids: Vec<InstId> =
+        kernel.locs().filter(|(_, i)| i.op.reads_memory()).map(|(_, i)| i.id).collect();
     let index_of: std::collections::HashMap<InstId, usize> =
         load_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     let nl = load_ids.len();
@@ -193,18 +196,13 @@ pub fn markers(kernel: &Kernel) -> Vec<(RegionId, Loc, InstId)> {
 
 /// The set of region ids present in a kernel.
 pub fn region_count(kernel: &Kernel) -> usize {
-    kernel
-        .locs()
-        .filter(|(_, i)| i.region_entry().is_some())
-        .count()
+    kernel.locs().filter(|(_, i)| i.region_entry().is_some()).count()
 }
 
 /// Dead simple sanity check that region ids are dense `0..n`.
 pub fn regions_are_dense(kernel: &Kernel) -> bool {
-    let ids: HashSet<u32> = kernel
-        .locs()
-        .filter_map(|(_, i)| i.region_entry().map(|r| r.0))
-        .collect();
+    let ids: HashSet<u32> =
+        kernel.locs().filter_map(|(_, i)| i.region_entry().map(|r| r.0)).collect();
     (0..ids.len() as u32).all(|i| ids.contains(&i))
 }
 

@@ -176,17 +176,9 @@ mod tests {
     fn auto_spills_to_global_when_budget_exhausted() {
         let k = kernel_with_cps(4);
         // A tiny machine with almost no shared memory.
-        let tiny = MachineParams {
-            shared_per_sm: 1024,
-            ..MachineParams::fermi()
-        };
-        let a = assign_storage(
-            &k,
-            StoragePolicy::Auto,
-            &tiny,
-            &LaunchDims::linear(4, 128),
-            16,
-        );
+        let tiny = MachineParams { shared_per_sm: 1024, ..MachineParams::fermi() };
+        let a =
+            assign_storage(&k, StoragePolicy::Auto, &tiny, &LaunchDims::linear(4, 128), 16);
         // 1024 / baseline-blocks budget < one 512-byte slot per register.
         assert!(a.global_slots > 0, "{a:?}");
     }

@@ -1,0 +1,270 @@
+//! Tests for the static protection-invariant validator
+//! (`penny_core::check`): the stock pipeline passes every invariant, and
+//! hand-broken instrumented programs are rejected with errors named
+//! after the violated invariant.
+
+use std::collections::HashSet;
+
+use penny_analysis::{AliasOptions, Liveness, ReachingDefs};
+use penny_core::check::{
+    check_coverage, check_idempotence, check_instrumented, check_pruning,
+    check_slot_consistency, Invariant,
+};
+use penny_core::checkpoint::{
+    eager_placement, insert_checkpoints, lup_edges, region_live_ins,
+};
+use penny_core::overwrite::apply_alternation;
+use penny_core::regions::form_regions;
+use penny_core::{compile, CompileError, PennyConfig, RegionMap};
+use penny_ir::{parse_kernel, Color, Kernel, Op, VReg};
+
+/// In-place update: one anti-dependence, two regions, simple restores.
+const K_INPLACE: &str = r#"
+    .kernel t .params A N
+    entry:
+        mov.u32 %r0, %tid.x
+        ld.param.u32 %r1, [A]
+        ld.param.u32 %r2, [N]
+        shl.u32 %r3, %r0, 2
+        add.u32 %r4, %r1, %r3
+        ld.global.u32 %r5, [%r4]
+        add.u32 %r6, %r5, %r2
+        st.global.u32 [%r4], %r6
+        st.global.u32 [%r4], %r0
+        ret
+"#;
+
+/// Loop with a per-iteration anti-dependence: regions inside the loop,
+/// loop-carried live-ins, overwrite-prone registers.
+const K_LOOP: &str = r#"
+    .kernel l .params A N
+    entry:
+        mov.u32 %r0, 0
+        ld.param.u32 %r1, [A]
+        ld.param.u32 %r9, [N]
+        jmp head
+    head:
+        shl.u32 %r2, %r0, 2
+        add.u32 %r3, %r1, %r2
+        ld.global.u32 %r4, [%r3]
+        add.u32 %r5, %r4, 1
+        st.global.u32 [%r3], %r5
+        add.u32 %r0, %r0, 1
+        setp.lt.u32 %p0, %r0, %r9
+        bra %p0, head, exit
+    exit:
+        ret
+"#;
+
+/// Runs the pipeline front half by hand: regions, eager checkpoints,
+/// storage alternation. Returns the instrumented kernel (all checkpoints
+/// still present).
+fn instrument(src: &str) -> Kernel {
+    let mut k = parse_kernel(src).expect("parse");
+    form_regions(&mut k, AliasOptions::default());
+    let rm = RegionMap::compute(&k);
+    let lv = Liveness::compute(&k);
+    let live = region_live_ins(&k, &rm, &lv);
+    let rd = ReachingDefs::compute(&k);
+    let edges = lup_edges(&k, &rm, &live, &rd);
+    let placements = eager_placement(&edges);
+    insert_checkpoints(&mut k, &placements);
+    let out = apply_alternation(&mut k, &rm);
+    assert!(out.failed.is_empty(), "alternation failed: {:?}", out.failed);
+    k
+}
+
+fn live_ins_of(k: &Kernel, rm: &RegionMap) -> Vec<Vec<VReg>> {
+    let lv = Liveness::compute(k);
+    region_live_ins(k, rm, &lv)
+}
+
+// ---------------------------------------------------------------------
+// Positive: the stock pipeline satisfies every invariant.
+// ---------------------------------------------------------------------
+
+#[test]
+fn instrumented_kernels_pass_all_invariants() {
+    for src in [K_INPLACE, K_LOOP] {
+        let k = instrument(src);
+        let rm = RegionMap::compute(&k);
+        check_instrumented(&k, &rm, AliasOptions::default())
+            .unwrap_or_else(|v| panic!("stock instrumented kernel rejected: {v}"));
+    }
+}
+
+#[test]
+fn compile_with_validation_passes_all_presets() {
+    for src in [K_INPLACE, K_LOOP] {
+        let k = parse_kernel(src).expect("parse");
+        for config in [
+            PennyConfig::penny(),
+            PennyConfig::bolt_global(),
+            PennyConfig::bolt_auto(),
+            PennyConfig::igpu(),
+            PennyConfig::penny_no_opt(),
+            PennyConfig::unprotected(),
+        ] {
+            let config = config.with_validation(true);
+            compile(&k, &config).unwrap_or_else(|e| {
+                panic!("validated compile failed ({:?}): {e}", config.protection)
+            });
+        }
+    }
+}
+
+#[test]
+fn basic_and_optimal_pruning_both_validate() {
+    // Cross-check: both pruning modes must satisfy pruning soundness on
+    // the same kernels (basic prunes a subset, optimal prunes more).
+    use penny_core::PruningMode;
+    for src in [K_INPLACE, K_LOOP] {
+        let k = parse_kernel(src).expect("parse");
+        let basic = PennyConfig {
+            pruning: PruningMode::Basic { seed: 0xB017, trials: 64 },
+            ..PennyConfig::penny()
+        }
+        .with_validation(true);
+        let optimal = PennyConfig::penny().with_validation(true);
+        let b = compile(&k, &basic).expect("basic prune validates");
+        let o = compile(&k, &optimal).expect("optimal prune validates");
+        assert!(
+            o.stats.committed <= b.stats.committed,
+            "optimal ({}) must not commit more than basic ({})",
+            o.stats.committed,
+            b.stats.committed
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Negative: hand-broken programs are rejected with named invariants.
+// ---------------------------------------------------------------------
+
+#[test]
+fn intra_region_antidep_is_rejected() {
+    // The in-place update kernel without region formation: the ld/st
+    // pair on [%r4] sits inside one (implicit) region.
+    let k = parse_kernel(K_INPLACE).expect("parse");
+    let err = check_idempotence(&k, AliasOptions::default())
+        .expect_err("anti-dependence must be rejected");
+    assert_eq!(err.invariant, Invariant::RegionIdempotence);
+    assert!(err.to_string().contains("region-idempotence"), "{err}");
+
+    // Sanity: after region formation the same kernel passes.
+    let mut k2 = parse_kernel(K_INPLACE).expect("parse");
+    form_regions(&mut k2, AliasOptions::default());
+    check_idempotence(&k2, AliasOptions::default()).expect("formed regions pass");
+}
+
+#[test]
+fn marker_erasure_reintroduces_antidep() {
+    // Erase a non-entry region marker from a correctly formed kernel:
+    // the anti-dependence it was cut for comes back.
+    let mut k = parse_kernel(K_INPLACE).expect("parse");
+    form_regions(&mut k, AliasOptions::default());
+    let rm = RegionMap::compute(&k);
+    assert!(rm.len() >= 2);
+    let (_, loc, _) = rm.markers()[rm.len() - 1];
+    k.block_mut(loc.block).insts.remove(loc.idx);
+    let err = check_idempotence(&k, AliasOptions::default())
+        .expect_err("erased marker must re-expose the anti-dependence");
+    assert_eq!(err.invariant, Invariant::RegionIdempotence);
+}
+
+#[test]
+fn dropped_checkpoint_is_rejected() {
+    // Remove checkpoints one at a time from the instrumented kernel; at
+    // least one must be load-bearing for coverage, and the validator
+    // must name checkpoint-coverage for it.
+    let k = instrument(K_LOOP);
+    let ckpts = k.checkpoints();
+    assert!(!ckpts.is_empty());
+    let mut rejected = 0;
+    for (loc, _, reg) in &ckpts {
+        let mut broken = k.clone();
+        broken.block_mut(loc.block).insts.remove(loc.idx);
+        let rm = RegionMap::compute(&broken);
+        let live = live_ins_of(&broken, &rm);
+        if let Err(v) = check_coverage(&broken, &rm, &live) {
+            assert_eq!(v.invariant, Invariant::CheckpointCoverage, "{v}");
+            assert!(v.to_string().contains(&reg.to_string()) || rejected > 0, "{v}");
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "no checkpoint removal was detected");
+}
+
+#[test]
+fn miscolored_checkpoint_slot_is_rejected() {
+    // Force every checkpoint of an alternation-colored register to slot
+    // K0: the in-region re-checkpoint then clobbers the slot its own
+    // region restores from.
+    let mut k = instrument(K_LOOP);
+    let two_colored: Vec<VReg> = {
+        let mut regs: Vec<(VReg, Color)> = k
+            .locs()
+            .filter(|(_, i)| i.is_ckpt())
+            .map(|(_, i)| (i.ckpt_reg(), i.ckpt_color().expect("color")))
+            .collect();
+        regs.sort_by_key(|&(r, c)| (r, c.index()));
+        regs.dedup();
+        let mut out = Vec::new();
+        for w in regs.windows(2) {
+            if w[0].0 == w[1].0 {
+                out.push(w[0].0);
+            }
+        }
+        out
+    };
+    assert!(!two_colored.is_empty(), "expected an alternation-colored register");
+    let victim = two_colored[0];
+    for b in k.block_ids().collect::<Vec<_>>() {
+        for inst in &mut k.block_mut(b).insts {
+            if inst.is_ckpt() && inst.ckpt_reg() == victim {
+                inst.op = Op::Ckpt(Color::K0);
+            }
+        }
+    }
+    let rm = RegionMap::compute(&k);
+    let live = live_ins_of(&k, &rm);
+    let err = check_slot_consistency(&k, &rm, &live)
+        .expect_err("miscolored checkpoint must be rejected");
+    assert_eq!(err.invariant, Invariant::SlotConsistency);
+    assert!(err.to_string().contains("slot-consistency"), "{err}");
+}
+
+#[test]
+fn unsound_pruning_is_rejected() {
+    // Pruning *every* checkpoint of the in-place-update kernel is
+    // unsound: the loaded value is gone after the store overwrites its
+    // source, so no recovery slice exists.
+    let k = instrument(K_INPLACE);
+    let rm = RegionMap::compute(&k);
+    let committed = HashSet::new();
+    let err = check_pruning(&k, &rm, &committed)
+        .expect_err("pruning everything must be rejected");
+    assert_eq!(err.invariant, Invariant::PruningSoundness);
+    assert!(err.to_string().contains("pruning-soundness"), "{err}");
+}
+
+#[test]
+fn committed_everything_is_always_sound() {
+    let k = instrument(K_INPLACE);
+    let rm = RegionMap::compute(&k);
+    let committed: HashSet<_> = k.checkpoints().iter().map(|&(_, id, _)| id).collect();
+    check_pruning(&k, &rm, &committed).expect("no pruning, nothing to justify");
+}
+
+#[test]
+fn invariant_error_converts_into_compile_error() {
+    let k = parse_kernel(K_INPLACE).expect("parse");
+    let v = check_idempotence(&k, AliasOptions::default()).expect_err("violation");
+    let e: CompileError = v.clone().into();
+    match &e {
+        CompileError::Invariant(inner) => assert_eq!(inner, &v),
+        other => panic!("expected Invariant, got {other:?}"),
+    }
+    assert!(e.to_string().contains("protection invariant violated"), "{e}");
+    assert!(std::error::Error::source(&e).is_some());
+}

@@ -114,68 +114,84 @@ fn configs() -> Vec<PennyConfig> {
     cfgs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The pipeline never produces invalid code, never leaves a memory
-    /// anti-dependence inside a region, and always gives every region
-    /// live-in a restore plan.
-    #[test]
-    fn pipeline_invariants(shape: u8, ops in proptest::collection::vec(0u8..4, 1..10)) {
-        let kernel = gen_kernel(shape, &ops);
-        for cfg in configs() {
-            let protected = compile(&kernel, &cfg)
-                .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
-            penny_ir::validate(&protected.kernel)
-                .unwrap_or_else(|e| panic!("{cfg:?}: output invalid: {e}"));
-            if matches!(cfg.protection, Protection::None) {
-                continue;
-            }
-            // No anti-dependence survives inside any region.
-            prop_assert!(
-                regions::verify_no_antidep(&protected.kernel, AliasOptions::default()),
-                "anti-dependence survives under {cfg:?}"
-            );
-            // Every live-in of every region has a restore (skip iGPU:
-            // it relies on ECC, not restores).
-            if matches!(cfg.protection, Protection::Penny | Protection::Bolt) {
-                let rm = RegionMap::compute(&protected.kernel);
-                let lv = Liveness::compute(&protected.kernel);
-                let live = checkpoint::region_live_ins(&protected.kernel, &rm, &lv);
-                for info in &protected.regions {
-                    let region_live = &live[info.id.index()];
-                    for reg in region_live {
-                        // Codegen setup registers are restored separately.
-                        let in_restores =
-                            info.restores.iter().any(|(r, _)| r == reg);
-                        let in_setup =
-                            protected.setup.iter().any(|(r, _)| r == reg);
-                        prop_assert!(
-                            in_restores || in_setup,
-                            "{reg} live into {} has no restore under {cfg:?}",
-                            info.id
-                        );
-                    }
-                    for (_, restore) in &info.restores {
-                        if let Restore::Slice(s) = restore {
-                            prop_assert!(!s.is_empty());
-                        }
+/// The invariant body shared by the property test and pinned
+/// regressions: the pipeline never produces invalid code, never leaves a
+/// memory anti-dependence inside a region, and always gives every region
+/// live-in a restore plan.
+fn check_pipeline_invariants(kernel: &Kernel) {
+    for cfg in configs() {
+        let protected = compile(kernel, &cfg).unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        penny_ir::validate(&protected.kernel)
+            .unwrap_or_else(|e| panic!("{cfg:?}: output invalid: {e}"));
+        if matches!(cfg.protection, Protection::None) {
+            continue;
+        }
+        // No anti-dependence survives inside any region.
+        assert!(
+            regions::verify_no_antidep(&protected.kernel, AliasOptions::default()),
+            "anti-dependence survives under {cfg:?}"
+        );
+        // Every live-in of every region has a restore (skip iGPU:
+        // it relies on ECC, not restores).
+        if matches!(cfg.protection, Protection::Penny | Protection::Bolt) {
+            let rm = RegionMap::compute(&protected.kernel);
+            let lv = Liveness::compute(&protected.kernel);
+            let live = checkpoint::region_live_ins(&protected.kernel, &rm, &lv);
+            for info in &protected.regions {
+                let region_live = &live[info.id.index()];
+                for reg in region_live {
+                    // Codegen setup registers are restored separately.
+                    let in_restores = info.restores.iter().any(|(r, _)| r == reg);
+                    let in_setup = protected.setup.iter().any(|(r, _)| r == reg);
+                    assert!(
+                        in_restores || in_setup,
+                        "{reg} live into {} has no restore under {cfg:?}",
+                        info.id
+                    );
+                }
+                for (_, restore) in &info.restores {
+                    if let Restore::Slice(s) = restore {
+                        assert!(!s.is_empty());
                     }
                 }
             }
         }
     }
+}
 
-    /// Region formation alone is idempotent in its postcondition and
-    /// keeps region ids dense.
+/// Postconditions of region formation alone, shared likewise.
+fn check_region_formation(kernel: &Kernel) {
+    let mut k = kernel.clone();
+    let n = regions::form_regions(&mut k, AliasOptions::default());
+    assert!(n >= 1);
+    assert!(regions::regions_are_dense(&k));
+    assert!(regions::verify_no_antidep(&k, AliasOptions::default()));
+    penny_ir::validate(&k).expect("valid after region formation");
+    assert_eq!(regions::region_count(&k), n);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_invariants(shape: u8, ops in proptest::collection::vec(0u8..4, 1..10)) {
+        check_pipeline_invariants(&gen_kernel(shape, &ops));
+    }
+
     #[test]
     fn region_formation_postconditions(shape: u8, ops in proptest::collection::vec(0u8..4, 1..10)) {
-        let mut k = gen_kernel(shape, &ops);
-        let n = regions::form_regions(&mut k, AliasOptions::default());
-        prop_assert!(n >= 1);
-        prop_assert!(regions::regions_are_dense(&k));
-        prop_assert!(regions::verify_no_antidep(&k, AliasOptions::default()));
-        penny_ir::validate(&k).expect("valid after region formation");
-        prop_assert_eq!(regions::region_count(&k), n);
+        check_region_formation(&gen_kernel(shape, &ops));
     }
+}
+
+/// Pinned from a proptest-regressions seed (`shape = 0, ops = [2]`): the
+/// minimal loop whose only body op is the in-place load/add/store — the
+/// smallest kernel with a loop-carried anti-dependence, which once
+/// tripped the pipeline. Kept as a named test so the case survives
+/// regression-file cleanups.
+#[test]
+fn regression_minimal_loop_inplace_update() {
+    let kernel = gen_kernel(0, &[2]);
+    check_pipeline_invariants(&kernel);
+    check_region_formation(&kernel);
 }

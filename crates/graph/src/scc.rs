@@ -187,10 +187,7 @@ mod tests {
         let cond = scc.condense(3, adj(&edges, 3));
         let order = cond.topological_order();
         let pos = |v: usize| {
-            order
-                .iter()
-                .position(|&c| c == scc.component_of(v))
-                .expect("component present")
+            order.iter().position(|&c| c == scc.component_of(v)).expect("component present")
         };
         assert!(pos(0) < pos(1));
         assert!(pos(1) < pos(2));

@@ -28,10 +28,8 @@ where
         }
     }
     // Use a sorted frontier so the order is deterministic (smallest id first).
-    let mut frontier: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
-        .filter(|&v| indegree[v] == 0)
-        .map(std::cmp::Reverse)
-        .collect();
+    let mut frontier: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        (0..n).filter(|&v| indegree[v] == 0).map(std::cmp::Reverse).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(std::cmp::Reverse(v)) = frontier.pop() {
         order.push(v);
@@ -55,8 +53,8 @@ mod tests {
 
     #[test]
     fn orders_a_chain() {
-        let order =
-            topological_sort(4, |v| if v + 1 < 4 { vec![v + 1] } else { vec![] }).expect("dag");
+        let order = topological_sort(4, |v| if v + 1 < 4 { vec![v + 1] } else { vec![] })
+            .expect("dag");
         assert_eq!(order, vec![0, 1, 2, 3]);
     }
 
@@ -68,7 +66,8 @@ mod tests {
     #[test]
     fn deterministic_tie_break() {
         // Both 0 and 1 are sources; 0 must come first.
-        let order = topological_sort(3, |v| if v < 2 { vec![2] } else { vec![] }).expect("dag");
+        let order =
+            topological_sort(3, |v| if v < 2 { vec![2] } else { vec![] }).expect("dag");
         assert_eq!(order, vec![0, 1, 2]);
     }
 

@@ -58,7 +58,11 @@ pub struct KernelBuilder {
 impl KernelBuilder {
     /// Starts building a kernel with the given parameter names.
     pub fn new(name: impl Into<String>, params: &[&str]) -> KernelBuilder {
-        KernelBuilder { kernel: Kernel::new(name, params), current: None, pending_guard: None }
+        KernelBuilder {
+            kernel: Kernel::new(name, params),
+            current: None,
+            pending_guard: None,
+        }
     }
 
     /// Declares static shared memory used by the program.
@@ -95,7 +99,13 @@ impl KernelBuilder {
         self.current.expect("no block selected; call block()/select() first")
     }
 
-    fn push(&mut self, op: Op, ty: Type, dst: Option<VReg>, srcs: Vec<Operand>) -> Option<VReg> {
+    fn push(
+        &mut self,
+        op: Op,
+        ty: Type,
+        dst: Option<VReg>,
+        srcs: Vec<Operand>,
+    ) -> Option<VReg> {
         let mut inst = self.kernel.make_inst(op, ty, dst, srcs);
         inst.guard = self.pending_guard;
         let b = self.cur();
@@ -287,7 +297,13 @@ impl KernelBuilder {
     }
 
     /// Compare and set predicate.
-    pub fn setp(&mut self, cmp: Cmp, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+    pub fn setp(
+        &mut self,
+        cmp: Cmp,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> VReg {
         let d = self.kernel.fresh_pred();
         self.push(Op::Setp(cmp), ty, Some(d), vec![a.into(), b.into()]);
         d
@@ -305,7 +321,13 @@ impl KernelBuilder {
     }
 
     /// Load from memory.
-    pub fn ld(&mut self, space: MemSpace, ty: Type, addr: impl Into<Operand>, off: i32) -> VReg {
+    pub fn ld(
+        &mut self,
+        space: MemSpace,
+        ty: Type,
+        addr: impl Into<Operand>,
+        off: i32,
+    ) -> VReg {
         let d = self.kernel.fresh_vreg();
         let mut inst = self.kernel.make_inst(Op::Ld(space), ty, Some(d), vec![addr.into()]);
         inst.offset = off;
@@ -323,8 +345,12 @@ impl KernelBuilder {
         off: i32,
         val: impl Into<Operand>,
     ) {
-        let mut inst =
-            self.kernel.make_inst(Op::St(space), Type::U32, None, vec![addr.into(), val.into()]);
+        let mut inst = self.kernel.make_inst(
+            Op::St(space),
+            Type::U32,
+            None,
+            vec![addr.into(), val.into()],
+        );
         inst.offset = off;
         inst.guard = self.pending_guard;
         let b = self.cur();
@@ -341,8 +367,12 @@ impl KernelBuilder {
         val: impl Into<Operand>,
     ) -> VReg {
         let d = self.kernel.fresh_vreg();
-        let mut inst =
-            self.kernel.make_inst(Op::Atom(op, space), Type::U32, Some(d), vec![addr.into(), val.into()]);
+        let mut inst = self.kernel.make_inst(
+            Op::Atom(op, space),
+            Type::U32,
+            Some(d),
+            vec![addr.into(), val.into()],
+        );
         inst.offset = off;
         inst.guard = self.pending_guard;
         let b = self.cur();

@@ -258,7 +258,13 @@ pub struct Inst {
 
 impl Inst {
     /// Creates an instruction with the given identity.
-    pub fn new(id: InstId, op: Op, ty: Type, dst: Option<VReg>, srcs: Vec<Operand>) -> Inst {
+    pub fn new(
+        id: InstId,
+        op: Op,
+        ty: Type,
+        dst: Option<VReg>,
+        srcs: Vec<Operand>,
+    ) -> Inst {
         Inst { id, op, ty, ty2: ty, dst, srcs, offset: 0, guard: None }
     }
 
@@ -410,7 +416,11 @@ mod tests {
 
     #[test]
     fn operand_slot_accessors() {
-        let i = inst(Op::Mad, Some(VReg(0)), vec![VReg(1).into(), Operand::Imm(3), Special::TidX.into()]);
+        let i = inst(
+            Op::Mad,
+            Some(VReg(0)),
+            vec![VReg(1).into(), Operand::Imm(3), Special::TidX.into()],
+        );
         assert_eq!(i.num_srcs(), 3);
         assert!(i.num_srcs() <= MAX_SRCS);
         assert_eq!(i.src(0), Some(Operand::Reg(VReg(1))));

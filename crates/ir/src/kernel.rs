@@ -130,7 +130,13 @@ impl Kernel {
     }
 
     /// Builds a new instruction with a fresh id.
-    pub fn make_inst(&mut self, op: Op, ty: Type, dst: Option<VReg>, srcs: Vec<Operand>) -> Inst {
+    pub fn make_inst(
+        &mut self,
+        op: Op,
+        ty: Type,
+        dst: Option<VReg>,
+        srcs: Vec<Operand>,
+    ) -> Inst {
         let id = self.fresh_inst_id();
         if matches!(op, Op::Setp(_)) {
             if let Some(d) = dst {
@@ -377,7 +383,12 @@ mod tests {
         let i = k.make_inst(Op::Mov, Type::U32, Some(r), vec![Operand::Imm(1)]);
         let id = i.id;
         k.block_mut(b).insts.push(i);
-        let j = k.make_inst(Op::Ld(MemSpace::Global), Type::U32, Some(r), vec![Operand::Reg(r)]);
+        let j = k.make_inst(
+            Op::Ld(MemSpace::Global),
+            Type::U32,
+            Some(r),
+            vec![Operand::Reg(r)],
+        );
         k.insert_at(Loc { block: b, idx: 0 }, j);
         assert_eq!(k.find_inst(id), Some(Loc { block: b, idx: 1 }));
         assert_eq!(k.num_insts(), 2);

@@ -310,8 +310,9 @@ fn parse_statement(ctx: &mut Ctx, no: usize, line: &str) -> Result<(), ParseErro
     let mut rest = line;
     let mut guard = None;
     if let Some(g) = rest.strip_prefix('@') {
-        let (gtok, tail) =
-            g.split_once(char::is_whitespace).ok_or_else(|| err(no, "guard without body"))?;
+        let (gtok, tail) = g
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(no, "guard without body"))?;
         let (negated, preg) = match gtok.strip_prefix('!') {
             Some(p) => (true, p),
             None => (false, gtok),

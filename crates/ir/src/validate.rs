@@ -38,10 +38,36 @@ fn fail(loc: Option<Loc>, message: impl Into<String>) -> Result<(), ValidateErro
 
 fn expected_srcs(op: Op) -> Option<usize> {
     Some(match op {
-        Op::Mov | Op::Neg | Op::Abs | Op::Not | Op::Cvt | Op::Sqrt | Op::Rsqrt | Op::Rcp
-        | Op::Ex2 | Op::Lg2 | Op::Sin | Op::Cos | Op::Ld(_) | Op::Ckpt(_) => 1,
-        Op::Add | Op::Sub | Op::Mul | Op::MulHi | Op::Div | Op::Rem | Op::Min | Op::Max
-        | Op::And | Op::Or | Op::Xor | Op::Shl | Op::Shr | Op::Sra | Op::Setp(_) | Op::St(_)
+        Op::Mov
+        | Op::Neg
+        | Op::Abs
+        | Op::Not
+        | Op::Cvt
+        | Op::Sqrt
+        | Op::Rsqrt
+        | Op::Rcp
+        | Op::Ex2
+        | Op::Lg2
+        | Op::Sin
+        | Op::Cos
+        | Op::Ld(_)
+        | Op::Ckpt(_) => 1,
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::MulHi
+        | Op::Div
+        | Op::Rem
+        | Op::Min
+        | Op::Max
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Shl
+        | Op::Shr
+        | Op::Sra
+        | Op::Setp(_)
+        | Op::St(_)
         | Op::Atom(..) => 2,
         Op::Mad | Op::Selp => 3,
         Op::Bar | Op::RegionEntry(_) | Op::Nop => 0,
@@ -49,10 +75,7 @@ fn expected_srcs(op: Op) -> Option<usize> {
 }
 
 fn needs_dst(op: Op) -> bool {
-    !matches!(
-        op,
-        Op::St(_) | Op::Bar | Op::Ckpt(_) | Op::RegionEntry(_) | Op::Nop
-    )
+    !matches!(op, Op::St(_) | Op::Bar | Op::Ckpt(_) | Op::RegionEntry(_) | Op::Nop)
 }
 
 /// Verifies structural well-formedness of a kernel.
@@ -104,7 +127,11 @@ fn check_inst(kernel: &Kernel, loc: Loc, inst: &Inst) -> Result<(), ValidateErro
         if inst.srcs.len() != n {
             fail(
                 Some(loc),
-                format!("{} expects {n} sources, found {}", inst.op.mnemonic(), inst.srcs.len()),
+                format!(
+                    "{} expects {n} sources, found {}",
+                    inst.op.mnemonic(),
+                    inst.srcs.len()
+                ),
             )?;
         }
     }
@@ -215,7 +242,11 @@ fn check_defined_before_use(kernel: &Kernel) -> Result<(), ValidateError> {
     Ok(())
 }
 
-fn out_set(kernel: &Kernel, b: crate::types::BlockId, in_sets: &[HashSet<VReg>]) -> HashSet<VReg> {
+fn out_set(
+    kernel: &Kernel,
+    b: crate::types::BlockId,
+    in_sets: &[HashSet<VReg>],
+) -> HashSet<VReg> {
     let mut out = in_sets[b.index()].clone();
     for inst in &kernel.block(b).insts {
         if let Some(d) = inst.def() {
@@ -313,12 +344,7 @@ mod tests {
         let y = b.imm(2);
         // Forge a guard on a non-predicate register.
         let mut k = b.finish();
-        let add = k.make_inst(
-            Op::Add,
-            Type::U32,
-            Some(VReg(99)),
-            vec![x.into(), y.into()],
-        );
+        let add = k.make_inst(Op::Add, Type::U32, Some(VReg(99)), vec![x.into(), y.into()]);
         k.note_vreg(VReg(99));
         let mut add = add;
         add.guard = Some(crate::inst::Guard { pred: x, negated: false });

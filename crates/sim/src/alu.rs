@@ -24,7 +24,9 @@ pub fn eval(op: Op, ty: Type, ty2: Type, srcs: &[u32]) -> u32 {
         (Op::Sub, _) => u(0).wrapping_sub(u(1)),
         (Op::Mul, Type::F32) => (f(0) * f(1)).to_bits(),
         (Op::Mul, _) => u(0).wrapping_mul(u(1)),
-        (Op::MulHi, Type::S32) => (((s(0) as i64 * s(1) as i64) >> 32) as u64 & 0xFFFF_FFFF) as u32,
+        (Op::MulHi, Type::S32) => {
+            (((s(0) as i64 * s(1) as i64) >> 32) as u64 & 0xFFFF_FFFF) as u32
+        }
         (Op::MulHi, _) => ((u(0) as u64 * u(1) as u64) >> 32) as u32,
         (Op::Mad, Type::F32) => (f(0) * f(1) + f(2)).to_bits(),
         (Op::Mad, _) => u(0).wrapping_mul(u(1)).wrapping_add(u(2)),
@@ -212,12 +214,18 @@ mod tests {
     #[test]
     fn shifts_mask_amount() {
         assert_eq!(eval(Op::Shl, Type::U32, Type::U32, &[1, 33]), 2);
-        assert_eq!(eval(Op::Sra, Type::S32, Type::S32, &[(-8i32) as u32, 1]), (-4i32) as u32);
+        assert_eq!(
+            eval(Op::Sra, Type::S32, Type::S32, &[(-8i32) as u32, 1]),
+            (-4i32) as u32
+        );
     }
 
     #[test]
     fn mulhi_matches_wide_multiply() {
-        assert_eq!(eval(Op::MulHi, Type::U32, Type::U32, &[u32::MAX, u32::MAX]), u32::MAX - 1);
+        assert_eq!(
+            eval(Op::MulHi, Type::U32, Type::U32, &[u32::MAX, u32::MAX]),
+            u32::MAX - 1
+        );
         assert_eq!(eval(Op::MulHi, Type::S32, Type::S32, &[(-1i32) as u32, 2]), u32::MAX);
     }
 

@@ -126,8 +126,15 @@ impl GpuConfig {
         use penny_ir::Op;
         match op {
             Op::Mul | Op::MulHi | Op::Mad => self.lat_mul,
-            Op::Div | Op::Rem | Op::Sqrt | Op::Rsqrt | Op::Rcp | Op::Ex2 | Op::Lg2
-            | Op::Sin | Op::Cos => self.lat_sfu,
+            Op::Div
+            | Op::Rem
+            | Op::Sqrt
+            | Op::Rsqrt
+            | Op::Rcp
+            | Op::Ex2
+            | Op::Lg2
+            | Op::Sin
+            | Op::Cos => self.lat_sfu,
             _ => self.lat_alu,
         }
     }

@@ -118,7 +118,12 @@ pub struct BlockCtx {
 }
 
 /// Values of the special registers for a given thread.
-pub fn special_value(s: Special, tid: (u32, u32), cta: (u32, u32), dims: &LaunchDims) -> u32 {
+pub fn special_value(
+    s: Special,
+    tid: (u32, u32),
+    cta: (u32, u32),
+    dims: &LaunchDims,
+) -> u32 {
     match s {
         Special::TidX => tid.0,
         Special::TidY => tid.1,
@@ -211,10 +216,8 @@ fn run_mode(
     };
     let shared_per_block = program.shared_bytes + protected.shared_ckpt_bytes;
     let tpb = launch.dims.threads_per_block();
-    let resident = config
-        .machine
-        .blocks_per_sm(tpb, regs_per_thread, shared_per_block)
-        .max(1);
+    let resident =
+        config.machine.blocks_per_sm(tpb, regs_per_thread, shared_per_block).max(1);
 
     let total_blocks = launch.dims.blocks();
     let mut stats = RunStats::default();
@@ -224,8 +227,9 @@ fn run_mode(
             (0..total_blocks).filter(|b| b % config.num_sms == sm).collect();
         let mut sm_cycles = 0u64;
         for wave in my_blocks.chunks(resident as usize) {
-            let mut engine =
-                SmEngine::new(config, protected, launch, &program, global, wave, dense, path);
+            let mut engine = SmEngine::new(
+                config, protected, launch, &program, global, wave, dense, path,
+            );
             let wave_cycles = engine.run_wave(&mut stats)?;
             sm_cycles += wave_cycles;
         }
@@ -292,10 +296,22 @@ impl<'a> SmEngine<'a> {
                     .map(|w| {
                         let base = w * 32;
                         let width = (tpb - base).min(32);
-                        Warp::new(w, base, width, program.start_of(penny_ir::BlockId(0)), program.end_pc())
+                        Warp::new(
+                            w,
+                            base,
+                            width,
+                            program.start_of(penny_ir::BlockId(0)),
+                            program.end_pc(),
+                        )
                     })
                     .collect();
-                BlockCtx { index: bi, cta, shared: SharedMemory::new(shared_bytes), threads, warps }
+                BlockCtx {
+                    index: bi,
+                    cta,
+                    shared: SharedMemory::new(shared_bytes),
+                    threads,
+                    warps,
+                }
             })
             .collect();
         SmEngine {
@@ -387,10 +403,7 @@ impl<'a> SmEngine<'a> {
 
     fn release_barriers(&mut self, stats: &mut RunStats) {
         for block in &mut self.blocks {
-            let all_waiting = block
-                .warps
-                .iter_mut()
-                .all(|w| w.at_barrier || w.finished());
+            let all_waiting = block.warps.iter_mut().all(|w| w.at_barrier || w.finished());
             if all_waiting {
                 let mut released = false;
                 for w in &mut block.warps {
@@ -407,7 +420,12 @@ impl<'a> SmEngine<'a> {
     }
 
     /// Executes one warp-instruction on the configured interpreter.
-    fn step_warp(&mut self, bi: usize, wi: usize, stats: &mut RunStats) -> Result<(), SimError> {
+    fn step_warp(
+        &mut self,
+        bi: usize,
+        wi: usize,
+        stats: &mut RunStats,
+    ) -> Result<(), SimError> {
         match self.path {
             ExecPath::Decoded => self.step_warp_decoded(bi, wi, stats),
             ExecPath::Reference => self.step_warp_reference(bi, wi, stats),
@@ -654,7 +672,11 @@ impl<'a> SmEngine<'a> {
                     let v = self.load(bi, space, addr, stats);
                     let thread = base + lane;
                     if d.dst != NO_REG {
-                        self.blocks[bi].threads[thread].rf.write(d.dst as usize, v, &mut stats.rf);
+                        self.blocks[bi].threads[thread].rf.write(
+                            d.dst as usize,
+                            v,
+                            &mut stats.rf,
+                        );
                     }
                     addrs.push(addr);
                 }
@@ -698,7 +720,11 @@ impl<'a> SmEngine<'a> {
                     self.store(bi, space, addr, new, stats);
                     let thread = base + lane;
                     if d.dst != NO_REG {
-                        self.blocks[bi].threads[thread].rf.write(d.dst as usize, old, &mut stats.rf);
+                        self.blocks[bi].threads[thread].rf.write(
+                            d.dst as usize,
+                            old,
+                            &mut stats.rf,
+                        );
                     }
                     addrs.push(addr);
                 }
@@ -714,7 +740,11 @@ impl<'a> SmEngine<'a> {
                     let v = crate::alu::eval(op, ty, ty2, &lane_srcs[lane][..nsrcs]);
                     let thread = base + lane;
                     if d.dst != NO_REG {
-                        self.blocks[bi].threads[thread].rf.write(d.dst as usize, v, &mut stats.rf);
+                        self.blocks[bi].threads[thread].rf.write(
+                            d.dst as usize,
+                            v,
+                            &mut stats.rf,
+                        );
                     }
                 }
                 Ok(self.config.latency_of(op) as u64)
@@ -990,7 +1020,11 @@ impl<'a> SmEngine<'a> {
                     let v = self.load(bi, space, addr, stats);
                     let thread = base + lane;
                     if let Some(d) = inst.dst {
-                        self.blocks[bi].threads[thread].rf.write(d.index(), v, &mut stats.rf);
+                        self.blocks[bi].threads[thread].rf.write(
+                            d.index(),
+                            v,
+                            &mut stats.rf,
+                        );
                     }
                     addrs.push(addr);
                 }
@@ -1034,7 +1068,11 @@ impl<'a> SmEngine<'a> {
                     self.store(bi, space, addr, new, stats);
                     let thread = base + lane;
                     if let Some(d) = inst.dst {
-                        self.blocks[bi].threads[thread].rf.write(d.index(), old, &mut stats.rf);
+                        self.blocks[bi].threads[thread].rf.write(
+                            d.index(),
+                            old,
+                            &mut stats.rf,
+                        );
                     }
                     addrs.push(addr);
                 }
@@ -1051,7 +1089,11 @@ impl<'a> SmEngine<'a> {
                     let v = crate::alu::eval(inst.op, inst.ty, inst.ty2, &lane_srcs[lane]);
                     let thread = base + lane;
                     if let Some(d) = inst.dst {
-                        self.blocks[bi].threads[thread].rf.write(d.index(), v, &mut stats.rf);
+                        self.blocks[bi].threads[thread].rf.write(
+                            d.index(),
+                            v,
+                            &mut stats.rf,
+                        );
                     }
                 }
                 Ok(self.config.latency_of(inst.op) as u64)
@@ -1063,7 +1105,13 @@ impl<'a> SmEngine<'a> {
     // Shared memory/timing model (both paths)
     // ---------------------------------------------------------------
 
-    fn load(&mut self, bi: usize, space: MemSpace, addr: u32, _stats: &mut RunStats) -> u32 {
+    fn load(
+        &mut self,
+        bi: usize,
+        space: MemSpace,
+        addr: u32,
+        _stats: &mut RunStats,
+    ) -> u32 {
         match space {
             MemSpace::Global => self.global.read(addr),
             MemSpace::Shared | MemSpace::Local => self.blocks[bi].shared.read(addr),
@@ -1075,7 +1123,14 @@ impl<'a> SmEngine<'a> {
         }
     }
 
-    fn store(&mut self, bi: usize, space: MemSpace, addr: u32, value: u32, _stats: &mut RunStats) {
+    fn store(
+        &mut self,
+        bi: usize,
+        space: MemSpace,
+        addr: u32,
+        value: u32,
+        _stats: &mut RunStats,
+    ) {
         match space {
             MemSpace::Global | MemSpace::Const => self.global.write(addr, value),
             MemSpace::Shared | MemSpace::Local => self.blocks[bi].shared.write(addr, value),
@@ -1137,7 +1192,12 @@ impl<'a> SmEngine<'a> {
 
     /// Penny recovery: roll the warp back to its region snapshot and
     /// restore every live-in of that region for every lane.
-    fn recover(&mut self, bi: usize, wi: usize, stats: &mut RunStats) -> Result<(), SimError> {
+    fn recover(
+        &mut self,
+        bi: usize,
+        wi: usize,
+        stats: &mut RunStats,
+    ) -> Result<(), SimError> {
         stats.recoveries += 1;
         if self.blocks[bi].warps[wi].snapshot.is_none() {
             return Err(SimError::UnrecoverableFault {

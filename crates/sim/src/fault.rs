@@ -119,13 +119,76 @@ mod tests {
 
     #[test]
     fn due_matches_victim_warp_and_trigger() {
-        let i = Injection { block: 1, warp: 2, lane: 5, reg: 0, bit: 0, after_warp_insts: 10 };
+        let i =
+            Injection { block: 1, warp: 2, lane: 5, reg: 0, bit: 0, after_warp_insts: 10 };
         assert!(i.due(1, 2, 32, 10), "fires exactly at the trigger count");
         assert!(i.due(1, 2, 32, 11), "stays due after the trigger count");
         assert!(!i.due(1, 2, 32, 9), "not before the trigger");
         assert!(!i.due(0, 2, 32, 10), "wrong block");
         assert!(!i.due(1, 3, 32, 10), "wrong warp");
         assert!(!i.due(1, 2, 5, 10), "lane beyond a narrow warp");
+    }
+
+    #[test]
+    fn due_at_first_and_last_executed_instruction() {
+        // Trigger 1 is the earliest a fault can fire: after the warp's
+        // first instruction, never before the warp has run anything.
+        let first =
+            Injection { block: 0, warp: 0, lane: 0, reg: 0, bit: 0, after_warp_insts: 1 };
+        assert!(!first.due(0, 0, 32, 0), "nothing executed yet");
+        assert!(first.due(0, 0, 32, 1), "fires after the first instruction");
+
+        // A trigger equal to the warp's total dynamic count fires after
+        // its final instruction; one past it never fires.
+        let total = 57u64;
+        let last = Injection { after_warp_insts: total, ..first };
+        assert!(!last.due(0, 0, 32, total - 1));
+        assert!(last.due(0, 0, 32, total));
+        let beyond = Injection { after_warp_insts: total + 1, ..first };
+        assert!(!beyond.due(0, 0, 32, total), "trigger past the end is benign");
+    }
+
+    #[test]
+    fn due_respects_warp_width_edges() {
+        let at = |lane| Injection {
+            block: 0,
+            warp: 0,
+            lane,
+            reg: 0,
+            bit: 0,
+            after_warp_insts: 1,
+        };
+        // Last lane of a full warp exists; the one past it does not.
+        assert!(at(31).due(0, 0, 32, 1));
+        assert!(!at(32).due(0, 0, 32, 1));
+        // Partial tail warp: lane == width is out of range, width-1 is in.
+        assert!(at(6).due(0, 0, 7, 1));
+        assert!(!at(7).due(0, 0, 7, 1));
+        // Degenerate width-1 warp keeps only lane 0.
+        assert!(at(0).due(0, 0, 1, 1));
+        assert!(!at(1).due(0, 0, 1, 1));
+    }
+
+    #[test]
+    fn multiple_injections_fire_independently() {
+        // Two faults on the same warp at different triggers plus one on
+        // another warp: each becomes due on its own schedule and a plan
+        // never conflates victims.
+        let early =
+            Injection { block: 0, warp: 0, lane: 3, reg: 1, bit: 2, after_warp_insts: 2 };
+        let late =
+            Injection { block: 0, warp: 0, lane: 9, reg: 4, bit: 0, after_warp_insts: 8 };
+        let other =
+            Injection { block: 1, warp: 1, lane: 0, reg: 0, bit: 5, after_warp_insts: 2 };
+        let plan = FaultPlan { injections: vec![early, late, other] };
+        let due_at = |block, warp, executed| {
+            plan.injections.iter().filter(|i| i.due(block, warp, 32, executed)).count()
+        };
+        assert_eq!(due_at(0, 0, 1), 0);
+        assert_eq!(due_at(0, 0, 2), 1, "only the early fault");
+        assert_eq!(due_at(0, 0, 8), 2, "both same-warp faults due");
+        assert_eq!(due_at(1, 1, 2), 1, "other warp sees only its own");
+        assert_eq!(due_at(1, 0, 100), 0, "unnamed warp never fires");
     }
 
     #[test]

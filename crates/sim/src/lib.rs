@@ -189,8 +189,7 @@ mod tests {
         let p = compile(&inc_kernel(), &cfg).expect("compile");
         let mut gpu = Gpu::new(GpuConfig::fermi().with_rf(RfProtection::None));
         gpu.global_mut().write_slice(0x1000, &(0..128).collect::<Vec<u32>>());
-        let stats =
-            gpu.run(&p, &LaunchConfig::new(dims, vec![0x1000])).expect("run");
+        let stats = gpu.run(&p, &LaunchConfig::new(dims, vec![0x1000])).expect("run");
         let out = gpu.global().read_slice(0x1000, 128);
         assert_eq!(out, (1..=128).collect::<Vec<u32>>());
         assert!(stats.cycles > 0);
@@ -205,10 +204,7 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::fermi());
         gpu.global_mut().write_slice(0x1000, &(0..128).collect::<Vec<u32>>());
         gpu.run(&p, &LaunchConfig::new(dims, vec![0x1000])).expect("run");
-        assert_eq!(
-            gpu.global().read_slice(0x1000, 128),
-            (1..=128).collect::<Vec<u32>>()
-        );
+        assert_eq!(gpu.global().read_slice(0x1000, 128), (1..=128).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -14,8 +14,8 @@
 
 use penny_analysis::Dominators;
 use penny_ir::{
-    AtomOp, BlockId, Inst, Kernel, MemSpace, Op, Operand, RegionId, Special, Terminator, Type,
-    MAX_SRCS,
+    AtomOp, BlockId, Inst, Kernel, MemSpace, Op, Operand, RegionId, Special, Terminator,
+    Type, MAX_SRCS,
 };
 
 /// Sentinel register index meaning "no register" (destination or guard).
@@ -237,7 +237,11 @@ impl Program {
             for i in &block.insts {
                 decoded.push(DecodedInst::lower(i));
             }
-            decoded.push(DecodedInst::lower_term(block.term, &block_start, reconv[b.index()]));
+            decoded.push(DecodedInst::lower_term(
+                block.term,
+                &block_start,
+                reconv[b.index()],
+            ));
             if let Some(r) = reference.as_mut() {
                 r.extend(block.insts.iter().map(|i| PInst::Inst(i.clone())));
                 r.push(PInst::Term(block.term));

@@ -54,7 +54,13 @@ pub struct Warp {
 impl Warp {
     /// Creates a warp starting at `entry_pc` with `width` live lanes,
     /// reconverging (terminating) at `end_pc`.
-    pub fn new(id: u32, base_thread: u32, width: u32, entry_pc: usize, end_pc: usize) -> Warp {
+    pub fn new(
+        id: u32,
+        base_thread: u32,
+        width: u32,
+        entry_pc: usize,
+        end_pc: usize,
+    ) -> Warp {
         let mask = if width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
         Warp {
             id,

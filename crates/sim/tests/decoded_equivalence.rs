@@ -129,7 +129,8 @@ fn both_paths(
 ) -> ((RunStats, GlobalMemory), (RunStats, GlobalMemory)) {
     let run = |reference: bool| {
         let mut global = GlobalMemory::new();
-        let input: Vec<u32> = (0u32..64).map(|x| x.wrapping_mul(7).wrapping_add(3)).collect();
+        let input: Vec<u32> =
+            (0u32..64).map(|x| x.wrapping_mul(7).wrapping_add(3)).collect();
         global.write_slice(0x1000, &input);
         let launch = engine::LaunchConfig::new(dims, vec![0x1000, 0x2000])
             .with_faults(faults.clone());

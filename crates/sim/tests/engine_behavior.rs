@@ -5,7 +5,12 @@
 use penny_core::{compile, LaunchDims, PennyConfig};
 use penny_sim::{Gpu, GpuConfig, LaunchConfig, RfProtection};
 
-fn run_kernel(src: &str, dims: LaunchDims, params: Vec<u32>, setup: &[(u32, Vec<u32>)]) -> (Gpu, penny_sim::RunStats) {
+fn run_kernel(
+    src: &str,
+    dims: LaunchDims,
+    params: Vec<u32>,
+    setup: &[(u32, Vec<u32>)],
+) -> (Gpu, penny_sim::RunStats) {
     let kernel = penny_ir::parse_kernel(src).expect("parse");
     let cfg = PennyConfig::unprotected().with_launch(dims);
     let protected = compile(&kernel, &cfg).expect("compile");
@@ -139,8 +144,10 @@ fn coalesced_loads_are_faster_than_scattered() {
     "#;
     let dims = LaunchDims::linear(1, 32);
     let input: Vec<u32> = (0..32 * 64).collect();
-    let (_, fast) = run_kernel(coalesced, dims, vec![0x1_0000, 0x8_0000], &[(0x1_0000, input.clone())]);
-    let (_, slow) = run_kernel(scattered, dims, vec![0x1_0000, 0x8_0000], &[(0x1_0000, input)]);
+    let (_, fast) =
+        run_kernel(coalesced, dims, vec![0x1_0000, 0x8_0000], &[(0x1_0000, input.clone())]);
+    let (_, slow) =
+        run_kernel(scattered, dims, vec![0x1_0000, 0x8_0000], &[(0x1_0000, input)]);
     assert!(
         slow.cycles > fast.cycles,
         "scattered ({}) must be slower than coalesced ({})",
@@ -251,8 +258,20 @@ fn occupancy_hides_memory_latency() {
             ret
     "#;
     let input: Vec<u32> = (0..256).collect();
-    let one = run_kernel(src, LaunchDims::linear(1, 32), vec![0x1_0000, 0x8_0000], &[(0x1_0000, input.clone())]).1;
-    let four = run_kernel(src, LaunchDims::linear(4, 32), vec![0x1_0000, 0x8_0000], &[(0x1_0000, input)]).1;
+    let one = run_kernel(
+        src,
+        LaunchDims::linear(1, 32),
+        vec![0x1_0000, 0x8_0000],
+        &[(0x1_0000, input.clone())],
+    )
+    .1;
+    let four = run_kernel(
+        src,
+        LaunchDims::linear(4, 32),
+        vec![0x1_0000, 0x8_0000],
+        &[(0x1_0000, input)],
+    )
+    .1;
     assert!(
         (four.cycles as f64) < 3.0 * one.cycles as f64,
         "4 blocks ({}) should overlap latency vs 1 block ({})",
@@ -278,9 +297,8 @@ fn cycle_budget_watchdog_catches_runaway_kernels() {
     let dims = LaunchDims::linear(1, 32);
     let cfg = PennyConfig::unprotected().with_launch(dims);
     let protected = compile(&kernel, &cfg).expect("compile");
-    let mut gpu = Gpu::new(
-        GpuConfig::fermi().with_rf(RfProtection::None).with_cycle_limit(10_000),
-    );
+    let mut gpu =
+        Gpu::new(GpuConfig::fermi().with_rf(RfProtection::None).with_cycle_limit(10_000));
     let err = gpu
         .run(&protected, &LaunchConfig::new(dims, vec![]))
         .expect_err("spin kernel must trip the watchdog");

@@ -163,8 +163,8 @@ mod tests {
     fn table3_coverage() {
         let expect = [
             "CP", "LIB", "LPS", "NN", "NQU", "SGEMM", "SPMV", "STC", "TPACF", "BP", "BFS",
-            "GAU", "HS", "MD", "NW", "PF", "SRAD", "SC", "BS", "SQ", "BO", "CS", "FW", "SP",
-            "MT",
+            "GAU", "HS", "MD", "NW", "PF", "SRAD", "SC", "BS", "SQ", "BO", "CS", "FW",
+            "SP", "MT",
         ];
         for a in expect {
             assert!(by_abbr(a).is_some(), "missing workload {a}");

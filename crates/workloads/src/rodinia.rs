@@ -149,8 +149,7 @@ fn bfs_graph() -> (Vec<u32>, Vec<u32>) {
 
 fn bfs_state() -> (Vec<u32>, Vec<u32>) {
     let frontier: Vec<u32> = (0..N).map(|i| u32::from(i % 8 == 0)).collect();
-    let cost: Vec<u32> =
-        (0..N).map(|i| if i % 8 == 0 { 1 } else { UNVISITED }).collect();
+    let cost: Vec<u32> = (0..N).map(|i| if i % 8 == 0 { 1 } else { UNVISITED }).collect();
     (frontier, cost)
 }
 

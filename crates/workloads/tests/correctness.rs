@@ -10,7 +10,8 @@ fn run_one(abbr: &str, config: &PennyConfig, rf: RfProtection) {
     let w = by_abbr(abbr).unwrap_or_else(|| panic!("workload {abbr}"));
     let kernel = w.kernel().unwrap_or_else(|e| panic!("{abbr}: parse: {e}"));
     let cfg = config.clone().with_launch(w.dims);
-    let protected = compile(&kernel, &cfg).unwrap_or_else(|e| panic!("{abbr}: compile: {e}"));
+    let protected =
+        compile(&kernel, &cfg).unwrap_or_else(|e| panic!("{abbr}: compile: {e}"));
     let mut gpu = Gpu::new(GpuConfig::fermi().with_rf(rf));
     let launch = w.prepare(gpu.global_mut());
     gpu.run(&protected, &launch).unwrap_or_else(|e| panic!("{abbr}: run: {e}"));

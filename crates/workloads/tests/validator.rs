@@ -1,0 +1,58 @@
+//! The static protection-invariant validator must accept every stock
+//! workload under every pipeline variant (acceptance criterion for
+//! `penny_core::check`): the validator runs inside `compile` behind
+//! `PennyConfig::validate` and a violation fails compilation.
+
+use penny_core::{compile, PennyConfig};
+
+const STOCK: [&str; 4] = ["MT", "SPMV", "SGEMM", "BFS"];
+
+fn variants() -> Vec<(&'static str, PennyConfig)> {
+    vec![
+        ("Penny", PennyConfig::penny()),
+        ("Bolt/Global", PennyConfig::bolt_global()),
+        ("Bolt/Auto_storage", PennyConfig::bolt_auto()),
+        ("iGPU", PennyConfig::igpu()),
+        ("Penny/No_opt", PennyConfig::penny_no_opt()),
+        ("Baseline", PennyConfig::unprotected()),
+    ]
+}
+
+#[test]
+fn stock_workloads_validate_under_all_variants() {
+    for abbr in STOCK {
+        let w = penny_workloads::by_abbr(abbr).expect("stock workload");
+        let k = w.kernel().unwrap_or_else(|e| panic!("{abbr}: {e}"));
+        for (name, config) in variants() {
+            let config = config.with_launch(w.dims).with_validation(true);
+            compile(&k, &config)
+                .unwrap_or_else(|e| panic!("{abbr} under {name} failed validation: {e}"));
+        }
+    }
+}
+
+#[test]
+fn every_workload_validates_under_penny() {
+    for w in penny_workloads::all() {
+        let k = w.kernel().unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
+        let config = PennyConfig::penny().with_launch(w.dims).with_validation(true);
+        compile(&k, &config)
+            .unwrap_or_else(|e| panic!("{} failed validation: {e}", w.abbr));
+    }
+}
+
+#[test]
+fn validated_compile_matches_unvalidated_output() {
+    // The validator is read-only: enabling it must not change what the
+    // compiler produces.
+    for abbr in STOCK {
+        let w = penny_workloads::by_abbr(abbr).expect("stock workload");
+        let k = w.kernel().unwrap_or_else(|e| panic!("{abbr}: {e}"));
+        let base = PennyConfig::penny().with_launch(w.dims);
+        let plain = compile(&k, &base).expect("compile");
+        let validated =
+            compile(&k, &base.clone().with_validation(true)).expect("validated compile");
+        assert_eq!(plain.kernel, validated.kernel, "{abbr}: kernel differs");
+        assert_eq!(plain.stats, validated.stats, "{abbr}: stats differ");
+    }
+}

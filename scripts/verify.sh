@@ -3,12 +3,16 @@
 #
 # Runs the same checks CI and reviewers rely on, in order of cost:
 #
-#   1. release build of the whole workspace;
-#   2. the root-package test suite (the tier-1 gate);
-#   3. the determinism/equivalence suites that pin every engine fast
+#   1. formatting and clippy lints (warnings are errors);
+#   2. release build of the whole workspace;
+#   3. the root-package test suite (the tier-1 gate);
+#   4. the determinism/equivalence suites that pin every engine fast
 #      path — event-driven vs dense scheduling, --jobs fan-out, and the
 #      pre-decoded micro-op + register-file fast path vs the
-#      always-decode reference interpreter — bit-identical.
+#      always-decode reference interpreter — bit-identical;
+#   5. the fault-space conformance harness (small default budget):
+#      every covered (instruction × register × bit) site must recover
+#      to the fault-free final memory under each protected scheme.
 #
 # Usage: scripts/verify.sh [--full]
 #   --full additionally runs every workspace test (fault-injection
@@ -16,6 +20,12 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -26,6 +36,9 @@ cargo test -q
 echo "==> determinism: harness + engine fast paths"
 cargo test --release -p penny-bench --test determinism
 cargo test --release -p penny-sim --test decoded_equivalence
+
+echo "==> conformance: fault-space recovery harness"
+cargo test -q -p penny-bench conformance
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full workspace test suite"

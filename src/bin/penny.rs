@@ -72,7 +72,8 @@ fn parse_args() -> Result<Args, String> {
             "--emit" => args.emit = true,
             "--param" => args.params.push(parse_u32(&next()?)?),
             "--fill" => {
-                let (a, l, s) = (parse_u32(&next()?)?, parse_u32(&next()?)?, parse_u32(&next()?)?);
+                let (a, l, s) =
+                    (parse_u32(&next()?)?, parse_u32(&next()?)?, parse_u32(&next()?)?);
                 args.fills.push((a, l, s));
             }
             "--dump" => {
@@ -128,9 +129,10 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let text = std::fs::read_to_string(&args.file)
-        .map_err(|e| format!("{}: {e}", args.file))?;
-    let kernel = penny::ir::parse_kernel(&text).map_err(|e| format!("{}: {e}", args.file))?;
+    let text =
+        std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
+    let kernel =
+        penny::ir::parse_kernel(&text).map_err(|e| format!("{}: {e}", args.file))?;
     penny::ir::validate(&kernel).map_err(|e| format!("{}: {e}", args.file))?;
 
     match args.command.as_str() {
@@ -151,12 +153,21 @@ fn run() -> Result<(), String> {
             let s = &protected.stats;
             println!("scheme: {}", args.scheme);
             println!("regions:            {}", s.regions);
-            println!("checkpoints:        {} considered, {} committed", s.total_checkpoints, s.committed);
+            println!(
+                "checkpoints:        {} considered, {} committed",
+                s.total_checkpoints, s.committed
+            );
             println!("  pruned (basic):   {}", s.pruned_basic);
             println!("  pruned (optimal): +{}", s.pruned_additional);
-            println!("overwrite-prone:    {} regs, {} adjustment blocks", s.overwrite_prone_regs, s.adjustment_blocks);
+            println!(
+                "overwrite-prone:    {} regs, {} adjustment blocks",
+                s.overwrite_prone_regs, s.adjustment_blocks
+            );
             println!("regs/thread:        {}", s.regs_per_thread);
-            println!("ckpt storage:       {} B shared, {} global slots", s.ckpt_shared_bytes, s.ckpt_global_slots);
+            println!(
+                "ckpt storage:       {} B shared, {} global slots",
+                s.ckpt_shared_bytes, s.ckpt_global_slots
+            );
             println!("est. occupancy:     {:.0}%", s.occupancy * 100.0);
             if args.emit {
                 println!("\n{}", protected.kernel);
@@ -171,7 +182,12 @@ fn run() -> Result<(), String> {
                 return Err(format!(
                     "kernel takes {} params ({}), {} given via --param",
                     kernel.params.len(),
-                    kernel.params.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", "),
+                    kernel
+                        .params
+                        .iter()
+                        .map(|p| p.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
                     args.params.len()
                 ));
             }
@@ -192,7 +208,10 @@ fn run() -> Result<(), String> {
             let stats = gpu.run(&protected, &launch).map_err(|e| e.to_string())?;
             println!("cycles:          {}", stats.cycles);
             println!("instructions:    {}", stats.instructions);
-            println!("rf accesses:     {} reads, {} writes", stats.rf.reads, stats.rf.writes);
+            println!(
+                "rf accesses:     {} reads, {} writes",
+                stats.rf.reads, stats.rf.writes
+            );
             println!("errors detected: {}", stats.rf.detected);
             println!("recoveries:      {}", stats.recoveries);
             for &(addr, len) in &args.dumps {

@@ -64,7 +64,11 @@ fn expected() -> (Vec<u32>, Vec<u32>) {
     (pop, hist)
 }
 
-fn run(config: &PennyConfig, rf: RfProtection, faults: FaultPlan) -> (Vec<u32>, Vec<u32>, penny::sim::RunStats) {
+fn run(
+    config: &PennyConfig,
+    rf: RfProtection,
+    faults: FaultPlan,
+) -> (Vec<u32>, Vec<u32>, penny::sim::RunStats) {
     let kernel = penny::ir::parse_kernel(KERNEL).expect("parse");
     let dims = LaunchDims::linear(4, 32);
     let cfg = config.clone().with_launch(dims);
@@ -78,7 +82,8 @@ fn run(config: &PennyConfig, rf: RfProtection, faults: FaultPlan) -> (Vec<u32>, 
 
 #[test]
 fn popcount_histogram_baseline() {
-    let (pop, hist, _) = run(&PennyConfig::unprotected(), RfProtection::None, FaultPlan::none());
+    let (pop, hist, _) =
+        run(&PennyConfig::unprotected(), RfProtection::None, FaultPlan::none());
     let (epop, ehist) = expected();
     assert_eq!(pop, epop);
     assert_eq!(hist, ehist);
@@ -116,15 +121,22 @@ fn all_penny_config_corners_are_transparent() {
     // semantics (performance differs; correctness may not).
     let base = PennyConfig::penny();
     for storage in [StoragePolicy::Shared, StoragePolicy::Global, StoragePolicy::Auto] {
-        for pruning in
-            [PruningMode::None, PruningMode::Basic { seed: 3, trials: 16 }, PruningMode::Optimal]
-        {
+        for pruning in [
+            PruningMode::None,
+            PruningMode::Basic { seed: 3, trials: 16 },
+            PruningMode::Optimal,
+        ] {
             for bcp in [false, true] {
                 for low_opts in [false, true] {
-                    let cfg = PennyConfig { storage, pruning, bcp, low_opts, ..base.clone() };
-                    let (pop, hist, _) = run(&cfg, GpuConfig::fermi().rf, FaultPlan::none());
+                    let cfg =
+                        PennyConfig { storage, pruning, bcp, low_opts, ..base.clone() };
+                    let (pop, hist, _) =
+                        run(&cfg, GpuConfig::fermi().rf, FaultPlan::none());
                     let (epop, ehist) = expected();
-                    assert_eq!(pop, epop, "{storage:?}/{pruning:?}/bcp={bcp}/low={low_opts}");
+                    assert_eq!(
+                        pop, epop,
+                        "{storage:?}/{pruning:?}/bcp={bcp}/low={low_opts}"
+                    );
                     assert_eq!(hist, ehist);
                 }
             }
