@@ -13,9 +13,29 @@
 //! differ by at least the access width in the constant term. Everything
 //! else *may alias* — conservative, exactly like the paper's use of a
 //! standard alias analysis.
+//!
+//! Two refinements sharpen that baseline (both can be disabled with
+//! [`AliasOptions::conservative`], which reproduces the original
+//! behaviour exactly):
+//!
+//! * **Base tracking through unknown indices.** An address built from a
+//!   pointer parameter plus a non-affine index (a loop-variant counter,
+//!   a value loaded from memory) used to collapse to [`Sym::Unknown`].
+//!   [`Sym::PtrAny`] keeps the *base parameter* even when the offset is
+//!   lost, so under the distinct-parameter assumption a loop that reads
+//!   `A[i]` and writes `B[i]` no longer forms an anti-dependence.
+//! * **Value-range disjointness.** Each access also carries the
+//!   [`Range`] of its address computed by [`RangeAnalysis`] under
+//!   launch-independent [`RangeHints::default`] (so the verdict never
+//!   depends on a particular launch geometry). Accesses whose address
+//!   ranges are provably at least an access width apart — by bounds or
+//!   by stride residue — cannot alias, and an address whose range sits
+//!   entirely at or above `reserved_base` is classified as a
+//!   checkpoint-arena access even when its affine form is unknown.
 
 use std::collections::HashMap;
 
+use crate::range::{Range, RangeAnalysis, RangeHints};
 use penny_ir::{InstId, Kernel, Loc, MemSpace, Op, Operand, Special, VReg};
 
 /// Options controlling conservatism.
@@ -30,23 +50,40 @@ pub struct AliasOptions {
     /// parameter-derived pointers: the runtime allocates program data
     /// strictly below it.
     pub reserved_base: u32,
+    /// Enable the range/base refinements: [`Sym::PtrAny`] base tracking
+    /// and [`RangeAnalysis`]-backed address-range disjointness. Off, the
+    /// analysis reproduces the original purely-affine behaviour.
+    pub range_refine: bool,
 }
 
 impl Default for AliasOptions {
     fn default() -> Self {
-        AliasOptions { distinct_params: true, reserved_base: 0xC000_0000 }
+        AliasOptions {
+            distinct_params: true,
+            reserved_base: 0xC000_0000,
+            range_refine: true,
+        }
+    }
+}
+
+impl AliasOptions {
+    /// The pre-refinement configuration: affine reasoning only, no base
+    /// tracking through unknown indices, no value-range disjointness.
+    /// Used by the benchmark harness to measure the refinement's effect.
+    pub fn conservative() -> AliasOptions {
+        AliasOptions { range_refine: false, ..AliasOptions::default() }
     }
 }
 
 /// Basis terms for affine address expressions.
-const T_CONST: usize = 0;
-const T_TIDX: usize = 1;
-const T_TIDY: usize = 2;
-const T_CTAX: usize = 3;
-const T_CTAY: usize = 4;
-const T_NTIDX: usize = 5;
-const T_GIDX: usize = 6; // ctaid.x * ntid.x
-const NTERMS: usize = 7;
+pub(crate) const T_CONST: usize = 0;
+pub(crate) const T_TIDX: usize = 1;
+pub(crate) const T_TIDY: usize = 2;
+pub(crate) const T_CTAX: usize = 3;
+pub(crate) const T_CTAY: usize = 4;
+pub(crate) const T_NTIDX: usize = 5;
+pub(crate) const T_GIDX: usize = 6; // ctaid.x * ntid.x
+pub(crate) const NTERMS: usize = 7;
 
 /// An affine combination of the basis terms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +151,13 @@ impl Affine {
         }
     }
 
+    /// The raw coefficient vector (shared-crate consumers: the race
+    /// detector decomposes addresses into per-lane and CTA-uniform
+    /// parts).
+    pub(crate) fn raw(self) -> [i64; NTERMS] {
+        self.coeffs
+    }
+
     /// Is this exactly one basis term with coefficient 1?
     fn single_term(self) -> Option<usize> {
         let mut found = None;
@@ -154,15 +198,36 @@ pub enum Sym {
         /// Displacement from the parameter value.
         off: Affine,
     },
+    /// Somewhere inside the allocation of the pointer parameter at byte
+    /// offset `param`, at an offset the analysis cannot express. Under
+    /// the distinct-parameter (restrict) assumption this still cannot
+    /// alias an access rooted at a different parameter.
+    PtrAny {
+        /// Param-space byte offset identifying the parameter.
+        param: u32,
+    },
     /// Anything (lattice bottom).
     Unknown,
 }
 
 impl Sym {
+    /// The base parameter this value is derived from, if any.
+    fn base_param(self) -> Option<u32> {
+        match self {
+            Sym::Ptr { param, .. } | Sym::PtrAny { param } => Some(param),
+            _ => None,
+        }
+    }
+
     fn meet(self, o: Sym) -> Sym {
         match (self, o) {
             (Sym::Undef, x) | (x, Sym::Undef) => x,
             (a, b) if a == b => a,
+            // Different offsets into the same parameter: the offset is
+            // lost but the base survives.
+            (a, b) if a.base_param().is_some() && a.base_param() == b.base_param() => {
+                Sym::PtrAny { param: a.base_param().expect("checked") }
+            }
             _ => Sym::Unknown,
         }
     }
@@ -173,6 +238,16 @@ impl Sym {
             (Sym::Ptr { param, off }, Sym::Aff(b))
             | (Sym::Aff(b), Sym::Ptr { param, off }) => Sym::Ptr { param, off: off.add(b) },
             (Sym::Undef, _) | (_, Sym::Undef) => Sym::Unknown,
+            // Pointer plus an untracked index: still inside the same
+            // parameter's allocation (restrict-style assumption).
+            (
+                Sym::Ptr { param, .. } | Sym::PtrAny { param },
+                Sym::Aff(_) | Sym::Unknown,
+            )
+            | (
+                Sym::Aff(_) | Sym::Unknown,
+                Sym::Ptr { param, .. } | Sym::PtrAny { param },
+            ) => Sym::PtrAny { param },
             _ => Sym::Unknown,
         }
     }
@@ -181,6 +256,10 @@ impl Sym {
         match (self, o) {
             (Sym::Aff(a), Sym::Aff(b)) => Sym::Aff(a.sub(b)),
             (Sym::Ptr { param, off }, Sym::Aff(b)) => Sym::Ptr { param, off: off.sub(b) },
+            (
+                Sym::Ptr { param, .. } | Sym::PtrAny { param },
+                Sym::Aff(_) | Sym::Unknown,
+            ) => Sym::PtrAny { param },
             _ => Sym::Unknown,
         }
     }
@@ -234,6 +313,10 @@ pub struct MemAccess {
     /// Symbolic address (base register value plus the instruction's
     /// constant offset).
     pub addr: Sym,
+    /// Value range of the address, computed under launch-independent
+    /// [`RangeHints::default`]. `None` when range refinement is disabled
+    /// or the access has no numeric address (param/const spaces).
+    pub range: Option<Range>,
 }
 
 /// Result of the alias analysis over one kernel snapshot.
@@ -248,10 +331,17 @@ impl AliasAnalysis {
     /// Runs the analysis.
     pub fn compute(kernel: &Kernel, options: AliasOptions) -> AliasAnalysis {
         let values = propagate(kernel);
+        // Hints are deliberately the launch-independent defaults: the
+        // same kernel must get the same alias verdicts no matter what
+        // geometry it is later launched with.
+        let ranges = options
+            .range_refine
+            .then(|| RangeAnalysis::compute(kernel, RangeHints::default()));
         let mut accesses = Vec::new();
         let mut by_inst = HashMap::new();
         for b in kernel.block_ids() {
             let mut env = values[b.index()].clone();
+            let mut renv = ranges.as_ref().map(|ra| ra.block_env(b));
             for (idx, inst) in kernel.block(b).insts.iter().enumerate() {
                 let loc = Loc { block: b, idx };
                 if let Some(space) = inst.mem_space() {
@@ -260,6 +350,10 @@ impl AliasAnalysis {
                         other => eval_operand(other, &env),
                     };
                     let addr = base.add(Sym::Aff(Affine::konst(inst.offset as i64)));
+                    let range = match (&ranges, &renv) {
+                        (Some(ra), Some(re)) => ra.access_range(inst, re),
+                        _ => None,
+                    };
                     by_inst.insert(inst.id, accesses.len());
                     accesses.push(MemAccess {
                         loc,
@@ -268,9 +362,13 @@ impl AliasAnalysis {
                         is_read: inst.op.reads_memory(),
                         is_write: inst.op.writes_memory(),
                         addr,
+                        range,
                     });
                 }
                 transfer(inst, &mut env);
+                if let (Some(ra), Some(re)) = (&ranges, &mut renv) {
+                    ra.step(inst, re);
+                }
             }
         }
         AliasAnalysis { accesses, by_inst, options }
@@ -298,6 +396,22 @@ impl AliasAnalysis {
         }
     }
 
+    /// Arena classification of a whole access: affine constant term, or
+    /// (with range refinement) an address range entirely above the base.
+    fn access_in_reserved(&self, a: &MemAccess) -> bool {
+        self.in_reserved(a.addr)
+            || matches!(a.range, Some(r) if r.lo >= self.options.reserved_base as i64)
+    }
+
+    /// With refinement off, [`Sym::PtrAny`] degrades to [`Sym::Unknown`]
+    /// so verdicts match the original analysis exactly.
+    fn norm(&self, a: Sym) -> Sym {
+        match a {
+            Sym::PtrAny { .. } if !self.options.range_refine => Sym::Unknown,
+            other => other,
+        }
+    }
+
     /// May the given write overwrite the location read by the given read
     /// (i.e. can the pair form a same-thread memory anti-dependence)?
     ///
@@ -313,22 +427,44 @@ impl AliasAnalysis {
         // Reserved-arena accesses never alias program data: the runtime
         // keeps all program allocations below the arena.
         if read.space == MemSpace::Global
-            && self.in_reserved(read.addr) != self.in_reserved(write.addr)
+            && self.access_in_reserved(read) != self.access_in_reserved(write)
         {
             return false;
         }
-        match (read.addr, write.addr) {
+        // Address ranges provably an access width apart (by bounds or by
+        // stride residue) cannot overlap, whatever their symbolic form.
+        if let (Some(ra), Some(rb)) = (read.range, write.range) {
+            if ra.disjoint_from(rb, 4) {
+                return false;
+            }
+        }
+        match (self.norm(read.addr), self.norm(write.addr)) {
             (Sym::Ptr { param: pa, off: oa }, Sym::Ptr { param: pb, off: ob }) => {
                 if pa != pb {
                     return !self.options.distinct_params;
                 }
                 !oa.disjoint_from(ob, 4)
             }
+            // One side lost its offset: disjointness is only provable
+            // across distinct parameters.
+            (Sym::PtrAny { param: pa }, Sym::Ptr { param: pb, .. })
+            | (Sym::Ptr { param: pa, .. }, Sym::PtrAny { param: pb })
+            | (Sym::PtrAny { param: pa }, Sym::PtrAny { param: pb }) => {
+                pa == pb || !self.options.distinct_params
+            }
             (Sym::Aff(a), Sym::Aff(b)) => !a.disjoint_from(b, 4),
             // Parameter pointers live below the arena; an arena-resident
             // affine address therefore cannot alias them.
-            (Sym::Ptr { .. }, Sym::Aff(_)) if self.in_reserved(write.addr) => false,
-            (Sym::Aff(_), Sym::Ptr { .. }) if self.in_reserved(read.addr) => false,
+            (Sym::Ptr { .. } | Sym::PtrAny { .. }, Sym::Aff(_))
+                if self.access_in_reserved(write) =>
+            {
+                false
+            }
+            (Sym::Aff(_), Sym::Ptr { .. } | Sym::PtrAny { .. })
+                if self.access_in_reserved(read) =>
+            {
+                false
+            }
             // Mixed pointer/raw or Unknown: may alias.
             _ => true,
         }
@@ -577,9 +713,161 @@ mod tests {
             .copied()
             .expect("read");
         let write = aa.accesses().iter().find(|a| a.is_write).copied().expect("write");
-        // %r0 is loop-variant => Unknown => may alias (the store at i+1
-        // really does clobber the next iteration's load).
+        // %r0 is loop-variant so the offset is lost, but both accesses
+        // stay rooted at A => may alias (the store at i+1 really does
+        // clobber the next iteration's load).
         assert!(aa.may_antidep(&read, &write));
+    }
+
+    #[test]
+    fn loop_variant_distinct_params_are_disjoint_via_base_tracking() {
+        const SRC: &str = r#"
+            .kernel k .params A B
+            entry:
+                mov.u32 %r0, 0
+                ld.param.u32 %r1, [A]
+                ld.param.u32 %r2, [B]
+                jmp head
+            head:
+                shl.u32 %r3, %r0, 2
+                add.u32 %r4, %r1, %r3
+                add.u32 %r5, %r2, %r3
+                ld.global.u32 %r6, [%r4]
+                st.global.u32 [%r5], %r6
+                add.u32 %r0, %r0, 1
+                setp.lt.u32 %p0, %r0, 8
+                bra %p0, head, exit
+            exit:
+                ret
+        "#;
+        let k = parse_kernel(SRC).expect("parse");
+        let find = |aa: &AliasAnalysis| {
+            let read = aa
+                .accesses()
+                .iter()
+                .find(|a| a.is_read && a.space == MemSpace::Global)
+                .copied()
+                .expect("read");
+            let write = aa.accesses().iter().find(|a| a.is_write).copied().expect("write");
+            (read, write)
+        };
+        // Refined: the loop-variant index degrades both addresses to
+        // PtrAny, but distinct bases still prove disjointness.
+        let aa = AliasAnalysis::compute(&k, AliasOptions::default());
+        let (read, write) = find(&aa);
+        assert!(matches!(read.addr, Sym::PtrAny { .. }), "{:?}", read.addr);
+        assert!(!aa.may_antidep(&read, &write));
+        // Conservative: both collapse to Unknown => may alias, exactly
+        // the original behaviour.
+        let aa = AliasAnalysis::compute(&k, AliasOptions::conservative());
+        let (read, write) = find(&aa);
+        assert!(aa.may_antidep(&read, &write));
+    }
+
+    #[test]
+    fn shared_tiles_are_disjoint_by_address_range() {
+        // Two shared-memory tiles indexed by an opaque value reduced
+        // modulo the tile size: the affine form is Unknown, but the
+        // ranges [0,252] and [256,508] cannot overlap.
+        const SRC: &str = r#"
+            .kernel k .params A
+            entry:
+                ld.param.u32 %r1, [A]
+                ld.global.u32 %r2, [%r1]
+                rem.u32 %r3, %r2, 64
+                shl.u32 %r4, %r3, 2
+                add.u32 %r5, %r4, 256
+                ld.shared.u32 %r6, [%r4]
+                st.shared.u32 [%r5], %r6
+                ret
+        "#;
+        let k = parse_kernel(SRC).expect("parse");
+        let find = |aa: &AliasAnalysis| {
+            let read = aa
+                .accesses()
+                .iter()
+                .find(|a| a.is_read && a.space == MemSpace::Shared)
+                .copied()
+                .expect("read");
+            let write = aa
+                .accesses()
+                .iter()
+                .find(|a| a.is_write && a.space == MemSpace::Shared)
+                .copied()
+                .expect("write");
+            (read, write)
+        };
+        let aa = AliasAnalysis::compute(&k, AliasOptions::default());
+        let (read, write) = find(&aa);
+        assert_eq!(read.range.map(|r| (r.lo, r.hi)), Some((0, 252)));
+        assert_eq!(write.range.map(|r| (r.lo, r.hi)), Some((256, 508)));
+        assert!(!aa.may_antidep(&read, &write));
+        let aa = AliasAnalysis::compute(&k, AliasOptions::conservative());
+        let (read, write) = find(&aa);
+        assert!(aa.may_antidep(&read, &write));
+    }
+
+    #[test]
+    fn reserved_arena_classification_uses_ranges() {
+        // A store whose address is opaque to the affine analysis (modulo
+        // of a loaded value) but whose range sits entirely inside the
+        // checkpoint arena cannot clobber parameter-derived data.
+        const SRC: &str = r#"
+            .kernel k .params A
+            entry:
+                ld.param.u32 %r1, [A]
+                ld.global.u32 %r2, [%r1]
+                rem.u32 %r3, %r2, 256
+                shl.u32 %r4, %r3, 2
+                add.u32 %r5, %r4, 3221225472
+                st.global.u32 [%r5], %r2
+                ret
+        "#;
+        let k = parse_kernel(SRC).expect("parse");
+        let find = |aa: &AliasAnalysis| {
+            let read = aa
+                .accesses()
+                .iter()
+                .find(|a| a.is_read && a.space == MemSpace::Global)
+                .copied()
+                .expect("read");
+            let write = aa.accesses().iter().find(|a| a.is_write).copied().expect("write");
+            (read, write)
+        };
+        let aa = AliasAnalysis::compute(&k, AliasOptions::default());
+        let (read, write) = find(&aa);
+        assert!(!aa.may_antidep(&read, &write));
+        let aa = AliasAnalysis::compute(&k, AliasOptions::conservative());
+        let (read, write) = find(&aa);
+        assert!(aa.may_antidep(&read, &write));
+    }
+
+    #[test]
+    fn strided_ranges_are_disjoint_by_residue() {
+        // Interleaved layout: one access touches words at 8k, the other
+        // at 8k+4. Bounds overlap but the stride residues never meet.
+        const SRC: &str = r#"
+            .kernel k .params A
+            entry:
+                ld.param.u32 %r1, [A]
+                ld.global.u32 %r2, [%r1]
+                rem.u32 %r3, %r2, 64
+                shl.u32 %r4, %r3, 3
+                add.u32 %r5, %r4, 4
+                ld.shared.u32 %r6, [%r4]
+                st.shared.u32 [%r5], %r6
+                ret
+        "#;
+        let k = parse_kernel(SRC).expect("parse");
+        let aa = AliasAnalysis::compute(&k, AliasOptions::default());
+        let read = aa
+            .accesses()
+            .iter()
+            .find(|a| a.is_read && a.space == MemSpace::Shared)
+            .copied()
+            .expect("read");
+        let write = aa.accesses().iter().find(|a| a.is_write).copied().expect("write");
+        assert!(!aa.may_antidep(&read, &write));
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! A generic monotone dataflow framework.
+//!
+//! Every fixpoint analysis in this crate — liveness, reaching
+//! definitions, value ranges, uniformity, the lint interval analyses —
+//! is an instance of the same recipe: a join-semilattice of facts, a
+//! monotone per-block transfer function, and iteration to the least
+//! fixpoint over the CFG. This module factors that recipe out once:
+//! implement [`Lattice`] for the fact type and [`Transfer`] for the
+//! analysis, then call [`solve`].
+//!
+//! The solver runs a **priority worklist**: blocks are keyed by their
+//! reverse-post-order index (post-order for backward analyses) and the
+//! lowest-priority dirty block is processed first, which visits a
+//! reducible CFG in close to optimal order. Per-block entry/exit states
+//! are cached in the returned [`Solution`], so a block is re-evaluated
+//! only when one of its inputs actually changed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use penny_ir::{BlockId, Kernel};
+
+/// Direction a dataflow analysis runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors.
+    Forward,
+    /// Facts flow from successors to predecessors.
+    Backward,
+}
+
+/// A join-semilattice of dataflow facts.
+///
+/// `join` must be monotone, commutative, and idempotent, and the
+/// lattice must have finite ascending chains (or `join` must widen),
+/// otherwise [`solve`] may not terminate.
+pub trait Lattice: Clone {
+    /// Joins `other` into `self`; returns `true` if `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// A dataflow analysis: a lattice plus a monotone block transfer.
+pub trait Transfer {
+    /// Per-program-point fact.
+    type State: Lattice;
+
+    /// Which way facts flow.
+    fn direction(&self) -> Direction;
+
+    /// State at the CFG boundary: the entry block's input for forward
+    /// analyses, every exit block's input for backward analyses.
+    fn boundary(&self, kernel: &Kernel) -> Self::State;
+
+    /// The optimistic initial state (lattice bottom) every other block
+    /// input starts from.
+    fn init(&self, kernel: &Kernel) -> Self::State;
+
+    /// Applies block `b`'s effect to `state`: entry→exit for forward
+    /// analyses, exit→entry for backward ones.
+    fn apply(&self, kernel: &Kernel, b: BlockId, state: &mut Self::State);
+
+    /// Refines the state flowing along CFG edge `from → to`, e.g. with
+    /// the branch condition that selects the edge. Called on a copy of
+    /// the source state before it is joined into the destination.
+    fn refine_edge(
+        &self,
+        _kernel: &Kernel,
+        _from: BlockId,
+        _to: BlockId,
+        _state: &mut Self::State,
+    ) {
+    }
+}
+
+/// The least fixpoint of an analysis: cached per-block states.
+///
+/// Both vectors are indexed by `BlockId::index()`. `entry[b]` is the
+/// state at the top of block `b` and `exit[b]` the state at its bottom,
+/// regardless of direction.
+#[derive(Debug, Clone)]
+pub struct Solution<S> {
+    /// State at each block entry.
+    pub entry: Vec<S>,
+    /// State at each block exit.
+    pub exit: Vec<S>,
+}
+
+/// Runs `analysis` to its least fixpoint over `kernel`'s CFG.
+pub fn solve<T: Transfer>(kernel: &Kernel, analysis: &T) -> Solution<T::State> {
+    let n = kernel.num_blocks();
+    let dir = analysis.direction();
+
+    // Priority = position in RPO (forward) or post-order (backward).
+    // `reverse_post_order` appends unreachable blocks, so every block
+    // gets a priority and a seat in the initial worklist.
+    let rpo = kernel.reverse_post_order();
+    let mut prio = vec![usize::MAX; n];
+    match dir {
+        Direction::Forward => {
+            for (i, b) in rpo.iter().enumerate() {
+                prio[b.index()] = i;
+            }
+        }
+        Direction::Backward => {
+            for (i, b) in rpo.iter().rev().enumerate() {
+                prio[b.index()] = i;
+            }
+        }
+    }
+
+    let mut entry: Vec<T::State> = (0..n).map(|_| analysis.init(kernel)).collect();
+    let mut exit: Vec<T::State> = (0..n).map(|_| analysis.init(kernel)).collect();
+
+    let preds = kernel.predecessors();
+    let boundary = analysis.boundary(kernel);
+
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+    let mut queued = vec![false; n];
+    let push = |heap: &mut BinaryHeap<_>, queued: &mut Vec<bool>, b: BlockId| {
+        if !queued[b.index()] {
+            queued[b.index()] = true;
+            heap.push(Reverse((prio[b.index()], b.index())));
+        }
+    };
+    for &b in &rpo {
+        push(&mut heap, &mut queued, b);
+    }
+
+    while let Some(Reverse((_, bi))) = heap.pop() {
+        queued[bi] = false;
+        let b = BlockId(bi as u32);
+        match dir {
+            Direction::Forward => {
+                // entry[b] = boundary? ⊔ (⊔ refine(exit[p]) for p in preds)
+                let mut inn = analysis.init(kernel);
+                if b == kernel.entry {
+                    inn.join(&boundary);
+                }
+                for &p in &preds[bi] {
+                    let mut s = exit[p.index()].clone();
+                    analysis.refine_edge(kernel, p, b, &mut s);
+                    inn.join(&s);
+                }
+                entry[bi].join(&inn);
+                let mut out = entry[bi].clone();
+                analysis.apply(kernel, b, &mut out);
+                // `out` is nondecreasing across visits (entry accumulates,
+                // apply is monotone), so the cache can hold it exactly; the
+                // join is only used to detect change. Accumulating instead
+                // would let a widening join retain overshoot from early
+                // iterates in the cached exit state.
+                let changed = exit[bi].join(&out);
+                exit[bi] = out;
+                if changed {
+                    for s in kernel.block(b).term.successors() {
+                        push(&mut heap, &mut queued, s);
+                    }
+                }
+            }
+            Direction::Backward => {
+                // exit[b] = boundary? ⊔ (⊔ refine(entry[s]) for s in succs)
+                let succs = kernel.block(b).term.successors();
+                let mut out = analysis.init(kernel);
+                if succs.is_empty() {
+                    out.join(&boundary);
+                }
+                for s in succs {
+                    let mut st = entry[s.index()].clone();
+                    analysis.refine_edge(kernel, b, s, &mut st);
+                    out.join(&st);
+                }
+                exit[bi].join(&out);
+                let mut inn = exit[bi].clone();
+                analysis.apply(kernel, b, &mut inn);
+                let changed = entry[bi].join(&inn);
+                entry[bi] = inn;
+                if changed {
+                    for &p in &preds[bi] {
+                        push(&mut heap, &mut queued, p);
+                    }
+                }
+            }
+        }
+    }
+
+    Solution { entry, exit }
+}
+
+impl Lattice for crate::bitset::BitSet {
+    fn join(&mut self, other: &Self) -> bool {
+        self.union_with(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::BitSet;
+    use penny_ir::parse_kernel;
+
+    /// A toy forward analysis: the set of blocks that can reach a block
+    /// (including itself), as a BitSet over block indices.
+    struct Reach;
+
+    impl Transfer for Reach {
+        type State = BitSet;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self, kernel: &Kernel) -> BitSet {
+            BitSet::new(kernel.num_blocks())
+        }
+        fn init(&self, kernel: &Kernel) -> BitSet {
+            BitSet::new(kernel.num_blocks())
+        }
+        fn apply(&self, _kernel: &Kernel, b: BlockId, state: &mut BitSet) {
+            state.insert(b.index());
+        }
+    }
+
+    const DIAMOND_LOOP: &str = r#"
+        .kernel k
+        entry:
+            mov.u32 %r0, 0
+            jmp head
+        head:
+            add.u32 %r0, %r0, 1
+            setp.lt.u32 %p0, %r0, 4
+            bra %p0, head, left
+        left:
+            setp.lt.u32 %p1, %r0, 2
+            bra %p1, a, b
+        a:
+            jmp join
+        b:
+            jmp join
+        join:
+            ret
+    "#;
+
+    #[test]
+    fn forward_reachability_fixpoint() {
+        let k = parse_kernel(DIAMOND_LOOP).expect("parse");
+        let sol = solve(&k, &Reach);
+        // join (block 5... look it up by label) sees every block.
+        let join = k.block_ids().find(|&b| k.block(b).label == "join").expect("join block");
+        let got: Vec<usize> = sol.entry[join.index()].iter().collect();
+        assert_eq!(got.len(), k.num_blocks() - 1, "all non-join blocks reach join");
+        // head's entry includes head itself (loop back edge).
+        let head = k.block_ids().find(|&b| k.block(b).label == "head").expect("head block");
+        assert!(sol.entry[head.index()].contains(head.index()));
+    }
+
+    /// Backward analogue: blocks reachable *from* a block.
+    struct CoReach;
+
+    impl Transfer for CoReach {
+        type State = BitSet;
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn boundary(&self, kernel: &Kernel) -> BitSet {
+            BitSet::new(kernel.num_blocks())
+        }
+        fn init(&self, kernel: &Kernel) -> BitSet {
+            BitSet::new(kernel.num_blocks())
+        }
+        fn apply(&self, _kernel: &Kernel, b: BlockId, state: &mut BitSet) {
+            state.insert(b.index());
+        }
+    }
+
+    #[test]
+    fn backward_coreachability_fixpoint() {
+        let k = parse_kernel(DIAMOND_LOOP).expect("parse");
+        let sol = solve(&k, &CoReach);
+        // Every block can reach the exit, so entry of the entry block
+        // contains all blocks.
+        let got: Vec<usize> = sol.entry[k.entry.index()].iter().collect();
+        assert_eq!(got.len(), k.num_blocks());
+    }
+}

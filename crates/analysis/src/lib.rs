@@ -11,7 +11,16 @@
 //! * [`ReachingDefs`] — last update points (LUPs) of live-in registers;
 //! * [`AliasAnalysis`] — symbolic address analysis powering memory
 //!   anti-dependence detection for region formation (paper §5);
-//! * [`BitSet`] — the dense set type backing the dataflow fixpoints.
+//! * [`BitSet`] — the dense set type backing the dataflow fixpoints;
+//! * [`dataflow`] — the generic monotone worklist framework the
+//!   fixpoint analyses are instances of;
+//! * [`RangeAnalysis`] — SCEV-lite value-range/stride analysis of
+//!   address operands, used to refine [`AliasAnalysis`];
+//! * [`Uniformity`] — which values are provably uniform or provably
+//!   thread-varying across the lanes of a CTA;
+//! * [`lint_kernel`] — the kernel sanitizer behind `penny-lint`
+//!   (divergent barriers, shared-memory races, uninitialized reads,
+//!   reserved-arena writes).
 //!
 //! # Examples
 //!
@@ -41,15 +50,26 @@
 pub mod alias;
 pub mod bitset;
 pub mod cd;
+pub mod dataflow;
 pub mod dom;
 pub mod liveness;
 pub mod loops;
+pub mod range;
 pub mod reachdefs;
+pub mod sanitize;
+pub mod uniform;
 
 pub use alias::{AliasAnalysis, AliasOptions, MemAccess, Sym};
 pub use bitset::BitSet;
 pub use cd::{ControlDep, ControlDeps};
+pub use dataflow::{solve, Direction, Lattice, Solution, Transfer};
 pub use dom::Dominators;
 pub use liveness::Liveness;
 pub use loops::{Loop, LoopInfo};
+pub use range::{Range, RangeAnalysis, RangeHints};
 pub use reachdefs::{DefSite, ReachingDefs};
+pub use sanitize::{
+    lint_kernel, Diagnostic, LintOptions, Severity, DIVERGENT_BARRIER,
+    RESERVED_ARENA_WRITE, SHARED_RACE, UNINIT_READ,
+};
+pub use uniform::{Uni, Uniformity};

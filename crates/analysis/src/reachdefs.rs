@@ -5,9 +5,10 @@
 //! definitions of `r` that reach a region boundary where `r` is live-in
 //! are exactly the LUPs needing checkpoints.
 
-use penny_ir::{InstId, Kernel, Loc, VReg};
+use penny_ir::{BlockId, InstId, Kernel, Loc, VReg};
 
 use crate::bitset::BitSet;
+use crate::dataflow::{solve, Direction, Transfer};
 
 /// One definition site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,18 +29,18 @@ pub struct ReachingDefs {
     in_sets: Vec<BitSet>,
 }
 
-impl ReachingDefs {
-    /// Computes reaching definitions.
-    pub fn compute(kernel: &Kernel) -> ReachingDefs {
-        let mut sites = Vec::new();
-        for (loc, inst) in kernel.locs() {
-            if let Some(reg) = inst.def() {
-                sites.push(DefSite { loc, inst: inst.id, reg });
-            }
-        }
+/// Gen/kill sets per block, shared by the worklist solver and the
+/// retained reference fixpoint.
+struct DefTransfer {
+    gen: Vec<BitSet>,
+    kill: Vec<BitSet>,
+    nd: usize,
+}
+
+impl DefTransfer {
+    fn new(kernel: &Kernel, sites: &[DefSite]) -> DefTransfer {
         let nd = sites.len();
         let n = kernel.num_blocks();
-        // Per-block gen/kill.
         let mut gen: Vec<BitSet> = vec![BitSet::new(nd); n];
         let mut kill: Vec<BitSet> = vec![BitSet::new(nd); n];
         for b in kernel.block_ids() {
@@ -73,6 +74,59 @@ impl ReachingDefs {
                 }
             }
         }
+        DefTransfer { gen, kill, nd }
+    }
+}
+
+impl Transfer for DefTransfer {
+    type State = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, _kernel: &Kernel) -> BitSet {
+        BitSet::new(self.nd)
+    }
+
+    fn init(&self, _kernel: &Kernel) -> BitSet {
+        BitSet::new(self.nd)
+    }
+
+    fn apply(&self, _kernel: &Kernel, b: BlockId, state: &mut BitSet) {
+        // out = gen ∪ (in − kill)
+        state.subtract(&self.kill[b.index()]);
+        state.union_with(&self.gen[b.index()]);
+    }
+}
+
+fn collect_sites(kernel: &Kernel) -> Vec<DefSite> {
+    let mut sites = Vec::new();
+    for (loc, inst) in kernel.locs() {
+        if let Some(reg) = inst.def() {
+            sites.push(DefSite { loc, inst: inst.id, reg });
+        }
+    }
+    sites
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions.
+    pub fn compute(kernel: &Kernel) -> ReachingDefs {
+        let sites = collect_sites(kernel);
+        let t = DefTransfer::new(kernel, &sites);
+        let sol = solve(kernel, &t);
+        ReachingDefs { sites, in_sets: sol.entry }
+    }
+
+    /// The pre-framework fixpoint loop, retained for one release as the
+    /// oracle of the equivalence tests (results must be bit-identical to
+    /// [`ReachingDefs::compute`]). Do not use in new code.
+    #[doc(hidden)]
+    pub fn compute_reference(kernel: &Kernel) -> ReachingDefs {
+        let sites = collect_sites(kernel);
+        let t = DefTransfer::new(kernel, &sites);
+        let (nd, n) = (t.nd, kernel.num_blocks());
         let mut in_sets = vec![BitSet::new(nd); n];
         let mut out_sets = vec![BitSet::new(nd); n];
         let order = kernel.reverse_post_order();
@@ -86,8 +140,8 @@ impl ReachingDefs {
                     inn.union_with(&out_sets[p.index()]);
                 }
                 let mut out = inn.clone();
-                out.subtract(&kill[b.index()]);
-                out.union_with(&gen[b.index()]);
+                out.subtract(&t.kill[b.index()]);
+                out.union_with(&t.gen[b.index()]);
                 if inn != in_sets[b.index()] {
                     in_sets[b.index()] = inn;
                     changed = true;
@@ -99,6 +153,13 @@ impl ReachingDefs {
             }
         }
         ReachingDefs { sites, in_sets }
+    }
+
+    /// Definition indices reaching each block entry (equivalence-test
+    /// accessor).
+    #[doc(hidden)]
+    pub fn block_in_sets(&self) -> &[BitSet] {
+        &self.in_sets
     }
 
     /// All definition sites in program order.
@@ -217,6 +278,32 @@ mod tests {
         // At head entry, both the init (entry) and loop (head) defs reach.
         let defs = rd.reaching_defs_of(&k, Loc { block: BlockId(1), idx: 0 }, VReg(0));
         assert_eq!(defs.len(), 2, "{defs:?}");
+    }
+
+    #[test]
+    fn worklist_matches_reference_fixpoint() {
+        let k = parse_kernel(
+            r#"
+            .kernel l .params A
+            entry:
+                mov.u32 %r0, 0
+                ld.param.u32 %r1, [A]
+                jmp head
+            head:
+                @%p0 mov.u32 %r2, 7
+                add.u32 %r0, %r0, 1
+                setp.lt.u32 %p0, %r0, 10
+                bra %p0, head, exit
+            exit:
+                st.global.u32 [%r1], %r0
+                ret
+        "#,
+        )
+        .expect("parse");
+        let new = ReachingDefs::compute(&k);
+        let old = ReachingDefs::compute_reference(&k);
+        assert_eq!(new.sites(), old.sites());
+        assert_eq!(new.block_in_sets(), old.block_in_sets());
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod campaign;
 pub mod conformance;
 pub mod figures;
 pub mod parallel;
+pub mod refinement;
 pub mod report;
 pub mod runner;
 
@@ -30,4 +31,5 @@ pub use campaign::{edc_campaign, multibit_sweep, CampaignResult};
 pub use conformance::{run_conformance, ConformanceFailure, ConformanceReport, FaultSpace};
 pub use figures::{Figure, PruneBreakdown, Series};
 pub use parallel::{jobs, parallel_map, set_jobs};
+pub use refinement::{refinement_comparison, render_refinement, RefinementRow};
 pub use runner::{gmean, run_scheme, run_workload, Measured, SchemeId};

@@ -1,0 +1,115 @@
+//! Effect of the range-refined alias analysis on region formation and
+//! checkpoint pressure.
+//!
+//! Every workload is compiled twice under the headline Penny
+//! configuration: once with [`AliasOptions::conservative`] (the original
+//! purely-affine analysis) and once with [`AliasOptions::default`]
+//! (base tracking through unknown indices plus value-range
+//! disjointness; see `penny_analysis::alias`). Fewer false
+//! anti-dependences mean fewer forced region cuts, which cascades into
+//! fewer committed checkpoints and smaller checkpoint storage.
+
+use penny_analysis::AliasOptions;
+use penny_core::{compile, CompileStats, PennyConfig};
+use penny_workloads::all;
+
+use crate::parallel::parallel_map;
+
+/// Per-workload compile statistics before vs after the refinement.
+#[derive(Debug, Clone)]
+pub struct RefinementRow {
+    /// Workload abbreviation (paper Table 3).
+    pub abbr: &'static str,
+    /// Region count under conservative aliasing.
+    pub regions_before: u32,
+    /// Region count under range-refined aliasing.
+    pub regions_after: u32,
+    /// Committed checkpoints under conservative aliasing.
+    pub committed_before: u32,
+    /// Committed checkpoints under range-refined aliasing.
+    pub committed_after: u32,
+    /// Checkpoint storage bytes (shared + 4 per global slot),
+    /// conservative.
+    pub bytes_before: u32,
+    /// Checkpoint storage bytes, range-refined.
+    pub bytes_after: u32,
+}
+
+/// Checkpoint storage footprint: shared bytes plus one 32-bit word per
+/// global slot.
+fn ckpt_bytes(stats: &CompileStats) -> u32 {
+    stats.ckpt_shared_bytes + 4 * stats.ckpt_global_slots
+}
+
+/// Compiles all 25 workloads under conservative and refined aliasing.
+pub fn refinement_comparison() -> Vec<RefinementRow> {
+    let ws = all();
+    parallel_map(&ws, |w| {
+        let k = w.kernel().expect("workload parses");
+        let stats_under = |alias: AliasOptions| -> CompileStats {
+            let cfg = PennyConfig { alias, ..PennyConfig::penny().with_launch(w.dims) };
+            compile(&k, &cfg).expect("workload compiles").stats
+        };
+        let before = stats_under(AliasOptions::conservative());
+        let after = stats_under(AliasOptions::default());
+        RefinementRow {
+            abbr: w.abbr,
+            regions_before: before.regions,
+            regions_after: after.regions,
+            committed_before: before.committed,
+            committed_after: after.committed,
+            bytes_before: ckpt_bytes(&before),
+            bytes_after: ckpt_bytes(&after),
+        }
+    })
+}
+
+/// Renders the comparison as a markdown table (the EXPERIMENTS.md
+/// format).
+pub fn render_refinement(rows: &[RefinementRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| app | regions before | regions after | committed before | committed after | ckpt bytes before | ckpt bytes after |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    let mut improved = 0usize;
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            r.abbr,
+            r.regions_before,
+            r.regions_after,
+            r.committed_before,
+            r.committed_after,
+            r.bytes_before,
+            r.bytes_after,
+        );
+        if r.committed_after < r.committed_before {
+            improved += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n{improved} of {} workloads commit fewer checkpoints under the refined analysis; none regress.",
+        rows.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_one_row_per_workload() {
+        let rows = refinement_comparison();
+        assert_eq!(rows.len(), 25);
+        let table = render_refinement(&rows);
+        for r in &rows {
+            assert!(table.contains(&format!("| {} |", r.abbr)), "{} missing", r.abbr);
+        }
+    }
+}

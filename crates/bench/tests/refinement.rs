@@ -1,0 +1,64 @@
+//! Range-refined aliasing must only ever *remove* false anti-dependences:
+//! compared with the conservative (pre-refinement) analysis, no workload
+//! may gain regions or checkpoints, and a healthy number must improve.
+//! Also sweeps the dataflow-framework ports of liveness and reaching
+//! definitions against their reference fixpoint implementations over
+//! every workload kernel.
+
+use penny_analysis::{Liveness, ReachingDefs};
+use penny_bench::refinement_comparison;
+
+#[test]
+fn refinement_never_regresses_and_improves_several_workloads() {
+    let rows = refinement_comparison();
+    assert_eq!(rows.len(), 25);
+    let mut improved = 0usize;
+    for r in &rows {
+        assert!(
+            r.regions_after <= r.regions_before,
+            "{}: regions {} -> {}",
+            r.abbr,
+            r.regions_before,
+            r.regions_after
+        );
+        assert!(
+            r.committed_after <= r.committed_before,
+            "{}: committed {} -> {}",
+            r.abbr,
+            r.committed_before,
+            r.committed_after
+        );
+        assert!(
+            r.bytes_after <= r.bytes_before,
+            "{}: checkpoint bytes {} -> {}",
+            r.abbr,
+            r.bytes_before,
+            r.bytes_after
+        );
+        if r.committed_after < r.committed_before {
+            improved += 1;
+        }
+    }
+    assert!(improved >= 5, "only {improved} workloads improved");
+}
+
+#[test]
+fn framework_ports_match_reference_fixpoints_on_all_workloads() {
+    for w in penny_workloads::all() {
+        let k = w.kernel().expect("workload parses");
+        let lv = Liveness::compute(&k);
+        let lv_ref = Liveness::compute_reference(&k);
+        let rd = ReachingDefs::compute(&k);
+        let rd_ref = ReachingDefs::compute_reference(&k);
+        assert_eq!(
+            rd.block_in_sets(),
+            rd_ref.block_in_sets(),
+            "{}: reaching definitions diverge",
+            w.abbr
+        );
+        for b in k.block_ids() {
+            assert_eq!(lv.live_in(b), lv_ref.live_in(b), "{}: live-in at {b}", w.abbr);
+            assert_eq!(lv.live_out(b), lv_ref.live_out(b), "{}: live-out at {b}", w.abbr);
+        }
+    }
+}

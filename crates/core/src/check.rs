@@ -93,6 +93,31 @@ fn violation(invariant: Invariant, detail: String) -> InvariantViolation {
     InvariantViolation { invariant, detail }
 }
 
+/// Runs the kernel sanitizer ([`penny_analysis::lint_kernel`]) over the
+/// *input* kernel, before any transformation. Launch-geometry hints come
+/// from the configuration, so the race prover can enumerate lanes.
+///
+/// # Errors
+///
+/// Returns [`crate::CompileError::Lint`] listing every diagnostic (one
+/// per line) when the sanitizer finds anything.
+pub fn check_lint(
+    kernel: &Kernel,
+    config: &crate::PennyConfig,
+) -> Result<(), crate::CompileError> {
+    let opts = penny_analysis::LintOptions {
+        hints: penny_analysis::RangeHints::launch(config.launch.block, config.launch.grid),
+        reserved_base: config.alias.reserved_base,
+        allow: Vec::new(),
+    };
+    let diags = penny_analysis::lint_kernel(kernel, &opts);
+    if diags.is_empty() {
+        return Ok(());
+    }
+    let joined = diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n");
+    Err(crate::CompileError::Lint(joined))
+}
+
 /// Checks invariants 1–3 on an instrumented kernel: region markers and
 /// checkpoint pseudo-ops present, pruning not yet applied.
 ///

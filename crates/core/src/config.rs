@@ -224,6 +224,10 @@ pub struct PennyConfig {
     /// fails compilation with [`crate::CompileError::Invariant`]. Debug
     /// aid — off by default.
     pub validate: bool,
+    /// Run the kernel sanitizer ([`penny_analysis::lint_kernel`]) on the
+    /// input kernel before any transformation; any diagnostic fails
+    /// compilation with [`crate::CompileError::Lint`]. Off by default.
+    pub lint: bool,
 }
 
 impl PennyConfig {
@@ -239,6 +243,7 @@ impl PennyConfig {
             machine: MachineParams::fermi(),
             launch: LaunchDims::linear(4, 128),
             validate: false,
+            lint: false,
         }
     }
 
@@ -311,6 +316,12 @@ impl PennyConfig {
     /// Builder-style validator toggle (see [`PennyConfig::validate`]).
     pub fn with_validation(mut self, validate: bool) -> PennyConfig {
         self.validate = validate;
+        self
+    }
+
+    /// Builder-style sanitizer toggle (see [`PennyConfig::lint`]).
+    pub fn with_lint(mut self, lint: bool) -> PennyConfig {
+        self.lint = lint;
         self
     }
 }

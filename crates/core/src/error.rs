@@ -15,6 +15,10 @@ pub enum CompileError {
     /// A protection invariant failed the static validator
     /// ([`crate::check`], enabled by [`crate::PennyConfig::validate`]).
     Invariant(InvariantViolation),
+    /// The kernel sanitizer rejected the input (enabled by
+    /// [`crate::PennyConfig::lint`]); the string holds the rendered
+    /// diagnostics, one per line.
+    Lint(String),
     /// A construct the compiler cannot handle safely.
     Unsupported(String),
     /// An internal invariant was violated (a bug).
@@ -28,6 +32,7 @@ impl fmt::Display for CompileError {
             CompileError::Invariant(v) => {
                 write!(f, "protection invariant violated: {v}")
             }
+            CompileError::Lint(m) => write!(f, "kernel sanitizer rejected input: {m}"),
             CompileError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
             CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
         }

@@ -30,10 +30,14 @@ use crate::storage::assign_storage;
 /// # Errors
 ///
 /// Returns [`CompileError`] when the input kernel fails validation, when
-/// the instrumented kernel fails re-validation (an internal invariant),
-/// or when recovery metadata cannot be constructed.
+/// the sanitizer is enabled ([`PennyConfig::lint`]) and reports a
+/// diagnostic, when the instrumented kernel fails re-validation (an
+/// internal invariant), or when recovery metadata cannot be constructed.
 pub fn compile(kernel: &Kernel, config: &PennyConfig) -> Result<Protected, CompileError> {
     penny_ir::validate(kernel).map_err(CompileError::Validate)?;
+    if config.lint {
+        crate::check::check_lint(kernel, config)?;
+    }
     match config.protection {
         Protection::None => Ok(Protected::passthrough(kernel.clone())),
         Protection::IGpu => compile_igpu(kernel, config),

@@ -1,0 +1,194 @@
+//! Seeded hand-broken kernels for the sanitizer (`penny-lint`): each
+//! reproduces a realistic GPU kernel bug and must be rejected by the
+//! named diagnostic. The stock workloads, by contrast, must all lint
+//! clean under their declared launch geometry.
+
+use penny_analysis::{
+    lint_kernel, LintOptions, DIVERGENT_BARRIER, RESERVED_ARENA_WRITE, SHARED_RACE,
+    UNINIT_READ,
+};
+use penny_core::{compile, CompileError, PennyConfig};
+
+fn diag_names(src: &str, opts: &LintOptions) -> Vec<&'static str> {
+    let k = penny_ir::parse_kernel(src).expect("seeded kernel parses");
+    let mut names: Vec<&'static str> =
+        lint_kernel(&k, opts).iter().map(|d| d.name).collect();
+    names.dedup();
+    names
+}
+
+/// A tree reduction that forgot the barrier between writing a lane's
+/// partial sum and reading the neighbouring lane's: classic shared-memory
+/// race.
+#[test]
+fn reduction_missing_barrier_is_rejected() {
+    let names = diag_names(
+        r#"
+        .kernel reduce_bad .params OUT
+        entry:
+            mov.u32 %r0, %tid.x
+            shl.u32 %r1, %r0, 2
+            st.shared.u32 [%r1], %r0
+            ld.shared.u32 %r2, [%r1+4]
+            add.u32 %r3, %r2, %r0
+            ld.param.u32 %r4, [OUT]
+            st.global.u32 [%r4], %r3
+            ret
+    "#,
+        &LintOptions::for_launch((8, 1), (1, 1)),
+    );
+    assert_eq!(names, vec![SHARED_RACE]);
+}
+
+/// Every lane stores its own value to the same shared word: the result
+/// depends on warp scheduling.
+#[test]
+fn broadcast_store_collision_is_rejected() {
+    let names = diag_names(
+        r#"
+        .kernel broadcast_bad
+        entry:
+            mov.u32 %r0, %tid.x
+            st.shared.u32 [0], %r0
+            bar.sync
+            ld.shared.u32 %r1, [0]
+            ret
+    "#,
+        &LintOptions::for_launch((8, 1), (1, 1)),
+    );
+    assert_eq!(names, vec![SHARED_RACE]);
+}
+
+/// A barrier reached only by the lanes that take the `%tid.x < 16`
+/// branch: the other lanes never arrive and the block hangs.
+#[test]
+fn divergent_barrier_is_rejected() {
+    let names = diag_names(
+        r#"
+        .kernel barrier_bad
+        entry:
+            setp.lt.u32 %p0, %tid.x, 16
+            bra %p0, hot, join
+        hot:
+            bar.sync
+            jmp join
+        join:
+            ret
+    "#,
+        &LintOptions::for_launch((32, 1), (1, 1)),
+    );
+    assert_eq!(names, vec![DIVERGENT_BARRIER]);
+}
+
+/// An accumulator initialized only on the path that finds work: the
+/// store reads garbage for the other threads.
+#[test]
+fn uninitialized_accumulator_is_rejected() {
+    let names = diag_names(
+        r#"
+        .kernel uninit_bad .params OUT
+        entry:
+            ld.param.u32 %r9, [OUT]
+            setp.lt.u32 %p0, %tid.x, 2
+            bra %p0, work, store
+        work:
+            mov.u32 %r0, 7
+            jmp store
+        store:
+            st.global.u32 [%r9], %r0
+            ret
+    "#,
+        &LintOptions::default(),
+    );
+    assert_eq!(names, vec![UNINIT_READ]);
+}
+
+/// A store whose address lands inside the runtime's checkpoint arena:
+/// it would overwrite checkpointed register state (the overlapping-
+/// checkpoint-address bug class).
+#[test]
+fn checkpoint_arena_clobber_is_rejected() {
+    let src = format!(
+        r#"
+        .kernel arena_bad
+        entry:
+            mov.u32 %r0, %tid.x
+            shl.u32 %r1, %r0, 2
+            add.u32 %r2, %r1, {}
+            st.global.u32 [%r2], %r0
+            ret
+    "#,
+        penny_core::GLOBAL_CKPT_BASE
+    );
+    let names = diag_names(&src, &LintOptions::for_launch((8, 1), (1, 1)));
+    assert_eq!(names, vec![RESERVED_ARENA_WRITE]);
+}
+
+/// The fixed counterpart of the seeded bugs: tid-indexed accesses with a
+/// barrier between write and read, everything initialized — no findings.
+#[test]
+fn fixed_reduction_is_clean() {
+    let names = diag_names(
+        r#"
+        .kernel reduce_ok .params OUT
+        entry:
+            mov.u32 %r0, %tid.x
+            shl.u32 %r1, %r0, 2
+            st.shared.u32 [%r1], %r0
+            bar.sync
+            ld.shared.u32 %r2, [%r1+4]
+            add.u32 %r3, %r2, %r0
+            ld.param.u32 %r4, [OUT]
+            st.global.u32 [%r4], %r3
+            ret
+    "#,
+        &LintOptions::for_launch((8, 1), (1, 1)),
+    );
+    assert!(names.is_empty(), "{names:?}");
+}
+
+/// Every stock workload lints clean under its declared launch geometry —
+/// the sanitizer has no false positives on the evaluation suite.
+#[test]
+fn all_workloads_lint_clean() {
+    for w in penny_workloads::all() {
+        let k = w.kernel().expect("workload parses");
+        let opts = LintOptions::for_launch(w.dims.block, w.dims.grid);
+        let diags = lint_kernel(&k, &opts);
+        assert!(
+            diags.is_empty(),
+            "{}: unexpected diagnostics:\n{}",
+            w.abbr,
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}
+
+/// `PennyConfig::with_lint(true)` gates compilation on the sanitizer:
+/// a seeded-bad kernel fails with `CompileError::Lint` naming the
+/// diagnostic, and compiles as usual with the gate off.
+#[test]
+fn compile_with_lint_rejects_seeded_kernel() {
+    let src = format!(
+        r#"
+        .kernel arena_bad
+        entry:
+            mov.u32 %r0, %tid.x
+            shl.u32 %r1, %r0, 2
+            add.u32 %r2, %r1, {}
+            st.global.u32 [%r2], %r0
+            ret
+    "#,
+        penny_core::GLOBAL_CKPT_BASE
+    );
+    let k = penny_ir::parse_kernel(&src).expect("parse");
+    let err = compile(&k, &PennyConfig::penny().with_lint(true))
+        .expect_err("sanitizer must reject the arena clobber");
+    match err {
+        CompileError::Lint(msg) => {
+            assert!(msg.contains(RESERVED_ARENA_WRITE), "{msg}")
+        }
+        other => panic!("expected CompileError::Lint, got {other:?}"),
+    }
+    compile(&k, &PennyConfig::penny()).expect("lint off: compiles");
+}

@@ -4,13 +4,15 @@
 # Runs the same checks CI and reviewers rely on, in order of cost:
 #
 #   1. formatting and clippy lints (warnings are errors);
-#   2. release build of the whole workspace;
-#   3. the root-package test suite (the tier-1 gate);
-#   4. the determinism/equivalence suites that pin every engine fast
+#   2. the kernel sanitizer (penny-lint) over all 25 workloads,
+#      warnings denied — the evaluation suite must stay lint-clean;
+#   3. release build of the whole workspace;
+#   4. the root-package test suite (the tier-1 gate);
+#   5. the determinism/equivalence suites that pin every engine fast
 #      path — event-driven vs dense scheduling, --jobs fan-out, and the
 #      pre-decoded micro-op + register-file fast path vs the
 #      always-decode reference interpreter — bit-identical;
-#   5. the fault-space conformance harness (small default budget):
+#   6. the fault-space conformance harness (small default budget):
 #      every covered (instruction × register × bit) site must recover
 #      to the fault-free final memory under each protected scheme.
 #
@@ -26,6 +28,9 @@ cargo fmt --check
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> penny-lint: sanitize all workloads (deny warnings)"
+cargo run -q -p penny-bench --bin penny-lint -- --all-workloads --deny-warnings
 
 echo "==> cargo build --release"
 cargo build --release
