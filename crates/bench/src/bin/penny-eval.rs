@@ -98,6 +98,30 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Pass-timing aggregation for `BENCH_eval.json`: compiles every
+/// workload under the Penny scheme with a live recorder (bypassing the
+/// compile cache so each compilation is actually observed) and sums
+/// span wall time per pass label.
+fn pass_timings() -> Vec<(String, u64, u64)> {
+    use std::collections::BTreeMap;
+    let rec = penny_obs::MemRecorder::new();
+    let scheme = penny_bench::SchemeId::Penny;
+    let machine = GpuConfig::fermi().machine;
+    for w in penny_workloads::all() {
+        let kernel = w.kernel().unwrap_or_else(|e| die(&format!("{}: {e}", w.abbr)));
+        let cfg = scheme.config().with_launch(w.dims).with_machine(machine);
+        penny_core::compile_observed(&kernel, &cfg, &rec)
+            .unwrap_or_else(|e| die(&format!("{}: {e}", w.abbr)));
+    }
+    let mut agg: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for s in rec.take() {
+        let e = agg.entry(s.label).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += s.wall_ns;
+    }
+    agg.into_iter().map(|(pass, (n, ns))| (pass, n, ns)).collect()
+}
+
 /// Times the Figure 9 pipeline and writes `BENCH_eval.json`.
 fn bench_json(jobs: usize) {
     let start = Instant::now();
@@ -116,6 +140,15 @@ fn bench_json(jobs: usize) {
             s.gmean
         ));
     }
+    out.push_str("  \"passes\": [\n");
+    let passes = pass_timings();
+    for (i, (pass, spans, total_ns)) in passes.iter().enumerate() {
+        let comma = if i + 1 == passes.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"pass\": \"{pass}\", \"spans\": {spans}, \"total_ns\": {total_ns}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"workloads\": [\n");
     let ws = penny_workloads::all();
     for (i, w) in ws.iter().enumerate() {

@@ -1,0 +1,217 @@
+//! `penny-prof`: compile and run workloads with the observability layer
+//! on, emitting one JSONL span per compiler pass, simulator run, and
+//! context field.
+//!
+//! Usage:
+//!
+//! ```text
+//! penny-prof [--workload ABBR]... [--all-workloads] [--scheme NAME]
+//!            [--json] [--summary] [--check]
+//! ```
+//!
+//! * `--workload ABBR` — profile one workload (repeatable);
+//! * `--all-workloads` — profile every registered workload;
+//! * `--scheme NAME` — compiler/RF scheme: `baseline`, `igpu`,
+//!   `bolt-global`, `bolt-auto`, or `penny` (default);
+//! * `--json` — emit spans as JSONL on stdout (the default output);
+//! * `--summary` — print aggregated pass-timing and run-metric tables
+//!   instead of (or after) the JSONL stream;
+//! * `--check` — validate every emitted line against the span schema
+//!   (`penny_obs::schema`); exit nonzero on any violation.
+//!
+//! Workloads are compiled directly (bypassing the harness compile
+//! cache) so every invocation observes a full pipeline execution.
+
+use std::collections::BTreeMap;
+
+use penny_bench::SchemeId;
+use penny_obs::{MemRecorder, Span, SpanKind};
+use penny_sim::{Gpu, GpuConfig};
+use penny_workloads::Workload;
+
+fn die(msg: &str) -> ! {
+    eprintln!("penny-prof: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_scheme(name: &str) -> SchemeId {
+    match name.to_lowercase().as_str() {
+        "baseline" => SchemeId::Baseline,
+        "igpu" => SchemeId::IGpu,
+        "bolt-global" | "bolt_global" => SchemeId::BoltGlobal,
+        "bolt-auto" | "bolt_auto" => SchemeId::BoltAuto,
+        "penny" => SchemeId::Penny,
+        other => die(&format!(
+            "unknown scheme `{other}` (baseline|igpu|bolt-global|bolt-auto|penny)"
+        )),
+    }
+}
+
+/// Spans collected for one workload.
+struct Profiled {
+    abbr: &'static str,
+    spans: Vec<Span>,
+}
+
+/// Compiles and runs `w` under `scheme` with a live recorder; returns
+/// every span the pipeline and simulator emitted.
+fn profile(w: &Workload, scheme: SchemeId) -> Profiled {
+    let rec = MemRecorder::new();
+    let kernel = w.kernel().unwrap_or_else(|e| die(&format!("{}: parse: {e}", w.abbr)));
+    let gpu_config = GpuConfig::fermi().with_rf(scheme.rf());
+    let cfg = scheme.config().with_launch(w.dims).with_machine(gpu_config.machine);
+    let protected = penny_core::compile_observed(&kernel, &cfg, &rec)
+        .unwrap_or_else(|e| die(&format!("{}: compile: {e}", w.abbr)));
+    let mut gpu = Gpu::new(gpu_config);
+    let launch = w.prepare(gpu.global_mut());
+    gpu.run_observed(&protected, &launch, &rec)
+        .unwrap_or_else(|e| die(&format!("{}: run: {e}", w.abbr)));
+    if !w.check(gpu.global()) {
+        die(&format!("{}: wrong output under {scheme:?}", w.abbr));
+    }
+    Profiled { abbr: w.abbr, spans: rec.take() }
+}
+
+/// Aggregated pass timing across every profiled workload.
+fn pass_summary(profiles: &[Profiled]) -> String {
+    use std::fmt::Write as _;
+    // pass label -> (spans, total ns)
+    let mut agg: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for p in profiles {
+        for s in p.spans.iter().filter(|s| s.kind == SpanKind::Pass) {
+            let e = agg.entry(s.label.as_str()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.wall_ns;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== Pass timing ({} workloads) ==", profiles.len());
+    let _ =
+        writeln!(out, "{:<22} {:>7} {:>14} {:>12}", "pass", "spans", "total_ns", "mean_ns");
+    for (pass, (n, ns)) in &agg {
+        let _ = writeln!(out, "{pass:<22} {n:>7} {ns:>14} {:>12}", ns / n.max(&1));
+    }
+    out
+}
+
+/// Per-workload simulator run metrics.
+fn sim_summary(profiles: &[Profiled]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== Simulator runs ==");
+    let _ = writeln!(
+        out,
+        "{:<6} {:>12} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "wkld", "cycles", "skipped", "rf_reads", "rf_writes", "recover", "reexec"
+    );
+    for p in profiles {
+        for s in p.spans.iter().filter(|s| s.kind == SpanKind::Sim) {
+            let c = |name: &str| s.counter(name).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:<6} {:>12} {:>14} {:>12} {:>12} {:>10} {:>10}",
+                p.abbr,
+                c("cycles"),
+                c("skipped_cycles"),
+                c("rf_reads"),
+                c("rf_writes"),
+                c("recoveries"),
+                c("reexec_instructions")
+            );
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut abbrs: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut scheme = SchemeId::Penny;
+    let mut json = false;
+    let mut summary = false;
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workload" => {
+                abbrs.push(args.next().unwrap_or_else(|| die("--workload needs an ABBR")))
+            }
+            "--all-workloads" => all = true,
+            "--scheme" => {
+                scheme = parse_scheme(
+                    &args.next().unwrap_or_else(|| die("--scheme needs a NAME")),
+                )
+            }
+            "--json" => json = true,
+            "--summary" => summary = true,
+            "--check" => check = true,
+            other => {
+                if let Some(v) = other.strip_prefix("--workload=") {
+                    abbrs.push(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--scheme=") {
+                    scheme = parse_scheme(v);
+                } else {
+                    die(&format!("unknown argument `{other}`"));
+                }
+            }
+        }
+    }
+    if !json && !summary {
+        json = true; // JSONL is the default output
+    }
+
+    let workloads: Vec<Workload> = if all {
+        if !abbrs.is_empty() {
+            die("--all-workloads conflicts with --workload");
+        }
+        penny_workloads::all()
+    } else if abbrs.is_empty() {
+        die("nothing to profile: pass --workload ABBR or --all-workloads")
+    } else {
+        abbrs
+            .iter()
+            .map(|a| {
+                penny_workloads::by_abbr(a)
+                    .unwrap_or_else(|| die(&format!("unknown workload `{a}`")))
+            })
+            .collect()
+    };
+
+    let profiles: Vec<Profiled> = workloads.iter().map(|w| profile(w, scheme)).collect();
+
+    let mut violations = 0u64;
+    if json || check {
+        let mut stdout = String::new();
+        for p in &profiles {
+            for s in &p.spans {
+                let line =
+                    s.to_jsonl_with(&[("workload", p.abbr), ("scheme", scheme.name())]);
+                if check {
+                    if let Err(e) = penny_obs::schema::validate_line(&line) {
+                        eprintln!("penny-prof: schema violation: {e}\n  in: {line}");
+                        violations += 1;
+                    }
+                }
+                if json {
+                    stdout.push_str(&line);
+                    stdout.push('\n');
+                }
+            }
+        }
+        print!("{stdout}");
+    }
+
+    if summary {
+        print!("{}", pass_summary(&profiles));
+        print!("{}", sim_summary(&profiles));
+    }
+
+    if check {
+        let total: usize = profiles.iter().map(|p| p.spans.len()).sum();
+        eprintln!("penny-prof: checked {total} spans, {violations} schema violations");
+        if violations > 0 {
+            std::process::exit(1);
+        }
+    }
+}

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use penny_core::{compile, PennyConfig, Protected};
+use penny_core::{compile_observed, PennyConfig, Protected};
 use penny_sim::GpuConfig;
 use penny_workloads::Workload;
 
@@ -49,9 +49,12 @@ pub fn compiled(w: &Workload, cfg: &PennyConfig) -> Arc<Protected> {
     // Compile outside the lock so concurrent workers on different
     // workloads don't serialize; a duplicate racing compile of the same
     // key produces an identical Protected and the first insert wins.
+    // Pass spans only cover the first (cache-miss) compilation of a key;
+    // callers that need spans for every compile (penny-prof, the
+    // `passes` section of BENCH_eval.json) compile directly instead.
     let kernel = w.kernel().unwrap_or_else(|e| panic!("{}: parse: {e}", w.abbr));
-    let protected =
-        compile(&kernel, cfg).unwrap_or_else(|e| panic!("{}: compile: {e}", w.abbr));
+    let protected = compile_observed(&kernel, cfg, crate::obs::recorder().as_ref())
+        .unwrap_or_else(|e| panic!("{}: compile: {e}", w.abbr));
     let arc = Arc::new(protected);
     Arc::clone(compiled_cache().lock().unwrap().entry(key).or_insert(arc))
 }

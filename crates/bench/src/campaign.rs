@@ -49,10 +49,11 @@ pub fn edc_campaign(scheme: Scheme, flips: u32, runs: u32, seed: u64) -> Campaig
     let gpu_config = GpuConfig::fermi().with_rf(RfProtection::Edc(scheme));
     let data_bits = 32u32; // flip data bits so parity aliasing is possible
 
+    let rec = crate::obs::recorder();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut result =
         CampaignResult { scheme, flips, runs, benign: 0, recovered: 0, sdc: 0 };
-    for _ in 0..runs {
+    for run in 0..runs {
         // One multi-bit fault: `flips` distinct bits of one register of
         // one lane, at one trigger point.
         let lane = rng.gen_range(0..32);
@@ -82,7 +83,31 @@ pub fn edc_campaign(scheme: Scheme, flips: u32, runs: u32, seed: u64) -> Campaig
 
         let mut gpu = Gpu::new(gpu_config.clone());
         let launch = w.prepare(gpu.global_mut()).with_faults(FaultPlan { injections });
-        match gpu.run(&protected, &launch) {
+        let outcome = gpu.run(&protected, &launch);
+        if rec.enabled() {
+            let label = format!("{}x{flips}b@run{run}", scheme.name());
+            match &outcome {
+                Ok(stats) => penny_obs::record_site(
+                    rec.as_ref(),
+                    w.abbr,
+                    &label,
+                    &[
+                        ("cycles", stats.cycles),
+                        ("recoveries", stats.recoveries),
+                        ("reexec_instructions", stats.reexec_instructions),
+                        ("rf_detected", stats.rf.detected),
+                        ("sim_error", 0),
+                    ],
+                ),
+                Err(_) => penny_obs::record_site(
+                    rec.as_ref(),
+                    w.abbr,
+                    &label,
+                    &[("sim_error", 1)],
+                ),
+            }
+        }
+        match outcome {
             Ok(stats) => {
                 if w.check(gpu.global()) {
                     if stats.recoveries > 0 {

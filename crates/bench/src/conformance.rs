@@ -184,12 +184,47 @@ fn prepare(abbr: &str, scheme: SchemeId) -> Prepared {
     Prepared { workload, protected, gpu_config, reference, space }
 }
 
+/// A compact site label for span output: one field per injection digit.
+fn site_label(inj: &Injection) -> String {
+    format!(
+        "b{}w{}l{}r{}bit{}t{}",
+        inj.block, inj.warp, inj.lane, inj.reg, inj.bit, inj.after_warp_insts
+    )
+}
+
 /// Runs one site; `Ok` when the final memory matches the fault-free
-/// reference (and the workload's own checker passes).
+/// reference (and the workload's own checker passes). When the global
+/// recorder ([`crate::obs`]) is enabled, each site emits a `site` span
+/// with its recovery/re-execution counters.
 fn run_site(p: &Prepared, inj: &Injection) -> Result<(), String> {
+    let rec = crate::obs::recorder();
     let mut gpu = Gpu::new(p.gpu_config.clone());
     let launch = p.workload.prepare(gpu.global_mut()).with_faults(FaultPlan::single(*inj));
-    match gpu.run(&p.protected, &launch) {
+    let outcome = gpu.run(&p.protected, &launch);
+    if rec.enabled() {
+        let label = site_label(inj);
+        match &outcome {
+            Ok(stats) => penny_obs::record_site(
+                rec.as_ref(),
+                p.workload.abbr,
+                &label,
+                &[
+                    ("cycles", stats.cycles),
+                    ("recoveries", stats.recoveries),
+                    ("reexec_instructions", stats.reexec_instructions),
+                    ("rf_detected", stats.rf.detected),
+                    ("sim_error", 0),
+                ],
+            ),
+            Err(_) => penny_obs::record_site(
+                rec.as_ref(),
+                p.workload.abbr,
+                &label,
+                &[("sim_error", 1)],
+            ),
+        }
+    }
+    match outcome {
         Ok(_) => {
             if !p.workload.check(gpu.global()) {
                 return Err("workload checker rejected the output".into());

@@ -21,6 +21,7 @@ pub mod cache;
 pub mod campaign;
 pub mod conformance;
 pub mod figures;
+pub mod obs;
 pub mod parallel;
 pub mod refinement;
 pub mod report;

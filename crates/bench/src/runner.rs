@@ -79,8 +79,14 @@ pub fn run_workload(
     let protected = crate::cache::compiled(w, &cfg);
     let mut global = GlobalMemory::new();
     let launch = w.prepare(&mut global);
-    let run = engine::run(gpu_config, &protected, &launch, &mut global)
-        .unwrap_or_else(|e| panic!("{}: run: {e}", w.abbr));
+    let run = engine::run_observed(
+        gpu_config,
+        &protected,
+        &launch,
+        &mut global,
+        crate::obs::recorder().as_ref(),
+    )
+    .unwrap_or_else(|e| panic!("{}: run: {e}", w.abbr));
     assert!(w.check(&global), "{}: wrong output under {config:?}", w.abbr);
     Measured { run, compile: protected.stats }
 }

@@ -52,6 +52,9 @@ pub enum Invariant {
     SlotConsistency,
     /// Every pruned checkpoint is redundant (a recovery slice exists).
     PruningSoundness,
+    /// Every checkpointed register fits the fixed 32-bit checkpoint slot
+    /// storage assignment sizes (`CKPT_SLOT_BYTES` per thread).
+    SlotWidth,
 }
 
 impl Invariant {
@@ -62,6 +65,7 @@ impl Invariant {
             Invariant::CheckpointCoverage => "checkpoint-coverage",
             Invariant::SlotConsistency => "slot-consistency",
             Invariant::PruningSoundness => "pruning-soundness",
+            Invariant::SlotWidth => "slot-width",
         }
     }
 }
@@ -134,6 +138,36 @@ pub fn check_instrumented(
     let live_ins = region_live_ins(kernel, rm, &lv);
     check_coverage(kernel, rm, &live_ins)?;
     check_slot_consistency(kernel, rm, &live_ins)?;
+    check_slot_width(kernel)?;
+    Ok(())
+}
+
+/// Slot-width invariant: storage assignment allocates a fixed
+/// [`crate::storage::CKPT_SLOT_BYTES`]-byte slot per thread per
+/// checkpoint, so every checkpointed register must fit that width. The
+/// 32-bit IR cannot currently express a wider register, but the check
+/// keeps the sizing assumption explicit (and future-proof) rather than
+/// silently truncating if wider types ever land.
+///
+/// # Errors
+///
+/// Names the checkpoint whose register type is wider than a slot.
+pub fn check_slot_width(kernel: &Kernel) -> Result<(), InvariantViolation> {
+    let slot_bits = 8 * crate::storage::CKPT_SLOT_BYTES;
+    for (loc, _, reg) in kernel.checkpoints() {
+        let ty = kernel.inst_at(loc).ty;
+        if ty.width_bits() > slot_bits {
+            return Err(violation(
+                Invariant::SlotWidth,
+                format!(
+                    "checkpoint of {reg} at {loc:?} stores a {} value ({} bits) in a \
+                     {slot_bits}-bit slot; storage assignment would truncate it",
+                    ty,
+                    ty.width_bits(),
+                ),
+            ));
+        }
+    }
     Ok(())
 }
 

@@ -80,21 +80,49 @@ pub fn eager_placement(edges: &[LupEdge]) -> Vec<Placement> {
     out
 }
 
+/// Aggregate counters from one bimodal-placement solve, for the
+/// checkpoint-placement observability span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BcpStats {
+    /// Distinct LUP vertices across all per-register instances.
+    pub lups: u64,
+    /// Distinct boundary vertices across all per-register instances.
+    pub boundaries: u64,
+    /// LUP-to-boundary edges covered.
+    pub edges: u64,
+    /// Augmenting paths pushed by the underlying max-flow solves.
+    pub augmenting_paths: u64,
+    /// Total minimum cover cost across registers.
+    pub cover_cost: u64,
+}
+
 /// Penny's bimodal checkpoint placement: per register, solve the
 /// LUP-vs-boundary minimum-weight vertex cover (paper §6.2) with weights
 /// `2^loop-depth`.
 pub fn bimodal_placement(
-    _kernel: &Kernel,
+    kernel: &Kernel,
     rm: &RegionMap,
     loops: &LoopInfo,
     edges: &[LupEdge],
 ) -> Vec<Placement> {
+    bimodal_placement_counted(kernel, rm, loops, edges).0
+}
+
+/// [`bimodal_placement`] plus the solver counters ([`BcpStats`]) the
+/// observability layer reports.
+pub fn bimodal_placement_counted(
+    _kernel: &Kernel,
+    rm: &RegionMap,
+    loops: &LoopInfo,
+    edges: &[LupEdge],
+) -> (Vec<Placement>, BcpStats) {
     // Group edges per register.
     let mut by_reg: HashMap<VReg, Vec<&LupEdge>> = HashMap::new();
     for e in edges {
         by_reg.entry(e.reg).or_default().push(e);
     }
     let mut out = Vec::new();
+    let mut stats = BcpStats::default();
     let mut regs: Vec<VReg> = by_reg.keys().copied().collect();
     regs.sort();
     for reg in regs {
@@ -125,6 +153,11 @@ pub fn bimodal_placement(
             g.add_edge(li, bi);
         }
         let cover = g.solve();
+        stats.lups += lups.len() as u64;
+        stats.boundaries += bounds.len() as u64;
+        stats.edges += es.len() as u64;
+        stats.augmenting_paths += cover.augmenting_paths;
+        stats.cover_cost += cover.total_cost;
         for &(side, i) in &cover.chosen {
             let pos = match side {
                 Side::Left => CkptPos::AfterLup(lups[i]),
@@ -133,7 +166,7 @@ pub fn bimodal_placement(
             out.push(Placement { reg, pos });
         }
     }
-    out
+    (out, stats)
 }
 
 /// Inserts `cp` pseudo-instructions for the given placements; returns the

@@ -71,5 +71,5 @@ pub use meta::{
     CompileStats, Protected, RegionInfo, Restore, SetupValue, Slice, SliceInst, SlotRef,
     GLOBAL_CKPT_BASE,
 };
-pub use pipeline::{compile, compile_module};
+pub use pipeline::{compile, compile_module, compile_observed};
 pub use regionmap::RegionMap;

@@ -6,10 +6,12 @@ use std::collections::{HashMap, HashSet};
 
 use penny_analysis::{AliasAnalysis, ControlDeps, Liveness, LoopInfo, ReachingDefs};
 use penny_ir::{Color, InstId, Kernel, VReg};
+use penny_obs::{record_pass, Recorder, SpanTimer};
 
 use crate::baselines::apply_igpu_renaming;
 use crate::checkpoint::{
-    bimodal_placement, eager_placement, insert_checkpoints, lup_edges, region_live_ins,
+    bimodal_placement_counted, eager_placement, insert_checkpoints, lup_edges,
+    region_live_ins, BcpStats,
 };
 use crate::codegen::lower_checkpoints;
 use crate::config::{OverwritePolicy, PennyConfig, Protection};
@@ -34,22 +36,43 @@ use crate::storage::assign_storage;
 /// diagnostic, when the instrumented kernel fails re-validation (an
 /// internal invariant), or when recovery metadata cannot be constructed.
 pub fn compile(kernel: &Kernel, config: &PennyConfig) -> Result<Protected, CompileError> {
+    compile_observed(kernel, config, &penny_obs::NULL)
+}
+
+/// [`compile`] with an observability sink: each pass of the pipeline
+/// records a [`penny_obs::SpanKind::Pass`] span (wall time + counters)
+/// into `rec`. With a disabled recorder (e.g. [`penny_obs::NULL`]) this
+/// is exactly `compile`: no clock reads, no span allocation, identical
+/// output.
+///
+/// Under [`OverwritePolicy::Auto`] both overwrite variants compile and
+/// both record spans — the duplicated passes represent real compile
+/// work; aggregate by pass label when reporting.
+///
+/// # Errors
+///
+/// Same failure modes as [`compile`].
+pub fn compile_observed(
+    kernel: &Kernel,
+    config: &PennyConfig,
+    rec: &dyn Recorder,
+) -> Result<Protected, CompileError> {
     penny_ir::validate(kernel).map_err(CompileError::Validate)?;
     if config.lint {
         crate::check::check_lint(kernel, config)?;
     }
     match config.protection {
         Protection::None => Ok(Protected::passthrough(kernel.clone())),
-        Protection::IGpu => compile_igpu(kernel, config),
+        Protection::IGpu => compile_igpu(kernel, config, rec),
         Protection::Bolt | Protection::Penny => match config.overwrite {
             OverwritePolicy::Auto => {
                 // Paper §6.3: compile both ways, keep the cheaper. A
                 // variant that cannot protect every register (e.g.
                 // renaming on loop-carried registers) simply loses.
                 let renamed =
-                    compile_checkpointed(kernel, config, OverwritePolicy::Renaming);
+                    compile_checkpointed(kernel, config, OverwritePolicy::Renaming, rec);
                 let colored =
-                    compile_checkpointed(kernel, config, OverwritePolicy::Alternation);
+                    compile_checkpointed(kernel, config, OverwritePolicy::Alternation, rec);
                 match (renamed, colored) {
                     (Ok(r), Ok(c)) => {
                         Ok(if score(&r.stats) <= score(&c.stats) { r } else { c })
@@ -59,7 +82,7 @@ pub fn compile(kernel: &Kernel, config: &PennyConfig) -> Result<Protected, Compi
                     (Err(e), Err(_)) => Err(e),
                 }
             }
-            policy => compile_checkpointed(kernel, config, policy),
+            policy => compile_checkpointed(kernel, config, policy, rec),
         },
     }
 }
@@ -94,11 +117,31 @@ fn score(stats: &CompileStats) -> f64 {
     (1.0 + stats.committed as f64) / occ
 }
 
-fn compile_igpu(kernel: &Kernel, config: &PennyConfig) -> Result<Protected, CompileError> {
+fn compile_igpu(
+    kernel: &Kernel,
+    config: &PennyConfig,
+    rec: &dyn Recorder,
+) -> Result<Protected, CompileError> {
     let mut k = kernel.clone();
+    let timer = SpanTimer::start(rec);
     form_regions(&mut k, config.alias);
     let rm = RegionMap::compute(&k);
+    record_pass(
+        rec,
+        &kernel.name,
+        "region-formation",
+        timer,
+        &[("regions", rm.len() as u64)],
+    );
+    let timer = SpanTimer::start(rec);
     let igpu = apply_igpu_renaming(&mut k, &rm);
+    record_pass(
+        rec,
+        &kernel.name,
+        "igpu-renaming",
+        timer,
+        &[("renamed_defs", igpu.renamed_defs as u64), ("skipped", igpu.skipped as u64)],
+    );
     penny_ir::validate(&k).map_err(CompileError::Validate)?;
     // Skipped loop-carried anti-dependences are a documented gap of the
     // renaming transformation, so idempotence only holds when none were
@@ -142,29 +185,47 @@ fn compile_checkpointed(
     kernel: &Kernel,
     config: &PennyConfig,
     overwrite: OverwritePolicy,
+    rec: &dyn Recorder,
 ) -> Result<Protected, CompileError> {
     let mut k = kernel.clone();
+    let subject = kernel.name.as_str();
 
     // ---- Region formation. ----
+    let timer = SpanTimer::start(rec);
     form_regions(&mut k, config.alias);
     let rm = RegionMap::compute(&k);
+    record_pass(rec, subject, "region-formation", timer, &[("regions", rm.len() as u64)]);
 
     // ---- Checkpoint placement. ----
     {
+        let timer = SpanTimer::start(rec);
         let lv = Liveness::compute(&k);
         let rd = ReachingDefs::compute(&k);
         let live = region_live_ins(&k, &rm, &lv);
         let edges = lup_edges(&k, &rm, &live, &rd);
-        let placements = if config.bcp {
+        let (placements, bcp) = if config.bcp {
             let loops = LoopInfo::compute(&k);
-            bimodal_placement(&k, &rm, &loops, &edges)
+            bimodal_placement_counted(&k, &rm, &loops, &edges)
         } else {
-            eager_placement(&edges)
+            (eager_placement(&edges), BcpStats::default())
         };
         insert_checkpoints(&mut k, &placements);
+        record_pass(
+            rec,
+            subject,
+            "checkpoint-placement",
+            timer,
+            &[
+                ("lup_edges", edges.len() as u64),
+                ("placements", placements.len() as u64),
+                ("bcp_augmenting_paths", bcp.augmenting_paths),
+                ("bcp_cover_cost", bcp.cover_cost),
+            ],
+        );
     }
 
     // ---- Overwrite prevention. ----
+    let timer = SpanTimer::start(rec);
     let mut renamed_defs = 0u32;
     let mut adjustment_blocks = 0u32;
     let prone_count;
@@ -215,29 +276,86 @@ fn compile_checkpointed(
     }
     // Adjustment blocks change the CFG: recompute the region map view.
     let rm = RegionMap::compute(&k);
+    record_pass(
+        rec,
+        subject,
+        "overwrite-prevention",
+        timer,
+        &[
+            ("renamed_defs", renamed_defs as u64),
+            ("adjustment_blocks", adjustment_blocks as u64),
+            ("prone_regs", prone_count as u64),
+        ],
+    );
 
     // ---- Static invariant validation (instrumented kernel). ----
     // All checkpoints are still present here, so region idempotence,
     // checkpoint coverage, and slot consistency must hold
     // unconditionally.
     if config.validate {
+        let timer = SpanTimer::start(rec);
         crate::check::check_instrumented(&k, &rm, config.alias)
             .map_err(CompileError::Invariant)?;
+        record_pass(
+            rec,
+            subject,
+            "validation",
+            timer,
+            &[("checkpoints", k.checkpoints().len() as u64)],
+        );
     }
 
     // ---- Pruning. ----
     // Provisional slot indices are a function of the checkpoint set, so
     // capture them *before* pruned checkpoints are removed — the same
     // view `prune` and `build_restores` use internally.
+    let timer = SpanTimer::start(rec);
     let provisional = crate::pruning::provisional_slots(&k);
     let prune_out: PruneOutcome = prune(&k, &rm, config.pruning);
     let mut committed_set: HashSet<InstId> =
         prune_out.decisions.committed.iter().copied().collect();
+    record_pass(
+        rec,
+        subject,
+        "pruning",
+        timer,
+        &[
+            ("total", prune_out.total as u64),
+            ("pruned_basic", prune_out.basic_pruned_count as u64),
+            ("pruned_optimal", prune_out.optimal_pruned_count as u64),
+            ("committed", committed_set.len() as u64),
+        ],
+    );
 
     // ---- Recovery metadata (may force checkpoints back in). ----
+    let timer = SpanTimer::start(rec);
     let (regions, forced) = build_restores(&k, &rm, &committed_set)?;
+    let forced_commits = forced.len() as u64;
     for id in forced {
         committed_set.insert(id);
+    }
+    if rec.enabled() {
+        let slot_restores = regions
+            .iter()
+            .flat_map(|r| &r.restores)
+            .filter(|(_, r)| matches!(r, Restore::Slot(_)))
+            .count() as u64;
+        let slice_restores = regions
+            .iter()
+            .flat_map(|r| &r.restores)
+            .filter(|(_, r)| matches!(r, Restore::Slice(_)))
+            .count() as u64;
+        record_pass(
+            rec,
+            subject,
+            "restore-metadata",
+            timer,
+            &[
+                ("forced_commits", forced_commits),
+                ("slot_restores", slot_restores),
+                ("slice_restores", slice_restores),
+            ],
+        );
     }
     // ---- Static invariant validation (final pruning decisions). ----
     // Checked after restore construction so the forced-commit safety net
@@ -254,6 +372,7 @@ fn compile_checkpointed(
     }
 
     // ---- Storage assignment. ----
+    let timer = SpanTimer::start(rec);
     let pressure_estimate = register_pressure(&k) + renamed_defs;
     let storage = assign_storage(
         &k,
@@ -261,6 +380,17 @@ fn compile_checkpointed(
         &config.machine,
         &config.launch,
         pressure_estimate,
+    );
+    record_pass(
+        rec,
+        subject,
+        "storage-assignment",
+        timer,
+        &[
+            ("shared_slots", (storage.slots.len() as u64) - storage.global_slots as u64),
+            ("global_slots", storage.global_slots as u64),
+            ("shared_bytes", storage.shared_bytes as u64),
+        ],
     );
 
     // ---- Rewrite slot references in slices to the final assignment. ----
@@ -271,6 +401,7 @@ fn compile_checkpointed(
     let regions = remap_regions(regions, &remap, &storage.slots, &k, &rm)?;
 
     // ---- Code generation. ----
+    let timer = SpanTimer::start(rec);
     let shared_ckpt_base = k.shared_bytes;
     let lowered = lower_checkpoints(
         &mut k,
@@ -301,6 +432,17 @@ fn compile_checkpointed(
             k.shared_bytes + storage.shared_bytes,
         ),
     };
+    record_pass(
+        rec,
+        subject,
+        "codegen",
+        timer,
+        &[
+            ("setup_regs", lowered.setup.len() as u64),
+            ("regs_per_thread", pressure as u64),
+            ("occupancy_ppm", (stats.occupancy * 1e6) as u64),
+        ],
+    );
     Ok(Protected {
         kernel: k,
         regions,

@@ -16,6 +16,13 @@ use crate::config::{LaunchDims, MachineParams, StoragePolicy};
 use crate::cost::{checkpoint_cost, PRUNE_COST_BASE};
 use crate::meta::SlotRef;
 
+/// Bytes of checkpoint storage per thread per slot.
+///
+/// Every checkpointed register is stored as one 32-bit word; the
+/// slot-width pipeline invariant ([`crate::check::Invariant::SlotWidth`])
+/// validates that no checkpointed register is wider than this.
+pub const CKPT_SLOT_BYTES: u32 = 4;
+
 /// The result of storage assignment.
 #[derive(Debug, Clone, Default)]
 pub struct StorageAssignment {
@@ -49,11 +56,16 @@ pub fn assign_storage(
     keys.sort_by_key(|k| (std::cmp::Reverse(scores[k]), k.0, k.1));
 
     let tpb = launch.threads_per_block();
-    let slot_shared_bytes = tpb * 4;
+    let slot_shared_bytes = tpb * CKPT_SLOT_BYTES;
     let budget = match policy {
         StoragePolicy::Global => 0,
-        StoragePolicy::Shared => machine.shared_per_sm.saturating_sub(kernel.shared_bytes),
-        StoragePolicy::Auto => {
+        // Shared and Auto both cap at the per-block share of the SM's
+        // shared memory under resident occupancy. Shared used to grant
+        // one block the entire SM (`shared_per_sm - kernel.shared_bytes`),
+        // which over-filled shared storage whenever more than one block
+        // is resident; the policies now differ only in preference order
+        // elsewhere, not in the occupancy model.
+        StoragePolicy::Shared | StoragePolicy::Auto => {
             shared_budget(machine, launch, regs_per_thread, kernel.shared_bytes)
         }
     };
@@ -155,6 +167,43 @@ mod tests {
         );
         assert!(a.shared_bytes > 0);
         assert!(a.slots.values().all(|s| s.space == MemSpace::Shared));
+    }
+
+    fn kernel_with_reg_cps(nregs: usize) -> Kernel {
+        let mut src = String::from("\n.kernel s\nentry:\n");
+        for i in 0..nregs {
+            src.push_str(&format!("    mov.u32 %r{i}, {i}\n"));
+        }
+        src.push_str("    st.global.u32 [%r0], %r1\n    ret\n");
+        let mut k = parse_kernel(&src).expect("parse");
+        for i in 0..nregs {
+            let cp = k.make_inst(
+                Op::Ckpt(Color::K0),
+                Type::U32,
+                None,
+                vec![penny_ir::Operand::Reg(VReg(i as u32))],
+            );
+            let end = k.block(penny_ir::BlockId(0)).insts.len() - 1;
+            k.insert_at(penny_ir::Loc { block: penny_ir::BlockId(0), idx: end }, cp);
+        }
+        k
+    }
+
+    #[test]
+    fn regression_shared_policy_uses_per_block_budget() {
+        // 16 checkpointed registers at tpb=128 want 16 * 512 B = 8 K of
+        // shared slots, but with 8 blocks resident per SM the
+        // occupancy-preserving per-block share on fermi is 48 K / 8 = 6 K.
+        // The Shared policy used to grant one block the whole SM (48 K),
+        // so every slot landed in shared memory and multi-block residency
+        // was silently over-subscribed.
+        let k = kernel_with_reg_cps(16);
+        let m = MachineParams::fermi();
+        let launch = LaunchDims::linear(4, 128);
+        assert_eq!(shared_budget(&m, &launch, 16, 0), 6 * 1024);
+        let a = assign_storage(&k, StoragePolicy::Shared, &m, &launch, 16);
+        assert_eq!(a.shared_bytes, 6 * 1024, "{a:?}");
+        assert_eq!(a.global_slots, 4, "{a:?}");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::collections::HashSet;
 use penny_analysis::{AliasOptions, Liveness, ReachingDefs};
 use penny_core::check::{
     check_coverage, check_idempotence, check_instrumented, check_pruning,
-    check_slot_consistency, Invariant,
+    check_slot_consistency, check_slot_width, Invariant,
 };
 use penny_core::checkpoint::{
     eager_placement, insert_checkpoints, lup_edges, region_live_ins,
@@ -232,6 +232,32 @@ fn miscolored_checkpoint_slot_is_rejected() {
         .expect_err("miscolored checkpoint must be rejected");
     assert_eq!(err.invariant, Invariant::SlotConsistency);
     assert!(err.to_string().contains("slot-consistency"), "{err}");
+}
+
+#[test]
+fn regression_checkpoint_slots_cover_every_register_type() {
+    // `assign_storage` sizes every checkpoint slot at a fixed
+    // CKPT_SLOT_BYTES per thread regardless of the checkpointed
+    // register's declared type. The slot-width invariant makes that
+    // assumption explicit: every representable `Type` must fit the slot
+    // (exhaustively — a future wider type breaks this match), and the
+    // stock instrumented kernels must pass the check. The negative case
+    // (a checkpoint wider than a slot) is unrepresentable in the 32-bit
+    // IR today, which is exactly what this test documents.
+    use penny_core::storage::CKPT_SLOT_BYTES;
+    use penny_ir::Type;
+    let slot_bits = 8 * CKPT_SLOT_BYTES;
+    for ty in [Type::U32, Type::S32, Type::F32, Type::Pred] {
+        let bits = match ty {
+            Type::U32 | Type::S32 | Type::F32 | Type::Pred => ty.width_bits(),
+        };
+        assert!(bits <= slot_bits, "{ty} ({bits} bits) cannot fit a checkpoint slot");
+    }
+    for src in [K_INPLACE, K_LOOP] {
+        let k = instrument(src);
+        check_slot_width(&k).expect("instrumented kernel passes slot-width");
+    }
+    assert_eq!(Invariant::SlotWidth.name(), "slot-width");
 }
 
 #[test]

@@ -27,6 +27,10 @@ pub struct Cover {
     pub chosen: Vec<(Side, usize)>,
     /// Sum of the weights of the chosen vertices.
     pub total_cost: u64,
+    /// Augmenting paths pushed by the underlying max-flow solve (0 for
+    /// the trivial empty-edge case). Observability counter only; does
+    /// not affect the cover.
+    pub augmenting_paths: u64,
 }
 
 impl Cover {
@@ -122,7 +126,7 @@ impl BipartiteCover {
         let nl = self.left_weight.len();
         let nr = self.right_weight.len();
         if self.edges.is_empty() {
-            return Cover { chosen: Vec::new(), total_cost: 0 };
+            return Cover { chosen: Vec::new(), total_cost: 0, augmenting_paths: 0 };
         }
         let source = nl + nr;
         let sink = nl + nr + 1;
@@ -143,7 +147,7 @@ impl BipartiteCover {
         chosen.extend((0..nl).filter(|&i| !src_side[i]).map(|i| (Side::Left, i)));
         // Sink edge crosses the cut => right vertex selected.
         chosen.extend((0..nr).filter(|&j| src_side[nl + j]).map(|j| (Side::Right, j)));
-        Cover { chosen, total_cost }
+        Cover { chosen, total_cost, augmenting_paths: net.augmenting_paths() }
     }
 }
 

@@ -30,6 +30,7 @@ pub struct MaxFlow {
     cap: Vec<u64>,
     level: Vec<i32>,
     iter: Vec<usize>,
+    augments: u64,
 }
 
 impl MaxFlow {
@@ -45,7 +46,15 @@ impl MaxFlow {
             cap: Vec::new(),
             level: vec![-1; n],
             iter: vec![0; n],
+            augments: 0,
         }
+    }
+
+    /// Number of augmenting paths pushed across all [`MaxFlow::max_flow`]
+    /// calls on this network (an observability counter for checkpoint
+    /// placement profiling).
+    pub fn augmenting_paths(&self) -> u64 {
+        self.augments
     }
 
     /// Number of vertices.
@@ -143,6 +152,7 @@ impl MaxFlow {
                 if f == 0 {
                     break;
                 }
+                self.augments += 1;
                 flow += f;
             }
         }
@@ -248,6 +258,20 @@ mod tests {
         net.add_edge(1, 2, MaxFlow::INF);
         net.add_edge(2, 3, 9);
         assert_eq!(net.max_flow(0, 3), 7);
+    }
+
+    #[test]
+    fn augmenting_paths_are_counted() {
+        let mut net = MaxFlow::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        assert_eq!(net.augmenting_paths(), 0);
+        net.max_flow(0, 3);
+        // Each augmenting path pushes at least one unit of the flow of 4.
+        let paths = net.augmenting_paths();
+        assert!((1..=4).contains(&paths), "unexpected path count {paths}");
     }
 
     #[test]

@@ -111,6 +111,18 @@ impl Type {
             Type::Pred => "pred",
         }
     }
+
+    /// Width of a value of this type in bits.
+    ///
+    /// Checkpoint storage sizing assumes every checkpointed register fits
+    /// a 32-bit slot; the slot-width pipeline invariant checks values
+    /// against this.
+    pub fn width_bits(self) -> u32 {
+        match self {
+            Type::U32 | Type::S32 | Type::F32 => 32,
+            Type::Pred => 1,
+        }
+    }
 }
 
 impl fmt::Display for Type {
@@ -342,6 +354,14 @@ mod tests {
         assert_eq!(MemSpace::Shared.to_string(), "shared");
         assert_eq!(Special::TidX.to_string(), "%tid.x");
         assert_eq!(Cmp::Le.to_string(), "le");
+    }
+
+    #[test]
+    fn type_widths_fit_a_32_bit_slot() {
+        for ty in [Type::U32, Type::S32, Type::F32, Type::Pred] {
+            assert!(ty.width_bits() <= 32, "{ty} wider than a checkpoint slot");
+        }
+        assert_eq!(Type::Pred.width_bits(), 1);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+#![warn(missing_docs)]
+//! Zero-cost-when-off observability for the Penny pipeline and
+//! simulator.
+//!
+//! Collection hangs off the [`Recorder`] trait. The default sink,
+//! [`NullRecorder`], reports `enabled() == false`, and every
+//! instrumentation site is written so that a disabled recorder costs a
+//! predicted-false branch: no clock is read ([`SpanTimer::start`]
+//! returns a dead timer), no counter vector is built, and no [`Span`]
+//! is allocated. The figure suite and `BENCH_eval.json` are therefore
+//! byte-identical with observability on or off — a property
+//! `crates/bench/tests/obs_neutrality.rs` pins.
+//!
+//! Three span kinds cover the system:
+//!
+//! * [`SpanKind::Pass`] — one compiler pass of
+//!   `penny_core::pipeline::compile_observed` (wall time + per-pass
+//!   counters such as regions cut, checkpoints placed/pruned, max-flow
+//!   augmenting paths, shared/global slots);
+//! * [`SpanKind::Sim`] — one simulator launch
+//!   (`penny_sim::engine::run_observed`: cycles, idle cycles skipped,
+//!   clean/decoded RF reads, recoveries, re-executed instructions);
+//! * [`SpanKind::Site`] — one fault-injection site of a campaign or
+//!   conformance run.
+//!
+//! Spans serialize to JSONL via [`Span::to_jsonl`]; the versioned
+//! schema lives in [`schema`] together with a dependency-free
+//! validator (`penny-prof --check` runs every emitted line through
+//! it).
+
+pub mod schema;
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A static counter attached to a span at an instrumentation site.
+pub type Counter = (&'static str, u64);
+
+/// What a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// One compiler pass of one kernel compilation.
+    Pass,
+    /// One simulator launch.
+    Sim,
+    /// One fault-injection site (campaign/conformance).
+    Site,
+}
+
+impl SpanKind {
+    /// Stable serialized name (`"pass"`, `"sim"`, `"site"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Pass => "pass",
+            SpanKind::Sim => "sim",
+            SpanKind::Site => "site",
+        }
+    }
+
+    /// Parses a serialized name back into a kind.
+    pub fn from_name(name: &str) -> Option<SpanKind> {
+        match name {
+            "pass" => Some(SpanKind::Pass),
+            "sim" => Some(SpanKind::Sim),
+            "site" => Some(SpanKind::Site),
+            _ => None,
+        }
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Span kind.
+    pub kind: SpanKind,
+    /// What was measured (kernel or workload name).
+    pub subject: String,
+    /// Pass name, run label, or site label.
+    pub label: String,
+    /// Wall-clock nanoseconds (0 for counter-only site spans).
+    pub wall_ns: u64,
+    /// Named counters, in emission order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Span {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Serializes the span as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_with(&[])
+    }
+
+    /// Serializes the span with extra string context fields (e.g.
+    /// `workload`, `scheme`) appended after the core schema fields.
+    pub fn to_jsonl_with(&self, extra: &[(&str, &str)]) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"v\":1,\"kind\":\"");
+        out.push_str(self.kind.name());
+        out.push_str("\",\"subject\":\"");
+        out.push_str(&json_escape(&self.subject));
+        out.push_str("\",\"label\":\"");
+        out.push_str(&json_escape(&self.label));
+        out.push_str("\",\"wall_ns\":");
+        out.push_str(&self.wall_ns.to_string());
+        out.push_str(",\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(name));
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+        for (key, value) in extra {
+            out.push_str(",\"");
+            out.push_str(&json_escape(key));
+            out.push_str("\":\"");
+            out.push_str(&json_escape(value));
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A span sink. Implementations must be cheap to query: `enabled()` is
+/// called on hot paths to decide whether any measurement happens at
+/// all.
+pub trait Recorder: Sync {
+    /// Whether spans should be collected. Instrumentation sites skip
+    /// clock reads and counter construction entirely when this is
+    /// `false`.
+    fn enabled(&self) -> bool;
+
+    /// Accepts one completed span. Only called when [`Recorder::enabled`]
+    /// returned `true` at the site.
+    fn record(&self, span: Span);
+}
+
+/// The no-op sink: `enabled()` is `false`, nothing is ever recorded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _span: Span) {}
+}
+
+/// A shared [`NullRecorder`] for call sites that need a `&dyn Recorder`.
+pub static NULL: NullRecorder = NullRecorder;
+
+/// An in-memory sink collecting every span (thread-safe).
+#[derive(Debug, Default)]
+pub struct MemRecorder {
+    spans: Mutex<Vec<Span>>,
+}
+
+impl MemRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> MemRecorder {
+        MemRecorder::default()
+    }
+
+    /// A copy of every span recorded so far, in arrival order.
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Drains and returns every recorded span.
+    pub fn take(&self) -> Vec<Span> {
+        std::mem::take(&mut self.spans.lock().unwrap())
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    /// Whether no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, span: Span) {
+        self.spans.lock().unwrap().push(span);
+    }
+}
+
+/// A wall-clock timer that only reads the clock when the recorder is
+/// enabled; dead timers report 0 ns.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer(Option<Instant>);
+
+impl SpanTimer {
+    /// Starts a timer — live when `rec.enabled()`, dead (no clock read)
+    /// otherwise.
+    pub fn start(rec: &dyn Recorder) -> SpanTimer {
+        SpanTimer(if rec.enabled() { Some(Instant::now()) } else { None })
+    }
+
+    /// Elapsed nanoseconds (0 for a dead timer).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
+    }
+
+    /// Whether the timer is live (the recorder was enabled at start).
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Records a compiler-pass span (no-op when `rec` is disabled).
+pub fn record_pass(
+    rec: &dyn Recorder,
+    subject: &str,
+    pass: &'static str,
+    timer: SpanTimer,
+    counters: &[Counter],
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.record(Span {
+        kind: SpanKind::Pass,
+        subject: subject.to_string(),
+        label: pass.to_string(),
+        wall_ns: timer.elapsed_ns(),
+        counters: counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+    });
+}
+
+/// Records a simulator-run span (no-op when `rec` is disabled).
+pub fn record_sim(
+    rec: &dyn Recorder,
+    subject: &str,
+    label: &str,
+    timer: SpanTimer,
+    counters: &[Counter],
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.record(Span {
+        kind: SpanKind::Sim,
+        subject: subject.to_string(),
+        label: label.to_string(),
+        wall_ns: timer.elapsed_ns(),
+        counters: counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+    });
+}
+
+/// Records a fault-site span (counter-only; no-op when `rec` is
+/// disabled).
+pub fn record_site(rec: &dyn Recorder, subject: &str, label: &str, counters: &[Counter]) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.record(Span {
+        kind: SpanKind::Site,
+        subject: subject.to_string(),
+        label: label.to_string(),
+        wall_ns: 0,
+        counters: counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        assert!(!NULL.enabled());
+        let timer = SpanTimer::start(&NULL);
+        assert!(!timer.is_live());
+        assert_eq!(timer.elapsed_ns(), 0);
+        // record_* helpers must not panic and must not record.
+        record_pass(&NULL, "k", "region-formation", timer, &[("regions", 3)]);
+    }
+
+    #[test]
+    fn mem_recorder_collects_spans() {
+        let rec = MemRecorder::new();
+        assert!(rec.enabled() && rec.is_empty());
+        let timer = SpanTimer::start(&rec);
+        assert!(timer.is_live());
+        record_pass(&rec, "k", "pruning", timer, &[("committed", 2), ("total", 5)]);
+        record_sim(&rec, "k", "run", timer, &[("cycles", 100)]);
+        record_site(&rec, "MT", "b0w0l0r1b2t3", &[("recoveries", 1)]);
+        let spans = rec.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].kind, SpanKind::Pass);
+        assert_eq!(spans[0].counter("committed"), Some(2));
+        assert_eq!(spans[1].kind, SpanKind::Sim);
+        assert_eq!(spans[2].kind, SpanKind::Site);
+        assert_eq!(spans[2].wall_ns, 0);
+        assert_eq!(rec.take().len(), 3);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [SpanKind::Pass, SpanKind::Sim, SpanKind::Site] {
+            assert_eq!(SpanKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SpanKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn jsonl_serialization_and_escaping() {
+        let span = Span {
+            kind: SpanKind::Pass,
+            subject: "k\"1".into(),
+            label: "a\\b\n".into(),
+            wall_ns: 42,
+            counters: vec![("regions".into(), 7)],
+        };
+        let line = span.to_jsonl();
+        assert!(line.starts_with("{\"v\":1,\"kind\":\"pass\""));
+        assert!(line.contains("\"subject\":\"k\\\"1\""));
+        assert!(line.contains("\"label\":\"a\\\\b\\n\""));
+        assert!(line.contains("\"wall_ns\":42"));
+        assert!(line.contains("\"counters\":{\"regions\":7}"));
+        let with_extra = span.to_jsonl_with(&[("workload", "MT"), ("scheme", "Penny")]);
+        assert!(with_extra.ends_with(",\"workload\":\"MT\",\"scheme\":\"Penny\"}"));
+    }
+}

@@ -28,12 +28,18 @@ pub fn rf_energy_pj(stats: &RfStats, scheme: Scheme) -> f64 {
 }
 
 /// RF energy normalized to a baseline run on an unprotected RF.
+///
+/// A zero-access baseline only yields the neutral 1.0 when the run is
+/// also access-free; a nonzero run over a zero baseline is unbounded
+/// relative overhead (all of it instrumentation-induced) and reports
+/// `f64::INFINITY` instead of silently masking it.
 pub fn normalized_rf_energy(run: &RfStats, scheme: Scheme, baseline: &RfStats) -> f64 {
     let base = rf_energy_pj(baseline, Scheme::None);
+    let e = rf_energy_pj(run, scheme);
     if base == 0.0 {
-        return 1.0;
+        return if e == 0.0 { 1.0 } else { f64::INFINITY };
     }
-    rf_energy_pj(run, scheme) / base
+    e / base
 }
 
 #[cfg(test)]
@@ -67,5 +73,18 @@ mod tests {
     fn zero_baseline_degrades_gracefully() {
         let z = RfStats::default();
         assert_eq!(normalized_rf_energy(&z, Scheme::Parity, &z), 1.0);
+    }
+
+    #[test]
+    fn regression_nonzero_run_over_zero_baseline_is_infinite() {
+        // A run with RF traffic normalized against an access-free
+        // baseline used to report a perfect 1.0, hiding purely
+        // instrumentation-induced energy. It must be +inf.
+        let z = RfStats::default();
+        let run = RfStats { reads: 10, writes: 2, ..RfStats::default() };
+        assert_eq!(normalized_rf_energy(&run, Scheme::Parity, &z), f64::INFINITY);
+        assert_eq!(normalized_rf_energy(&run, Scheme::None, &z), f64::INFINITY);
+        // Both-zero stays the neutral ratio.
+        assert_eq!(normalized_rf_energy(&z, Scheme::Secded, &z), 1.0);
     }
 }

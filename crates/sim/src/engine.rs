@@ -31,6 +31,7 @@
 
 use penny_core::{LaunchDims, Protected};
 use penny_ir::{MemSpace, Op, Operand, RegionId, Special, Terminator};
+use penny_obs::{record_sim, Recorder, SpanTimer};
 
 use crate::config::{GpuConfig, RfProtection};
 use crate::fault::FaultPlan;
@@ -54,6 +55,10 @@ pub struct RunStats {
     pub rf: RfStats,
     /// Recovery invocations (region re-executions).
     pub recoveries: u64,
+    /// Warp-level instructions re-executed by recoveries: on each
+    /// rollback, the instructions the warp had issued since its region
+    /// snapshot are replayed and counted here.
+    pub reexec_instructions: u64,
     /// Global loads issued (warp-level).
     pub global_loads: u64,
     /// Global stores issued (warp-level).
@@ -187,6 +192,53 @@ pub fn run_decode_reference(
     global: &mut GlobalMemory,
 ) -> Result<RunStats, SimError> {
     run_mode(config, protected, launch, global, false, ExecPath::Reference)
+}
+
+/// [`run`] with an observability sink: the launch records one
+/// [`penny_obs::SpanKind::Sim`] span (wall time + the full
+/// [`RunStats`] counter set) into `rec`. With a disabled recorder this
+/// is exactly `run` — no clock read, no span, identical stats — and the
+/// simulated run itself is the same hot interpreter either way.
+///
+/// # Errors
+///
+/// Same failure modes as [`run`].
+pub fn run_observed(
+    config: &GpuConfig,
+    protected: &Protected,
+    launch: &LaunchConfig,
+    global: &mut GlobalMemory,
+    rec: &dyn Recorder,
+) -> Result<RunStats, SimError> {
+    let timer = SpanTimer::start(rec);
+    let stats = run_mode(config, protected, launch, global, false, ExecPath::Decoded)?;
+    if rec.enabled() {
+        record_sim(
+            rec,
+            &protected.kernel.name,
+            "run",
+            timer,
+            &[
+                ("cycles", stats.cycles),
+                ("skipped_cycles", stats.skipped_cycles),
+                ("instructions", stats.instructions),
+                ("warp_instructions", stats.warp_instructions),
+                ("rf_reads", stats.rf.reads),
+                ("rf_decoded_reads", stats.rf.decoded_reads),
+                ("rf_clean_reads", stats.rf.clean_reads()),
+                ("rf_writes", stats.rf.writes),
+                ("rf_detected", stats.rf.detected),
+                ("rf_corrected", stats.rf.corrected),
+                ("recoveries", stats.recoveries),
+                ("reexec_instructions", stats.reexec_instructions),
+                ("global_loads", stats.global_loads),
+                ("global_stores", stats.global_stores),
+                ("shared_accesses", stats.shared_accesses),
+                ("barriers", stats.barriers),
+            ],
+        );
+    }
+    Ok(stats)
 }
 
 fn run_mode(
@@ -1204,6 +1256,14 @@ impl<'a> SmEngine<'a> {
                 kernel: self.program.name.clone(),
                 reg: u32::MAX,
             });
+        }
+        {
+            // Everything executed since the snapshot is about to replay.
+            // The live counter itself stays monotonic (fault-plan
+            // triggers depend on it); only the delta is attributed.
+            let warp = &self.blocks[bi].warps[wi];
+            let snap_executed = warp.snapshot.as_ref().map(|s| s.executed).unwrap_or(0);
+            stats.reexec_instructions += warp.executed.saturating_sub(snap_executed);
         }
         let region = self.blocks[bi].warps[wi].rollback();
         let restores = recovery::restore_warp(

@@ -155,6 +155,24 @@ impl Gpu {
     ) -> Result<RunStats, SimError> {
         engine::run(&self.config, protected, launch, &mut self.global)
     }
+
+    /// Launches a kernel and records a `sim` span on `rec`.
+    ///
+    /// Identical to [`Gpu::run`] when the recorder is disabled — the
+    /// span (and its wall-clock read) only materializes for an enabled
+    /// recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gpu::run`].
+    pub fn run_observed(
+        &mut self,
+        protected: &penny_core::Protected,
+        launch: &LaunchConfig,
+        rec: &dyn penny_obs::Recorder,
+    ) -> Result<RunStats, SimError> {
+        engine::run_observed(&self.config, protected, launch, &mut self.global, rec)
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,7 @@ pub struct RegFile {
 }
 
 /// RF access counters for a whole launch (drives the energy model).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RfStats {
     /// Register reads.
     pub reads: u64,
@@ -66,7 +66,37 @@ pub struct RfStats {
     pub detected: u64,
     /// Errors corrected inline by ECC.
     pub corrected: u64,
+    /// Reads that took the full codec-decode path (observability only).
+    ///
+    /// The fast path serves clean registers from the cache; the
+    /// reference interpreter decodes every read, so this counter
+    /// legitimately diverges between the two execution paths and is
+    /// deliberately excluded from `PartialEq`.
+    pub decoded_reads: u64,
 }
+
+impl RfStats {
+    /// Reads served from the clean-register cache without a codec
+    /// decode.
+    pub fn clean_reads(&self) -> u64 {
+        self.reads.saturating_sub(self.decoded_reads)
+    }
+}
+
+// Manual equality: the architectural counters must match bit-for-bit
+// across execution paths, while `decoded_reads` is a property of the
+// path itself (reference decodes always; the fast path only on dirty
+// registers) and is excluded.
+impl PartialEq for RfStats {
+    fn eq(&self, other: &RfStats) -> bool {
+        self.reads == other.reads
+            && self.writes == other.writes
+            && self.detected == other.detected
+            && self.corrected == other.corrected
+    }
+}
+
+impl Eq for RfStats {}
 
 impl RegFile {
     /// Creates a zero-initialized register file with `n` registers.
@@ -160,6 +190,7 @@ impl RegFile {
     /// Full decode of a stored word, re-validating the cache when the
     /// decode lands clean (or is corrected and scrubbed).
     fn decode_read(&mut self, reg: usize, stats: &mut RfStats) -> ReadOutcome {
+        stats.decoded_reads += 1;
         let word = self.words[reg];
         let Some(codec) = &self.codec else {
             // Unprotected: the raw word is the value (possibly silently
@@ -373,6 +404,36 @@ mod tests {
             }
             assert_eq!(sf, ss, "{prot:?}: stats diverge");
         }
+    }
+
+    #[test]
+    fn decoded_reads_count_only_the_decode_path() {
+        let mut rf = RegFile::new(2, RfProtection::Edc(Scheme::Parity));
+        let mut st = RfStats::default();
+        rf.write(0, 7, &mut st);
+        // Clean reads stay on the cached path.
+        for _ in 0..5 {
+            rf.read(0, &mut st);
+        }
+        assert_eq!(st.decoded_reads, 0);
+        assert_eq!(st.clean_reads(), 5);
+        // A fault forces one decode; detection leaves the register dirty
+        // so the next read decodes again.
+        rf.flip_bit(0, 3);
+        rf.read(0, &mut st);
+        rf.read(0, &mut st);
+        assert_eq!(st.decoded_reads, 2);
+        assert_eq!(st.clean_reads(), 5);
+        // Reference reads always decode, and equality ignores the
+        // counter by design.
+        let mut ref_st = st;
+        rf.write(0, 9, &mut st);
+        rf.write(0, 9, &mut ref_st);
+        let a = rf.read(0, &mut st);
+        let b = rf.read_reference(0, &mut ref_st);
+        assert_eq!(a, b);
+        assert_eq!(st, ref_st, "PartialEq must ignore decoded_reads");
+        assert_ne!(st.decoded_reads, ref_st.decoded_reads);
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct WarpSnapshot {
     pub exited: u32,
     /// The region entered.
     pub region: RegionId,
+    /// The warp's executed-instruction count at the marker. Recovery
+    /// diffs the live count against this to attribute re-executed
+    /// instructions; the live count itself is never rewound (fault-plan
+    /// triggers key off its monotonic progression).
+    pub executed: u64,
 }
 
 /// A warp.
@@ -103,8 +108,12 @@ impl Warp {
 
     /// Takes a region snapshot (top PC must already be past the marker).
     pub fn snapshot_region(&mut self, region: RegionId) {
-        self.snapshot =
-            Some(WarpSnapshot { stack: self.stack.clone(), exited: self.exited, region });
+        self.snapshot = Some(WarpSnapshot {
+            stack: self.stack.clone(),
+            exited: self.exited,
+            region,
+            executed: self.executed,
+        });
     }
 
     /// Rolls the warp back to its region snapshot; returns the region.
@@ -177,5 +186,20 @@ mod tests {
     #[should_panic(expected = "no region snapshot")]
     fn rollback_without_snapshot_panics() {
         Warp::new(0, 0, 32, 0, 10).rollback();
+    }
+
+    #[test]
+    fn snapshot_captures_executed_and_rollback_preserves_it() {
+        let mut w = Warp::new(0, 0, 32, 0, 100);
+        w.executed = 7;
+        w.snapshot_region(RegionId(1));
+        assert_eq!(w.snapshot.as_ref().expect("snapshot").executed, 7);
+        // The live count keeps advancing and is NOT rewound by rollback:
+        // fault-plan triggers depend on its monotonic progression, and
+        // recovery uses the snapshot delta to attribute re-execution.
+        w.executed = 19;
+        w.rollback();
+        assert_eq!(w.executed, 19);
+        assert_eq!(w.snapshot.as_ref().expect("snapshot").executed, 7);
     }
 }

@@ -14,7 +14,11 @@
 #      always-decode reference interpreter — bit-identical;
 #   6. the fault-space conformance harness (small default budget):
 #      every covered (instruction × register × bit) site must recover
-#      to the fault-free final memory under each protected scheme.
+#      to the fault-free final memory under each protected scheme;
+#   7. the observability layer: penny-prof over all 25 workloads with
+#      every emitted JSONL span schema-validated, plus the neutrality
+#      suite (figures/BENCH/conformance byte-identical with the
+#      recorder on vs off).
 #
 # Usage: scripts/verify.sh [--full]
 #   --full additionally runs every workspace test (fault-injection
@@ -44,6 +48,10 @@ cargo test --release -p penny-sim --test decoded_equivalence
 
 echo "==> conformance: fault-space recovery harness"
 cargo test -q -p penny-bench conformance
+
+echo "==> observability: span schema + neutrality"
+cargo run -q --release -p penny-bench --bin penny-prof -- --all-workloads --json --check > /dev/null
+cargo test --release -p penny-bench --test obs_neutrality
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full workspace test suite"
