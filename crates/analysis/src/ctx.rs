@@ -1,0 +1,103 @@
+//! Lazily recomputed analysis bundle with explicit invalidation.
+//!
+//! Transformation passes that interleave queries and edits (overwrite
+//! prevention is the heavy one: its renaming loop queries liveness and
+//! reaching definitions between every candidate) historically
+//! recomputed each analysis at every iteration, whether or not the
+//! kernel had changed since the last one. [`AnalysisCtx`] memoizes the
+//! results and recomputes only after the pass reports a mutation via
+//! [`AnalysisCtx::invalidate`].
+//!
+//! The invalidation contract is the caller's obligation: query results
+//! are valid exactly until the kernel is edited in a way the analysis
+//! can observe. Edits that *no* cached analysis observes — the
+//! documented case is rewriting a checkpoint's color
+//! (`Op::Ckpt(K0)` → `Op::Ckpt(K1)`), which changes neither def/use
+//! sets nor control flow — may skip invalidation; see
+//! `DESIGN.md`'s incremental-invalidation section.
+
+use penny_ir::Kernel;
+
+use crate::liveness::Liveness;
+use crate::reachdefs::ReachingDefs;
+
+/// Memoized [`Liveness`] + [`ReachingDefs`] over one kernel.
+///
+/// Not self-invalidating: the kernel is passed per query, and the
+/// caller must call [`AnalysisCtx::invalidate`] after any mutation
+/// that changes def/use sets or control flow.
+#[derive(Debug, Default)]
+pub struct AnalysisCtx {
+    liveness: Option<Liveness>,
+    reachdefs: Option<ReachingDefs>,
+    /// Number of invalidations, exposed for instrumentation.
+    generations: u64,
+}
+
+impl AnalysisCtx {
+    /// An empty context; every analysis computes on first use.
+    pub fn new() -> AnalysisCtx {
+        AnalysisCtx::default()
+    }
+
+    /// Liveness of `kernel`, computed at most once per generation.
+    pub fn liveness(&mut self, kernel: &Kernel) -> &Liveness {
+        self.liveness.get_or_insert_with(|| Liveness::compute(kernel))
+    }
+
+    /// Reaching definitions of `kernel`, computed at most once per
+    /// generation.
+    pub fn reachdefs(&mut self, kernel: &Kernel) -> &ReachingDefs {
+        self.reachdefs.get_or_insert_with(|| ReachingDefs::compute(kernel))
+    }
+
+    /// Drops every cached result: the kernel's def/use sets or control
+    /// flow changed.
+    pub fn invalidate(&mut self) {
+        self.liveness = None;
+        self.reachdefs = None;
+        self.generations += 1;
+    }
+
+    /// How many times the context has been invalidated.
+    pub fn generations(&self) -> u64 {
+        self.generations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_memoized_until_invalidated() {
+        let mut k = penny_ir::parse_kernel(
+            ".kernel c\nentry:\n mov.u32 %r0, 1\n st.global.u32 [%r0], %r0\n ret\n",
+        )
+        .expect("parse");
+        let mut ctx = AnalysisCtx::new();
+        let live_before = format!("{:?}", ctx.liveness(&k));
+        let _ = ctx.reachdefs(&k);
+        assert_eq!(ctx.generations(), 0);
+
+        // Unchanged kernel: cached result is identical to a fresh one.
+        assert_eq!(live_before, format!("{:?}", Liveness::compute(&k)));
+
+        // Mutate, invalidate, recompute.
+        let r = k.fresh_vreg();
+        let inst = k.make_inst(
+            penny_ir::Op::Mov,
+            penny_ir::Type::U32,
+            Some(r),
+            vec![penny_ir::Operand::Imm(7)],
+        );
+        let entry = k.entry;
+        k.insert_at(penny_ir::Loc { block: entry, idx: 0 }, inst);
+        ctx.invalidate();
+        assert_eq!(ctx.generations(), 1);
+        assert_eq!(
+            format!("{:?}", ctx.liveness(&k)),
+            format!("{:?}", Liveness::compute(&k))
+        );
+    }
+}

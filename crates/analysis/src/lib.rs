@@ -50,6 +50,7 @@
 pub mod alias;
 pub mod bitset;
 pub mod cd;
+pub mod ctx;
 pub mod dataflow;
 pub mod dom;
 pub mod liveness;
@@ -62,6 +63,7 @@ pub mod uniform;
 pub use alias::{AliasAnalysis, AliasOptions, MemAccess, Sym};
 pub use bitset::BitSet;
 pub use cd::{ControlDep, ControlDeps};
+pub use ctx::AnalysisCtx;
 pub use dataflow::{solve, Direction, Lattice, Solution, Transfer};
 pub use dom::Dominators;
 pub use liveness::Liveness;

@@ -1,0 +1,59 @@
+//! Times the overwrite-prevention pass (paper §6.3) in isolation: both
+//! the register-renaming and the 2-coloring storage-alternation
+//! variants, on the loop-carried kernels whose checkpoints sit inside
+//! live regions. Those are the worst cases: alternation's 2-coloring
+//! keeps conflicting on the loop back-edges, so `color_register` runs
+//! deep into its round budget and escalates through
+//! `escalate_with_dummies` (edge splits + dummy checkpoints). STC is
+//! the historical hot spot — before the incremental-CFG rework this
+//! pass was ~75% of total compile time, dominated by these kernels.
+//!
+//! Run with `cargo bench -p penny-bench --bench overwrite`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use penny_analysis::{Liveness, LoopInfo, ReachingDefs};
+use penny_core::checkpoint::{
+    bimodal_placement_counted, insert_checkpoints, lup_edges, region_live_ins,
+};
+use penny_core::overwrite::{apply_alternation, apply_renaming};
+use penny_core::regions::form_regions;
+use penny_core::{PennyConfig, RegionMap};
+use penny_ir::Kernel;
+
+/// Region-formed, checkpointed kernel exactly as the pipeline hands it
+/// to overwrite prevention (Penny config: bimodal placement).
+fn checkpointed(abbr: &str) -> (Kernel, RegionMap) {
+    let w = penny_workloads::by_abbr(abbr).expect(abbr);
+    let cfg = PennyConfig::penny().with_launch(w.dims);
+    let mut k = w.kernel().expect("parse");
+    form_regions(&mut k, cfg.alias);
+    let rm = RegionMap::compute(&k);
+    let lv = Liveness::compute(&k);
+    let rd = ReachingDefs::compute(&k);
+    let live = region_live_ins(&k, &rm, &lv);
+    let edges = lup_edges(&k, &rm, &live, &rd);
+    let loops = LoopInfo::compute(&k);
+    let (placements, _) = bimodal_placement_counted(&k, &rm, &loops, &edges);
+    insert_checkpoints(&mut k, &placements);
+    (k, rm)
+}
+
+fn bench_overwrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overwrite");
+    group.sample_size(20);
+    // STC and MD carry checkpointed values around loop back-edges;
+    // SGEMM is the dense straight-line contrast case.
+    for abbr in ["STC", "MD", "SGEMM"] {
+        let (k, rm) = checkpointed(abbr);
+        group.bench_function(&format!("renaming_{abbr}"), |b| {
+            b.iter(|| apply_renaming(&mut k.clone(), &rm));
+        });
+        group.bench_function(&format!("alternation_{abbr}"), |b| {
+            b.iter(|| apply_alternation(&mut k.clone(), &rm));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overwrite);
+criterion_main!(benches);

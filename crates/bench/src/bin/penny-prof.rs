@@ -6,21 +6,31 @@
 //!
 //! ```text
 //! penny-prof [--workload ABBR]... [--all-workloads] [--scheme NAME]
-//!            [--json] [--summary] [--check]
+//!            [--jobs N] [--json] [--summary] [--check]
+//!            [--assert-share PASS:PCT]
 //! ```
 //!
 //! * `--workload ABBR` — profile one workload (repeatable);
 //! * `--all-workloads` — profile every registered workload;
 //! * `--scheme NAME` — compiler/RF scheme: `baseline`, `igpu`,
 //!   `bolt-global`, `bolt-auto`, or `penny` (default);
+//! * `--jobs N` — fan the profiles across N harness workers
+//!   (default 1: serial profiling gives the least noisy timings);
 //! * `--json` — emit spans as JSONL on stdout (the default output);
 //! * `--summary` — print aggregated pass-timing and run-metric tables
 //!   instead of (or after) the JSONL stream;
 //! * `--check` — validate every emitted line against the span schema
-//!   (`penny_obs::schema`); exit nonzero on any violation.
+//!   (`penny_obs::schema`); exit nonzero on any violation;
+//! * `--assert-share PASS:PCT` — exit nonzero if `PASS`'s share of
+//!   total pass time exceeds `PCT` percent (CI guardrail; see
+//!   `scripts/verify.sh`).
 //!
-//! Workloads are compiled directly (bypassing the harness compile
-//! cache) so every invocation observes a full pipeline execution.
+//! Compiles go through the content-addressed harness cache
+//! (`penny_bench::cache`) with this invocation's recorder, so each
+//! profile observes the one real (cache-miss) pipeline execution of its
+//! key, and the cache's hit/miss/eviction/in-flight counters are
+//! appended to the stream as `cache`-kind spans (subject
+//! `compile-cache`, workload `harness`).
 
 use std::collections::BTreeMap;
 
@@ -54,14 +64,15 @@ struct Profiled {
 }
 
 /// Compiles and runs `w` under `scheme` with a live recorder; returns
-/// every span the pipeline and simulator emitted.
+/// every span the pipeline and simulator emitted. The compile goes
+/// through the harness content cache: a first-touch key records its
+/// full pass-span stream here; a repeated key (e.g. `--workload STC
+/// --workload STC`) is a cache hit and contributes only sim spans.
 fn profile(w: &Workload, scheme: SchemeId) -> Profiled {
     let rec = MemRecorder::new();
-    let kernel = w.kernel().unwrap_or_else(|e| die(&format!("{}: parse: {e}", w.abbr)));
     let gpu_config = GpuConfig::fermi().with_rf(scheme.rf());
     let cfg = scheme.config().with_launch(w.dims).with_machine(gpu_config.machine);
-    let protected = penny_core::compile_observed(&kernel, &cfg, &rec)
-        .unwrap_or_else(|e| die(&format!("{}: compile: {e}", w.abbr)));
+    let protected = penny_bench::cache::compiled_with(w, &cfg, &rec);
     let mut gpu = Gpu::new(gpu_config);
     let launch = w.prepare(gpu.global_mut());
     gpu.run_observed(&protected, &launch, &rec)
@@ -72,7 +83,28 @@ fn profile(w: &Workload, scheme: SchemeId) -> Profiled {
     Profiled { abbr: w.abbr, spans: rec.take() }
 }
 
-/// Aggregated pass timing across every profiled workload.
+/// Pipeline execution order of the known pass labels; the summary
+/// table lists passes in this order (unknown labels follow,
+/// alphabetically) so rows never reshuffle between runs.
+const PASS_ORDER: &[&str] = &[
+    "region-formation",
+    "checkpoint-placement",
+    "overwrite-prevention",
+    "validation",
+    "pruning",
+    "restore-metadata",
+    "igpu-renaming",
+    "storage-assignment",
+    "codegen",
+];
+
+fn pass_rank(label: &str) -> (usize, &str) {
+    (PASS_ORDER.iter().position(|&p| p == label).unwrap_or(PASS_ORDER.len()), label)
+}
+
+/// Aggregated pass timing across every profiled workload: per-pass span
+/// count, total/mean wall time, and each pass's share of total pass
+/// time, in stable pipeline order.
 fn pass_summary(profiles: &[Profiled]) -> String {
     use std::fmt::Write as _;
     // pass label -> (spans, total ns)
@@ -84,14 +116,48 @@ fn pass_summary(profiles: &[Profiled]) -> String {
             e.1 += s.wall_ns;
         }
     }
+    let grand: u64 = agg.values().map(|&(_, ns)| ns).sum();
+    let mut rows: Vec<(&str, u64, u64)> =
+        agg.into_iter().map(|(pass, (n, ns))| (pass, n, ns)).collect();
+    rows.sort_by_key(|&(pass, _, _)| pass_rank(pass));
     let mut out = String::new();
-    let _ = writeln!(out, "\n== Pass timing ({} workloads) ==", profiles.len());
-    let _ =
-        writeln!(out, "{:<22} {:>7} {:>14} {:>12}", "pass", "spans", "total_ns", "mean_ns");
-    for (pass, (n, ns)) in &agg {
-        let _ = writeln!(out, "{pass:<22} {n:>7} {ns:>14} {:>12}", ns / n.max(&1));
+    // The synthetic harness-cache entry carries no pass spans; keep the
+    // workload count honest.
+    let nworkloads = profiles
+        .iter()
+        .filter(|p| p.spans.iter().any(|s| s.kind != SpanKind::Cache))
+        .count();
+    let _ = writeln!(out, "\n== Pass timing ({nworkloads} workloads) ==");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>7} {:>14} {:>12} {:>8}",
+        "pass", "spans", "total_ns", "mean_ns", "share"
+    );
+    for (pass, n, ns) in &rows {
+        let _ = writeln!(
+            out,
+            "{pass:<22} {n:>7} {ns:>14} {:>12} {:>7.1}%",
+            ns / n.max(&1),
+            100.0 * *ns as f64 / grand.max(1) as f64
+        );
     }
     out
+}
+
+/// Share (percent) of total pass time spent in `label` across the
+/// profiles, or `None` if no such pass span exists.
+fn pass_share(profiles: &[Profiled], label: &str) -> Option<f64> {
+    let mut target = 0u64;
+    let mut grand = 0u64;
+    for p in profiles {
+        for s in p.spans.iter().filter(|s| s.kind == SpanKind::Pass) {
+            grand += s.wall_ns;
+            if s.label == label {
+                target += s.wall_ns;
+            }
+        }
+    }
+    (target > 0).then(|| 100.0 * target as f64 / grand.max(1) as f64)
 }
 
 /// Per-workload simulator run metrics.
@@ -127,9 +193,11 @@ fn main() {
     let mut abbrs: Vec<String> = Vec::new();
     let mut all = false;
     let mut scheme = SchemeId::Penny;
+    let mut jobs: usize = 1;
     let mut json = false;
     let mut summary = false;
     let mut check = false;
+    let mut assert_share: Option<(String, f64)> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -143,6 +211,18 @@ fn main() {
                     &args.next().unwrap_or_else(|| die("--scheme needs a NAME")),
                 )
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"))
+            }
+            "--assert-share" => {
+                assert_share = Some(parse_assert_share(
+                    &args.next().unwrap_or_else(|| die("--assert-share needs PASS:PCT")),
+                ))
+            }
             "--json" => json = true,
             "--summary" => summary = true,
             "--check" => check = true,
@@ -151,6 +231,14 @@ fn main() {
                     abbrs.push(v.to_string());
                 } else if let Some(v) = other.strip_prefix("--scheme=") {
                     scheme = parse_scheme(v);
+                } else if let Some(v) = other.strip_prefix("--jobs=") {
+                    jobs = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--jobs needs a positive integer"));
+                } else if let Some(v) = other.strip_prefix("--assert-share=") {
+                    assert_share = Some(parse_assert_share(v));
                 } else {
                     die(&format!("unknown argument `{other}`"));
                 }
@@ -178,7 +266,18 @@ fn main() {
             .collect()
     };
 
-    let profiles: Vec<Profiled> = workloads.iter().map(|w| profile(w, scheme)).collect();
+    penny_bench::set_jobs(jobs);
+    // Fan the (workload, config) profiles across the parallel harness;
+    // results come back in input order, so output is deterministic for
+    // any job count. Then append the harness cache counters as
+    // `cache`-kind spans so the stream reports cache effectiveness.
+    let mut profiles: Vec<Profiled> =
+        penny_bench::parallel_map(&workloads, |w| profile(w, scheme));
+    {
+        let rec = MemRecorder::new();
+        penny_bench::cache::record_cache_spans(&rec);
+        profiles.push(Profiled { abbr: "harness", spans: rec.take() });
+    }
 
     let mut violations = 0u64;
     if json || check {
@@ -214,4 +313,32 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    if let Some((pass, limit)) = assert_share {
+        match pass_share(&profiles, &pass) {
+            Some(share) if share > limit => {
+                eprintln!(
+                    "penny-prof: pass `{pass}` share {share:.1}% exceeds limit {limit:.1}%"
+                );
+                std::process::exit(1);
+            }
+            Some(share) => {
+                eprintln!("penny-prof: pass `{pass}` share {share:.1}% <= {limit:.1}%")
+            }
+            None => die(&format!("--assert-share: no spans for pass `{pass}`")),
+        }
+    }
+}
+
+/// Parses `PASS:PCT` (e.g. `overwrite-prevention:35`).
+fn parse_assert_share(v: &str) -> (String, f64) {
+    let Some((pass, pct)) = v.rsplit_once(':') else {
+        die("--assert-share needs PASS:PCT");
+    };
+    let limit: f64 = pct
+        .parse()
+        .ok()
+        .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+        .unwrap_or_else(|| die("--assert-share: PCT must be a non-negative number"));
+    (pass.to_string(), limit)
 }

@@ -1,0 +1,119 @@
+//! Concurrency and determinism contract of the compile-cache service
+//! layer (`penny_bench::cache` over `penny_cache::ContentCache`).
+//!
+//! The pinned properties:
+//!
+//! 1. Racing cache misses on one content key compile exactly once —
+//!    every racer shares the winner's `Arc`, and the pass-span stream
+//!    contains exactly one pipeline's worth of spans no matter how the
+//!    threads interleave.
+//! 2. Artifacts are bit-identical (by structural fingerprint) whether
+//!    compiled serially, through `compile_batch` under any `--jobs`
+//!    count, recalled from a cache hit, or compiled fresh outside the
+//!    cache.
+//!
+//! The cache is process-global, so every test uses launch dims no other
+//! test (here or elsewhere in the suite) requests, making its content
+//! keys unique, and asserts counter movement as deltas only.
+
+use std::sync::Arc;
+
+use penny_bench::cache::{compile_batch, compile_cache_stats, compiled, compiled_with};
+use penny_cache::fingerprint_protected;
+use penny_core::{compile_observed, LaunchDims, PennyConfig};
+use penny_obs::MemRecorder;
+use penny_sim::GpuConfig;
+
+/// A config keyed off dims used nowhere else in the suite, so the
+/// first `compiled` call in a test is a genuine miss.
+fn unique_cfg(base: PennyConfig, grid_x: u32) -> PennyConfig {
+    base.with_launch(LaunchDims::linear(grid_x, 96))
+        .with_machine(GpuConfig::fermi().machine)
+}
+
+/// Label multiset of the non-cache spans a recorder captured, sorted so
+/// two streams compare independent of emission order.
+fn labels(rec: &MemRecorder) -> Vec<String> {
+    let mut v: Vec<String> = rec.take().into_iter().map(|s| s.label).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn racing_misses_compile_once_with_deterministic_span_count() {
+    let w = penny_workloads::by_abbr("MT").expect("MT");
+    let cfg = unique_cfg(PennyConfig::penny(), 1013);
+
+    // Reference stream: the same (kernel, cfg) compiled once outside
+    // the cache. Span labels and counts are a pure function of the
+    // content key, so this is what the racers must jointly emit.
+    let reference = MemRecorder::new();
+    let kernel = w.kernel().expect("parse");
+    let fresh = compile_observed(&kernel, &cfg, &reference).expect("compile");
+    let expected = labels(&reference);
+    assert!(!expected.is_empty(), "reference compile emitted no spans");
+
+    let before = compile_cache_stats();
+    let rec = MemRecorder::new();
+    let arcs: Vec<Arc<penny_core::Protected>> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..8).map(|_| scope.spawn(|| compiled_with(&w, &cfg, &rec))).collect();
+        handles.into_iter().map(|h| h.join().expect("racer panicked")).collect()
+    });
+    let after = compile_cache_stats();
+
+    // All eight racers share one artifact, identical to the fresh one.
+    for a in &arcs {
+        assert!(Arc::ptr_eq(a, &arcs[0]));
+    }
+    assert_eq!(fingerprint_protected(&arcs[0]), fingerprint_protected(&fresh));
+
+    // Exactly one pipeline's worth of spans, regardless of interleaving:
+    // the winner compiles, the other seven hit or wait in-flight.
+    assert_eq!(labels(&rec), expected);
+    assert!(after.misses > before.misses);
+    assert!(after.hits + after.inflight_waits >= before.hits + before.inflight_waits + 7);
+}
+
+#[test]
+fn cache_hit_returns_fingerprint_identical_artifact() {
+    let w = penny_workloads::by_abbr("SPMV").expect("SPMV");
+    let cfg = unique_cfg(PennyConfig::penny(), 1019);
+
+    let miss = compiled(&w, &cfg);
+    let hit = compiled(&w, &cfg);
+    assert!(Arc::ptr_eq(&miss, &hit));
+
+    let kernel = w.kernel().expect("parse");
+    let fresh = compile_observed(&kernel, &cfg, &penny_obs::NullRecorder).expect("compile");
+    assert_eq!(fingerprint_protected(&hit), fingerprint_protected(&fresh));
+}
+
+#[test]
+fn batch_artifacts_match_serial_compiles_for_any_job_count() {
+    penny_bench::set_jobs(4);
+    let abbrs = ["MT", "SGEMM", "BFS", "STC"];
+    let pairs: Vec<_> = abbrs
+        .iter()
+        .enumerate()
+        .map(|(i, abbr)| {
+            let w = penny_workloads::by_abbr(abbr).expect(abbr);
+            let cfg = unique_cfg(PennyConfig::penny(), 1021 + i as u32);
+            (w, cfg)
+        })
+        .collect();
+
+    let batch = compile_batch(&pairs);
+    assert_eq!(batch.len(), pairs.len());
+    for ((w, cfg), got) in pairs.iter().zip(&batch) {
+        let kernel = w.kernel().expect("parse");
+        let serial =
+            compile_observed(&kernel, cfg, &penny_obs::NullRecorder).expect("compile");
+        assert_eq!(
+            fingerprint_protected(got),
+            fingerprint_protected(&serial),
+            "{}: batch artifact diverged from serial compile",
+            w.abbr
+        );
+    }
+}

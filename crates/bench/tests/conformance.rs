@@ -29,9 +29,12 @@ fn assert_clean(abbr: &str, scheme: SchemeId, budget: u64) {
 
 #[test]
 fn conformance_mt_recovers_under_all_protected_schemes() {
-    for scheme in
-        [SchemeId::Penny, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::IGpu]
-    {
+    let schemes =
+        [SchemeId::Penny, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::IGpu];
+    // Batch-compile all four variants up front (fans out across the
+    // parallel harness); the per-scheme runs below start from cache hits.
+    penny_bench::conformance::prewarm(&schemes.map(|s| ("MT", s)));
+    for scheme in schemes {
         assert_clean("MT", scheme, 300);
     }
 }

@@ -17,8 +17,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use penny_analysis::{Liveness, ReachingDefs};
-use penny_ir::{BlockId, Color, InstId, Kernel, Loc, Op, Operand, RegionId, VReg};
+use penny_analysis::{AnalysisCtx, Liveness, ReachingDefs};
+use penny_ir::{
+    BlockId, Color, IdWatermark, InstId, Kernel, Loc, Op, Operand, RegionId, VReg,
+};
 
 use crate::regionmap::RegionMap;
 
@@ -30,7 +32,18 @@ pub fn overwrite_prone_regs(
     rm: &RegionMap,
     live_ins: &[Vec<VReg>],
 ) -> Vec<VReg> {
-    let table = rm.by_inst(kernel);
+    overwrite_prone_regs_with(kernel, &rm.by_inst(kernel), live_ins)
+}
+
+/// [`overwrite_prone_regs`] against a prebuilt instruction→region table
+/// (the renaming loop reuses one table across iterations; renaming
+/// never adds, removes, or moves instructions, so the table stays
+/// valid).
+fn overwrite_prone_regs_with(
+    kernel: &Kernel,
+    table: &HashMap<InstId, Vec<RegionId>>,
+    live_ins: &[Vec<VReg>],
+) -> Vec<VReg> {
     let mut prone = HashSet::new();
     for (_, inst) in kernel.locs() {
         if !inst.is_ckpt() {
@@ -46,6 +59,66 @@ pub fn overwrite_prone_regs(
     let mut v: Vec<VReg> = prone.into_iter().collect();
     v.sort();
     v
+}
+
+/// Memoized analyses for one overwrite-prevention invocation.
+///
+/// The pass interleaves queries and edits; recomputing every analysis
+/// per loop iteration used to dominate compile time. Caching obeys a
+/// two-tier invalidation contract:
+///
+/// * [`PassCtx::invalidate_values`] — a def-use web was renamed.
+///   Liveness, reaching defs, region live-ins, and the prone set are
+///   stale; the instruction→region table is **not** (renaming rewrites
+///   operands in place, so no instruction is added, removed, or moved
+///   and no region marker changes).
+/// * No invalidation at all for failed attempts: a [`RenameResult::Failed`]
+///   probe returns before any mutation, so every cached result stays
+///   valid — exactly the iterations the old code paid full recomputation
+///   for.
+struct PassCtx<'rm> {
+    rm: &'rm RegionMap,
+    actx: AnalysisCtx,
+    live_ins: Option<Vec<Vec<VReg>>>,
+    prone: Option<Vec<VReg>>,
+    by_inst: Option<HashMap<InstId, Vec<RegionId>>>,
+}
+
+impl<'rm> PassCtx<'rm> {
+    fn new(rm: &'rm RegionMap) -> PassCtx<'rm> {
+        PassCtx { rm, actx: AnalysisCtx::new(), live_ins: None, prone: None, by_inst: None }
+    }
+
+    /// Ensures live-ins and the prone set are current.
+    fn refresh(&mut self, kernel: &Kernel) {
+        if self.prone.is_some() {
+            return;
+        }
+        self.ensure_by_inst(kernel);
+        let lv = self.actx.liveness(kernel);
+        let live_ins = crate::checkpoint::region_live_ins(kernel, self.rm, lv);
+        let prone = overwrite_prone_regs_with(
+            kernel,
+            self.by_inst.as_ref().expect("ensured"),
+            &live_ins,
+        );
+        self.live_ins = Some(live_ins);
+        self.prone = Some(prone);
+    }
+
+    fn ensure_by_inst(&mut self, kernel: &Kernel) {
+        if self.by_inst.is_none() {
+            self.by_inst = Some(self.rm.by_inst(kernel));
+        }
+    }
+
+    /// The kernel's def-use sets changed (a rename landed): drop every
+    /// value-dependent result, keep the instruction→region table.
+    fn invalidate_values(&mut self) {
+        self.actx.invalidate();
+        self.live_ins = None;
+        self.prone = None;
+    }
 }
 
 /// Outcome of an overwrite-prevention pass.
@@ -75,23 +148,23 @@ pub fn apply_renaming(kernel: &mut Kernel, rm: &RegionMap) -> OverwriteOutcome {
     // register is genuinely loop-carried and renaming cannot converge —
     // hand it to the alternation fallback instead of chasing it.
     let mut created: HashSet<VReg> = HashSet::new();
-    // Iterate: each successful rename can change liveness, so recompute.
+    // Iterate: each successful rename can change liveness; failed
+    // attempts mutate nothing, so the cached analyses carry over.
+    let mut ctx = PassCtx::new(rm);
     let mut attempts = 0;
     loop {
         attempts += 1;
         assert!(attempts < 4096, "renaming did not converge");
-        let lv = Liveness::compute(kernel);
-        let live_ins = crate::checkpoint::region_live_ins(kernel, rm, &lv);
-        let prone = overwrite_prone_regs(kernel, rm, &live_ins);
+        ctx.refresh(kernel);
+        let prone = ctx.prone.clone().expect("refreshed");
         if outcome.prone.is_empty() {
             outcome.prone = prone.clone();
         }
-        let candidates: Vec<VReg> = prone
+        let candidate = prone
             .iter()
             .copied()
-            .filter(|r| !outcome.failed.contains(r) && !created.contains(r))
-            .collect();
-        let Some(&reg) = candidates.first() else {
+            .find(|r| !outcome.failed.contains(r) && !created.contains(r));
+        let Some(reg) = candidate else {
             // Renamed registers that came back prone need the fallback.
             for r in prone {
                 if created.contains(&r) && !outcome.failed.contains(&r) {
@@ -100,8 +173,11 @@ pub fn apply_renaming(kernel: &mut Kernel, rm: &RegionMap) -> OverwriteOutcome {
             }
             break;
         };
-        match rename_one(kernel, rm, reg, &live_ins, &mut created) {
-            RenameResult::Renamed => outcome.renamed_defs += 1,
+        match rename_one(kernel, &mut ctx, reg, &mut created) {
+            RenameResult::Renamed => {
+                outcome.renamed_defs += 1;
+                ctx.invalidate_values();
+            }
             RenameResult::Failed => outcome.failed.push(reg),
         }
     }
@@ -116,13 +192,14 @@ enum RenameResult {
 /// Renames one offending definition of `reg`.
 fn rename_one(
     kernel: &mut Kernel,
-    rm: &RegionMap,
+    ctx: &mut PassCtx<'_>,
     reg: VReg,
-    live_ins: &[Vec<VReg>],
     created: &mut HashSet<VReg>,
 ) -> RenameResult {
-    let table = rm.by_inst(kernel);
-    let rd = ReachingDefs::compute(kernel);
+    ctx.ensure_by_inst(kernel);
+    let rd = ctx.actx.reachdefs(kernel);
+    let table = ctx.by_inst.as_ref().expect("ensured");
+    let live_ins = ctx.live_ins.as_ref().expect("refreshed");
     // Find a checkpoint of `reg` inside a region with `reg` live-in.
     let mut target_def: Option<InstId> = None;
     'outer: for (loc, inst) in kernel.locs() {
@@ -146,7 +223,7 @@ fn rename_one(
         break 'outer;
     }
     let Some(def_id) = target_def else { return RenameResult::Failed };
-    let result = rename_def_web(kernel, &rd, def_id, reg);
+    let result = rename_def_web(kernel, rd, def_id, reg);
     if matches!(result, RenameResult::Renamed) {
         // The freshest register is the one just allocated.
         created.insert(VReg(kernel.vreg_limit() - 1));
@@ -296,6 +373,150 @@ impl ColorState {
     }
 }
 
+/// Undo journal for the speculative CFG edits of one [`color_register`]
+/// call.
+///
+/// Coloring mutates the CFG (edge splits carrying dummy checkpoints);
+/// failed attempts used to be discarded by restoring a whole-kernel
+/// clone taken up front. The journal records just enough to undo the
+/// edits exactly — which edge each adjustment block was spliced into,
+/// plus an [`IdWatermark`] so the id allocators (and the instruction and
+/// register numbering of everything compiled afterwards) rewind too.
+struct Journal {
+    ids: IdWatermark,
+    /// `(from, to, mid)` per [`Kernel::split_edge`], in application
+    /// order. `mid` is always the block appended last at that point, and
+    /// nothing else ever targets it, so undo is pop + un-rewire.
+    splits: Vec<(BlockId, BlockId, BlockId)>,
+}
+
+impl Journal {
+    fn mark(kernel: &Kernel) -> Journal {
+        Journal { ids: kernel.id_watermark(), splits: Vec::new() }
+    }
+
+    /// [`Kernel::split_edge`], recorded for undo.
+    fn split_edge(&mut self, kernel: &mut Kernel, from: BlockId, to: BlockId) -> BlockId {
+        let mid = kernel.split_edge(from, to);
+        self.splits.push((from, to, mid));
+        mid
+    }
+
+    fn has_edits(&self) -> bool {
+        !self.splits.is_empty()
+    }
+
+    /// Undoes every recorded edit (newest first) and rewinds the id
+    /// allocators, restoring the kernel byte-for-byte to its state at
+    /// [`Journal::mark`].
+    fn rollback(self, kernel: &mut Kernel) {
+        for (from, to, mid) in self.splits.into_iter().rev() {
+            debug_assert_eq!(
+                mid.index() + 1,
+                kernel.num_blocks(),
+                "journal undo out of order"
+            );
+            kernel.block_mut(from).term.map_targets(|t| if t == mid { to } else { t });
+            kernel.blocks.pop();
+        }
+        kernel.rollback_ids(self.ids);
+    }
+}
+
+/// Incrementally maintained instruction→region table shared across
+/// coloring attempts.
+///
+/// [`color_register`] needs the table once per round, and every conflict
+/// round used to trigger a full `RegionMap::compute` + `by_inst` rebuild
+/// over a CFG that grows with each repair — the single hottest loop of
+/// the whole pipeline. Both edit kinds the coloring performs have exact
+/// O(1) incremental updates:
+///
+/// * **edge split** ([`CfgCache::note_split`]) — the adjustment block
+///   carries no region marker, so it is a pass-through node: every
+///   existing block's least-fixpoint solution is unchanged, and the new
+///   block's entry state is exactly the split edge's source-exit state.
+///   Its dummy checkpoint lives in precisely those regions.
+/// * **dummy insert** ([`CfgCache::note_insert`]) — inserting an
+///   instruction changes no block's entry state; the new checkpoint's
+///   regions are the point query at its location.
+///
+/// Rewriting a checkpoint's color never touches the table (same
+/// instructions, same regions). Only a journal rollback — which removes
+/// blocks — invalidates it, and that costs one rebuild on next use.
+#[derive(Default)]
+struct CfgCache {
+    state: Option<CfgState>,
+    /// Reusable buffers for [`color_round`]; pure scratch space, always
+    /// valid (never invalidated with the table).
+    scratch: ColorScratch,
+}
+
+/// Scratch buffers for the coloring fixpoint. A failing attempt runs up
+/// to 64 rounds, each of which needs the post-order, the predecessor
+/// lists, and two per-block state vectors; reusing the allocations
+/// across rounds (and across attempts) removes the dominant per-round
+/// constant factor.
+#[derive(Default)]
+struct ColorScratch {
+    order: Vec<BlockId>,
+    preds: Vec<Vec<BlockId>>,
+    visited: Vec<bool>,
+    stack: Vec<(BlockId, usize)>,
+    in_states: Vec<Option<ColorState>>,
+    outs: Vec<Option<(ColorState, Option<ColorState>)>>,
+}
+
+struct CfgState {
+    /// Possible current regions at each block entry (mirrors
+    /// `RegionMap::block_in` for the current kernel).
+    block_in: Vec<penny_analysis::BitSet>,
+    /// Instruction id → possible regions (mirrors `RegionMap::by_inst`).
+    table: HashMap<InstId, Vec<RegionId>>,
+}
+
+impl CfgCache {
+    fn table(&mut self, kernel: &Kernel) -> &HashMap<InstId, Vec<RegionId>> {
+        let state = self.state.get_or_insert_with(|| {
+            let rm = crate::regionmap::RegionMap::compute(kernel);
+            CfgState { block_in: rm.block_in_sets().to_vec(), table: rm.by_inst(kernel) }
+        });
+        &state.table
+    }
+
+    /// Registers the edge split `from -> mid` (with `mid`'s dummy
+    /// checkpoint `cp`) in the cached solution.
+    fn note_split(&mut self, kernel: &Kernel, from: BlockId, mid: BlockId, cp: InstId) {
+        let Some(state) = self.state.as_mut() else { return };
+        let ext = crate::regionmap::RegionMap::exit_state(
+            kernel,
+            from,
+            &state.block_in[from.index()],
+        );
+        debug_assert_eq!(mid.index(), state.block_in.len(), "mid must be the newest block");
+        state.table.insert(cp, ext.iter().map(|i| RegionId(i as u32)).collect());
+        state.block_in.push(ext);
+    }
+
+    /// Registers a dummy checkpoint `cp` inserted at `loc` (no CFG
+    /// change) in the cached solution.
+    fn note_insert(&mut self, kernel: &Kernel, loc: Loc, cp: InstId) {
+        let Some(state) = self.state.as_mut() else { return };
+        let mut s = state.block_in[loc.block.index()].clone();
+        for inst in &kernel.block(loc.block).insts[..loc.idx] {
+            if let Some(r) = inst.region_entry() {
+                s.clear();
+                s.insert(r.index());
+            }
+        }
+        state.table.insert(cp, s.iter().map(|i| RegionId(i as u32)).collect());
+    }
+
+    fn invalidate(&mut self) {
+        self.state = None;
+    }
+}
+
 /// Applies 2-coloring storage alternation to all overwrite-prone
 /// registers, inserting adjustment blocks at conflicts.
 ///
@@ -308,19 +529,17 @@ pub fn apply_alternation(kernel: &mut Kernel, rm: &RegionMap) -> OverwriteOutcom
     let prone = overwrite_prone_regs(kernel, rm, &live_ins);
     let mut outcome =
         OverwriteOutcome { prone: prone.clone(), ..OverwriteOutcome::default() };
+    // One instruction→region table serves every attempt; color_register
+    // journals its own edits and rolls them back on failure, so failed
+    // attempts no longer cost a whole-kernel clone + restore.
+    let mut cfg = CfgCache::default();
     for reg in prone {
-        // Coloring mutates the CFG (edge splits); keep failed attempts
-        // from polluting the kernel by working on a checkpointed copy.
-        let backup = kernel.clone();
-        match color_register(kernel, reg, &live_ins) {
+        match color_register(kernel, reg, &live_ins, &mut cfg) {
             Some(adjustments) => outcome.adjustment_blocks += adjustments,
-            None => {
-                *kernel = backup;
-                match escalate_with_dummies(kernel, rm, reg, &live_ins) {
-                    Some(adjustments) => outcome.adjustment_blocks += adjustments,
-                    None => outcome.failed.push(reg),
-                }
-            }
+            None => match escalate_with_dummies(kernel, rm, reg, &live_ins, &mut cfg) {
+                Some(adjustments) => outcome.adjustment_blocks += adjustments,
+                None => outcome.failed.push(reg),
+            },
         }
     }
     outcome
@@ -339,6 +558,7 @@ fn escalate_with_dummies(
     rm: &RegionMap,
     reg: VReg,
     live_ins: &[Vec<VReg>],
+    cfg: &mut CfgCache,
 ) -> Option<u32> {
     let candidates: Vec<penny_ir::InstId> = rm
         .markers()
@@ -366,12 +586,15 @@ fn escalate_with_dummies(
             None,
             vec![Operand::Reg(reg)],
         );
-        kernel.insert_at(Loc { block: loc.block, idx: loc.idx + 1 }, cp);
+        let cp_id = cp.id;
+        let cp_loc = Loc { block: loc.block, idx: loc.idx + 1 };
+        kernel.insert_at(cp_loc, cp);
         inserted += 1;
-        let snapshot = kernel.clone();
-        match color_register(kernel, reg, live_ins) {
-            Some(adjustments) => return Some(adjustments + inserted),
-            None => *kernel = snapshot, // keep the dummy, drop the garbage
+        cfg.note_insert(kernel, cp_loc, cp_id);
+        // On failure the coloring edits roll back but the dummy stays
+        // (it is safe on its own and the next attempt builds on it).
+        if let Some(adjustments) = color_register(kernel, reg, live_ins, cfg) {
+            return Some(adjustments + inserted);
         }
     }
     None
@@ -379,90 +602,160 @@ fn escalate_with_dummies(
 
 /// Colors all checkpoints of one register; returns the number of
 /// adjustment blocks inserted, or `None` on unresolvable conflict.
-fn color_register(kernel: &mut Kernel, reg: VReg, live_ins: &[Vec<VReg>]) -> Option<u32> {
+///
+/// Self-cleaning: on failure every CFG edit this call made is undone
+/// (journal rollback), leaving the kernel — id allocators included —
+/// exactly as it was on entry.
+fn color_register(
+    kernel: &mut Kernel,
+    reg: VReg,
+    live_ins: &[Vec<VReg>],
+    cfg: &mut CfgCache,
+) -> Option<u32> {
+    let mut journal = Journal::mark(kernel);
     let mut adjustments = 0u32;
+    // Transfer memo from any previous call is stale (different register,
+    // possibly different kernel): drop it for this call.
+    cfg.scratch.outs.clear();
+    // Constrained checkpoints: those in a region whose live-ins include
+    // the register (they must avoid the live-in slot and therefore
+    // flip). Existing checkpoints never change regions during the loop
+    // below (splits only add marker-free blocks), so the set is built
+    // once; each conflict repair adds its own dummy if constrained.
+    let in_live_region = |table: &HashMap<InstId, Vec<RegionId>>, id: InstId| {
+        table.get(&id).into_iter().flatten().any(|region| {
+            live_ins.get(region.index()).map(|l| l.contains(&reg)).unwrap_or(false)
+        })
+    };
+    let mut constrained: HashSet<InstId> = {
+        let table = cfg.table(kernel);
+        kernel
+            .checkpoints()
+            .iter()
+            .filter(|&&(_, id, r)| r == reg && in_live_region(table, id))
+            .map(|&(_, id, _)| id)
+            .collect()
+    };
     let mut rounds = 0;
     loop {
         rounds += 1;
         if rounds > 64 {
-            return None;
+            break;
         }
-        // Constrained checkpoints: those in a region whose live-ins
-        // include the register (they must avoid the live-in slot and
-        // therefore flip). Recomputed per round because adjustment
-        // blocks move checkpoints around.
-        let rm = crate::regionmap::RegionMap::compute(kernel);
-        let table = rm.by_inst(kernel);
-        let constrained: HashSet<InstId> = kernel
-            .checkpoints()
-            .iter()
-            .filter(|&&(_, id, r)| {
-                r == reg
-                    && table.get(&id).into_iter().flatten().any(|region| {
-                        live_ins
-                            .get(region.index())
-                            .map(|l| l.contains(&reg))
-                            .unwrap_or(false)
-                    })
-            })
-            .map(|&(_, id, _)| id)
-            .collect();
-        match color_round(kernel, reg, &constrained) {
+        match color_round(kernel, reg, &constrained, &mut cfg.scratch) {
             ColorRound::Done(colors) => {
-                // Commit colors to the checkpoint instructions.
-                for (id, color) in colors {
-                    let loc = kernel.find_inst(id).expect("cp present");
-                    kernel.block_mut(loc.block).insts[loc.idx].op = Op::Ckpt(color);
+                // Commit colors to the checkpoint instructions in one
+                // walk (color rewrites keep the cached table valid).
+                for blk in &mut kernel.blocks {
+                    for inst in &mut blk.insts {
+                        if let Some(&c) = colors.get(&inst.id) {
+                            inst.op = Op::Ckpt(c);
+                        }
+                    }
                 }
                 return Some(adjustments);
             }
             ColorRound::Conflict { edge: (from, to), want } => {
                 // Insert an adjustment block with a dummy checkpoint so
                 // the incoming state matches `want` (paper figure 5).
-                let adj = kernel.split_edge(from, to);
+                let adj = journal.split_edge(kernel, from, to);
                 let cp = kernel.make_inst(
                     Op::Ckpt(want),
                     penny_ir::Type::U32,
                     None,
                     vec![Operand::Reg(reg)],
                 );
+                let cp_id = cp.id;
                 kernel.block_mut(adj).insts.push(cp);
                 adjustments += 1;
+                cfg.note_split(kernel, from, adj, cp_id);
+                if in_live_region(cfg.table(kernel), cp_id) {
+                    constrained.insert(cp_id);
+                }
             }
-            ColorRound::Unresolvable => return None,
+            ColorRound::Unresolvable => break,
         }
     }
+    // Failed: drop this call's edits. The cached table may have been
+    // rebuilt against them, so it goes too.
+    if journal.has_edits() {
+        cfg.invalidate();
+    }
+    journal.rollback(kernel);
+    None
 }
 
 enum ColorRound {
-    Done(Vec<(InstId, Color)>),
+    Done(HashMap<InstId, Color>),
     Conflict { edge: (BlockId, BlockId), want: Color },
     Unresolvable,
 }
 
+/// Memoized block transfer: the coloring out-state of `p` given the
+/// current in-states. Transfer outputs depend only on the block's
+/// in-state, so each block is re-transferred only when its in-state
+/// changed since the cached entry — the fixpoint loop below queries
+/// every predecessor of every block per sweep, which used to pay a full
+/// transfer (plus a throwaway color sink) per query.
+fn memo_out(
+    kernel: &Kernel,
+    reg: VReg,
+    constrained: &HashSet<InstId>,
+    cache: &mut [Option<(ColorState, Option<ColorState>)>],
+    in_states: &[Option<ColorState>],
+    p: BlockId,
+) -> Option<Option<ColorState>> {
+    let pin = in_states[p.index()]?;
+    if let Some((cached_in, out)) = cache[p.index()] {
+        if cached_in == pin {
+            return Some(out);
+        }
+    }
+    let out = transfer_colors(kernel, p, reg, pin, constrained, None);
+    cache[p.index()] = Some((pin, out));
+    Some(out)
+}
+
 /// One monotone pass of the coloring dataflow for `reg`.
-fn color_round(kernel: &Kernel, reg: VReg, constrained: &HashSet<InstId>) -> ColorRound {
+fn color_round(
+    kernel: &Kernel,
+    reg: VReg,
+    constrained: &HashSet<InstId>,
+    scratch: &mut ColorScratch,
+) -> ColorRound {
     let n = kernel.num_blocks();
-    let mut in_states: Vec<Option<ColorState>> = vec![None; n];
+    kernel.reverse_post_order_into(
+        &mut scratch.visited,
+        &mut scratch.stack,
+        &mut scratch.order,
+    );
+    kernel.predecessors_into(&mut scratch.preds);
+    scratch.in_states.clear();
+    scratch.in_states.resize(n, None);
+    // `outs` deliberately survives across rounds: within one
+    // `color_register` call a repair only appends a fresh block (slot
+    // pushed as `None` here) and existing blocks' instructions and the
+    // constrained status of their checkpoints never change, so cached
+    // transfers keyed by in-state stay exact. The caller clears it once
+    // per call (the kernel and register differ between calls).
+    scratch.outs.resize(n, None);
+    let order = &scratch.order;
+    let preds = &scratch.preds;
+    let in_states = &mut scratch.in_states;
+    let outs = &mut scratch.outs;
     in_states[kernel.entry.index()] = Some(ColorState::bottom());
-    let order = kernel.reverse_post_order();
-    let preds = kernel.predecessors();
-    let pred_out =
-        |p: BlockId, in_states: &[Option<ColorState>]| -> Option<Option<ColorState>> {
-            in_states[p.index()].map(|pin| {
-                let mut sink = HashMap::new();
-                transfer_colors(kernel, p, reg, pin, constrained, &mut sink)
-            })
-        };
     // Iterate to fixpoint; conflicts surface as differing pred states.
     for _ in 0..2 * n + 4 {
         let mut changed = false;
-        for &b in &order {
+        for &b in order {
             let mut state: Option<ColorState> =
                 if b == kernel.entry { Some(ColorState::bottom()) } else { None };
             let mut conflict: Option<(BlockId, ColorState)> = None;
             for &p in &preds[b.index()] {
-                let Some(pout) = pred_out(p, &in_states) else { continue };
+                let Some(pout) = memo_out(kernel, reg, constrained, outs, in_states, p)
+                else {
+                    continue;
+                };
                 let Some(pout) = pout else { return ColorRound::Unresolvable };
                 state = match state {
                     None => Some(pout),
@@ -483,7 +776,7 @@ fn color_round(kernel: &Kernel, reg: VReg, constrained: &HashSet<InstId>) -> Col
                     Needed::Empty => true,
                     Needed::Poison => false,
                 };
-                let pout = pred_out(bad_pred, &in_states)
+                let pout = memo_out(kernel, reg, constrained, outs, in_states, bad_pred)
                     .expect("processed")
                     .expect("no poison past cp on processed path");
                 if let Some(w) = want_state.holds {
@@ -495,7 +788,7 @@ fn color_round(kernel: &Kernel, reg: VReg, constrained: &HashSet<InstId>) -> Col
                     .iter()
                     .find(|&&p| p != bad_pred && in_states[p.index()].is_some())
                 {
-                    let fout = pred_out(first, &in_states)
+                    let fout = memo_out(kernel, reg, constrained, outs, in_states, first)
                         .expect("processed")
                         .expect("no poison past cp on processed path");
                     if let Some(w) = pout.holds {
@@ -516,16 +809,16 @@ fn color_round(kernel: &Kernel, reg: VReg, constrained: &HashSet<InstId>) -> Col
             // reachable block (the entry included — it has no preds and
             // is never transferred above).
             let mut colors: HashMap<InstId, Color> = HashMap::new();
-            for &b in &order {
+            for &b in order {
                 if let Some(pin) = in_states[b.index()] {
-                    if transfer_colors(kernel, b, reg, pin, constrained, &mut colors)
+                    if transfer_colors(kernel, b, reg, pin, constrained, Some(&mut colors))
                         .is_none()
                     {
                         return ColorRound::Unresolvable;
                     }
                 }
             }
-            return ColorRound::Done(colors.into_iter().collect());
+            return ColorRound::Done(colors);
         }
     }
     // Fixpoint not reached within bound: treat as unresolvable.
@@ -540,9 +833,10 @@ fn flip_or_k0(needed: Needed) -> Option<Color> {
     }
 }
 
-/// Transfers the coloring state across a block; records chosen colors.
-/// Returns `None` if a constrained checkpoint is reached with poisoned
-/// `needed`.
+/// Transfers the coloring state across a block; records chosen colors
+/// into `colors` when given one (the fixpoint loop passes `None` — it
+/// only needs out-states). Returns `None` if a constrained checkpoint is
+/// reached with poisoned `needed`.
 ///
 /// Constrained checkpoints (their region has the register live-in) must
 /// avoid the live-in slot, i.e. write `flip(needed)`. Unconstrained ones
@@ -555,7 +849,7 @@ fn transfer_colors(
     reg: VReg,
     mut state: ColorState,
     constrained: &HashSet<InstId>,
-    colors: &mut HashMap<InstId, Color>,
+    mut colors: Option<&mut HashMap<InstId, Color>>,
 ) -> Option<ColorState> {
     for inst in &kernel.block(b).insts {
         if inst.region_entry().is_some() {
@@ -569,7 +863,9 @@ fn transfer_colors(
             } else {
                 state.holds.unwrap_or(Color::K0)
             };
-            colors.insert(inst.id, c);
+            if let Some(map) = colors.as_deref_mut() {
+                map.insert(inst.id, c);
+            }
             state.holds = Some(c);
         }
     }
@@ -766,5 +1062,57 @@ mod tests {
         let out = apply_alternation(&mut k, &rm);
         assert!(out.prone.is_empty());
         assert_eq!(out.adjustment_blocks, 0);
+    }
+
+    #[test]
+    fn failed_coloring_rolls_the_kernel_back_exactly() {
+        // A coloring attempt that fails must leave no trace: same
+        // printed kernel, same id allocators (checked via the ids the
+        // next allocations hand out).
+        let mut k = figure4_kernel();
+        let rm = RegionMap::compute(&k);
+        let lv = Liveness::compute(&k);
+        let live = region_live_ins(&k, &rm, &lv);
+        let before_text = k.to_string();
+        let before_w = k.id_watermark();
+        // An unknown register has no checkpoints: coloring trivially
+        // succeeds with zero adjustments and must not touch the kernel.
+        let mut cfg = CfgCache::default();
+        let r = color_register(&mut k, VReg(999), &live, &mut cfg);
+        assert_eq!(r, Some(0));
+        assert_eq!(k.to_string(), before_text);
+        assert_eq!(k.id_watermark(), before_w);
+    }
+
+    #[test]
+    fn journal_rollback_restores_split_edges() {
+        let mut k = parse_kernel(
+            r#"
+            .kernel j
+            entry:
+                mov.u32 %r0, 1
+                setp.lt.u32 %p0, %r0, 2
+                bra %p0, a, b
+            a:
+                jmp c
+            b:
+                jmp c
+            c:
+                ret
+        "#,
+        )
+        .expect("parse");
+        let before_text = k.to_string();
+        let before_blocks = k.num_blocks();
+        let mut j = Journal::mark(&k);
+        let mid1 = j.split_edge(&mut k, BlockId(1), BlockId(3));
+        // Split an edge out of the first adjustment block too, to cover
+        // stacked undo.
+        let _mid2 = j.split_edge(&mut k, mid1, BlockId(3));
+        assert_eq!(k.num_blocks(), before_blocks + 2);
+        j.rollback(&mut k);
+        assert_eq!(k.num_blocks(), before_blocks);
+        assert_eq!(k.to_string(), before_text);
+        penny_ir::validate(&k).expect("valid after rollback");
     }
 }

@@ -74,6 +74,25 @@ impl RegionMap {
         &self.markers
     }
 
+    /// Per-block entry states (possible current regions), indexed by
+    /// block. Exposed for overwrite prevention's incremental table
+    /// maintenance.
+    pub(crate) fn block_in_sets(&self) -> &[BitSet] {
+        &self.block_in
+    }
+
+    /// The region state at the *exit* of `b`: the entry state pushed
+    /// through the block's markers (the dataflow transfer function).
+    pub(crate) fn exit_state(
+        kernel: &Kernel,
+        b: penny_ir::BlockId,
+        entry: &BitSet,
+    ) -> BitSet {
+        let mut s = entry.clone();
+        Self::transfer(kernel, b, &mut s);
+        s
+    }
+
     /// Location of a region's entry marker.
     pub fn marker_loc(&self, r: RegionId) -> Loc {
         self.markers[r.index()].1

@@ -202,11 +202,34 @@ impl Kernel {
     /// Unreachable blocks are appended afterwards in index order so the
     /// result always covers every block.
     pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let mut visited = Vec::new();
+        let mut stack = Vec::new();
+        let mut post = Vec::new();
+        self.reverse_post_order_into(&mut visited, &mut stack, &mut post);
+        post
+    }
+
+    /// [`Kernel::reverse_post_order`] into caller-owned buffers.
+    ///
+    /// Passes that recompute the order after every CFG edit (storage
+    /// alternation re-colors after each adjustment-block insertion) reuse
+    /// the buffers across calls instead of reallocating three vectors
+    /// per recomputation. The result in `post` is identical to
+    /// [`Kernel::reverse_post_order`].
+    pub fn reverse_post_order_into(
+        &self,
+        visited: &mut Vec<bool>,
+        stack: &mut Vec<(BlockId, usize)>,
+        post: &mut Vec<BlockId>,
+    ) {
         let n = self.num_blocks();
-        let mut visited = vec![false; n];
-        let mut post = Vec::with_capacity(n);
+        visited.clear();
+        visited.resize(n, false);
+        post.clear();
+        post.reserve(n);
         // Iterative DFS with explicit phase tracking.
-        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        stack.clear();
+        stack.push((self.entry, 0));
         visited[self.entry.index()] = true;
         while let Some(&mut (b, ref mut next)) = stack.last_mut() {
             let succs = self.block(b).term.successors();
@@ -230,18 +253,62 @@ impl Kernel {
                 .filter(|(_, &seen)| !seen)
                 .map(|(i, _)| BlockId(i as u32)),
         );
-        post
     }
 
     /// Predecessor lists for every block.
     pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
-        let mut preds = vec![Vec::new(); self.num_blocks()];
+        let mut preds = Vec::new();
+        self.predecessors_into(&mut preds);
+        preds
+    }
+
+    /// [`Kernel::predecessors`] into a caller-owned buffer; the inner
+    /// vectors are reused across calls, so a steady-state caller
+    /// allocates nothing. The result is identical to
+    /// [`Kernel::predecessors`].
+    pub fn predecessors_into(&self, preds: &mut Vec<Vec<BlockId>>) {
+        let n = self.num_blocks();
+        preds.truncate(n);
+        for p in preds.iter_mut() {
+            p.clear();
+        }
+        preds.resize_with(n, Vec::new);
         for b in self.block_ids() {
             for s in self.block(b).term.successors() {
                 preds[s.index()].push(b);
             }
         }
-        preds
+    }
+
+    /// Snapshots the id allocators for speculative-edit rollback.
+    ///
+    /// A pass that tries an edit and may undo it (e.g. storage
+    /// alternation's coloring attempts) must also roll the allocators
+    /// back, or retried attempts would consume fresh ids and the final
+    /// program would depend on how many attempts failed. Pair with
+    /// [`Kernel::rollback_ids`].
+    pub fn id_watermark(&self) -> IdWatermark {
+        IdWatermark { vreg: self.next_vreg, inst: self.next_inst }
+    }
+
+    /// Rolls the id allocators back to a watermark taken earlier.
+    ///
+    /// The caller must already have removed every instruction and
+    /// register reference allocated after the watermark; ids above it
+    /// will be handed out again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watermark is ahead of the current allocators
+    /// (it was taken from a different kernel or after further edits).
+    pub fn rollback_ids(&mut self, w: IdWatermark) {
+        assert!(
+            w.vreg <= self.next_vreg && w.inst <= self.next_inst,
+            "watermark ahead of allocators"
+        );
+        self.pred_regs.retain(|r| r.0 < w.vreg);
+        self.next_vreg = w.vreg;
+        self.next_inst = w.inst;
     }
 
     /// Splits the edge `from -> to`, inserting a fresh empty block on it.
@@ -269,6 +336,14 @@ impl Kernel {
         assert!(rewired, "no edge {from} -> {to}");
         mid
     }
+}
+
+/// Opaque snapshot of a kernel's id allocators (see
+/// [`Kernel::id_watermark`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdWatermark {
+    vreg: u32,
+    inst: u32,
 }
 
 /// A translation unit holding one or more kernels.
@@ -354,6 +429,32 @@ mod tests {
         let p = k.fresh_pred();
         assert!(k.is_pred(p));
         assert!(!k.is_pred(a));
+    }
+
+    #[test]
+    fn id_watermark_rolls_back_ids_and_pred_flags() {
+        let mut k = Kernel::new("k", &[]);
+        let _ = k.fresh_vreg();
+        let w = k.id_watermark();
+        let p = k.fresh_pred();
+        let i = k.fresh_inst_id();
+        assert!(k.is_pred(p));
+        k.rollback_ids(w);
+        assert!(!k.is_pred(p), "pred flag must roll back with the allocator");
+        assert_eq!(k.fresh_vreg(), p, "rolled-back id is handed out again");
+        assert_eq!(k.fresh_inst_id(), i);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark ahead")]
+    fn foreign_watermark_is_rejected() {
+        let mut big = Kernel::new("big", &[]);
+        for _ in 0..4 {
+            let _ = big.fresh_vreg();
+        }
+        let w = big.id_watermark();
+        let mut small = Kernel::new("small", &[]);
+        small.rollback_ids(w);
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod validate;
 pub use block::{BasicBlock, Terminator};
 pub use builder::KernelBuilder;
 pub use inst::{Guard, Inst, Op, Operand, MAX_SRCS};
-pub use kernel::{Kernel, Module, Param};
+pub use kernel::{IdWatermark, Kernel, Module, Param};
 pub use parser::{parse_kernel, parse_module, ParseError};
 pub use types::{
     AtomOp, BlockId, Cmp, Color, InstId, Loc, MemSpace, RegionId, Special, Type, VReg,

@@ -11,7 +11,7 @@
 //! byte-identical with observability on or off — a property
 //! `crates/bench/tests/obs_neutrality.rs` pins.
 //!
-//! Three span kinds cover the system:
+//! Four span kinds cover the system:
 //!
 //! * [`SpanKind::Pass`] — one compiler pass of
 //!   `penny_core::pipeline::compile_observed` (wall time + per-pass
@@ -21,7 +21,10 @@
 //!   (`penny_sim::engine::run_observed`: cycles, idle cycles skipped,
 //!   clean/decoded RF reads, recoveries, re-executed instructions);
 //! * [`SpanKind::Site`] — one fault-injection site of a campaign or
-//!   conformance run.
+//!   conformance run;
+//! * [`SpanKind::Cache`] — one compile-cache stats snapshot
+//!   (`penny_cache::ContentCache` hit/miss/evict/inflight-wait
+//!   counters, reported by `penny-prof`).
 //!
 //! Spans serialize to JSONL via [`Span::to_jsonl`]; the versioned
 //! schema lives in [`schema`] together with a dependency-free
@@ -45,15 +48,18 @@ pub enum SpanKind {
     Sim,
     /// One fault-injection site (campaign/conformance).
     Site,
+    /// One compile-cache statistics snapshot.
+    Cache,
 }
 
 impl SpanKind {
-    /// Stable serialized name (`"pass"`, `"sim"`, `"site"`).
+    /// Stable serialized name (`"pass"`, `"sim"`, `"site"`, `"cache"`).
     pub fn name(self) -> &'static str {
         match self {
             SpanKind::Pass => "pass",
             SpanKind::Sim => "sim",
             SpanKind::Site => "site",
+            SpanKind::Cache => "cache",
         }
     }
 
@@ -63,6 +69,7 @@ impl SpanKind {
             "pass" => Some(SpanKind::Pass),
             "sim" => Some(SpanKind::Sim),
             "site" => Some(SpanKind::Site),
+            "cache" => Some(SpanKind::Cache),
             _ => None,
         }
     }
@@ -298,6 +305,21 @@ pub fn record_site(rec: &dyn Recorder, subject: &str, label: &str, counters: &[C
     });
 }
 
+/// Records a compile-cache stats span (counter-only; no-op when `rec`
+/// is disabled).
+pub fn record_cache(rec: &dyn Recorder, subject: &str, label: &str, counters: &[Counter]) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.record(Span {
+        kind: SpanKind::Cache,
+        subject: subject.to_string(),
+        label: label.to_string(),
+        wall_ns: 0,
+        counters: counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,10 +356,22 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for kind in [SpanKind::Pass, SpanKind::Sim, SpanKind::Site] {
+        for kind in [SpanKind::Pass, SpanKind::Sim, SpanKind::Site, SpanKind::Cache] {
             assert_eq!(SpanKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(SpanKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn cache_spans_are_counter_only() {
+        let rec = MemRecorder::new();
+        record_cache(&rec, "compile-cache", "stats", &[("hits", 3), ("misses", 1)]);
+        record_cache(&NULL, "compile-cache", "stats", &[("hits", 3)]);
+        let spans = rec.take();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::Cache);
+        assert_eq!(spans[0].wall_ns, 0);
+        assert_eq!(spans[0].counter("hits"), Some(3));
     }
 
     #[test]

@@ -12,14 +12,14 @@
 //! Required fields, in any order (emission order is fixed but the
 //! validator does not require it):
 //!
-//! | field      | type                     | constraint                      |
-//! |------------|--------------------------|---------------------------------|
-//! | `v`        | integer                  | must be `1`                     |
-//! | `kind`     | string                   | `"pass"`, `"sim"`, or `"site"`  |
-//! | `subject`  | string                   | non-empty                       |
-//! | `label`    | string                   | non-empty                       |
-//! | `wall_ns`  | unsigned integer         |                                 |
-//! | `counters` | object of name → integer | names non-empty                 |
+//! | field      | type                     | constraint                                |
+//! |------------|--------------------------|-------------------------------------------|
+//! | `v`        | integer                  | must be `1`                               |
+//! | `kind`     | string                   | `"pass"`, `"sim"`, `"site"`, or `"cache"` |
+//! | `subject`  | string                   | non-empty                                 |
+//! | `label`    | string                   | non-empty                                 |
+//! | `wall_ns`  | unsigned integer         |                                           |
+//! | `counters` | object of name → integer | names non-empty                           |
 //!
 //! Any additional top-level key (e.g. `workload`, `scheme`,
 //! `sim_error`) must be a string. The parser here is deliberately
@@ -299,6 +299,23 @@ mod tests {
         validate_line(&span.to_jsonl()).unwrap();
         validate_line(&span.to_jsonl_with(&[("workload", "MT"), ("scheme", "Penny")]))
             .unwrap();
+    }
+
+    #[test]
+    fn cache_spans_validate() {
+        let span = Span {
+            kind: SpanKind::Cache,
+            subject: "compile-cache".into(),
+            label: "stats".into(),
+            wall_ns: 0,
+            counters: vec![
+                ("hits".into(), 25),
+                ("misses".into(), 25),
+                ("evictions".into(), 0),
+                ("inflight_waits".into(), 3),
+            ],
+        };
+        validate_line(&span.to_jsonl()).unwrap();
     }
 
     #[test]

@@ -11,14 +11,19 @@
 #   5. the determinism/equivalence suites that pin every engine fast
 #      path — event-driven vs dense scheduling, --jobs fan-out, and the
 #      pre-decoded micro-op + register-file fast path vs the
-#      always-decode reference interpreter — bit-identical;
+#      always-decode reference interpreter — bit-identical; plus the
+#      compile-cache service suite (racing misses compile once, batch /
+#      serial / hit / fresh artifacts fingerprint-identical);
 #   6. the fault-space conformance harness (small default budget):
 #      every covered (instruction × register × bit) site must recover
 #      to the fault-free final memory under each protected scheme;
 #   7. the observability layer: penny-prof over all 25 workloads with
 #      every emitted JSONL span schema-validated, plus the neutrality
 #      suite (figures/BENCH/conformance byte-identical with the
-#      recorder on vs off).
+#      recorder on vs off);
+#   8. the compile-time perf gate: overwrite prevention must stay at
+#      or under 35% of total pass time (best of three runs — wall
+#      times are noisy) via penny-prof --assert-share.
 #
 # Usage: scripts/verify.sh [--full]
 #   --full additionally runs every workspace test (fault-injection
@@ -46,12 +51,30 @@ echo "==> determinism: harness + engine fast paths"
 cargo test --release -p penny-bench --test determinism
 cargo test --release -p penny-sim --test decoded_equivalence
 
+echo "==> determinism: compile-cache service (fingerprint identity)"
+cargo test --release -p penny-bench --test cache_service
+
 echo "==> conformance: fault-space recovery harness"
 cargo test -q -p penny-bench conformance
 
 echo "==> observability: span schema + neutrality"
 cargo run -q --release -p penny-bench --bin penny-prof -- --all-workloads --json --check > /dev/null
 cargo test --release -p penny-bench --test obs_neutrality
+
+echo "==> perf gate: overwrite prevention <= 35% of compile time"
+# Wall times are noisy; accept the best of three runs before failing.
+share_ok=0
+for _ in 1 2 3; do
+    if cargo run -q --release -p penny-bench --bin penny-prof -- \
+        --all-workloads --assert-share overwrite-prevention:35 > /dev/null; then
+        share_ok=1
+        break
+    fi
+done
+if [[ "$share_ok" != 1 ]]; then
+    echo "verify: overwrite-prevention share exceeded 35% in 3 runs" >&2
+    exit 1
+fi
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full workspace test suite"
