@@ -1,0 +1,67 @@
+//! Per-site cost of the fault-injection conformance harness: a cold
+//! from-cycle-0 simulation of one fault site against the same site
+//! answered by forking the fault-free [`Recording`] (replay only the
+//! victim's wave, splice the recorded suffix back on). The gap between
+//! the two is the campaign speedup `penny-eval conformance --bench-json`
+//! gates on; bit-identity of the two answers is pinned by
+//! `crates/sim/tests/snapshot_replay.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use penny_sim::{FaultPlan, GlobalMemory, Gpu, GpuConfig, Injection, Recording, SiteClass};
+
+fn site_cost(c: &mut Criterion, abbr: &str) {
+    let w = penny_workloads::by_abbr(abbr).expect("workload");
+    let gpu = GpuConfig::fermi();
+    let cfg =
+        penny_core::PennyConfig::penny().with_launch(w.dims).with_machine(gpu.machine);
+    let protected = penny_bench::cache::compiled(&w, &cfg);
+
+    let mut seed = GlobalMemory::new();
+    let launch = w.prepare(&mut seed);
+    let recording = Recording::record(&gpu, &protected, &launch, &seed).expect("record");
+
+    // A deterministic simulated-class site: the first grid point whose
+    // flip is architecturally observed (EDC detection -> forked replay),
+    // i.e. the expensive class both harness paths must actually run.
+    let regs = protected.kernel.vreg_limit().max(1);
+    let inj = (0..regs)
+        .flat_map(|reg| {
+            (1..60u64).map(move |t| Injection {
+                block: 0,
+                warp: 0,
+                lane: 0,
+                reg,
+                bit: 3,
+                after_warp_insts: t,
+            })
+        })
+        .find(|i| recording.site_class(i) == SiteClass::Simulated)
+        .expect("no simulated site in probe grid");
+
+    let mut group = c.benchmark_group(format!("conformance/{abbr}"));
+    group.sample_size(10);
+    group.bench_function("cold_site", |b| {
+        b.iter(|| {
+            let mut gpu_inst = Gpu::new(gpu.clone());
+            let l = w.prepare(gpu_inst.global_mut()).with_faults(FaultPlan::single(inj));
+            gpu_inst.run(&protected, &l).expect("run")
+        })
+    });
+    group.bench_function("forked_site", |b| {
+        b.iter(|| recording.run_site(&gpu, &protected, inj).expect("site"))
+    });
+    group.bench_function("record", |b| {
+        b.iter(|| Recording::record(&gpu, &protected, &launch, &seed).expect("record"))
+    });
+    group.finish();
+}
+
+fn conformance_site_cost(c: &mut Criterion) {
+    // MT: the small deep-sweep workload; SGEMM: compute-dense, the
+    // worst case for cold per-site cost.
+    site_cost(c, "MT");
+    site_cost(c, "SGEMM");
+}
+
+criterion_group!(benches, conformance_site_cost);
+criterion_main!(benches);

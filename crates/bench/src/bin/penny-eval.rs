@@ -3,8 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! penny-eval [--jobs N] [table1|table2|table3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|
-//!             multibit|ablation|errorrate|bench-json|all]...
+//! penny-eval [--jobs N] [--shard I/N] [--budget N] [--runs N]
+//!            [--bench-json] [--min-speedup X]
+//!            [table1|table2|table3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|
+//!             multibit|ablation|errorrate|bench-json|
+//!             conformance|conformance-exhaustive|campaign|all]...
 //! ```
 //!
 //! `--jobs N` sets the worker-thread count for the figure harness
@@ -14,31 +17,70 @@
 //! `bench-json` runs the Figure 9 pipeline under a wall-clock timer and
 //! writes `BENCH_eval.json` (wall-clock seconds, per-workload cycle and
 //! skipped-cycle counts) for tracking harness performance over time.
+//!
+//! Campaign subcommands:
+//!
+//! * `conformance` — the deep fault-space sweep (four workloads × four
+//!   protected schemes, `--budget` sites each, default 2000) through the
+//!   snapshot/replay engine. `--shard I/N` runs one process-level shard:
+//!   shard reports merge bit-identically into the unsharded report
+//!   (`penny_bench::conformance::merge_reports`). With `--bench-json`
+//!   the deep-sweep pairs are timed (best of 3, recording cost
+//!   included) against a cold from-cycle-0 baseline and written to
+//!   `BENCH_eval.json`; `--min-speedup X` then exits nonzero if any
+//!   pair's snapshot-vs-cold speedup falls below `X` (the
+//!   `scripts/verify.sh` throughput gate).
+//! * `conformance-exhaustive` — sweeps the **entire** fault space of the
+//!   small workloads (MT, STC, FW, BS) under Penny: every site
+//!   classified and answered, none sampled.
+//! * `campaign` — the Table-1 multi-bit EDC campaign matrix
+//!   (`--runs` per cell, default 100), shardable with `--shard I/N`.
 
 use std::time::Instant;
 
-use penny_bench::{figures, report};
+use penny_bench::conformance::Shard;
+use penny_bench::{conformance, figures, report, SchemeId};
 use penny_sim::GpuConfig;
 
 fn main() {
     let mut jobs: usize = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut shard = Shard::full();
+    let mut budget: u64 = 2000;
+    let mut runs: u32 = 100;
+    let mut bench_json_out = false;
+    let mut min_speedup: Option<f64> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--jobs" {
-            let n = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| die("--jobs needs a positive integer"));
-            jobs = n;
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
+        let mut flag = |name: &str| -> Option<String> {
+            if a == name {
+                Some(args.next().unwrap_or_else(|| die(&format!("{name} needs a value"))))
+            } else {
+                a.strip_prefix(&format!("{name}=")).map(str::to_string)
+            }
+        };
+        if let Some(v) = flag("--jobs") {
             jobs = v.parse().unwrap_or_else(|_| die("--jobs needs a positive integer"));
+        } else if let Some(v) = flag("--shard") {
+            shard = Shard::parse(&v).unwrap_or_else(|e| die(&e));
+        } else if let Some(v) = flag("--budget") {
+            budget = v.parse().unwrap_or_else(|_| die("--budget needs a positive integer"));
+        } else if let Some(v) = flag("--runs") {
+            runs = v.parse().unwrap_or_else(|_| die("--runs needs a positive integer"));
+        } else if let Some(v) = flag("--min-speedup") {
+            min_speedup =
+                Some(v.parse().unwrap_or_else(|_| die("--min-speedup needs a number")));
+        } else if a == "--bench-json" {
+            bench_json_out = true;
         } else {
             targets.push(a);
         }
     }
     if jobs == 0 {
         die("--jobs needs a positive integer");
+    }
+    if budget == 0 {
+        die("--budget needs a positive integer");
     }
     penny_bench::set_jobs(jobs);
     prewarm();
@@ -89,9 +131,162 @@ fn main() {
                 penny_bench::campaign::render_multibit(&penny_bench::multibit_sweep(100))
             ),
             "bench-json" => bench_json(jobs),
+            "conformance" => {
+                conformance_cmd(shard, budget, bench_json_out, min_speedup, jobs)
+            }
+            "conformance-exhaustive" => conformance_exhaustive(shard),
+            "campaign" => campaign_cmd(runs, shard),
             other => die(&format!("unknown target `{other}` (try `all`)")),
         }
     }
+}
+
+/// The deep-sweep (workload, scheme) matrix the conformance subcommand
+/// and throughput gate cover.
+const DEEP_SWEEP: [(&str, SchemeId); 16] = {
+    const W: [&str; 4] = ["MT", "SPMV", "SGEMM", "BFS"];
+    const S: [SchemeId; 4] =
+        [SchemeId::Penny, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::IGpu];
+    let mut pairs = [("", SchemeId::Penny); 16];
+    let mut i = 0;
+    while i < 16 {
+        pairs[i] = (W[i / 4], S[i % 4]);
+        i += 1;
+    }
+    pairs
+};
+
+/// `conformance`: deep sweep through the snapshot/replay engine, one
+/// shard of the sample-position partition per invocation.
+fn conformance_cmd(
+    shard: Shard,
+    budget: u64,
+    bench_json_out: bool,
+    min_speedup: Option<f64>,
+    jobs: usize,
+) {
+    conformance::prewarm(&DEEP_SWEEP);
+    println!(
+        "== Conformance deep sweep (budget {budget}, shard {}/{}) ==",
+        shard.index, shard.count
+    );
+    for (abbr, scheme) in DEEP_SWEEP {
+        let t = Instant::now();
+        let r = conformance::run_conformance_sharded(abbr, scheme, budget, shard);
+        let wall = t.elapsed().as_secs_f64();
+        print!("{}", conformance::render_report(&r));
+        println!(
+            "       work: {} forks, {} snapshots, {} pages copied, {} insts replayed \
+             ({} cold)  [{:.2}s, {:.0} sites/s]",
+            r.work.forks,
+            r.work.snapshots,
+            r.work.pages_copied,
+            r.work.replayed_insts,
+            r.work.cold_insts,
+            wall,
+            r.covered as f64 / wall.max(1e-9)
+        );
+        if !r.failures.is_empty() {
+            std::process::exit(1);
+        }
+    }
+    if bench_json_out || min_speedup.is_some() {
+        conformance_bench_json(budget, min_speedup, jobs);
+    }
+}
+
+/// Times the snapshot engine against the cold harness on the protected
+/// deep-sweep pairs and writes `BENCH_eval.json`; enforces
+/// `--min-speedup` when given.
+fn conformance_bench_json(budget: u64, min_speedup: Option<f64>, jobs: usize) {
+    let pairs = [("MT", SchemeId::Penny), ("SGEMM", SchemeId::Penny)];
+    let mut rows = Vec::new();
+    for (abbr, scheme) in pairs {
+        let b = conformance::bench_throughput(abbr, scheme, budget, 3, 48);
+        eprintln!(
+            "conformance-bench: {} {}: {:.0} sites/s forked vs {:.1} sites/s cold \
+             ({:.1}x, best of 3)",
+            b.workload, b.variant, b.forked_sites_per_sec, b.cold_sites_per_sec, b.speedup
+        );
+        rows.push(b);
+    }
+    let worst = rows.iter().map(|b| b.speedup).fold(f64::INFINITY, f64::min);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"budget\": {budget},\n"));
+    out.push_str("  \"conformance\": [\n");
+    for (i, b) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"scheme\": \"{}\", \"covered\": {}, \
+             \"forked_wall_seconds\": {:.6}, \"forked_sites_per_sec\": {:.3}, \
+             \"cold_sites_timed\": {}, \"cold_wall_seconds\": {:.6}, \
+             \"cold_sites_per_sec\": {:.3}, \"speedup\": {:.3}}}{comma}\n",
+            b.workload,
+            b.variant,
+            b.covered,
+            b.forked_wall_s,
+            b.forked_sites_per_sec,
+            b.cold_sites_timed,
+            b.cold_wall_s,
+            b.cold_sites_per_sec,
+            b.speedup
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"conformance_min_speedup\": {worst:.3}\n"));
+    out.push_str("}\n");
+    match std::fs::write("BENCH_eval.json", &out) {
+        Ok(()) => {
+            eprintln!("conformance-bench: min speedup {worst:.1}x -> BENCH_eval.json")
+        }
+        Err(e) => die(&format!("writing BENCH_eval.json: {e}")),
+    }
+    if let Some(min) = min_speedup {
+        if worst < min {
+            eprintln!("conformance-bench: speedup {worst:.1}x below required {min:.1}x");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `conformance-exhaustive`: the entire fault space of the small
+/// workloads — every site classified and answered, none sampled.
+fn conformance_exhaustive(shard: Shard) {
+    println!(
+        "== Conformance exhaustive sweep (full fault spaces, shard {}/{}) ==",
+        shard.index, shard.count
+    );
+    for abbr in ["MT", "STC", "FW", "BS"] {
+        let t = Instant::now();
+        let r =
+            conformance::run_conformance_sharded(abbr, SchemeId::Penny, u64::MAX, shard);
+        let wall = t.elapsed().as_secs_f64();
+        assert_eq!(r.skipped, 0, "exhaustive sweep must cover every site");
+        print!("{}", conformance::render_report(&r));
+        println!(
+            "       work: {} forks over {} covered sites  [{:.2}s, {:.0} sites/s]",
+            r.work.forks,
+            r.covered,
+            wall,
+            r.covered as f64 / wall.max(1e-9)
+        );
+        if !r.failures.is_empty() {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `campaign`: the Table-1 multi-bit matrix, one shard per invocation.
+fn campaign_cmd(runs: u32, shard: Shard) {
+    println!(
+        "== Multi-bit EDC campaign ({runs} runs/cell, shard {}/{}) ==",
+        shard.index, shard.count
+    );
+    let results = penny_bench::campaign::multibit_sweep_sharded(runs, shard);
+    print!("{}", penny_bench::campaign::render_multibit(&results));
 }
 
 /// Batch-compiles the scheme x workload matrix every figure draws from,

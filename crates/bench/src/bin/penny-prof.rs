@@ -7,7 +7,7 @@
 //! ```text
 //! penny-prof [--workload ABBR]... [--all-workloads] [--scheme NAME]
 //!            [--jobs N] [--json] [--summary] [--check]
-//!            [--assert-share PASS:PCT]
+//!            [--conformance BUDGET] [--assert-share PASS:PCT]
 //! ```
 //!
 //! * `--workload ABBR` — profile one workload (repeatable);
@@ -18,9 +18,14 @@
 //!   (default 1: serial profiling gives the least noisy timings);
 //! * `--json` — emit spans as JSONL on stdout (the default output);
 //! * `--summary` — print aggregated pass-timing and run-metric tables
-//!   instead of (or after) the JSONL stream;
+//!   instead of (or after) the JSONL stream; with `--conformance` a
+//!   campaign table (sites, forks, snapshots, replayed/skipped
+//!   instructions, CoW pages) follows;
 //! * `--check` — validate every emitted line against the span schema
 //!   (`penny_obs::schema`); exit nonzero on any violation;
+//! * `--conformance BUDGET` — additionally run a BUDGET-site
+//!   snapshot/replay conformance sweep per workload, capturing its
+//!   `campaign` and per-replay `site` spans into the stream;
 //! * `--assert-share PASS:PCT` — exit nonzero if `PASS`'s share of
 //!   total pass time exceeds `PCT` percent (CI guardrail; see
 //!   `scripts/verify.sh`).
@@ -160,6 +165,47 @@ fn pass_share(profiles: &[Profiled], label: &str) -> Option<f64> {
     (target > 0).then(|| 100.0 * target as f64 / grand.max(1) as f64)
 }
 
+/// Snapshot/replay campaign metrics: one row per `campaign` span
+/// (sites answered, forked replays, snapshots, replayed vs skipped
+/// instructions, CoW pages copied, wall time).
+fn campaign_summary(profiles: &[Profiled]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== Conformance campaigns (snapshot/replay) ==");
+    let _ = writeln!(
+        out,
+        "{:<6} {:<12} {:>8} {:>7} {:>6} {:>12} {:>14} {:>8} {:>10}",
+        "wkld",
+        "scheme",
+        "sites",
+        "forks",
+        "snaps",
+        "replayed",
+        "skipped",
+        "pages",
+        "wall_ms"
+    );
+    for p in profiles {
+        for s in p.spans.iter().filter(|s| s.kind == SpanKind::Campaign) {
+            let c = |name: &str| s.counter(name).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:<6} {:<12} {:>8} {:>7} {:>6} {:>12} {:>14} {:>8} {:>10.1}",
+                p.abbr,
+                s.label,
+                c("sites"),
+                c("forks"),
+                c("snapshots"),
+                c("replayed_insts"),
+                c("skipped_insts"),
+                c("pages_copied"),
+                s.wall_ns as f64 / 1e6
+            );
+        }
+    }
+    out
+}
+
 /// Per-workload simulator run metrics.
 fn sim_summary(profiles: &[Profiled]) -> String {
     use std::fmt::Write as _;
@@ -197,6 +243,7 @@ fn main() {
     let mut json = false;
     let mut summary = false;
     let mut check = false;
+    let mut conformance_budget: Option<u64> = None;
     let mut assert_share: Option<(String, f64)> = None;
 
     let mut args = std::env::args().skip(1);
@@ -223,6 +270,14 @@ fn main() {
                     &args.next().unwrap_or_else(|| die("--assert-share needs PASS:PCT")),
                 ))
             }
+            "--conformance" => {
+                conformance_budget = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--conformance needs a positive budget")),
+                )
+            }
             "--json" => json = true,
             "--summary" => summary = true,
             "--check" => check = true,
@@ -239,6 +294,11 @@ fn main() {
                         .unwrap_or_else(|| die("--jobs needs a positive integer"));
                 } else if let Some(v) = other.strip_prefix("--assert-share=") {
                     assert_share = Some(parse_assert_share(v));
+                } else if let Some(v) = other.strip_prefix("--conformance=") {
+                    conformance_budget =
+                        Some(v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                            die("--conformance needs a positive budget")
+                        }));
                 } else {
                     die(&format!("unknown argument `{other}`"));
                 }
@@ -273,6 +333,28 @@ fn main() {
     // `cache`-kind spans so the stream reports cache effectiveness.
     let mut profiles: Vec<Profiled> =
         penny_bench::parallel_map(&workloads, |w| profile(w, scheme));
+
+    // Snapshot/replay conformance sweeps run serially with the
+    // process-global sink installed (the sweep itself already fans its
+    // sites across the `--jobs` workers), capturing one `campaign` span
+    // plus a `site` span per forked replay group into each workload's
+    // stream.
+    if let Some(budget) = conformance_budget {
+        for (w, p) in workloads.iter().zip(&mut profiles) {
+            let rec = std::sync::Arc::new(MemRecorder::new());
+            penny_bench::obs::set_recorder(rec.clone());
+            let report = penny_bench::conformance::run_conformance(w.abbr, scheme, budget);
+            penny_bench::obs::clear_recorder();
+            if !report.failures.is_empty() {
+                die(&format!(
+                    "{}: {} conformance sites failed to recover under {scheme:?}",
+                    w.abbr,
+                    report.covered - report.recovered
+                ));
+            }
+            p.spans.extend(rec.take());
+        }
+    }
     {
         let rec = MemRecorder::new();
         penny_bench::cache::record_cache_spans(&rec);
@@ -304,6 +386,9 @@ fn main() {
     if summary {
         print!("{}", pass_summary(&profiles));
         print!("{}", sim_summary(&profiles));
+        if profiles.iter().any(|p| p.spans.iter().any(|s| s.kind == SpanKind::Campaign)) {
+            print!("{}", campaign_summary(&profiles));
+        }
     }
 
     if check {

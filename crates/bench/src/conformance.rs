@@ -1,24 +1,56 @@
 //! Fault-space conformance harness: enumerate the (dynamic instruction ×
-//! destination register × bit) fault space of a workload, run every
-//! covered site through the decoded engine under each protected scheme,
-//! and assert the final memory equals the fault-free reference.
+//! destination register × bit) fault space of a workload, answer every
+//! covered site from a snapshot/replay [`Recording`] under each
+//! protected scheme, and assert the final memory equals the fault-free
+//! reference.
 //!
 //! The space is enumerated **exhaustively** when it fits the budget;
 //! above the budget a deterministic stratified walk (a multiplicative
 //! congruential stride coprime with the space size) covers `budget`
 //! sites spread across every stratum, and the skipped count is reported.
 //! Any failing site is shrunk to a minimal single-[`Injection`]
-//! [`FaultPlan`] reproducer rendered as a ready-to-paste `#[test]`.
+//! [`FaultPlan`] reproducer rendered as a ready-to-paste `#[test]` —
+//! shrinking and reproducers always re-run **cold** (from cycle 0), so
+//! the regression oracle is independent of the snapshot engine.
+//!
+//! # Snapshot/replay site pipeline
+//!
+//! One fault-free [`Recording`] per (workload, scheme) pair captures
+//! region-boundary snapshots and a per-thread register access trace
+//! (`penny_sim::snapshot`). Each site is then answered from the
+//! cheapest sufficient evidence — recorded outcome for never-firing and
+//! overwritten (invisible) flips, recorded outcome plus correction
+//! counters under SECDED, a forked replay of just the victim's wave
+//! otherwise — and sites whose replays are provably bit-identical
+//! (same victim cell, same first observing read) are grouped so one
+//! replay answers the whole group. The determinism contract (forked ==
+//! from-scratch, bit for bit) is pinned by
+//! `crates/sim/tests/snapshot_replay.rs` and the bench-level
+//! equivalence suite.
+//!
+//! # Sharding
+//!
+//! [`run_conformance_sharded`] partitions **sample positions** (not raw
+//! site indices) round-robin across `n` shards, so shards are
+//! balanced under any stride, and [`merge_reports`] reassembles a
+//! report whose verdict fields (coverage, class counts, failures) are
+//! bit-identical to the unsharded run. Replay-work counters
+//! ([`ReplayWork`]) are summed honestly and legitimately exceed the
+//! unsharded run's (a replay group split across shards is replayed once
+//! per shard).
 //!
 //! Every kernel the harness compiles runs with
 //! [`PennyConfig::validate`](penny_core::PennyConfig::validate) enabled,
 //! so a compiler-invariant bug fails fast with a named invariant instead
 //! of a corrupted-memory assert thousands of cycles later.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use penny_core::{Protected, GLOBAL_CKPT_BASE};
-use penny_sim::{FaultPlan, Gpu, GpuConfig, Injection, RegFile};
+use penny_sim::{
+    FaultPlan, GlobalMemory, Gpu, GpuConfig, Injection, Recording, RegFile, SiteClass,
+};
 use penny_workloads::Workload;
 
 use crate::parallel::parallel_map;
@@ -77,15 +109,63 @@ impl FaultSpace {
     /// stride coprime with the total (distinct sites, every stratum
     /// touched).
     pub fn sample(&self, budget: u64) -> Vec<u64> {
+        match self.sequence(budget) {
+            SiteSeq::Exhaustive(total) => (0..total).collect(),
+            SiteSeq::Sampled(sites) => sites,
+        }
+    }
+
+    /// Like [`FaultSpace::sample`], but exhaustive coverage is
+    /// represented as a range instead of a materialized vector — full
+    /// sweeps of multi-million-site spaces never allocate per site.
+    pub fn sequence(&self, budget: u64) -> SiteSeq {
         let total = self.total();
         if total <= budget {
-            return (0..total).collect();
+            return SiteSeq::Exhaustive(total);
         }
         let mut stride = (total / budget) | 1; // odd ⇒ coprime with powers of 2
         while gcd(stride, total) != 1 {
             stride += 2;
         }
-        (0..budget).map(|j| (j as u128 * stride as u128 % total as u128) as u64).collect()
+        SiteSeq::Sampled(
+            (0..budget)
+                .map(|j| (j as u128 * stride as u128 % total as u128) as u64)
+                .collect(),
+        )
+    }
+}
+
+/// The covered subset of a fault space, indexed by **sample position**
+/// (the deterministic visit order the shard partition and failure
+/// ordering are defined over).
+#[derive(Debug, Clone)]
+pub enum SiteSeq {
+    /// Every site, visited in index order (position == site index).
+    Exhaustive(u64),
+    /// A strided sample; `positions[j]` is the j-th visited site index.
+    Sampled(Vec<u64>),
+}
+
+impl SiteSeq {
+    /// Number of covered sites.
+    pub fn len(&self) -> u64 {
+        match self {
+            SiteSeq::Exhaustive(total) => *total,
+            SiteSeq::Sampled(v) => v.len() as u64,
+        }
+    }
+
+    /// Whether no sites are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The site index visited at sample position `pos`.
+    pub fn index_at(&self, pos: u64) -> u64 {
+        match self {
+            SiteSeq::Exhaustive(_) => pos,
+            SiteSeq::Sampled(v) => v[pos as usize],
+        }
     }
 }
 
@@ -98,15 +178,121 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
     a
 }
 
+/// One shard of a campaign: this process covers sample positions
+/// `pos % count == index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index (`0..count`).
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
+impl Shard {
+    /// The trivial single-shard partition (covers everything).
+    pub fn full() -> Shard {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// Parses `"i/n"` (e.g. `--shard 2/4`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed syntax, `n == 0`, and `i >= n`.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard must be i/n (e.g. 0/4), got {s:?}"))?;
+        let index: u32 = i.trim().parse().map_err(|_| format!("bad shard index {i:?}"))?;
+        let count: u32 = n.trim().parse().map_err(|_| format!("bad shard count {n:?}"))?;
+        if count == 0 {
+            return Err("shard count must be >= 1".into());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range 0..{count}"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    fn owns(&self, pos: u64) -> bool {
+        pos % self.count as u64 == self.index as u64
+    }
+}
+
 /// One failing fault site.
 #[derive(Debug, Clone)]
 pub struct ConformanceFailure {
+    /// Sample position of the failing site (orders failures
+    /// deterministically across shards).
+    pub sample: u64,
     /// The shrunk (minimal) injection that still fails.
     pub injection: Injection,
     /// What went wrong (mismatch / simulator error).
     pub reason: String,
     /// Ready-to-paste regression test reproducing the failure.
     pub reproducer: String,
+}
+
+/// Deterministic per-site class counts (identical for any shard
+/// partition and job count; summing shard reports reproduces the
+/// unsharded counts exactly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteClassCounts {
+    /// Sites whose injection never fires (trigger past the warp's
+    /// dynamic length, dead lane, or out-of-range register).
+    pub never_fires: u64,
+    /// Fired flips overwritten before any read observes them.
+    pub invisible: u64,
+    /// Flips corrected inline (and scrubbed) by SECDED at first read.
+    pub corrected_inline: u64,
+    /// Sites that required a forked replay (detected under EDC, or
+    /// silently observed on an unprotected RF) — includes sites
+    /// answered by an equivalent group member's replay.
+    pub simulated: u64,
+    /// Simulated sites whose replay converged back onto the recorded
+    /// memory image, so the recorded run suffix was spliced on.
+    pub spliced: u64,
+}
+
+impl SiteClassCounts {
+    fn add(&mut self, o: &SiteClassCounts) {
+        self.never_fires += o.never_fires;
+        self.invisible += o.invisible;
+        self.corrected_inline += o.corrected_inline;
+        self.simulated += o.simulated;
+        self.spliced += o.spliced;
+    }
+}
+
+/// Snapshot/fork/replay work actually performed. Unlike
+/// [`SiteClassCounts`] these depend on the shard partition (a replay
+/// group split across shards replays once per shard), so merging sums
+/// them honestly rather than reproducing the unsharded values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayWork {
+    /// Region-boundary snapshots retained by the recording.
+    pub snapshots: u64,
+    /// Forked replays actually executed (one per equivalence group).
+    pub forks: u64,
+    /// Warp instructions re-simulated across all replays.
+    pub replayed_insts: u64,
+    /// Warp instructions a cold (from-cycle-0) harness would have
+    /// executed for the same covered sites: covered × the recording's
+    /// dynamic instruction count. `skipped = cold_insts -
+    /// replayed_insts` is the work the snapshot engine avoided.
+    pub cold_insts: u64,
+    /// Copy-on-write pages copied across all replays.
+    pub pages_copied: u64,
+}
+
+impl ReplayWork {
+    fn add(&mut self, o: &ReplayWork) {
+        self.snapshots += o.snapshots;
+        self.forks += o.forks;
+        self.replayed_insts += o.replayed_insts;
+        self.cold_insts += o.cold_insts;
+        self.pages_copied += o.pages_copied;
+    }
 }
 
 /// Conformance result for one (workload, scheme) pair.
@@ -120,16 +306,31 @@ pub struct ConformanceReport {
     pub space: FaultSpace,
     /// Total fault sites in the space.
     pub total: u64,
-    /// Sites actually executed.
+    /// Sites covered (classified and answered) by this report.
     pub covered: u64,
     /// Sites skipped by the budget (logged, per the harness contract).
     pub skipped: u64,
     /// Covered sites whose final memory matched the fault-free
     /// reference (benign or detected-and-recovered).
     pub recovered: u64,
-    /// Failing sites, shrunk to minimal reproducers.
+    /// Per-site classification counts (deterministic across shards).
+    pub classes: SiteClassCounts,
+    /// Snapshot/fork/replay work performed (shard-dependent).
+    pub work: ReplayWork,
+    /// The shard this report covers (`(0, 1)` for a full run or merge).
+    pub shard: (u32, u32),
+    /// Failing sites, shrunk to minimal reproducers (capped at
+    /// [`MAX_REPORTED_FAILURES`], lowest sample positions first).
     pub failures: Vec<ConformanceFailure>,
 }
+
+/// Cap on fully-shrunk failure reproducers per report. The lowest
+/// sample positions are kept, which makes sharded merges reproduce the
+/// unsharded selection exactly.
+pub const MAX_REPORTED_FAILURES: usize = 8;
+
+/// Sample positions processed per parallel work item.
+const CHUNK: u64 = 16_384;
 
 /// Everything needed to run fault sites for one (workload, scheme) pair.
 struct Prepared {
@@ -139,13 +340,15 @@ struct Prepared {
     /// Fault-free user-space memory (below the checkpoint arena).
     reference: Vec<(u32, u32)>,
     space: FaultSpace,
+    /// The fault-free recording forked sites replay from.
+    recording: Recording,
 }
 
 /// User-visible final memory: nonzero words below the checkpoint arena.
 /// The arena itself is runtime scratch and legitimately differs between
 /// faulty and fault-free runs.
-fn user_memory(gpu: &Gpu) -> Vec<(u32, u32)> {
-    let mut words = gpu.global().nonzero_words();
+fn user_memory(global: &GlobalMemory) -> Vec<(u32, u32)> {
+    let mut words = global.nonzero_words();
     words.retain(|&(addr, _)| addr < GLOBAL_CKPT_BASE);
     words
 }
@@ -187,14 +390,16 @@ fn prepare(abbr: &str, scheme: SchemeId) -> Prepared {
     let protected = crate::cache::compiled(&workload, &config);
     let gpu_config = GpuConfig::fermi().with_rf(scheme.rf());
 
-    // Fault-free reference run; also sizes the trigger dimension.
-    let mut gpu = Gpu::new(gpu_config.clone());
-    let launch = workload.prepare(gpu.global_mut());
-    let stats = gpu
-        .run(&protected, &launch)
+    // Fault-free recording: the reference run, the region-boundary
+    // snapshots, and the access trace, in one traced execution. Also
+    // sizes the trigger dimension.
+    let mut seed_mem = GlobalMemory::new();
+    let launch = workload.prepare(&mut seed_mem);
+    let recording = Recording::record(&gpu_config, &protected, &launch, &seed_mem)
         .unwrap_or_else(|e| panic!("{abbr} fault-free run: {e}"));
-    assert!(workload.check(gpu.global()), "{abbr}: fault-free output wrong");
-    let reference = user_memory(&gpu);
+    assert!(workload.check(recording.global()), "{abbr}: fault-free output wrong");
+    let reference = user_memory(recording.global());
+    let stats = recording.stats();
 
     let warps = workload.dims.threads_per_block().div_ceil(32).max(1);
     let total_warps = (warps * workload.dims.blocks()).max(1) as u64;
@@ -210,7 +415,7 @@ fn prepare(abbr: &str, scheme: SchemeId) -> Prepared {
         regs: protected.kernel.vreg_limit().max(1),
         bits,
     };
-    Prepared { workload, protected, gpu_config, reference, space }
+    Prepared { workload, protected, gpu_config, reference, space, recording }
 }
 
 /// A compact site label for span output: one field per injection digit.
@@ -221,50 +426,74 @@ fn site_label(inj: &Injection) -> String {
     )
 }
 
-/// Runs one site; `Ok` when the final memory matches the fault-free
-/// reference (and the workload's own checker passes). When the global
-/// recorder ([`crate::obs`]) is enabled, each site emits a `site` span
-/// with its recovery/re-execution counters.
+/// Runs one site **cold** — a full from-cycle-0 simulation, no
+/// snapshot engine involved. This is the independent oracle behind
+/// [`check_site`], reproducers, and failure shrinking. `Ok` when the
+/// final memory matches the fault-free reference (and the workload's
+/// own checker passes).
 fn run_site(p: &Prepared, inj: &Injection) -> Result<(), String> {
-    let rec = crate::obs::recorder();
     let mut gpu = Gpu::new(p.gpu_config.clone());
     let launch = p.workload.prepare(gpu.global_mut()).with_faults(FaultPlan::single(*inj));
-    let outcome = gpu.run(&p.protected, &launch);
-    if rec.enabled() {
-        let label = site_label(inj);
-        match &outcome {
-            Ok(stats) => penny_obs::record_site(
-                rec.as_ref(),
-                p.workload.abbr,
-                &label,
-                &[
-                    ("cycles", stats.cycles),
-                    ("recoveries", stats.recoveries),
-                    ("reexec_instructions", stats.reexec_instructions),
-                    ("rf_detected", stats.rf.detected),
-                    ("sim_error", 0),
-                ],
-            ),
-            Err(_) => penny_obs::record_site(
-                rec.as_ref(),
-                p.workload.abbr,
-                &label,
-                &[("sim_error", 1)],
-            ),
-        }
-    }
-    match outcome {
+    match gpu.run(&p.protected, &launch) {
         Ok(_) => {
             if !p.workload.check(gpu.global()) {
                 return Err("workload checker rejected the output".into());
             }
-            if user_memory(&gpu) != p.reference {
+            if user_memory(gpu.global()) != p.reference {
                 return Err("final memory differs from fault-free reference".into());
             }
             Ok(())
         }
         Err(e) => Err(format!("simulator error: {e}")),
     }
+}
+
+/// The verdict and work counters of one forked replay.
+struct ForkedOutcome {
+    verdict: Result<(), String>,
+    spliced: bool,
+    replayed_insts: u64,
+    pages_copied: u64,
+}
+
+/// Answers one simulated-class site by forking the recording, and
+/// verifies the verdict. Spliced replays converge onto the recorded
+/// (already verified) final memory by construction; divergent replays
+/// are checked against the reference honestly. When the global recorder
+/// is enabled a `site` span is emitted with the replay counters.
+fn run_site_forked(p: &Prepared, inj: &Injection, members: u64) -> ForkedOutcome {
+    let rec = crate::obs::recorder();
+    let outcome = p.recording.run_site(&p.gpu_config, &p.protected, *inj);
+    let (verdict, spliced, replayed_insts, pages_copied) = match outcome {
+        Ok(site) => {
+            let verdict = if site.spliced {
+                Ok(())
+            } else if !p.workload.check(&site.global) {
+                Err("workload checker rejected the output".to_string())
+            } else if user_memory(&site.global) != p.reference {
+                Err("final memory differs from fault-free reference".to_string())
+            } else {
+                Ok(())
+            };
+            (verdict, site.spliced, site.replayed_insts, site.pages_copied)
+        }
+        Err(e) => (Err(format!("simulator error: {e}")), false, 0, 0),
+    };
+    if rec.enabled() {
+        penny_obs::record_site(
+            rec.as_ref(),
+            p.workload.abbr,
+            &site_label(inj),
+            &[
+                ("members", members),
+                ("spliced", spliced as u64),
+                ("replayed_insts", replayed_insts),
+                ("pages_copied", pages_copied),
+                ("sim_error", verdict.is_err() as u64),
+            ],
+        );
+    }
+    ForkedOutcome { verdict, spliced, replayed_insts, pages_copied }
 }
 
 /// Shrink field order (most impactful first) and per-field minimums:
@@ -367,7 +596,9 @@ pub fn render_reproducer(abbr: &str, scheme: SchemeId, inj: &Injection) -> Strin
     )
 }
 
-/// Re-runs one fault site (the entry point generated reproducers call).
+/// Re-runs one fault site **cold** (the entry point generated
+/// reproducers call) — deliberately bypassing the snapshot engine so
+/// reproducers remain an independent oracle for it.
 ///
 /// # Errors
 ///
@@ -378,26 +609,191 @@ pub fn check_site(abbr: &str, scheme: SchemeId, inj: &Injection) -> Result<(), S
     run_site(&p, inj)
 }
 
+/// A replay-equivalence group key: sites with equal key provably share
+/// one replay outcome (the memo contract — block, warp, lane, reg,
+/// bit-under-`None`, first-read index).
+type GroupKey = (u32, u32, u32, u32, u32, u64);
+
+/// A replay-equivalence group key plus its bookkeeping: sites that
+/// provably share one replay outcome.
+struct Group {
+    rep: Injection,
+    members: u64,
+    /// First (lowest) member sample positions, capped at
+    /// [`MAX_REPORTED_FAILURES`] — enough to attribute failures.
+    positions: Vec<u64>,
+}
+
+/// Per-chunk classification output.
+struct ChunkClass {
+    covered: u64,
+    classes: SiteClassCounts,
+    /// Unique replay groups first seen in this chunk, in first-seen
+    /// (ascending position) order.
+    groups: Vec<(GroupKey, Group)>,
+}
+
 /// Runs the conformance harness for one (workload, scheme) pair with a
 /// site budget. Sites run in parallel under [`crate::parallel::jobs`];
 /// results are deterministic for any job count.
 pub fn run_conformance(abbr: &str, scheme: SchemeId, budget: u64) -> ConformanceReport {
+    run_conformance_sharded(abbr, scheme, budget, Shard::full())
+}
+
+/// Runs one shard of the conformance harness: only sample positions
+/// `pos % shard.count == shard.index` are covered. Reports from all
+/// shards [`merge_reports`] into the unsharded report bit-identically
+/// (verdict fields; see [`ReplayWork`] for the caveat).
+pub fn run_conformance_sharded(
+    abbr: &str,
+    scheme: SchemeId,
+    budget: u64,
+    shard: Shard,
+) -> ConformanceReport {
+    let rec = crate::obs::recorder();
+    let timer = penny_obs::SpanTimer::start(rec.as_ref());
     let p = prepare(abbr, scheme);
     let workload = p.workload.abbr;
     let total = p.space.total();
-    let sites = p.space.sample(budget);
-    let covered = sites.len() as u64;
+    let seq = p.space.sequence(budget);
+    let positions = seq.len();
 
-    let outcomes = parallel_map(&sites, |&index| {
-        let inj = p.space.site(index);
-        run_site(&p, &inj).err().map(|reason| (inj, reason))
+    // Phase 1 — classify every owned site (parallel over position
+    // chunks): analytic classes are answered on the spot, simulated
+    // sites collapse into replay-equivalence groups.
+    let chunk_bounds: Vec<(u64, u64)> = (0..positions)
+        .step_by(CHUNK as usize)
+        .map(|s| (s, (s + CHUNK).min(positions)))
+        .collect();
+    let chunked = parallel_map(&chunk_bounds, |&(start, end)| {
+        let mut out = ChunkClass {
+            covered: 0,
+            classes: SiteClassCounts::default(),
+            groups: Vec::new(),
+        };
+        let mut index_of: HashMap<(u32, u32, u32, u32, u32, u64), usize> = HashMap::new();
+        for pos in start..end {
+            if !shard.owns(pos) {
+                continue;
+            }
+            let inj = p.space.site(seq.index_at(pos));
+            out.covered += 1;
+            match p.recording.site_class(&inj) {
+                SiteClass::NeverFires => out.classes.never_fires += 1,
+                SiteClass::Invisible => out.classes.invisible += 1,
+                SiteClass::CorrectedInline => out.classes.corrected_inline += 1,
+                SiteClass::Simulated => {
+                    out.classes.simulated += 1;
+                    let key =
+                        p.recording.memo_key(&inj).expect("simulated sites have memo keys");
+                    let gi = *index_of.entry(key).or_insert_with(|| {
+                        out.groups.push((
+                            key,
+                            Group { rep: inj, members: 0, positions: Vec::new() },
+                        ));
+                        out.groups.len() - 1
+                    });
+                    let g = &mut out.groups[gi].1;
+                    g.members += 1;
+                    if g.positions.len() < MAX_REPORTED_FAILURES {
+                        g.positions.push(pos);
+                    }
+                }
+            }
+        }
+        out
     });
 
+    // Merge chunks in position order: group representatives keep the
+    // globally-first member, positions stay ascending.
+    let mut covered = 0u64;
+    let mut classes = SiteClassCounts::default();
+    let mut order: Vec<(u32, u32, u32, u32, u32, u64)> = Vec::new();
+    let mut merged: HashMap<(u32, u32, u32, u32, u32, u64), Group> = HashMap::new();
+    for chunk in chunked {
+        covered += chunk.covered;
+        classes.add(&chunk.classes);
+        for (key, seen) in chunk.groups {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(key);
+                    e.insert(seen);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let g = e.get_mut();
+                    g.members += seen.members;
+                    for pos in seen.positions {
+                        if g.positions.len() < MAX_REPORTED_FAILURES {
+                            g.positions.push(pos);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2 — one forked replay per group (parallel over groups).
+    let groups: Vec<&Group> = order.iter().map(|k| &merged[k]).collect();
+    let outcomes = parallel_map(&groups, |g| run_site_forked(&p, &g.rep, g.members));
+
+    // Phase 3 — verdicts, failure attribution, counters.
+    let mut work = ReplayWork {
+        snapshots: p.recording.counters().snapshots,
+        forks: groups.len() as u64,
+        replayed_insts: 0,
+        cold_insts: covered.saturating_mul(p.recording.counters().total_warp_insts),
+        pages_copied: 0,
+    };
+    let mut failed_sites = 0u64;
+    let mut failing: Vec<(u64, String)> = Vec::new();
+    for (g, o) in groups.iter().zip(&outcomes) {
+        work.replayed_insts += o.replayed_insts;
+        work.pages_copied += o.pages_copied;
+        if o.spliced {
+            classes.spliced += g.members;
+        }
+        if let Err(reason) = &o.verdict {
+            failed_sites += g.members;
+            for &pos in &g.positions {
+                failing.push((pos, reason.clone()));
+            }
+        }
+    }
+    failing.sort_by_key(|a| a.0);
+    failing.truncate(MAX_REPORTED_FAILURES);
+
     let mut failures = Vec::new();
-    for (inj, reason) in outcomes.into_iter().flatten() {
+    for (pos, reason) in failing {
+        let inj = p.space.site(seq.index_at(pos));
+        // Shrink against the cold oracle, so the reproducer stands on
+        // its own even if the snapshot engine itself is the bug.
         let shrunk = shrink_injection(inj, &|cand| run_site(&p, cand).is_err());
         let reproducer = render_reproducer(workload, scheme, &shrunk);
-        failures.push(ConformanceFailure { injection: shrunk, reason, reproducer });
+        failures.push(ConformanceFailure {
+            sample: pos,
+            injection: shrunk,
+            reason,
+            reproducer,
+        });
+    }
+
+    if rec.enabled() {
+        penny_obs::record_campaign(
+            rec.as_ref(),
+            workload,
+            scheme.name(),
+            timer,
+            &[
+                ("sites", covered),
+                ("snapshots", work.snapshots),
+                ("forks", work.forks),
+                ("pages_copied", work.pages_copied),
+                ("replayed_insts", work.replayed_insts),
+                ("skipped_insts", work.cold_insts.saturating_sub(work.replayed_insts)),
+                ("spliced", classes.spliced),
+                ("failures", failed_sites),
+            ],
+        );
     }
 
     ConformanceReport {
@@ -407,12 +803,152 @@ pub fn run_conformance(abbr: &str, scheme: SchemeId, budget: u64) -> Conformance
         total,
         covered,
         skipped: total - covered,
-        recovered: covered - failures.len() as u64,
+        recovered: covered - failed_sites,
+        classes,
+        work,
+        shard: (shard.index, shard.count),
         failures,
     }
 }
 
-/// Renders a report block: coverage counts plus any reproducers.
+/// Merges per-shard reports into the unsharded report: verdict fields
+/// (coverage, recovery, class counts, failures) are bit-identical to a
+/// `Shard::full()` run; [`ReplayWork`] counters are summed honestly.
+///
+/// # Errors
+///
+/// Rejects an empty input, mismatched (workload, scheme, space) pairs,
+/// and partitions that are not exactly `0/n .. (n-1)/n`.
+pub fn merge_reports(reports: &[ConformanceReport]) -> Result<ConformanceReport, String> {
+    let first = reports.first().ok_or("no reports to merge")?;
+    let count = first.shard.1;
+    if reports.len() as u32 != count {
+        return Err(format!("expected {count} shards, got {}", reports.len()));
+    }
+    let mut seen = vec![false; count as usize];
+    let mut merged = ConformanceReport {
+        workload: first.workload,
+        variant: first.variant,
+        space: first.space,
+        total: first.total,
+        covered: 0,
+        skipped: 0,
+        recovered: 0,
+        classes: SiteClassCounts::default(),
+        work: ReplayWork::default(),
+        shard: (0, 1),
+        failures: Vec::new(),
+    };
+    for r in reports {
+        if (r.workload, r.variant) != (first.workload, first.variant)
+            || r.space != first.space
+            || r.shard.1 != count
+        {
+            return Err(format!(
+                "mismatched shard report {}/{} for {} {}",
+                r.shard.0, r.shard.1, r.workload, r.variant
+            ));
+        }
+        let idx = r.shard.0 as usize;
+        if seen[idx] {
+            return Err(format!("duplicate shard {idx}/{count}"));
+        }
+        seen[idx] = true;
+        merged.covered += r.covered;
+        merged.recovered += r.recovered;
+        merged.classes.add(&r.classes);
+        merged.work.add(&r.work);
+        merged.failures.extend(r.failures.iter().cloned());
+    }
+    // Snapshots are a property of the (shared, deterministic) recording,
+    // not of the shard's site subset: report them once, not n times.
+    merged.work.snapshots = first.work.snapshots;
+    merged.skipped = merged.total - merged.covered;
+    merged.failures.sort_by_key(|a| a.sample);
+    merged.failures.truncate(MAX_REPORTED_FAILURES);
+    Ok(merged)
+}
+
+/// Measured snapshot-vs-cold site throughput for one (workload, scheme)
+/// pair (see [`bench_throughput`]).
+#[derive(Debug, Clone)]
+pub struct ThroughputBench {
+    /// Workload abbreviation.
+    pub workload: &'static str,
+    /// Scheme display name.
+    pub variant: &'static str,
+    /// Sites covered per sweep.
+    pub covered: u64,
+    /// Best-of-`reps` wall seconds for the full snapshot/replay sweep,
+    /// including the fault-free recording itself.
+    pub forked_wall_s: f64,
+    /// Covered sites per second through the snapshot engine.
+    pub forked_sites_per_sec: f64,
+    /// Cold sites actually timed for the baseline extrapolation.
+    pub cold_sites_timed: u64,
+    /// Wall seconds those cold sites took.
+    pub cold_wall_s: f64,
+    /// From-cycle-0 sites per second (the pre-snapshot harness cost).
+    pub cold_sites_per_sec: f64,
+    /// `forked_sites_per_sec / cold_sites_per_sec`.
+    pub speedup: f64,
+    /// The report of the last timed sweep (verdicts are identical
+    /// across reps).
+    pub report: ConformanceReport,
+}
+
+/// Times the snapshot/replay sweep (best of `reps`, recording cost
+/// included) against a cold-harness baseline extrapolated from
+/// `cold_samples` evenly spaced sites simulated from cycle 0 — the
+/// evidence behind the campaign-throughput gate in `scripts/verify.sh`.
+pub fn bench_throughput(
+    abbr: &str,
+    scheme: SchemeId,
+    budget: u64,
+    reps: u32,
+    cold_samples: u64,
+) -> ThroughputBench {
+    use std::time::Instant;
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let r = run_conformance(abbr, scheme, budget);
+        best = best.min(t.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    let report = report.expect("at least one rep");
+
+    let p = prepare(abbr, scheme);
+    let seq = p.space.sequence(budget);
+    let step = (seq.len() / cold_samples.max(1)).max(1);
+    let cold_positions: Vec<u64> = (0..seq.len()).step_by(step as usize).collect();
+    let t = Instant::now();
+    for &pos in &cold_positions {
+        let _ = run_site(&p, &p.space.site(seq.index_at(pos)));
+    }
+    let cold_wall_s = t.elapsed().as_secs_f64();
+    let cold_sites_timed = cold_positions.len() as u64;
+
+    let forked_sites_per_sec = report.covered as f64 / best.max(1e-9);
+    let cold_sites_per_sec = cold_sites_timed as f64 / cold_wall_s.max(1e-9);
+    ThroughputBench {
+        workload: report.workload,
+        variant: report.variant,
+        covered: report.covered,
+        forked_wall_s: best,
+        forked_sites_per_sec,
+        cold_sites_timed,
+        cold_wall_s,
+        cold_sites_per_sec,
+        speedup: forked_sites_per_sec / cold_sites_per_sec.max(1e-9),
+        report,
+    }
+}
+
+/// Renders a report block: coverage counts, site classes, plus any
+/// reproducers. Deterministic across shard partitions (replay-work
+/// counters are deliberately excluded).
 pub fn render_report(r: &ConformanceReport) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -428,8 +964,18 @@ pub fn render_report(r: &ConformanceReport) -> String {
         r.recovered,
         r.failures.len()
     );
+    let _ = writeln!(
+        out,
+        "       classes: never-fires {}  invisible {}  corrected {}  simulated {} \
+         (spliced {})",
+        r.classes.never_fires,
+        r.classes.invisible,
+        r.classes.corrected_inline,
+        r.classes.simulated,
+        r.classes.spliced
+    );
     for f in &r.failures {
-        let _ = writeln!(out, "  FAIL {:?}: {}", f.injection, f.reason);
+        let _ = writeln!(out, "  FAIL @{} {:?}: {}", f.sample, f.injection, f.reason);
         let _ = writeln!(out, "{}", f.reproducer);
     }
     out
@@ -470,6 +1016,7 @@ mod tests {
         let sites = SPACE.sample(total + 10);
         assert_eq!(sites.len() as u64, total);
         assert_eq!(sites, (0..total).collect::<Vec<_>>());
+        assert!(matches!(SPACE.sequence(total), SiteSeq::Exhaustive(t) if t == total));
     }
 
     #[test]
@@ -491,6 +1038,130 @@ mod tests {
         }
         for bit in 0..7 {
             assert!(injs.iter().any(|i| i.bit == bit), "bit {bit} missed");
+        }
+    }
+
+    #[test]
+    fn sample_is_distinct_for_adversarial_totals() {
+        // Totals whose naive `(total / budget) | 1` stride shares a
+        // factor with the total: odd composites (3·5·7·9·11, powers of
+        // 3), a prime square, and a highly-composite even total. The
+        // gcd search must still yield `budget` distinct sites.
+        let cases: [(FaultSpace, u64); 4] = [
+            // total = 10395 = 3^3·5·7·11; budget 99 → stride 105 | 1 = 105 = 3·5·7.
+            (
+                FaultSpace {
+                    blocks: 3,
+                    warps: 5,
+                    lanes: 7,
+                    triggers: 9,
+                    regs: 11,
+                    bits: 1,
+                },
+                99,
+            ),
+            // total = 3^8 = 6561; budget 243 → stride 27 | 1 = 27 = 3^3.
+            (
+                FaultSpace { blocks: 9, warps: 9, lanes: 9, triggers: 9, regs: 1, bits: 1 },
+                243,
+            ),
+            // total = 169^2 = 28561; budget 169 → stride 169 | 1 = 169 = 13^2.
+            (
+                FaultSpace {
+                    blocks: 169,
+                    warps: 169,
+                    lanes: 1,
+                    triggers: 1,
+                    regs: 1,
+                    bits: 1,
+                },
+                169,
+            ),
+            // total = 2^6·3^4·5^2 = 129600; budget 100 → stride 1297 (prime, but
+            // exercise the even-total path too).
+            (
+                FaultSpace {
+                    blocks: 64,
+                    warps: 81,
+                    lanes: 25,
+                    triggers: 1,
+                    regs: 1,
+                    bits: 1,
+                },
+                100,
+            ),
+        ];
+        for (space, budget) in cases {
+            let total = space.total();
+            let sites = space.sample(budget);
+            assert_eq!(sites.len() as u64, budget, "total {total}");
+            let mut uniq = sites.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len() as u64, budget, "total {total}: stride revisited sites");
+            assert!(sites.iter().all(|&s| s < total), "total {total}: out of range");
+        }
+    }
+
+    #[test]
+    fn site_seq_positions_match_sample() {
+        let budget = 50;
+        let sample = SPACE.sample(budget);
+        let seq = SPACE.sequence(budget);
+        assert_eq!(seq.len(), budget);
+        for (j, &s) in sample.iter().enumerate() {
+            assert_eq!(seq.index_at(j as u64), s);
+        }
+    }
+
+    #[test]
+    fn shard_parse_accepts_and_rejects() {
+        assert_eq!(Shard::parse("0/1").unwrap(), Shard::full());
+        assert_eq!(Shard::parse("2/4").unwrap(), Shard { index: 2, count: 4 });
+        assert!(Shard::parse("4/4").is_err());
+        assert!(Shard::parse("1").is_err());
+        assert!(Shard::parse("a/b").is_err());
+        assert!(Shard::parse("0/0").is_err());
+    }
+
+    #[test]
+    fn shard_partition_is_exact() {
+        let shards: Vec<Shard> = (0..3).map(|i| Shard { index: i, count: 3 }).collect();
+        for pos in 0..100u64 {
+            let owners = shards.iter().filter(|s| s.owns(pos)).count();
+            assert_eq!(owners, 1, "position {pos} owned by {owners} shards");
+        }
+    }
+
+    #[test]
+    fn forked_and_cold_verdicts_agree_on_real_workloads() {
+        // The bench-level face of the determinism contract: for real
+        // workloads, every covered site's verdict through the snapshot
+        // engine equals the cold from-cycle-0 verdict — including the
+        // failing (silent-corruption) sites of an unprotected RF.
+        for (abbr, scheme) in [
+            ("MT", SchemeId::Penny),
+            ("MT", SchemeId::Baseline),
+            ("SGEMM", SchemeId::Penny),
+        ] {
+            let p = prepare(abbr, scheme);
+            let seq = p.space.sequence(144);
+            let mut simulated = 0u32;
+            for pos in 0..seq.len() {
+                let inj = p.space.site(seq.index_at(pos));
+                let cold = run_site(&p, &inj);
+                let forked = match p.recording.site_class(&inj) {
+                    SiteClass::Simulated => {
+                        simulated += 1;
+                        run_site_forked(&p, &inj, 1).verdict
+                    }
+                    // Analytic classes are bit-identical to the recorded
+                    // (verified) run; the cold verdict must agree.
+                    _ => Ok(()),
+                };
+                assert_eq!(cold, forked, "{abbr}/{scheme:?}: verdicts diverge at {inj:?}");
+            }
+            assert!(simulated > 0, "{abbr}/{scheme:?}: sample never simulated");
         }
     }
 

@@ -5,7 +5,9 @@
 //! deliberately small so the suite stays fast; the full-coverage runs
 //! recorded in `EXPERIMENTS.md` use larger budgets in release mode.
 
-use penny_bench::conformance::{render_report, run_conformance};
+use penny_bench::conformance::{
+    merge_reports, render_report, run_conformance, run_conformance_sharded, Shard,
+};
 use penny_bench::SchemeId;
 
 /// Asserts a clean report and returns it (printing coverage counts so
@@ -68,7 +70,15 @@ fn conformance_detects_corruption_on_unprotected_baseline() {
         !r.failures.is_empty(),
         "300 unprotected fault sites produced no corruption — harness is blind"
     );
-    assert_eq!(r.recovered + r.failures.len() as u64, r.covered);
+    // Every failing site counts against recovery; reproducers are a
+    // capped sample of the lowest failing sample positions.
+    let failed = r.covered - r.recovered;
+    assert!(failed >= r.failures.len() as u64);
+    assert!(
+        r.failures.len() <= penny_bench::conformance::MAX_REPORTED_FAILURES,
+        "reproducer cap exceeded"
+    );
+    assert!(r.classes.simulated > 0, "silent corruption requires simulated sites");
     for f in &r.failures {
         assert!(f.reproducer.contains("#[test]"), "{}", f.reproducer);
         assert!(f.reproducer.contains("SchemeId::Baseline"), "{}", f.reproducer);
@@ -77,6 +87,56 @@ fn conformance_detects_corruption_on_unprotected_baseline() {
         penny_bench::conformance::check_site("MT", SchemeId::Baseline, &f.injection)
             .expect_err("shrunk reproducer must still fail");
     }
+}
+
+/// Sharded runs must merge into the unsharded report bit-identically:
+/// same rendered text and same verdict fields, for clean and failing
+/// pairs alike, under different job counts. Replay-work counters are
+/// legitimately shard-dependent and excluded (see
+/// `conformance::ReplayWork`).
+#[test]
+fn sharded_reports_merge_byte_identically() {
+    for (scheme, budget) in [(SchemeId::Penny, 160), (SchemeId::Baseline, 160)] {
+        let full = run_conformance("MT", scheme, budget);
+        for (count, jobs) in [(2u32, 1usize), (3, 4)] {
+            penny_bench::set_jobs(jobs);
+            let shards: Vec<_> = (0..count)
+                .map(|index| {
+                    run_conformance_sharded("MT", scheme, budget, Shard { index, count })
+                })
+                .collect();
+            for s in &shards {
+                assert_eq!(s.shard, (s.shard.0, count));
+                assert!(s.covered > 0, "shard {}/{count} covered nothing", s.shard.0);
+            }
+            let merged = merge_reports(&shards).expect("merge");
+            assert_eq!(render_report(&merged), render_report(&full));
+            assert_eq!(merged.total, full.total);
+            assert_eq!(merged.covered, full.covered);
+            assert_eq!(merged.skipped, full.skipped);
+            assert_eq!(merged.recovered, full.recovered);
+            assert_eq!(merged.classes, full.classes);
+            assert_eq!(merged.failures.len(), full.failures.len());
+            for (m, f) in merged.failures.iter().zip(&full.failures) {
+                assert_eq!(m.sample, f.sample);
+                assert_eq!(m.injection, f.injection);
+                assert_eq!(m.reason, f.reason);
+                assert_eq!(m.reproducer, f.reproducer);
+            }
+            assert_eq!(merged.work.snapshots, full.work.snapshots);
+        }
+        penny_bench::set_jobs(1);
+    }
+
+    // Malformed partitions are rejected.
+    let a =
+        run_conformance_sharded("MT", SchemeId::Penny, 40, Shard { index: 0, count: 2 });
+    assert!(
+        merge_reports(std::slice::from_ref(&a)).is_err(),
+        "missing shard must not merge"
+    );
+    assert!(merge_reports(&[a.clone(), a]).is_err(), "duplicate shard must not merge");
+    assert!(merge_reports(&[]).is_err());
 }
 
 #[test]

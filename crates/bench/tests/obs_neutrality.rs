@@ -170,10 +170,16 @@ fn conformance_verdicts_are_identical_with_global_sink_on_and_off() {
         conformance::render_report(&observed),
         "conformance report differs with the sink installed"
     );
+    // One site span per forked replay group (analytic sites are answered
+    // from the recording without spans), plus one campaign summary span.
     let sites = site_spans.iter().filter(|s| s.kind == SpanKind::Site).count() as u64;
-    assert!(
-        sites >= observed.covered,
-        "expected >= {} site spans, saw {sites}",
-        observed.covered
+    assert_eq!(
+        sites, observed.work.forks,
+        "expected one site span per forked replay group"
     );
+    let campaigns =
+        site_spans.iter().filter(|s| s.kind == SpanKind::Campaign).collect::<Vec<_>>();
+    assert_eq!(campaigns.len(), 1, "expected exactly one campaign span");
+    assert_eq!(campaigns[0].counter("sites"), Some(observed.covered));
+    assert_eq!(campaigns[0].counter("forks"), Some(observed.work.forks));
 }

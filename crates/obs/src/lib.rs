@@ -24,7 +24,10 @@
 //!   conformance run;
 //! * [`SpanKind::Cache`] — one compile-cache stats snapshot
 //!   (`penny_cache::ContentCache` hit/miss/evict/inflight-wait
-//!   counters, reported by `penny-prof`).
+//!   counters, reported by `penny-prof`);
+//! * [`SpanKind::Campaign`] — one whole conformance sweep or fault
+//!   campaign (snapshot/fork/replay aggregates: snapshots taken, forks,
+//!   pages copied, replayed vs. skipped instructions, wall time).
 //!
 //! Spans serialize to JSONL via [`Span::to_jsonl`]; the versioned
 //! schema lives in [`schema`] together with a dependency-free
@@ -50,16 +53,21 @@ pub enum SpanKind {
     Site,
     /// One compile-cache statistics snapshot.
     Cache,
+    /// One whole fault-injection campaign or conformance sweep
+    /// (aggregate snapshot/fork/replay counters plus wall time).
+    Campaign,
 }
 
 impl SpanKind {
-    /// Stable serialized name (`"pass"`, `"sim"`, `"site"`, `"cache"`).
+    /// Stable serialized name (`"pass"`, `"sim"`, `"site"`, `"cache"`,
+    /// `"campaign"`).
     pub fn name(self) -> &'static str {
         match self {
             SpanKind::Pass => "pass",
             SpanKind::Sim => "sim",
             SpanKind::Site => "site",
             SpanKind::Cache => "cache",
+            SpanKind::Campaign => "campaign",
         }
     }
 
@@ -70,6 +78,7 @@ impl SpanKind {
             "sim" => Some(SpanKind::Sim),
             "site" => Some(SpanKind::Site),
             "cache" => Some(SpanKind::Cache),
+            "campaign" => Some(SpanKind::Campaign),
             _ => None,
         }
     }
@@ -305,6 +314,28 @@ pub fn record_site(rec: &dyn Recorder, subject: &str, label: &str, counters: &[C
     });
 }
 
+/// Records a campaign-level span — one whole conformance sweep or
+/// fault campaign, with aggregate snapshot/fork/replay counters and
+/// wall time (no-op when `rec` is disabled).
+pub fn record_campaign(
+    rec: &dyn Recorder,
+    subject: &str,
+    label: &str,
+    timer: SpanTimer,
+    counters: &[Counter],
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.record(Span {
+        kind: SpanKind::Campaign,
+        subject: subject.to_string(),
+        label: label.to_string(),
+        wall_ns: timer.elapsed_ns(),
+        counters: counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+    });
+}
+
 /// Records a compile-cache stats span (counter-only; no-op when `rec`
 /// is disabled).
 pub fn record_cache(rec: &dyn Recorder, subject: &str, label: &str, counters: &[Counter]) {
@@ -356,7 +387,13 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for kind in [SpanKind::Pass, SpanKind::Sim, SpanKind::Site, SpanKind::Cache] {
+        for kind in [
+            SpanKind::Pass,
+            SpanKind::Sim,
+            SpanKind::Site,
+            SpanKind::Cache,
+            SpanKind::Campaign,
+        ] {
             assert_eq!(SpanKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(SpanKind::from_name("bogus"), None);

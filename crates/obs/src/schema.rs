@@ -15,7 +15,7 @@
 //! | field      | type                     | constraint                                |
 //! |------------|--------------------------|-------------------------------------------|
 //! | `v`        | integer                  | must be `1`                               |
-//! | `kind`     | string                   | `"pass"`, `"sim"`, `"site"`, or `"cache"` |
+//! | `kind`     | string                   | `"pass"`, `"sim"`, `"site"`, `"cache"`, or `"campaign"` |
 //! | `subject`  | string                   | non-empty                                 |
 //! | `label`    | string                   | non-empty                                 |
 //! | `wall_ns`  | unsigned integer         |                                           |
@@ -313,6 +313,25 @@ mod tests {
                 ("misses".into(), 25),
                 ("evictions".into(), 0),
                 ("inflight_waits".into(), 3),
+            ],
+        };
+        validate_line(&span.to_jsonl()).unwrap();
+    }
+
+    #[test]
+    fn campaign_spans_validate() {
+        let span = Span {
+            kind: SpanKind::Campaign,
+            subject: "MT".into(),
+            label: "Penny".into(),
+            wall_ns: 120_000,
+            counters: vec![
+                ("sites".into(), 2000),
+                ("snapshots".into(), 12),
+                ("forks".into(), 640),
+                ("pages_copied".into(), 64),
+                ("replayed_insts".into(), 9000),
+                ("skipped_insts".into(), 100_000),
             ],
         };
         validate_line(&span.to_jsonl()).unwrap();

@@ -101,6 +101,7 @@ impl LaunchConfig {
 }
 
 /// One thread's context.
+#[derive(Clone)]
 pub struct ThreadCtx {
     /// Register file.
     pub rf: RegFile,
@@ -109,6 +110,7 @@ pub struct ThreadCtx {
 }
 
 /// One resident thread block.
+#[derive(Clone)]
 pub struct BlockCtx {
     /// Linear block index.
     pub index: u32,
@@ -241,14 +243,11 @@ pub fn run_observed(
     Ok(stats)
 }
 
-fn run_mode(
-    config: &GpuConfig,
+/// Validates a launch against its kernel's parameter list.
+pub(crate) fn check_launch(
     protected: &Protected,
     launch: &LaunchConfig,
-    global: &mut GlobalMemory,
-    dense: bool,
-    path: ExecPath,
-) -> Result<RunStats, SimError> {
+) -> Result<(), SimError> {
     if launch.params.len() != protected.kernel.params.len() {
         return Err(SimError::BadLaunch(format!(
             "kernel `{}` takes {} params, launch supplies {}",
@@ -257,10 +256,29 @@ fn run_mode(
             launch.params.len()
         )));
     }
-    let program = match path {
-        ExecPath::Decoded => Program::new(&protected.kernel),
-        ExecPath::Reference => Program::with_reference(&protected.kernel),
-    };
+    Ok(())
+}
+
+/// One entry of the serial wave schedule: the SM it runs on and the
+/// linear block indices resident in it.
+#[derive(Debug, Clone)]
+pub(crate) struct WaveSlot {
+    /// SM index.
+    pub sm: usize,
+    /// Linear block indices resident in this wave.
+    pub blocks: Vec<u32>,
+}
+
+/// The serial wave schedule [`run`] executes: for each SM in order,
+/// the SM's blocks in launch order, chunked by residency. The
+/// snapshot/replay layer re-derives the same schedule to fork
+/// individual waves.
+pub(crate) fn wave_plan(
+    config: &GpuConfig,
+    protected: &Protected,
+    launch: &LaunchConfig,
+    program: &Program,
+) -> Vec<WaveSlot> {
     let regs_per_thread = if protected.stats.regs_per_thread > 0 {
         protected.stats.regs_per_thread
     } else {
@@ -270,29 +288,102 @@ fn run_mode(
     let tpb = launch.dims.threads_per_block();
     let resident =
         config.machine.blocks_per_sm(tpb, regs_per_thread, shared_per_block).max(1);
-
     let total_blocks = launch.dims.blocks();
-    let mut stats = RunStats::default();
-    let mut max_sm_cycles = 0u64;
-    for sm in 0..config.num_sms {
+    let mut waves = Vec::new();
+    for sm in 0..config.num_sms as usize {
         let my_blocks: Vec<u32> =
-            (0..total_blocks).filter(|b| b % config.num_sms == sm).collect();
-        let mut sm_cycles = 0u64;
+            (0..total_blocks).filter(|b| b % config.num_sms == sm as u32).collect();
         for wave in my_blocks.chunks(resident as usize) {
-            let mut engine = SmEngine::new(
-                config, protected, launch, &program, global, wave, dense, path,
-            );
-            let wave_cycles = engine.run_wave(&mut stats)?;
-            sm_cycles += wave_cycles;
+            waves.push(WaveSlot { sm, blocks: wave.to_vec() });
         }
-        max_sm_cycles = max_sm_cycles.max(sm_cycles);
     }
-    stats.cycles = max_sm_cycles;
+    waves
+}
+
+fn run_mode(
+    config: &GpuConfig,
+    protected: &Protected,
+    launch: &LaunchConfig,
+    global: &mut GlobalMemory,
+    dense: bool,
+    path: ExecPath,
+) -> Result<RunStats, SimError> {
+    check_launch(protected, launch)?;
+    let program = match path {
+        ExecPath::Decoded => Program::new(&protected.kernel),
+        ExecPath::Reference => Program::with_reference(&protected.kernel),
+    };
+    let mut stats = RunStats::default();
+    let mut sm_cycles = vec![0u64; config.num_sms as usize];
+    for slot in wave_plan(config, protected, launch, &program) {
+        let mut engine = SmEngine::new(
+            config,
+            protected,
+            launch,
+            &program,
+            global,
+            &slot.blocks,
+            dense,
+            path,
+        );
+        sm_cycles[slot.sm] += engine.run_wave(&mut stats)?;
+    }
+    stats.cycles = sm_cycles.iter().copied().max().unwrap_or(0);
     Ok(stats)
 }
 
+/// Scheduler-visible state of one in-flight wave, captured at the top
+/// of a scheduler cycle (before barrier release). [`SmEngine::capture`]
+/// produces it; [`SmEngine::restore`] reconstructs an engine that
+/// continues bit-identically — the foundation of the snapshot/replay
+/// fault-injection harness in [`crate::snapshot`].
+#[derive(Clone)]
+pub(crate) struct WaveState {
+    /// Resident blocks (registers, shared memory, warps, SIMT stacks).
+    pub blocks: Vec<BlockCtx>,
+    /// Wave-local cycle counter.
+    pub cycle: u64,
+    /// Memory-pipeline busy horizon.
+    pub mem_busy_until: u64,
+    /// Round-robin issue cursor.
+    pub rr_cursor: usize,
+}
+
+/// One retired warp instruction, as seen by a [`WaveTrace`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TraceEvent {
+    /// Wave-local block index.
+    pub bi: usize,
+    /// Warp index within the block.
+    pub wi: usize,
+    /// Program counter of the retired micro-op.
+    pub pc: usize,
+    /// SIMT mask the instruction issued under (guard reads and branch
+    /// predicate reads touch every masked lane).
+    pub mask: u32,
+    /// Lanes whose guard evaluated true (source reads and destination
+    /// writes touch only these).
+    pub active: u32,
+    /// The warp's dynamic instruction index for this retirement (its
+    /// `executed` counter before the increment).
+    pub executed: u64,
+}
+
+/// Passive observer of a wave execution: per-cycle capture opportunity
+/// plus per-instruction retirement events. Implementations must not
+/// perturb execution — the recording run's stats and memory are
+/// required to be bit-identical to an untraced run.
+pub(crate) trait WaveTrace {
+    /// Called at the top of every scheduler cycle, before barrier
+    /// release; `eng` is the state a resumed engine would continue
+    /// from.
+    fn at_cycle(&mut self, eng: &SmEngine<'_>, stats: &RunStats);
+    /// Called after each retired warp instruction (decoded path only).
+    fn on_inst(&mut self, ev: TraceEvent);
+}
+
 /// Per-SM, per-wave execution engine.
-struct SmEngine<'a> {
+pub(crate) struct SmEngine<'a> {
     config: &'a GpuConfig,
     protected: &'a Protected,
     launch: &'a LaunchConfig,
@@ -311,6 +402,11 @@ struct SmEngine<'a> {
     dense: bool,
     /// Which interpreter steps warps.
     path: ExecPath,
+    /// Optional passive observer (recording runs only).
+    trace: Option<&'a mut dyn WaveTrace>,
+    /// Active-lane mask of the most recently executed instruction
+    /// (trace bookkeeping; one word store per instruction).
+    last_active: u32,
     // Reused per-step scratch buffers (allocation-free steady state).
     ready: Vec<(usize, usize)>,
     scratch_srcs: Vec<Vec<u32>>,
@@ -380,6 +476,8 @@ impl<'a> SmEngine<'a> {
             faults_remaining: launch.faults.injections.len(),
             dense,
             path,
+            trace: None,
+            last_active: 0,
             ready: Vec::new(),
             scratch_srcs: Vec::new(),
             scratch_addrs: Vec::new(),
@@ -387,9 +485,97 @@ impl<'a> SmEngine<'a> {
         }
     }
 
-    fn run_wave(&mut self, stats: &mut RunStats) -> Result<u64, SimError> {
+    /// A decoded-path engine for one wave, optionally traced — the
+    /// constructor the snapshot/replay layer drives directly.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn for_wave(
+        config: &'a GpuConfig,
+        protected: &'a Protected,
+        launch: &'a LaunchConfig,
+        program: &'a Program,
+        global: &'a mut GlobalMemory,
+        wave: &[u32],
+        trace: Option<&'a mut dyn WaveTrace>,
+    ) -> SmEngine<'a> {
+        let mut eng = SmEngine::new(
+            config,
+            protected,
+            launch,
+            program,
+            global,
+            wave,
+            false,
+            ExecPath::Decoded,
+        );
+        eng.trace = trace;
+        eng
+    }
+
+    /// Reconstructs a decoded-path engine from captured wave state. The
+    /// engine continues bit-identically to the one that was captured,
+    /// except that `launch`'s fault plan starts unapplied (the whole
+    /// point of forking a wave: replay it with a new injection).
+    pub(crate) fn restore(
+        config: &'a GpuConfig,
+        protected: &'a Protected,
+        launch: &'a LaunchConfig,
+        program: &'a Program,
+        global: &'a mut GlobalMemory,
+        state: &WaveState,
+    ) -> SmEngine<'a> {
+        SmEngine {
+            config,
+            protected,
+            launch,
+            program,
+            global,
+            blocks: state.blocks.clone(),
+            cycle: state.cycle,
+            mem_busy_until: state.mem_busy_until,
+            rr_cursor: state.rr_cursor,
+            faults_applied: vec![false; launch.faults.injections.len()],
+            faults_remaining: launch.faults.injections.len(),
+            dense: false,
+            path: ExecPath::Decoded,
+            trace: None,
+            last_active: 0,
+            ready: Vec::new(),
+            scratch_srcs: Vec::new(),
+            scratch_addrs: Vec::new(),
+            scratch_segs: Vec::new(),
+        }
+    }
+
+    /// Captures the scheduler-visible wave state (valid at the top of a
+    /// cycle, i.e. from [`WaveTrace::at_cycle`]).
+    pub(crate) fn capture(&self) -> WaveState {
+        WaveState {
+            blocks: self.blocks.clone(),
+            cycle: self.cycle,
+            mem_busy_until: self.mem_busy_until,
+            rr_cursor: self.rr_cursor,
+        }
+    }
+
+    /// The global memory this wave reads and writes.
+    pub(crate) fn global(&self) -> &GlobalMemory {
+        self.global
+    }
+
+    /// The resident blocks (for trace-side warp inspection).
+    pub(crate) fn blocks(&self) -> &[BlockCtx] {
+        &self.blocks
+    }
+
+    pub(crate) fn run_wave(&mut self, stats: &mut RunStats) -> Result<u64, SimError> {
         let cycle_limit = self.config.cycle_limit;
         loop {
+            if self.trace.is_some() {
+                if let Some(t) = self.trace.take() {
+                    t.at_cycle(self, stats);
+                    self.trace = Some(t);
+                }
+            }
             self.release_barriers(stats);
             // One pass over all warps gathers both the ready set for
             // this cycle and the earliest wake-up among stalled warps,
@@ -585,8 +771,23 @@ impl<'a> SmEngine<'a> {
         match result {
             Ok(()) => {
                 let warp = &mut self.blocks[bi].warps[wi];
+                let executed = warp.executed;
                 warp.executed += 1;
                 stats.warp_instructions += 1;
+                if self.trace.is_some() {
+                    let ev = TraceEvent {
+                        bi,
+                        wi,
+                        pc: flow.pc,
+                        mask: flow.mask,
+                        active: self.last_active,
+                        executed,
+                    };
+                    if let Some(t) = self.trace.take() {
+                        t.on_inst(ev);
+                        self.trace = Some(t);
+                    }
+                }
                 Ok(())
             }
             Err(StepFault::Detected) => {
@@ -607,12 +808,14 @@ impl<'a> SmEngine<'a> {
     ) -> Result<(), StepFault> {
         match d.kind {
             DKind::Ret => {
+                self.last_active = 0;
                 let warp = &mut self.blocks[bi].warps[wi];
                 warp.exited |= flow.mask;
                 warp.set_pc(flow.reconv); // force a pop on next flow query
                 Ok(())
             }
             DKind::Jump { target } => {
+                self.last_active = 0;
                 let warp = &mut self.blocks[bi].warps[wi];
                 warp.set_pc(target);
                 warp.stall_until = self.cycle + self.config.lat_alu as u64;
@@ -621,6 +824,7 @@ impl<'a> SmEngine<'a> {
             DKind::Branch { pred, negated, then_pc, else_pc, reconv } => {
                 // Phase 1: read the predicate for every lane (detections
                 // fire before any control-state change).
+                self.last_active = flow.mask;
                 let base = self.blocks[bi].warps[wi].base_thread as usize;
                 let mut taken = 0u32;
                 for lane in 0..32 {
@@ -673,6 +877,7 @@ impl<'a> SmEngine<'a> {
         let nsrcs = d.nsrcs as usize;
         // ---- Phase 1: gather operands (and guards) for all lanes. ----
         let mut lane_active = [false; 32];
+        let mut active_mask = 0u32;
         let mut lane_srcs = [[0u32; penny_ir::MAX_SRCS]; 32];
         for lane in 0..width as usize {
             if flow.mask & (1 << lane) == 0 {
@@ -686,6 +891,7 @@ impl<'a> SmEngine<'a> {
                 }
             }
             lane_active[lane] = true;
+            active_mask |= 1 << lane;
             let (slots, srcs) = (&mut lane_srcs[lane][..nsrcs], &d.srcs[..nsrcs]);
             for (slot, &src) in slots.iter_mut().zip(srcs) {
                 *slot = match src {
@@ -698,6 +904,8 @@ impl<'a> SmEngine<'a> {
                 };
             }
         }
+
+        self.last_active = active_mask;
 
         // ---- Phase 2: effects. ----
         let active_count = lane_active.iter().filter(|&&a| a).count() as u64;

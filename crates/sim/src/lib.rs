@@ -53,6 +53,7 @@ pub mod memory;
 pub mod program;
 pub mod recovery;
 pub mod regfile;
+pub mod snapshot;
 pub mod warp;
 
 use std::error::Error;
@@ -64,6 +65,7 @@ pub use fault::{FaultPlan, Injection};
 pub use memory::{GlobalMemory, SharedMemory};
 pub use program::{DKind, DSrc, DecodedInst, Program, NO_REG};
 pub use regfile::{ReadOutcome, RegFile, RfStats};
+pub use snapshot::{EngineSnapshot, Recording, RecordingCounters, SiteClass, SiteRun};
 
 /// Simulation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -7,22 +7,45 @@
 //! checkpoints there — so injected faults only ever target the RF.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Words per page.
 const PAGE_WORDS: usize = 1024;
 
 /// Sparse global memory (word-addressable via byte addresses).
 ///
-/// `PartialEq` compares both contents and access counters, so equality
-/// means two runs touched memory identically — the property the
-/// decoded-vs-reference determinism tests pin.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Pages are reference-counted so [`GlobalMemory::fork`] is O(pages)
+/// pointer copies: a forked memory shares every page with its parent
+/// and copies one only when a write lands on it (copy-on-write). The
+/// snapshot/replay harness forks the heap once per injection site, so
+/// a fork must cost O(dirty pages), not O(heap).
+///
+/// `PartialEq` compares contents and access counters (but not the
+/// copy-on-write bookkeeping), so equality means two runs touched
+/// memory identically — the property the decoded-vs-reference
+/// determinism tests pin.
+#[derive(Debug, Clone, Default)]
 pub struct GlobalMemory {
-    pages: HashMap<u32, Box<[u32; PAGE_WORDS]>>,
+    pages: HashMap<u32, Arc<[u32; PAGE_WORDS]>>,
     /// Read/write counters (for statistics).
     pub reads: u64,
     /// Write counter.
     pub writes: u64,
+    /// Pages copied by writes to shared (forked) pages since this
+    /// memory was created or forked. Observability only; excluded from
+    /// `PartialEq`.
+    pages_copied: u64,
+}
+
+impl PartialEq for GlobalMemory {
+    fn eq(&self, other: &GlobalMemory) -> bool {
+        self.reads == other.reads
+            && self.writes == other.writes
+            && self.pages.len() == other.pages.len()
+            && self.pages.iter().all(|(p, pg)| {
+                other.pages.get(p).is_some_and(|o| Arc::ptr_eq(pg, o) || pg == o)
+            })
+    }
 }
 
 impl GlobalMemory {
@@ -53,14 +76,54 @@ impl GlobalMemory {
     pub fn write(&mut self, addr: u32, value: u32) {
         self.writes += 1;
         let (p, o) = Self::page_of(addr);
-        self.pages.entry(p).or_insert_with(|| Box::new([0; PAGE_WORDS]))[o] = value;
+        self.page_mut(p)[o] = value;
+    }
+
+    /// Mutable access to a page, copying it first if it is shared with
+    /// a fork (copy-on-write).
+    fn page_mut(&mut self, p: u32) -> &mut [u32; PAGE_WORDS] {
+        let pg = self.pages.entry(p).or_insert_with(|| Arc::new([0; PAGE_WORDS]));
+        if Arc::strong_count(pg) > 1 {
+            self.pages_copied += 1;
+        }
+        Arc::make_mut(pg)
+    }
+
+    /// Forks this memory: the child shares every page with the parent
+    /// until one of them writes (copy-on-write). Access counters carry
+    /// over (a fork continues the run it was taken from); the child's
+    /// [`GlobalMemory::pages_copied`] starts at zero.
+    pub fn fork(&self) -> GlobalMemory {
+        GlobalMemory {
+            pages: self.pages.clone(),
+            reads: self.reads,
+            writes: self.writes,
+            pages_copied: 0,
+        }
+    }
+
+    /// Pages copied by copy-on-write since creation or the last
+    /// [`GlobalMemory::fork`] that produced this memory.
+    pub fn pages_copied(&self) -> u64 {
+        self.pages_copied
+    }
+
+    /// Contents-only equality (ignores access counters): every word,
+    /// present or implicit zero, must match. Shared (still-forked)
+    /// pages compare by pointer in O(1).
+    pub fn contents_eq(&self, other: &GlobalMemory) -> bool {
+        let zero = |pg: &[u32; PAGE_WORDS]| pg.iter().all(|&w| w == 0);
+        self.pages.iter().all(|(p, pg)| match other.pages.get(p) {
+            Some(o) => Arc::ptr_eq(pg, o) || pg == o,
+            None => zero(pg),
+        }) && other.pages.iter().all(|(p, pg)| self.pages.contains_key(p) || zero(pg))
     }
 
     /// Host-side bulk write of consecutive words.
     pub fn write_slice(&mut self, addr: u32, data: &[u32]) {
         for (i, &w) in data.iter().enumerate() {
             let (p, o) = Self::page_of(addr + (i as u32) * 4);
-            self.pages.entry(p).or_insert_with(|| Box::new([0; PAGE_WORDS]))[o] = w;
+            self.page_mut(p)[o] = w;
         }
     }
 
@@ -200,5 +263,57 @@ mod tests {
         m.read(4);
         assert_eq!(m.writes, 1);
         assert_eq!(m.reads, 2);
+    }
+
+    #[test]
+    fn fork_shares_pages_until_written() {
+        let mut m = GlobalMemory::new();
+        m.write_slice(0x1000, &[1, 2, 3]);
+        m.write(0x8000, 9);
+        let mut f = m.fork();
+        assert_eq!(f.pages_copied(), 0);
+        assert!(f.contents_eq(&m));
+        assert_eq!(f, m, "fork carries counters");
+        // Writing one page in the fork copies exactly that page and
+        // leaves the parent untouched.
+        f.write(0x1000, 42);
+        assert_eq!(f.pages_copied(), 1);
+        assert_eq!(f.peek(0x1000), 42);
+        assert_eq!(m.peek(0x1000), 1, "parent unchanged");
+        assert!(!f.contents_eq(&m));
+        // A second write to the same page copies nothing further.
+        f.write(0x1004, 43);
+        assert_eq!(f.pages_copied(), 1);
+        // The untouched page is still shared (and equal).
+        assert_eq!(f.peek(0x8000), 9);
+    }
+
+    #[test]
+    fn contents_eq_ignores_counters_and_zero_pages() {
+        let mut a = GlobalMemory::new();
+        let mut b = GlobalMemory::new();
+        a.write(0x100, 7);
+        b.write(0x100, 7);
+        b.read(0x100); // counter divergence only
+        assert_ne!(a, b, "PartialEq sees counters");
+        assert!(a.contents_eq(&b), "contents_eq does not");
+        // A page written then zeroed again equals an absent page.
+        a.write(0x9000, 1);
+        a.write(0x9000, 0);
+        assert!(a.contents_eq(&b));
+        assert!(b.contents_eq(&a));
+        a.write(0x9000, 2);
+        assert!(!a.contents_eq(&b));
+        assert!(!b.contents_eq(&a));
+    }
+
+    #[test]
+    fn forked_writes_do_not_leak_into_nonzero_words() {
+        let mut m = GlobalMemory::new();
+        m.write(0x2000, 5);
+        let mut f = m.fork();
+        f.write(0x2004, 6);
+        assert_eq!(m.nonzero_words(), vec![(0x2000, 5)]);
+        assert_eq!(f.nonzero_words(), vec![(0x2000, 5), (0x2004, 6)]);
     }
 }

@@ -1,0 +1,888 @@
+//! Snapshot/replay fault injection: fork each site from a
+//! region-boundary checkpoint instead of re-simulating from cycle 0.
+//!
+//! # The cost model this attacks
+//!
+//! A conformance campaign runs one full kernel per injection site. But
+//! a single-bit RF fault only perturbs execution from the moment the
+//! corrupted register is *observed* — everything before that instant
+//! is bit-identical to the fault-free run, and everything in waves
+//! scheduled before the victim's wave is untouched entirely. This
+//! module records one fault-free run per (workload, scheme) pair —
+//! capturing wave states at region-entry boundaries, per-wave
+//! stats/memory marks, and a per-thread register access trace — and
+//! then answers each site from the cheapest sufficient evidence:
+//!
+//! * **Never-fires** (trigger past the warp's dynamic length, or lane
+//!   beyond the warp width): the site run *is* the recording.
+//! * **Invisible** (first access of the victim register at or after
+//!   the trigger is a write, or there is none): the flip is
+//!   overwritten before any read observes it — `RegFile::write`
+//!   re-encodes obliviously — so the site run is again bit-identical
+//!   to the recording.
+//! * **Corrected-inline** (first access is a read under SECDED ECC):
+//!   the decode corrects and scrubs the word back to its exact
+//!   fault-free encoding with no timing penalty; the outcome is the
+//!   recording plus one `corrected` and one `decoded_reads` count.
+//! * **Simulate** (first access is a read under parity EDC or an
+//!   unprotected RF): detection/corruption genuinely perturbs the
+//!   run. The site forks the victim's wave from the latest recorded
+//!   snapshot whose victim-warp progress has not yet passed the first
+//!   read, replays that wave honestly, and — when the wave ends with
+//!   global-memory contents equal to the recorded wave-end mark —
+//!   splices the recorded remainder instead of re-simulating it.
+//!
+//! # Determinism contract
+//!
+//! A forked site run is **bit-identical** to a from-scratch run of the
+//! same injection: verdict, [`RunStats`], and memory contents. The
+//! classification shortcuts rest on three engine invariants pinned by
+//! tests: a register write re-encodes and clears the dirty bit without
+//! looking at the old word; a single-bit EDC fault always reads as
+//! `Detected` (the corrupted value is never architecturally observed,
+//! so the outcome is independent of which bit flipped); and a
+//! single-bit SECDED read always corrects inline and scrubs. The fork
+//! shortcut rests on snapshots being taken at scheduler-cycle
+//! boundaries of a deterministic engine: resuming a captured wave
+//! state replays the identical cycle stream.
+//!
+//! Global memory is forked copy-on-write ([`GlobalMemory::fork`]), so
+//! each site pays O(pages it actually dirties), not O(heap).
+
+use std::collections::HashMap;
+
+use penny_core::Protected;
+use penny_ir::RegionId;
+
+use crate::config::{GpuConfig, RfProtection};
+use crate::engine::{
+    check_launch, wave_plan, LaunchConfig, RunStats, SmEngine, TraceEvent, WaveState,
+    WaveTrace,
+};
+use crate::fault::{FaultPlan, Injection};
+use crate::memory::GlobalMemory;
+use crate::program::{DKind, DSrc, Program, NO_REG};
+use crate::{Gpu, SimError};
+
+/// Per-wave snapshot cap; when a wave crosses more region boundaries
+/// than this, the recorder thins to every other snapshot and doubles
+/// its minimum capture gap.
+const MAX_SNAPS_PER_WAVE: usize = 64;
+
+/// How an injection site was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteClass {
+    /// The injection never fires (trigger past the warp's dynamic
+    /// length, lane beyond the warp width, or register out of range).
+    NeverFires,
+    /// The flip fires but is overwritten before any read observes it.
+    Invisible,
+    /// The first observation is a read under SECDED ECC: corrected
+    /// inline and scrubbed, with no downstream effect.
+    CorrectedInline,
+    /// The first observation is a read under parity EDC or an
+    /// unprotected RF; the wave was forked and replayed.
+    Simulated,
+}
+
+impl SiteClass {
+    /// Stable short name (for span counters and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteClass::NeverFires => "never_fires",
+            SiteClass::Invisible => "invisible",
+            SiteClass::CorrectedInline => "corrected_inline",
+            SiteClass::Simulated => "simulated",
+        }
+    }
+}
+
+/// Outcome of one site run answered from a [`Recording`].
+#[derive(Debug, Clone)]
+pub struct SiteRun {
+    /// Final launch statistics — bit-identical to a from-scratch run.
+    pub stats: RunStats,
+    /// Final global memory (copy-on-write fork).
+    pub global: GlobalMemory,
+    /// How the site was answered.
+    pub class: SiteClass,
+    /// Whether the injection fired at all.
+    pub fired: bool,
+    /// Whether the recorded run suffix was spliced onto the replayed
+    /// wave (wave-end memory contents matched the recording).
+    pub spliced: bool,
+    /// Wave-local cycle the fork resumed from (0 for wave start or
+    /// un-simulated classes).
+    pub fork_cycle: u64,
+    /// Warp instructions actually re-simulated for this site.
+    pub replayed_insts: u64,
+    /// Global-memory pages copied (COW) during the replay.
+    pub pages_copied: u64,
+}
+
+/// One access of a (lane, register) cell in a warp's dynamic stream.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    /// Dynamic instruction index within the warp.
+    idx: u64,
+    /// Read (`true`) or write; a read-and-write instruction records
+    /// the read first, matching engine phase order.
+    read: bool,
+}
+
+/// The per-warp register access trace of one recording.
+#[derive(Debug)]
+struct WarpTrace {
+    /// Per `(lane, reg)` cell (flattened `lane * num_regs + reg`):
+    /// accesses sorted by dynamic instruction index.
+    accesses: Vec<Vec<Access>>,
+    /// The warp's final dynamic instruction count.
+    final_executed: u64,
+    /// Live lanes.
+    width: u32,
+}
+
+/// One mid-wave checkpoint, captured at a scheduler-cycle boundary
+/// right after some warp crossed a region-entry marker.
+struct Snap {
+    state: WaveState,
+    global: GlobalMemory,
+    stats: RunStats,
+    /// Executed count per resident warp (block-major), for victim
+    /// validity checks.
+    executed: Vec<u64>,
+}
+
+/// One wave of the recorded serial schedule, with enough marks to fork
+/// into it and splice past it.
+struct WaveRec {
+    sm: usize,
+    blocks: Vec<u32>,
+    stats_before: RunStats,
+    stats_after: RunStats,
+    cycles: u64,
+    global_start: GlobalMemory,
+    global_end: GlobalMemory,
+    snaps: Vec<Snap>,
+}
+
+/// Counters describing a recording (for observability spans).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecordingCounters {
+    /// Region-boundary snapshots retained.
+    pub snapshots: u64,
+    /// Warp instructions in the fault-free run (the per-site replay
+    /// savings baseline).
+    pub total_warp_insts: u64,
+}
+
+/// A recorded fault-free run of one (kernel, config, launch) triple:
+/// the substrate conformance forks injection sites from.
+pub struct Recording {
+    protection: RfProtection,
+    num_sms: usize,
+    launch: LaunchConfig,
+    program: Program,
+    waves: Vec<WaveRec>,
+    /// Linear block index -> position in `waves`.
+    block_wave: HashMap<u32, usize>,
+    accesses: HashMap<(u32, u32), WarpTrace>,
+    num_regs: usize,
+    warps_per_block: u32,
+    final_stats: RunStats,
+    final_global: GlobalMemory,
+    counters: RecordingCounters,
+}
+
+/// The wave recorder: captures snapshots on region crossings and
+/// accumulates the register access trace.
+struct WaveRecorder<'p> {
+    program: &'p Program,
+    num_regs: usize,
+    /// Linear block indices of this wave.
+    blocks: Vec<u32>,
+    traces: &'p mut HashMap<(u32, u32), WarpTrace>,
+    snaps: Vec<Snap>,
+    /// Last observed `(snapshot.executed)` per resident warp, to
+    /// detect new region entries.
+    last_entry: Vec<u64>,
+    started: bool,
+    min_gap: u64,
+    last_capture: u64,
+}
+
+impl<'p> WaveRecorder<'p> {
+    fn new(
+        program: &'p Program,
+        blocks: &[u32],
+        num_regs: usize,
+        traces: &'p mut HashMap<(u32, u32), WarpTrace>,
+    ) -> WaveRecorder<'p> {
+        WaveRecorder {
+            program,
+            num_regs,
+            blocks: blocks.to_vec(),
+            traces,
+            snaps: Vec::new(),
+            last_entry: Vec::new(),
+            started: false,
+            min_gap: 1,
+            last_capture: 0,
+        }
+    }
+
+    fn push_access(
+        &mut self,
+        block: u32,
+        warp: u32,
+        lanes: u32,
+        reg: u32,
+        ev_idx: u64,
+        read: bool,
+    ) {
+        if reg == NO_REG || reg as usize >= self.num_regs {
+            return;
+        }
+        let tr = self.traces.get_mut(&(block, warp)).expect("warp trace registered");
+        let mut m = lanes;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            tr.accesses[lane * self.num_regs + reg as usize]
+                .push(Access { idx: ev_idx, read });
+        }
+    }
+}
+
+impl WaveTrace for WaveRecorder<'_> {
+    fn at_cycle(&mut self, eng: &SmEngine<'_>, stats: &RunStats) {
+        if !self.started {
+            // First cycle: register every resident warp's trace slot.
+            self.started = true;
+            for (bi, b) in eng.blocks().iter().enumerate() {
+                for w in &b.warps {
+                    self.traces.insert(
+                        (self.blocks[bi], w.id),
+                        WarpTrace {
+                            accesses: vec![Vec::new(); 32 * self.num_regs],
+                            final_executed: 0,
+                            width: w.width,
+                        },
+                    );
+                    self.last_entry.push(u64::MAX);
+                }
+            }
+            return;
+        }
+        // Detect a region-entry since the previous cycle: some warp's
+        // region snapshot advanced.
+        let mut entered = false;
+        let mut flat = 0usize;
+        for b in eng.blocks() {
+            for w in &b.warps {
+                let cur = w.snapshot.as_ref().map_or(u64::MAX, |s| s.executed);
+                if cur != self.last_entry[flat] {
+                    self.last_entry[flat] = cur;
+                    entered |= w.snapshot.is_some();
+                }
+                flat += 1;
+            }
+        }
+        if !entered {
+            return;
+        }
+        let state = eng.capture();
+        if state.cycle.saturating_sub(self.last_capture) < self.min_gap
+            && !self.snaps.is_empty()
+        {
+            return;
+        }
+        self.last_capture = state.cycle;
+        let executed =
+            eng.blocks().iter().flat_map(|b| b.warps.iter().map(|w| w.executed)).collect();
+        self.snaps.push(Snap {
+            state,
+            global: eng.global().fork(),
+            stats: *stats,
+            executed,
+        });
+        if self.snaps.len() > MAX_SNAPS_PER_WAVE {
+            // Thin: keep every other snapshot, double the capture gap.
+            let mut i = 0usize;
+            self.snaps.retain(|_| {
+                i += 1;
+                i % 2 == 1
+            });
+            self.min_gap *= 2;
+        }
+    }
+
+    fn on_inst(&mut self, ev: TraceEvent) {
+        let block = self.blocks[ev.bi];
+        let warp = {
+            let tr =
+                self.traces.get_mut(&(block, ev.wi as u32)).expect("warp trace registered");
+            tr.final_executed = ev.executed + 1;
+            ev.wi as u32
+        };
+        let d = self.program.decoded[ev.pc];
+        match d.kind {
+            DKind::Branch { pred, .. } => {
+                self.push_access(block, warp, ev.mask, pred, ev.executed, true);
+            }
+            DKind::Ret | DKind::Jump { .. } => {}
+            _ => {
+                if d.guard != NO_REG {
+                    self.push_access(block, warp, ev.mask, d.guard, ev.executed, true);
+                }
+                for &s in &d.srcs[..d.nsrcs as usize] {
+                    if let DSrc::Reg(r) = s {
+                        self.push_access(block, warp, ev.active, r, ev.executed, true);
+                    }
+                }
+                if d.dst != NO_REG {
+                    self.push_access(block, warp, ev.active, d.dst, ev.executed, false);
+                }
+            }
+        }
+    }
+}
+
+/// Fieldwise `base + plus - minus` over every additive counter
+/// (everything except `cycles`, which the caller recomputes from
+/// per-SM wave sums).
+fn stats_splice(mut base: RunStats, plus: &RunStats, minus: &RunStats) -> RunStats {
+    base.instructions += plus.instructions - minus.instructions;
+    base.warp_instructions += plus.warp_instructions - minus.warp_instructions;
+    base.rf.reads += plus.rf.reads - minus.rf.reads;
+    base.rf.writes += plus.rf.writes - minus.rf.writes;
+    base.rf.detected += plus.rf.detected - minus.rf.detected;
+    base.rf.corrected += plus.rf.corrected - minus.rf.corrected;
+    base.rf.decoded_reads += plus.rf.decoded_reads - minus.rf.decoded_reads;
+    base.recoveries += plus.recoveries - minus.recoveries;
+    base.reexec_instructions += plus.reexec_instructions - minus.reexec_instructions;
+    base.global_loads += plus.global_loads - minus.global_loads;
+    base.global_stores += plus.global_stores - minus.global_stores;
+    base.shared_accesses += plus.shared_accesses - minus.shared_accesses;
+    base.barriers += plus.barriers - minus.barriers;
+    base.skipped_cycles += plus.skipped_cycles - minus.skipped_cycles;
+    base
+}
+
+impl Recording {
+    /// Records one fault-free run: wave marks, region-boundary
+    /// snapshots, and the register access trace. The run itself is
+    /// bit-identical to [`crate::engine::run`] (the trace is passive);
+    /// the returned recording answers injection sites via
+    /// [`Recording::run_site`].
+    ///
+    /// `global` is forked, not mutated.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`crate::engine::run`], plus [`SimError::BadLaunch`]
+    /// if the launch carries a fault plan (recordings are fault-free
+    /// by definition).
+    pub fn record(
+        config: &GpuConfig,
+        protected: &Protected,
+        launch: &LaunchConfig,
+        global: &GlobalMemory,
+    ) -> Result<Recording, SimError> {
+        if !launch.faults.is_empty() {
+            return Err(SimError::BadLaunch(
+                "recordings must be fault-free (inject via run_site)".into(),
+            ));
+        }
+        check_launch(protected, launch)?;
+        let program = Program::new(&protected.kernel);
+        let plan = wave_plan(config, protected, launch, &program);
+        let num_regs = program.num_regs.max(1);
+        let mut g = global.fork();
+        let mut stats = RunStats::default();
+        let mut waves = Vec::new();
+        let mut block_wave = HashMap::new();
+        let mut accesses = HashMap::new();
+        let mut sm_cycles = vec![0u64; config.num_sms as usize];
+        for (k, slot) in plan.iter().enumerate() {
+            for &b in &slot.blocks {
+                block_wave.insert(b, k);
+            }
+            let stats_before = stats;
+            let global_start = g.fork();
+            let mut rec =
+                WaveRecorder::new(&program, &slot.blocks, num_regs, &mut accesses);
+            let cycles = {
+                let mut eng = SmEngine::for_wave(
+                    config,
+                    protected,
+                    launch,
+                    &program,
+                    &mut g,
+                    &slot.blocks,
+                    Some(&mut rec),
+                );
+                eng.run_wave(&mut stats)?
+            };
+            sm_cycles[slot.sm] += cycles;
+            waves.push(WaveRec {
+                sm: slot.sm,
+                blocks: slot.blocks.clone(),
+                stats_before,
+                stats_after: stats,
+                cycles,
+                global_start,
+                global_end: g.fork(),
+                snaps: rec.snaps,
+            });
+        }
+        let mut final_stats = stats;
+        final_stats.cycles = sm_cycles.iter().copied().max().unwrap_or(0);
+        let counters = RecordingCounters {
+            snapshots: waves.iter().map(|w| w.snaps.len() as u64).sum(),
+            total_warp_insts: final_stats.warp_instructions,
+        };
+        Ok(Recording {
+            protection: config.rf,
+            num_sms: config.num_sms as usize,
+            launch: launch.clone(),
+            program,
+            waves,
+            block_wave,
+            accesses,
+            num_regs,
+            warps_per_block: launch.dims.threads_per_block().div_ceil(32),
+            final_stats,
+            final_global: g,
+            counters,
+        })
+    }
+
+    /// The fault-free run's statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.final_stats
+    }
+
+    /// The fault-free run's final global memory.
+    pub fn global(&self) -> &GlobalMemory {
+        &self.final_global
+    }
+
+    /// Recording-level counters (snapshots retained, total warp
+    /// instructions).
+    pub fn counters(&self) -> RecordingCounters {
+        self.counters
+    }
+
+    /// Classifies an injection site against the access trace; returns
+    /// the class and, for [`SiteClass::Simulated`], the victim warp's
+    /// dynamic index of the first read that observes the flip.
+    fn classify(&self, inj: &Injection) -> (SiteClass, Option<u64>) {
+        let Some(tr) = self.accesses.get(&(inj.block, inj.warp)) else {
+            return (SiteClass::NeverFires, None);
+        };
+        let t = inj.after_warp_insts;
+        if inj.lane >= tr.width
+            || t >= tr.final_executed
+            || inj.reg as usize >= self.num_regs
+        {
+            return (SiteClass::NeverFires, None);
+        }
+        let cell = &tr.accesses[inj.lane as usize * self.num_regs + inj.reg as usize];
+        let pos = cell.partition_point(|a| a.idx < t);
+        match cell.get(pos) {
+            None => (SiteClass::Invisible, None),
+            Some(a) if !a.read => (SiteClass::Invisible, None),
+            Some(a) => match self.protection {
+                RfProtection::Ecc(_) => (SiteClass::CorrectedInline, Some(a.idx)),
+                _ => (SiteClass::Simulated, Some(a.idx)),
+            },
+        }
+    }
+
+    /// The class of a site, without running it (reporting only).
+    pub fn site_class(&self, inj: &Injection) -> SiteClass {
+        self.classify(inj).0
+    }
+
+    /// For [`SiteClass::Simulated`] sites: the memoization key under
+    /// which two sites provably share a bit-identical outcome. Two
+    /// simulated sites on the same victim cell whose flips are first
+    /// observed by the same read produce the same run: the flip sits
+    /// architecturally unobserved between trigger and first read, and
+    /// under EDC the corrupted value itself is never seen (so the bit
+    /// index is irrelevant; an unprotected RF observes the value, so
+    /// the bit stays in the key).
+    pub fn memo_key(&self, inj: &Injection) -> Option<(u32, u32, u32, u32, u32, u64)> {
+        match self.classify(inj) {
+            (SiteClass::Simulated, Some(j)) => {
+                let bit = match self.protection {
+                    RfProtection::None => inj.bit,
+                    _ => 0,
+                };
+                Some((inj.block, inj.warp, inj.lane, inj.reg, bit, j))
+            }
+            _ => None,
+        }
+    }
+
+    /// Answers one injection site, bit-identically to a from-scratch
+    /// `run` of the same fault plan (see the module-level determinism
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors a from-scratch faulty run would raise
+    /// (e.g. [`SimError::UnrecoverableFault`] under EDC with no
+    /// regions, or [`SimError::CycleLimit`] when a corrupted loop
+    /// bound runs away).
+    pub fn run_site(
+        &self,
+        config: &GpuConfig,
+        protected: &Protected,
+        inj: Injection,
+    ) -> Result<SiteRun, SimError> {
+        let (class, first_read) = self.classify(&inj);
+        let fired = !matches!(class, SiteClass::NeverFires);
+        match class {
+            SiteClass::NeverFires | SiteClass::Invisible => Ok(SiteRun {
+                stats: self.final_stats,
+                global: self.final_global.fork(),
+                class,
+                fired,
+                spliced: false,
+                fork_cycle: 0,
+                replayed_insts: 0,
+                pages_copied: 0,
+            }),
+            SiteClass::CorrectedInline => {
+                let mut stats = self.final_stats;
+                stats.rf.corrected += 1;
+                stats.rf.decoded_reads += 1;
+                Ok(SiteRun {
+                    stats,
+                    global: self.final_global.fork(),
+                    class,
+                    fired: true,
+                    spliced: false,
+                    fork_cycle: 0,
+                    replayed_insts: 0,
+                    pages_copied: 0,
+                })
+            }
+            SiteClass::Simulated => self.simulate_site(
+                config,
+                protected,
+                inj,
+                first_read.expect("simulated sites carry a first-read index"),
+            ),
+        }
+    }
+
+    /// Honest replay of a site whose flip is observed by a read: fork
+    /// the victim wave from the latest valid snapshot, replay it, then
+    /// splice or simulate the remainder.
+    fn simulate_site(
+        &self,
+        config: &GpuConfig,
+        protected: &Protected,
+        inj: Injection,
+        first_read: u64,
+    ) -> Result<SiteRun, SimError> {
+        let k = *self.block_wave.get(&inj.block).expect("victim block is scheduled");
+        let wave = &self.waves[k];
+        let vb = wave
+            .blocks
+            .iter()
+            .position(|&b| b == inj.block)
+            .expect("victim block resident in its wave");
+        let flat = vb * self.warps_per_block as usize + inj.warp as usize;
+        let launch = self.launch.clone().with_faults(FaultPlan::single(inj));
+        // Latest snapshot whose victim-warp progress has not passed the
+        // first read: the flip is unobserved between the trigger and
+        // that read, so applying it at resume time is equivalent to
+        // applying it at the trigger.
+        let snap = wave.snaps.iter().rev().find(|s| s.executed[flat] <= first_read);
+        let (mut stats, mut global, fork_cycle) = match snap {
+            Some(s) => (s.stats, s.global.fork(), s.state.cycle),
+            None => (wave.stats_before, wave.global_start.fork(), 0),
+        };
+        let replay_base = stats.warp_instructions;
+        let faulty_cycles = {
+            let mut eng = match snap {
+                Some(s) => SmEngine::restore(
+                    config,
+                    protected,
+                    &launch,
+                    &self.program,
+                    &mut global,
+                    &s.state,
+                ),
+                None => SmEngine::for_wave(
+                    config,
+                    protected,
+                    &launch,
+                    &self.program,
+                    &mut global,
+                    &wave.blocks,
+                    None,
+                ),
+            };
+            eng.run_wave(&mut stats)?
+        };
+        let mut replayed = stats.warp_instructions - replay_base;
+        // Per-SM cycle sums for the waves up to and including the
+        // (replayed) victim wave; the two branches below account the
+        // suffix waves differently.
+        let mut sm_cycles = vec![0u64; self.num_sms];
+        for w in &self.waves[..k] {
+            sm_cycles[w.sm] += w.cycles;
+        }
+        sm_cycles[wave.sm] += faulty_cycles;
+        if global.contents_eq(&wave.global_end) {
+            // The faulty wave converged back onto the recorded memory
+            // image, so every later wave replays identically: splice
+            // the recorded remainder (stats arithmetic) instead of
+            // simulating it.
+            for w in &self.waves[k + 1..] {
+                sm_cycles[w.sm] += w.cycles;
+            }
+            let pages_copied = global.pages_copied();
+            let stats_final = stats_splice(stats, &self.final_stats, &wave.stats_after);
+            let mut g = self.final_global.fork();
+            g.reads = self.final_global.reads - wave.global_end.reads + global.reads;
+            g.writes = self.final_global.writes - wave.global_end.writes + global.writes;
+            let mut stats = stats_final;
+            stats.cycles = sm_cycles.iter().copied().max().unwrap_or(0);
+            Ok(SiteRun {
+                stats,
+                global: g,
+                class: SiteClass::Simulated,
+                fired: true,
+                spliced: true,
+                fork_cycle,
+                replayed_insts: replayed,
+                pages_copied,
+            })
+        } else {
+            // Divergent memory: simulate the remaining waves honestly.
+            for w in &self.waves[k + 1..] {
+                let before = stats.warp_instructions;
+                let mut eng = SmEngine::for_wave(
+                    config,
+                    protected,
+                    &launch,
+                    &self.program,
+                    &mut global,
+                    &w.blocks,
+                    None,
+                );
+                sm_cycles[w.sm] += eng.run_wave(&mut stats)?;
+                replayed += stats.warp_instructions - before;
+            }
+            stats.cycles = sm_cycles.iter().copied().max().unwrap_or(0);
+            let pages_copied = global.pages_copied();
+            Ok(SiteRun {
+                stats,
+                global,
+                class: SiteClass::Simulated,
+                fired: true,
+                spliced: false,
+                fork_cycle,
+                replayed_insts: replayed,
+                pages_copied,
+            })
+        }
+    }
+}
+
+/// A resumable engine checkpoint, produced by [`Gpu::run_to_region`]:
+/// one wave's scheduler state (warps, SIMT stacks, register files,
+/// shared memory) at a region-entry boundary, plus the copy-on-write
+/// global memory and accumulated statistics of everything executed
+/// before it.
+pub struct EngineSnapshot {
+    wave_index: usize,
+    launch: LaunchConfig,
+    state: WaveState,
+    global: GlobalMemory,
+    stats: RunStats,
+    sm_cycles: Vec<u64>,
+    region: RegionId,
+}
+
+impl EngineSnapshot {
+    /// The region whose entry triggered this checkpoint.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Wave-local cycle of the checkpoint.
+    pub fn cycle(&self) -> u64 {
+        self.state.cycle
+    }
+
+    /// Statistics accumulated up to the checkpoint.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+}
+
+/// Region-stop tracer for [`Gpu::run_to_region`].
+struct RegionStop {
+    target: RegionId,
+    last_entry: Vec<u64>,
+    hit: Option<(WaveState, GlobalMemory, RunStats)>,
+}
+
+impl WaveTrace for RegionStop {
+    fn at_cycle(&mut self, eng: &SmEngine<'_>, stats: &RunStats) {
+        if self.hit.is_some() {
+            return;
+        }
+        if self.last_entry.is_empty() {
+            self.last_entry = eng
+                .blocks()
+                .iter()
+                .flat_map(|b| b.warps.iter().map(|_| u64::MAX))
+                .collect();
+            return;
+        }
+        let mut flat = 0usize;
+        let mut entered = false;
+        for b in eng.blocks() {
+            for w in &b.warps {
+                let cur = w.snapshot.as_ref().map_or(u64::MAX, |s| s.executed);
+                if cur != self.last_entry[flat] {
+                    self.last_entry[flat] = cur;
+                    if w.snapshot.as_ref().is_some_and(|s| s.region == self.target) {
+                        entered = true;
+                    }
+                }
+                flat += 1;
+            }
+        }
+        if entered {
+            self.hit = Some((eng.capture(), eng.global().fork(), *stats));
+        }
+    }
+
+    fn on_inst(&mut self, _ev: TraceEvent) {}
+}
+
+impl Gpu {
+    /// Runs a fault-free launch up to the first entry into `region`
+    /// and returns a checkpoint at that boundary. Device memory is not
+    /// mutated (the run executes on a copy-on-write fork); resume the
+    /// checkpoint — with or without faults — via [`Gpu::resume_from`].
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Gpu::run`]; additionally [`SimError::BadMetadata`]
+    /// if the run completes without ever entering `region`, and
+    /// [`SimError::BadLaunch`] if the launch carries a fault plan
+    /// (inject at resume time instead, so the checkpoint stays
+    /// fault-free).
+    pub fn run_to_region(
+        &self,
+        protected: &Protected,
+        launch: &LaunchConfig,
+        region: RegionId,
+    ) -> Result<EngineSnapshot, SimError> {
+        if !launch.faults.is_empty() {
+            return Err(SimError::BadLaunch(
+                "run_to_region captures fault-free checkpoints; pass faults to resume_from"
+                    .into(),
+            ));
+        }
+        check_launch(protected, launch)?;
+        let program = Program::new(&protected.kernel);
+        let plan = wave_plan(self.config(), protected, launch, &program);
+        let mut global = self.global().fork();
+        let mut stats = RunStats::default();
+        let mut sm_cycles = vec![0u64; self.config().num_sms as usize];
+        for (k, slot) in plan.iter().enumerate() {
+            let mut stop = RegionStop { target: region, last_entry: Vec::new(), hit: None };
+            let cycles = {
+                let mut eng = SmEngine::for_wave(
+                    self.config(),
+                    protected,
+                    launch,
+                    &program,
+                    &mut global,
+                    &slot.blocks,
+                    Some(&mut stop),
+                );
+                eng.run_wave(&mut stats)?
+            };
+            if let Some((state, g, s)) = stop.hit {
+                return Ok(EngineSnapshot {
+                    wave_index: k,
+                    launch: launch.clone(),
+                    state,
+                    global: g,
+                    stats: s,
+                    sm_cycles,
+                    region,
+                });
+            }
+            sm_cycles[slot.sm] += cycles;
+        }
+        Err(SimError::BadMetadata(format!("{region} is never entered by this launch")))
+    }
+
+    /// Resumes a checkpoint to completion, optionally injecting
+    /// `faults`, and returns the final statistics; device memory is
+    /// replaced with the resumed run's final memory (like [`Gpu::run`]).
+    ///
+    /// Determinism contract: for any fault plan whose injections had
+    /// not yet fired at the checkpoint (triggers at or after the
+    /// victim warps' checkpointed progress — e.g. anything inside or
+    /// after the checkpoint's region), the resumed run is bit-identical
+    /// to a from-scratch run of the same plan: same [`RunStats`], same
+    /// memory contents, same errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Gpu::run`].
+    pub fn resume_from(
+        &mut self,
+        protected: &Protected,
+        snap: &EngineSnapshot,
+        faults: FaultPlan,
+    ) -> Result<RunStats, SimError> {
+        let launch = snap.launch.clone().with_faults(faults);
+        check_launch(protected, &launch)?;
+        let program = Program::new(&protected.kernel);
+        let plan = wave_plan(self.config(), protected, &launch, &program);
+        let mut global = snap.global.fork();
+        let mut stats = snap.stats;
+        let mut sm_cycles = snap.sm_cycles.clone();
+        {
+            let mut eng = SmEngine::restore(
+                self.config(),
+                protected,
+                &launch,
+                &program,
+                &mut global,
+                &snap.state,
+            );
+            sm_cycles[plan[snap.wave_index].sm] += eng.run_wave(&mut stats)?;
+        }
+        for slot in &plan[snap.wave_index + 1..] {
+            let mut eng = SmEngine::for_wave(
+                self.config(),
+                protected,
+                &launch,
+                &program,
+                &mut global,
+                &slot.blocks,
+                None,
+            );
+            sm_cycles[slot.sm] += eng.run_wave(&mut stats)?;
+        }
+        stats.cycles = sm_cycles.iter().copied().max().unwrap_or(0);
+        *self.global_mut() = global;
+        Ok(stats)
+    }
+}

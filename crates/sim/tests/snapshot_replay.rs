@@ -1,0 +1,280 @@
+//! Snapshot/replay determinism: every site answered from a
+//! [`Recording`] must be bit-identical to a from-scratch run of the
+//! same injection — stats, memory contents, access counters, and
+//! errors — across all four site classes (never-fires, invisible,
+//! corrected-inline, simulated), and [`Gpu::run_to_region`] /
+//! [`Gpu::resume_from`] must satisfy the same contract.
+
+use penny_coding::Scheme;
+use penny_core::{compile, LaunchDims, PennyConfig, Protection};
+use penny_sim::{
+    FaultPlan, GlobalMemory, Gpu, GpuConfig, Injection, LaunchConfig, Recording,
+    RfProtection, SimError, SiteClass,
+};
+
+const KERNEL: &str = r#"
+    .kernel work .params A B N
+    entry:
+        mov.u32 %r0, %tid.x
+        mov.u32 %r1, %ctaid.x
+        mov.u32 %r2, %ntid.x
+        mad.u32 %r3, %r1, %r2, %r0
+        ld.param.u32 %r4, [A]
+        ld.param.u32 %r5, [B]
+        ld.param.u32 %r6, [N]
+        setp.lt.u32 %p0, %r3, %r6
+        bra %p0, body, exit
+    body:
+        shl.u32 %r7, %r3, 2
+        add.u32 %r8, %r4, %r7
+        add.u32 %r9, %r5, %r7
+        ld.global.u32 %r10, [%r8]
+        mul.u32 %r11, %r10, 3
+        add.u32 %r12, %r11, %r3
+        st.global.u32 [%r9], %r12
+        ld.global.u32 %r13, [%r9]
+        add.u32 %r14, %r13, 1
+        st.global.u32 [%r9], %r14
+        jmp exit
+    exit:
+        ret
+"#;
+
+const A: u32 = 0x1_0000;
+const B: u32 = 0x2_0000;
+const N: u32 = 128;
+
+struct Rig {
+    protected: penny_core::Protected,
+    gpu_config: GpuConfig,
+    launch: LaunchConfig,
+    seeded: GlobalMemory,
+}
+
+fn rig(protection: Protection) -> Rig {
+    let kernel = penny_ir::parse_kernel(KERNEL).expect("parse");
+    let dims = LaunchDims::linear(2, 64);
+    let (cfg, rf) = match protection {
+        Protection::Penny => (PennyConfig::penny(), RfProtection::Edc(Scheme::Parity)),
+        Protection::IGpu => (PennyConfig::igpu(), RfProtection::Ecc(Scheme::Secded)),
+        _ => (PennyConfig::unprotected(), RfProtection::None),
+    };
+    let protected = compile(&kernel, &cfg.with_launch(dims)).expect("compile");
+    let mut seeded = GlobalMemory::new();
+    seeded.write_slice(A, &(0..N).map(|i| i.wrapping_mul(7)).collect::<Vec<u32>>());
+    Rig {
+        protected,
+        gpu_config: GpuConfig::fermi().with_rf(rf),
+        launch: LaunchConfig::new(dims, vec![A, B, N]),
+        seeded,
+    }
+}
+
+/// From-scratch faulty run on a fresh GPU seeded identically.
+fn cold(r: &Rig, plan: FaultPlan) -> Result<(penny_sim::RunStats, GlobalMemory), SimError> {
+    let mut gpu = Gpu::new(r.gpu_config.clone());
+    *gpu.global_mut() = r.seeded.fork();
+    let stats = gpu.run(&r.protected, &r.launch.clone().with_faults(plan))?;
+    Ok((stats, gpu.global().fork()))
+}
+
+/// A small but class-diverse site grid for the 2-block x 2-warp rig.
+fn site_grid() -> Vec<Injection> {
+    let mut sites = Vec::new();
+    for block in 0..4u32 {
+        for warp in 0..2 {
+            for &lane in &[0u32, 5, 31] {
+                for &reg in &[3u32, 9, 10, 13, 40] {
+                    for &bit in &[0u32, 12, 31, 32] {
+                        for &after in &[1u64, 8, 15, 22, 60, 500] {
+                            sites.push(Injection {
+                                block,
+                                warp,
+                                lane,
+                                reg,
+                                bit,
+                                after_warp_insts: after,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sites
+}
+
+fn assert_site_equivalence(protection: Protection) -> [usize; 4] {
+    let r = rig(protection);
+    let rec = Recording::record(&r.gpu_config, &r.protected, &r.launch, &r.seeded)
+        .expect("record");
+
+    // The recording itself must be bit-identical to a plain run.
+    let (plain_stats, plain_global) = cold(&r, FaultPlan::none()).expect("plain run");
+    assert_eq!(*rec.stats(), plain_stats, "recording perturbs the fault-free run");
+    assert_eq!(*rec.global(), plain_global, "recording global diverges");
+
+    let mut class_counts = [0usize; 4];
+    for inj in site_grid() {
+        let forked = rec.run_site(&r.gpu_config, &r.protected, inj);
+        let from_scratch = cold(&r, FaultPlan::single(inj));
+        match (forked, from_scratch) {
+            (Ok(site), Ok((cs, cg))) => {
+                assert_eq!(site.stats, cs, "stats diverge at {inj:?} ({:?})", site.class);
+                assert_eq!(
+                    site.global, cg,
+                    "memory/counters diverge at {inj:?} ({:?})",
+                    site.class
+                );
+                assert_eq!(
+                    site.global.nonzero_words(),
+                    cg.nonzero_words(),
+                    "contents diverge at {inj:?}"
+                );
+                class_counts[match site.class {
+                    SiteClass::NeverFires => 0,
+                    SiteClass::Invisible => 1,
+                    SiteClass::CorrectedInline => 2,
+                    SiteClass::Simulated => 3,
+                }] += 1;
+            }
+            (Err(fe), Err(ce)) => {
+                assert_eq!(fe, ce, "errors diverge at {inj:?}");
+            }
+            (f, c) => panic!(
+                "outcome shape diverges at {inj:?}: forked={:?} cold={:?}",
+                f.map(|s| s.class),
+                c.map(|(s, _)| s.cycles)
+            ),
+        }
+    }
+    class_counts
+}
+
+#[test]
+fn forked_sites_match_cold_runs_under_edc() {
+    let counts = assert_site_equivalence(Protection::Penny);
+    assert!(counts[0] > 0, "grid exercises never-fires sites");
+    assert!(counts[1] > 0, "grid exercises invisible sites");
+    assert_eq!(counts[2], 0, "EDC has no inline correction");
+    assert!(counts[3] > 0, "grid exercises simulated sites");
+}
+
+#[test]
+fn forked_sites_match_cold_runs_under_ecc() {
+    let counts = assert_site_equivalence(Protection::IGpu);
+    assert!(counts[2] > 0, "grid exercises corrected-inline sites");
+    assert_eq!(counts[3], 0, "single-bit faults never simulate under SECDED");
+}
+
+#[test]
+fn forked_sites_match_cold_runs_unprotected() {
+    let counts = assert_site_equivalence(Protection::None);
+    assert!(counts[3] > 0, "grid exercises silent-corruption sites");
+}
+
+#[test]
+fn simulated_sites_include_spliced_and_memoizable_runs() {
+    let r = rig(Protection::Penny);
+    let rec = Recording::record(&r.gpu_config, &r.protected, &r.launch, &r.seeded)
+        .expect("record");
+    let mut spliced = 0u32;
+    let mut replay_savings = false;
+    for inj in site_grid() {
+        if rec.site_class(&inj) != SiteClass::Simulated {
+            continue;
+        }
+        let site = rec.run_site(&r.gpu_config, &r.protected, inj).expect("site");
+        spliced += site.spliced as u32;
+        // The replay must be cheaper than the full recorded run for at
+        // least some sites, or the fork buys nothing.
+        if site.replayed_insts < rec.counters().total_warp_insts {
+            replay_savings = true;
+        }
+        // Memo contract: equal keys imply bit-identical outcomes.
+        let key = rec.memo_key(&inj).expect("simulated sites have memo keys");
+        let twin = Injection { bit: if inj.bit == 0 { 31 } else { 0 }, ..inj };
+        if rec.memo_key(&twin) == Some(key) {
+            let t = rec.run_site(&r.gpu_config, &r.protected, twin).expect("twin");
+            assert_eq!(t.stats, site.stats, "memo twins diverge at {inj:?}");
+            assert_eq!(t.global, site.global, "memo twin memory diverges at {inj:?}");
+        }
+    }
+    assert!(spliced > 0, "EDC recovery restores memory, so splices must occur");
+    assert!(replay_savings, "forked replays never beat the cold cost");
+    assert!(rec.counters().snapshots > 0, "regions must produce snapshots");
+}
+
+#[test]
+fn run_to_region_then_resume_is_bit_identical() {
+    let r = rig(Protection::Penny);
+    assert!(!r.protected.regions.is_empty(), "penny compile forms regions");
+    let region = r.protected.regions[r.protected.regions.len() / 2].id;
+
+    let mut gpu = Gpu::new(r.gpu_config.clone());
+    *gpu.global_mut() = r.seeded.fork();
+    let snap = gpu.run_to_region(&r.protected, &r.launch, region).expect("snapshot");
+    assert_eq!(snap.region(), region);
+    assert!(gpu.global().contents_eq(&r.seeded), "run_to_region must not mutate");
+
+    // Fault-free resume == plain run.
+    let stats = gpu.resume_from(&r.protected, &snap, FaultPlan::none()).expect("resume");
+    let (plain_stats, plain_global) = cold(&r, FaultPlan::none()).expect("plain");
+    assert_eq!(stats, plain_stats);
+    assert_eq!(*gpu.global(), plain_global);
+
+    // Faulty resumes == from-scratch faulty runs, for triggers at or
+    // after the checkpoint (the flip had not yet fired when captured).
+    let mut exercised = 0;
+    for reg in [9u32, 10, 13] {
+        for after in [snap.stats().warp_instructions / 2, 25, 60] {
+            let inj = Injection {
+                block: 0,
+                warp: 0,
+                lane: 3,
+                reg,
+                bit: 7,
+                after_warp_insts: after,
+            };
+            let plan = FaultPlan::single(inj);
+            let resumed = gpu.resume_from(&r.protected, &snap, plan.clone());
+            match (resumed, cold(&r, plan)) {
+                (Ok(rs), Ok((cs, cg))) => {
+                    assert_eq!(rs, cs, "resume stats diverge at {inj:?}");
+                    assert_eq!(*gpu.global(), cg, "resume memory diverges at {inj:?}");
+                    exercised += 1;
+                }
+                (Err(re), Err(ce)) => assert_eq!(re, ce),
+                (a, b) => panic!("shape diverges at {inj:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+    assert!(exercised > 0);
+}
+
+#[test]
+fn recording_and_run_to_region_reject_fault_plans() {
+    let r = rig(Protection::Penny);
+    let inj = Injection { block: 0, warp: 0, lane: 0, reg: 9, bit: 3, after_warp_insts: 5 };
+    let faulty = r.launch.clone().with_faults(FaultPlan::single(inj));
+    assert!(matches!(
+        Recording::record(&r.gpu_config, &r.protected, &faulty, &r.seeded),
+        Err(SimError::BadLaunch(_))
+    ));
+    let gpu = Gpu::new(r.gpu_config.clone());
+    assert!(matches!(
+        gpu.run_to_region(&r.protected, &faulty, r.protected.regions[0].id),
+        Err(SimError::BadLaunch(_))
+    ));
+}
+
+#[test]
+fn run_to_region_reports_unentered_regions() {
+    let r = rig(Protection::Penny);
+    let gpu = Gpu::new(r.gpu_config.clone());
+    let missing = penny_ir::RegionId(9999);
+    assert!(matches!(
+        gpu.run_to_region(&r.protected, &r.launch, missing),
+        Err(SimError::BadMetadata(_))
+    ));
+}

@@ -16,7 +16,12 @@
 #      serial / hit / fresh artifacts fingerprint-identical);
 #   6. the fault-space conformance harness (small default budget):
 #      every covered (instruction × register × bit) site must recover
-#      to the fault-free final memory under each protected scheme;
+#      to the fault-free final memory under each protected scheme,
+#      answered through the snapshot/replay engine; plus the
+#      snapshot-equivalence suite (forked sites bit-identical to
+#      from-scratch runs) and the campaign-throughput gate
+#      (snapshot-vs-cold site throughput >= 20x, best of 3, written to
+#      BENCH_eval.json);
 #   7. the observability layer: penny-prof over all 25 workloads with
 #      every emitted JSONL span schema-validated, plus the neutrality
 #      suite (figures/BENCH/conformance byte-identical with the
@@ -54,8 +59,15 @@ cargo test --release -p penny-sim --test decoded_equivalence
 echo "==> determinism: compile-cache service (fingerprint identity)"
 cargo test --release -p penny-bench --test cache_service
 
+echo "==> conformance: snapshot-equivalence suite (forked == cold)"
+cargo test --release -p penny-sim --test snapshot_replay
+
 echo "==> conformance: fault-space recovery harness"
 cargo test -q -p penny-bench conformance
+
+echo "==> conformance: campaign throughput gate (>= 20x vs cold)"
+cargo run -q --release -p penny-bench --bin penny-eval -- \
+    conformance --bench-json --min-speedup 20
 
 echo "==> observability: span schema + neutrality"
 cargo run -q --release -p penny-bench --bin penny-prof -- --all-workloads --json --check > /dev/null
