@@ -77,7 +77,7 @@ fn main() {
 
     let mut targets: Vec<Target> = Vec::new();
     if all_workloads {
-        for w in penny_workloads::all() {
+        for w in penny_workloads::all_with_corpus() {
             let kernel =
                 w.kernel().unwrap_or_else(|e| die(&format!("workload {}: {e}", w.abbr)));
             targets.push(Target { label: w.abbr.to_string(), kernel, dims: Some(w.dims) });

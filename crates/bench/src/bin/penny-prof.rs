@@ -5,13 +5,16 @@
 //! Usage:
 //!
 //! ```text
-//! penny-prof [--workload ABBR]... [--all-workloads] [--scheme NAME]
-//!            [--jobs N] [--json] [--summary] [--check]
+//! penny-prof [--workload ABBR]... [--all-workloads] [--corpus]
+//!            [--scheme NAME] [--jobs N] [--json] [--summary] [--check]
 //!            [--conformance BUDGET] [--assert-share PASS:PCT]
 //! ```
 //!
 //! * `--workload ABBR` — profile one workload (repeatable);
-//! * `--all-workloads` — profile every registered workload;
+//! * `--all-workloads` — profile every registered paper workload;
+//! * `--corpus` — additionally profile the banked fuzz-regression
+//!   kernels under `corpus/` (opt-in: the evaluation share gates are
+//!   calibrated to the paper's 25 workloads);
 //! * `--scheme NAME` — compiler/RF scheme: `baseline`, `igpu`,
 //!   `bolt-global`, `bolt-auto`, or `penny` (default);
 //! * `--jobs N` — fan the profiles across N harness workers
@@ -238,6 +241,7 @@ fn sim_summary(profiles: &[Profiled]) -> String {
 fn main() {
     let mut abbrs: Vec<String> = Vec::new();
     let mut all = false;
+    let mut corpus = false;
     let mut scheme = SchemeId::Penny;
     let mut jobs: usize = 1;
     let mut json = false;
@@ -253,6 +257,7 @@ fn main() {
                 abbrs.push(args.next().unwrap_or_else(|| die("--workload needs an ABBR")))
             }
             "--all-workloads" => all = true,
+            "--corpus" => corpus = true,
             "--scheme" => {
                 scheme = parse_scheme(
                     &args.next().unwrap_or_else(|| die("--scheme needs a NAME")),
@@ -309,13 +314,13 @@ fn main() {
         json = true; // JSONL is the default output
     }
 
-    let workloads: Vec<Workload> = if all {
+    let mut workloads: Vec<Workload> = if all {
         if !abbrs.is_empty() {
             die("--all-workloads conflicts with --workload");
         }
         penny_workloads::all()
-    } else if abbrs.is_empty() {
-        die("nothing to profile: pass --workload ABBR or --all-workloads")
+    } else if abbrs.is_empty() && !corpus {
+        die("nothing to profile: pass --workload ABBR, --all-workloads, or --corpus")
     } else {
         abbrs
             .iter()
@@ -325,6 +330,11 @@ fn main() {
             })
             .collect()
     };
+    // Banked fuzz kernels are opt-in: the evaluation pass-share gates
+    // are calibrated to the paper's 25 workloads.
+    if corpus {
+        workloads.extend(penny_workloads::corpus::corpus().iter().cloned());
+    }
 
     penny_bench::set_jobs(jobs);
     // Fan the (workload, config) profiles across the parallel harness;

@@ -63,7 +63,7 @@ pub fn compiled_with(
     cfg: &PennyConfig,
     rec: &dyn Recorder,
 ) -> Arc<Protected> {
-    let source = (w.source)();
+    let source = w.source_text();
     let key = compile_key(&source, cfg);
     compiled_cache().get_or_compute(key, || {
         let kernel = w.kernel().unwrap_or_else(|e| panic!("{}: parse: {e}", w.abbr));
@@ -88,7 +88,7 @@ pub fn compile_batch(pairs: &[(Workload, PennyConfig)]) -> Vec<Arc<Protected>> {
 pub fn baseline(w: &Workload, base: &GpuConfig) -> Measured {
     let gpu = base.clone().with_rf(SchemeId::Baseline.rf());
     let mut h = Fnv64::new();
-    h.write_str(&(w.source)());
+    h.write_str(&w.source_text());
     gpu.fingerprint(&mut h);
     let m = baseline_cache()
         .get_or_compute(h.finish(), || run_workload(w, &SchemeId::Baseline.config(), &gpu));

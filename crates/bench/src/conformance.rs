@@ -382,6 +382,13 @@ pub fn prewarm(pairs: &[(&str, SchemeId)]) {
 fn prepare(abbr: &str, scheme: SchemeId) -> Prepared {
     let workload =
         penny_workloads::by_abbr(abbr).unwrap_or_else(|| panic!("unknown workload {abbr}"));
+    prepare_workload(workload, scheme)
+}
+
+/// [`prepare`] for a workload value that need not be in the registry —
+/// the entry point `penny-fuzz` uses for freshly generated kernels.
+fn prepare_workload(workload: Workload, scheme: SchemeId) -> Prepared {
+    let abbr = workload.abbr;
     // Validator on: every kernel the harness touches is invariant-checked.
     // The compile goes through the content-addressed service cache, so
     // repeated prepares of one (workload, scheme) — `run_conformance`
@@ -640,6 +647,34 @@ pub fn run_conformance(abbr: &str, scheme: SchemeId, budget: u64) -> Conformance
     run_conformance_sharded(abbr, scheme, budget, Shard::full())
 }
 
+/// [`run_conformance`] for a workload value that need not be in the
+/// registry. The workload's `abbr` must be `'static` (fuzz-generated
+/// workloads leak their names, which is bounded by the iteration
+/// count).
+pub fn run_conformance_for(
+    workload: &Workload,
+    scheme: SchemeId,
+    budget: u64,
+) -> ConformanceReport {
+    run_prepared(prepare_workload(workload.clone(), scheme), scheme, budget, Shard::full())
+}
+
+/// [`check_site`] for a workload value that need not be in the
+/// registry.
+///
+/// # Errors
+///
+/// Returns the mismatch/simulator-error description when the site does
+/// not recover to the fault-free final memory.
+pub fn check_site_for(
+    workload: &Workload,
+    scheme: SchemeId,
+    inj: &Injection,
+) -> Result<(), String> {
+    let p = prepare_workload(workload.clone(), scheme);
+    run_site(&p, inj)
+}
+
 /// Runs one shard of the conformance harness: only sample positions
 /// `pos % shard.count == shard.index` are covered. Reports from all
 /// shards [`merge_reports`] into the unsharded report bit-identically
@@ -650,9 +685,19 @@ pub fn run_conformance_sharded(
     budget: u64,
     shard: Shard,
 ) -> ConformanceReport {
+    run_prepared(prepare(abbr, scheme), scheme, budget, shard)
+}
+
+/// The shared conformance body: classification, forked replays, and
+/// verdicts for an already-[`prepare`]d (workload, scheme) pair.
+fn run_prepared(
+    p: Prepared,
+    scheme: SchemeId,
+    budget: u64,
+    shard: Shard,
+) -> ConformanceReport {
     let rec = crate::obs::recorder();
     let timer = penny_obs::SpanTimer::start(rec.as_ref());
-    let p = prepare(abbr, scheme);
     let workload = p.workload.abbr;
     let total = p.space.total();
     let seq = p.space.sequence(budget);

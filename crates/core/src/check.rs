@@ -122,6 +122,52 @@ pub fn check_lint(
     Err(crate::CompileError::Lint(joined))
 }
 
+/// Checks that no instruction reads a register between an atomic and
+/// the region marker that follows it (the atomic-replay window).
+///
+/// Recovery rolls a warp back to its *current* region snapshot. Region
+/// formation places a boundary right after every atomic so a rollback
+/// never replays its read-modify-write — but only if no parity-checked
+/// register read can fire inside the atomic-to-marker window. Checkpoint
+/// hoisting ([`crate::checkpoint::hoist_ckpts_above_atomics`]) clears
+/// the window of everything except a checkpoint of the atomic's own
+/// result, which cannot be saved before the value exists: such kernels
+/// are rejected here, because a detection at that store would replay a
+/// non-idempotent memory update.
+///
+/// Run on the final lowered kernel, unconditionally (this is a
+/// soundness precondition of the recovery runtime, not a debug check).
+///
+/// # Errors
+///
+/// Returns a message naming the atomic and the offending read.
+pub fn check_atomic_windows(kernel: &Kernel) -> Result<(), String> {
+    for b in kernel.block_ids() {
+        let insts = &kernel.block(b).insts;
+        for (i, inst) in insts.iter().enumerate() {
+            if !matches!(inst.op, penny_ir::Op::Atom(..)) {
+                continue;
+            }
+            for later in &insts[i + 1..] {
+                if later.region_entry().is_some() {
+                    break;
+                }
+                let reads_reg = later.guard.is_some()
+                    || later.srcs.iter().any(|s| matches!(s, penny_ir::Operand::Reg(_)));
+                if reads_reg {
+                    return Err(format!(
+                        "register read ({}) between atomic {} and its region \
+                         boundary: a detection there would replay the atomic",
+                        later.op.mnemonic(),
+                        inst.op.mnemonic()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Checks invariants 1–3 on an instrumented kernel: region markers and
 /// checkpoint pseudo-ops present, pruning not yet applied.
 ///

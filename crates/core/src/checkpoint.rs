@@ -204,6 +204,52 @@ pub fn insert_checkpoints(kernel: &mut Kernel, placements: &[Placement]) -> Vec<
     ids
 }
 
+/// Hoists checkpoint pseudo-ops that landed between an atomic and the
+/// region marker following it to just before the atomic.
+///
+/// Region formation places a boundary immediately after every atomic,
+/// but boundary-anchored checkpoint placement then inserts `cp` ops in
+/// that window. Lowered checkpoint stores read registers, and a parity
+/// detection on such a read rolls the warp back to the *previous*
+/// marker — replaying the atomic's read-modify-write, which is not
+/// idempotent. Any checkpointed value defined before the atomic can be
+/// saved before it instead (the atomic writes no register other than
+/// its own destination), closing the window. A checkpoint of the
+/// atomic's own result cannot move and is rejected later by
+/// [`crate::check::check_atomic_windows`].
+///
+/// Returns the number of checkpoints moved.
+pub fn hoist_ckpts_above_atomics(kernel: &mut Kernel) -> u32 {
+    let mut moved = 0u32;
+    for b in kernel.block_ids().collect::<Vec<_>>() {
+        let insts = &mut kernel.block_mut(b).insts;
+        let mut i = 0;
+        while i < insts.len() {
+            if !matches!(insts[i].op, Op::Atom(..)) {
+                i += 1;
+                continue;
+            }
+            let atom_dst = insts[i].dst;
+            let mut j = i + 1;
+            while j < insts.len() && insts[j].op.is_pseudo() {
+                let cp_reg = match insts[j].srcs.first() {
+                    Some(&penny_ir::Operand::Reg(r)) => Some(r),
+                    _ => None,
+                };
+                if cp_reg.is_some() && cp_reg != atom_dst {
+                    let cp = insts.remove(j);
+                    insts.insert(i, cp);
+                    moved += 1;
+                    i += 1; // the atomic shifted right
+                }
+                j += 1;
+            }
+            i += 1;
+        }
+    }
+    moved
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +416,94 @@ mod tests {
             });
             assert!(covered, "edge {e:?} uncovered");
         }
+    }
+
+    /// Kernel with an atomic followed by its region boundary, plus a
+    /// checkpoint parked in the window between them.
+    fn atomic_window_kernel(cp_reg: &str) -> Kernel {
+        let k = parse_kernel(&format!(
+            r#"
+            .kernel a .params H
+            entry:
+                ld.param.u32 %r0, [H]
+                mov.u32 %r1, 7
+                atom.global.add.u32 %r2, [%r0], 1
+                cp {cp_reg}
+                region R1
+                add.u32 %r3, %r1, 1
+                st.global.u32 [%r0], %r3
+                ret
+        "#
+        ))
+        .expect("parse");
+        // The parse keeps the hand-written marker; no form_regions here
+        // so the window layout stays exactly as written.
+        penny_ir::validate(&k).expect("valid");
+        k
+    }
+
+    #[test]
+    fn hoist_moves_window_checkpoint_above_the_atomic() {
+        let mut k = atomic_window_kernel("%r1");
+        let moved = hoist_ckpts_above_atomics(&mut k);
+        assert_eq!(moved, 1);
+        let insts = &k.block(penny_ir::BlockId(0)).insts;
+        let atom = insts.iter().position(|i| matches!(i.op, Op::Atom(..))).expect("atom");
+        let cp = insts.iter().position(|i| i.is_ckpt()).expect("cp");
+        assert!(cp < atom, "checkpoint must precede the atomic");
+        // And nothing remains in the atom-to-marker window.
+        crate::check::check_atomic_windows(&k).expect("window clear");
+    }
+
+    #[test]
+    fn hoist_leaves_checkpoint_of_the_atomics_own_result() {
+        // cp %r2 checkpoints the atomic's destination: its value does
+        // not exist before the atomic, so the hoist must not move it.
+        let mut k = atomic_window_kernel("%r2");
+        let moved = hoist_ckpts_above_atomics(&mut k);
+        assert_eq!(moved, 0);
+        let insts = &k.block(penny_ir::BlockId(0)).insts;
+        let atom = insts.iter().position(|i| matches!(i.op, Op::Atom(..))).expect("atom");
+        let cp = insts.iter().position(|i| i.is_ckpt()).expect("cp");
+        assert!(cp > atom, "checkpoint of the result stays put");
+        // The window check must flag this irreducible hazard.
+        assert!(crate::check::check_atomic_windows(&k).is_err());
+    }
+
+    #[test]
+    fn hoist_handles_multiple_window_checkpoints() {
+        let mut k = parse_kernel(
+            r#"
+            .kernel m .params H
+            entry:
+                ld.param.u32 %r0, [H]
+                mov.u32 %r1, 3
+                mov.u32 %r2, 4
+                atom.global.add.u32 %r3, [%r0], 1
+                cp %r1
+                cp %r3
+                cp %r2
+                region R1
+                add.u32 %r4, %r1, %r2
+                st.global.u32 [%r0], %r4
+                ret
+        "#,
+        )
+        .expect("parse");
+        let moved = hoist_ckpts_above_atomics(&mut k);
+        // %r1 and %r2 hoist; %r3 (the atomic's result) cannot.
+        assert_eq!(moved, 2);
+        let insts = &k.block(penny_ir::BlockId(0)).insts;
+        let atom = insts.iter().position(|i| matches!(i.op, Op::Atom(..))).expect("atom");
+        let cps: Vec<usize> = insts
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_ckpt())
+            .map(|(idx, _)| idx)
+            .collect();
+        assert_eq!(cps.len(), 3);
+        assert_eq!(cps.iter().filter(|&&c| c < atom).count(), 2);
+        assert_eq!(cps.iter().filter(|&&c| c > atom).count(), 1);
+        penny_ir::validate(&k).expect("still valid");
     }
 }

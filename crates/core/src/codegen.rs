@@ -299,9 +299,14 @@ pub fn local_schedule(kernel: &mut Kernel) {
                 let next = &kernel.block(b).insts[j];
                 if next.region_entry().is_some()
                     || next.def() == Some(reg)
-                    || next.op == Op::Bar
+                    || next.op.is_sync()
                     || next.is_ckpt()
                 {
+                    // Sync ops (bar and atomics) fence scheduling: a
+                    // checkpoint sunk past an atomic would sit between
+                    // it and its region boundary, where a parity
+                    // detection on the store's operands rolls back
+                    // across — and replays — the non-idempotent RMW.
                     break;
                 }
                 target = j;
@@ -418,6 +423,36 @@ mod tests {
         let cp_idx = k.block(b).insts.iter().position(|i| i.is_ckpt()).expect("cp");
         // Must stay before the redefinition of %r0 (idx 3 pre-move).
         assert_eq!(cp_idx, 2, "{:?}", k.block(b).insts);
+    }
+
+    #[test]
+    fn local_schedule_does_not_sink_past_an_atomic() {
+        // Sinking a checkpoint past the atomic would park its lowered
+        // store between the atomic and its region boundary, where a
+        // parity detection replays the non-idempotent RMW.
+        let mut k = parse_kernel(
+            r#"
+            .kernel k .params H
+            entry:
+                ld.param.u32 %r0, [H]
+                mov.u32 %r1, 5
+                cp %r1
+                add.u32 %r2, %r1, 1
+                atom.global.add.u32 %r3, [%r0], 1
+                region R1
+                st.global.u32 [%r0], %r2
+                ret
+        "#,
+        )
+        .expect("parse");
+        local_schedule(&mut k);
+        let b = penny_ir::BlockId(0);
+        let insts = &k.block(b).insts;
+        let cp_idx = insts.iter().position(|i| i.is_ckpt()).expect("cp");
+        let atom_idx =
+            insts.iter().position(|i| matches!(i.op, Op::Atom(..))).expect("atom");
+        assert!(cp_idx < atom_idx, "{insts:?}");
+        crate::check::check_atomic_windows(&k).expect("window clear");
     }
 
     #[test]

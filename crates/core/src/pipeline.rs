@@ -210,6 +210,7 @@ fn compile_checkpointed(
             (eager_placement(&edges), BcpStats::default())
         };
         insert_checkpoints(&mut k, &placements);
+        let hoisted = crate::checkpoint::hoist_ckpts_above_atomics(&mut k);
         record_pass(
             rec,
             subject,
@@ -220,6 +221,7 @@ fn compile_checkpointed(
                 ("placements", placements.len() as u64),
                 ("bcp_augmenting_paths", bcp.augmenting_paths),
                 ("bcp_cover_cost", bcp.cover_cost),
+                ("hoisted_above_atomics", hoisted as u64),
             ],
         );
     }
@@ -411,6 +413,14 @@ fn compile_checkpointed(
         config.low_opts,
     );
     penny_ir::validate(&k).map_err(CompileError::Validate)?;
+    // Soundness precondition of the recovery runtime, checked on the
+    // final lowered code unconditionally: a register read between an
+    // atomic and its region boundary would let a detection replay the
+    // atomic's non-idempotent memory update. Checkpoint hoisting clears
+    // the window for every value defined before the atomic; only a
+    // kernel that needs the atomic's *own result* checkpointed (its
+    // value lives past the boundary) still trips this.
+    crate::check::check_atomic_windows(&k).map_err(CompileError::Unsupported)?;
 
     let pressure = register_pressure(&k) + renamed_defs;
     let stats = CompileStats {

@@ -1,0 +1,66 @@
+//! The banked-corpus replay gate as a cargo test: every kernel
+//! committed under `corpus/` must load as a named workload and pass
+//! the full replay verification — parse, validate, lint, all-scheme
+//! compiles, fault-free and faulted differential runs against the
+//! banked golden output, and a budgeted conformance sweep.
+
+use penny_fuzz::replay_workload;
+use penny_workloads::corpus;
+
+/// Keep the budget modest so the gate stays CI-speed; the standalone
+/// `penny-fuzz --replay` path uses the deeper 2048-site default.
+const CONFORMANCE_BUDGET: u64 = 256;
+
+#[test]
+fn every_banked_kernel_replays_clean() {
+    let entries = corpus::load_dir(&corpus::default_dir()).expect("corpus loads");
+    assert!(
+        entries.len() >= 3,
+        "the seeded corpus holds at least three kernels, found {}",
+        entries.len()
+    );
+    let mut failures = Vec::new();
+    for w in &entries {
+        if let Err(e) = replay_workload(w, CONFORMANCE_BUDGET) {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "corpus replay failures: {failures:#?}");
+}
+
+#[test]
+fn corpus_kernels_surface_as_named_workloads() {
+    let entries = corpus::load_dir(&corpus::default_dir()).expect("corpus loads");
+    let all = penny_workloads::all_with_corpus();
+    for w in &entries {
+        let named = all.iter().find(|c| c.abbr == w.abbr);
+        let named = named.unwrap_or_else(|| {
+            panic!("banked kernel {} missing from all_with_corpus()", w.abbr)
+        });
+        assert_eq!(named.source_text(), w.source_text(), "{}: text drifted", w.abbr);
+        assert_eq!(named.dims, w.dims, "{}: dims drifted", w.abbr);
+    }
+}
+
+#[test]
+fn corpus_entries_round_trip_through_the_renderer() {
+    use penny_workloads::corpus::CorpusEntry;
+    let dir = corpus::default_dir();
+    for entry in std::fs::read_dir(&dir).expect("corpus dir") {
+        let path = entry.expect("dirent").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pir") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read");
+        let parsed =
+            CorpusEntry::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let rendered = parsed.render();
+        let back = CorpusEntry::parse(&rendered).expect("re-parse");
+        assert_eq!(
+            back.render(),
+            rendered,
+            "{}: render/parse do not fix-point",
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Unit tests for the divergence shrinker: synthetic failure
+//! predicates stand in for the gauntlet, so each property is checked
+//! without compiling or simulating anything.
+
+use penny_fuzz::shrink_spec;
+use penny_sim::gen::KernelSpec;
+
+/// A spec with enough structure for every shrink dimension to have
+/// room: a long script, an active barrier surrogate (sparse specs have
+/// none, so use row density), and a wide topology.
+fn big_sparse() -> KernelSpec {
+    KernelSpec::sparse(vec![0, 1, 2, 3, 4, 5, 0, 1, 2, 3], 0xFEED, 12)
+}
+
+fn big_dense() -> KernelSpec {
+    KernelSpec::dense(vec![0, 1, 2, 3, 4, 5, 6, 0, 1, 2], true)
+}
+
+#[test]
+fn shrink_never_grows_and_preserves_the_failure() {
+    let spec = big_sparse();
+    // Failure: script contains op 5 anywhere.
+    let fails = |s: &KernelSpec| s.ops.contains(&5);
+    let min = shrink_spec(&spec, &fails);
+    assert!(fails(&min), "shrinking must preserve the predicate");
+    assert!(min.size() <= spec.size());
+}
+
+#[test]
+fn shrink_reaches_a_local_minimum() {
+    let spec = big_sparse();
+    let fails = |s: &KernelSpec| s.ops.contains(&5);
+    let min = shrink_spec(&spec, &fails);
+    // A single-op script with minimum density is the smallest spec that
+    // can still satisfy "contains op 5".
+    assert_eq!(min.ops, vec![5], "{:?}", min.ops);
+    assert_eq!(min.max_row_nnz, 1);
+}
+
+#[test]
+fn shrink_is_deterministic() {
+    let spec = big_dense();
+    let fails = |s: &KernelSpec| s.ops.iter().filter(|&&o| o == 1).count() >= 2;
+    let a = shrink_spec(&spec, &fails);
+    let b = shrink_spec(&spec, &fails);
+    assert_eq!(a, b, "same spec + same predicate must shrink identically");
+    assert!(fails(&a));
+    assert_eq!(a.ops, vec![1, 1]);
+    assert!(!a.barrier, "barrier is shrink-disabled when irrelevant");
+}
+
+#[test]
+fn shrink_keeps_the_barrier_when_the_failure_needs_it() {
+    let spec = big_dense();
+    let fails = |s: &KernelSpec| s.barrier;
+    let min = shrink_spec(&spec, &fails);
+    assert!(min.barrier);
+    // Everything else still minimizes around the preserved bit. The
+    // half/single-op passes require >= 2 ops, so one op survives.
+    assert!(min.ops.len() <= 1, "{:?}", min.ops);
+}
+
+#[test]
+fn unshrinkable_failure_returns_the_original() {
+    let spec = big_sparse();
+    // Failure holds only for the exact original: every candidate is
+    // strictly smaller, so nothing can replace it.
+    let orig = spec.clone();
+    let fails = move |s: &KernelSpec| *s == orig;
+    let min = shrink_spec(&spec, &fails);
+    assert_eq!(min, spec);
+}
+
+#[test]
+fn shrink_preserves_family_and_topology_seed() {
+    let spec = big_sparse();
+    let fails = |s: &KernelSpec| !s.ops.is_empty();
+    let min = shrink_spec(&spec, &fails);
+    assert_eq!(min.family, spec.family);
+    assert_eq!(min.topo_seed, spec.topo_seed, "shrinking never reseeds topology");
+}

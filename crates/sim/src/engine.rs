@@ -988,6 +988,10 @@ impl<'a> SmEngine<'a> {
                     }
                     addrs.push(addr);
                 }
+                if !addrs.is_empty() {
+                    // The RMW is committed; recovery must not replay it.
+                    self.blocks[bi].warps[wi].atomic_since_snapshot = true;
+                }
                 let lat = self.mem_latency(space, &addrs, true, stats);
                 self.scratch_addrs = addrs;
                 Ok(lat)
@@ -1336,6 +1340,10 @@ impl<'a> SmEngine<'a> {
                     }
                     addrs.push(addr);
                 }
+                if !addrs.is_empty() {
+                    // The RMW is committed; recovery must not replay it.
+                    self.blocks[bi].warps[wi].atomic_since_snapshot = true;
+                }
                 let lat = self.mem_latency(space, &addrs, true, stats);
                 self.scratch_addrs = addrs;
                 Ok(lat)
@@ -1460,6 +1468,17 @@ impl<'a> SmEngine<'a> {
     ) -> Result<(), SimError> {
         stats.recoveries += 1;
         if self.blocks[bi].warps[wi].snapshot.is_none() {
+            return Err(SimError::UnrecoverableFault {
+                kernel: self.program.name.clone(),
+                reg: u32::MAX,
+            });
+        }
+        if self.blocks[bi].warps[wi].atomic_since_snapshot {
+            // Rolling back would replay a committed atomic RMW — a
+            // silent memory corruption, not a recovery. Conforming
+            // kernels never reach this (the compiler rejects register
+            // reads between an atomic and its region boundary); fail
+            // loudly if one slips through.
             return Err(SimError::UnrecoverableFault {
                 kernel: self.program.name.clone(),
                 reg: u32::MAX,

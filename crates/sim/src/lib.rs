@@ -49,6 +49,7 @@ pub mod config;
 pub mod energy;
 pub mod engine;
 pub mod fault;
+pub mod gen;
 pub mod memory;
 pub mod program;
 pub mod recovery;

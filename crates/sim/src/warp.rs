@@ -54,6 +54,13 @@ pub struct Warp {
     pub executed: u64,
     /// Snapshot of the current region's entry.
     pub snapshot: Option<WarpSnapshot>,
+    /// An atomic read-modify-write committed since the last region
+    /// snapshot. Rolling back past it would replay a non-idempotent
+    /// memory update, so recovery refuses instead of corrupting memory
+    /// silently. The compiler's atomic-window check makes this
+    /// unreachable for conforming kernels; the flag is the engine-side
+    /// backstop.
+    pub atomic_since_snapshot: bool,
 }
 
 impl Warp {
@@ -77,6 +84,7 @@ impl Warp {
             at_barrier: false,
             executed: 0,
             snapshot: None,
+            atomic_since_snapshot: false,
         }
     }
 
@@ -114,6 +122,7 @@ impl Warp {
             region,
             executed: self.executed,
         });
+        self.atomic_since_snapshot = false;
     }
 
     /// Rolls the warp back to its region snapshot; returns the region.
@@ -186,6 +195,21 @@ mod tests {
     #[should_panic(expected = "no region snapshot")]
     fn rollback_without_snapshot_panics() {
         Warp::new(0, 0, 32, 0, 10).rollback();
+    }
+
+    #[test]
+    fn region_snapshot_clears_the_atomic_marker() {
+        let mut w = Warp::new(0, 0, 32, 0, 100);
+        w.atomic_since_snapshot = true;
+        w.snapshot_region(RegionId(1));
+        // A fresh region owes nothing to earlier atomics; the recovery
+        // guard must only refuse rollback across RMWs in *this* region.
+        assert!(!w.atomic_since_snapshot);
+        w.atomic_since_snapshot = true;
+        w.rollback();
+        // Rollback does not clear it: after a refused recovery the
+        // executed atomic is still unprotected by the old snapshot.
+        assert!(w.atomic_since_snapshot);
     }
 
     #[test]

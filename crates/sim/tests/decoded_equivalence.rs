@@ -5,144 +5,23 @@
 //! decode). `engine::run_decode_reference` re-interprets the original
 //! `penny_ir` stream and decodes every read. For every generated kernel
 //! — divergent diamonds, loops, guarded instructions, shared memory,
-//! barriers — and every generated fault plan, both paths must agree on
-//! the full [`RunStats`] record (cycles, instruction counts, every
-//! `RfStats` counter, recoveries) and on final memory contents.
+//! barriers, and the sparse CSR family's data-dependent loops and
+//! indirect stores — and every generated fault plan, both paths must
+//! agree on the full [`RunStats`] record (cycles, instruction counts,
+//! every `RfStats` counter, recoveries) and on final memory contents.
+//!
+//! The generator itself lives in [`penny_sim::gen`], shared with the
+//! `penny-fuzz` pipeline.
 
 use proptest::prelude::*;
 
 use penny_core::{compile, LaunchDims, PennyConfig};
-use penny_ir::{Cmp, KernelBuilder, MemSpace, Special, Type};
-use penny_sim::{engine, FaultPlan, GlobalMemory, GpuConfig, RunStats};
+use penny_sim::gen::{build_kernel, run_pair, try_compile, KernelSpec, MemImage};
+use penny_sim::{FaultPlan, GpuConfig};
 
-/// Builds a structured kernel from an op script: a loop whose body is
-/// driven by `ops`, containing a divergent diamond and (op-dependent)
-/// guarded instructions, in-place global updates, and shared-memory
-/// traffic with a barrier.
-fn build_kernel(ops: &[u8], with_barrier: bool) -> penny_ir::Kernel {
-    let mut b = KernelBuilder::new("decgen", &["A", "B"]);
-    b.shared_bytes(256);
-    b.block("entry");
-    let tid = b.special(Special::TidX);
-    let a = b.ld_param("A");
-    let bp = b.ld_param("B");
-    let off = b.shl(Type::U32, tid, 2u32);
-    let addr = b.add(Type::U32, a, off);
-    let out = b.add(Type::U32, bp, off);
-    let v0 = b.ld(MemSpace::Global, Type::U32, addr, 0);
-    // Shared scratch slot for this thread (wraps in 256 bytes).
-    let soff = b.and(Type::U32, off, 0xFCu32);
-    let head = b.block("head");
-    let exit = b.block("exit");
-    let i = b.imm(0);
-    let acc = b.mov(Type::U32, v0);
-    b.jump(head);
-    b.select(head);
-    let mut v = acc;
-    for (j, op) in ops.iter().enumerate() {
-        let c = (j as u32 + 1) | 1;
-        v = match op {
-            0 => b.add(Type::U32, v, c),
-            1 => b.mul(Type::U32, v, c),
-            2 => b.xor(Type::U32, v, i),
-            3 => {
-                // In-place read-modify-write: forces a region cut.
-                let t = b.ld(MemSpace::Global, Type::U32, addr, 0);
-                let u = b.add(Type::U32, t, v);
-                b.st(MemSpace::Global, addr, 0, u);
-                u
-            }
-            4 => {
-                // Guarded update: odd lanes only.
-                let bit = b.and(Type::U32, tid, 1u32);
-                let p = b.setp(Cmp::Eq, Type::U32, bit, 1u32);
-                let shadow = b.mov(Type::U32, v);
-                b.guarded(p, false, |b| {
-                    let u = b.add(Type::U32, v, 17u32);
-                    b.mov_to(Type::U32, shadow, u);
-                });
-                shadow
-            }
-            5 => {
-                // Divergent diamond on the low tid bit.
-                let bit = b.and(Type::U32, tid, 1u32);
-                let p = b.setp(Cmp::Eq, Type::U32, bit, 0u32);
-                let then_ = b.block(format!("then{j}"));
-                let else_ = b.block(format!("else{j}"));
-                let join = b.block(format!("join{j}"));
-                let merged = b.mov(Type::U32, v);
-                b.branch(p, false, then_, else_);
-                b.select(then_);
-                let tv = b.add(Type::U32, v, 3u32);
-                b.mov_to(Type::U32, merged, tv);
-                b.jump(join);
-                b.select(else_);
-                let ev = b.sub(Type::U32, v, 1u32);
-                b.mov_to(Type::U32, merged, ev);
-                b.jump(join);
-                b.select(join);
-                merged
-            }
-            6 => {
-                // Shared-memory round trip.
-                b.st(MemSpace::Shared, soff, 0, v);
-                if with_barrier {
-                    b.bar();
-                }
-                let t = b.ld(MemSpace::Shared, Type::U32, soff, 0);
-                b.or(Type::U32, t, 1u32)
-            }
-            _ => b.shr(Type::U32, v, c % 9),
-        };
-    }
-    b.mov_to(Type::U32, acc, v);
-    let ni = b.add(Type::U32, i, 1u32);
-    b.mov_to(Type::U32, i, ni);
-    let p = b.setp(Cmp::Lt, Type::U32, i, 3u32);
-    b.branch(p, false, head, exit);
-    b.select(exit);
-    b.st(MemSpace::Global, out, 0, acc);
-    b.ret();
-    let k = b.finish();
-    penny_ir::validate(&k).expect("generated kernel must validate");
-    k
-}
-
-/// Compiles under a Penny config, treating compiler rejections (and
-/// panics from overwrite-prevention edge cases on generator-shaped
-/// kernels) as `None`: this suite proves *engine* equivalence, so
-/// kernels the Penny compiler cannot yet instrument are skipped rather
-/// than failed.
-fn try_compile(k: &penny_ir::Kernel, cfg: PennyConfig) -> Option<penny_core::Protected> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compile(k, &cfg)))
-        .ok()
-        .and_then(|r| r.ok())
-}
-
-/// Runs one launch on both interpreters and returns (stats, memory)
-/// from each.
-fn both_paths(
-    protected: &penny_core::Protected,
-    dims: LaunchDims,
-    gpu: &GpuConfig,
-    faults: &FaultPlan,
-) -> ((RunStats, GlobalMemory), (RunStats, GlobalMemory)) {
-    let run = |reference: bool| {
-        let mut global = GlobalMemory::new();
-        let input: Vec<u32> =
-            (0u32..64).map(|x| x.wrapping_mul(7).wrapping_add(3)).collect();
-        global.write_slice(0x1000, &input);
-        let launch = engine::LaunchConfig::new(dims, vec![0x1000, 0x2000])
-            .with_faults(faults.clone());
-        let stats = if reference {
-            engine::run_decode_reference(gpu, protected, &launch, &mut global)
-                .expect("decode_reference run")
-        } else {
-            engine::run(gpu, protected, &launch, &mut global).expect("decoded run")
-        };
-        (stats, global)
-    };
-    (run(false), run(true))
+/// The dense family's fixed input image (see [`KernelSpec::image`]).
+fn dense_image() -> MemImage {
+    KernelSpec::dense(vec![0], false).image()
 }
 
 proptest! {
@@ -158,20 +37,21 @@ proptest! {
     ) {
         let k = build_kernel(&ops, barrier);
         let dims = LaunchDims::linear(2, 64);
+        let image = dense_image();
         // The unprotected pipeline skips checkpoint instrumentation and
         // accepts every generated kernel — this leg never skips.
         let baseline = compile(&k, &PennyConfig::unprotected().with_launch(dims))
             .expect("unprotected compile");
         let no_rf = GpuConfig::fermi().with_rf(penny_sim::RfProtection::None);
         let ((fast, fast_mem), (reference, ref_mem)) =
-            both_paths(&baseline, dims, &no_rf, &FaultPlan::none());
+            run_pair(&baseline, dims, &no_rf, &FaultPlan::none(), &image);
         prop_assert_eq!(fast, reference, "stats diverge (unprotected)");
         prop_assert_eq!(fast_mem, ref_mem, "memory diverges (unprotected)");
 
         // The Penny pipeline may reject generator-shaped kernels.
         if let Some(protected) = try_compile(&k, PennyConfig::penny().with_launch(dims)) {
             let ((fast, fast_mem), (reference, ref_mem)) =
-                both_paths(&protected, dims, &GpuConfig::fermi(), &FaultPlan::none());
+                run_pair(&protected, dims, &GpuConfig::fermi(), &FaultPlan::none(), &image);
             prop_assert_eq!(fast, reference, "stats diverge (penny)");
             prop_assert_eq!(fast_mem, ref_mem, "memory diverges (penny)");
         }
@@ -197,8 +77,44 @@ proptest! {
         let regs = protected.kernel.vreg_limit();
         let plan = FaultPlan::random(fault_seed, 3, 1, 2, 32, regs, 33, 60);
         let ((fast, fast_mem), (reference, ref_mem)) =
-            both_paths(&protected, dims, &GpuConfig::fermi(), &plan);
+            run_pair(&protected, dims, &GpuConfig::fermi(), &plan, &dense_image());
         prop_assert_eq!(fast, reference, "stats diverge under faults");
         prop_assert_eq!(fast_mem, ref_mem, "memory diverges under faults");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sparse CSR family — data-dependent trip counts, indirect
+    /// loads, atomic scatters — satisfies the same decoded-vs-reference
+    /// contract, fault-free and under injection.
+    #[test]
+    fn sparse_decoded_path_matches_reference(
+        ops in proptest::collection::vec(0u8..8, 1..10),
+        topo_seed: u64,
+        nnz in 1u8..8,
+        fault_seed: u64,
+    ) {
+        let spec = KernelSpec::sparse(ops, topo_seed, nnz);
+        let k = spec.build();
+        let dims = spec.dims();
+        let image = spec.image();
+        let baseline = compile(&k, &PennyConfig::unprotected().with_launch(dims))
+            .expect("unprotected compile");
+        let no_rf = GpuConfig::fermi().with_rf(penny_sim::RfProtection::None);
+        let ((fast, fast_mem), (reference, ref_mem)) =
+            run_pair(&baseline, dims, &no_rf, &FaultPlan::none(), &image);
+        prop_assert_eq!(fast, reference, "stats diverge (unprotected sparse)");
+        prop_assert_eq!(fast_mem, ref_mem, "memory diverges (unprotected sparse)");
+
+        if let Some(protected) = try_compile(&k, PennyConfig::penny().with_launch(dims)) {
+            let regs = protected.kernel.vreg_limit();
+            let plan = penny_sim::gen::fault_plan(fault_seed, dims, regs, 3);
+            let ((fast, fast_mem), (reference, ref_mem)) =
+                run_pair(&protected, dims, &GpuConfig::fermi(), &plan, &image);
+            prop_assert_eq!(fast, reference, "stats diverge (penny sparse)");
+            prop_assert_eq!(fast_mem, ref_mem, "memory diverges (penny sparse)");
+        }
     }
 }

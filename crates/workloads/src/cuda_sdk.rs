@@ -5,7 +5,7 @@ use penny_sim::GlobalMemory;
 
 use crate::gpgpusim::GID;
 use crate::util::{addr, close, XorShift32};
-use crate::{Suite, Workload};
+use crate::{Setup, Source, Suite, Verify, Workload};
 
 const N: usize = 128;
 
@@ -573,63 +573,63 @@ pub fn workloads() -> Vec<Workload> {
             abbr: "BS",
             suite: Suite::CudaSdk,
             dims: LaunchDims::linear(4, 32),
-            source: bs_source,
-            setup: bs_setup,
-            verify: bs_verify,
+            source: Source::Func(bs_source),
+            setup: Setup::Func(bs_setup),
+            verify: Verify::Func(bs_verify),
         },
         Workload {
             name: "Sobol filter",
             abbr: "SQ",
             suite: Suite::CudaSdk,
             dims: LaunchDims::linear(4, 32),
-            source: sq_source,
-            setup: sq_setup,
-            verify: sq_verify,
+            source: Source::Func(sq_source),
+            setup: Setup::Func(sq_setup),
+            verify: Verify::Func(sq_verify),
         },
         Workload {
             name: "Binomial options",
             abbr: "BO",
             suite: Suite::CudaSdk,
             dims: LaunchDims::linear(4, 32),
-            source: bo_source,
-            setup: bo_setup,
-            verify: bo_verify,
+            source: Source::Func(bo_source),
+            setup: Setup::Func(bo_setup),
+            verify: Verify::Func(bo_verify),
         },
         Workload {
             name: "Convolution separable",
             abbr: "CS",
             suite: Suite::CudaSdk,
             dims: LaunchDims::linear(4, 32),
-            source: cs_source,
-            setup: cs_setup,
-            verify: cs_verify,
+            source: Source::Func(cs_source),
+            setup: Setup::Func(cs_setup),
+            verify: Verify::Func(cs_verify),
         },
         Workload {
             name: "Fast Walsh transform",
             abbr: "FW",
             suite: Suite::CudaSdk,
             dims: LaunchDims::linear(1, 128),
-            source: fw_source,
-            setup: fw_setup,
-            verify: fw_verify,
+            source: Source::Func(fw_source),
+            setup: Setup::Func(fw_setup),
+            verify: Verify::Func(fw_verify),
         },
         Workload {
             name: "Scalar product",
             abbr: "SP",
             suite: Suite::CudaSdk,
             dims: LaunchDims::linear(4, 32),
-            source: sp_source,
-            setup: sp_setup,
-            verify: sp_verify,
+            source: Source::Func(sp_source),
+            setup: Setup::Func(sp_setup),
+            verify: Verify::Func(sp_verify),
         },
         Workload {
             name: "Matrix transpose",
             abbr: "MT",
             suite: Suite::CudaSdk,
             dims: LaunchDims { block: (8, 8), grid: (2, 2) },
-            source: mt_source,
-            setup: mt_setup,
-            verify: mt_verify,
+            source: Source::Func(mt_source),
+            setup: Setup::Func(mt_setup),
+            verify: Verify::Func(mt_verify),
         },
     ]
 }

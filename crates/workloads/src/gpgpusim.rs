@@ -4,7 +4,7 @@ use penny_core::LaunchDims;
 use penny_sim::GlobalMemory;
 
 use crate::util::{addr, close, XorShift32};
-use crate::{Suite, Workload};
+use crate::{Setup, Source, Suite, Verify, Workload};
 
 /// Common prologue computing the global thread id into `%r3`.
 pub(crate) const GID: &str = r#"
@@ -365,45 +365,45 @@ pub fn workloads() -> Vec<Workload> {
             abbr: "CP",
             suite: Suite::GpgpuSim,
             dims: LaunchDims::linear(4, 32),
-            source: cp_source,
-            setup: cp_setup,
-            verify: cp_verify,
+            source: Source::Func(cp_source),
+            setup: Setup::Func(cp_setup),
+            verify: Verify::Func(cp_verify),
         },
         Workload {
             name: "Libor Monte Carlo",
             abbr: "LIB",
             suite: Suite::GpgpuSim,
             dims: LaunchDims::linear(4, 32),
-            source: lib_source,
-            setup: lib_setup,
-            verify: lib_verify,
+            source: Source::Func(lib_source),
+            setup: Setup::Func(lib_setup),
+            verify: Verify::Func(lib_verify),
         },
         Workload {
             name: "Laplace transform",
             abbr: "LPS",
             suite: Suite::GpgpuSim,
             dims: LaunchDims::linear(4, 32),
-            source: lps_source,
-            setup: lps_setup,
-            verify: lps_verify,
+            source: Source::Func(lps_source),
+            setup: Setup::Func(lps_setup),
+            verify: Verify::Func(lps_verify),
         },
         Workload {
             name: "Neural network",
             abbr: "NN",
             suite: Suite::GpgpuSim,
             dims: LaunchDims::linear(4, 32),
-            source: nn_source,
-            setup: nn_setup,
-            verify: nn_verify,
+            source: Source::Func(nn_source),
+            setup: Setup::Func(nn_setup),
+            verify: Verify::Func(nn_verify),
         },
         Workload {
             name: "N Queen",
             abbr: "NQU",
             suite: Suite::GpgpuSim,
             dims: LaunchDims::linear(4, 32),
-            source: nqu_source,
-            setup: nqu_setup,
-            verify: nqu_verify,
+            source: Source::Func(nqu_source),
+            setup: Setup::Func(nqu_setup),
+            verify: Verify::Func(nqu_verify),
         },
     ]
 }

@@ -5,7 +5,7 @@ use penny_sim::GlobalMemory;
 
 use crate::gpgpusim::GID;
 use crate::util::{addr, close, XorShift32};
-use crate::{Suite, Workload};
+use crate::{Setup, Source, Suite, Verify, Workload};
 
 const SGEMM_N: usize = 16;
 const SGEMM_TILE: usize = 8;
@@ -341,36 +341,36 @@ pub fn workloads() -> Vec<Workload> {
             abbr: "SGEMM",
             suite: Suite::Parboil,
             dims: LaunchDims { block: (8, 8), grid: (2, 2) },
-            source: sgemm_source,
-            setup: sgemm_setup,
-            verify: sgemm_verify,
+            source: Source::Func(sgemm_source),
+            setup: Setup::Func(sgemm_setup),
+            verify: Verify::Func(sgemm_verify),
         },
         Workload {
             name: "Sparse matrix-vector mult.",
             abbr: "SPMV",
             suite: Suite::Parboil,
             dims: LaunchDims::linear(4, 32),
-            source: spmv_source,
-            setup: spmv_setup,
-            verify: spmv_verify,
+            source: Source::Func(spmv_source),
+            setup: Setup::Func(spmv_setup),
+            verify: Verify::Func(spmv_verify),
         },
         Workload {
             name: "Jacobi stencil",
             abbr: "STC",
             suite: Suite::Parboil,
             dims: LaunchDims::linear(1, 128),
-            source: stc_source,
-            setup: stc_setup,
-            verify: stc_verify,
+            source: Source::Func(stc_source),
+            setup: Setup::Func(stc_setup),
+            verify: Verify::Func(stc_verify),
         },
         Workload {
             name: "2-point angular correlation",
             abbr: "TPACF",
             suite: Suite::Parboil,
             dims: LaunchDims::linear(4, 32),
-            source: tpacf_source,
-            setup: tpacf_setup,
-            verify: tpacf_verify,
+            source: Source::Func(tpacf_source),
+            setup: Setup::Func(tpacf_setup),
+            verify: Verify::Func(tpacf_verify),
         },
     ]
 }

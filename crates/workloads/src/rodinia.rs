@@ -5,7 +5,7 @@ use penny_sim::GlobalMemory;
 
 use crate::gpgpusim::GID;
 use crate::util::{addr, close, XorShift32};
-use crate::{Suite, Workload};
+use crate::{Setup, Source, Suite, Verify, Workload};
 
 const N: usize = 128;
 
@@ -797,81 +797,81 @@ pub fn workloads() -> Vec<Workload> {
             abbr: "BP",
             suite: Suite::Rodinia,
             dims: LaunchDims::linear(4, 32),
-            source: bp_source,
-            setup: bp_setup,
-            verify: bp_verify,
+            source: Source::Func(bp_source),
+            setup: Setup::Func(bp_setup),
+            verify: Verify::Func(bp_verify),
         },
         Workload {
             name: "Breadth-first search",
             abbr: "BFS",
             suite: Suite::Rodinia,
             dims: LaunchDims::linear(4, 32),
-            source: bfs_source,
-            setup: bfs_setup,
-            verify: bfs_verify,
+            source: Source::Func(bfs_source),
+            setup: Setup::Func(bfs_setup),
+            verify: Verify::Func(bfs_verify),
         },
         Workload {
             name: "Gaussian elimination",
             abbr: "GAU",
             suite: Suite::Rodinia,
             dims: LaunchDims::linear(4, 32),
-            source: gau_source,
-            setup: gau_setup,
-            verify: gau_verify,
+            source: Source::Func(gau_source),
+            setup: Setup::Func(gau_setup),
+            verify: Verify::Func(gau_verify),
         },
         Workload {
             name: "Hotspot",
             abbr: "HS",
             suite: Suite::Rodinia,
             dims: LaunchDims::linear(4, 32),
-            source: hs_source,
-            setup: hs_setup,
-            verify: hs_verify,
+            source: Source::Func(hs_source),
+            setup: Setup::Func(hs_setup),
+            verify: Verify::Func(hs_verify),
         },
         Workload {
             name: "Molecular dynamics",
             abbr: "MD",
             suite: Suite::Rodinia,
             dims: LaunchDims::linear(4, 32),
-            source: md_source,
-            setup: md_setup,
-            verify: md_verify,
+            source: Source::Func(md_source),
+            setup: Setup::Func(md_setup),
+            verify: Verify::Func(md_verify),
         },
         Workload {
             name: "Needleman-Wunsch",
             abbr: "NW",
             suite: Suite::Rodinia,
             dims: LaunchDims::linear(4, 32),
-            source: nw_source,
-            setup: nw_setup,
-            verify: nw_verify,
+            source: Source::Func(nw_source),
+            setup: Setup::Func(nw_setup),
+            verify: Verify::Func(nw_verify),
         },
         Workload {
             name: "Pathfinder",
             abbr: "PF",
             suite: Suite::Rodinia,
             dims: LaunchDims::linear(1, 128),
-            source: pf_source,
-            setup: pf_setup,
-            verify: pf_verify,
+            source: Source::Func(pf_source),
+            setup: Setup::Func(pf_setup),
+            verify: Verify::Func(pf_verify),
         },
         Workload {
             name: "Speckle reducing anisotropic diffusion",
             abbr: "SRAD",
             suite: Suite::Rodinia,
             dims: LaunchDims::linear(4, 32),
-            source: srad_source,
-            setup: srad_setup,
-            verify: srad_verify,
+            source: Source::Func(srad_source),
+            setup: Setup::Func(srad_setup),
+            verify: Verify::Func(srad_verify),
         },
         Workload {
             name: "Stream cluster",
             abbr: "SC",
             suite: Suite::Rodinia,
             dims: LaunchDims::linear(4, 32),
-            source: sc_source,
-            setup: sc_setup,
-            verify: sc_verify,
+            source: Source::Func(sc_source),
+            setup: Setup::Func(sc_setup),
+            verify: Verify::Func(sc_verify),
         },
     ]
 }

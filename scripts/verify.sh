@@ -28,7 +28,13 @@
 #      recorder on vs off);
 #   8. the compile-time perf gate: overwrite prevention must stay at
 #      or under 35% of total pass time (best of three runs — wall
-#      times are noisy) via penny-prof --assert-share.
+#      times are noisy) via penny-prof --assert-share;
+#   9. the fuzz gate: the penny-fuzz unit/integration suites (shrinker
+#      properties, generated-kernel resume determinism, corpus replay
+#      as a test), a fixed-seed smoke run that must find zero
+#      divergences and produce byte-identical reports across two runs,
+#      and the banked-corpus replay gate (every committed kernel
+#      re-verified against its golden output).
 #
 # Usage: scripts/verify.sh [--full]
 #   --full additionally runs every workspace test (fault-injection
@@ -87,6 +93,26 @@ if [[ "$share_ok" != 1 ]]; then
     echo "verify: overwrite-prevention share exceeded 35% in 3 runs" >&2
     exit 1
 fi
+
+echo "==> fuzz: unit + property + corpus-replay test suites"
+cargo test -q -p penny-fuzz
+cargo test --release -p penny-sim --test resume_determinism
+
+echo "==> fuzz: fixed-seed smoke (seed 1, 200 iters, deterministic)"
+smoke_a="$(cargo run -q --release -p penny-fuzz -- --seed 1 --iters 200)"
+smoke_b="$(cargo run -q --release -p penny-fuzz -- --seed 1 --iters 200)"
+if [[ "$smoke_a" != "$smoke_b" ]]; then
+    echo "verify: fuzz smoke is not deterministic across runs" >&2
+    exit 1
+fi
+if ! grep -q "^divergences 0$" <<< "$smoke_a"; then
+    echo "verify: fuzz smoke found divergences:" >&2
+    echo "$smoke_a" >&2
+    exit 1
+fi
+
+echo "==> fuzz: banked-corpus replay gate"
+cargo run -q --release -p penny-fuzz -- --replay corpus
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full workspace test suite"
