@@ -20,7 +20,11 @@
 //!   thread-varying across the lanes of a CTA;
 //! * [`lint_kernel`] — the kernel sanitizer behind `penny-lint`
 //!   (divergent barriers, shared-memory races, uninitialized reads,
-//!   reserved-arena writes).
+//!   reserved-arena writes, dead checkpoints);
+//! * [`VulnerabilityMap`] — static fault-site classification of the
+//!   lowered artifact (dead intervals, write-before-read windows,
+//!   checkpoint-covered protection windows), translation-validated
+//!   against the replay engine by the conformance harness.
 //!
 //! # Examples
 //!
@@ -59,6 +63,7 @@ pub mod range;
 pub mod reachdefs;
 pub mod sanitize;
 pub mod uniform;
+pub mod vulnerability;
 
 pub use alias::{AliasAnalysis, AliasOptions, MemAccess, Sym};
 pub use bitset::BitSet;
@@ -71,7 +76,10 @@ pub use loops::{Loop, LoopInfo};
 pub use range::{Range, RangeAnalysis, RangeHints};
 pub use reachdefs::{DefSite, ReachingDefs};
 pub use sanitize::{
-    lint_kernel, Diagnostic, LintOptions, Severity, DIVERGENT_BARRIER,
+    lint_kernel, Diagnostic, LintOptions, Severity, DEAD_CHECKPOINT, DIVERGENT_BARRIER,
     RESERVED_ARENA_WRITE, SHARED_RACE, UNINIT_READ,
 };
 pub use uniform::{Uni, Uniformity};
+pub use vulnerability::{
+    PointFact, RfModel, StaticSiteClass, VulnerabilityCounts, VulnerabilityMap,
+};

@@ -21,6 +21,10 @@
 //! * [`RESERVED_ARENA_WRITE`] (error) — a global store provably targets
 //!   the runtime-reserved checkpoint arena, which would corrupt the
 //!   recovery state Penny's instrumentation maintains.
+//! * [`DEAD_CHECKPOINT`] (warning) — a `cp` saves a register that is
+//!   dead at every forward-reachable region boundary (or no boundary is
+//!   reachable at all): recovery can never restore the saved value, so
+//!   the checkpoint is pure overhead.
 //!
 //! Diagnostics carry machine-readable provenance (kernel, block label,
 //! instruction index and id) and a stable `name` so tests and the
@@ -48,6 +52,9 @@ pub const SHARED_RACE: &str = "shared-race";
 pub const UNINIT_READ: &str = "uninit-read";
 /// Diagnostic name: store into the reserved checkpoint arena.
 pub const RESERVED_ARENA_WRITE: &str = "reserved-arena-write";
+/// Diagnostic name: checkpoint of a register dead at every reachable
+/// region boundary.
+pub const DEAD_CHECKPOINT: &str = "dead-checkpoint";
 
 /// Largest number of lane pairs the race prover will enumerate.
 const MAX_LANE_PAIRS: u64 = 1 << 20;
@@ -149,6 +156,7 @@ pub fn lint_kernel(kernel: &Kernel, opts: &LintOptions) -> Vec<Diagnostic> {
     check_shared_races(kernel, &uni, opts, &mut diags);
     check_uninit_reads(kernel, &mut diags);
     check_reserved_writes(kernel, &ranges, opts, &mut diags);
+    check_dead_checkpoints(kernel, &mut diags);
     diags.retain(|d| !opts.allow.iter().any(|a| a == d.name));
     diags.sort_by_key(|d| (d.loc.block.index(), d.loc.idx, d.name));
     diags
@@ -535,6 +543,68 @@ fn check_reserved_writes(
     }
 }
 
+// ---------------------------------------------------------------------------
+// dead-checkpoint
+// ---------------------------------------------------------------------------
+
+fn check_dead_checkpoints(kernel: &Kernel, out: &mut Vec<Diagnostic>) {
+    let ckpts: Vec<Loc> = kernel
+        .block_ids()
+        .flat_map(|b| {
+            kernel.block(b).insts.iter().enumerate().filter_map(move |(idx, inst)| {
+                inst.is_ckpt().then_some(Loc { block: b, idx })
+            })
+        })
+        .collect();
+    if ckpts.is_empty() {
+        return;
+    }
+    let live = crate::liveness::Liveness::compute(kernel);
+    // Region boundaries are where recovery restores live-in registers:
+    // a checkpoint is useful only if its register is live at a marker
+    // reachable forward of the `cp`.
+    let markers: Vec<(Loc, BitSet)> = kernel
+        .block_ids()
+        .flat_map(|b| {
+            let live = &live;
+            kernel.block(b).insts.iter().enumerate().filter_map(move |(idx, inst)| {
+                inst.region_entry().map(|_| {
+                    let loc = Loc { block: b, idx };
+                    (loc, live.live_set_before(kernel, loc))
+                })
+            })
+        })
+        .collect();
+    for loc in ckpts {
+        let reg = kernel.block(loc.block).insts[loc.idx].ckpt_reg();
+        // Blocks reachable from the `cp`'s successors (cycles included).
+        let mut reach = BitSet::new(kernel.num_blocks());
+        let mut work: Vec<_> = kernel.block(loc.block).term.successors();
+        while let Some(b) = work.pop() {
+            if reach.insert(b.index()) {
+                work.extend(kernel.block(b).term.successors());
+            }
+        }
+        let restorable = markers.iter().any(|(m, live_at)| {
+            let forward_reachable = (m.block == loc.block && m.idx > loc.idx)
+                || reach.contains(m.block.index());
+            forward_reachable && live_at.contains(reg.index())
+        });
+        if !restorable {
+            out.push(diag(
+                kernel,
+                DEAD_CHECKPOINT,
+                Severity::Warning,
+                loc,
+                format!(
+                    "checkpoint of {reg} can never be restored: the register is dead \
+                     at every forward-reachable region boundary"
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,6 +798,91 @@ mod tests {
             &LintOptions::for_launch((8, 1), (1, 1)),
         );
         assert!(d.is_empty(), "guarded access cannot be proven to race: {d:?}");
+    }
+
+    #[test]
+    fn dead_checkpoint_rejected_by_name() {
+        // Seeded-broken kernel: %r1 is checkpointed but dead at the only
+        // region boundary (it is redefined before every later use).
+        let d = lint(
+            r#"
+            .kernel broken .params A
+            entry:
+                ld.param.u32 %r0, [A]
+                mov.u32 %r1, 7
+                cp.K0 %r1
+                region
+                mov.u32 %r1, 9
+                st.global.u32 [%r0], %r1
+                ret
+        "#,
+            &LintOptions::default(),
+        );
+        assert_eq!(names(&d), vec![DEAD_CHECKPOINT], "{d:?}");
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(d[0].message.contains("%r1"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn live_checkpoint_not_flagged() {
+        // %r1 is live at the region boundary (used after it): useful cp.
+        let d = lint(
+            r#"
+            .kernel ok .params A
+            entry:
+                ld.param.u32 %r0, [A]
+                mov.u32 %r1, 7
+                cp.K0 %r1
+                region
+                st.global.u32 [%r0], %r1
+                ret
+        "#,
+            &LintOptions::default(),
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn checkpoint_with_no_reachable_region_is_dead() {
+        let d = lint(
+            r#"
+            .kernel norgn .params A
+            entry:
+                ld.param.u32 %r0, [A]
+                mov.u32 %r1, 7
+                cp.K0 %r1
+                st.global.u32 [%r0], %r1
+                ret
+        "#,
+            &LintOptions::default(),
+        );
+        assert_eq!(names(&d), vec![DEAD_CHECKPOINT], "{d:?}");
+    }
+
+    #[test]
+    fn loop_back_edge_region_counts_as_reachable() {
+        // The marker sits earlier in the block but is reachable around
+        // the loop, and %r0 (the counter) is live there.
+        let d = lint(
+            r#"
+            .kernel loopcp .params A
+            entry:
+                ld.param.u32 %r1, [A]
+                mov.u32 %r0, 0
+                jmp head
+            head:
+                region
+                add.u32 %r0, %r0, 1
+                cp.K0 %r0
+                setp.lt.u32 %p0, %r0, 10
+                bra %p0, head, exit
+            exit:
+                st.global.u32 [%r1], %r0
+                ret
+        "#,
+            &LintOptions::default(),
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

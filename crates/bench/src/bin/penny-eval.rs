@@ -5,9 +5,11 @@
 //! ```text
 //! penny-eval [--jobs N] [--shard I/N] [--budget N] [--runs N]
 //!            [--bench-json] [--min-speedup X]
+//!            [--static-prune] [--static-validate] [--min-prune X]
 //!            [table1|table2|table3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|
 //!             multibit|ablation|errorrate|bench-json|
-//!             conformance|conformance-exhaustive|campaign|all]...
+//!             conformance|conformance-exhaustive|campaign|
+//!             vulnerability|static-agreement|all]...
 //! ```
 //!
 //! `--jobs N` sets the worker-thread count for the figure harness
@@ -35,11 +37,31 @@
 //!   classified and answered, none sampled.
 //! * `campaign` — the Table-1 multi-bit EDC campaign matrix
 //!   (`--runs` per cell, default 100), shardable with `--shard I/N`.
+//!
+//! Static-vulnerability subcommands (see `DESIGN.md` §15):
+//!
+//! * `vulnerability` — the analytic static profile: per
+//!   workload × scheme pruned-site fractions plus a per-register
+//!   residual-exposure (AVF-style) ranking for the deep-sweep pairs.
+//!   `--min-prune X` exits nonzero if the MT/Penny statically-answered
+//!   fraction (pruned + never-fires) falls below `X` — the
+//!   `scripts/verify.sh` prune-rate regression gate.
+//! * `static-agreement` — the translation-validation gauntlet: runs the
+//!   deep sweep on MT and SGEMM under every protected scheme in
+//!   `StaticMode::Validate` (every statically classified site is
+//!   *also* replayed and cross-examined), then validates the entire MT
+//!   fault space exhaustively. Any static/dynamic disagreement exits 1.
+//!
+//! `--static-prune` / `--static-validate` select the static mode for
+//! the `conformance` and `conformance-exhaustive` subcommands:
+//! pruning answers statically classified sites without replaying them
+//! (`pruned-static` bucket in the report); validation replays them
+//! anyway and hard-errors on contradictions.
 
 use std::time::Instant;
 
 use penny_bench::conformance::Shard;
-use penny_bench::{conformance, figures, report, SchemeId};
+use penny_bench::{conformance, figures, report, SchemeId, StaticMode};
 use penny_sim::GpuConfig;
 
 fn main() {
@@ -49,6 +71,8 @@ fn main() {
     let mut runs: u32 = 100;
     let mut bench_json_out = false;
     let mut min_speedup: Option<f64> = None;
+    let mut static_mode = StaticMode::Off;
+    let mut min_prune: Option<f64> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -70,8 +94,15 @@ fn main() {
         } else if let Some(v) = flag("--min-speedup") {
             min_speedup =
                 Some(v.parse().unwrap_or_else(|_| die("--min-speedup needs a number")));
+        } else if let Some(v) = flag("--min-prune") {
+            min_prune =
+                Some(v.parse().unwrap_or_else(|_| die("--min-prune needs a number")));
         } else if a == "--bench-json" {
             bench_json_out = true;
+        } else if a == "--static-prune" {
+            static_mode = StaticMode::Prune;
+        } else if a == "--static-validate" {
+            static_mode = StaticMode::Validate;
         } else {
             targets.push(a);
         }
@@ -131,11 +162,18 @@ fn main() {
                 penny_bench::campaign::render_multibit(&penny_bench::multibit_sweep(100))
             ),
             "bench-json" => bench_json(jobs),
-            "conformance" => {
-                conformance_cmd(shard, budget, bench_json_out, min_speedup, jobs)
-            }
-            "conformance-exhaustive" => conformance_exhaustive(shard),
+            "conformance" => conformance_cmd(
+                shard,
+                budget,
+                bench_json_out,
+                min_speedup,
+                jobs,
+                static_mode,
+            ),
+            "conformance-exhaustive" => conformance_exhaustive(shard, static_mode),
             "campaign" => campaign_cmd(runs, shard),
+            "vulnerability" => vulnerability_cmd(min_prune),
+            "static-agreement" => static_agreement(budget),
             other => die(&format!("unknown target `{other}` (try `all`)")),
         }
     }
@@ -164,15 +202,23 @@ fn conformance_cmd(
     bench_json_out: bool,
     min_speedup: Option<f64>,
     jobs: usize,
+    mode: StaticMode,
 ) {
-    conformance::prewarm(&DEEP_SWEEP);
+    conformance::prewarm_static(&DEEP_SWEEP, mode != StaticMode::Off);
     println!(
-        "== Conformance deep sweep (budget {budget}, shard {}/{}) ==",
-        shard.index, shard.count
+        "== Conformance deep sweep (budget {budget}, shard {}/{}{}) ==",
+        shard.index,
+        shard.count,
+        match mode {
+            StaticMode::Off => "",
+            StaticMode::Prune => ", static-prune",
+            StaticMode::Validate => ", static-validate",
+        }
     );
     for (abbr, scheme) in DEEP_SWEEP {
         let t = Instant::now();
-        let r = conformance::run_conformance_sharded(abbr, scheme, budget, shard);
+        let r =
+            conformance::run_conformance_static_sharded(abbr, scheme, budget, mode, shard);
         let wall = t.elapsed().as_secs_f64();
         print!("{}", conformance::render_report(&r));
         println!(
@@ -186,7 +232,7 @@ fn conformance_cmd(
             wall,
             r.covered as f64 / wall.max(1e-9)
         );
-        if !r.failures.is_empty() {
+        if !r.failures.is_empty() || r.static_disagreements > 0 {
             std::process::exit(1);
         }
     }
@@ -254,17 +300,28 @@ fn conformance_bench_json(budget: u64, min_speedup: Option<f64>, jobs: usize) {
 
 /// `conformance-exhaustive`: the entire fault space of the small
 /// workloads — every site classified and answered, none sampled.
-fn conformance_exhaustive(shard: Shard) {
+fn conformance_exhaustive(shard: Shard, mode: StaticMode) {
     println!(
-        "== Conformance exhaustive sweep (full fault spaces, shard {}/{}) ==",
-        shard.index, shard.count
+        "== Conformance exhaustive sweep (full fault spaces, shard {}/{}{}) ==",
+        shard.index,
+        shard.count,
+        match mode {
+            StaticMode::Off => "",
+            StaticMode::Prune => ", static-prune",
+            StaticMode::Validate => ", static-validate",
+        }
     );
     for abbr in ["MT", "STC", "FW", "BS"] {
         let t = Instant::now();
-        let r =
-            conformance::run_conformance_sharded(abbr, SchemeId::Penny, u64::MAX, shard);
+        let r = conformance::run_conformance_static_sharded(
+            abbr,
+            SchemeId::Penny,
+            u64::MAX,
+            mode,
+            shard,
+        );
         let wall = t.elapsed().as_secs_f64();
-        assert_eq!(r.skipped, 0, "exhaustive sweep must cover every site");
+        assert_eq!(r.skipped, 0, "exhaustive sweep must answer every site");
         print!("{}", conformance::render_report(&r));
         println!(
             "       work: {} forks over {} covered sites  [{:.2}s, {:.0} sites/s]",
@@ -273,10 +330,87 @@ fn conformance_exhaustive(shard: Shard) {
             wall,
             r.covered as f64 / wall.max(1e-9)
         );
-        if !r.failures.is_empty() {
+        if !r.failures.is_empty() || r.static_disagreements > 0 {
             std::process::exit(1);
         }
     }
+}
+
+/// `vulnerability`: the analytic static profile — per workload × scheme
+/// pruned fractions, then the per-register residual-exposure ranking
+/// for the deep-sweep workloads under Penny. `--min-prune` gates the
+/// MT/Penny statically-answered fraction.
+fn vulnerability_cmd(min_prune: Option<f64>) {
+    const SCHEMES: [SchemeId; 4] =
+        [SchemeId::IGpu, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::Penny];
+    println!("== Static vulnerability profile (site fractions of the full fault space) ==");
+    let mut mt_penny_rate = None;
+    for w in penny_workloads::all() {
+        for scheme in SCHEMES {
+            let p = penny_bench::static_profile(w.abbr, scheme);
+            print!("{}", penny_bench::render_profile(&p, 0));
+            if w.abbr == "MT" && scheme == SchemeId::Penny {
+                mt_penny_rate = Some(p.classified_rate());
+            }
+        }
+    }
+    println!("== Per-register residual exposure (deep-sweep workloads, Penny) ==");
+    for abbr in ["MT", "SPMV", "SGEMM", "BFS"] {
+        let p = penny_bench::static_profile(abbr, SchemeId::Penny);
+        print!("{}", penny_bench::render_profile(&p, 4));
+    }
+    if let Some(min) = min_prune {
+        let rate = mt_penny_rate.expect("MT is in the registry");
+        eprintln!(
+            "vulnerability: MT/Penny statically answered {:.1}% (gate {:.1}%)",
+            100.0 * rate,
+            100.0 * min
+        );
+        if rate < min {
+            eprintln!("vulnerability: below the prune-rate gate");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `static-agreement`: the translation-validation gauntlet. Deep-budget
+/// validation of MT and SGEMM under every protected scheme, then an
+/// exhaustive validation of the full MT fault space. Every statically
+/// classified site is also replayed; one contradiction fails the run.
+fn static_agreement(budget: u64) {
+    let pairs: Vec<(&str, SchemeId)> = ["MT", "SGEMM"]
+        .into_iter()
+        .flat_map(|w| {
+            [SchemeId::Penny, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::IGpu]
+                .into_iter()
+                .map(move |s| (w, s))
+        })
+        .collect();
+    conformance::prewarm_static(&pairs, true);
+    println!("== Static/dynamic agreement sweep (budget {budget}, validate mode) ==");
+    let mut checked = 0u64;
+    for &(abbr, scheme) in &pairs {
+        let r =
+            conformance::run_conformance_static(abbr, scheme, budget, StaticMode::Validate);
+        print!("{}", conformance::render_report(&r));
+        checked += r.static_checked;
+        if !r.failures.is_empty() || r.static_disagreements > 0 {
+            std::process::exit(1);
+        }
+    }
+    println!("== Exhaustive agreement sweep: full MT fault space ==");
+    let r = conformance::run_conformance_static(
+        "MT",
+        SchemeId::Penny,
+        u64::MAX,
+        StaticMode::Validate,
+    );
+    print!("{}", conformance::render_report(&r));
+    checked += r.static_checked;
+    if !r.failures.is_empty() || r.static_disagreements > 0 {
+        std::process::exit(1);
+    }
+    println!("static-agreement: {checked} static claims cross-examined, 0 disagreements");
 }
 
 /// `campaign`: the Table-1 multi-bit matrix, one shard per invocation.

@@ -7,7 +7,8 @@
 //! ```text
 //! penny-prof [--workload ABBR]... [--all-workloads] [--corpus]
 //!            [--scheme NAME] [--jobs N] [--json] [--summary] [--check]
-//!            [--conformance BUDGET] [--assert-share PASS:PCT]
+//!            [--vulnerability] [--conformance BUDGET]
+//!            [--assert-share PASS:PCT]
 //! ```
 //!
 //! * `--workload ABBR` — profile one workload (repeatable);
@@ -26,6 +27,9 @@
 //!   instructions, CoW pages) follows;
 //! * `--check` — validate every emitted line against the span schema
 //!   (`penny_obs::schema`); exit nonzero on any violation;
+//! * `--vulnerability` — compile with the static vulnerability analysis
+//!   enabled, so the `vulnerability` pass span (site-class counters
+//!   included) appears in the stream and summary;
 //! * `--conformance BUDGET` — additionally run a BUDGET-site
 //!   snapshot/replay conformance sweep per workload, capturing its
 //!   `campaign` and per-replay `site` spans into the stream;
@@ -76,10 +80,14 @@ struct Profiled {
 /// through the harness content cache: a first-touch key records its
 /// full pass-span stream here; a repeated key (e.g. `--workload STC
 /// --workload STC`) is a cache hit and contributes only sim spans.
-fn profile(w: &Workload, scheme: SchemeId) -> Profiled {
+fn profile(w: &Workload, scheme: SchemeId, vulnerability: bool) -> Profiled {
     let rec = MemRecorder::new();
     let gpu_config = GpuConfig::fermi().with_rf(scheme.rf());
-    let cfg = scheme.config().with_launch(w.dims).with_machine(gpu_config.machine);
+    let cfg = scheme
+        .config()
+        .with_launch(w.dims)
+        .with_machine(gpu_config.machine)
+        .with_vulnerability(vulnerability);
     let protected = penny_bench::cache::compiled_with(w, &cfg, &rec);
     let mut gpu = Gpu::new(gpu_config);
     let launch = w.prepare(gpu.global_mut());
@@ -104,6 +112,7 @@ const PASS_ORDER: &[&str] = &[
     "igpu-renaming",
     "storage-assignment",
     "codegen",
+    "vulnerability",
 ];
 
 fn pass_rank(label: &str) -> (usize, &str) {
@@ -247,6 +256,7 @@ fn main() {
     let mut json = false;
     let mut summary = false;
     let mut check = false;
+    let mut vulnerability = false;
     let mut conformance_budget: Option<u64> = None;
     let mut assert_share: Option<(String, f64)> = None;
 
@@ -286,6 +296,7 @@ fn main() {
             "--json" => json = true,
             "--summary" => summary = true,
             "--check" => check = true,
+            "--vulnerability" => vulnerability = true,
             other => {
                 if let Some(v) = other.strip_prefix("--workload=") {
                     abbrs.push(v.to_string());
@@ -342,7 +353,7 @@ fn main() {
     // any job count. Then append the harness cache counters as
     // `cache`-kind spans so the stream reports cache effectiveness.
     let mut profiles: Vec<Profiled> =
-        penny_bench::parallel_map(&workloads, |w| profile(w, scheme));
+        penny_bench::parallel_map(&workloads, |w| profile(w, scheme, vulnerability));
 
     // Snapshot/replay conformance sweeps run serially with the
     // process-global sink installed (the sweep itself already fans its

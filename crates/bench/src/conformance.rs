@@ -47,9 +47,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use penny_analysis::{RfModel, StaticSiteClass, VulnerabilityMap};
 use penny_core::{Protected, GLOBAL_CKPT_BASE};
 use penny_sim::{
-    FaultPlan, GlobalMemory, Gpu, GpuConfig, Injection, Recording, RegFile, SiteClass,
+    FaultPlan, GlobalMemory, Gpu, GpuConfig, Injection, Recording, RegFile, RfProtection,
+    SiteClass,
 };
 use penny_workloads::Workload;
 
@@ -264,6 +266,87 @@ impl SiteClassCounts {
     }
 }
 
+/// How the harness uses the compile-time [`VulnerabilityMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StaticMode {
+    /// Ignore the static analysis entirely (the pre-existing behavior).
+    #[default]
+    Off,
+    /// Skip statically-classified sites: they are answered by the
+    /// static proof and reported in the `pruned_static` bucket instead
+    /// of being replayed. Residual (`Unknown`) sites run as usual.
+    Prune,
+    /// Translation validation: run statically-classified sites anyway
+    /// and count every static/dynamic disagreement — the dynamic replay
+    /// classifier is the oracle, the static claim is on trial.
+    Validate,
+}
+
+/// Per-class counts of statically-pruned sites (deterministic across
+/// shards, like [`SiteClassCounts`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticPruneCounts {
+    /// Sites pruned as [`StaticSiteClass::StaticDead`].
+    pub dead: u64,
+    /// Sites pruned as [`StaticSiteClass::StaticOverwritten`].
+    pub overwritten: u64,
+    /// Sites pruned as [`StaticSiteClass::StaticCovered`].
+    pub covered: u64,
+}
+
+impl StaticPruneCounts {
+    fn add(&mut self, o: &StaticPruneCounts) {
+        self.dead += o.dead;
+        self.overwritten += o.overwritten;
+        self.covered += o.covered;
+    }
+
+    /// Total pruned sites.
+    pub fn total(&self) -> u64 {
+        self.dead + self.overwritten + self.covered
+    }
+}
+
+/// The static analysis's view of a scheme's register file.
+pub(crate) fn rf_model(rf: RfProtection) -> RfModel {
+    match rf {
+        RfProtection::None => RfModel::None,
+        RfProtection::Ecc(_) => RfModel::SecdedEcc,
+        RfProtection::Edc(_) => RfModel::ParityEdc,
+    }
+}
+
+/// The translation-validation contract: which dynamic classes each
+/// static claim admits. `Unknown` claims nothing and admits anything.
+///
+/// * `StaticDead` / `StaticOverwritten` promise the flip is never
+///   observed: the dynamic class must be `NeverFires` or `Invisible`.
+/// * `StaticCovered` under SECDED promises inline correction at the
+///   first read; under parity EDC it promises detection inside a
+///   committed protection window, i.e. a `Simulated` site whose replay
+///   recovers (replay verdicts are enforced by the normal failure
+///   path, so a non-recovering covered site still fails the report).
+fn static_claim_holds(s: StaticSiteClass, d: SiteClass, model: RfModel) -> bool {
+    match s {
+        StaticSiteClass::Unknown => true,
+        StaticSiteClass::StaticDead | StaticSiteClass::StaticOverwritten => {
+            matches!(d, SiteClass::NeverFires | SiteClass::Invisible)
+        }
+        StaticSiteClass::StaticCovered => match model {
+            RfModel::SecdedEcc => matches!(
+                d,
+                SiteClass::NeverFires | SiteClass::Invisible | SiteClass::CorrectedInline
+            ),
+            RfModel::ParityEdc => matches!(
+                d,
+                SiteClass::NeverFires | SiteClass::Invisible | SiteClass::Simulated
+            ),
+            // The analysis never claims coverage on an unprotected RF.
+            RfModel::None => false,
+        },
+    }
+}
+
 /// Snapshot/fork/replay work actually performed. Unlike
 /// [`SiteClassCounts`] these depend on the shard partition (a replay
 /// group split across shards replays once per shard), so merging sums
@@ -309,7 +392,23 @@ pub struct ConformanceReport {
     /// Sites covered (classified and answered) by this report.
     pub covered: u64,
     /// Sites skipped by the budget (logged, per the harness contract).
+    /// Statically-pruned sites are **not** folded in here — they are
+    /// answered (by the static proof), not skipped.
     pub skipped: u64,
+    /// Sites answered by the static proof under [`StaticMode::Prune`]
+    /// (zero in the other modes).
+    pub pruned_static: u64,
+    /// Per-class breakdown of `pruned_static`.
+    pub static_prune: StaticPruneCounts,
+    /// Sites whose static claim was checked against the dynamic
+    /// classifier under [`StaticMode::Validate`].
+    pub static_checked: u64,
+    /// Static claims the dynamic classifier contradicted (translation
+    /// validation failures; must be zero for a sound analysis).
+    pub static_disagreements: u64,
+    /// Disagreeing sites `(sample position, description)`, capped at
+    /// [`MAX_REPORTED_FAILURES`] lowest positions.
+    pub disagreements: Vec<(u64, String)>,
     /// Covered sites whose final memory matched the fault-free
     /// reference (benign or detected-and-recovered).
     pub recovered: u64,
@@ -333,15 +432,15 @@ pub const MAX_REPORTED_FAILURES: usize = 8;
 const CHUNK: u64 = 16_384;
 
 /// Everything needed to run fault sites for one (workload, scheme) pair.
-struct Prepared {
-    workload: Workload,
-    protected: Arc<Protected>,
-    gpu_config: GpuConfig,
+pub(crate) struct Prepared {
+    pub(crate) workload: Workload,
+    pub(crate) protected: Arc<Protected>,
+    pub(crate) gpu_config: GpuConfig,
     /// Fault-free user-space memory (below the checkpoint arena).
-    reference: Vec<(u32, u32)>,
-    space: FaultSpace,
+    pub(crate) reference: Vec<(u32, u32)>,
+    pub(crate) space: FaultSpace,
     /// The fault-free recording forked sites replay from.
-    recording: Recording,
+    pub(crate) recording: Recording,
 }
 
 /// User-visible final memory: nonzero words below the checkpoint arena.
@@ -356,8 +455,16 @@ fn user_memory(global: &GlobalMemory) -> Vec<(u32, u32)> {
 /// The exact compiler configuration the conformance harness uses for a
 /// (workload, scheme) pair — shared by [`prepare`] and [`prewarm`] so
 /// both resolve to the same content-cache key.
-fn conformance_config(w: &Workload, scheme: SchemeId) -> penny_core::PennyConfig {
-    scheme.config().with_launch(w.dims).with_validation(true)
+fn conformance_config(
+    w: &Workload,
+    scheme: SchemeId,
+    vulnerability: bool,
+) -> penny_core::PennyConfig {
+    scheme
+        .config()
+        .with_launch(w.dims)
+        .with_validation(true)
+        .with_vulnerability(vulnerability)
 }
 
 /// Compiles every (workload, scheme) pair the caller is about to check,
@@ -367,33 +474,39 @@ fn conformance_config(w: &Workload, scheme: SchemeId) -> penny_core::PennyConfig
 /// calls (and any reproducer re-checks) start from hits. Verdicts are
 /// identical with or without prewarming.
 pub fn prewarm(pairs: &[(&str, SchemeId)]) {
+    prewarm_static(pairs, false);
+}
+
+/// [`prewarm`] with the vulnerability analysis on, matching the compile
+/// key the static-mode entry points resolve to.
+pub fn prewarm_static(pairs: &[(&str, SchemeId)], vulnerability: bool) {
     let batch: Vec<(Workload, penny_core::PennyConfig)> = pairs
         .iter()
         .map(|&(abbr, scheme)| {
             let w = penny_workloads::by_abbr(abbr)
                 .unwrap_or_else(|| panic!("unknown workload {abbr}"));
-            let cfg = conformance_config(&w, scheme);
+            let cfg = conformance_config(&w, scheme, vulnerability);
             (w, cfg)
         })
         .collect();
     let _ = crate::cache::compile_batch(&batch);
 }
 
-fn prepare(abbr: &str, scheme: SchemeId) -> Prepared {
+pub(crate) fn prepare(abbr: &str, scheme: SchemeId, vulnerability: bool) -> Prepared {
     let workload =
         penny_workloads::by_abbr(abbr).unwrap_or_else(|| panic!("unknown workload {abbr}"));
-    prepare_workload(workload, scheme)
+    prepare_workload(workload, scheme, vulnerability)
 }
 
 /// [`prepare`] for a workload value that need not be in the registry —
 /// the entry point `penny-fuzz` uses for freshly generated kernels.
-fn prepare_workload(workload: Workload, scheme: SchemeId) -> Prepared {
+fn prepare_workload(workload: Workload, scheme: SchemeId, vulnerability: bool) -> Prepared {
     let abbr = workload.abbr;
     // Validator on: every kernel the harness touches is invariant-checked.
     // The compile goes through the content-addressed service cache, so
     // repeated prepares of one (workload, scheme) — `run_conformance`
     // plus every `check_site` reproducer — share a single compilation.
-    let config = conformance_config(&workload, scheme);
+    let config = conformance_config(&workload, scheme, vulnerability);
     let protected = crate::cache::compiled(&workload, &config);
     let gpu_config = GpuConfig::fermi().with_rf(scheme.rf());
 
@@ -612,7 +725,7 @@ pub fn render_reproducer(abbr: &str, scheme: SchemeId, inj: &Injection) -> Strin
 /// Returns the mismatch/simulator-error description when the site does
 /// not recover to the fault-free final memory.
 pub fn check_site(abbr: &str, scheme: SchemeId, inj: &Injection) -> Result<(), String> {
-    let p = prepare(abbr, scheme);
+    let p = prepare(abbr, scheme, false);
     run_site(&p, inj)
 }
 
@@ -638,6 +751,14 @@ struct ChunkClass {
     /// Unique replay groups first seen in this chunk, in first-seen
     /// (ascending position) order.
     groups: Vec<(GroupKey, Group)>,
+    /// Sites answered statically under [`StaticMode::Prune`].
+    pruned: StaticPruneCounts,
+    /// Static claims checked under [`StaticMode::Validate`].
+    static_checked: u64,
+    /// Total translation-validation failures in this chunk.
+    disagreement_count: u64,
+    /// Lowest-position disagreements (capped).
+    disagreements: Vec<(u64, String)>,
 }
 
 /// Runs the conformance harness for one (workload, scheme) pair with a
@@ -656,7 +777,25 @@ pub fn run_conformance_for(
     scheme: SchemeId,
     budget: u64,
 ) -> ConformanceReport {
-    run_prepared(prepare_workload(workload.clone(), scheme), scheme, budget, Shard::full())
+    run_conformance_static_for(workload, scheme, budget, StaticMode::Off)
+}
+
+/// [`run_conformance_for`] with an explicit [`StaticMode`] — the entry
+/// point `penny-fuzz`'s static-agreement stage uses.
+pub fn run_conformance_static_for(
+    workload: &Workload,
+    scheme: SchemeId,
+    budget: u64,
+    mode: StaticMode,
+) -> ConformanceReport {
+    let statik = mode != StaticMode::Off;
+    run_prepared(
+        prepare_workload(workload.clone(), scheme, statik),
+        scheme,
+        budget,
+        Shard::full(),
+        mode,
+    )
 }
 
 /// [`check_site`] for a workload value that need not be in the
@@ -671,7 +810,7 @@ pub fn check_site_for(
     scheme: SchemeId,
     inj: &Injection,
 ) -> Result<(), String> {
-    let p = prepare_workload(workload.clone(), scheme);
+    let p = prepare_workload(workload.clone(), scheme, false);
     run_site(&p, inj)
 }
 
@@ -685,7 +824,34 @@ pub fn run_conformance_sharded(
     budget: u64,
     shard: Shard,
 ) -> ConformanceReport {
-    run_prepared(prepare(abbr, scheme), scheme, budget, shard)
+    run_prepared(prepare(abbr, scheme, false), scheme, budget, shard, StaticMode::Off)
+}
+
+/// [`run_conformance`] with the compile-time [`VulnerabilityMap`] in
+/// play: [`StaticMode::Prune`] answers statically-classified sites by
+/// the static proof (making exhaustive sweeps of large spaces
+/// feasible), [`StaticMode::Validate`] runs them anyway and counts
+/// disagreements (translation validation).
+pub fn run_conformance_static(
+    abbr: &str,
+    scheme: SchemeId,
+    budget: u64,
+    mode: StaticMode,
+) -> ConformanceReport {
+    run_conformance_static_sharded(abbr, scheme, budget, mode, Shard::full())
+}
+
+/// Sharded [`run_conformance_static`]; shard reports merge
+/// bit-identically including the pruned-site accounting.
+pub fn run_conformance_static_sharded(
+    abbr: &str,
+    scheme: SchemeId,
+    budget: u64,
+    mode: StaticMode,
+    shard: Shard,
+) -> ConformanceReport {
+    let statik = mode != StaticMode::Off;
+    run_prepared(prepare(abbr, scheme, statik), scheme, budget, shard, mode)
 }
 
 /// The shared conformance body: classification, forked replays, and
@@ -695,6 +861,7 @@ fn run_prepared(
     scheme: SchemeId,
     budget: u64,
     shard: Shard,
+    mode: StaticMode,
 ) -> ConformanceReport {
     let rec = crate::obs::recorder();
     let timer = penny_obs::SpanTimer::start(rec.as_ref());
@@ -702,6 +869,13 @@ fn run_prepared(
     let total = p.space.total();
     let seq = p.space.sequence(budget);
     let positions = seq.len();
+    let model = rf_model(scheme.rf());
+    let vmap: Option<&VulnerabilityMap> = match mode {
+        StaticMode::Off => None,
+        _ => Some(p.protected.vulnerability.as_ref().expect(
+            "static conformance modes compile with the vulnerability analysis enabled",
+        )),
+    };
 
     // Phase 1 — classify every owned site (parallel over position
     // chunks): analytic classes are answered on the spot, simulated
@@ -715,6 +889,10 @@ fn run_prepared(
             covered: 0,
             classes: SiteClassCounts::default(),
             groups: Vec::new(),
+            pruned: StaticPruneCounts::default(),
+            static_checked: 0,
+            disagreement_count: 0,
+            disagreements: Vec::new(),
         };
         let mut index_of: HashMap<(u32, u32, u32, u32, u32, u64), usize> = HashMap::new();
         for pos in start..end {
@@ -722,8 +900,43 @@ fn run_prepared(
                 continue;
             }
             let inj = p.space.site(seq.index_at(pos));
+            // Static classification first: a claimed site is either
+            // answered on the spot (Prune) or cross-examined against
+            // the dynamic classifier (Validate).
+            let claim = match vmap {
+                None => StaticSiteClass::Unknown,
+                Some(m) => match p.recording.static_point(&inj) {
+                    Some(pc) => m.classify(pc, inj.reg, model),
+                    None => StaticSiteClass::Unknown,
+                },
+            };
+            if mode == StaticMode::Prune && claim != StaticSiteClass::Unknown {
+                match claim {
+                    StaticSiteClass::StaticDead => out.pruned.dead += 1,
+                    StaticSiteClass::StaticOverwritten => out.pruned.overwritten += 1,
+                    StaticSiteClass::StaticCovered => out.pruned.covered += 1,
+                    StaticSiteClass::Unknown => unreachable!(),
+                }
+                continue;
+            }
             out.covered += 1;
-            match p.recording.site_class(&inj) {
+            let dynamic = p.recording.site_class(&inj);
+            if mode == StaticMode::Validate && claim != StaticSiteClass::Unknown {
+                out.static_checked += 1;
+                if !static_claim_holds(claim, dynamic, model) {
+                    out.disagreement_count += 1;
+                    if out.disagreements.len() < MAX_REPORTED_FAILURES {
+                        out.disagreements.push((
+                            pos,
+                            format!(
+                                "static {claim} contradicted by dynamic {dynamic:?} at \
+                                 {inj:?}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            match dynamic {
                 SiteClass::NeverFires => out.classes.never_fires += 1,
                 SiteClass::Invisible => out.classes.invisible += 1,
                 SiteClass::CorrectedInline => out.classes.corrected_inline += 1,
@@ -753,11 +966,19 @@ fn run_prepared(
     // globally-first member, positions stay ascending.
     let mut covered = 0u64;
     let mut classes = SiteClassCounts::default();
+    let mut static_prune = StaticPruneCounts::default();
+    let mut static_checked = 0u64;
+    let mut static_disagreements = 0u64;
+    let mut disagreements: Vec<(u64, String)> = Vec::new();
     let mut order: Vec<(u32, u32, u32, u32, u32, u64)> = Vec::new();
     let mut merged: HashMap<(u32, u32, u32, u32, u32, u64), Group> = HashMap::new();
     for chunk in chunked {
         covered += chunk.covered;
         classes.add(&chunk.classes);
+        static_prune.add(&chunk.pruned);
+        static_checked += chunk.static_checked;
+        static_disagreements += chunk.disagreement_count;
+        disagreements.extend(chunk.disagreements);
         for (key, seen) in chunk.groups {
             match merged.entry(key) {
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -837,9 +1058,15 @@ fn run_prepared(
                 ("skipped_insts", work.cold_insts.saturating_sub(work.replayed_insts)),
                 ("spliced", classes.spliced),
                 ("failures", failed_sites),
+                ("pruned_static", static_prune.total()),
+                ("static_checked", static_checked),
+                ("static_disagreements", static_disagreements),
             ],
         );
     }
+
+    disagreements.sort_by_key(|a| a.0);
+    disagreements.truncate(MAX_REPORTED_FAILURES);
 
     ConformanceReport {
         workload,
@@ -847,7 +1074,12 @@ fn run_prepared(
         space: p.space,
         total,
         covered,
-        skipped: total - covered,
+        skipped: total - covered - static_prune.total(),
+        pruned_static: static_prune.total(),
+        static_prune,
+        static_checked,
+        static_disagreements,
+        disagreements,
         recovered: covered - failed_sites,
         classes,
         work,
@@ -878,6 +1110,11 @@ pub fn merge_reports(reports: &[ConformanceReport]) -> Result<ConformanceReport,
         total: first.total,
         covered: 0,
         skipped: 0,
+        pruned_static: 0,
+        static_prune: StaticPruneCounts::default(),
+        static_checked: 0,
+        static_disagreements: 0,
+        disagreements: Vec::new(),
         recovered: 0,
         classes: SiteClassCounts::default(),
         work: ReplayWork::default(),
@@ -902,15 +1139,22 @@ pub fn merge_reports(reports: &[ConformanceReport]) -> Result<ConformanceReport,
         merged.covered += r.covered;
         merged.recovered += r.recovered;
         merged.classes.add(&r.classes);
+        merged.static_prune.add(&r.static_prune);
+        merged.static_checked += r.static_checked;
+        merged.static_disagreements += r.static_disagreements;
+        merged.disagreements.extend(r.disagreements.iter().cloned());
         merged.work.add(&r.work);
         merged.failures.extend(r.failures.iter().cloned());
     }
     // Snapshots are a property of the (shared, deterministic) recording,
     // not of the shard's site subset: report them once, not n times.
     merged.work.snapshots = first.work.snapshots;
-    merged.skipped = merged.total - merged.covered;
+    merged.pruned_static = merged.static_prune.total();
+    merged.skipped = merged.total - merged.covered - merged.pruned_static;
     merged.failures.sort_by_key(|a| a.sample);
     merged.failures.truncate(MAX_REPORTED_FAILURES);
+    merged.disagreements.sort_by_key(|a| a.0);
+    merged.disagreements.truncate(MAX_REPORTED_FAILURES);
     Ok(merged)
 }
 
@@ -964,7 +1208,7 @@ pub fn bench_throughput(
     }
     let report = report.expect("at least one rep");
 
-    let p = prepare(abbr, scheme);
+    let p = prepare(abbr, scheme, false);
     let seq = p.space.sequence(budget);
     let step = (seq.len() / cold_samples.max(1)).max(1);
     let cold_positions: Vec<u64> = (0..seq.len()).step_by(step as usize).collect();
@@ -1019,6 +1263,26 @@ pub fn render_report(r: &ConformanceReport) -> String {
         r.classes.simulated,
         r.classes.spliced
     );
+    if r.pruned_static > 0 {
+        let _ = writeln!(
+            out,
+            "       pruned-static {} (dead {}  overwritten {}  covered {})",
+            r.pruned_static,
+            r.static_prune.dead,
+            r.static_prune.overwritten,
+            r.static_prune.covered
+        );
+    }
+    if r.static_checked > 0 || r.static_disagreements > 0 {
+        let _ = writeln!(
+            out,
+            "       static-validation: checked {}  disagreements {}",
+            r.static_checked, r.static_disagreements
+        );
+    }
+    for (pos, reason) in &r.disagreements {
+        let _ = writeln!(out, "  STATIC-DISAGREEMENT @{pos}: {reason}");
+    }
     for f in &r.failures {
         let _ = writeln!(out, "  FAIL @{} {:?}: {}", f.sample, f.injection, f.reason);
         let _ = writeln!(out, "{}", f.reproducer);
@@ -1189,7 +1453,7 @@ mod tests {
             ("MT", SchemeId::Baseline),
             ("SGEMM", SchemeId::Penny),
         ] {
-            let p = prepare(abbr, scheme);
+            let p = prepare(abbr, scheme, false);
             let seq = p.space.sequence(144);
             let mut simulated = 0u32;
             for pos in 0..seq.len() {

@@ -6,7 +6,8 @@
 //! recorded in `EXPERIMENTS.md` use larger budgets in release mode.
 
 use penny_bench::conformance::{
-    merge_reports, render_report, run_conformance, run_conformance_sharded, Shard,
+    merge_reports, render_report, run_conformance, run_conformance_sharded,
+    run_conformance_static, run_conformance_static_sharded, Shard, StaticMode,
 };
 use penny_bench::SchemeId;
 
@@ -144,6 +145,117 @@ fn conformance_reports_skip_count_when_budgeted() {
     let r = run_conformance("MT", SchemeId::Penny, 4);
     assert_eq!(r.covered, 4);
     assert_eq!(r.skipped, r.total - 4);
+}
+
+/// Static pruning answers classified sites without replaying them: the
+/// `pruned-static` bucket is separate from `skipped`, partitions the
+/// sample with `covered`, and never costs a recovery failure. The same
+/// sample under `StaticMode::Off` replays every pruned site, so the two
+/// reports must tile the sample identically.
+#[test]
+fn static_prune_accounting_partitions_the_sample() {
+    let budget = 400;
+    let off = run_conformance("MT", SchemeId::Penny, budget);
+    let pruned = run_conformance_static("MT", SchemeId::Penny, budget, StaticMode::Prune);
+    print!("{}", render_report(&pruned));
+    assert_eq!(pruned.total, off.total);
+    assert_eq!(pruned.skipped, off.skipped, "pruning must not change the sample");
+    assert_eq!(
+        pruned.covered + pruned.pruned_static,
+        off.covered,
+        "pruned + replayed must tile the Off-mode sample"
+    );
+    assert!(pruned.pruned_static > 0, "MT/Penny must prune some sites");
+    assert_eq!(pruned.pruned_static, pruned.static_prune.total());
+    assert!(pruned.failures.is_empty());
+    assert_eq!(pruned.recovered, pruned.covered);
+    // Prune mode makes no claims to check; validation counters stay 0.
+    assert_eq!(pruned.static_checked, 0);
+    assert_eq!(pruned.static_disagreements, 0);
+}
+
+/// Validate mode replays every site *and* cross-examines each static
+/// claim against the dynamic verdict — zero disagreements on the stock
+/// workloads, under every protected scheme.
+#[test]
+fn static_validation_agrees_with_replay_on_mt() {
+    for scheme in
+        [SchemeId::Penny, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::IGpu]
+    {
+        let r = run_conformance_static("MT", scheme, 300, StaticMode::Validate);
+        assert_eq!(r.pruned_static, 0, "validate mode must replay everything");
+        assert!(r.static_checked > 0, "{}: no static claims checked", r.variant);
+        assert_eq!(
+            r.static_disagreements, 0,
+            "{}: static claims contradicted: {:?}",
+            r.variant, r.disagreements
+        );
+        assert!(r.failures.is_empty());
+        assert_eq!(r.recovered, r.covered);
+    }
+}
+
+/// An unprotected RF admits no protection model: the analysis claims
+/// nothing, so validation has nothing to check (and pruning nothing to
+/// prune beyond dead/overwritten intervals, which hold regardless of
+/// protection).
+#[test]
+fn static_validation_is_vacuous_only_for_covered_claims_on_baseline() {
+    let r = run_conformance_static("MT", SchemeId::Baseline, 200, StaticMode::Validate);
+    // Dead/overwritten facts are protection-independent and still
+    // checked; covered claims require a protection model and cannot
+    // appear. Disagreements must stay zero either way.
+    assert_eq!(r.static_disagreements, 0, "{:?}", r.disagreements);
+}
+
+/// Sharded static-prune runs must merge bit-identically into the
+/// unsharded report, pruning buckets included.
+#[test]
+fn sharded_static_prune_reports_merge_byte_identically() {
+    let budget = 200;
+    let full = run_conformance_static("MT", SchemeId::Penny, budget, StaticMode::Prune);
+    for count in [2u32, 3] {
+        let shards: Vec<_> = (0..count)
+            .map(|index| {
+                run_conformance_static_sharded(
+                    "MT",
+                    SchemeId::Penny,
+                    budget,
+                    StaticMode::Prune,
+                    Shard { index, count },
+                )
+            })
+            .collect();
+        let merged = merge_reports(&shards).expect("merge");
+        assert_eq!(render_report(&merged), render_report(&full));
+        assert_eq!(merged.pruned_static, full.pruned_static);
+        assert_eq!(merged.static_prune, full.static_prune);
+        assert_eq!(merged.covered, full.covered);
+        assert_eq!(merged.skipped, full.skipped);
+        assert_eq!(merged.classes, full.classes);
+    }
+}
+
+/// The static-pruning acceptance run recorded in `EXPERIMENTS.md`: the
+/// full SGEMM/BoltGlobal fault space (~577M sites, previously
+/// sample-only) swept exhaustively with static pruning on — every site
+/// either statically answered or replayed to recovery. Run with
+///
+/// ```text
+/// cargo test --release -p penny-bench --test conformance -- \
+///     --ignored exhaustive_sgemm --nocapture
+/// ```
+#[test]
+#[ignore = "exhaustive 577M-site sweep; run explicitly in release mode"]
+fn exhaustive_sgemm_bolt_global_with_static_prune() {
+    let r =
+        run_conformance_static("SGEMM", SchemeId::BoltGlobal, u64::MAX, StaticMode::Prune);
+    print!("{}", render_report(&r));
+    assert_eq!(r.skipped, 0, "exhaustive sweep must answer every site");
+    assert_eq!(r.covered + r.pruned_static, r.total);
+    assert!(r.pruned_static > r.total / 2, "SGEMM must prune most of the space");
+    assert!(r.failures.is_empty(), "{} residual sites failed to recover", r.failures.len());
+    assert_eq!(r.recovered, r.covered, "all residual sites must recover");
 }
 
 /// The deep sweep recorded in `EXPERIMENTS.md`: all four stock workloads

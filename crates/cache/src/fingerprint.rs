@@ -109,6 +109,7 @@ impl Fingerprint for PennyConfig {
             launch,
             validate,
             lint,
+            vulnerability,
         } = self;
         protection.fingerprint(h);
         storage.fingerprint(h);
@@ -121,6 +122,7 @@ impl Fingerprint for PennyConfig {
         launch.fingerprint(h);
         h.write_bool(*validate);
         h.write_bool(*lint);
+        h.write_bool(*vulnerability);
     }
 }
 
@@ -221,6 +223,27 @@ pub fn fingerprint_protected(p: &Protected) -> u64 {
     h.write_u32(p.shared_ckpt_bytes);
     h.write_u32(p.global_slot_count);
     h.write_str(&format!("{:?}", p.stats));
+    // The vulnerability artifact is hashed only when present so digests
+    // of artifacts compiled without the analysis (including every
+    // golden in `artifact_fingerprints.txt`) are unchanged.
+    if let Some(v) = &p.vulnerability {
+        h.write_str("vulnerability");
+        h.write_u64(v.num_points() as u64);
+        h.write_u64(v.num_regs() as u64);
+        h.write_bool(v.atomics_fenced());
+        h.write_bool(v.has_regions());
+        for pc in 0..v.num_points() {
+            h.write_bool(v.protected_point(pc));
+            for reg in 0..v.num_regs() as u32 {
+                h.write_u32(match v.fact(pc, reg) {
+                    Some(penny_analysis::PointFact::Dead) => 0,
+                    Some(penny_analysis::PointFact::Overwritten) => 1,
+                    Some(penny_analysis::PointFact::ReadFirst) => 2,
+                    None => 3,
+                });
+            }
+        }
+    }
     h.finish()
 }
 

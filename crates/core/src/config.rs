@@ -228,6 +228,12 @@ pub struct PennyConfig {
     /// input kernel before any transformation; any diagnostic fails
     /// compilation with [`crate::CompileError::Lint`]. Off by default.
     pub lint: bool,
+    /// Run the static vulnerability analysis
+    /// ([`penny_analysis::VulnerabilityMap`]) on the final lowered
+    /// kernel and attach the result to [`crate::Protected`]. Off by
+    /// default; the conformance harness enables it for static pruning
+    /// and translation validation.
+    pub vulnerability: bool,
 }
 
 impl PennyConfig {
@@ -244,6 +250,7 @@ impl PennyConfig {
             launch: LaunchDims::linear(4, 128),
             validate: false,
             lint: false,
+            vulnerability: false,
         }
     }
 
@@ -322,6 +329,13 @@ impl PennyConfig {
     /// Builder-style sanitizer toggle (see [`PennyConfig::lint`]).
     pub fn with_lint(mut self, lint: bool) -> PennyConfig {
         self.lint = lint;
+        self
+    }
+
+    /// Builder-style vulnerability-analysis toggle (see
+    /// [`PennyConfig::vulnerability`]).
+    pub fn with_vulnerability(mut self, vulnerability: bool) -> PennyConfig {
+        self.vulnerability = vulnerability;
         self
     }
 }

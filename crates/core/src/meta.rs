@@ -180,6 +180,9 @@ pub struct Protected {
     pub global_slot_count: u32,
     /// Compilation statistics.
     pub stats: CompileStats,
+    /// Static fault-site classification of the final lowered kernel
+    /// (present when compiled with [`crate::PennyConfig::vulnerability`]).
+    pub vulnerability: Option<penny_analysis::VulnerabilityMap>,
 }
 
 impl Protected {
@@ -194,6 +197,7 @@ impl Protected {
             shared_ckpt_bytes: 0,
             global_slot_count: 0,
             stats: CompileStats::default(),
+            vulnerability: None,
         }
     }
 

@@ -61,7 +61,7 @@ pub fn compile_observed(
     if config.lint {
         crate::check::check_lint(kernel, config)?;
     }
-    match config.protection {
+    let mut protected = match config.protection {
         Protection::None => Ok(Protected::passthrough(kernel.clone())),
         Protection::IGpu => compile_igpu(kernel, config, rec),
         Protection::Bolt | Protection::Penny => match config.overwrite {
@@ -84,7 +84,33 @@ pub fn compile_observed(
             }
             policy => compile_checkpointed(kernel, config, policy, rec),
         },
+    }?;
+    if config.vulnerability {
+        // Static fault-site classification of the final artifact — the
+        // exact kernel the simulator will decode, so the map's program
+        // points line up with the decoded stream one-for-one. Under
+        // `OverwritePolicy::Auto` only the winning variant is analyzed.
+        let timer = SpanTimer::start(rec);
+        let map = penny_analysis::VulnerabilityMap::compute(&protected.kernel);
+        let c = map.counts();
+        record_pass(
+            rec,
+            &kernel.name,
+            "vulnerability",
+            timer,
+            &[
+                ("cells", c.cells),
+                ("dead", c.dead),
+                ("overwritten", c.overwritten),
+                ("read_first", c.read_first),
+                ("protected_points", c.protected_points),
+                ("atomics_fenced", map.atomics_fenced() as u64),
+                ("has_regions", map.has_regions() as u64),
+            ],
+        );
+        protected.vulnerability = Some(map);
     }
+    Ok(protected)
 }
 
 /// Compiles every kernel of a module under one configuration.
@@ -178,6 +204,7 @@ fn compile_igpu(
         shared_ckpt_bytes: 0,
         global_slot_count: 0,
         stats,
+        vulnerability: None,
     })
 }
 
@@ -462,6 +489,7 @@ fn compile_checkpointed(
         shared_ckpt_bytes: storage.shared_bytes,
         global_slot_count: storage.global_slots,
         stats,
+        vulnerability: None,
     })
 }
 

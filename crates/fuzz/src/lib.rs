@@ -18,9 +18,13 @@
 //!    generated fault plans, for every compiled scheme;
 //! 5. **cross-scheme** — every protected scheme's fault-free output
 //!    must equal the Baseline golden output;
-//! 6. **conformance** — a budgeted snapshot/replay sweep
-//!    ([`penny_bench::conformance::run_conformance_for`]) must recover
-//!    every covered fault site.
+//! 6. **conformance + static agreement** — a budgeted snapshot/replay
+//!    sweep in `StaticMode::Validate`
+//!    ([`penny_bench::conformance::run_conformance_static_for`]) must
+//!    recover every covered fault site, and every compile-time
+//!    [`penny_analysis::StaticSiteClass`] claim must agree with the
+//!    replay engine's dynamic verdict (translation validation of the
+//!    static vulnerability analysis, on the same replays).
 //!
 //! A divergence is shrunk ([`shrink_spec`]) to a minimal spec that
 //! still reproduces the same divergence kind, and can be banked as a
@@ -35,7 +39,7 @@ use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use penny_analysis::{lint_kernel, LintOptions, Severity};
-use penny_bench::conformance::{run_conformance_for, ConformanceReport};
+use penny_bench::conformance::{run_conformance_static_for, ConformanceReport, StaticMode};
 use penny_bench::SchemeId;
 use penny_core::Protected;
 use penny_sim::gen::{self, splitmix64, KernelSpec};
@@ -100,6 +104,10 @@ pub enum DivergenceKind {
     SchemeOutput,
     /// A conformance sweep left fault sites unrecovered.
     Conformance,
+    /// A compile-time static site classification contradicted the
+    /// replay engine's dynamic verdict (translation-validation failure
+    /// of the vulnerability analysis).
+    StaticAgreement,
     /// A gauntlet stage panicked (engine or harness bug).
     Engine,
 }
@@ -114,6 +122,7 @@ impl DivergenceKind {
             DivergenceKind::Differential => "differential",
             DivergenceKind::SchemeOutput => "scheme-output",
             DivergenceKind::Conformance => "conformance",
+            DivergenceKind::StaticAgreement => "static-agreement",
             DivergenceKind::Engine => "engine",
         }
     }
@@ -151,6 +160,9 @@ pub struct StageCounts {
     pub differential_runs: u64,
     /// Fault sites covered by conformance sweeps.
     pub conformance_sites: u64,
+    /// Static site-class claims cross-examined against the replay
+    /// engine (conformance sweeps run in validate mode).
+    pub static_claims: u64,
 }
 
 impl StageCounts {
@@ -161,6 +173,7 @@ impl StageCounts {
         self.compile_skips += other.compile_skips;
         self.differential_runs += other.differential_runs;
         self.conformance_sites += other.conformance_sites;
+        self.static_claims += other.static_claims;
     }
 }
 
@@ -204,8 +217,8 @@ impl FuzzReport {
         );
         let _ = writeln!(
             out,
-            "differential runs {}  conformance sites {}",
-            c.differential_runs, c.conformance_sites
+            "differential runs {}  conformance sites {}  static claims {}",
+            c.differential_runs, c.conformance_sites, c.static_claims
         );
         let _ = writeln!(out, "divergences {}", self.divergences.len());
         for (i, d) in self.divergences.iter().enumerate() {
@@ -426,7 +439,9 @@ pub fn run_gauntlet(spec: &KernelSpec, cfg: &FuzzConfig) -> GauntletOutcome {
         }
     }
 
-    // Stage 6 — budgeted snapshot/replay conformance sweeps.
+    // Stage 6 — budgeted snapshot/replay conformance sweeps in
+    // validate mode: same replays, plus a static-vs-dynamic agreement
+    // cross-examination of every compile-time site classification.
     if cfg.conformance_budget > 0 && !cfg.conformance_schemes.is_empty() {
         let workload = spec_workload(spec, golden);
         for &scheme in &cfg.conformance_schemes {
@@ -435,7 +450,7 @@ pub fn run_gauntlet(spec: &KernelSpec, cfg: &FuzzConfig) -> GauntletOutcome {
             }
             let budget = cfg.conformance_budget;
             let report = match catch_unwind(AssertUnwindSafe(|| {
-                run_conformance_for(&workload, scheme, budget)
+                run_conformance_static_for(&workload, scheme, budget, StaticMode::Validate)
             })) {
                 Ok(r) => r,
                 Err(p) => {
@@ -449,8 +464,18 @@ pub fn run_gauntlet(spec: &KernelSpec, cfg: &FuzzConfig) -> GauntletOutcome {
                 }
             };
             out.counts.conformance_sites += report.covered;
+            out.counts.static_claims += report.static_checked;
             if let Some(detail) = conformance_failure(&report) {
                 fail(&mut out, DivergenceKind::Conformance, Some(scheme.name()), detail);
+                return out;
+            }
+            if let Some(detail) = static_disagreement(&report) {
+                fail(
+                    &mut out,
+                    DivergenceKind::StaticAgreement,
+                    Some(scheme.name()),
+                    detail,
+                );
                 return out;
             }
         }
@@ -481,6 +506,22 @@ fn conformance_failure(report: &ConformanceReport) -> Option<String> {
             f.injection.after_warp_insts,
             f.reason
         );
+    }
+    Some(detail)
+}
+
+/// Renders a validate-mode report's static/dynamic disagreements, if
+/// any.
+fn static_disagreement(report: &ConformanceReport) -> Option<String> {
+    if report.static_disagreements == 0 {
+        return None;
+    }
+    let mut detail = format!(
+        "{} of {} static claims contradicted by the replay engine",
+        report.static_disagreements, report.static_checked
+    );
+    for (pos, reason) in &report.disagreements {
+        let _ = write!(detail, "; site {pos}: {reason}");
     }
     Some(detail)
 }
@@ -610,7 +651,9 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 /// Replays one banked workload through the whole gauntlet: parse +
 /// validate + lint, compile under every scheme (validation + lint on),
 /// decoded-vs-reference differential (fault-free and faulted), golden
-/// output check, and a budgeted Penny conformance sweep.
+/// output check, and a budgeted Penny conformance sweep in validate
+/// mode (every static site-class claim cross-examined against the
+/// replay engine).
 ///
 /// # Errors
 ///
@@ -680,9 +723,17 @@ pub fn replay_workload(w: &Workload, conformance_budget: u64) -> Result<(), Stri
     }
 
     if conformance_budget > 0 {
-        let report = run_conformance_for(w, SchemeId::Penny, conformance_budget);
+        let report = run_conformance_static_for(
+            w,
+            SchemeId::Penny,
+            conformance_budget,
+            StaticMode::Validate,
+        );
         if let Some(detail) = conformance_failure(&report) {
             return Err(format!("{}: conformance: {detail}", w.abbr));
+        }
+        if let Some(detail) = static_disagreement(&report) {
+            return Err(format!("{}: static agreement: {detail}", w.abbr));
         }
     }
     Ok(())

@@ -66,7 +66,9 @@ pub use fault::{FaultPlan, Injection};
 pub use memory::{GlobalMemory, SharedMemory};
 pub use program::{DKind, DSrc, DecodedInst, Program, NO_REG};
 pub use regfile::{ReadOutcome, RegFile, RfStats};
-pub use snapshot::{EngineSnapshot, Recording, RecordingCounters, SiteClass, SiteRun};
+pub use snapshot::{
+    EngineSnapshot, Recording, RecordingCounters, SiteClass, SiteRun, WarpStream,
+};
 
 /// Simulation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -243,6 +243,7 @@ mod tests {
             shared_ckpt_bytes: 64,
             global_slot_count: 2,
             stats: CompileStats::default(),
+            vulnerability: None,
         }
     }
 

@@ -140,6 +140,15 @@ struct WarpTrace {
     final_executed: u64,
     /// Live lanes.
     width: u32,
+    /// Program counter of each dynamic instruction, indexed by the
+    /// warp-local dynamic instruction index. Region markers are
+    /// fast-forwarded by the engine and never appear here.
+    pcs: Vec<u32>,
+    /// Flow mask (pre-guard) of each dynamic instruction. A lane in
+    /// the mask at index `t` executes exactly the recorded CFG path
+    /// from `pcs[t]` onward, which is what lets a per-PC static fact
+    /// be attributed to a fault site at trigger `t`.
+    masks: Vec<u32>,
 }
 
 /// One mid-wave checkpoint, captured at a scheduler-cycle boundary
@@ -164,6 +173,21 @@ struct WaveRec {
     global_start: GlobalMemory,
     global_end: GlobalMemory,
     snaps: Vec<Snap>,
+}
+
+/// One warp's recorded dynamic stream, borrowed from a [`Recording`].
+#[derive(Debug, Clone, Copy)]
+pub struct WarpStream<'a> {
+    /// Linear block index.
+    pub block: u32,
+    /// Warp id within the block.
+    pub warp: u32,
+    /// Live lanes.
+    pub width: u32,
+    /// Program counter per dynamic instruction.
+    pub pcs: &'a [u32],
+    /// Flow mask per dynamic instruction.
+    pub masks: &'a [u32],
 }
 
 /// Counters describing a recording (for observability spans).
@@ -267,6 +291,8 @@ impl WaveTrace for WaveRecorder<'_> {
                             accesses: vec![Vec::new(); 32 * self.num_regs],
                             final_executed: 0,
                             width: w.width,
+                            pcs: Vec::new(),
+                            masks: Vec::new(),
                         },
                     );
                     self.last_entry.push(u64::MAX);
@@ -323,6 +349,9 @@ impl WaveTrace for WaveRecorder<'_> {
             let tr =
                 self.traces.get_mut(&(block, ev.wi as u32)).expect("warp trace registered");
             tr.final_executed = ev.executed + 1;
+            debug_assert_eq!(tr.pcs.len() as u64, ev.executed, "per-warp event order");
+            tr.pcs.push(ev.pc as u32);
+            tr.masks.push(ev.mask);
             ev.wi as u32
         };
         let d = self.program.decoded[ev.pc];
@@ -503,6 +532,65 @@ impl Recording {
     /// The class of a site, without running it (reporting only).
     pub fn site_class(&self, inj: &Injection) -> SiteClass {
         self.classify(inj).0
+    }
+
+    /// Static attribution of a firing site: the program counter of the
+    /// victim warp's dynamic instruction at the trigger, provided the
+    /// victim lane belongs to that instruction's flow mask (the lane
+    /// then executes exactly the recorded CFG path from this PC on, so
+    /// a per-PC static fact applies to it). Returns `None` for
+    /// never-firing sites and for lanes outside the mask — those must
+    /// be classified dynamically.
+    pub fn static_point(&self, inj: &Injection) -> Option<usize> {
+        let tr = self.accesses.get(&(inj.block, inj.warp))?;
+        let t = inj.after_warp_insts;
+        if inj.lane >= tr.width
+            || t >= tr.final_executed
+            || inj.reg as usize >= self.num_regs
+        {
+            return None;
+        }
+        let idx = t as usize;
+        ((tr.masks[idx] >> inj.lane) & 1 == 1).then(|| tr.pcs[idx] as usize)
+    }
+
+    /// The victim cell's first recorded access at or after dynamic
+    /// index `from`: `(index, is_read)`. `None` when the cell is never
+    /// accessed again, the warp does not exist, or the lane/register
+    /// is out of range. Ground truth for the static liveness oracle.
+    pub fn first_access(
+        &self,
+        block: u32,
+        warp: u32,
+        lane: u32,
+        reg: u32,
+        from: u64,
+    ) -> Option<(u64, bool)> {
+        let tr = self.accesses.get(&(block, warp))?;
+        if lane >= tr.width || reg as usize >= self.num_regs {
+            return None;
+        }
+        let cell = &tr.accesses[lane as usize * self.num_regs + reg as usize];
+        let pos = cell.partition_point(|a| a.idx < from);
+        cell.get(pos).map(|a| (a.idx, a.read))
+    }
+
+    /// Iterates the recorded per-warp dynamic streams (PC and flow
+    /// mask per dynamic instruction), for analytic site accounting and
+    /// the static/dynamic agreement oracle.
+    pub fn warp_streams(&self) -> impl Iterator<Item = WarpStream<'_>> {
+        let mut keys: Vec<&(u32, u32)> = self.accesses.keys().collect();
+        keys.sort();
+        keys.into_iter().map(|k| {
+            let tr = &self.accesses[k];
+            WarpStream {
+                block: k.0,
+                warp: k.1,
+                width: tr.width,
+                pcs: &tr.pcs,
+                masks: &tr.masks,
+            }
+        })
     }
 
     /// For [`SiteClass::Simulated`] sites: the memoization key under

@@ -22,6 +22,12 @@
 #      from-scratch runs) and the campaign-throughput gate
 #      (snapshot-vs-cold site throughput >= 20x, best of 3, written to
 #      BENCH_eval.json);
+#   6b. the static-vulnerability gates: the translation-validation
+#      agreement sweep (deep-budget MT/SGEMM under every protected
+#      scheme plus the exhaustive MT fault space, validate mode — zero
+#      static/dynamic disagreements), and the prune-rate floor
+#      (penny-eval vulnerability --min-prune: at least 50% of the MT
+#      fault space must be statically answered);
 #   7. the observability layer: penny-prof over all 25 workloads with
 #      every emitted JSONL span schema-validated, plus the neutrality
 #      suite (figures/BENCH/conformance byte-identical with the
@@ -74,6 +80,18 @@ cargo test -q -p penny-bench conformance
 echo "==> conformance: campaign throughput gate (>= 20x vs cold)"
 cargo run -q --release -p penny-bench --bin penny-eval -- \
     conformance --bench-json --min-speedup 20
+
+echo "==> static vulnerability: translation-validation agreement sweep"
+# Deep-budget validate-mode sweeps of MT and SGEMM under every
+# protected scheme, then the exhaustive full MT fault space: every
+# static site-class claim is also replayed and cross-examined against
+# the snapshot/replay engine. One disagreement fails the gate.
+cargo run -q --release -p penny-bench --bin penny-eval -- \
+    static-agreement --budget 2000
+
+echo "==> static vulnerability: prune-rate floor (MT >= 50% classified)"
+cargo run -q --release -p penny-bench --bin penny-eval -- \
+    vulnerability --min-prune 0.5 > /dev/null
 
 echo "==> observability: span schema + neutrality"
 cargo run -q --release -p penny-bench --bin penny-prof -- --all-workloads --json --check > /dev/null
