@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! penny-eval [--jobs N] [--shard I/N] [--budget N] [--runs N]
+//!            [--workloads A,B] [--schemes X,Y] [--report-json PATH]
+//!            [--recording-store DIR] [--obs-jsonl PATH]
 //!            [--bench-json] [--min-speedup X]
 //!            [--static-prune] [--static-validate] [--min-prune X]
 //!            [table1|table2|table3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|
@@ -15,6 +17,22 @@
 //! `--jobs N` sets the worker-thread count for the figure harness
 //! (default: all available cores). Results are bit-identical for every
 //! `N`; see `penny_bench::parallel`.
+//!
+//! Shard-process flags (what `penny-herd` drives; see `DESIGN.md` §16):
+//!
+//! * `--workloads A,B` / `--schemes X,Y` restrict the `conformance`
+//!   matrix to the named workload abbreviations and scheme tokens
+//!   (`Baseline`, `IGpu`, `BoltGlobal`, `BoltAuto`, `Penny`). When
+//!   either is given, the global figure prewarm is skipped so shard
+//!   processes start fast.
+//! * `--report-json PATH` writes every conformance report of the run as
+//!   versioned JSON (`penny_bench::json`) — written even when sites
+//!   fail, so the orchestrator can always merge what succeeded.
+//! * `--recording-store DIR` persists fault-free recordings
+//!   content-addressed under `DIR` (`penny_bench::recstore`); warm runs
+//!   skip the record phase entirely.
+//! * `--obs-jsonl PATH` appends every observability span (including the
+//!   `recording-store` and compile-cache counters) as JSON lines.
 //!
 //! `bench-json` runs the Figure 9 pipeline under a wall-clock timer and
 //! writes `BENCH_eval.json` (wall-clock seconds, per-workload cycle and
@@ -58,10 +76,12 @@
 //! (`pruned-static` bucket in the report); validation replays them
 //! anyway and hard-errors on contradictions.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use penny_bench::conformance::Shard;
-use penny_bench::{conformance, figures, report, SchemeId, StaticMode};
+use penny_bench::{conformance, figures, recstore, report, SchemeId, StaticMode};
+use penny_obs::MemRecorder;
 use penny_sim::GpuConfig;
 
 fn main() {
@@ -73,6 +93,10 @@ fn main() {
     let mut min_speedup: Option<f64> = None;
     let mut static_mode = StaticMode::Off;
     let mut min_prune: Option<f64> = None;
+    let mut workloads: Option<Vec<String>> = None;
+    let mut schemes: Option<Vec<SchemeId>> = None;
+    let mut report_json: Option<String> = None;
+    let mut obs_jsonl: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -86,7 +110,7 @@ fn main() {
         if let Some(v) = flag("--jobs") {
             jobs = v.parse().unwrap_or_else(|_| die("--jobs needs a positive integer"));
         } else if let Some(v) = flag("--shard") {
-            shard = Shard::parse(&v).unwrap_or_else(|e| die(&e));
+            shard = Shard::parse(&v).unwrap_or_else(|e| die(&e.to_string()));
         } else if let Some(v) = flag("--budget") {
             budget = v.parse().unwrap_or_else(|_| die("--budget needs a positive integer"));
         } else if let Some(v) = flag("--runs") {
@@ -97,6 +121,41 @@ fn main() {
         } else if let Some(v) = flag("--min-prune") {
             min_prune =
                 Some(v.parse().unwrap_or_else(|_| die("--min-prune needs a number")));
+        } else if let Some(v) = flag("--workloads") {
+            workloads = Some(
+                v.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|abbr| {
+                        if penny_workloads::by_abbr(abbr).is_none() {
+                            die(&format!("--workloads: unknown workload {abbr:?}"));
+                        }
+                        abbr.to_string()
+                    })
+                    .collect(),
+            );
+        } else if let Some(v) = flag("--schemes") {
+            schemes = Some(
+                v.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|tok| {
+                        SchemeId::from_token(tok).unwrap_or_else(|| {
+                            die(&format!(
+                                "--schemes: unknown scheme {tok:?} (tokens: Baseline, \
+                                 IGpu, BoltGlobal, BoltAuto, Penny)"
+                            ))
+                        })
+                    })
+                    .collect(),
+            );
+        } else if let Some(v) = flag("--report-json") {
+            report_json = Some(v);
+        } else if let Some(v) = flag("--recording-store") {
+            recstore::set_recording_store(std::path::Path::new(&v))
+                .unwrap_or_else(|e| die(&format!("--recording-store {v}: {e}")));
+        } else if let Some(v) = flag("--obs-jsonl") {
+            obs_jsonl = Some(v);
         } else if a == "--bench-json" {
             bench_json_out = true;
         } else if a == "--static-prune" {
@@ -114,7 +173,32 @@ fn main() {
         die("--budget needs a positive integer");
     }
     penny_bench::set_jobs(jobs);
-    prewarm();
+    let recorder = obs_jsonl.as_ref().map(|_| {
+        let rec = Arc::new(MemRecorder::new());
+        penny_bench::obs::set_recorder(rec.clone());
+        rec
+    });
+    // The deep-sweep pairs a restricted conformance run covers; `None`
+    // means the full built-in matrix.
+    let selection: Option<Vec<(&str, SchemeId)>> =
+        if workloads.is_some() || schemes.is_some() {
+            let ws: Vec<&str> = match &workloads {
+                Some(w) => w.iter().map(String::as_str).collect(),
+                None => DEEP_SWEEP_WORKLOADS.to_vec(),
+            };
+            let ss: &[SchemeId] = match &schemes {
+                Some(s) => s,
+                None => &DEEP_SWEEP_SCHEMES,
+            };
+            Some(ws.iter().flat_map(|&w| ss.iter().map(move |&s| (w, s))).collect())
+        } else {
+            None
+        };
+    // A restricted run is a shard process: the figure-matrix prewarm
+    // (5 schemes x every registered workload) would dwarf its real work.
+    if selection.is_none() {
+        prewarm();
+    }
 
     let targets: Vec<&str> = if targets.is_empty() || targets.iter().any(|a| a == "all") {
         vec![
@@ -135,6 +219,7 @@ fn main() {
     } else {
         targets.iter().map(String::as_str).collect()
     };
+    let mut conformance_failed = false;
     for t in targets {
         match t {
             "table1" => print!("{}", report::render_table1()),
@@ -162,14 +247,18 @@ fn main() {
                 penny_bench::campaign::render_multibit(&penny_bench::multibit_sweep(100))
             ),
             "bench-json" => bench_json(jobs),
-            "conformance" => conformance_cmd(
-                shard,
-                budget,
-                bench_json_out,
-                min_speedup,
-                jobs,
-                static_mode,
-            ),
+            "conformance" => {
+                conformance_failed |= conformance_cmd(&ConformanceArgs {
+                    shard,
+                    budget,
+                    bench_json_out,
+                    min_speedup,
+                    jobs,
+                    mode: static_mode,
+                    pairs: selection.as_deref().unwrap_or(&DEEP_SWEEP),
+                    report_json: report_json.as_deref(),
+                });
+            }
             "conformance-exhaustive" => conformance_exhaustive(shard, static_mode),
             "campaign" => campaign_cmd(runs, shard),
             "vulnerability" => vulnerability_cmd(min_prune),
@@ -177,48 +266,82 @@ fn main() {
             other => die(&format!("unknown target `{other}` (try `all`)")),
         }
     }
+    if let (Some(path), Some(rec)) = (&obs_jsonl, &recorder) {
+        // Fold the process-wide cache counters in before dumping, so
+        // the stream carries the compile-cache and recording-store
+        // totals alongside the per-site spans.
+        penny_bench::cache::record_cache_spans(rec.as_ref());
+        recstore::record_store_span(rec.as_ref());
+        let mut out = String::new();
+        for span in rec.take() {
+            out.push_str(&span.to_jsonl());
+            out.push('\n');
+        }
+        std::fs::write(path, out).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+    }
+    if conformance_failed {
+        std::process::exit(1);
+    }
 }
+
+/// The deep-sweep workloads.
+const DEEP_SWEEP_WORKLOADS: [&str; 4] = ["MT", "SPMV", "SGEMM", "BFS"];
+
+/// The deep-sweep (protected) schemes.
+const DEEP_SWEEP_SCHEMES: [SchemeId; 4] =
+    [SchemeId::Penny, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::IGpu];
 
 /// The deep-sweep (workload, scheme) matrix the conformance subcommand
 /// and throughput gate cover.
 const DEEP_SWEEP: [(&str, SchemeId); 16] = {
-    const W: [&str; 4] = ["MT", "SPMV", "SGEMM", "BFS"];
-    const S: [SchemeId; 4] =
-        [SchemeId::Penny, SchemeId::BoltGlobal, SchemeId::BoltAuto, SchemeId::IGpu];
     let mut pairs = [("", SchemeId::Penny); 16];
     let mut i = 0;
     while i < 16 {
-        pairs[i] = (W[i / 4], S[i % 4]);
+        pairs[i] = (DEEP_SWEEP_WORKLOADS[i / 4], DEEP_SWEEP_SCHEMES[i % 4]);
         i += 1;
     }
     pairs
 };
 
-/// `conformance`: deep sweep through the snapshot/replay engine, one
-/// shard of the sample-position partition per invocation.
-fn conformance_cmd(
+/// Everything the `conformance` subcommand consumes.
+struct ConformanceArgs<'a> {
     shard: Shard,
     budget: u64,
     bench_json_out: bool,
     min_speedup: Option<f64>,
     jobs: usize,
     mode: StaticMode,
-) {
-    conformance::prewarm_static(&DEEP_SWEEP, mode != StaticMode::Off);
+    /// The (workload, scheme) matrix to sweep.
+    pairs: &'a [(&'a str, SchemeId)],
+    /// Where to write the reports as JSON (always written, even on
+    /// failures — the orchestrator merges whatever this shard proved).
+    report_json: Option<&'a str>,
+}
+
+/// `conformance`: deep sweep through the snapshot/replay engine, one
+/// shard of the sample-position partition per invocation. Returns
+/// whether any site failed (the caller exits nonzero *after* the
+/// report JSON and observability spans are flushed).
+fn conformance_cmd(a: &ConformanceArgs) -> bool {
+    conformance::prewarm_static(a.pairs, a.mode != StaticMode::Off);
     println!(
-        "== Conformance deep sweep (budget {budget}, shard {}/{}{}) ==",
-        shard.index,
-        shard.count,
-        match mode {
+        "== Conformance deep sweep (budget {}, shard {}/{}{}) ==",
+        a.budget,
+        a.shard.index,
+        a.shard.count,
+        match a.mode {
             StaticMode::Off => "",
             StaticMode::Prune => ", static-prune",
             StaticMode::Validate => ", static-validate",
         }
     );
-    for (abbr, scheme) in DEEP_SWEEP {
+    let mut failed = false;
+    let mut reports = Vec::with_capacity(a.pairs.len());
+    for &(abbr, scheme) in a.pairs {
         let t = Instant::now();
-        let r =
-            conformance::run_conformance_static_sharded(abbr, scheme, budget, mode, shard);
+        let r = conformance::run_conformance_static_sharded(
+            abbr, scheme, a.budget, a.mode, a.shard,
+        );
         let wall = t.elapsed().as_secs_f64();
         print!("{}", conformance::render_report(&r));
         println!(
@@ -232,13 +355,17 @@ fn conformance_cmd(
             wall,
             r.covered as f64 / wall.max(1e-9)
         );
-        if !r.failures.is_empty() || r.static_disagreements > 0 {
-            std::process::exit(1);
-        }
+        failed |= !r.failures.is_empty() || r.static_disagreements > 0;
+        reports.push(r);
     }
-    if bench_json_out || min_speedup.is_some() {
-        conformance_bench_json(budget, min_speedup, jobs);
+    if let Some(path) = a.report_json {
+        let json = penny_bench::json::reports_to_json(&reports);
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
     }
+    if !failed && (a.bench_json_out || a.min_speedup.is_some()) {
+        conformance_bench_json(a.budget, a.min_speedup, a.jobs);
+    }
+    failed
 }
 
 /// Times the snapshot engine against the cold harness on the protected

@@ -21,7 +21,7 @@ use penny_sim::{FaultPlan, Gpu, GpuConfig, Injection, RfProtection};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::conformance::Shard;
+use crate::conformance::{MergeError, Shard};
 
 /// Outcome counts of one campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,16 +172,19 @@ pub fn edc_campaign_sharded(
 ///
 /// # Errors
 ///
-/// Rejects an empty input and mismatched `(scheme, flips)` pairs.
-pub fn merge_campaigns(results: &[CampaignResult]) -> Result<CampaignResult, String> {
-    let first = *results.first().ok_or("no campaign results to merge")?;
+/// Rejects an empty input ([`MergeError::Empty`]) and mismatched
+/// `(scheme, flips)` pairs ([`MergeError::CampaignMismatch`], naming
+/// the offending result's position).
+pub fn merge_campaigns(results: &[CampaignResult]) -> Result<CampaignResult, MergeError> {
+    let first = *results.first().ok_or(MergeError::Empty)?;
     let mut merged = CampaignResult { runs: 0, benign: 0, recovered: 0, sdc: 0, ..first };
-    for r in results {
+    for (i, r) in results.iter().enumerate() {
         if (r.scheme, r.flips) != (first.scheme, first.flips) {
-            return Err(format!(
-                "mismatched campaign shard: {:?}x{} vs {:?}x{}",
-                r.scheme, r.flips, first.scheme, first.flips
-            ));
+            return Err(MergeError::CampaignMismatch {
+                index: i as u32,
+                found: format!("{:?}x{}", r.scheme, r.flips),
+                expected: format!("{:?}x{}", first.scheme, first.flips),
+            });
         }
         merged.runs += r.runs;
         merged.benign += r.benign;
@@ -347,8 +350,11 @@ mod tests {
             let merged = merge_campaigns(&shards).expect("merge");
             assert_eq!(merged, full, "{count} shards diverge from the full run");
         }
-        assert!(merge_campaigns(&[]).is_err());
+        assert_eq!(merge_campaigns(&[]), Err(MergeError::Empty));
         let other = edc_campaign(Scheme::Hamming, 1, 4, 1);
-        assert!(merge_campaigns(&[full, other]).is_err());
+        assert!(matches!(
+            merge_campaigns(&[full, other]),
+            Err(MergeError::CampaignMismatch { index: 1, .. })
+        ));
     }
 }

@@ -45,6 +45,7 @@
 //! of a corrupted-memory assert thousands of cycles later.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 use penny_analysis::{RfModel, StaticSiteClass, VulnerabilityMap};
@@ -125,6 +126,13 @@ impl FaultSpace {
         if total <= budget {
             return SiteSeq::Exhaustive(total);
         }
+        if budget == 0 {
+            // A zero budget covers nothing. Without this guard the
+            // stride derivation below divides by zero (a zero-budget
+            // sweep or an over-sharded partition must yield an
+            // empty-but-valid report, not a panic).
+            return SiteSeq::Sampled(Vec::new());
+        }
         let mut stride = (total / budget) | 1; // odd ⇒ coprime with powers of 2
         while gcd(stride, total) != 1 {
             stride += 2;
@@ -190,6 +198,44 @@ pub struct Shard {
     pub count: u32,
 }
 
+/// Why a shard specification was rejected by [`Shard::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Not of the form `i/n`.
+    Malformed(String),
+    /// The index before the slash is not a `u32`.
+    BadIndex(String),
+    /// The count after the slash is not a `u32`.
+    BadCount(String),
+    /// `n == 0`: a partition needs at least one shard.
+    ZeroCount,
+    /// `i >= n`: the index names a shard outside the partition.
+    OutOfRange {
+        /// The rejected shard index.
+        index: u32,
+        /// The partition size it falls outside of.
+        count: u32,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Malformed(s) => {
+                write!(f, "shard must be i/n (e.g. 0/4), got {s:?}")
+            }
+            ShardError::BadIndex(i) => write!(f, "bad shard index {i:?}"),
+            ShardError::BadCount(n) => write!(f, "bad shard count {n:?}"),
+            ShardError::ZeroCount => write!(f, "shard count must be >= 1"),
+            ShardError::OutOfRange { index, count } => {
+                write!(f, "shard index {index} out of range 0..{count}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
 impl Shard {
     /// The trivial single-shard partition (covers everything).
     pub fn full() -> Shard {
@@ -200,18 +246,22 @@ impl Shard {
     ///
     /// # Errors
     ///
-    /// Rejects malformed syntax, `n == 0`, and `i >= n`.
-    pub fn parse(s: &str) -> Result<Shard, String> {
-        let (i, n) = s
-            .split_once('/')
-            .ok_or_else(|| format!("shard must be i/n (e.g. 0/4), got {s:?}"))?;
-        let index: u32 = i.trim().parse().map_err(|_| format!("bad shard index {i:?}"))?;
-        let count: u32 = n.trim().parse().map_err(|_| format!("bad shard count {n:?}"))?;
+    /// Rejects malformed syntax, `n == 0`, and `i >= n` — each with its
+    /// own [`ShardError`] variant, so callers (the `penny-herd`
+    /// orchestrator in particular) can tell a typo from an impossible
+    /// partition.
+    pub fn parse(s: &str) -> Result<Shard, ShardError> {
+        let (i, n) =
+            s.split_once('/').ok_or_else(|| ShardError::Malformed(s.to_string()))?;
+        let index: u32 =
+            i.trim().parse().map_err(|_| ShardError::BadIndex(i.to_string()))?;
+        let count: u32 =
+            n.trim().parse().map_err(|_| ShardError::BadCount(n.to_string()))?;
         if count == 0 {
-            return Err("shard count must be >= 1".into());
+            return Err(ShardError::ZeroCount);
         }
         if index >= count {
-            return Err(format!("shard index {index} out of range 0..{count}"));
+            return Err(ShardError::OutOfRange { index, count });
         }
         Ok(Shard { index, count })
     }
@@ -515,8 +565,15 @@ fn prepare_workload(workload: Workload, scheme: SchemeId, vulnerability: bool) -
     // sizes the trigger dimension.
     let mut seed_mem = GlobalMemory::new();
     let launch = workload.prepare(&mut seed_mem);
-    let recording = Recording::record(&gpu_config, &protected, &launch, &seed_mem)
-        .unwrap_or_else(|e| panic!("{abbr} fault-free run: {e}"));
+    let recording = crate::recstore::load_or_record(
+        &workload,
+        &config,
+        &gpu_config,
+        &protected,
+        &launch,
+        &seed_mem,
+    )
+    .unwrap_or_else(|e| panic!("{abbr} fault-free run: {e}"));
     assert!(workload.check(recording.global()), "{abbr}: fault-free output wrong");
     let reference = user_memory(recording.global());
     let stats = recording.stats();
@@ -1088,6 +1145,79 @@ fn run_prepared(
     }
 }
 
+/// Why a set of shard results refused to merge. Every variant that
+/// involves a specific shard surfaces its index, so the `penny-herd`
+/// orchestrator (and a human reading its log) can name the offender
+/// instead of guessing from a free-form string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No results were supplied at all.
+    Empty,
+    /// The partition is incomplete (or over-full): the first result
+    /// declares `expected` shards but `got` results arrived.
+    MissingShards {
+        /// Shard count declared by the first result.
+        expected: u32,
+        /// Number of results actually supplied.
+        got: u32,
+    },
+    /// A result's identity — (workload, variant, space) for conformance
+    /// reports — disagrees with the first result's.
+    ShapeMismatch {
+        /// The offending result's shard index.
+        index: u32,
+        /// The offending result's shard count.
+        count: u32,
+        /// Workload of the offending result.
+        workload: String,
+        /// Scheme/variant of the offending result.
+        variant: String,
+    },
+    /// Two results claim the same shard index.
+    DuplicateShard {
+        /// The index claimed twice.
+        index: u32,
+        /// The partition size.
+        count: u32,
+    },
+    /// A campaign result's `(scheme, flips)` cell disagrees with the
+    /// first result's — results from different campaign cells cannot be
+    /// summed.
+    CampaignMismatch {
+        /// Position of the offending result in the input slice.
+        index: u32,
+        /// `{scheme}x{flips}` of the offending result.
+        found: String,
+        /// `{scheme}x{flips}` of the first result.
+        expected: String,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "no reports to merge"),
+            MergeError::MissingShards { expected, got } => {
+                write!(f, "expected {expected} shards, got {got}")
+            }
+            MergeError::ShapeMismatch { index, count, workload, variant } => {
+                write!(
+                    f,
+                    "mismatched shard report {index}/{count} for {workload} {variant}"
+                )
+            }
+            MergeError::DuplicateShard { index, count } => {
+                write!(f, "duplicate shard {index}/{count}")
+            }
+            MergeError::CampaignMismatch { index, found, expected } => {
+                write!(f, "mismatched campaign shard {index}: {found} vs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// Merges per-shard reports into the unsharded report: verdict fields
 /// (coverage, recovery, class counts, failures) are bit-identical to a
 /// `Shard::full()` run; [`ReplayWork`] counters are summed honestly.
@@ -1095,13 +1225,41 @@ fn run_prepared(
 /// # Errors
 ///
 /// Rejects an empty input, mismatched (workload, scheme, space) pairs,
-/// and partitions that are not exactly `0/n .. (n-1)/n`.
-pub fn merge_reports(reports: &[ConformanceReport]) -> Result<ConformanceReport, String> {
-    let first = reports.first().ok_or("no reports to merge")?;
-    let count = first.shard.1;
-    if reports.len() as u32 != count {
-        return Err(format!("expected {count} shards, got {}", reports.len()));
+/// and partitions that are not exactly `0/n .. (n-1)/n` — each as a
+/// distinct [`MergeError`] variant naming the offending shard.
+pub fn merge_reports(
+    reports: &[ConformanceReport],
+) -> Result<ConformanceReport, MergeError> {
+    let (merged, missing) = merge_reports_allow_missing(reports)?;
+    if !missing.is_empty() {
+        return Err(MergeError::MissingShards {
+            expected: reports[0].shard.1,
+            got: reports.len() as u32,
+        });
     }
+    Ok(merged)
+}
+
+/// [`merge_reports`], but tolerating absent shards — the degraded-mode
+/// merge `penny-herd` falls back to when a shard exhausts its retries.
+/// Returns the merged report plus the sorted missing shard indices.
+/// Sites owned by a missing shard are not invented: they land in
+/// `skipped` (which is `total - covered - pruned` by construction), so
+/// a partial report stays internally consistent — it just covers less.
+///
+/// Malformed input is still rejected: an empty slice, a shape mismatch,
+/// and a duplicate shard are errors here exactly as in
+/// [`merge_reports`]; only *missing* shards are forgiven.
+///
+/// # Errors
+///
+/// [`MergeError::Empty`], [`MergeError::ShapeMismatch`], or
+/// [`MergeError::DuplicateShard`].
+pub fn merge_reports_allow_missing(
+    reports: &[ConformanceReport],
+) -> Result<(ConformanceReport, Vec<u32>), MergeError> {
+    let first = reports.first().ok_or(MergeError::Empty)?;
+    let count = first.shard.1;
     let mut seen = vec![false; count as usize];
     let mut merged = ConformanceReport {
         workload: first.workload,
@@ -1126,14 +1284,26 @@ pub fn merge_reports(reports: &[ConformanceReport]) -> Result<ConformanceReport,
             || r.space != first.space
             || r.shard.1 != count
         {
-            return Err(format!(
-                "mismatched shard report {}/{} for {} {}",
-                r.shard.0, r.shard.1, r.workload, r.variant
-            ));
+            return Err(MergeError::ShapeMismatch {
+                index: r.shard.0,
+                count: r.shard.1,
+                workload: r.workload.to_string(),
+                variant: r.variant.to_string(),
+            });
         }
         let idx = r.shard.0 as usize;
+        if idx >= seen.len() {
+            // An index past the count can only come from a hand-built
+            // (or corrupted) report; Shard::parse rejects it upstream.
+            return Err(MergeError::ShapeMismatch {
+                index: r.shard.0,
+                count: r.shard.1,
+                workload: r.workload.to_string(),
+                variant: r.variant.to_string(),
+            });
+        }
         if seen[idx] {
-            return Err(format!("duplicate shard {idx}/{count}"));
+            return Err(MergeError::DuplicateShard { index: idx as u32, count });
         }
         seen[idx] = true;
         merged.covered += r.covered;
@@ -1155,7 +1325,13 @@ pub fn merge_reports(reports: &[ConformanceReport]) -> Result<ConformanceReport,
     merged.failures.truncate(MAX_REPORTED_FAILURES);
     merged.disagreements.sort_by_key(|a| a.0);
     merged.disagreements.truncate(MAX_REPORTED_FAILURES);
-    Ok(merged)
+    let missing = seen
+        .iter()
+        .enumerate()
+        .filter(|&(_, &present)| !present)
+        .map(|(i, _)| i as u32)
+        .collect();
+    Ok((merged, missing))
 }
 
 /// Measured snapshot-vs-cold site throughput for one (workload, scheme)
@@ -1198,15 +1374,17 @@ pub fn bench_throughput(
     cold_samples: u64,
 ) -> ThroughputBench {
     use std::time::Instant;
-    let mut best = f64::INFINITY;
-    let mut report = None;
-    for _ in 0..reps.max(1) {
+    // The first rep runs unconditionally, so there is always a report —
+    // no Option, no "at least one rep" panic path, even for degenerate
+    // inputs (zero budget, zero reps, empty partitions).
+    let t = Instant::now();
+    let mut report = run_conformance(abbr, scheme, budget);
+    let mut best = t.elapsed().as_secs_f64();
+    for _ in 1..reps.max(1) {
         let t = Instant::now();
-        let r = run_conformance(abbr, scheme, budget);
+        report = run_conformance(abbr, scheme, budget);
         best = best.min(t.elapsed().as_secs_f64());
-        report = Some(r);
     }
-    let report = report.expect("at least one rep");
 
     let p = prepare(abbr, scheme, false);
     let seq = p.space.sequence(budget);
@@ -1431,6 +1609,38 @@ mod tests {
         assert!(Shard::parse("1").is_err());
         assert!(Shard::parse("a/b").is_err());
         assert!(Shard::parse("0/0").is_err());
+    }
+
+    #[test]
+    fn shard_parse_boundaries_are_named_errors() {
+        // The last valid index of each partition parses...
+        assert_eq!(Shard::parse("7/8").unwrap(), Shard { index: 7, count: 8 });
+        assert_eq!(Shard::parse(" 3 / 4 ").unwrap(), Shard { index: 3, count: 4 });
+        // ...and each rejection carries its own variant, not a bare string.
+        assert_eq!(Shard::parse("0/0"), Err(ShardError::ZeroCount));
+        assert_eq!(Shard::parse("1/0"), Err(ShardError::ZeroCount));
+        assert_eq!(Shard::parse("4/4"), Err(ShardError::OutOfRange { index: 4, count: 4 }));
+        assert_eq!(Shard::parse("8/8"), Err(ShardError::OutOfRange { index: 8, count: 8 }));
+        assert!(matches!(Shard::parse("3"), Err(ShardError::Malformed(_))));
+        assert!(matches!(Shard::parse("x/4"), Err(ShardError::BadIndex(_))));
+        assert!(matches!(Shard::parse("0/y"), Err(ShardError::BadCount(_))));
+        assert!(matches!(Shard::parse("-1/4"), Err(ShardError::BadIndex(_))));
+        // Display keeps the messages the CLI has always printed.
+        assert_eq!(ShardError::ZeroCount.to_string(), "shard count must be >= 1");
+        assert_eq!(
+            ShardError::OutOfRange { index: 4, count: 4 }.to_string(),
+            "shard index 4 out of range 0..4"
+        );
+    }
+
+    #[test]
+    fn zero_budget_sample_is_empty_not_a_panic() {
+        // `(total / budget) | 1` used to divide by zero here.
+        assert!(SPACE.total() > 0);
+        assert!(matches!(SPACE.sequence(0), SiteSeq::Sampled(ref v) if v.is_empty()));
+        assert!(SPACE.sample(0).is_empty());
+        assert_eq!(SPACE.sequence(0).len(), 0);
+        assert!(SPACE.sequence(0).is_empty());
     }
 
     #[test]

@@ -21,8 +21,11 @@ pub mod cache;
 pub mod campaign;
 pub mod conformance;
 pub mod figures;
+pub mod herd;
+pub mod json;
 pub mod obs;
 pub mod parallel;
+pub mod recstore;
 pub mod refinement;
 pub mod report;
 pub mod runner;
@@ -32,7 +35,7 @@ pub use ablation::{ablation, cost_base_sensitivity, render_ablation, AblationRow
 pub use campaign::{edc_campaign, multibit_sweep, CampaignResult};
 pub use conformance::{
     run_conformance, run_conformance_static, ConformanceFailure, ConformanceReport,
-    FaultSpace, StaticMode, StaticPruneCounts,
+    FaultSpace, MergeError, Shard, ShardError, StaticMode, StaticPruneCounts,
 };
 pub use figures::{Figure, PruneBreakdown, Series};
 pub use parallel::{jobs, parallel_map, set_jobs};

@@ -21,6 +21,33 @@ pub enum SchemeId {
 }
 
 impl SchemeId {
+    /// Every scheme, in the paper's legend order.
+    pub const ALL: [SchemeId; 5] = [
+        SchemeId::Baseline,
+        SchemeId::IGpu,
+        SchemeId::BoltGlobal,
+        SchemeId::BoltAuto,
+        SchemeId::Penny,
+    ];
+
+    /// Parses a CLI token (the variant name, e.g. `BoltGlobal`) back
+    /// into a scheme. Tokens are distinct from the slash-y display
+    /// names so they survive shells and comma-separated flags.
+    pub fn from_token(s: &str) -> Option<SchemeId> {
+        Self::ALL.iter().copied().find(|v| v.token() == s)
+    }
+
+    /// The CLI token accepted by [`SchemeId::from_token`].
+    pub fn token(self) -> &'static str {
+        match self {
+            SchemeId::Baseline => "Baseline",
+            SchemeId::IGpu => "IGpu",
+            SchemeId::BoltGlobal => "BoltGlobal",
+            SchemeId::BoltAuto => "BoltAuto",
+            SchemeId::Penny => "Penny",
+        }
+    }
+
     /// Display name (matches the paper's legends).
     pub fn name(self) -> &'static str {
         match self {

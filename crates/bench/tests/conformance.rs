@@ -7,7 +7,7 @@
 
 use penny_bench::conformance::{
     merge_reports, render_report, run_conformance, run_conformance_sharded,
-    run_conformance_static, run_conformance_static_sharded, Shard, StaticMode,
+    run_conformance_static, run_conformance_static_sharded, MergeError, Shard, StaticMode,
 };
 use penny_bench::SchemeId;
 
@@ -129,15 +129,60 @@ fn sharded_reports_merge_byte_identically() {
         penny_bench::set_jobs(1);
     }
 
-    // Malformed partitions are rejected.
+    // Malformed partitions are rejected, each with a typed error that
+    // names the offending shard.
     let a =
         run_conformance_sharded("MT", SchemeId::Penny, 40, Shard { index: 0, count: 2 });
-    assert!(
-        merge_reports(std::slice::from_ref(&a)).is_err(),
-        "missing shard must not merge"
-    );
-    assert!(merge_reports(&[a.clone(), a]).is_err(), "duplicate shard must not merge");
-    assert!(merge_reports(&[]).is_err());
+    assert!(matches!(
+        merge_reports(std::slice::from_ref(&a)),
+        Err(MergeError::MissingShards { expected: 2, got: 1 })
+    ));
+    assert!(matches!(
+        merge_reports(&[a.clone(), a]),
+        Err(MergeError::DuplicateShard { index: 0, count: 2 })
+    ));
+    assert!(matches!(merge_reports(&[]), Err(MergeError::Empty)));
+}
+
+/// Empty partitions are a report, not a panic: a zero budget (or a
+/// shard that owns no sample positions) yields an empty-but-valid
+/// `ConformanceReport`, and over-sharded partitions still merge
+/// byte-identically to the unsharded run.
+#[test]
+fn zero_budget_and_empty_shards_report_empty_but_valid() {
+    // budget 0 used to divide by zero deriving the sample stride.
+    let r = run_conformance("MT", SchemeId::Penny, 0);
+    assert!(r.total > 0);
+    assert_eq!(r.covered, 0);
+    assert_eq!(r.skipped, r.total);
+    assert_eq!(r.recovered, 0);
+    assert!(r.failures.is_empty());
+
+    // With a 4-site budget and 8 shards, shards 4..8 own nothing.
+    let empty =
+        run_conformance_sharded("MT", SchemeId::Penny, 4, Shard { index: 7, count: 8 });
+    assert_eq!(empty.covered, 0);
+    assert_eq!(empty.recovered, 0);
+    assert!(empty.failures.is_empty());
+    assert_eq!(empty.shard, (7, 8));
+
+    // The over-sharded partition still merges to the unsharded report.
+    let full = run_conformance("MT", SchemeId::Penny, 4);
+    let shards: Vec<_> = (0..8)
+        .map(|index| {
+            run_conformance_sharded("MT", SchemeId::Penny, 4, Shard { index, count: 8 })
+        })
+        .collect();
+    let merged = merge_reports(&shards).expect("merge");
+    assert_eq!(render_report(&merged), render_report(&full));
+    assert_eq!(merged.covered, full.covered);
+    assert_eq!(merged.classes, full.classes);
+
+    // The throughput bench survives the same degenerate inputs (it used
+    // to unwrap a report that was only set inside the reps loop).
+    let b = penny_bench::conformance::bench_throughput("MT", SchemeId::Penny, 0, 0, 0);
+    assert_eq!(b.covered, 0);
+    assert_eq!(b.report.covered, 0);
 }
 
 #[test]

@@ -168,6 +168,21 @@ pub fn compile_key(kernel_text: &str, cfg: &PennyConfig) -> u64 {
     h.finish()
 }
 
+/// Content-addressed recording-store key: kernel source text, the full
+/// compiler configuration, *and* the GPU configuration.
+///
+/// A persisted `penny_sim::snapshot::Recording` is valid only for the
+/// exact (kernel, compile config, machine model) triple it was traced
+/// on — any change to timing parameters or RF protection changes the
+/// trace — so all three feed the key.
+pub fn recording_key(kernel_text: &str, cfg: &PennyConfig, gpu: &GpuConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(kernel_text);
+    cfg.fingerprint(&mut h);
+    gpu.fingerprint(&mut h);
+    h.finish()
+}
+
 /// Canonical digest of a compiled artifact, covering the instrumented
 /// kernel and all recovery metadata.
 ///
@@ -289,6 +304,21 @@ mod tests {
         assert_ne!(
             digest(&fermi.clone().with_rf(RfProtection::None)),
             digest(&fermi.clone().with_rf(RfProtection::Ecc(Scheme::Secded)))
+        );
+    }
+
+    #[test]
+    fn recording_key_tracks_all_three_inputs() {
+        let cfg = PennyConfig::penny();
+        let gpu = GpuConfig::fermi();
+        let base = recording_key("k1", &cfg, &gpu);
+        assert_eq!(base, recording_key("k1", &cfg, &gpu));
+        assert_ne!(base, recording_key("k2", &cfg, &gpu));
+        assert_ne!(base, recording_key("k1", &PennyConfig::igpu(), &gpu));
+        assert_ne!(base, recording_key("k1", &cfg, &GpuConfig::volta()));
+        assert_ne!(
+            base,
+            recording_key("k1", &cfg, &gpu.clone().with_rf(RfProtection::None))
         );
     }
 

@@ -31,7 +31,9 @@ mod fnv;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
-pub use fingerprint::{compile_key, digest, fingerprint_protected, Fingerprint};
+pub use fingerprint::{
+    compile_key, digest, fingerprint_protected, recording_key, Fingerprint,
+};
 pub use fnv::Fnv64;
 
 use penny_obs::Recorder;

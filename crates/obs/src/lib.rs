@@ -11,7 +11,7 @@
 //! byte-identical with observability on or off — a property
 //! `crates/bench/tests/obs_neutrality.rs` pins.
 //!
-//! Four span kinds cover the system:
+//! Six span kinds cover the system:
 //!
 //! * [`SpanKind::Pass`] — one compiler pass of
 //!   `penny_core::pipeline::compile_observed` (wall time + per-pass
@@ -27,7 +27,10 @@
 //!   counters, reported by `penny-prof`);
 //! * [`SpanKind::Campaign`] — one whole conformance sweep or fault
 //!   campaign (snapshot/fork/replay aggregates: snapshots taken, forks,
-//!   pages copied, replayed vs. skipped instructions, wall time).
+//!   pages copied, replayed vs. skipped instructions, wall time);
+//! * [`SpanKind::Shard`] — one shard-process lifecycle event from the
+//!   `penny-herd` orchestrator (spawn/exit/retry/timeout, with attempt
+//!   and exit-status counters).
 //!
 //! Spans serialize to JSONL via [`Span::to_jsonl`]; the versioned
 //! schema lives in [`schema`] together with a dependency-free
@@ -56,11 +59,14 @@ pub enum SpanKind {
     /// One whole fault-injection campaign or conformance sweep
     /// (aggregate snapshot/fork/replay counters plus wall time).
     Campaign,
+    /// One shard-process lifecycle event of an orchestrated campaign
+    /// (`penny-herd`): spawn, exit, retry, or timeout.
+    Shard,
 }
 
 impl SpanKind {
     /// Stable serialized name (`"pass"`, `"sim"`, `"site"`, `"cache"`,
-    /// `"campaign"`).
+    /// `"campaign"`, `"shard"`).
     pub fn name(self) -> &'static str {
         match self {
             SpanKind::Pass => "pass",
@@ -68,6 +74,7 @@ impl SpanKind {
             SpanKind::Site => "site",
             SpanKind::Cache => "cache",
             SpanKind::Campaign => "campaign",
+            SpanKind::Shard => "shard",
         }
     }
 
@@ -79,6 +86,7 @@ impl SpanKind {
             "site" => Some(SpanKind::Site),
             "cache" => Some(SpanKind::Cache),
             "campaign" => Some(SpanKind::Campaign),
+            "shard" => Some(SpanKind::Shard),
             _ => None,
         }
     }
@@ -336,6 +344,28 @@ pub fn record_campaign(
     });
 }
 
+/// Records a shard-lifecycle span — one spawn/exit/retry/timeout event
+/// of an orchestrated campaign shard, with wall time since the shard
+/// was spawned (no-op when `rec` is disabled).
+pub fn record_shard(
+    rec: &dyn Recorder,
+    subject: &str,
+    label: &str,
+    timer: SpanTimer,
+    counters: &[Counter],
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.record(Span {
+        kind: SpanKind::Shard,
+        subject: subject.to_string(),
+        label: label.to_string(),
+        wall_ns: timer.elapsed_ns(),
+        counters: counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+    });
+}
+
 /// Records a compile-cache stats span (counter-only; no-op when `rec`
 /// is disabled).
 pub fn record_cache(rec: &dyn Recorder, subject: &str, label: &str, counters: &[Counter]) {
@@ -393,6 +423,7 @@ mod tests {
             SpanKind::Site,
             SpanKind::Cache,
             SpanKind::Campaign,
+            SpanKind::Shard,
         ] {
             assert_eq!(SpanKind::from_name(kind.name()), Some(kind));
         }

@@ -15,7 +15,7 @@
 //! | field      | type                     | constraint                                |
 //! |------------|--------------------------|-------------------------------------------|
 //! | `v`        | integer                  | must be `1`                               |
-//! | `kind`     | string                   | `"pass"`, `"sim"`, `"site"`, `"cache"`, or `"campaign"` |
+//! | `kind`     | string                   | `"pass"`, `"sim"`, `"site"`, `"cache"`, `"campaign"`, or `"shard"` |
 //! | `subject`  | string                   | non-empty                                 |
 //! | `label`    | string                   | non-empty                                 |
 //! | `wall_ns`  | unsigned integer         |                                           |
@@ -335,6 +335,25 @@ mod tests {
             ],
         };
         validate_line(&span.to_jsonl()).unwrap();
+    }
+
+    #[test]
+    fn shard_spans_validate() {
+        let span = Span {
+            kind: SpanKind::Shard,
+            subject: "MT".into(),
+            label: "exit".into(),
+            wall_ns: 1_500_000,
+            counters: vec![
+                ("shard".into(), 3),
+                ("count".into(), 4),
+                ("attempt".into(), 1),
+                ("exit_code".into(), 0),
+            ],
+        };
+        validate_line(&span.to_jsonl()).unwrap();
+        validate_line(&span.to_jsonl_with(&[("workload", "MT"), ("scheme", "Penny")]))
+            .unwrap();
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod engine;
 pub mod fault;
 pub mod gen;
 pub mod memory;
+pub mod persist;
 pub mod program;
 pub mod recovery;
 pub mod regfile;
@@ -64,6 +65,7 @@ pub use config::{GpuConfig, RfProtection};
 pub use engine::{LaunchConfig, RunStats};
 pub use fault::{FaultPlan, Injection};
 pub use memory::{GlobalMemory, SharedMemory};
+pub use persist::{LoadError, RECORDING_FORMAT_VERSION};
 pub use program::{DKind, DSrc, DecodedInst, Program, NO_REG};
 pub use regfile::{ReadOutcome, RegFile, RfStats};
 pub use snapshot::{

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Words per page.
-const PAGE_WORDS: usize = 1024;
+pub(crate) const PAGE_WORDS: usize = 1024;
 
 /// Sparse global memory (word-addressable via byte addresses).
 ///
@@ -108,6 +108,22 @@ impl GlobalMemory {
         self.pages_copied
     }
 
+    /// The raw page map (for the recording serializer, which
+    /// deduplicates pages by `Arc` identity).
+    pub(crate) fn pages(&self) -> &HashMap<u32, Arc<[u32; PAGE_WORDS]>> {
+        &self.pages
+    }
+
+    /// Rebuilds a memory from a page map and access counters; the
+    /// copy-on-write bookkeeping starts at zero, exactly like a fork.
+    pub(crate) fn from_parts(
+        pages: HashMap<u32, Arc<[u32; PAGE_WORDS]>>,
+        reads: u64,
+        writes: u64,
+    ) -> GlobalMemory {
+        GlobalMemory { pages, reads, writes, pages_copied: 0 }
+    }
+
     /// Contents-only equality (ignores access counters): every word,
     /// present or implicit zero, must match. Shared (still-forked)
     /// pages compare by pointer in O(1).
@@ -182,6 +198,16 @@ impl SharedMemory {
     /// Size in bytes.
     pub fn len_bytes(&self) -> u32 {
         (self.words.len() * 4) as u32
+    }
+
+    /// The raw word array (for the recording serializer).
+    pub(crate) fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Rebuilds a scratchpad from its word array and access counters.
+    pub(crate) fn from_parts(words: Vec<u32>, reads: u64, writes: u64) -> SharedMemory {
+        SharedMemory { words, reads, writes }
     }
 
     /// Reads the word at a byte address; out-of-range reads return 0

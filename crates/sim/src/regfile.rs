@@ -268,6 +268,33 @@ impl RegFile {
     pub fn scheme(&self) -> Scheme {
         self.protection.scheme()
     }
+
+    /// The cached decoded values (for the recording serializer, which
+    /// only persists *clean* register files — fault-free recordings
+    /// guarantee `words[r] == encode(values[r])` for every register, so
+    /// the decoded values alone reconstruct the file bit-identically).
+    pub(crate) fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Rebuilds a clean register file from decoded values by
+    /// re-encoding each one with a caller-supplied codec — the inverse
+    /// of [`RegFile::values`] for files with no dirty registers. The
+    /// recording deserializer rebuilds one file per thread per
+    /// snapshot, so it clones a prebuilt codec instead of paying
+    /// scheme-table construction per file.
+    pub(crate) fn from_values_with(
+        values: Vec<u32>,
+        protection: RfProtection,
+        codec: Option<Codec>,
+    ) -> RegFile {
+        let words = values
+            .iter()
+            .map(|&v| codec.as_ref().map(|c| c.encode(v)).unwrap_or(v as u64))
+            .collect();
+        let dirty = vec![0; values.len().div_ceil(64)];
+        RegFile { words, values, dirty, dirty_count: 0, protection, codec }
+    }
 }
 
 #[cfg(test)]

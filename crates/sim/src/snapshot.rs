@@ -122,57 +122,140 @@ pub struct SiteRun {
 
 /// One access of a (lane, register) cell in a warp's dynamic stream.
 #[derive(Debug, Clone, Copy)]
-struct Access {
+pub(crate) struct Access {
     /// Dynamic instruction index within the warp.
-    idx: u64,
+    pub(crate) idx: u64,
     /// Read (`true`) or write; a read-and-write instruction records
     /// the read first, matching engine phase order.
-    read: bool,
+    pub(crate) read: bool,
 }
 
 /// The per-warp register access trace of one recording.
+///
+/// Cells are stored in CSR form — one flat access array plus per-cell
+/// offsets — rather than a `Vec` per cell: a trace has `32 * num_regs`
+/// cells and nearly all of them are populated, so per-cell vectors cost
+/// thousands of small allocations every time a recording is rebuilt
+/// (the persisted-recording load path in particular). Incremental
+/// building during the trace itself goes through [`TraceBuilder`].
 #[derive(Debug)]
-struct WarpTrace {
-    /// Per `(lane, reg)` cell (flattened `lane * num_regs + reg`):
-    /// accesses sorted by dynamic instruction index.
-    accesses: Vec<Vec<Access>>,
+pub(crate) struct WarpTrace {
+    /// Cell boundaries: cell `i` (flattened `lane * num_regs + reg`)
+    /// spans `flat[offsets[i]..offsets[i + 1]]`. Length is the cell
+    /// count plus one.
+    offsets: Vec<u32>,
+    /// Every cell's accesses, concatenated in cell order; within a
+    /// cell, sorted by dynamic instruction index.
+    flat: Vec<Access>,
     /// The warp's final dynamic instruction count.
-    final_executed: u64,
+    pub(crate) final_executed: u64,
     /// Live lanes.
-    width: u32,
+    pub(crate) width: u32,
     /// Program counter of each dynamic instruction, indexed by the
     /// warp-local dynamic instruction index. Region markers are
     /// fast-forwarded by the engine and never appear here.
-    pcs: Vec<u32>,
+    pub(crate) pcs: Vec<u32>,
     /// Flow mask (pre-guard) of each dynamic instruction. A lane in
     /// the mask at index `t` executes exactly the recorded CFG path
     /// from `pcs[t]` onward, which is what lets a per-PC static fact
     /// be attributed to a fault site at trigger `t`.
+    pub(crate) masks: Vec<u32>,
+}
+
+impl WarpTrace {
+    /// Builds a trace from CSR parts; `offsets` must be monotone with
+    /// `offsets[0] == 0` and final entry `flat.len()` (callers: the
+    /// trace builder and the recording deserializer, both of which
+    /// construct exactly that).
+    pub(crate) fn from_csr(
+        offsets: Vec<u32>,
+        flat: Vec<Access>,
+        final_executed: u64,
+        width: u32,
+        pcs: Vec<u32>,
+        masks: Vec<u32>,
+    ) -> WarpTrace {
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(offsets.last().copied(), Some(flat.len() as u32));
+        WarpTrace { offsets, flat, final_executed, width, pcs, masks }
+    }
+
+    /// Number of `(lane, reg)` cells.
+    pub(crate) fn num_cells(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Cell `i`'s accesses, sorted by dynamic instruction index.
+    pub(crate) fn cell(&self, i: usize) -> &[Access] {
+        &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// Accumulates one warp's trace during recording (per-cell vectors for
+/// cheap incremental pushes), then [`TraceBuilder::finish`]es into the
+/// compact CSR [`WarpTrace`].
+#[derive(Debug)]
+struct TraceBuilder {
+    cells: Vec<Vec<Access>>,
+    final_executed: u64,
+    width: u32,
+    pcs: Vec<u32>,
     masks: Vec<u32>,
+}
+
+impl TraceBuilder {
+    fn new(num_cells: usize, width: u32) -> TraceBuilder {
+        TraceBuilder {
+            cells: vec![Vec::new(); num_cells],
+            final_executed: 0,
+            width,
+            pcs: Vec::new(),
+            masks: Vec::new(),
+        }
+    }
+
+    fn finish(self) -> WarpTrace {
+        let total: usize = self.cells.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(self.cells.len() + 1);
+        let mut flat = Vec::with_capacity(total);
+        offsets.push(0);
+        for cell in &self.cells {
+            flat.extend_from_slice(cell);
+            offsets.push(flat.len() as u32);
+        }
+        WarpTrace::from_csr(
+            offsets,
+            flat,
+            self.final_executed,
+            self.width,
+            self.pcs,
+            self.masks,
+        )
+    }
 }
 
 /// One mid-wave checkpoint, captured at a scheduler-cycle boundary
 /// right after some warp crossed a region-entry marker.
-struct Snap {
-    state: WaveState,
-    global: GlobalMemory,
-    stats: RunStats,
+pub(crate) struct Snap {
+    pub(crate) state: WaveState,
+    pub(crate) global: GlobalMemory,
+    pub(crate) stats: RunStats,
     /// Executed count per resident warp (block-major), for victim
     /// validity checks.
-    executed: Vec<u64>,
+    pub(crate) executed: Vec<u64>,
 }
 
 /// One wave of the recorded serial schedule, with enough marks to fork
 /// into it and splice past it.
-struct WaveRec {
-    sm: usize,
-    blocks: Vec<u32>,
-    stats_before: RunStats,
-    stats_after: RunStats,
-    cycles: u64,
-    global_start: GlobalMemory,
-    global_end: GlobalMemory,
-    snaps: Vec<Snap>,
+pub(crate) struct WaveRec {
+    pub(crate) sm: usize,
+    pub(crate) blocks: Vec<u32>,
+    pub(crate) stats_before: RunStats,
+    pub(crate) stats_after: RunStats,
+    pub(crate) cycles: u64,
+    pub(crate) global_start: GlobalMemory,
+    pub(crate) global_end: GlobalMemory,
+    pub(crate) snaps: Vec<Snap>,
 }
 
 /// One warp's recorded dynamic stream, borrowed from a [`Recording`].
@@ -203,19 +286,19 @@ pub struct RecordingCounters {
 /// A recorded fault-free run of one (kernel, config, launch) triple:
 /// the substrate conformance forks injection sites from.
 pub struct Recording {
-    protection: RfProtection,
-    num_sms: usize,
-    launch: LaunchConfig,
-    program: Program,
-    waves: Vec<WaveRec>,
+    pub(crate) protection: RfProtection,
+    pub(crate) num_sms: usize,
+    pub(crate) launch: LaunchConfig,
+    pub(crate) program: Program,
+    pub(crate) waves: Vec<WaveRec>,
     /// Linear block index -> position in `waves`.
-    block_wave: HashMap<u32, usize>,
-    accesses: HashMap<(u32, u32), WarpTrace>,
-    num_regs: usize,
-    warps_per_block: u32,
-    final_stats: RunStats,
-    final_global: GlobalMemory,
-    counters: RecordingCounters,
+    pub(crate) block_wave: HashMap<u32, usize>,
+    pub(crate) accesses: HashMap<(u32, u32), WarpTrace>,
+    pub(crate) num_regs: usize,
+    pub(crate) warps_per_block: u32,
+    pub(crate) final_stats: RunStats,
+    pub(crate) final_global: GlobalMemory,
+    pub(crate) counters: RecordingCounters,
 }
 
 /// The wave recorder: captures snapshots on region crossings and
@@ -225,7 +308,7 @@ struct WaveRecorder<'p> {
     num_regs: usize,
     /// Linear block indices of this wave.
     blocks: Vec<u32>,
-    traces: &'p mut HashMap<(u32, u32), WarpTrace>,
+    traces: &'p mut HashMap<(u32, u32), TraceBuilder>,
     snaps: Vec<Snap>,
     /// Last observed `(snapshot.executed)` per resident warp, to
     /// detect new region entries.
@@ -240,7 +323,7 @@ impl<'p> WaveRecorder<'p> {
         program: &'p Program,
         blocks: &[u32],
         num_regs: usize,
-        traces: &'p mut HashMap<(u32, u32), WarpTrace>,
+        traces: &'p mut HashMap<(u32, u32), TraceBuilder>,
     ) -> WaveRecorder<'p> {
         WaveRecorder {
             program,
@@ -272,7 +355,7 @@ impl<'p> WaveRecorder<'p> {
         while m != 0 {
             let lane = m.trailing_zeros() as usize;
             m &= m - 1;
-            tr.accesses[lane * self.num_regs + reg as usize]
+            tr.cells[lane * self.num_regs + reg as usize]
                 .push(Access { idx: ev_idx, read });
         }
     }
@@ -287,13 +370,7 @@ impl WaveTrace for WaveRecorder<'_> {
                 for w in &b.warps {
                     self.traces.insert(
                         (self.blocks[bi], w.id),
-                        WarpTrace {
-                            accesses: vec![Vec::new(); 32 * self.num_regs],
-                            final_executed: 0,
-                            width: w.width,
-                            pcs: Vec::new(),
-                            masks: Vec::new(),
-                        },
+                        TraceBuilder::new(32 * self.num_regs, w.width),
                     );
                     self.last_entry.push(u64::MAX);
                 }
@@ -431,7 +508,7 @@ impl Recording {
         let mut stats = RunStats::default();
         let mut waves = Vec::new();
         let mut block_wave = HashMap::new();
-        let mut accesses = HashMap::new();
+        let mut builders = HashMap::new();
         let mut sm_cycles = vec![0u64; config.num_sms as usize];
         for (k, slot) in plan.iter().enumerate() {
             for &b in &slot.blocks {
@@ -440,7 +517,7 @@ impl Recording {
             let stats_before = stats;
             let global_start = g.fork();
             let mut rec =
-                WaveRecorder::new(&program, &slot.blocks, num_regs, &mut accesses);
+                WaveRecorder::new(&program, &slot.blocks, num_regs, &mut builders);
             let cycles = {
                 let mut eng = SmEngine::for_wave(
                     config,
@@ -465,6 +542,8 @@ impl Recording {
                 snaps: rec.snaps,
             });
         }
+        let accesses =
+            builders.into_iter().map(|(k, b)| (k, b.finish())).collect::<HashMap<_, _>>();
         let mut final_stats = stats;
         final_stats.cycles = sm_cycles.iter().copied().max().unwrap_or(0);
         let counters = RecordingCounters {
@@ -492,6 +571,11 @@ impl Recording {
         &self.final_stats
     }
 
+    /// The launch this recording was traced on.
+    pub fn launch(&self) -> &LaunchConfig {
+        &self.launch
+    }
+
     /// The fault-free run's final global memory.
     pub fn global(&self) -> &GlobalMemory {
         &self.final_global
@@ -517,7 +601,7 @@ impl Recording {
         {
             return (SiteClass::NeverFires, None);
         }
-        let cell = &tr.accesses[inj.lane as usize * self.num_regs + inj.reg as usize];
+        let cell = tr.cell(inj.lane as usize * self.num_regs + inj.reg as usize);
         let pos = cell.partition_point(|a| a.idx < t);
         match cell.get(pos) {
             None => (SiteClass::Invisible, None),
@@ -570,7 +654,7 @@ impl Recording {
         if lane >= tr.width || reg as usize >= self.num_regs {
             return None;
         }
-        let cell = &tr.accesses[lane as usize * self.num_regs + reg as usize];
+        let cell = tr.cell(lane as usize * self.num_regs + reg as usize);
         let pos = cell.partition_point(|a| a.idx < from);
         cell.get(pos).map(|a| (a.idx, a.read))
     }

@@ -22,7 +22,13 @@
 #      from-scratch runs) and the campaign-throughput gate
 #      (snapshot-vs-cold site throughput >= 20x, best of 3, written to
 #      BENCH_eval.json);
-#   6b. the static-vulnerability gates: the translation-validation
+#   6b. the penny-herd orchestration gate: the supervised-shard test
+#      suite (crash-injected retry, partial degradation, timeout
+#      kill), then a 4-shard local MT campaign that must merge
+#      byte-identical to the unsharded run, then a warm re-run over
+#      the same recording store that must skip the record phase
+#      (recording-store span hits > 0 in every shard's obs stream);
+#   6c. the static-vulnerability gates: the translation-validation
 #      agreement sweep (deep-budget MT/SGEMM under every protected
 #      scheme plus the exhaustive MT fault space, validate mode — zero
 #      static/dynamic disagreements), and the prune-rate floor
@@ -80,6 +86,36 @@ cargo test -q -p penny-bench conformance
 echo "==> conformance: campaign throughput gate (>= 20x vs cold)"
 cargo run -q --release -p penny-bench --bin penny-eval -- \
     conformance --bench-json --min-speedup 20
+
+echo "==> herd: supervised-shard suite (retry, partial, timeout)"
+cargo test --release -p penny-bench --test herd
+
+echo "==> herd: 4-shard campaign == unsharded, warm store reuse"
+herd_dir="$(mktemp -d)"
+cargo run -q --release -p penny-bench --bin penny-eval -- \
+    conformance --workloads MT --schemes Penny --budget 400 \
+    --report-json "$herd_dir/unsharded.json" > /dev/null
+# Cold campaign: fills the recording store and must render
+# byte-identical to the unsharded report (penny-herd exits 1 on a
+# --check-against mismatch).
+cargo run -q --release -p penny-bench --bin penny-herd -- \
+    --workloads MT --schemes Penny --budget 400 --shards 4 \
+    --out "$herd_dir/cold" --recording-store "$herd_dir/rec" \
+    --check-against "$herd_dir/unsharded.json" > /dev/null 2>&1
+# Warm campaign: same store; every shard must load its recording
+# instead of re-tracing it.
+cargo run -q --release -p penny-bench --bin penny-herd -- \
+    --workloads MT --schemes Penny --budget 400 --shards 4 \
+    --out "$herd_dir/warm" --recording-store "$herd_dir/rec" \
+    --check-against "$herd_dir/unsharded.json" > /dev/null 2>&1
+for obs in "$herd_dir"/warm/shard_*.obs.jsonl; do
+    if ! grep '"subject":"recording-store"' "$obs" \
+        | grep -q '"hits":[1-9]'; then
+        echo "verify: warm herd shard $obs did not hit the recording store" >&2
+        exit 1
+    fi
+done
+rm -rf "$herd_dir"
 
 echo "==> static vulnerability: translation-validation agreement sweep"
 # Deep-budget validate-mode sweeps of MT and SGEMM under every
